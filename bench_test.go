@@ -1,0 +1,211 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5.3–§5.4), plus the design-choice ablations.
+//
+// Reported metrics are *simulated* platform time (the deterministic cost
+// model of internal/sim), exposed as custom benchmark metrics:
+//
+//	sim-gdev-ms   execution time on the unprotected Gdev baseline
+//	sim-hix-ms    execution time under HIX protection
+//	hix-overhead  relative overhead (HIX/Gdev - 1)
+//
+// Wall-clock ns/op only measures how fast the simulator itself runs and
+// is not meaningful for the reproduction.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func reportPair(b *testing.B, gdev, hix sim.Duration) {
+	b.Helper()
+	b.ReportMetric(float64(gdev)/1e6, "sim-gdev-ms")
+	b.ReportMetric(float64(hix)/1e6, "sim-hix-ms")
+	if gdev > 0 {
+		b.ReportMetric(float64(hix-gdev)/float64(gdev), "hix-overhead")
+	}
+}
+
+// BenchmarkTable4MatrixSizes regenerates Table 4 (matrix data volumes).
+func BenchmarkTable4MatrixSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table4()
+		if len(rows) != 4 || rows[3].Total != 1452<<20 {
+			b.Fatalf("table 4 mismatch: %+v", rows)
+		}
+	}
+}
+
+// BenchmarkFig6Matrix regenerates Figure 6: matrix add and multiply under
+// Gdev and HIX at each Table 4 size.
+func BenchmarkFig6Matrix(b *testing.B) {
+	for _, mul := range []bool{false, true} {
+		op := "Add"
+		if mul {
+			op = "Mul"
+		}
+		for _, n := range workloads.PaperMatrixSizes {
+			n, mul := n, mul
+			b.Run(fmt.Sprintf("%s/%d", op, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m, err := bench.Compare(func() workloads.Workload {
+						return workloads.NewMatrixSynthetic(n, mul)
+					}, "matrix")
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportPair(b, m.Gdev, m.HIX)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable5Rodinia regenerates Table 5 (Rodinia transfer volumes).
+func BenchmarkTable5Rodinia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := bench.Table5()
+		if len(specs) != 9 {
+			b.Fatalf("table 5 has %d apps", len(specs))
+		}
+	}
+}
+
+// BenchmarkFig7Rodinia regenerates Figure 7: single-user Rodinia under
+// Gdev and HIX.
+func BenchmarkFig7Rodinia(b *testing.B) {
+	factories := map[string]func() workloads.Workload{
+		"BP":   func() workloads.Workload { return workloads.PaperBP() },
+		"BFS":  func() workloads.Workload { return workloads.PaperBFS() },
+		"GS":   func() workloads.Workload { return workloads.PaperGS() },
+		"HS":   func() workloads.Workload { return workloads.PaperHS() },
+		"LUD":  func() workloads.Workload { return workloads.PaperLUD() },
+		"NW":   func() workloads.Workload { return workloads.PaperNW() },
+		"NN":   func() workloads.Workload { return workloads.PaperNN() },
+		"PF":   func() workloads.Workload { return workloads.PaperPF() },
+		"SRAD": func() workloads.Workload { return workloads.PaperSRAD() },
+	}
+	for name, f := range factories {
+		name, f := name, f
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := bench.Compare(f, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportPair(b, m.Gdev, m.HIX)
+			}
+		})
+	}
+}
+
+func benchMultiUser(b *testing.B, users int) {
+	for i := 0; i < b.N; i++ {
+		ms, err := bench.MultiUser(users)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var gdevN, hixN sim.Duration
+		for _, m := range ms {
+			gdevN += m.GdevN
+			hixN += m.HIXN
+		}
+		reportPair(b, gdevN/sim.Duration(len(ms)), hixN/sim.Duration(len(ms)))
+		b.ReportMetric(bench.AverageMultiOverhead(ms), "avg-hix-over-gdev")
+	}
+}
+
+// BenchmarkFig8TwoUsers regenerates Figure 8: two concurrent users per
+// Rodinia app, Gdev vs HIX.
+func BenchmarkFig8TwoUsers(b *testing.B) { benchMultiUser(b, 2) }
+
+// BenchmarkFig9FourUsers regenerates Figure 9: four concurrent users.
+func BenchmarkFig9FourUsers(b *testing.B) { benchMultiUser(b, 4) }
+
+// BenchmarkAblationSingleCopy quantifies the §4.4.2 single-copy design
+// against the naive double-copy alternative.
+func BenchmarkAblationSingleCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := bench.AblationSingleCopy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(a.Chosen)/1e6, "sim-single-ms")
+		b.ReportMetric(float64(a.Naive)/1e6, "sim-double-ms")
+		b.ReportMetric(a.Benefit(), "double-copy-penalty")
+	}
+}
+
+// BenchmarkAblationPipelining quantifies the §5.2 crypto/transfer
+// pipeline.
+func BenchmarkAblationPipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := bench.AblationPipelining()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(a.Chosen)/1e6, "sim-pipelined-ms")
+		b.ReportMetric(float64(a.Naive)/1e6, "sim-serial-ms")
+		b.ReportMetric(a.Benefit(), "no-pipeline-penalty")
+	}
+}
+
+// BenchmarkAblationMMIOvsDMA sweeps the two copy mechanisms (§4.4.2).
+func BenchmarkAblationMMIOvsDMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationMMIOvsDMA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.DMA)/1e3, "sim-dma-4MiB-us")
+		b.ReportMetric(float64(last.MMIO)/1e3, "sim-mmio-4MiB-us")
+	}
+}
+
+// BenchmarkExtensionVolta measures the §5.4 prediction: multi-user HIX
+// on a Volta-style GPU with concurrent multi-context execution.
+func BenchmarkExtensionVolta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pre, err := bench.MultiUser(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		post, err := bench.MultiUserVolta(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bench.AverageMultiOverhead(pre), "pre-volta-overhead")
+		b.ReportMetric(bench.AverageMultiOverhead(post), "volta-overhead")
+	}
+}
+
+// BenchmarkExtensionPaging measures the secure demand-paging extension
+// (§5.6): pass time within VRAM vs 1.7x oversubscribed.
+func BenchmarkExtensionPaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.PagingSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(pts[0].PassTime)/1e6, "sim-resident-ms")
+		b.ReportMetric(float64(pts[len(pts)-1].PassTime)/1e6, "sim-paged-ms")
+	}
+}
+
+// BenchmarkAblationCtxSwitch sweeps the GPU context-switch cost under
+// two-user contention (§4.5).
+func BenchmarkAblationCtxSwitch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.AblationCtxSwitch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].HIXOverGdev, "overhead-at-0us")
+		b.ReportMetric(pts[len(pts)-1].HIXOverGdev, "overhead-at-220us")
+	}
+}

@@ -1,0 +1,62 @@
+// Command hixattack runs the paper's attack-surface analysis (§5.5,
+// Figure 10) as live experiments: every attack executes against the
+// unprotected baseline stack and against HIX, and the resulting
+// compromised/defended matrix is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-attack details")
+	flag.Parse()
+
+	outcomes, err := attack.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hixattack:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("== Attack-surface analysis (paper §5.5 / Figure 10) ==")
+	fmt.Printf("%-24s %-12s %-12s %s\n", "attack", "baseline", "HIX", "defense (§)")
+	defended := 0
+	for _, o := range outcomes {
+		fmt.Printf("%-24s %-12s %-12s %s\n",
+			o.Name, verdict(o.Baseline), verdict(o.HIX), o.Section)
+		if *verbose {
+			fmt.Printf("    goal:     %s\n", o.Goal)
+			fmt.Printf("    baseline: %s\n", o.Baseline.Detail)
+			fmt.Printf("    hix:      %s\n", o.HIX.Detail)
+		}
+		if !o.HIX.Compromised {
+			defended++
+		}
+	}
+	fmt.Printf("\n%d/%d attacks defended by HIX; %d/%d compromise the baseline\n",
+		defended, len(outcomes), countBaseline(outcomes), len(outcomes))
+	if defended != len(outcomes) {
+		os.Exit(1)
+	}
+}
+
+func verdict(r attack.Result) string {
+	if r.Compromised {
+		return "COMPROMISED"
+	}
+	return "defended"
+}
+
+func countBaseline(outcomes []attack.Outcome) int {
+	n := 0
+	for _, o := range outcomes {
+		if o.Baseline.Compromised {
+			n++
+		}
+	}
+	return n
+}

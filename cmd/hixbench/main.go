@@ -1,0 +1,232 @@
+// Command hixbench regenerates the paper's evaluation tables and figures
+// (§5.3–§5.4) on the simulated platform.
+//
+// Usage:
+//
+//	hixbench -exp all            # everything
+//	hixbench -exp fig7           # one experiment
+//	hixbench -exp table4,fig6    # a comma-separated subset
+//
+// Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
+// volta, paging, breakdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+
+	ok := true
+	if run("table4") {
+		ok = table4() && ok
+	}
+	if run("fig6") {
+		ok = fig6() && ok
+	}
+	if run("table5") {
+		ok = table5() && ok
+	}
+	if run("fig7") {
+		ok = fig7() && ok
+	}
+	if run("fig8") {
+		ok = multi(2, "Figure 8", "+45.2%") && ok
+	}
+	if run("fig9") {
+		ok = multi(4, "Figure 9", "+39.7%") && ok
+	}
+	if run("ablations") {
+		ok = ablations() && ok
+	}
+	if run("volta") {
+		ok = volta() && ok
+	}
+	if run("paging") {
+		ok = paging() && ok
+	}
+	if run("breakdown") {
+		ok = breakdown() && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) bool {
+	fmt.Fprintln(os.Stderr, "hixbench:", err)
+	return false
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+func table4() bool {
+	fmt.Println("== Table 4: matrix sizes and data volumes ==")
+	fmt.Printf("%-12s %10s %10s %10s\n", "Matrix size", "HtoD", "DtoH", "Total")
+	for _, r := range bench.Table4() {
+		fmt.Printf("%dx%-6d %8.0fMB %8.0fMB %8.0fMB\n",
+			r.N, r.N, mb(r.HtoDBytes), mb(r.DtoHBytes), mb(r.Total))
+	}
+	fmt.Println()
+	return true
+}
+
+func fig6() bool {
+	fmt.Println("== Figure 6: matrix add/mul execution time (Gdev vs HIX) ==")
+	ms, err := bench.Fig6()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%-18s %14s %14s %8s\n", "workload", "Gdev", "HIX", "ratio")
+	for _, m := range ms {
+		fmt.Printf("%-18s %14v %14v %7.2fx\n", m.Label, m.Gdev, m.HIX, m.Ratio())
+	}
+	fmt.Println("paper shape: add ~2.5x slower; mul overhead shrinking to ~6% at 11264")
+	fmt.Println()
+	return true
+}
+
+func table5() bool {
+	fmt.Println("== Table 5: Rodinia applications ==")
+	fmt.Printf("%-6s %12s %12s   %s\n", "app", "HtoD", "DtoH", "problem size")
+	for _, sp := range bench.Table5() {
+		fmt.Printf("%-6s %10.2fMB %10.2fMB   %s\n", sp.Name, mb(sp.HtoDBytes), mb(sp.DtoHBytes), sp.Problem)
+	}
+	fmt.Println()
+	return true
+}
+
+func fig7() bool {
+	fmt.Println("== Figure 7: Rodinia single-user execution time ==")
+	ms, err := bench.Fig7()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%-6s %14s %14s %10s\n", "app", "Gdev", "HIX", "overhead")
+	for _, m := range ms {
+		fmt.Printf("%-6s %14v %14v %+9.1f%%\n", m.Label, m.Gdev, m.HIX, 100*m.Overhead())
+	}
+	fmt.Printf("average overhead: %+.1f%%   (paper: +26.8%%)\n\n", 100*bench.AverageOverhead(ms))
+	return true
+}
+
+func multi(users int, figure, paper string) bool {
+	fmt.Printf("== %s: %d-user execution, normalized to 1-user Gdev ==\n", figure, users)
+	ms, err := bench.MultiUser(users)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%-6s %12s %12s %12s\n", "app", "Gdev norm", "HIX norm", "HIX vs Gdev")
+	for _, m := range ms {
+		fmt.Printf("%-6s %11.2fx %11.2fx %+11.1f%%\n",
+			m.Label, m.GdevNorm(), m.HIXNorm(), 100*m.HIXOverGdev())
+	}
+	fmt.Printf("average HIX-over-Gdev: %+.1f%%   (paper: %s)\n\n",
+		100*bench.AverageMultiOverhead(ms), paper)
+	return true
+}
+
+func volta() bool {
+	fmt.Println("== Extension: Volta-style concurrent contexts (paper §5.4 prediction) ==")
+	pre, err := bench.MultiUser(2)
+	if err != nil {
+		return fail(err)
+	}
+	post, err := bench.MultiUserVolta(2)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("2-user HIX-over-Gdev: pre-Volta %+.1f%%, Volta-style %+.1f%%\n",
+		100*bench.AverageMultiOverhead(pre), 100*bench.AverageMultiOverhead(post))
+	fmt.Println("(the paper expects the degradation to be \"significantly reduced\")")
+	fmt.Println()
+	return true
+}
+
+func paging() bool {
+	fmt.Println("== Extension: secure demand paging (paper §5.6 future work) ==")
+	pts, err := bench.PagingSweep()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("%-10s %-12s %-16s %-10s %s\n", "buffers", "working set", "pass time", "evictions", "page-ins")
+	for _, p := range pts {
+		fmt.Printf("%-10d %3d/%3d MB %18v %-10d %d\n",
+			p.Buffers, p.WorkingMB, p.VRAMMB, p.PassTime, p.Evictions, p.PageIns)
+	}
+	fmt.Println()
+	return true
+}
+
+func breakdown() bool {
+	fmt.Println("== Overhead breakdown (§5.3.1: authenticated encryption dominates) ==")
+	for _, w := range []struct {
+		make  func() workloads.Workload
+		label string
+	}{
+		{func() workloads.Workload { return workloads.NewMatrixSynthetic(8192, false) }, "matrix-add-8192"},
+		{func() workloads.Workload { return workloads.NewMatrixSynthetic(8192, true) }, "matrix-mul-8192"},
+		{func() workloads.Workload { return workloads.PaperNW() }, "nw"},
+	} {
+		bd, err := bench.BreakdownHIX(w.make(), w.label)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s (total %v):\n", bd.Label, bd.Total)
+		for _, sh := range bd.Shares {
+			if sh.Share < 0.01 {
+				continue
+			}
+			fmt.Printf("  %-16s %14v  %5.1f%%\n", sh.Resource, sh.Busy, 100*sh.Share)
+		}
+	}
+	fmt.Println()
+	return true
+}
+
+func ablations() bool {
+	fmt.Println("== Ablations: design choices ==")
+	sc, err := bench.AblationSingleCopy()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println(sc.String())
+	pl, err := bench.AblationPipelining()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println(pl.String())
+	rows, err := bench.AblationMMIOvsDMA()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println("MMIO vs DMA copy paths (baseline):")
+	for _, r := range rows {
+		fmt.Printf("  %8dB  dma=%-12v mmio=%-12v\n", r.Bytes, r.DMA, r.MMIO)
+	}
+	pts, err := bench.AblationCtxSwitch()
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Println("context-switch cost sensitivity (2-user NW):")
+	for _, p := range pts {
+		fmt.Printf("  switch=%-8v hix-over-gdev=%+.1f%%\n", p.SwitchCost, 100*p.HIXOverGdev)
+	}
+	fmt.Println()
+	return true
+}

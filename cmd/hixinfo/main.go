@@ -1,0 +1,108 @@
+// Command hixinfo prints the platform's static inventory: the required
+// hardware/software changes (Table 1), the TCB breakdown (Table 2), the
+// prototype configuration (Table 3), and the live PCIe topology with the
+// GPU enclave's measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/hix"
+)
+
+func main() {
+	changes := flag.Bool("changes", false, "print Table 1 (required HW/SW changes)")
+	tcb := flag.Bool("tcb", false, "print Table 2 (TCB breakdown)")
+	config := flag.Bool("config", false, "print Table 3 (platform configuration)")
+	live := flag.Bool("live", false, "boot a platform and print its measurements")
+	flag.Parse()
+	if !*changes && !*tcb && !*config && !*live {
+		*changes, *tcb, *config, *live = true, true, true, true
+	}
+
+	if *changes {
+		printChanges()
+	}
+	if *tcb {
+		printTCB()
+	}
+	if *config {
+		printConfig()
+	}
+	if *live {
+		if err := printLive(); err != nil {
+			fmt.Fprintln(os.Stderr, "hixinfo:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printChanges() {
+	fmt.Println("== Table 1: required hardware and software changes ==")
+	rows := [][4]string{
+		{"SW", "GPU enclave", "sole GPU control", "internal/hix"},
+		{"HW", "new SGX instructions (EGCREATE/EGADD)", "HW support for GPU enclave", "internal/sgx"},
+		{"HW", "internal data structures (GECS/TGMR)", "HW support for GPU enclave", "internal/sgx"},
+		{"HW", "MMU page table walker", "MMIO access protection", "internal/mmu + internal/sgx"},
+		{"HW", "PCIe root complex", "MMIO lockdown", "internal/pcie"},
+		{"SW", "inter-enclave communication", "trusted GPU usage for users", "internal/hix + internal/hixrt"},
+	}
+	fmt.Printf("%-4s %-40s %-30s %s\n", "type", "changed component", "purpose", "module")
+	for _, r := range rows {
+		fmt.Printf("%-4s %-40s %-30s %s\n", r[0], r[1], r[2], r[3])
+	}
+	fmt.Println()
+}
+
+func printTCB() {
+	fmt.Println("== Table 2: TCB breakdown ==")
+	rows := [][4]string{
+		{"GPU enclave", "memory access", "SGX EPC protection (EPCM + MEE)", "-"},
+		{"GECS & TGMR", "mem access & HIX instructions", "SGX EPC protection", "-"},
+		{"GPU BIOS", "MMIO", "MMU (TGMR) + measured at launch", "-"},
+		{"GPU registers", "MMIO", "MMU (GECS/TGMR)", "-"},
+		{"GPU memory", "MMIO & DMA", "MMU", "OCB-AES"},
+		{"PCIe infrastructure", "MMIO", "PCIe root complex lockdown", "-"},
+		{"user enclave & HIX library", "memory access", "SGX EPC protection", "-"},
+		{"inter-enclave shared memory", "mem access & DMA", "-", "OCB-AES"},
+	}
+	fmt.Printf("%-30s %-32s %-34s %s\n", "component", "attack surface", "access restriction", "encryption")
+	for _, r := range rows {
+		fmt.Printf("%-30s %-32s %-34s %s\n", r[0], r[1], r[2], r[3])
+	}
+	fmt.Println()
+}
+
+func printConfig() {
+	cm := hix.DefaultCostModel()
+	fmt.Println("== Table 3: simulated platform configuration ==")
+	fmt.Println("CPU     : SGX+HIX capable, 4 lanes (i7-6700 class)")
+	fmt.Println("GPU     : GTX 580 class, 1.5 GiB VRAM, 8 channels")
+	fmt.Println("EPC     : 96 MiB")
+	fmt.Printf("PCIe    : HtoD %.1f GB/s, DtoH %.1f GB/s\n",
+		cm.PCIeHtoDBandwidth/1e9, cm.PCIeDtoHBandwidth/1e9)
+	fmt.Printf("crypto  : CPU OCB-AES %.2f GB/s, in-GPU OCB-AES %.1f GB/s, chunk %d MiB\n",
+		cm.CPUCryptoBandwidth/1e9, cm.GPUCryptoBandwidth/1e9, cm.CryptoChunk>>20)
+	fmt.Printf("init    : Gdev task %v, HIX task %v (+%v attest/DH)\n",
+		cm.TaskInitGdev, cm.TaskInitHIX, cm.AttestKeyExch)
+	fmt.Println()
+}
+
+func printLive() error {
+	p, err := hix.NewPlatform(hix.Options{
+		DRAMBytes: 256 << 20, EPCBytes: 16 << 20, VRAMBytes: 64 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== live platform ==")
+	fmt.Printf("GPU enclave MRENCLAVE : %s\n", p.GPUEnclaveMeasurement())
+	fmt.Printf("GPU BIOS measurement  : %s\n", p.GPUBIOSMeasurement())
+	fmt.Printf("PCIe routing digest   : %s\n", p.RoutingMeasurement())
+	fmt.Printf("MMIO lockdown         : %v\n", p.LockdownActive())
+	fmt.Printf("GPU                   : %s at %s, %d MiB VRAM\n",
+		p.Machine().GPU.DeviceName(), p.Machine().GPUBDF, p.Machine().GPU.VRAMSize()>>20)
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Heterogeneous
+// Isolated Execution for Commodity GPUs" (HIX), ASPLOS 2019.
+//
+// The public API lives in repro/hix; the benchmark harness that
+// regenerates every table and figure of the paper's evaluation lives in
+// the root-level benchmarks (go test -bench .) and the cmd/hixbench
+// tool; the executable attack-surface analysis is cmd/hixattack.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

@@ -1,0 +1,143 @@
+// Multi-tenant GPU sharing (§4.5): two mutually distrustful tenants use
+// the same GPU through one GPU enclave. Each gets its own GPU context,
+// its own session key, and cleansed memory on free.
+//
+// The example demonstrates three isolation properties:
+//
+//  1. concurrent tenants compute correct results while contending for
+//     the device (context switches are accounted in simulated time);
+//
+//  2. one tenant cannot name another tenant's device memory — the GPU
+//     enclave refuses the request;
+//
+//  3. freed memory is cleansed, so a tenant scavenging recycled VRAM
+//     finds only zeros (unlike the baseline driver).
+//
+//     go run ./examples/multitenant
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/hix"
+)
+
+func main() {
+	platform, err := hix.NewPlatform(hix.Options{
+		DRAMBytes: 256 << 20,
+		EPCBytes:  16 << 20,
+		VRAMBytes: 128 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.RegisterKernel(&hix.Kernel{
+		Name: "caesar",
+		Cost: func(cm hix.CostModel, p [hix.NumKernelParams]uint64) hix.Duration {
+			return cm.ComputeTime(float64(p[1]))
+		},
+		Run: func(e *hix.ExecContext) error {
+			buf, err := e.Mem(e.Params[0], e.Params[1])
+			if err != nil {
+				return err
+			}
+			shift := byte(e.Params[2])
+			for i := range buf {
+				buf[i] += shift
+			}
+			return nil
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	alice, err := platform.NewSecureSession([]byte("tenant: alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	bob, err := platform.NewSecureSession([]byte("tenant: bob"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+
+	// --- 1. Concurrent use with correct, separate results. ---
+	aliceData := bytes.Repeat([]byte("AAAA"), 1024)
+	bobData := bytes.Repeat([]byte("bbbb"), 1024)
+	aPtr, err := alice.MemAlloc(uint64(len(aliceData)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bPtr, err := bob.MemAlloc(uint64(len(bobData)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.MemcpyHtoD(aPtr, aliceData, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.MemcpyHtoD(bPtr, bobData, 0); err != nil {
+		log.Fatal(err)
+	}
+	// Interleaved launches force GPU context switches between tenants.
+	for i := 0; i < 3; i++ {
+		if err := alice.Launch("caesar", hix.Params(uint64(aPtr), uint64(len(aliceData)), 1)); err != nil {
+			log.Fatal(err)
+		}
+		if err := bob.Launch("caesar", hix.Params(uint64(bPtr), uint64(len(bobData)), 1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	aOut := make([]byte, len(aliceData))
+	bOut := make([]byte, len(bobData))
+	if err := alice.MemcpyDtoH(aOut, aPtr, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.MemcpyDtoH(bOut, bPtr, 0); err != nil {
+		log.Fatal(err)
+	}
+	if aOut[0] != 'A'+3 || bOut[0] != 'b'+3 {
+		log.Fatalf("wrong results: %q %q", aOut[:4], bOut[:4])
+	}
+	fmt.Printf("tenants computed independently; GPU context switches: %d\n",
+		platform.Machine().GPU.ContextSwitches())
+
+	// --- 2. Cross-tenant access is refused by the GPU enclave. ---
+	// Bob's runtime would never issue this, so we simulate a malicious
+	// runtime by asking for a copy from Alice's pointer; the GPU enclave
+	// checks ownership per session and refuses.
+	evil := make([]byte, 16)
+	err = bob.MemcpyDtoH(evil, hix.Ptr(aPtr), 0)
+	if err == nil {
+		log.Fatal("FAIL: bob read alice's device memory")
+	}
+	fmt.Printf("cross-tenant read refused: %v\n", err)
+
+	// --- 3. Freed memory is cleansed before reuse. ---
+	secret := []byte("alice's trade secrets........")
+	sPtr, err := alice.MemAlloc(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.MemcpyHtoD(sPtr, secret, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.MemFree(sPtr); err != nil {
+		log.Fatal(err)
+	}
+	scav, err := bob.MemAlloc(4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, len(secret))
+	if err := bob.MemcpyDtoH(got, scav, 0); err != nil {
+		log.Fatal(err)
+	}
+	if bytes.Contains(got, []byte("trade secrets")) {
+		log.Fatal("FAIL: residual data leaked across tenants")
+	}
+	fmt.Println("recycled VRAM is cleansed: no residual data visible to the next tenant")
+	fmt.Printf("simulated time: alice %v, bob %v\n", alice.Elapsed(), bob.Elapsed())
+}

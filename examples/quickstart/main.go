@@ -1,0 +1,117 @@
+// Quickstart: boot the HIX platform, open an attested secure session,
+// and run a vector-add GPU kernel on confidential data.
+//
+// The data crosses the untrusted OS only as OCB-AES ciphertext, is
+// decrypted by the in-GPU crypto kernel, processed, re-encrypted on the
+// GPU, and opened again inside the user enclave — the full §4.4 flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/hix"
+)
+
+func main() {
+	// 1. Boot the platform: machine + PCIe fabric + GPU, then the GPU
+	//    enclave (EGCREATE, MMIO lockdown, BIOS + routing measurement).
+	platform, err := hix.NewPlatform(hix.Options{
+		DRAMBytes: 256 << 20,
+		EPCBytes:  16 << 20,
+		VRAMBytes: 128 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("platform up:")
+	fmt.Printf("  GPU enclave   %s (vendor endorsed)\n", platform.GPUEnclaveMeasurement())
+	fmt.Printf("  GPU BIOS      %s (measured at launch)\n", platform.GPUBIOSMeasurement())
+	fmt.Printf("  PCIe lockdown %v\n", platform.LockdownActive())
+
+	// 2. Load a GPU kernel module through the GPU enclave.
+	if err := platform.RegisterKernel(&hix.Kernel{
+		Name: "vec_add_u32",
+		Cost: func(cm hix.CostModel, p [hix.NumKernelParams]uint64) hix.Duration {
+			return cm.ComputeTime(float64(3 * p[3]))
+		},
+		Run: func(e *hix.ExecContext) error {
+			a, b, c, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+			for i := uint64(0); i < n; i++ {
+				va, err := e.U32(a + 4*i)
+				if err != nil {
+					return err
+				}
+				vb, err := e.U32(b + 4*i)
+				if err != nil {
+					return err
+				}
+				if err := e.PutU32(c+4*i, va+vb); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Open a secure session: user-enclave creation, remote + local
+	//    attestation, three-party Diffie-Hellman with the GPU.
+	sess, err := platform.NewSecureSession([]byte("quickstart app v1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// 4. Prepare confidential vectors.
+	const n = 4096
+	a := make([]byte, 4*n)
+	b := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(a[4*i:], uint32(i))
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(1000000-i))
+	}
+
+	// 5. Allocate device memory and copy data in (encrypted end-to-end).
+	aPtr, err := sess.MemAlloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bPtr, err := sess.MemAlloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cPtr, err := sess.MemAlloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.MemcpyHtoD(aPtr, a, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.MemcpyHtoD(bPtr, b, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Launch and read back.
+	if err := sess.Launch("vec_add_u32",
+		hix.Params(uint64(aPtr), uint64(bPtr), uint64(cPtr), n)); err != nil {
+		log.Fatal(err)
+	}
+	c := make([]byte, 4*n)
+	if err := sess.MemcpyDtoH(c, cPtr, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// 7. Verify.
+	for i := 0; i < n; i++ {
+		if got := binary.LittleEndian.Uint32(c[4*i:]); got != 1000000 {
+			log.Fatalf("c[%d] = %d, want 1000000", i, got)
+		}
+	}
+	fmt.Printf("vec_add over %d elements verified; simulated time %v\n", n, sess.Elapsed())
+	fmt.Println("all data crossed the untrusted OS as OCB-AES ciphertext only")
+}

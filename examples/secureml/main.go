@@ -1,0 +1,156 @@
+// Secure ML inference: the paper's motivating scenario — offloading
+// sensitive data (here, patient feature vectors) to a cloud GPU that the
+// cloud's own operating system cannot be trusted with.
+//
+// A linear-classifier inference kernel runs on the GPU over confidential
+// inputs. The example then *plays the adversary*: it scans every
+// OS-visible buffer for the plaintext and shows that only ciphertext is
+// observable, while the computation still produces correct results.
+//
+//	go run ./examples/secureml
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/hix"
+)
+
+const (
+	numPatients = 512
+	numFeatures = 16
+)
+
+func main() {
+	platform, err := hix.NewPlatform(hix.Options{
+		DRAMBytes: 256 << 20,
+		EPCBytes:  16 << 20,
+		VRAMBytes: 128 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Inference kernel: score[i] = sigmoid(w . x_i + b), then a binary
+	// risk flag.
+	if err := platform.RegisterKernel(&hix.Kernel{
+		Name: "linear_infer",
+		Cost: func(cm hix.CostModel, p [hix.NumKernelParams]uint64) hix.Duration {
+			return cm.ComputeTime(float64(2 * p[4] * p[5]))
+		},
+		Run: func(e *hix.ExecContext) error {
+			xPtr, wPtr, outPtr := e.Params[0], e.Params[1], e.Params[2]
+			bias := math.Float32frombits(uint32(e.Params[3]))
+			rows, cols := e.Params[4], e.Params[5]
+			x, err := e.Mem(xPtr, 4*rows*cols)
+			if err != nil {
+				return err
+			}
+			w, err := e.Mem(wPtr, 4*cols)
+			if err != nil {
+				return err
+			}
+			out, err := e.Mem(outPtr, 4*rows)
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < rows; i++ {
+				var dot float64
+				for j := uint64(0); j < cols; j++ {
+					xv := math.Float32frombits(binary.LittleEndian.Uint32(x[4*(i*cols+j):]))
+					wv := math.Float32frombits(binary.LittleEndian.Uint32(w[4*j:]))
+					dot += float64(xv * wv)
+				}
+				score := 1.0 / (1.0 + math.Exp(-(dot + float64(bias))))
+				binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(score)))
+			}
+			return nil
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := platform.NewSecureSession([]byte("hospital inference service"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Confidential patient features, marked so the adversary scan below
+	// has a recognizable plaintext pattern to hunt for.
+	marker := []byte("PHI-RECORD")
+	features := make([]byte, 4*numPatients*numFeatures)
+	for i := 0; i < numPatients; i++ {
+		copy(features[4*i*numFeatures:], marker) // leading features carry the marker bytes
+		for j := 3; j < numFeatures; j++ {
+			v := float32((i*31+j*17)%100) / 100
+			binary.LittleEndian.PutUint32(features[4*(i*numFeatures+j):], math.Float32bits(v))
+		}
+	}
+	// Features 0..2 hold the marker bytes, not measurements: weight 0.
+	weights := make([]byte, 4*numFeatures)
+	for j := 3; j < numFeatures; j++ {
+		binary.LittleEndian.PutUint32(weights[4*j:], math.Float32bits(0.1))
+	}
+
+	// Adversary instrumentation: snoop the inter-enclave shared segment
+	// during every transfer.
+	var leaks, observed int
+	sess.Hooks.AfterDataWrite = func(segOff, n int) {
+		observed++
+		snoop := make([]byte, n)
+		if err := platform.Machine().OS.ShmReadPhys(sess.Segment(), segOff, snoop); err == nil {
+			if bytes.Contains(snoop, marker) {
+				leaks++
+			}
+		}
+	}
+
+	xPtr, err := sess.MemAlloc(uint64(len(features)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wPtr, err := sess.MemAlloc(uint64(len(weights)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	outPtr, err := sess.MemAlloc(4 * numPatients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.MemcpyHtoD(xPtr, features, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.MemcpyHtoD(wPtr, weights, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Launch("linear_infer", hix.Params(
+		uint64(xPtr), uint64(wPtr), uint64(outPtr),
+		uint64(math.Float32bits(-0.64)), numPatients, numFeatures)); err != nil {
+		log.Fatal(err)
+	}
+	scores := make([]byte, 4*numPatients)
+	if err := sess.MemcpyDtoH(scores, outPtr, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Tally results and report the adversary's view.
+	high := 0
+	for i := 0; i < numPatients; i++ {
+		if math.Float32frombits(binary.LittleEndian.Uint32(scores[4*i:])) > 0.5 {
+			high++
+		}
+	}
+	fmt.Printf("inference over %d patients x %d features complete (simulated %v)\n",
+		numPatients, numFeatures, sess.Elapsed())
+	fmt.Printf("high-risk flags: %d/%d\n", high, numPatients)
+	fmt.Printf("adversary observed %d transfer buffers; plaintext leaks: %d\n", observed, leaks)
+	if leaks > 0 {
+		log.Fatal("FAIL: patient data visible to the untrusted OS")
+	}
+	fmt.Println("OK: only OCB-AES ciphertext was visible outside the enclaves and GPU")
+}

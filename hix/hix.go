@@ -1,0 +1,212 @@
+// Package hix is the public API of the HIX reproduction: one import that
+// boots the simulated platform (CPU with SGX+HIX extensions, PCIe fabric,
+// GTX 580-class GPU, untrusted OS), launches the GPU enclave, and hands
+// out attested secure sessions whose API mirrors the CUDA driver API.
+//
+// Quick start:
+//
+//	p, err := hix.NewPlatform(hix.Options{})
+//	...
+//	sess, err := p.NewSecureSession(nil)
+//	...
+//	ptr, _ := sess.MemAlloc(1 << 20)
+//	_ = sess.MemcpyHtoD(ptr, data, 0)
+//	_ = sess.Launch("my_kernel", hix.Params(uint64(ptr), n))
+//	_ = sess.MemcpyDtoH(out, ptr, 0)
+//
+// Everything a session moves crosses the untrusted OS as OCB-AES
+// ciphertext, is decrypted only by the in-GPU crypto kernel, and is
+// protected end-to-end against the privileged adversary of the paper's
+// threat model — see the internal/attack package for the demonstrations.
+package hix
+
+import (
+	"errors"
+
+	"repro/internal/attest"
+	"repro/internal/gdev"
+	"repro/internal/gpu"
+	ihix "repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Re-exported building blocks, so applications need only this package.
+type (
+	// Kernel is a GPU program: a functional implementation plus a
+	// simulated-time cost model.
+	Kernel = gpu.Kernel
+	// ExecContext is the device-side view a running kernel gets.
+	ExecContext = gpu.ExecContext
+	// Session is an attested secure channel to the GPU.
+	Session = hixrt.Session
+	// Ptr is a device memory pointer.
+	Ptr = hixrt.Ptr
+	// Measurement is an SHA-256 code/firmware measurement.
+	Measurement = attest.Measurement
+	// Duration is simulated time.
+	Duration = sim.Duration
+	// CostModel is the platform performance model.
+	CostModel = sim.CostModel
+)
+
+// Errors surfaced to applications.
+var (
+	// ErrAuth indicates data or requests were tampered with in transit.
+	ErrAuth = hixrt.ErrAuth
+	// ErrAttestation indicates the GPU enclave failed attestation.
+	ErrAttestation = hixrt.ErrAttestation
+)
+
+// NumKernelParams is the kernel launch parameter count.
+const NumKernelParams = gpu.NumKernelParams
+
+// Params packs launch parameters.
+func Params(vs ...uint64) [NumKernelParams]uint64 {
+	var p [NumKernelParams]uint64
+	copy(p[:], vs)
+	return p
+}
+
+// DefaultCostModel returns the calibrated platform cost model.
+func DefaultCostModel() CostModel { return sim.Default() }
+
+// Options configures NewPlatform. The zero value reproduces the paper's
+// testbed (Table 3): 1.5 GiB GPU, 96 MiB EPC.
+type Options struct {
+	// VRAMBytes is GPU memory capacity (default 1.5 GiB).
+	VRAMBytes uint64
+	// DRAMBytes is host memory (default 1.75 GiB).
+	DRAMBytes uint64
+	// EPCBytes is the enclave page cache size (default 96 MiB).
+	EPCBytes uint64
+	// Channels is the GPU command channel count (default 8, which also
+	// bounds concurrent sessions).
+	Channels int
+	// Cost overrides the calibrated cost model.
+	Cost *CostModel
+	// PlatformSeed makes the hardware attestation keys deterministic
+	// (tests/benchmarks); empty means random.
+	PlatformSeed string
+	// ExpectedGPUBIOS pins the GPU BIOS measurement; launch fails on
+	// mismatch (§4.2.2). Zero means measure-and-report.
+	ExpectedGPUBIOS Measurement
+}
+
+// Platform is a booted machine with a running, attested GPU enclave.
+type Platform struct {
+	m      *machine.Machine
+	vendor *attest.SigningAuthority
+	ge     *ihix.Enclave
+}
+
+// NewPlatform boots the simulated machine, enumerates the PCIe fabric,
+// and performs the full secure GPU-enclave launch of §4.2: measured
+// enclave build, EGCREATE + MMIO lockdown, EGADD registration, routing
+// and GPU-BIOS measurement, and a cleansing GPU reset.
+func NewPlatform(opts Options) (*Platform, error) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    opts.DRAMBytes,
+		EPCBytes:     opts.EPCBytes,
+		VRAMBytes:    opts.VRAMBytes,
+		Channels:     opts.Channels,
+		Cost:         opts.Cost,
+		PlatformSeed: opts.PlatformSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return nil, err
+	}
+	ge, err := ihix.Launch(ihix.Config{
+		Machine:      m,
+		Vendor:       vendor,
+		ExpectedBIOS: opts.ExpectedGPUBIOS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{m: m, vendor: vendor, ge: ge}, nil
+}
+
+// RegisterKernel loads a GPU kernel module through the GPU enclave.
+func (p *Platform) RegisterKernel(k *Kernel) error { return p.ge.RegisterKernel(k) }
+
+// NewSecureSession creates a user enclave for an application (appImage is
+// its measured code; nil uses a default image), attests the GPU enclave,
+// runs the three-party key agreement, and returns the live session.
+func (p *Platform) NewSecureSession(appImage []byte) (*Session, error) {
+	client, err := hixrt.NewClient(p.m, p.ge, p.vendor.PublicKey(), appImage)
+	if err != nil {
+		return nil, err
+	}
+	return client.OpenSession()
+}
+
+// GPUEnclaveMeasurement returns MRENCLAVE of the GPU enclave, which
+// sessions verify against the vendor endorsement during attestation.
+func (p *Platform) GPUEnclaveMeasurement() Measurement { return p.ge.Measurement() }
+
+// GPUBIOSMeasurement returns the measured GPU firmware hash (§4.2.2).
+func (p *Platform) GPUBIOSMeasurement() Measurement { return p.ge.BIOSMeasurement() }
+
+// RoutingMeasurement returns the measured PCIe routing configuration
+// (§4.3.2).
+func (p *Platform) RoutingMeasurement() Measurement { return p.ge.RoutingMeasurement() }
+
+// LockdownActive reports whether the PCIe MMIO lockdown is engaged.
+func (p *Platform) LockdownActive() bool { return p.m.Fabric.LockdownActive() }
+
+// Shutdown gracefully terminates the GPU enclave: GPU state is cleansed
+// and the device is returned to the OS (§4.2.3).
+func (p *Platform) Shutdown() error { return p.ge.Shutdown() }
+
+// Machine exposes the underlying simulated machine for advanced use
+// (benchmark harnesses, attack research).
+func (p *Platform) Machine() *machine.Machine { return p.m }
+
+// BaselinePlatform is the unprotected configuration the paper compares
+// against: the Gdev driver running inside the untrusted OS.
+type BaselinePlatform struct {
+	m   *machine.Machine
+	drv *gdev.Driver
+}
+
+// BaselineTask is an unprotected Gdev task.
+type BaselineTask = gdev.Task
+
+// NewBaselinePlatform boots a machine with the OS-resident Gdev driver
+// and no protection whatsoever.
+func NewBaselinePlatform(opts Options) (*BaselinePlatform, error) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    opts.DRAMBytes,
+		EPCBytes:     opts.EPCBytes,
+		VRAMBytes:    opts.VRAMBytes,
+		Channels:     opts.Channels,
+		Cost:         opts.Cost,
+		PlatformSeed: opts.PlatformSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	drv, err := gdev.Open(m)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselinePlatform{m: m, drv: drv}, nil
+}
+
+// RegisterKernel loads a kernel module through the OS driver.
+func (b *BaselinePlatform) RegisterKernel(k *Kernel) error { return b.drv.RegisterKernel(k) }
+
+// NewTask creates an unprotected GPU task.
+func (b *BaselinePlatform) NewTask() (*BaselineTask, error) { return b.drv.NewTask() }
+
+// Machine exposes the underlying simulated machine.
+func (b *BaselinePlatform) Machine() *machine.Machine { return b.m }
+
+// ErrNoPlatform is returned when operations run on a nil platform.
+var ErrNoPlatform = errors.New("hix: nil platform")

@@ -1,0 +1,142 @@
+package hix
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testOptions() Options {
+	return Options{
+		DRAMBytes:    256 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    64 << 20,
+		PlatformSeed: "facade-test",
+	}
+}
+
+func TestPlatformLifecycle(t *testing.T) {
+	p, err := NewPlatform(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.LockdownActive() {
+		t.Fatal("lockdown inactive after NewPlatform")
+	}
+	if p.GPUEnclaveMeasurement().IsZero() || p.GPUBIOSMeasurement().IsZero() ||
+		p.RoutingMeasurement().IsZero() {
+		t.Fatal("missing measurements")
+	}
+	if p.Machine() == nil {
+		t.Fatal("nil machine")
+	}
+	if err := p.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureSessionEndToEnd(t *testing.T) {
+	p, err := NewPlatform(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.RegisterKernel(&Kernel{
+		Name: "xor_ff",
+		Run: func(e *ExecContext) error {
+			buf, err := e.Mem(e.Params[0], e.Params[1])
+			if err != nil {
+				return err
+			}
+			for i := range buf {
+				buf[i] ^= 0xFF
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.NewSecureSession([]byte("facade app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	in := []byte{0x00, 0x0F, 0xF0, 0xAA}
+	ptr, err := s.MemAlloc(uint64(len(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch("xor_ff", Params(uint64(ptr), uint64(len(in)))); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{0xFF, 0xF0, 0x0F, 0x55}) {
+		t.Fatalf("result = %x", out)
+	}
+	if s.Elapsed() <= 0 {
+		t.Fatal("no simulated time accounted")
+	}
+}
+
+func TestBIOSPinningThroughFacade(t *testing.T) {
+	p, err := NewPlatform(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := p.GPUBIOSMeasurement()
+	opts := testOptions()
+	opts.ExpectedGPUBIOS = good
+	if _, err := NewPlatform(opts); err != nil {
+		t.Fatalf("pinned platform failed: %v", err)
+	}
+	var bad Measurement
+	bad[0] = 1
+	opts.ExpectedGPUBIOS = bad
+	if _, err := NewPlatform(opts); err == nil {
+		t.Fatal("tampered BIOS accepted")
+	}
+}
+
+func TestBaselinePlatform(t *testing.T) {
+	b, err := NewBaselinePlatform(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RegisterKernel(&Kernel{Name: "noopk"}); err != nil {
+		t.Fatal(err)
+	}
+	task, err := b.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer task.Close()
+	ptr, err := task.MemAlloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.MemcpyHtoD(ptr, []byte("plain"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Machine() == nil {
+		t.Fatal("nil machine")
+	}
+}
+
+func TestParamsHelper(t *testing.T) {
+	p := Params(1, 2, 3)
+	if p[0] != 1 || p[2] != 3 || p[3] != 0 {
+		t.Fatalf("params = %v", p)
+	}
+	if DefaultCostModel().CPULanes == 0 {
+		t.Fatal("zero cost model")
+	}
+	if !errors.Is(ErrNoPlatform, ErrNoPlatform) {
+		t.Fatal("sentinel broken")
+	}
+}

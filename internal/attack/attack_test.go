@@ -1,0 +1,40 @@
+package attack
+
+import "testing"
+
+// TestAttackMatrix is the executable version of the paper's Figure 10:
+// every attack must compromise the baseline and be stopped by HIX.
+func TestAttackMatrix(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			o, err := Run(a)
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			if !o.Baseline.Compromised {
+				t.Errorf("baseline resisted %q unexpectedly: %s", a.Name, o.Baseline.Detail)
+			}
+			if o.HIX.Compromised {
+				t.Errorf("HIX compromised by %q: %s", a.Name, o.HIX.Detail)
+			}
+			t.Logf("baseline: %s", o.Baseline.Detail)
+			t.Logf("hix:      %s", o.HIX.Detail)
+		})
+	}
+}
+
+func TestRunAllCount(t *testing.T) {
+	out, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(All()) {
+		t.Fatalf("RunAll returned %d outcomes, want %d", len(out), len(All()))
+	}
+	for _, o := range out {
+		if o.Name == "" || o.Section == "" || o.Goal == "" {
+			t.Errorf("incomplete outcome metadata: %+v", o)
+		}
+	}
+}

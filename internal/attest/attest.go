@@ -1,0 +1,299 @@
+// Package attest provides the trust-establishment primitives HIX builds
+// on (§4.4.1, §5.5): SHA-256 measurements, SGX-style local attestation
+// reports keyed by a platform secret (the EREPORT/EGETKEY pattern),
+// vendor endorsements for remote attestation, and a multi-party
+// Diffie-Hellman key agreement that lets the user enclave, the GPU
+// enclave, and the GPU itself derive one shared OCB-AES session key.
+package attest
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Measurement is a SHA-256 digest of enclave or device contents
+// (MRENCLAVE-style).
+type Measurement [sha256.Size]byte
+
+// Measure hashes the concatenation of the given byte slices, with length
+// framing so boundary ambiguity cannot produce collisions.
+func Measure(parts ...[]byte) Measurement {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var m Measurement
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+func (m Measurement) String() string { return fmt.Sprintf("%x", m[:8]) }
+
+// IsZero reports whether the measurement is the zero value.
+func (m Measurement) IsZero() bool { return m == Measurement{} }
+
+// ReportDataSize is the size of user-chosen data bound into a report
+// (matches SGX's REPORTDATA).
+const ReportDataSize = 64
+
+// Report is a local attestation report: enclave identity MACed with a key
+// only the target enclave (and the hardware) can derive.
+type Report struct {
+	Source     Measurement // MRENCLAVE of the reporting enclave
+	Target     Measurement // MRENCLAVE of the intended verifier
+	ReportData [ReportDataSize]byte
+	MAC        [sha256.Size]byte
+}
+
+// Platform is the hardware root of trust: it holds the per-CPU secret
+// from which report keys derive. Axiom #1 of the paper's security
+// analysis — the CPU package is trusted — is embodied here.
+type Platform struct {
+	secret [32]byte
+}
+
+// NewPlatform creates a platform with a random hardware secret.
+func NewPlatform() *Platform {
+	p := &Platform{}
+	if _, err := rand.Read(p.secret[:]); err != nil {
+		panic("attest: entropy source failed: " + err.Error())
+	}
+	return p
+}
+
+// NewPlatformFromSeed creates a deterministic platform for tests.
+func NewPlatformFromSeed(seed []byte) *Platform {
+	p := &Platform{}
+	d := sha256.Sum256(seed)
+	copy(p.secret[:], d[:])
+	return p
+}
+
+// reportKey derives the MAC key a given target enclave would receive from
+// EGETKEY.
+func (p *Platform) reportKey(target Measurement) []byte {
+	mac := hmac.New(sha256.New, p.secret[:])
+	mac.Write([]byte("report-key"))
+	mac.Write(target[:])
+	return mac.Sum(nil)
+}
+
+// CreateReport is the EREPORT analogue: the hardware MACs the source
+// enclave's identity and report data under the target's report key.
+func (p *Platform) CreateReport(source, target Measurement, data []byte) (Report, error) {
+	if len(data) > ReportDataSize {
+		return Report{}, fmt.Errorf("attest: report data %d bytes exceeds %d", len(data), ReportDataSize)
+	}
+	r := Report{Source: source, Target: target}
+	copy(r.ReportData[:], data)
+	mac := hmac.New(sha256.New, p.reportKey(target))
+	mac.Write(r.Source[:])
+	mac.Write(r.Target[:])
+	mac.Write(r.ReportData[:])
+	copy(r.MAC[:], mac.Sum(nil))
+	return r, nil
+}
+
+// VerifyReport is the verifier-side check: an enclave with measurement
+// `self` asks the hardware to re-derive its report key and verify r. It
+// returns true only if r was created on this platform targeting self.
+func (p *Platform) VerifyReport(self Measurement, r Report) bool {
+	if r.Target != self {
+		return false
+	}
+	mac := hmac.New(sha256.New, p.reportKey(self))
+	mac.Write(r.Source[:])
+	mac.Write(r.Target[:])
+	mac.Write(r.ReportData[:])
+	return hmac.Equal(mac.Sum(nil), r.MAC[:])
+}
+
+// Endorsement is a vendor signature over a measurement, used for remote
+// attestation of the GPU enclave code's provenance (§5.5, "as being the
+// code provided by the GPU vendor").
+type Endorsement struct {
+	Measurement Measurement
+	Signature   []byte
+}
+
+// SigningAuthority models the vendor/IAS signing service.
+type SigningAuthority struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSigningAuthority creates a vendor key pair.
+func NewSigningAuthority() (*SigningAuthority, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	return &SigningAuthority{priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the verification key to distribute to relying parties.
+func (sa *SigningAuthority) PublicKey() ed25519.PublicKey { return sa.pub }
+
+// Endorse signs a measurement.
+func (sa *SigningAuthority) Endorse(m Measurement) Endorsement {
+	return Endorsement{Measurement: m, Signature: ed25519.Sign(sa.priv, m[:])}
+}
+
+// VerifyEndorsement checks a vendor endorsement for measurement m.
+func VerifyEndorsement(pub ed25519.PublicKey, m Measurement, e Endorsement) bool {
+	return e.Measurement == m && ed25519.Verify(pub, m[:], e.Signature)
+}
+
+// --- Multi-party Diffie-Hellman ---------------------------------------
+
+// RFC 3526 group 14: 2048-bit MODP prime with generator 2. A classic
+// integer group is used (rather than X25519) because the paper's key
+// setup is a *three*-party agreement — user enclave, GPU enclave, GPU —
+// and group DH composes: g^abc is reachable by routing partial
+// exponentiations around the ring.
+var (
+	dhPrime, _ = new(big.Int).SetString(
+		"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"+
+			"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"+
+			"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"+
+			"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"+
+			"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"+
+			"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"+
+			"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF6955817183"+
+			"995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF", 16)
+	dhGen = big.NewInt(2)
+)
+
+// DHParty holds one participant's ephemeral secret exponent.
+type DHParty struct {
+	x *big.Int
+}
+
+// NewDHParty draws a fresh secret exponent from rng (crypto/rand.Reader
+// in production, a deterministic reader in tests).
+func NewDHParty(rng io.Reader) (*DHParty, error) {
+	// 256-bit exponents suffice for a 2048-bit group at this security
+	// level.
+	buf := make([]byte, 32)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, fmt.Errorf("attest: %w", err)
+	}
+	x := new(big.Int).SetBytes(buf)
+	if x.Sign() == 0 {
+		x.SetInt64(1)
+	}
+	return &DHParty{x: x}, nil
+}
+
+// Public returns g^x mod p.
+func (d *DHParty) Public() *big.Int {
+	return new(big.Int).Exp(dhGen, d.x, dhPrime)
+}
+
+// Mix raises a received group element to the party's secret: in^x mod p.
+// Chaining Mix around all parties yields the shared element g^(x1 x2 ...).
+func (d *DHParty) Mix(in *big.Int) (*big.Int, error) {
+	if in == nil || in.Sign() <= 0 || in.Cmp(dhPrime) >= 0 {
+		return nil, errors.New("attest: DH element out of range")
+	}
+	// Reject trivial subgroup elements that would fix the shared secret.
+	if in.Cmp(big.NewInt(1)) == 0 || new(big.Int).Add(in, big.NewInt(1)).Cmp(dhPrime) == 0 {
+		return nil, errors.New("attest: DH element in trivial subgroup")
+	}
+	return new(big.Int).Exp(in, d.x, dhPrime), nil
+}
+
+// SessionKeySize is the derived symmetric key length (AES-128, matching
+// the paper's OCB-AES-128).
+const SessionKeySize = 16
+
+// SessionKey derives the symmetric session key from the shared group
+// element, with domain separation.
+func SessionKey(shared *big.Int) [SessionKeySize]byte {
+	h := sha256.New()
+	h.Write([]byte("hix-session-key-v1"))
+	h.Write(shared.Bytes())
+	var k [SessionKeySize]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// ThreePartyKey runs the full ring protocol among exactly three parties
+// and returns each party's derived key (all equal). It exists both as the
+// production path for session setup and as executable documentation of
+// the message flow:
+//
+//	round 1: each party i publishes g^xi
+//	round 2: each party i mixes the public value of party i-1 and
+//	         forwards g^(x(i-1) xi) to party i+1
+//	final:   each party mixes the round-2 value it received, reaching
+//	         g^(x1 x2 x3)
+func ThreePartyKey(a, b, c *DHParty) (ka, kb, kc [SessionKeySize]byte, err error) {
+	// Round 1.
+	ga, gb, gc := a.Public(), b.Public(), c.Public()
+	// Round 2: b mixes ga -> g^ab (to c); c mixes gb -> g^bc (to a);
+	// a mixes gc -> g^ca (to b).
+	gab, err := b.Mix(ga)
+	if err != nil {
+		return
+	}
+	gbc, err := c.Mix(gb)
+	if err != nil {
+		return
+	}
+	gca, err := a.Mix(gc)
+	if err != nil {
+		return
+	}
+	// Final.
+	sa, err := a.Mix(gbc)
+	if err != nil {
+		return
+	}
+	sb, err := b.Mix(gca)
+	if err != nil {
+		return
+	}
+	sc, err := c.Mix(gab)
+	if err != nil {
+		return
+	}
+	return SessionKey(sa), SessionKey(sb), SessionKey(sc), nil
+}
+
+// NonceSequence issues strictly increasing OCB nonces for one directed
+// channel. The incrementing counter is the paper's replay-attack defense
+// (§5.5): a replayed or reordered message authenticates under the wrong
+// nonce and is rejected.
+type NonceSequence struct {
+	channel uint32
+	counter uint64
+}
+
+// NewNonceSequence creates a sequence for a channel ID; each (key,
+// channel) pair must be unique.
+func NewNonceSequence(channel uint32) *NonceSequence {
+	return &NonceSequence{channel: channel}
+}
+
+// Next returns the next 12-byte nonce.
+func (n *NonceSequence) Next() []byte {
+	n.counter++
+	buf := make([]byte, 12)
+	binary.BigEndian.PutUint32(buf[:4], n.channel)
+	binary.BigEndian.PutUint64(buf[4:], n.counter)
+	return buf
+}
+
+// Counter reports how many nonces have been issued.
+func (n *NonceSequence) Counter() uint64 { return n.counter }

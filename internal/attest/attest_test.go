@@ -1,0 +1,246 @@
+package attest
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeasureDeterministicAndFramed(t *testing.T) {
+	m1 := Measure([]byte("abc"), []byte("def"))
+	m2 := Measure([]byte("abc"), []byte("def"))
+	if m1 != m2 {
+		t.Fatal("measurement not deterministic")
+	}
+	// Length framing: ("abc","def") != ("abcd","ef") != ("abcdef").
+	if m1 == Measure([]byte("abcd"), []byte("ef")) {
+		t.Fatal("boundary collision")
+	}
+	if m1 == Measure([]byte("abcdef")) {
+		t.Fatal("concatenation collision")
+	}
+	if m1.IsZero() {
+		t.Fatal("nonzero input measured to zero")
+	}
+	if (Measurement{}).IsZero() != true {
+		t.Fatal("IsZero on zero value")
+	}
+	if len(m1.String()) != 16 {
+		t.Fatalf("String() = %q", m1.String())
+	}
+}
+
+func TestLocalAttestationRoundtrip(t *testing.T) {
+	p := NewPlatformFromSeed([]byte("platform-1"))
+	src := Measure([]byte("user enclave code"))
+	dst := Measure([]byte("gpu enclave code"))
+	r, err := p.CreateReport(src, dst, []byte("dh-public-binding"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.VerifyReport(dst, r) {
+		t.Fatal("genuine report rejected")
+	}
+	// The wrong verifier cannot validate it.
+	if p.VerifyReport(src, r) {
+		t.Fatal("report accepted by non-target enclave")
+	}
+	// A different platform (different hardware secret) rejects it.
+	p2 := NewPlatformFromSeed([]byte("platform-2"))
+	if p2.VerifyReport(dst, r) {
+		t.Fatal("report accepted on foreign platform")
+	}
+}
+
+func TestReportTamperDetected(t *testing.T) {
+	p := NewPlatformFromSeed([]byte("x"))
+	src := Measure([]byte("src"))
+	dst := Measure([]byte("dst"))
+	r, _ := p.CreateReport(src, dst, []byte("data"))
+
+	bad := r
+	bad.Source[0] ^= 1
+	if p.VerifyReport(dst, bad) {
+		t.Fatal("tampered source accepted")
+	}
+	bad = r
+	bad.ReportData[5] ^= 1
+	if p.VerifyReport(dst, bad) {
+		t.Fatal("tampered report data accepted")
+	}
+	bad = r
+	bad.MAC[0] ^= 1
+	if p.VerifyReport(dst, bad) {
+		t.Fatal("tampered MAC accepted")
+	}
+}
+
+func TestReportDataSizeLimit(t *testing.T) {
+	p := NewPlatformFromSeed([]byte("x"))
+	if _, err := p.CreateReport(Measurement{}, Measurement{}, make([]byte, ReportDataSize+1)); err == nil {
+		t.Fatal("oversized report data accepted")
+	}
+	if _, err := p.CreateReport(Measurement{}, Measurement{}, make([]byte, ReportDataSize)); err != nil {
+		t.Fatalf("max-size report data rejected: %v", err)
+	}
+}
+
+func TestEndorsement(t *testing.T) {
+	sa, err := NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure([]byte("gpu enclave v1"))
+	e := sa.Endorse(m)
+	if !VerifyEndorsement(sa.PublicKey(), m, e) {
+		t.Fatal("genuine endorsement rejected")
+	}
+	other := Measure([]byte("malicious enclave"))
+	if VerifyEndorsement(sa.PublicKey(), other, e) {
+		t.Fatal("endorsement transferred to other measurement")
+	}
+	bad := e
+	bad.Signature = append([]byte(nil), e.Signature...)
+	bad.Signature[0] ^= 1
+	if VerifyEndorsement(sa.PublicKey(), m, bad) {
+		t.Fatal("forged signature accepted")
+	}
+}
+
+func TestDHGroupParameters(t *testing.T) {
+	if dhPrime == nil {
+		t.Fatal("prime failed to parse")
+	}
+	if dhPrime.BitLen() != 2048 {
+		t.Fatalf("group prime bit length = %d, want 2048 (RFC 3526 group 14)", dhPrime.BitLen())
+	}
+	if !dhPrime.ProbablyPrime(20) {
+		t.Fatal("group modulus is not prime")
+	}
+	// Safe prime: (p-1)/2 is also prime.
+	q := new(big.Int).Rsh(new(big.Int).Sub(dhPrime, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(20) {
+		t.Fatal("group modulus is not a safe prime")
+	}
+}
+
+func TestThreePartyKeyAgreement(t *testing.T) {
+	a, err := NewDHParty(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewDHParty(rand.Reader)
+	c, _ := NewDHParty(rand.Reader)
+	ka, kb, kc, err := ThreePartyKey(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb || kb != kc {
+		t.Fatal("three-party keys disagree")
+	}
+	if ka == ([SessionKeySize]byte{}) {
+		t.Fatal("derived key is zero")
+	}
+	// A different set of parties derives a different key.
+	d, _ := NewDHParty(rand.Reader)
+	ka2, _, _, err := ThreePartyKey(a, b, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka2 == ka {
+		t.Fatal("distinct sessions derived the same key")
+	}
+}
+
+func TestTwoPartyViaMix(t *testing.T) {
+	a, _ := NewDHParty(rand.Reader)
+	b, _ := NewDHParty(rand.Reader)
+	sa, err := a.Mix(b.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Mix(a.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SessionKey(sa) != SessionKey(sb) {
+		t.Fatal("two-party DH disagreement")
+	}
+}
+
+func TestMixRejectsDegenerateElements(t *testing.T) {
+	a, _ := NewDHParty(rand.Reader)
+	for _, bad := range []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(-3),
+		new(big.Int).Sub(dhPrime, big.NewInt(1)), // order-2 element
+		dhPrime,
+		new(big.Int).Add(dhPrime, big.NewInt(5)),
+	} {
+		if _, err := a.Mix(bad); err == nil {
+			t.Errorf("Mix accepted degenerate element %v", bad)
+		}
+	}
+}
+
+func TestNewDHPartyZeroGuard(t *testing.T) {
+	// A reader returning all zeros must still yield a usable party.
+	p, err := NewDHParty(bytes.NewReader(make([]byte, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Public().Sign() <= 0 {
+		t.Fatal("degenerate public value")
+	}
+}
+
+func TestNonceSequence(t *testing.T) {
+	n := NewNonceSequence(7)
+	first := n.Next()
+	second := n.Next()
+	if len(first) != 12 || len(second) != 12 {
+		t.Fatalf("nonce lengths %d/%d", len(first), len(second))
+	}
+	if bytes.Equal(first, second) {
+		t.Fatal("nonces repeat")
+	}
+	if n.Counter() != 2 {
+		t.Fatalf("counter = %d", n.Counter())
+	}
+	// Different channels never collide even at equal counters.
+	m := NewNonceSequence(8)
+	if bytes.Equal(m.Next(), first) {
+		t.Fatal("cross-channel nonce collision")
+	}
+}
+
+// Property: nonces within one sequence are unique over many draws.
+func TestNonceUniquenessProperty(t *testing.T) {
+	n := NewNonceSequence(1)
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		s := string(n.Next())
+		if seen[s] {
+			t.Fatalf("duplicate nonce at draw %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: session keys are a function of the shared element only.
+func TestSessionKeyDeterminismProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		if x == 0 {
+			x = 1
+		}
+		v := new(big.Int).SetUint64(x)
+		return SessionKey(v) == SessionKey(new(big.Int).Set(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

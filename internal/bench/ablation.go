@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gdev"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out:
+// single-copy vs double-copy (§4.4.2), pipelined vs serialized crypto
+// (§5.2), MMIO vs DMA data paths (§4.4.2), and the sensitivity of
+// multi-user performance to the GPU context-switch cost (§4.5).
+
+// Ablation compares a design choice on the same workload.
+type Ablation struct {
+	Label    string
+	Chosen   sim.Duration // the HIX design as published
+	Naive    sim.Duration // the alternative
+	Workload string
+}
+
+// Benefit is the naive design's slowdown relative to the chosen design.
+func (a Ablation) Benefit() float64 {
+	if a.Chosen == 0 {
+		return 0
+	}
+	return float64(a.Naive-a.Chosen)/float64(a.Chosen) + 0
+}
+
+// AblationSingleCopy measures the single-copy optimization on the
+// largest matrix-addition transfer (most copy-bound workload).
+func AblationSingleCopy() (Ablation, error) {
+	newW := func() workloads.Workload { return workloads.NewMatrixSynthetic(8192, false) }
+	single, err := RunHIX(newW())
+	if err != nil {
+		return Ablation{}, err
+	}
+	double, err := RunHIX(newW(), func(s *hixrt.Session) { s.DoubleCopy = true })
+	if err != nil {
+		return Ablation{}, err
+	}
+	return Ablation{
+		Label: "single-copy vs double-copy (§4.4.2)", Chosen: single, Naive: double,
+		Workload: "matrix-add-8192",
+	}, nil
+}
+
+// AblationPipelining measures the §5.2 encrypt/copy overlap.
+func AblationPipelining() (Ablation, error) {
+	newW := func() workloads.Workload { return workloads.NewMatrixSynthetic(8192, false) }
+	pipelined, err := RunHIX(newW())
+	if err != nil {
+		return Ablation{}, err
+	}
+	serialized, err := RunHIX(newW(), func(s *hixrt.Session) { s.NoPipeline = true })
+	if err != nil {
+		return Ablation{}, err
+	}
+	return Ablation{
+		Label: "pipelined vs serialized crypto (§5.2)", Chosen: pipelined, Naive: serialized,
+		Workload: "matrix-add-8192",
+	}, nil
+}
+
+// MMIOvsDMARow compares the two baseline copy paths at one size.
+type MMIOvsDMARow struct {
+	Bytes int
+	DMA   sim.Duration
+	MMIO  sim.Duration
+}
+
+// AblationMMIOvsDMA sweeps transfer sizes over both copy mechanisms
+// (§4.4.2 lists both; DMA wins for bulk transfers).
+func AblationMMIOvsDMA() ([]MMIOvsDMARow, error) {
+	var rows []MMIOvsDMARow
+	for _, kb := range []int{4, 16, 64, 256, 1024, 4096} {
+		n := kb << 10
+		dma, err := measureGdevCopy(n, false)
+		if err != nil {
+			return nil, err
+		}
+		mmio, err := measureGdevCopy(n, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MMIOvsDMARow{Bytes: n, DMA: dma, MMIO: mmio})
+	}
+	return rows, nil
+}
+
+func measureGdevCopy(n int, forceMMIO bool) (sim.Duration, error) {
+	m, err := machine.New(machineConfig())
+	if err != nil {
+		return 0, err
+	}
+	d, err := gdev.Open(m)
+	if err != nil {
+		return 0, err
+	}
+	task, err := d.NewTask()
+	if err != nil {
+		return 0, err
+	}
+	defer task.Close()
+	task.ForceMMIO = forceMMIO
+	ptr, err := task.MemAlloc(uint64(n))
+	if err != nil {
+		return 0, err
+	}
+	before := task.Now()
+	data := make([]byte, n)
+	if err := task.MemcpyHtoD(ptr, data, n); err != nil {
+		return 0, err
+	}
+	return task.Now().Sub(before), nil
+}
+
+// CtxSwitchPoint is one sensitivity-sweep sample: multi-user HIX
+// overhead at a given context-switch cost.
+type CtxSwitchPoint struct {
+	SwitchCost  sim.Duration
+	HIXOverGdev float64 // average across apps, 2 users
+}
+
+// AblationCtxSwitch sweeps the GPU context-switch cost and reports the
+// two-user HIX-vs-Gdev overhead on a transfer-heavy app (NW). The paper
+// attributes much of the multi-user cost to "increased context switches"
+// (§5.4); Volta-style zero-cost switching is the leftmost point.
+func AblationCtxSwitch() ([]CtxSwitchPoint, error) {
+	var out []CtxSwitchPoint
+	for _, us := range []int{0, 25, 55, 110, 220} {
+		cost := sim.Default()
+		cost.ContextSwitch = sim.Duration(us) * 1000
+		gN, err := runMultiWithCost(func() workloads.Workload { return workloads.PaperNW() }, 2, cost, false)
+		if err != nil {
+			return nil, err
+		}
+		hN, err := runMultiWithCost(func() workloads.Workload { return workloads.PaperNW() }, 2, cost, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CtxSwitchPoint{
+			SwitchCost:  cost.ContextSwitch,
+			HIXOverGdev: float64(hN-gN) / float64(gN),
+		})
+	}
+	return out, nil
+}
+
+func runMultiWithCost(newW func() workloads.Workload, users int, cost sim.CostModel, hixMode bool) (sim.Duration, error) {
+	if hixMode {
+		return runHIXMultiCfg(newW, users, machine.Config{PlatformSeed: "ablate", Cost: &cost})
+	}
+	return runGdevMultiCfg(newW, users, machine.Config{PlatformSeed: "ablate", Cost: &cost})
+}
+
+// String renders an ablation result line.
+func (a Ablation) String() string {
+	return fmt.Sprintf("%-42s %-16s chosen=%-12v naive=%-12v (naive +%.1f%%)",
+		a.Label, a.Workload, a.Chosen, a.Naive, 100*a.Benefit())
+}

@@ -1,0 +1,446 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§5.3–§5.4) on the simulated
+// platform, plus the ablations DESIGN.md calls out. Each experiment
+// builds a fresh machine so runs are independent; paper-scale workloads
+// execute with synthetic payloads (timing-only), which by construction
+// cost exactly the same simulated time as real payloads.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/gdev"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// machineConfig is the platform configuration used by all experiments
+// (Table 3-equivalent).
+func machineConfig() machine.Config {
+	return machine.Config{PlatformSeed: "hix-bench"}
+}
+
+// Measurement is one workload measured on both runtimes.
+type Measurement struct {
+	Label string
+	Gdev  sim.Duration
+	HIX   sim.Duration
+}
+
+// Overhead is HIX's relative slowdown: (HIX - Gdev) / Gdev.
+func (m Measurement) Overhead() float64 {
+	if m.Gdev == 0 {
+		return 0
+	}
+	return float64(m.HIX-m.Gdev) / float64(m.Gdev)
+}
+
+// Ratio is HIX / Gdev.
+func (m Measurement) Ratio() float64 {
+	if m.Gdev == 0 {
+		return 0
+	}
+	return float64(m.HIX) / float64(m.Gdev)
+}
+
+// SessionOption tweaks the HIX session for ablations.
+type SessionOption func(*hixrt.Session)
+
+// TaskOption tweaks the Gdev task for ablations.
+type TaskOption func(*gdev.Task)
+
+// RunGdev measures one workload on a fresh baseline stack with synthetic
+// timing.
+func RunGdev(w workloads.Workload, opts ...TaskOption) (sim.Duration, error) {
+	m, err := machine.New(machineConfig())
+	if err != nil {
+		return 0, err
+	}
+	d, err := gdev.Open(m)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range w.Kernels() {
+		if err := d.RegisterKernel(k); err != nil {
+			return 0, err
+		}
+	}
+	task, err := d.NewTask()
+	if err != nil {
+		return 0, err
+	}
+	defer task.Close()
+	task.Synthetic = true
+	for _, o := range opts {
+		o(task)
+	}
+	if err := w.Run(workloads.GdevRunner{Task: task}); err != nil {
+		return 0, err
+	}
+	return task.Elapsed(), nil
+}
+
+// RunHIX measures one workload on a fresh HIX stack with synthetic
+// timing.
+func RunHIX(w workloads.Workload, opts ...SessionOption) (sim.Duration, error) {
+	m, err := machine.New(machineConfig())
+	if err != nil {
+		return 0, err
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return 0, err
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range w.Kernels() {
+		if err := ge.RegisterKernel(k); err != nil {
+			return 0, err
+		}
+	}
+	client, err := hixrt.NewClient(m, ge, vendor.PublicKey(), nil)
+	if err != nil {
+		return 0, err
+	}
+	s, err := client.OpenSession()
+	if err != nil {
+		return 0, err
+	}
+	s.Synthetic = true
+	for _, o := range opts {
+		o(s)
+	}
+	if err := w.Run(workloads.HIXRunner{Session: s}); err != nil {
+		return 0, err
+	}
+	elapsed := s.Elapsed()
+	if err := s.Close(); err != nil {
+		return 0, err
+	}
+	_ = elapsed
+	return elapsed, nil
+}
+
+// Compare measures one workload on both runtimes.
+func Compare(w func() workloads.Workload, label string) (Measurement, error) {
+	g, err := RunGdev(w())
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s on gdev: %w", label, err)
+	}
+	h, err := RunHIX(w())
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s on hix: %w", label, err)
+	}
+	return Measurement{Label: label, Gdev: g, HIX: h}, nil
+}
+
+// --- Table 4 / Figure 6: matrix microbenchmarks ---------------------------
+
+// Table4Row reproduces one row of Table 4.
+type Table4Row struct {
+	N         int
+	HtoDBytes int64
+	DtoHBytes int64
+	Total     int64
+}
+
+// Table4 regenerates the matrix size table.
+func Table4() []Table4Row {
+	var rows []Table4Row
+	for _, n := range workloads.PaperMatrixSizes {
+		sp := workloads.NewMatrixSynthetic(n, false).Spec()
+		rows = append(rows, Table4Row{
+			N: n, HtoDBytes: sp.HtoDBytes, DtoHBytes: sp.DtoHBytes,
+			Total: sp.HtoDBytes + sp.DtoHBytes,
+		})
+	}
+	return rows
+}
+
+// Fig6 regenerates Figure 6: matrix add and mul execution times under
+// Gdev and HIX for each Table 4 size.
+func Fig6() ([]Measurement, error) {
+	var out []Measurement
+	for _, mul := range []bool{false, true} {
+		for _, n := range workloads.PaperMatrixSizes {
+			n, mul := n, mul
+			op := "add"
+			if mul {
+				op = "mul"
+			}
+			m, err := Compare(func() workloads.Workload {
+				return workloads.NewMatrixSynthetic(n, mul)
+			}, fmt.Sprintf("matrix-%s-%d", op, n))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// --- Table 5 / Figure 7: Rodinia single-user -------------------------------
+
+// Table5 regenerates the Rodinia application table.
+func Table5() []workloads.Spec {
+	var out []workloads.Spec
+	for _, w := range workloads.PaperRodinia() {
+		out = append(out, w.Spec())
+	}
+	return out
+}
+
+// rodiniaFactories returns constructors for the paper-scale apps in
+// Table 5 order.
+func rodiniaFactories() []struct {
+	Name string
+	New  func() workloads.Workload
+} {
+	return []struct {
+		Name string
+		New  func() workloads.Workload
+	}{
+		{"bp", func() workloads.Workload { return workloads.PaperBP() }},
+		{"bfs", func() workloads.Workload { return workloads.PaperBFS() }},
+		{"gs", func() workloads.Workload { return workloads.PaperGS() }},
+		{"hs", func() workloads.Workload { return workloads.PaperHS() }},
+		{"lud", func() workloads.Workload { return workloads.PaperLUD() }},
+		{"nw", func() workloads.Workload { return workloads.PaperNW() }},
+		{"nn", func() workloads.Workload { return workloads.PaperNN() }},
+		{"pf", func() workloads.Workload { return workloads.PaperPF() }},
+		{"srad", func() workloads.Workload { return workloads.PaperSRAD() }},
+	}
+}
+
+// Fig7 regenerates Figure 7: single-user Rodinia execution times.
+func Fig7() ([]Measurement, error) {
+	var out []Measurement
+	for _, f := range rodiniaFactories() {
+		m, err := Compare(f.New, f.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// AverageOverhead computes the mean relative overhead across
+// measurements (the paper's "26.8% slower on average").
+func AverageOverhead(ms []Measurement) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += m.Overhead()
+	}
+	return sum / float64(len(ms))
+}
+
+// --- Figures 8 and 9: multi-user execution ---------------------------------
+
+// MultiMeasurement is one app's multi-user result, normalized to the
+// single-user Gdev time (the paper's Figures 8/9 normalization).
+type MultiMeasurement struct {
+	Label    string
+	Users    int
+	GdevSolo sim.Duration
+	GdevN    sim.Duration // makespan of N concurrent Gdev users
+	HIXN     sim.Duration // makespan of N concurrent HIX users
+}
+
+// GdevNorm is GdevN normalized to the single-user Gdev run.
+func (m MultiMeasurement) GdevNorm() float64 { return float64(m.GdevN) / float64(m.GdevSolo) }
+
+// HIXNorm is HIXN normalized to the single-user Gdev run.
+func (m MultiMeasurement) HIXNorm() float64 { return float64(m.HIXN) / float64(m.GdevSolo) }
+
+// HIXOverGdev is the multi-user overhead of HIX relative to Gdev at the
+// same user count.
+func (m MultiMeasurement) HIXOverGdev() float64 {
+	return float64(m.HIXN-m.GdevN) / float64(m.GdevN)
+}
+
+// runGdevMulti runs `users` concurrent instances of a workload on one
+// baseline machine and returns the makespan.
+func runGdevMulti(newW func() workloads.Workload, users int) (sim.Duration, error) {
+	return runGdevMultiCfg(newW, users, machineConfig())
+}
+
+func runGdevMultiCfg(newW func() workloads.Workload, users int, cfg machine.Config) (sim.Duration, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	d, err := gdev.Open(m)
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range newW().Kernels() {
+		if err := d.RegisterKernel(k); err != nil {
+			return 0, err
+		}
+	}
+	tasks := make([]*gdev.Task, users)
+	for i := range tasks {
+		t, err := d.NewTask()
+		if err != nil {
+			return 0, err
+		}
+		t.Synthetic = true
+		tasks[i] = t
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = newW().Run(workloads.GdevRunner{Task: tasks[i]})
+		}(i)
+	}
+	wg.Wait()
+	var makespan sim.Time
+	for i, t := range tasks {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		if t.Now() > makespan {
+			makespan = t.Now()
+		}
+		t.Close()
+	}
+	return sim.Duration(makespan), nil
+}
+
+// runHIXMulti runs `users` concurrent secure sessions on one machine.
+func runHIXMulti(newW func() workloads.Workload, users int) (sim.Duration, error) {
+	return runHIXMultiCfg(newW, users, machineConfig())
+}
+
+func runHIXMultiCfg(newW func() workloads.Workload, users int, cfg machine.Config) (sim.Duration, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return 0, err
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range newW().Kernels() {
+		if err := ge.RegisterKernel(k); err != nil {
+			return 0, err
+		}
+	}
+	sessions := make([]*hixrt.Session, users)
+	for i := range sessions {
+		client, err := hixrt.NewClient(m, ge, vendor.PublicKey(),
+			[]byte(fmt.Sprintf("tenant %d", i)))
+		if err != nil {
+			return 0, err
+		}
+		s, err := client.OpenSession()
+		if err != nil {
+			return 0, err
+		}
+		s.Synthetic = true
+		sessions[i] = s
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, users)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = newW().Run(workloads.HIXRunner{Session: sessions[i]})
+		}(i)
+	}
+	wg.Wait()
+	var makespan sim.Time
+	for i, s := range sessions {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		if s.Now() > makespan {
+			makespan = s.Now()
+		}
+	}
+	return sim.Duration(makespan), nil
+}
+
+// MultiUser regenerates Figure 8 (users=2) or Figure 9 (users=4).
+func MultiUser(users int) ([]MultiMeasurement, error) {
+	var out []MultiMeasurement
+	for _, f := range rodiniaFactories() {
+		solo, err := RunGdev(f.New())
+		if err != nil {
+			return nil, err
+		}
+		gN, err := runGdevMulti(f.New, users)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s gdev x%d: %w", f.Name, users, err)
+		}
+		hN, err := runHIXMulti(f.New, users)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s hix x%d: %w", f.Name, users, err)
+		}
+		out = append(out, MultiMeasurement{
+			Label: f.Name, Users: users, GdevSolo: solo, GdevN: gN, HIXN: hN,
+		})
+	}
+	return out, nil
+}
+
+// MultiUserVolta reruns the Figure 8/9 experiment on a GPU with
+// Volta-style concurrent multi-context execution — the §5.4 prediction
+// that "the performance degradation is expected to be significantly
+// reduced" once context switching is no longer required.
+func MultiUserVolta(users int) ([]MultiMeasurement, error) {
+	cfg := machineConfig()
+	cfg.VoltaStyle = true
+	var out []MultiMeasurement
+	for _, f := range rodiniaFactories() {
+		solo, err := RunGdev(f.New())
+		if err != nil {
+			return nil, err
+		}
+		gN, err := runGdevMultiCfg(f.New, users, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hN, err := runHIXMultiCfg(f.New, users, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MultiMeasurement{
+			Label: f.Name, Users: users, GdevSolo: solo, GdevN: gN, HIXN: hN,
+		})
+	}
+	return out, nil
+}
+
+// AverageMultiOverhead averages HIXOverGdev across apps (the paper's
+// "45.2% worse with two users, 39.7% with four").
+func AverageMultiOverhead(ms []MultiMeasurement) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += m.HIXOverGdev()
+	}
+	return sum / float64(len(ms))
+}

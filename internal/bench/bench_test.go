@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestTable4(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].HtoDBytes != 32<<20 || rows[0].DtoHBytes != 16<<20 || rows[0].Total != 48<<20 {
+		t.Fatalf("2048 row = %+v", rows[0])
+	}
+	if rows[3].Total != 1452<<20 {
+		t.Fatalf("11264 total = %d", rows[3].Total)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	specs := Table5()
+	if len(specs) != 9 {
+		t.Fatalf("apps = %d", len(specs))
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	ms, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 8 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	for _, m := range ms {
+		t.Logf("%-18s gdev=%-14v hix=%-14v ratio=%.2fx", m.Label, m.Gdev, m.HIX, m.Ratio())
+	}
+	// Shape assertions (paper Figure 6):
+	// add is substantially slower under HIX at every size...
+	for _, m := range ms[:4] {
+		if m.Ratio() < 1.1 {
+			t.Errorf("%s: HIX should be clearly slower (ratio %.2f)", m.Label, m.Ratio())
+		}
+	}
+	// ...and the largest add is in the ~2-3x band.
+	if r := ms[3].Ratio(); r < 1.8 || r > 3.2 {
+		t.Errorf("add-11264 ratio %.2f outside [1.8, 3.2] (paper ~2.5x)", r)
+	}
+	// mul overhead at 11264 is single-digit-ish percent (paper 6.34%).
+	if o := ms[7].Overhead(); o < 0.01 || o > 0.15 {
+		t.Errorf("mul-11264 overhead %.1f%% outside [1%%, 15%%] (paper 6.34%%)", 100*o)
+	}
+	// mul overhead is always far below add overhead at the same size.
+	for i := 0; i < 4; i++ {
+		if ms[4+i].Overhead() >= ms[i].Overhead() {
+			t.Errorf("mul overhead %.2f >= add overhead %.2f at size %s",
+				ms[4+i].Overhead(), ms[i].Overhead(), ms[i].Label)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	ms, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 9 {
+		t.Fatalf("apps = %d", len(ms))
+	}
+	byName := map[string]Measurement{}
+	for _, m := range ms {
+		byName[m.Label] = m
+		t.Logf("%-6s gdev=%-14v hix=%-14v overhead=%+.1f%%", m.Label, m.Gdev, m.HIX, 100*m.Overhead())
+	}
+	avg := AverageOverhead(ms)
+	t.Logf("average overhead: %+.1f%% (paper: +26.8%%)", 100*avg)
+
+	// Shape (paper Figure 7):
+	// average in the ~20-35% band;
+	if avg < 0.15 || avg > 0.40 {
+		t.Errorf("average overhead %.1f%% outside [15%%, 40%%]", 100*avg)
+	}
+	// transfer-heavy apps are the worst, PF the maximum;
+	for _, name := range []string{"bp", "nw", "pf"} {
+		if byName[name].Overhead() < 0.5 {
+			t.Errorf("%s overhead %.1f%% should exceed 50%%", name, 100*byName[name].Overhead())
+		}
+	}
+	for name, m := range byName {
+		if name != "pf" && m.Overhead() > byName["pf"].Overhead() {
+			t.Errorf("%s overhead exceeds pf's (paper: pf worst)", name)
+		}
+	}
+	// GS is comparable (within ~10%);
+	if o := byName["gs"].Overhead(); o < -0.05 || o > 0.10 {
+		t.Errorf("gs overhead %.1f%% not comparable", 100*o)
+	}
+	// HS, LUD, NN run at or slightly below Gdev (task-init advantage).
+	for _, name := range []string{"hs", "lud", "nn"} {
+		if o := byName[name].Overhead(); o > 0.02 {
+			t.Errorf("%s overhead %.1f%% should be <= ~0 (HIX slightly faster)", name, 100*o)
+		}
+	}
+}
+
+func TestMultiUserShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-user sweep in -short mode")
+	}
+	for _, users := range []int{2, 4} {
+		ms, err := MultiUser(users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			t.Logf("%d users %-6s gdevN=%.2fx hixN=%.2fx (+%.1f%%)",
+				users, m.Label, m.GdevNorm(), m.HIXNorm(), 100*m.HIXOverGdev())
+		}
+		avg := AverageMultiOverhead(ms)
+		t.Logf("%d users: average HIX-over-Gdev %+.1f%% (paper: %s)",
+			users, 100*avg, map[int]string{2: "+45.2%", 4: "+39.7%"}[users])
+		if avg < 0.15 || avg > 0.80 {
+			t.Errorf("%d-user average overhead %.1f%% outside [15%%, 80%%]", users, 100*avg)
+		}
+		for _, m := range ms {
+			// HIX may beat Gdev only through its task-init advantage
+			// (small apps like NN); anything beyond ~25% would mean
+			// crypto costs vanished.
+			if float64(m.HIXN) < 0.75*float64(m.GdevN) {
+				t.Errorf("%d users %s: HIX %v << Gdev %v", users, m.Label, m.HIXN, m.GdevN)
+			}
+			if m.GdevNorm() < 0.95 {
+				t.Errorf("%d users %s: GdevNorm %.2f < 1", users, m.Label, m.GdevNorm())
+			}
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc, err := AblationSingleCopy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(sc.String())
+	if sc.Naive <= sc.Chosen {
+		t.Error("double-copy should be slower than single-copy")
+	}
+	pl, err := AblationPipelining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(pl.String())
+	if pl.Naive <= pl.Chosen {
+		t.Error("serialized crypto should be slower than pipelined")
+	}
+	rows, err := AblationMMIOvsDMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("copy %8d B: dma=%-12v mmio=%-12v", r.Bytes, r.DMA, r.MMIO)
+	}
+	// DMA must win for bulk transfers (the crossover motivates §2.3).
+	last := rows[len(rows)-1]
+	if last.DMA >= last.MMIO {
+		t.Error("DMA should beat MMIO for bulk copies")
+	}
+}
+
+func TestAblationCtxSwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ctx-switch sweep in -short mode")
+	}
+	pts, err := AblationCtxSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		t.Logf("switch=%-8v hix-over-gdev=%+.1f%%", p.SwitchCost, 100*p.HIXOverGdev)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"sort"
+
+	"repro/internal/attest"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ResourceShare is one resource's busy time during a run.
+type ResourceShare struct {
+	Resource sim.Resource
+	Busy     sim.Duration
+	Share    float64 // fraction of the run's makespan
+}
+
+// Breakdown decomposes a HIX run into per-resource busy time — the
+// analysis behind the paper's observation that "the majority of
+// performance overheads in HIX are from the authenticated encryption
+// overheads between the user enclave and GPU" (§5.3.1).
+type Breakdown struct {
+	Label    string
+	Total    sim.Duration
+	Shares   []ResourceShare
+	CryptoNS sim.Duration // host-side OCB time (all lanes)
+}
+
+// BreakdownHIX runs a workload on a traced HIX stack and reports where
+// the time went.
+func BreakdownHIX(w workloads.Workload, label string) (Breakdown, error) {
+	m, err := machine.New(machineConfig())
+	if err != nil {
+		return Breakdown{}, err
+	}
+	m.Timeline.EnableTrace()
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		return Breakdown{}, err
+	}
+	for _, k := range w.Kernels() {
+		if err := ge.RegisterKernel(k); err != nil {
+			return Breakdown{}, err
+		}
+	}
+	client, err := hixrt.NewClient(m, ge, vendor.PublicKey(), nil)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	s, err := client.OpenSession()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	s.Synthetic = true
+	if err := w.Run(workloads.HIXRunner{Session: s}); err != nil {
+		return Breakdown{}, err
+	}
+	total := s.Elapsed()
+
+	busy := map[sim.Resource]sim.Duration{}
+	for _, iv := range m.Timeline.Trace() {
+		busy[iv.Resource] += iv.End.Sub(iv.Start)
+	}
+	out := Breakdown{Label: label, Total: total}
+	for r, d := range busy {
+		out.Shares = append(out.Shares, ResourceShare{
+			Resource: r, Busy: d, Share: float64(d) / float64(total),
+		})
+	}
+	sort.Slice(out.Shares, func(i, j int) bool { return out.Shares[i].Busy > out.Shares[j].Busy })
+	for lane := 0; lane < m.Cost.CPULanes; lane++ {
+		out.CryptoNS += busy[sim.CryptoLane(lane)]
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// PagingPoint is one sample of the demand-paging sweep: total working set
+// (as a fraction of VRAM) versus the time of one round-robin pass over
+// all managed buffers.
+type PagingPoint struct {
+	Buffers   int
+	WorkingMB int
+	VRAMMB    int
+	PassTime  sim.Duration
+	Evictions uint64
+	PageIns   uint64
+}
+
+// PagingSweep measures the secure demand-paging extension (§5.6 future
+// work): managed buffers are touched round robin while the total working
+// set grows past VRAM capacity. Below capacity the pass is free of
+// paging; beyond it every touch pays an encrypted eviction + verified
+// page-in, bounding the cliff.
+func PagingSweep() ([]PagingPoint, error) {
+	const (
+		vramMB = 96
+		bufMB  = 16
+		passes = 2
+	)
+	var out []PagingPoint
+	for _, buffers := range []int{2, 4, 6, 8, 10} {
+		m, err := machine.New(machine.Config{
+			DRAMBytes:    512 << 20,
+			EPCBytes:     16 << 20,
+			VRAMBytes:    vramMB << 20,
+			Channels:     8,
+			PlatformSeed: "paging-bench",
+		})
+		if err != nil {
+			return nil, err
+		}
+		vendor, err := attest.NewSigningAuthority()
+		if err != nil {
+			return nil, err
+		}
+		ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+		if err != nil {
+			return nil, err
+		}
+		client, err := hixrt.NewClient(m, ge, vendor.PublicKey(), nil)
+		if err != nil {
+			return nil, err
+		}
+		s, err := client.OpenSession()
+		if err != nil {
+			return nil, err
+		}
+		s.Synthetic = true
+
+		ptrs := make([]hixrt.Ptr, buffers)
+		for i := range ptrs {
+			ptrs[i], err = s.ManagedAlloc(bufMB << 20)
+			if err != nil {
+				return nil, fmt.Errorf("bench: paging alloc %d: %w", i, err)
+			}
+		}
+		// Warm pass establishes residency (and first evictions), then
+		// the measured passes touch every buffer round robin.
+		for _, p := range ptrs {
+			if err := s.MemcpyHtoD(p, nil, bufMB<<20); err != nil {
+				return nil, err
+			}
+		}
+		start := s.Now()
+		for pass := 0; pass < passes; pass++ {
+			for _, p := range ptrs {
+				if err := s.MemcpyDtoH(nil, p, bufMB<<20); err != nil {
+					return nil, err
+				}
+			}
+		}
+		stats := ge.ManagedStats()
+		out = append(out, PagingPoint{
+			Buffers:   buffers,
+			WorkingMB: buffers * bufMB,
+			VRAMMB:    vramMB,
+			PassTime:  s.Now().Sub(start) / passes,
+			Evictions: stats.Evictions,
+			PageIns:   stats.PageIns,
+		})
+	}
+	return out, nil
+}

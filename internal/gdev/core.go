@@ -1,0 +1,322 @@
+// Package gdev implements the GPU driver core and the baseline
+// (unprotected) Gdev-style CUDA runtime the paper compares against
+// (§5.2). The driver core — command submission, fence polling, VRAM
+// management — is shared with the HIX GPU enclave, which runs the same
+// refactored driver inside SGX (§4.2); the two differ only in how they
+// reach the device MMIO and in what security work they add around the
+// data path.
+package gdev
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// MMIO abstracts how the driver reaches the GPU's BARs: the baseline
+// driver goes through kernel mappings of the untrusted OS; the HIX GPU
+// enclave goes through TGMR-validated enclave mappings. Offsets are
+// BAR-relative.
+type MMIO interface {
+	ReadBar0(off uint64, p []byte) error
+	WriteBar0(off uint64, p []byte) error
+	ReadBar1(off uint64, p []byte) error
+	WriteBar1(off uint64, p []byte) error
+}
+
+// Core is the device-control half of the driver: command encoding and
+// submission, fence/status polling, response readout, aperture copies,
+// and VRAM extent management. It is safe for concurrent use by multiple
+// tasks.
+type Core struct {
+	mm MMIO
+	tl *sim.Timeline
+	cm sim.CostModel
+
+	mu    sync.Mutex
+	seq   uint32
+	alloc *vramAllocator
+}
+
+// NewCore builds a driver core over the given MMIO path.
+func NewCore(mm MMIO, vramSize uint64, tl *sim.Timeline, cm sim.CostModel) (*Core, error) {
+	if mm == nil || tl == nil {
+		return nil, errors.New("gdev: nil MMIO or timeline")
+	}
+	a, err := newVRAMAllocator(vramSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{mm: mm, tl: tl, cm: cm, alloc: a}, nil
+}
+
+// Cost exposes the cost model for layered runtimes.
+func (c *Core) Cost() sim.CostModel { return c.cm }
+
+// Timeline exposes the shared resource timeline.
+func (c *Core) Timeline() *sim.Timeline { return c.tl }
+
+func (c *Core) nextSeq() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// reg32 reads a BAR0 register, charging one MMIO access on the PCIe link.
+func (c *Core) reg32(off uint64, now sim.Time) (uint32, sim.Time, error) {
+	var b [4]byte
+	if err := c.mm.ReadBar0(off, b[:]); err != nil {
+		return 0, now, err
+	}
+	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "mmio-read", now, c.cm.MMIOAccess)
+	return binary.LittleEndian.Uint32(b[:]), now, nil
+}
+
+func (c *Core) writeReg32(off uint64, v uint32, now sim.Time) (sim.Time, error) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if err := c.mm.WriteBar0(off, b[:]); err != nil {
+		return now, err
+	}
+	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "mmio-write", now, c.cm.MMIOAccess)
+	return now, nil
+}
+
+// Probe checks device identity and readiness.
+func (c *Core) Probe(now sim.Time) (sim.Time, error) {
+	magic, now, err := c.reg32(gpu.RegMagic, now)
+	if err != nil {
+		return now, err
+	}
+	if magic != gpu.DeviceMagic {
+		return now, fmt.Errorf("gdev: unexpected device magic %#x", magic)
+	}
+	ready, now, err := c.reg32(gpu.RegStatusReady, now)
+	if err != nil {
+		return now, err
+	}
+	if ready != 1 {
+		return now, errors.New("gdev: device not ready")
+	}
+	return now, nil
+}
+
+// ResetDevice issues a full GPU reset through the reset register.
+func (c *Core) ResetDevice(now sim.Time) (sim.Time, error) {
+	return c.writeReg32(gpu.RegReset, 1, now)
+}
+
+// Submit sends one command on a channel and synchronizes on its fence.
+// It returns the command status and the simulated completion time of the
+// flow (MMIO costs plus device execution).
+func (c *Core) Submit(ch int, now sim.Time, op gpu.Opcode, payload []byte) (gpu.Status, sim.Time, error) {
+	seq := c.nextSeq()
+	// Ring writes are MMIO traffic: charge them before the device sees
+	// the doorbell.
+	cmdBytes := gpu.HeaderSize + len(payload)
+	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "ring-write", now,
+		sim.TransferTime(cmdBytes, c.cm.MMIOWriteBandwidth, c.cm.MMIOAccess))
+
+	cmd := gpu.Command{
+		Header:  gpu.Header{Op: op, Seq: seq, SubmitNS: int64(now)},
+		Payload: payload,
+	}
+	enc := cmd.Encode()
+	ringOff := uint64(gpu.RingBase + ch*gpu.RingSize)
+	if err := c.mm.WriteBar0(ringOff, enc); err != nil {
+		return 0, now, err
+	}
+	chanBase := uint64(gpu.ChannelRegsBase + ch*gpu.ChannelRegsSize)
+	now, err := c.writeReg32(chanBase+gpu.ChanDoorbell, uint32(len(enc)), now)
+	if err != nil {
+		return 0, now, err
+	}
+	// Fence poll (the device model completes synchronously; simulated
+	// time still reflects the real wait via the completion register).
+	fence, now, err := c.reg32(chanBase+gpu.ChanFenceSeq, now)
+	if err != nil {
+		return 0, now, err
+	}
+	if fence != seq {
+		return 0, now, fmt.Errorf("gdev: fence %d != submitted %d (concurrent channel use?)", fence, seq)
+	}
+	statusV, now, err := c.reg32(chanBase+gpu.ChanStatus, now)
+	if err != nil {
+		return 0, now, err
+	}
+	lo, now, err := c.reg32(chanBase+gpu.ChanCompleteLo, now)
+	if err != nil {
+		return 0, now, err
+	}
+	hi, now, err := c.reg32(chanBase+gpu.ChanCompleteHi, now)
+	if err != nil {
+		return 0, now, err
+	}
+	done := sim.Time(int64(uint64(hi)<<32 | uint64(lo)))
+	if done > now {
+		now = done
+	}
+	return gpu.Status(statusV), now, nil
+}
+
+// ReadResponse fetches a channel's response buffer (after DH commands).
+func (c *Core) ReadResponse(ch int, buf []byte) error {
+	return c.mm.ReadBar0(uint64(gpu.RespBase+ch*gpu.RespSize), buf)
+}
+
+// ApertureWrite copies bytes into VRAM through the BAR1 window,
+// charging MMIO data bandwidth (the paper's "directly writing data to
+// the trusted MMIO" copy path, §4.4.2).
+func (c *Core) ApertureWrite(gpuAddr uint64, data []byte, now sim.Time) (sim.Time, error) {
+	now, err := c.setAperture(gpuAddr, now)
+	if err != nil {
+		return now, err
+	}
+	if err := c.mm.WriteBar1(0, data); err != nil {
+		return now, err
+	}
+	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "aperture-write", now,
+		sim.TransferTime(len(data), c.cm.MMIOWriteBandwidth, c.cm.MMIOAccess))
+	return now, nil
+}
+
+// ApertureRead copies VRAM out through BAR1.
+func (c *Core) ApertureRead(gpuAddr uint64, data []byte, now sim.Time) (sim.Time, error) {
+	now, err := c.setAperture(gpuAddr, now)
+	if err != nil {
+		return now, err
+	}
+	if err := c.mm.ReadBar1(0, data); err != nil {
+		return now, err
+	}
+	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "aperture-read", now,
+		sim.TransferTime(len(data), c.cm.MMIOReadBandwidth, c.cm.MMIOAccess))
+	return now, nil
+}
+
+func (c *Core) setAperture(base uint64, now sim.Time) (sim.Time, error) {
+	now, err := c.writeReg32(gpu.RegApertureLo, uint32(base&0xFFFF_FFFF), now)
+	if err != nil {
+		return now, err
+	}
+	return c.writeReg32(gpu.RegApertureHi, uint32(base>>32), now)
+}
+
+// AllocVRAM reserves a device-memory extent.
+func (c *Core) AllocVRAM(size uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc.alloc(size)
+}
+
+// FreeVRAM releases an extent previously returned by AllocVRAM.
+func (c *Core) FreeVRAM(addr uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc.free(addr)
+}
+
+// VRAMFree reports the remaining allocatable device memory.
+func (c *Core) VRAMFree() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc.freeBytes()
+}
+
+// --- VRAM extent allocator (first fit) ----------------------------------
+
+type vramAllocator struct {
+	size      uint64
+	spans     []extentRange // sorted by addr
+	allocated map[uint64]uint64
+}
+
+type extentRange struct{ addr, size uint64 }
+
+func newVRAMAllocator(size uint64) (*vramAllocator, error) {
+	if size == 0 {
+		return nil, errors.New("gdev: zero VRAM")
+	}
+	return &vramAllocator{
+		size:      size,
+		spans:     []extentRange{{0, size}},
+		allocated: make(map[uint64]uint64),
+	}, nil
+}
+
+const vramAlign = 256 // device allocations are 256-byte aligned
+
+func (a *vramAllocator) alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, errors.New("gdev: zero-size allocation")
+	}
+	size = (size + vramAlign - 1) &^ uint64(vramAlign-1)
+	for i, f := range a.spans {
+		if f.size >= size {
+			addr := f.addr
+			if f.size == size {
+				a.spans = append(a.spans[:i], a.spans[i+1:]...)
+			} else {
+				a.spans[i] = extentRange{f.addr + size, f.size - size}
+			}
+			a.allocated[addr] = size
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("gdev: out of device memory (%d bytes requested)", size)
+}
+
+func (a *vramAllocator) free(addr uint64) error {
+	size, ok := a.allocated[addr]
+	if !ok {
+		return fmt.Errorf("gdev: free of unallocated address %#x", addr)
+	}
+	delete(a.allocated, addr)
+	// Insert and coalesce.
+	idx := len(a.spans)
+	for i, f := range a.spans {
+		if f.addr > addr {
+			idx = i
+			break
+		}
+	}
+	a.spans = append(a.spans, extentRange{})
+	copy(a.spans[idx+1:], a.spans[idx:])
+	a.spans[idx] = extentRange{addr, size}
+	// Coalesce with next, then previous.
+	if idx+1 < len(a.spans) && a.spans[idx].addr+a.spans[idx].size == a.spans[idx+1].addr {
+		a.spans[idx].size += a.spans[idx+1].size
+		a.spans = append(a.spans[:idx+1], a.spans[idx+2:]...)
+	}
+	if idx > 0 && a.spans[idx-1].addr+a.spans[idx-1].size == a.spans[idx].addr {
+		a.spans[idx-1].size += a.spans[idx].size
+		a.spans = append(a.spans[:idx], a.spans[idx+1:]...)
+	}
+	return nil
+}
+
+func (a *vramAllocator) freeBytes() uint64 {
+	var n uint64
+	for _, f := range a.spans {
+		n += f.size
+	}
+	return n
+}
+
+// allocatedSize reports the size recorded for an allocation (0 if none) —
+// used by runtimes that must cleanse on free.
+func (a *vramAllocator) allocatedSize(addr uint64) uint64 {
+	return a.allocated[addr]
+}
+
+// AllocatedSize exposes the recorded size of a live allocation.
+func (c *Core) AllocatedSize(addr uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc.allocatedSize(addr)
+}

@@ -1,0 +1,396 @@
+package gdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mmu"
+	"repro/internal/osim"
+	"repro/internal/sim"
+)
+
+// Driver is the baseline, OS-resident Gdev driver: it maps the GPU BARs
+// into kernel virtual memory and drives the device with full privileges
+// and zero protection — the "Gdev" configuration in every figure of the
+// paper's evaluation.
+type Driver struct {
+	m    *machine.Machine
+	core *Core
+
+	mu       sync.Mutex
+	nextCtx  uint32
+	nextChan int
+	inUse    map[int]bool // channel occupancy
+}
+
+// osMMIO reaches the BARs through OS-privileged (non-enclave) MMU
+// accesses to kernel mappings.
+type osMMIO struct {
+	m      *machine.Machine
+	kproc  *osim.Process
+	bar0VA mmu.VirtAddr
+	bar1VA mmu.VirtAddr
+}
+
+func (o *osMMIO) ReadBar0(off uint64, p []byte) error {
+	return o.m.CPU.ReadAsOS(o.kproc.PID, o.kproc.PT, o.bar0VA+mmu.VirtAddr(off), p)
+}
+
+func (o *osMMIO) WriteBar0(off uint64, p []byte) error {
+	return o.m.CPU.WriteAsOS(o.kproc.PID, o.kproc.PT, o.bar0VA+mmu.VirtAddr(off), p)
+}
+
+func (o *osMMIO) ReadBar1(off uint64, p []byte) error {
+	return o.m.CPU.ReadAsOS(o.kproc.PID, o.kproc.PT, o.bar1VA+mmu.VirtAddr(off), p)
+}
+
+func (o *osMMIO) WriteBar1(off uint64, p []byte) error {
+	return o.m.CPU.WriteAsOS(o.kproc.PID, o.kproc.PT, o.bar1VA+mmu.VirtAddr(off), p)
+}
+
+// Open loads the baseline driver: map BARs, probe the device.
+func Open(m *machine.Machine) (*Driver, error) {
+	kproc := m.OS.NewProcess()
+	cfg := m.GPU.Config()
+	bar0, bar0Size, err := cfg.BAR(0)
+	if err != nil {
+		return nil, err
+	}
+	bar1, bar1Size, err := cfg.BAR(1)
+	if err != nil {
+		return nil, err
+	}
+	bar0VA, err := m.OS.MapPhys(kproc, bar0, bar0Size, true)
+	if err != nil {
+		return nil, err
+	}
+	bar1VA, err := m.OS.MapPhys(kproc, bar1, bar1Size, true)
+	if err != nil {
+		return nil, err
+	}
+	mm := &osMMIO{m: m, kproc: kproc, bar0VA: bar0VA, bar1VA: bar1VA}
+	core, err := NewCore(mm, m.GPU.VRAMSize(), m.Timeline, m.Cost)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Probe(0); err != nil {
+		return nil, err
+	}
+	return &Driver{m: m, core: core, inUse: make(map[int]bool)}, nil
+}
+
+// Core exposes the shared driver core (used by tests and the attack
+// harness).
+func (d *Driver) Core() *Core { return d.core }
+
+// RegisterKernel loads a GPU kernel module (cuModuleLoad equivalent).
+func (d *Driver) RegisterKernel(k *gpu.Kernel) error {
+	return d.m.GPU.RegisterKernel(k)
+}
+
+func (d *Driver) claimChannel() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	channels := d.m.GPU.Channels()
+	for i := 0; i < channels; i++ {
+		ch := (d.nextChan + i) % channels
+		if !d.inUse[ch] {
+			d.inUse[ch] = true
+			d.nextChan = ch + 1
+			return ch, nil
+		}
+	}
+	return 0, errors.New("gdev: all channels busy")
+}
+
+func (d *Driver) releaseChannel(ch int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inUse, ch)
+}
+
+// GPUPtr is a device-memory address handed to applications
+// (CUdeviceptr).
+type GPUPtr uint64
+
+// Task is a Gdev task: one GPU context plus the host-side staging
+// resources to feed it — the unit behind cuCtxCreate in the baseline
+// runtime. A Task tracks its own simulated-time cursor; interleaving
+// tasks contend on the shared hardware timeline.
+type Task struct {
+	d       *Driver
+	ctxID   uint32
+	channel int
+	staging *osim.SharedSegment
+	cpuRes  sim.Resource
+	now     sim.Time
+	start   sim.Time
+	// Synthetic marks a timing-only task: commands carry FlagSynthetic
+	// and host payloads are not materialized. Used by the benchmark
+	// harness at paper-scale sizes.
+	Synthetic bool
+	// ForceMMIO routes every HtoD copy through the BAR1 aperture
+	// instead of the DMA engine (ablation benchmarks only).
+	ForceMMIO bool
+	allocs    map[GPUPtr]uint64
+	closed    bool
+}
+
+// StagingBytes is the pinned DMA buffer size; larger copies are chunked
+// through it.
+const StagingBytes = 4 << 20
+
+// NewTask creates a GPU context and acquires a channel. The baseline
+// task-initialization cost (§5.3.2 notes HIX's is slightly lower) is
+// charged on the CPU.
+func (d *Driver) NewTask() (*Task, error) {
+	return d.newTaskAt(0)
+}
+
+// NewTaskAt creates a task whose flow starts at the given simulated time.
+func (d *Driver) NewTaskAt(start sim.Time) (*Task, error) { return d.newTaskAt(start) }
+
+func (d *Driver) newTaskAt(start sim.Time) (*Task, error) {
+	ch, err := d.claimChannel()
+	if err != nil {
+		return nil, err
+	}
+	staging, err := d.m.OS.ShmCreate(StagingBytes)
+	if err != nil {
+		d.releaseChannel(ch)
+		return nil, err
+	}
+	d.mu.Lock()
+	d.nextCtx++
+	ctxID := d.nextCtx
+	d.mu.Unlock()
+
+	lanes := d.core.cm.CPULanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	t := &Task{d: d, ctxID: ctxID, channel: ch, staging: staging,
+		cpuRes: sim.CPULane(int(ctxID) % lanes),
+		now:    start, start: start, allocs: make(map[GPUPtr]uint64)}
+	_, t.now = d.core.tl.AcquireLabeled(t.cpuRes, "task-init", t.now, d.core.cm.TaskInitGdev)
+	if err := t.submitOK(gpu.OpCreateContext, gpu.BuildCreateContext(ctxID)); err != nil {
+		d.releaseChannel(ch)
+		return nil, err
+	}
+	if err := t.submitOK(gpu.OpBindChannel, gpu.BuildBindChannel(ctxID)); err != nil {
+		d.releaseChannel(ch)
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Task) submit(op gpu.Opcode, payload []byte) (gpu.Status, error) {
+	st, now, err := t.d.core.Submit(t.channel, t.now, op, payload)
+	if err != nil {
+		return st, err
+	}
+	t.now = now
+	return st, nil
+}
+
+func (t *Task) submitOK(op gpu.Opcode, payload []byte) error {
+	st, err := t.submit(op, payload)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+func (t *Task) flags() uint32 {
+	if t.Synthetic {
+		return gpu.FlagSynthetic
+	}
+	return 0
+}
+
+// Staging exposes the task's pinned DMA buffer (the attack harness
+// models the privileged adversary inspecting or remapping it).
+func (t *Task) Staging() *osim.SharedSegment { return t.staging }
+
+// Now returns the task's simulated-time cursor.
+func (t *Task) Now() sim.Time { return t.now }
+
+// Elapsed returns simulated time since the task started.
+func (t *Task) Elapsed() sim.Duration { return t.now.Sub(t.start) }
+
+// AdvanceTo moves the cursor forward (used when an external event gates
+// the flow).
+func (t *Task) AdvanceTo(at sim.Time) {
+	if at > t.now {
+		t.now = at
+	}
+}
+
+// MemAlloc reserves device memory and grants the task's context access
+// (cuMemAlloc).
+func (t *Task) MemAlloc(size uint64) (GPUPtr, error) {
+	if t.closed {
+		return 0, errors.New("gdev: task closed")
+	}
+	addr, err := t.d.core.AllocVRAM(size)
+	if err != nil {
+		return 0, err
+	}
+	_, t.now = t.d.core.tl.AcquireLabeled(t.cpuRes, "mem-alloc", t.now, t.d.core.cm.MemAllocPerCall)
+	if err := t.submitOK(gpu.OpBindMemory, gpu.BuildBindMemory(t.ctxID, addr, t.d.core.AllocatedSize(addr))); err != nil {
+		_ = t.d.core.FreeVRAM(addr)
+		return 0, err
+	}
+	t.allocs[GPUPtr(addr)] = t.d.core.AllocatedSize(addr)
+	return GPUPtr(addr), nil
+}
+
+// MemFree releases device memory (cuMemFree). The baseline driver does
+// NOT cleanse freed memory — the residual-data vulnerability of
+// [17,29,34,56] that the HIX runtime closes.
+func (t *Task) MemFree(ptr GPUPtr) error {
+	size, ok := t.allocs[ptr]
+	if !ok {
+		return fmt.Errorf("gdev: free of unknown ptr %#x", uint64(ptr))
+	}
+	if err := t.submitOK(gpu.OpUnbindMemory, gpu.BuildBindMemory(t.ctxID, uint64(ptr), size)); err != nil {
+		return err
+	}
+	delete(t.allocs, ptr)
+	return t.d.core.FreeVRAM(uint64(ptr))
+}
+
+// mmioCopyThreshold selects the MMIO data path for small copies, the DMA
+// engine for bulk (§2.3: "DMA is optimized for bulk data transfers").
+const mmioCopyThreshold = 16 << 10
+
+// MemcpyHtoD copies host data into device memory (cuMemcpyHtoD). For a
+// synthetic task, data may be nil and size is taken from logicalLen.
+func (t *Task) MemcpyHtoD(dst GPUPtr, data []byte, logicalLen int) error {
+	n := len(data)
+	if t.Synthetic {
+		n = logicalLen
+	}
+	if n == 0 {
+		return nil
+	}
+	if (n <= mmioCopyThreshold || t.ForceMMIO) && !t.Synthetic {
+		now, err := t.d.core.ApertureWrite(uint64(dst), data, t.now)
+		if err != nil {
+			return err
+		}
+		t.now = now
+		return nil
+	}
+	// Chunk through the pinned staging buffer. The user-to-pinned copy
+	// of chunk n+1 overlaps the DMA of chunk n (Gdev's optimized
+	// transfer path [15]).
+	stageReady := t.now
+	var last sim.Time
+	for off := 0; off < n; off += StagingBytes {
+		chunk := StagingBytes
+		if off+chunk > n {
+			chunk = n - off
+		}
+		hostPA, err := t.staging.PhysAt(0)
+		if err != nil {
+			return err
+		}
+		if !t.Synthetic {
+			if err := t.d.m.OS.ShmWritePhys(t.staging, 0, data[off:off+chunk]); err != nil {
+				return err
+			}
+		}
+		_, stageEnd := t.d.core.tl.AcquireLabeled(t.cpuRes, "stage-copy", stageReady,
+			sim.TransferTime(chunk, t.d.core.cm.HostMemcpyBandwidth, 0))
+		stageReady = stageEnd
+		st, done, err := t.d.core.Submit(t.channel, stageEnd, gpu.OpDMAHtoD,
+			gpu.BuildDMA(uint64(dst)+uint64(off), uint64(hostPA), uint64(chunk), t.flags()))
+		if err != nil {
+			return err
+		}
+		if err := st.Err(); err != nil {
+			return err
+		}
+		last = done
+	}
+	if last > t.now {
+		t.now = last
+	}
+	return nil
+}
+
+// MemcpyDtoH copies device memory back to the host (cuMemcpyDtoH).
+func (t *Task) MemcpyDtoH(data []byte, src GPUPtr, logicalLen int) error {
+	n := len(data)
+	if t.Synthetic {
+		n = logicalLen
+	}
+	if n == 0 {
+		return nil
+	}
+	// The pinned-to-user copy of chunk n overlaps the DMA of chunk n+1.
+	dmaCursor := t.now
+	stageReady := t.now
+	for off := 0; off < n; off += StagingBytes {
+		chunk := StagingBytes
+		if off+chunk > n {
+			chunk = n - off
+		}
+		hostPA, err := t.staging.PhysAt(0)
+		if err != nil {
+			return err
+		}
+		st, done, err := t.d.core.Submit(t.channel, dmaCursor, gpu.OpDMADtoH,
+			gpu.BuildDMA(uint64(src)+uint64(off), uint64(hostPA), uint64(chunk), t.flags()))
+		if err != nil {
+			return err
+		}
+		if err := st.Err(); err != nil {
+			return err
+		}
+		dmaCursor = done
+		if !t.Synthetic {
+			if err := t.d.m.OS.ShmReadPhys(t.staging, 0, data[off:off+chunk]); err != nil {
+				return err
+			}
+		}
+		_, stageEnd := t.d.core.tl.AcquireLabeled(t.cpuRes, "stage-copy", sim.Max(stageReady, done),
+			sim.TransferTime(chunk, t.d.core.cm.HostMemcpyBandwidth, 0))
+		stageReady = stageEnd
+	}
+	if stageReady > t.now {
+		t.now = stageReady
+	}
+	return nil
+}
+
+// Launch runs a kernel (cuLaunchKernel). The baseline passes parameters
+// straight through.
+func (t *Task) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	return t.submitOK(gpu.OpLaunch, gpu.BuildLaunch(kernel, params, t.flags()))
+}
+
+// Fill memsets device memory (cuMemsetD8 equivalent).
+func (t *Task) Fill(ptr GPUPtr, size uint64, value byte) error {
+	return t.submitOK(gpu.OpFill, gpu.BuildFill(uint64(ptr), size, value, t.flags()))
+}
+
+// Close releases the context and channel. Allocations are unbound but —
+// deliberately — not cleansed in the baseline.
+func (t *Task) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.submitOK(gpu.OpDestroyContext, gpu.BuildDestroyContext(t.ctxID))
+	for ptr := range t.allocs {
+		_ = t.d.core.FreeVRAM(uint64(ptr))
+	}
+	t.allocs = map[GPUPtr]uint64{}
+	t.d.releaseChannel(t.channel)
+	return err
+}

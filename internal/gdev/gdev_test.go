@@ -1,0 +1,430 @@
+package gdev
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    256 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    64 << 20,
+		Channels:     8,
+		PlatformSeed: "gdev-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func openDriver(t *testing.T) (*machine.Machine, *Driver) {
+	t.Helper()
+	m := newMachine(t)
+	d, err := Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestOpenProbesDevice(t *testing.T) {
+	_, d := openDriver(t)
+	if d.Core() == nil {
+		t.Fatal("nil core")
+	}
+}
+
+func TestTaskMemcpyRoundtripDMA(t *testing.T) {
+	m, d := openDriver(t)
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer task.Close()
+
+	// Larger than the MMIO threshold and the staging buffer: exercises
+	// chunking.
+	data := make([]byte, 9<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	ptr, err := task.MemAlloc(uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth in VRAM.
+	check := make([]byte, 1024)
+	if err := m.GPU.PeekVRAM(uint64(ptr)+8<<20, check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, data[8<<20:8<<20+1024]) {
+		t.Fatal("VRAM mismatch after chunked HtoD")
+	}
+	back := make([]byte, len(data))
+	if err := task.MemcpyDtoH(back, ptr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("DtoH mismatch")
+	}
+	if task.Elapsed() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestTaskMemcpySmallUsesMMIOPath(t *testing.T) {
+	m, d := openDriver(t)
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer task.Close()
+	data := []byte("tiny payload over the aperture")
+	ptr, err := task.MemAlloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	check := make([]byte, len(data))
+	if err := m.GPU.PeekVRAM(uint64(ptr), check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, data) {
+		t.Fatalf("aperture copy = %q", check)
+	}
+}
+
+func TestKernelEndToEnd(t *testing.T) {
+	m, d := openDriver(t)
+	_ = m
+	err := d.RegisterKernel(&gpu.Kernel{
+		Name: "scale2",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			return cm.ComputeTime(float64(p[1]))
+		},
+		Run: func(e *gpu.ExecContext) error {
+			addr, n := e.Params[0], e.Params[1]
+			for i := uint64(0); i < n; i++ {
+				v, err := e.U32(addr + 4*i)
+				if err != nil {
+					return err
+				}
+				if err := e.PutU32(addr+4*i, v*2); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer task.Close()
+	in := make([]byte, 4*100)
+	for i := 0; i < 100; i++ {
+		binary.LittleEndian.PutUint32(in[4*i:], uint32(i))
+	}
+	ptr, err := task.MemAlloc(uint64(len(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.MemcpyHtoD(ptr, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	var params [gpu.NumKernelParams]uint64
+	params[0], params[1] = uint64(ptr), 100
+	if err := task.Launch("scale2", params); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := task.MemcpyDtoH(out, ptr, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := binary.LittleEndian.Uint32(out[4*i:]); got != uint32(2*i) {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+}
+
+func TestMemFreeLeavesResidualData(t *testing.T) {
+	// The baseline driver does not cleanse freed VRAM: data survives for
+	// the next allocation to scavenge (the CUDA-leaks vulnerability).
+	m, d := openDriver(t)
+	t1, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("residual secret left in VRAM!")
+	ptr, err := t1.MemAlloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.MemcpyHtoD(ptr, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.MemFree(ptr); err != nil {
+		t.Fatal(err)
+	}
+	check := make([]byte, len(secret))
+	if err := m.GPU.PeekVRAM(uint64(ptr), check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, secret) {
+		t.Fatal("expected residual data in baseline free")
+	}
+	t1.Close()
+}
+
+func TestTaskLifecycleErrors(t *testing.T) {
+	_, d := openDriver(t)
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.MemFree(GPUPtr(0xDEAD)); err == nil {
+		t.Fatal("free of unknown pointer accepted")
+	}
+	if err := task.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Close(); err != nil {
+		t.Fatal("double close should be a no-op")
+	}
+	if _, err := task.MemAlloc(64); err == nil {
+		t.Fatal("alloc on closed task accepted")
+	}
+}
+
+func TestChannelExhaustionAndReuse(t *testing.T) {
+	_, d := openDriver(t)
+	var tasks []*Task
+	for i := 0; i < 8; i++ {
+		task, err := d.NewTask()
+		if err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+		tasks = append(tasks, task)
+	}
+	if _, err := d.NewTask(); err == nil {
+		t.Fatal("9th task on 8 channels accepted")
+	}
+	tasks[3].Close()
+	if _, err := d.NewTask(); err != nil {
+		t.Fatalf("task after release: %v", err)
+	}
+}
+
+func TestSyntheticTaskTimingOnly(t *testing.T) {
+	m, d := openDriver(t)
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer task.Close()
+	task.Synthetic = true
+	ptr, err := task.MemAlloc(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := task.Now()
+	if err := task.MemcpyHtoD(ptr, nil, 32<<20); err != nil {
+		t.Fatal(err)
+	}
+	if task.Now() <= before {
+		t.Fatal("synthetic copy advanced no time")
+	}
+	// No bytes moved.
+	check := make([]byte, 64)
+	if err := m.GPU.PeekVRAM(uint64(ptr), check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, make([]byte, 64)) {
+		t.Fatal("synthetic copy moved data")
+	}
+}
+
+func TestSyntheticTimingMatchesReal(t *testing.T) {
+	// The same logical transfer must cost the same simulated time
+	// whether payloads are real or synthetic — otherwise benchmark
+	// numbers would depend on the execution mode.
+	const n = 6 << 20
+	run := func(synthetic bool) sim.Duration {
+		_, d := openDriver(t)
+		task, err := d.NewTask()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer task.Close()
+		task.Synthetic = synthetic
+		ptr, err := task.MemAlloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var data []byte
+		if !synthetic {
+			data = make([]byte, n)
+		}
+		if err := task.MemcpyHtoD(ptr, data, n); err != nil {
+			t.Fatal(err)
+		}
+		return task.Elapsed()
+	}
+	real := run(false)
+	synth := run(true)
+	if real != synth {
+		t.Fatalf("real %v != synthetic %v", real, synth)
+	}
+}
+
+func TestVRAMAllocator(t *testing.T) {
+	a, err := newVRAMAllocator(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.alloc(1000) // rounds to 1024
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("overlapping allocations")
+	}
+	if a.allocatedSize(p1) != 1024 {
+		t.Fatalf("allocatedSize = %d", a.allocatedSize(p1))
+	}
+	if err := a.free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.free(p1); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := a.free(p2); err != nil {
+		t.Fatal(err)
+	}
+	// After freeing everything, coalescing restores one full span.
+	if a.freeBytes() != 1<<20 {
+		t.Fatalf("freeBytes = %d", a.freeBytes())
+	}
+	if len(a.spans) != 1 {
+		t.Fatalf("spans = %d, coalescing failed", len(a.spans))
+	}
+	// Exhaustion.
+	if _, err := a.alloc(2 << 20); err == nil {
+		t.Fatal("oversized alloc accepted")
+	}
+	if _, err := a.alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+	if _, err := newVRAMAllocator(0); err == nil {
+		t.Fatal("zero allocator accepted")
+	}
+}
+
+func TestVRAMAllocatorCoalesceMiddle(t *testing.T) {
+	a, _ := newVRAMAllocator(1 << 20)
+	p1, _ := a.alloc(4096)
+	p2, _ := a.alloc(4096)
+	p3, _ := a.alloc(4096)
+	// Free outer blocks, then the middle one: all must coalesce with the
+	// trailing span into a single free region.
+	if err := a.free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.free(p3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.free(p2); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.spans) != 1 || a.freeBytes() != 1<<20 {
+		t.Fatalf("spans=%d free=%d", len(a.spans), a.freeBytes())
+	}
+}
+
+func TestMultiTaskContention(t *testing.T) {
+	// Two tasks interleaving kernels on one GPU serialize on the compute
+	// engine, so each flow's makespan exceeds its solo runtime.
+	m, d := openDriver(t)
+	if err := d.RegisterKernel(&gpu.Kernel{
+		Name: "burn",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			return cm.ComputeTime(float64(p[0]))
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	solo := func() sim.Duration {
+		task, err := d.NewTask()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer task.Close()
+		var params [gpu.NumKernelParams]uint64
+		params[0] = uint64(m.Cost.GPUComputeOpsPerSec / 100) // 10ms of work
+		for i := 0; i < 5; i++ {
+			if err := task.Launch("burn", params); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return task.Elapsed()
+	}
+	soloTime := solo()
+
+	m2, err := machine.New(machine.Config{DRAMBytes: 256 << 20, EPCBytes: 16 << 20,
+		VRAMBytes: 64 << 20, Channels: 8, PlatformSeed: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.RegisterKernel(&gpu.Kernel{
+		Name: "burn",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			return cm.ComputeTime(float64(p[0]))
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tA, _ := d2.NewTask()
+	tB, _ := d2.NewTask()
+	var params [gpu.NumKernelParams]uint64
+	params[0] = uint64(m2.Cost.GPUComputeOpsPerSec / 100)
+	for i := 0; i < 5; i++ {
+		if err := tA.Launch("burn", params); err != nil {
+			t.Fatal(err)
+		}
+		if err := tB.Launch("burn", params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tA.Elapsed() <= soloTime || tB.Elapsed() <= soloTime {
+		t.Fatalf("no contention visible: solo=%v A=%v B=%v", soloTime, tA.Elapsed(), tB.Elapsed())
+	}
+	// Context switches occurred.
+	if m2.GPU.ContextSwitches() < 9 {
+		t.Fatalf("context switches = %d", m2.GPU.ContextSwitches())
+	}
+}

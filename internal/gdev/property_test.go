@@ -1,0 +1,73 @@
+package gdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the VRAM allocator never hands out overlapping extents, and
+// alloc/free sequences conserve total capacity.
+func TestVRAMAllocatorProperty(t *testing.T) {
+	const capacity = 1 << 22
+	f := func(ops []uint32) bool {
+		a, err := newVRAMAllocator(capacity)
+		if err != nil {
+			return false
+		}
+		type ext struct{ addr, size uint64 }
+		var live []ext
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 {
+				// Free a pseudo-random live extent.
+				i := int(op) % len(live)
+				if err := a.free(live[i].addr); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := uint64(op%8192 + 1)
+			addr, err := a.alloc(size)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			got := a.allocatedSize(addr)
+			// Overlap check against every live extent.
+			for _, e := range live {
+				if addr < e.addr+e.size && e.addr < addr+got {
+					return false
+				}
+			}
+			live = append(live, ext{addr, got})
+		}
+		// Conservation: free everything and the full capacity returns.
+		for _, e := range live {
+			if err := a.free(e.addr); err != nil {
+				return false
+			}
+		}
+		return a.freeBytes() == capacity && len(a.spans) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: allocations are always 256-byte aligned and sized.
+func TestVRAMAlignmentProperty(t *testing.T) {
+	a, err := newVRAMAllocator(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(size uint16) bool {
+		addr, err := a.alloc(uint64(size) + 1)
+		if err != nil {
+			return true
+		}
+		ok := addr%vramAlign == 0 && a.allocatedSize(addr)%vramAlign == 0
+		return ok && a.free(addr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+// Command-stream encoding for the simulated GPU.
+//
+// The driver (Gdev baseline or the HIX GPU enclave) controls the device
+// exclusively through MMIO (§2.3): it writes binary command packets into a
+// per-channel ring in BAR0 and rings the channel doorbell. This file is
+// the "hardware interface specification": packet layout, opcodes, and
+// status codes, shared between the device implementation and the drivers.
+package gpu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Opcode identifies a command.
+type Opcode uint32
+
+// The device command set.
+const (
+	OpNop Opcode = iota + 1
+	// OpCreateContext creates a GPU context (an isolated address space,
+	// §4.5). Payload: ctxID u32.
+	OpCreateContext
+	// OpDestroyContext destroys a context and its bindings. Payload:
+	// ctxID u32.
+	OpDestroyContext
+	// OpBindChannel associates this channel with a context. Payload:
+	// ctxID u32.
+	OpBindChannel
+	// OpBindMemory grants the context access to a VRAM extent (models
+	// programming the GPU-side page tables). Payload: ctxID u32, addr
+	// u64, len u64.
+	OpBindMemory
+	// OpUnbindMemory revokes an extent. Payload: ctxID u32, addr u64,
+	// len u64.
+	OpUnbindMemory
+	// OpFill writes a byte value over an extent (memset; used by the HIX
+	// runtime to cleanse deallocated memory, §4.5). Payload: addr u64,
+	// len u64, value u32, flags u32.
+	OpFill
+	// OpDMAHtoD copies host memory into VRAM using the device DMA
+	// engine. Payload: gpuAddr u64, hostAddr u64, len u64, flags u32.
+	OpDMAHtoD
+	// OpDMADtoH copies VRAM to host memory. Same payload as OpDMAHtoD.
+	OpDMADtoH
+	// OpLaunch runs a registered kernel on the compute engine. Payload:
+	// name [KernelNameSize]byte, params [NumKernelParams]u64, flags u32.
+	OpLaunch
+	// OpDHPublic makes the device generate (or reuse) its ephemeral DH
+	// share for a key slot and write g^c to the response buffer.
+	// Payload: slot u32.
+	OpDHPublic
+	// OpDHMix raises a group element to the device's secret and returns
+	// it (ring step of the 3-party agreement, §4.4.1). Payload: slot
+	// u32, element [DHElementSize]byte.
+	OpDHMix
+	// OpDHFinish derives and stores the session key for a slot from the
+	// received element. Payload: slot u32, element [DHElementSize]byte.
+	OpDHFinish
+	// OpCryptoEncrypt runs the in-GPU OCB-AES encryption kernel
+	// (§4.4.2): plaintext of ptLen at src becomes ciphertext plus tag
+	// (ptLen+TagSize) at dst. src == dst encrypts in place. Payload:
+	// src u64, dst u64, ptLen u64, slot u32, nonce [NonceSize]byte,
+	// flags u32.
+	OpCryptoEncrypt
+	// OpCryptoDecrypt is the inverse: ciphertext+tag of ctLen at src
+	// becomes plaintext (ctLen-TagSize) at dst. Fails with
+	// StatusAuthFailed on a bad tag, in which case dst is not written.
+	OpCryptoDecrypt
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpNop:
+		return "nop"
+	case OpCreateContext:
+		return "create-context"
+	case OpDestroyContext:
+		return "destroy-context"
+	case OpBindChannel:
+		return "bind-channel"
+	case OpBindMemory:
+		return "bind-memory"
+	case OpUnbindMemory:
+		return "unbind-memory"
+	case OpFill:
+		return "fill"
+	case OpDMAHtoD:
+		return "dma-htod"
+	case OpDMADtoH:
+		return "dma-dtoh"
+	case OpLaunch:
+		return "launch"
+	case OpDHPublic:
+		return "dh-public"
+	case OpDHMix:
+		return "dh-mix"
+	case OpDHFinish:
+		return "dh-finish"
+	case OpCryptoEncrypt:
+		return "crypto-encrypt"
+	case OpCryptoDecrypt:
+		return "crypto-decrypt"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint32(o))
+	}
+}
+
+// Status codes written to the channel status register after each command.
+type Status uint32
+
+const (
+	StatusOK Status = iota
+	StatusBadCommand
+	StatusNoContext
+	StatusNotBound
+	StatusOutOfRange
+	StatusNoSuchKernel
+	StatusNoKey
+	StatusAuthFailed
+	StatusDMAFault
+	StatusBadElement
+	StatusKernelFault
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadCommand:
+		return "bad-command"
+	case StatusNoContext:
+		return "no-context"
+	case StatusNotBound:
+		return "not-bound"
+	case StatusOutOfRange:
+		return "out-of-range"
+	case StatusNoSuchKernel:
+		return "no-such-kernel"
+	case StatusNoKey:
+		return "no-key"
+	case StatusAuthFailed:
+		return "auth-failed"
+	case StatusDMAFault:
+		return "dma-fault"
+	case StatusBadElement:
+		return "bad-element"
+	case StatusKernelFault:
+		return "kernel-fault"
+	default:
+		return fmt.Sprintf("Status(%d)", uint32(s))
+	}
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("gpu: command failed: %s", s)
+}
+
+// Command-format constants.
+const (
+	// CommandMagic marks the start of each packet.
+	CommandMagic = 0x48495847 // "HIXG"
+	// HeaderSize is the fixed packet header length.
+	HeaderSize = 32
+	// KernelNameSize is the fixed-width kernel name field in OpLaunch.
+	KernelNameSize = 32
+	// NumKernelParams is the number of u64 parameters passed to kernels.
+	NumKernelParams = 8
+	// DHElementSize is the wire size of a Diffie-Hellman group element
+	// (2048-bit group).
+	DHElementSize = 256
+	// NonceSize is the OCB nonce width used by the crypto commands.
+	NonceSize = 12
+	// FlagSynthetic marks a bulk-data command as timing-only: the
+	// command and completion path is fully exercised but payload bytes
+	// are not moved. The benchmark harness uses this to run
+	// paper-scale transfers; functional tests never set it.
+	FlagSynthetic = 1 << 0
+)
+
+// Header is the fixed preamble of every command packet.
+type Header struct {
+	Magic      uint32
+	Op         Opcode
+	Seq        uint32
+	PayloadLen uint32
+	SubmitNS   int64 // simulated submit time of this command
+	_          uint64
+}
+
+// Command is a decoded packet.
+type Command struct {
+	Header
+	Payload []byte
+}
+
+// Encode serializes the command for the ring.
+func (c *Command) Encode() []byte {
+	buf := make([]byte, HeaderSize+len(c.Payload))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], CommandMagic)
+	le.PutUint32(buf[4:], uint32(c.Op))
+	le.PutUint32(buf[8:], c.Seq)
+	le.PutUint32(buf[12:], uint32(len(c.Payload)))
+	le.PutUint64(buf[16:], uint64(c.SubmitNS))
+	copy(buf[HeaderSize:], c.Payload)
+	return buf
+}
+
+// ErrBadPacket reports a malformed ring packet.
+var ErrBadPacket = errors.New("gpu: malformed command packet")
+
+// DecodeCommand parses one packet from the front of buf and returns it
+// along with the remaining bytes.
+func DecodeCommand(buf []byte) (Command, []byte, error) {
+	if len(buf) < HeaderSize {
+		return Command{}, nil, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(buf))
+	}
+	le := binary.LittleEndian
+	var c Command
+	c.Magic = le.Uint32(buf[0:])
+	if c.Magic != CommandMagic {
+		return Command{}, nil, fmt.Errorf("%w: bad magic %#x", ErrBadPacket, c.Magic)
+	}
+	c.Op = Opcode(le.Uint32(buf[4:]))
+	c.Seq = le.Uint32(buf[8:])
+	c.PayloadLen = le.Uint32(buf[12:])
+	c.SubmitNS = int64(le.Uint64(buf[16:]))
+	if int(c.PayloadLen) > len(buf)-HeaderSize {
+		return Command{}, nil, fmt.Errorf("%w: payload %d exceeds buffer", ErrBadPacket, c.PayloadLen)
+	}
+	c.Payload = buf[HeaderSize : HeaderSize+int(c.PayloadLen)]
+	return c, buf[HeaderSize+int(c.PayloadLen):], nil
+}
+
+// payloadWriter/payloadReader build and parse command payloads.
+
+type payloadWriter struct{ buf []byte }
+
+func (w *payloadWriter) u32(v uint32) *payloadWriter {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+	return w
+}
+
+func (w *payloadWriter) u64(v uint64) *payloadWriter {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+	return w
+}
+
+func (w *payloadWriter) bytes(p []byte, n int) *payloadWriter {
+	fixed := make([]byte, n)
+	copy(fixed, p)
+	w.buf = append(w.buf, fixed...)
+	return w
+}
+
+type payloadReader struct {
+	buf []byte
+	err error
+}
+
+func (r *payloadReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 4 {
+		r.err = ErrBadPacket
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *payloadReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.err = ErrBadPacket
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *payloadReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrBadPacket
+		return nil
+	}
+	v := r.buf[:n]
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Payload builders used by drivers. Each returns a ready-to-encode
+// Command body for the corresponding opcode.
+
+// BuildCreateContext builds an OpCreateContext payload.
+func BuildCreateContext(ctxID uint32) []byte {
+	return (&payloadWriter{}).u32(ctxID).buf
+}
+
+// BuildDestroyContext builds an OpDestroyContext payload.
+func BuildDestroyContext(ctxID uint32) []byte {
+	return (&payloadWriter{}).u32(ctxID).buf
+}
+
+// BuildBindChannel builds an OpBindChannel payload.
+func BuildBindChannel(ctxID uint32) []byte {
+	return (&payloadWriter{}).u32(ctxID).buf
+}
+
+// BuildBindMemory builds an OpBindMemory / OpUnbindMemory payload.
+func BuildBindMemory(ctxID uint32, addr, length uint64) []byte {
+	return (&payloadWriter{}).u32(ctxID).u64(addr).u64(length).buf
+}
+
+// BuildFill builds an OpFill payload.
+func BuildFill(addr, length uint64, value byte, flags uint32) []byte {
+	return (&payloadWriter{}).u64(addr).u64(length).u32(uint32(value)).u32(flags).buf
+}
+
+// BuildDMA builds an OpDMAHtoD / OpDMADtoH payload.
+func BuildDMA(gpuAddr, hostAddr, length uint64, flags uint32) []byte {
+	return (&payloadWriter{}).u64(gpuAddr).u64(hostAddr).u64(length).u32(flags).buf
+}
+
+// BuildLaunch builds an OpLaunch payload.
+func BuildLaunch(kernel string, params [NumKernelParams]uint64, flags uint32) []byte {
+	w := (&payloadWriter{}).bytes([]byte(kernel), KernelNameSize)
+	for _, p := range params {
+		w.u64(p)
+	}
+	return w.u32(flags).buf
+}
+
+// BuildDHPublic builds an OpDHPublic payload.
+func BuildDHPublic(slot uint32) []byte {
+	return (&payloadWriter{}).u32(slot).buf
+}
+
+// BuildDHElement builds an OpDHMix / OpDHFinish payload.
+func BuildDHElement(slot uint32, element []byte) []byte {
+	return (&payloadWriter{}).u32(slot).bytes(element, DHElementSize).buf
+}
+
+// BuildCrypto builds an OpCryptoEncrypt / OpCryptoDecrypt payload. length
+// is the plaintext length for encrypt, the ciphertext length (including
+// tag) for decrypt. src == dst operates in place.
+func BuildCrypto(src, dst, length uint64, slot uint32, nonce []byte, flags uint32) []byte {
+	return (&payloadWriter{}).u64(src).u64(dst).u64(length).u32(slot).bytes(nonce, NonceSize).u32(flags).buf
+}

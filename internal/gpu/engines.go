@@ -1,0 +1,392 @@
+package gpu
+
+import (
+	"crypto/rand"
+	"math/big"
+
+	"repro/internal/attest"
+	"repro/internal/mem"
+	"repro/internal/ocb"
+	"repro/internal/sim"
+)
+
+// processDoorbell consumes n bytes of command packets from a channel's
+// ring. This is the device's command processor: it decodes each packet,
+// dispatches it to the right engine, and publishes fence / status /
+// completion-time registers that the driver polls over MMIO (Gdev
+// synchronizes by MMIO polling, not interrupts — §5.2).
+func (d *Device) processDoorbell(chIdx, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if chIdx >= len(d.channels) || n < 0 || n > RingSize {
+		return
+	}
+	ch := d.channels[chIdx]
+	buf := ch.ring[:n]
+	for len(buf) > 0 {
+		cmd, rest, err := DecodeCommand(buf)
+		if err != nil {
+			ch.status = StatusBadCommand
+			return
+		}
+		buf = rest
+		st, done := d.execute(ch, cmd)
+		ch.fenceSeq = cmd.Seq
+		ch.status = st
+		ch.completeNS = int64(done)
+	}
+}
+
+// execute dispatches one command and returns its status and simulated
+// completion time. The caller holds d.mu.
+func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
+	ready := sim.Time(cmd.SubmitNS)
+	r := &payloadReader{buf: cmd.Payload}
+	switch cmd.Op {
+	case OpNop:
+		return StatusOK, ready
+
+	case OpCreateContext:
+		id := r.u32()
+		if r.err != nil || id == 0 {
+			return StatusBadCommand, ready
+		}
+		if _, exists := d.contexts[id]; !exists {
+			d.contexts[id] = &gpuContext{id: id}
+		}
+		return StatusOK, ready
+
+	case OpDestroyContext:
+		id := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		delete(d.contexts, id)
+		for _, c := range d.channels {
+			if c.boundCtx == id {
+				c.boundCtx = 0
+			}
+		}
+		if d.current == id {
+			d.current = 0
+		}
+		return StatusOK, ready
+
+	case OpBindChannel:
+		id := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		if _, ok := d.contexts[id]; !ok {
+			return StatusNoContext, ready
+		}
+		ch.boundCtx = id
+		return StatusOK, ready
+
+	case OpBindMemory, OpUnbindMemory:
+		id := r.u32()
+		addr, size := r.u64(), r.u64()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		ctx, ok := d.contexts[id]
+		if !ok {
+			return StatusNoContext, ready
+		}
+		if cmd.Op == OpBindMemory {
+			if addr+size > d.cfg.VRAMBytes || addr+size < addr {
+				return StatusOutOfRange, ready
+			}
+			ctx.bindings = append(ctx.bindings, extent{addr: addr, size: size})
+			return StatusOK, ready
+		}
+		for i, e := range ctx.bindings {
+			if e.addr == addr && e.size == size {
+				ctx.bindings = append(ctx.bindings[:i], ctx.bindings[i+1:]...)
+				return StatusOK, ready
+			}
+		}
+		return StatusNotBound, ready
+
+	case OpFill:
+		addr, size := r.u64(), r.u64()
+		value := byte(r.u32())
+		flags := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		ctx, st := d.boundContext(ch)
+		if st != StatusOK {
+			return st, ready
+		}
+		if !bound(ctx, addr, size) {
+			return StatusNotBound, ready
+		}
+		ready = d.switchContext(ctx.id, ready)
+		if flags&FlagSynthetic == 0 {
+			for i := addr; i < addr+size; i++ {
+				d.vram[i] = value
+			}
+		}
+		dur := sim.TransferTime(int(size), d.cm.GPUFillBandwidth, d.cm.KernelLaunch)
+		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "fill", ready, dur)
+		return StatusOK, done
+
+	case OpDMAHtoD, OpDMADtoH:
+		gpuAddr, hostAddr, size := r.u64(), r.u64(), r.u64()
+		flags := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		ctx, st := d.boundContext(ch)
+		if st != StatusOK {
+			return st, ready
+		}
+		if !bound(ctx, gpuAddr, size) {
+			return StatusNotBound, ready
+		}
+		if flags&FlagSynthetic == 0 {
+			if d.rc == nil {
+				return StatusDMAFault, ready
+			}
+			var err error
+			if cmd.Op == OpDMAHtoD {
+				err = d.rc.DMARead(d.bdf, mem.PhysAddr(hostAddr), d.vram[gpuAddr:gpuAddr+size])
+			} else {
+				err = d.rc.DMAWrite(d.bdf, mem.PhysAddr(hostAddr), d.vram[gpuAddr:gpuAddr+size])
+			}
+			if err != nil {
+				return StatusDMAFault, ready
+			}
+		}
+		dur := d.cm.HtoDTime(int(size))
+		if cmd.Op == OpDMADtoH {
+			dur = d.cm.DtoHTime(int(size))
+		}
+		_, done := d.tl.AcquireLabeled(sim.ResGPUDMA, cmd.Op.String(), ready, dur)
+		return StatusOK, done
+
+	case OpLaunch:
+		nameBytes := r.bytes(KernelNameSize)
+		var params [NumKernelParams]uint64
+		for i := range params {
+			params[i] = r.u64()
+		}
+		flags := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		name := cString(nameBytes)
+		k, ok := d.kernels[name]
+		if !ok {
+			return StatusNoSuchKernel, ready
+		}
+		ctx, st := d.boundContext(ch)
+		if st != StatusOK {
+			return st, ready
+		}
+		ready = d.switchContext(ctx.id, ready)
+		if flags&FlagSynthetic == 0 && k.Run != nil {
+			ec := &ExecContext{dev: d, ctx: ctx, Params: params}
+			if err := k.Run(ec); err != nil {
+				return StatusKernelFault, ready
+			}
+		}
+		dur := d.cm.KernelLaunch
+		if k.Cost != nil {
+			dur += k.Cost(d.cm, params)
+		}
+		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "kernel:"+name, ready, dur)
+		return StatusOK, done
+
+	case OpDHPublic:
+		slot := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		party, ok := d.dh[slot]
+		if !ok {
+			var err error
+			party, err = attest.NewDHParty(deviceEntropy{})
+			if err != nil {
+				return StatusBadElement, ready
+			}
+			d.dh[slot] = party
+		}
+		d.writeElementResponse(findChannel(d, ch), party.Public())
+		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "dh-public", ready, d.cm.GPUDHOpTime)
+		return StatusOK, done
+
+	case OpDHMix, OpDHFinish:
+		slot := r.u32()
+		elem := r.bytes(DHElementSize)
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		party, ok := d.dh[slot]
+		if !ok {
+			return StatusNoKey, ready
+		}
+		in := new(big.Int).SetBytes(elem)
+		out, err := party.Mix(in)
+		if err != nil {
+			return StatusBadElement, ready
+		}
+		if cmd.Op == OpDHMix {
+			d.writeElementResponse(findChannel(d, ch), out)
+		} else {
+			d.keys[slot] = attest.SessionKey(out)
+		}
+		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "dh-mix", ready, d.cm.GPUDHOpTime)
+		return StatusOK, done
+
+	case OpCryptoEncrypt, OpCryptoDecrypt:
+		src, dst, size := r.u64(), r.u64(), r.u64()
+		slot := r.u32()
+		nonce := r.bytes(NonceSize)
+		flags := r.u32()
+		if r.err != nil {
+			return StatusBadCommand, ready
+		}
+		ctx, st := d.boundContext(ch)
+		if st != StatusOK {
+			return st, ready
+		}
+		key, ok := d.keys[slot]
+		if !ok {
+			return StatusNoKey, ready
+		}
+		// The plaintext side is `size` for encrypt, `size - tag` for
+		// decrypt; the ciphertext side always carries the tag.
+		var srcSpan, dstSpan uint64
+		var dataLen int
+		if cmd.Op == OpCryptoEncrypt {
+			srcSpan, dstSpan = size, size+ocb.TagSize
+			dataLen = int(size)
+		} else {
+			if size < ocb.TagSize {
+				return StatusBadCommand, ready
+			}
+			srcSpan, dstSpan = size, size-ocb.TagSize
+			dataLen = int(size) - ocb.TagSize
+		}
+		if !bound(ctx, src, srcSpan) || !bound(ctx, dst, dstSpan) {
+			return StatusNotBound, ready
+		}
+		ready = d.switchContext(ctx.id, ready)
+		if flags&FlagSynthetic == 0 {
+			aead, err := ocb.New(key[:])
+			if err != nil {
+				return StatusBadCommand, ready
+			}
+			if cmd.Op == OpCryptoEncrypt {
+				ct := aead.Seal(nil, nonce, d.vram[src:src+size], nil)
+				copy(d.vram[dst:], ct)
+			} else {
+				pt, err := aead.Open(nil, nonce, d.vram[src:src+size], nil)
+				if err != nil {
+					return StatusAuthFailed, ready
+				}
+				copy(d.vram[dst:], pt)
+				if dst == src {
+					// In-place: scrub the stale tag bytes.
+					for i := dst + uint64(len(pt)); i < dst+size; i++ {
+						d.vram[i] = 0
+					}
+				}
+			}
+		}
+		dur := d.cm.GPUCryptoTime(dataLen)
+		cryptoRes := sim.ResGPUCompute
+		if d.cfg.ConcurrentContexts {
+			cryptoRes = ResGPUComputeAux
+		}
+		_, done := d.tl.AcquireLabeled(cryptoRes, cmd.Op.String(), ready, dur)
+		return StatusOK, done
+
+	default:
+		return StatusBadCommand, ready
+	}
+}
+
+// boundContext resolves the channel's bound context.
+func (d *Device) boundContext(ch *channel) (*gpuContext, Status) {
+	if ch.boundCtx == 0 {
+		return nil, StatusNoContext
+	}
+	ctx, ok := d.contexts[ch.boundCtx]
+	if !ok {
+		return nil, StatusNoContext
+	}
+	return ctx, StatusOK
+}
+
+// bound reports whether [addr, addr+size) is covered by one of the
+// context's bindings (the GPU-side page-table check).
+func bound(ctx *gpuContext, addr, size uint64) bool {
+	for _, e := range ctx.bindings {
+		if e.contains(addr, size) {
+			return true
+		}
+	}
+	return false
+}
+
+// ResGPUComputeAux is the second engine partition used by the
+// memory-bound crypto kernels under Volta-style concurrent contexts.
+const ResGPUComputeAux = sim.Resource("gpu-compute-aux")
+
+// switchContext accounts a compute-engine context switch when ownership
+// changes (§4.5: pre-Volta GPUs run one context at a time). With
+// concurrent contexts enabled, switches are free.
+func (d *Device) switchContext(ctxID uint32, ready sim.Time) sim.Time {
+	if d.cfg.ConcurrentContexts || d.current == ctxID {
+		d.current = ctxID
+		return ready
+	}
+	d.current = ctxID
+	d.ctxSwitches++
+	_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "ctx-switch", ready, d.cm.ContextSwitch)
+	return done
+}
+
+// writeElementResponse publishes a DH group element in the channel's
+// response buffer: u32 length followed by the fixed-width element.
+func (d *Device) writeElementResponse(chIdx int, v *big.Int) {
+	if chIdx < 0 {
+		return
+	}
+	resp := d.channels[chIdx].resp
+	for i := range resp {
+		resp[i] = 0
+	}
+	putReg(resp[0:4], DHElementSize)
+	v.FillBytes(resp[4 : 4+DHElementSize])
+}
+
+func findChannel(d *Device, ch *channel) int {
+	for i, c := range d.channels {
+		if c == ch {
+			return i
+		}
+	}
+	return -1
+}
+
+func cString(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// deviceEntropy sources the GPU's ephemeral DH secrets. The device is
+// trusted hardware (Axiom #1), so the host crypto RNG stands in for its
+// internal TRNG.
+type deviceEntropy struct{}
+
+func (deviceEntropy) Read(p []byte) (int, error) {
+	return rand.Read(p)
+}

@@ -1,0 +1,22 @@
+package gpu
+
+import "testing"
+
+// FuzzDecodeCommand: the ring decoder must never panic on hostile bytes.
+func FuzzDecodeCommand(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Command{Header: Header{Op: OpNop, Seq: 1}}).Encode())
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		rest := buf
+		for i := 0; i < 64 && len(rest) > 0; i++ {
+			cmd, r, err := DecodeCommand(rest)
+			if err != nil {
+				return
+			}
+			if len(cmd.Payload) > len(buf) {
+				t.Fatal("payload exceeds input")
+			}
+			rest = r
+		}
+	})
+}

@@ -1,0 +1,477 @@
+// Package gpu implements the simulated discrete GPU: a PCIe endpoint with
+// device memory, a register file and per-channel command rings behind
+// BAR0, a VRAM aperture behind BAR1, an expansion-ROM GPU BIOS, a DMA
+// engine, and a compute engine running registered kernels (including the
+// in-GPU OCB-AES kernels HIX relies on, §4.4.2).
+//
+// The device corresponds to the paper's NVIDIA GTX 580 driven by Gdev; it
+// is controlled exclusively through MMIO, supports multiple isolated GPU
+// contexts with context-switch costs (§4.5), and participates in the
+// three-party Diffie-Hellman session-key agreement (§4.4.1).
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// BAR0 register map.
+const (
+	RegMagic        = 0x0000 // ro: DeviceMagic
+	RegStatusReady  = 0x0004 // ro: 1 when ready
+	RegReset        = 0x0008 // wo: write 1 to reset the device (§4.2.2)
+	RegNumChannels  = 0x000C // ro
+	RegVRAMSizeLo   = 0x0010 // ro
+	RegVRAMSizeHi   = 0x0014 // ro
+	RegApertureLo   = 0x0018 // rw: BAR1 aperture base into VRAM
+	RegApertureHi   = 0x001C // rw
+	RegResetCount   = 0x0020 // ro: number of resets since power-on
+	RegCtxSwitches  = 0x0024 // ro: context switches since reset
+	ChannelRegsBase = 0x0100 // per-channel register blocks
+	ChannelRegsSize = 0x40
+	ChanDoorbell    = 0x00 // wo: byte count of commands in the ring
+	ChanFenceSeq    = 0x04 // ro: sequence of last completed command
+	ChanStatus      = 0x08 // ro: Status of last completed command
+	ChanCompleteLo  = 0x0C // ro: simulated completion time (ns)
+	ChanCompleteHi  = 0x10
+	RespBase        = 0x4000 // per-channel response buffers
+	RespSize        = 0x400
+	RingBase        = 0x10000 // per-channel command rings
+	RingSize        = 0x4000
+
+	// DeviceMagic identifies the simulated GPU family.
+	DeviceMagic = 0x47505530 // "GPU0"
+
+	// BAR0Size and BAR1Size are the MMIO window sizes (GTX 580-like).
+	BAR0Size = 32 << 20
+	BAR1Size = 128 << 20
+)
+
+// Config describes a device instance.
+type Config struct {
+	// Name is the diagnostic device name.
+	Name string
+	// VRAMBytes is the device memory capacity. The paper's GTX 580 has
+	// 1.5 GiB; tests use smaller values.
+	VRAMBytes uint64
+	// Channels is the number of command channels (max 15 with the
+	// register layout above).
+	Channels int
+	// Timeline and Cost drive the simulated-time accounting.
+	Timeline *sim.Timeline
+	Cost     sim.CostModel
+	// BIOS is the expansion-ROM image (measured by the GPU enclave,
+	// §4.2.2). A default image is synthesized if nil.
+	BIOS []byte
+	// ConcurrentContexts enables Volta-style isolated simultaneous
+	// multi-context execution (§4.5: "the latest NVIDIA Volta
+	// architecture supports a better isolated simultaneous execution").
+	// Context switches become free and the memory-bound in-GPU crypto
+	// kernels co-schedule with compute kernels on a second engine
+	// partition — an idealized model of MPS-on-Volta used to test the
+	// paper's §5.4 prediction.
+	ConcurrentContexts bool
+	// VendorID/DeviceID default to 0x10DE/0x1080 (GTX 580).
+	VendorID uint16
+	DeviceID uint16
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	*pcie.Endpoint
+
+	mu       sync.Mutex
+	cfg      Config
+	vram     []byte
+	aperture uint64
+	channels []*channel
+	contexts map[uint32]*gpuContext
+	current  uint32 // context owning the compute engine
+	keys     map[uint32][attest.SessionKeySize]byte
+	dh       map[uint32]*attest.DHParty
+	kernels  map[string]*Kernel
+
+	rc  *pcie.RootComplex
+	bdf pcie.BDF
+
+	tl *sim.Timeline
+	cm sim.CostModel
+
+	resetCount  uint32
+	ctxSwitches uint64
+}
+
+type channel struct {
+	ring       []byte
+	resp       []byte
+	fenceSeq   uint32
+	status     Status
+	completeNS int64
+	boundCtx   uint32 // 0 = unbound
+}
+
+type gpuContext struct {
+	id       uint32
+	bindings []extent
+}
+
+type extent struct {
+	addr uint64
+	size uint64
+}
+
+func (e extent) contains(addr, size uint64) bool {
+	return addr >= e.addr && addr+size <= e.addr+e.size && addr+size >= addr
+}
+
+// New creates a device. It allocates VRAM lazily through the OS's
+// zero-page machinery (a large untouched slice costs no physical memory),
+// so paper-scale capacities are cheap until written.
+func New(cfg Config) (*Device, error) {
+	if cfg.VRAMBytes == 0 {
+		return nil, fmt.Errorf("gpu: zero VRAM size")
+	}
+	if cfg.Channels <= 0 || cfg.Channels > 15 {
+		return nil, fmt.Errorf("gpu: channel count %d out of range [1,15]", cfg.Channels)
+	}
+	if cfg.Timeline == nil {
+		return nil, fmt.Errorf("gpu: nil timeline")
+	}
+	if cfg.VendorID == 0 {
+		cfg.VendorID = 0x10DE
+	}
+	if cfg.DeviceID == 0 {
+		cfg.DeviceID = 0x1080
+	}
+	if cfg.BIOS == nil {
+		cfg.BIOS = DefaultBIOS(cfg.Name)
+	}
+	d := &Device{
+		cfg:      cfg,
+		vram:     make([]byte, cfg.VRAMBytes),
+		contexts: make(map[uint32]*gpuContext),
+		keys:     make(map[uint32][attest.SessionKeySize]byte),
+		dh:       make(map[uint32]*attest.DHParty),
+		kernels:  make(map[string]*Kernel),
+		tl:       cfg.Timeline,
+		cm:       cfg.Cost,
+	}
+	for i := 0; i < cfg.Channels; i++ {
+		d.channels = append(d.channels, &channel{
+			ring: make([]byte, RingSize),
+			resp: make([]byte, RespSize),
+		})
+	}
+	ep, err := pcie.NewEndpoint(cfg.Name, pcie.ConfigOpts{
+		VendorID:  cfg.VendorID,
+		DeviceID:  cfg.DeviceID,
+		ClassCode: 0x030000, // display controller
+		BARSizes:  [pcie.NumBARs]uint64{0: BAR0Size, 1: BAR1Size},
+		ROMSize:   romSizeFor(len(cfg.BIOS)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Endpoint = ep
+	if err := ep.SetBARHandler(0, bar0Handler{d}); err != nil {
+		return nil, err
+	}
+	if err := ep.SetBARHandler(1, bar1Handler{d}); err != nil {
+		return nil, err
+	}
+	if err := ep.SetROMImage(cfg.BIOS); err != nil {
+		return nil, err
+	}
+	RegisterBuiltinKernels(d)
+	return d, nil
+}
+
+func romSizeFor(n int) uint64 {
+	size := uint64(1 << 16)
+	for size < uint64(n) {
+		size <<= 1
+	}
+	return size
+}
+
+// DefaultBIOS synthesizes a deterministic GPU BIOS image.
+func DefaultBIOS(name string) []byte {
+	img := make([]byte, 8192)
+	copy(img, []byte("HIXSIM-GPU-BIOS-v1.0:"+name))
+	// PCI option-ROM signature.
+	img[0] = 0x55
+	img[1] = 0xAA
+	for i := 64; i < len(img); i++ {
+		img[i] = byte(i * 7)
+	}
+	return img
+}
+
+// ConnectDMA attaches the device's DMA engine to the fabric after
+// enumeration. bdf must be the device's own enumerated address.
+func (d *Device) ConnectDMA(rc *pcie.RootComplex, bdf pcie.BDF) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rc = rc
+	d.bdf = bdf
+}
+
+// VRAMSize returns the device memory capacity.
+func (d *Device) VRAMSize() uint64 { return d.cfg.VRAMBytes }
+
+// Channels returns the number of command channels.
+func (d *Device) Channels() int { return len(d.channels) }
+
+// ResetCount reports how many times the device has been reset.
+func (d *Device) ResetCount() uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.resetCount
+}
+
+// ContextSwitches reports compute-engine context switches since reset.
+func (d *Device) ContextSwitches() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctxSwitches
+}
+
+// RegisterKernel adds a kernel to the device's registry (models loading a
+// GPU module). Registering an existing name replaces it.
+func (d *Device) RegisterKernel(k *Kernel) error {
+	if k == nil || k.Name == "" {
+		return fmt.Errorf("gpu: invalid kernel")
+	}
+	if len(k.Name) > KernelNameSize {
+		return fmt.Errorf("gpu: kernel name %q exceeds %d bytes", k.Name, KernelNameSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.kernels[k.Name] = k
+	return nil
+}
+
+// reset cleanses all device state: VRAM, contexts, key slots, fences
+// (§4.2.2 "resetting the GPU to eliminate potential malicious codes";
+// §4.2.3 cold-boot cleansing).
+func (d *Device) reset() {
+	for i := range d.vram {
+		d.vram[i] = 0
+	}
+	d.contexts = make(map[uint32]*gpuContext)
+	d.keys = make(map[uint32][attest.SessionKeySize]byte)
+	d.dh = make(map[uint32]*attest.DHParty)
+	d.current = 0
+	d.ctxSwitches = 0
+	for _, ch := range d.channels {
+		ch.fenceSeq = 0
+		ch.status = StatusOK
+		ch.completeNS = 0
+		ch.boundCtx = 0
+		for i := range ch.resp {
+			ch.resp[i] = 0
+		}
+	}
+	d.resetCount++
+}
+
+// Reset performs a device reset from outside the MMIO path (used by
+// platform cold boot).
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reset()
+}
+
+// --- BAR0: registers, rings, responses ---------------------------------
+
+type bar0Handler struct{ d *Device }
+
+func (h bar0Handler) MMIORead(off uint64, p []byte) error {
+	return h.d.bar0Read(off, p)
+}
+
+func (h bar0Handler) MMIOWrite(off uint64, p []byte) error {
+	return h.d.bar0Write(off, p)
+}
+
+func (d *Device) channelOf(off uint64, base, size uint64) (int, uint64, bool) {
+	if off < base {
+		return 0, 0, false
+	}
+	idx := int((off - base) / size)
+	if idx >= len(d.channels) {
+		return 0, 0, false
+	}
+	return idx, (off - base) % size, true
+}
+
+func (d *Device) bar0Read(off uint64, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	// Ring area (write-mostly, readable for debugging).
+	if ch, rel, ok := d.channelOf(off, RingBase, RingSize); ok && off >= RingBase {
+		copyClamped(p, d.channels[ch].ring, rel)
+		return nil
+	}
+	// Response buffers.
+	if ch, rel, ok := d.channelOf(off, RespBase, RespSize); ok && off >= RespBase && off < RingBase {
+		copyClamped(p, d.channels[ch].resp, rel)
+		return nil
+	}
+	// Channel registers.
+	if ch, rel, ok := d.channelOf(off, ChannelRegsBase, ChannelRegsSize); ok &&
+		off >= ChannelRegsBase && off < RespBase {
+		c := d.channels[ch]
+		var v uint32
+		switch rel {
+		case ChanFenceSeq:
+			v = c.fenceSeq
+		case ChanStatus:
+			v = uint32(c.status)
+		case ChanCompleteLo:
+			v = uint32(uint64(c.completeNS) & 0xFFFF_FFFF)
+		case ChanCompleteHi:
+			v = uint32(uint64(c.completeNS) >> 32)
+		default:
+			v = 0
+		}
+		putReg(p, v)
+		return nil
+	}
+	// Global registers.
+	var v uint32
+	switch off {
+	case RegMagic:
+		v = DeviceMagic
+	case RegStatusReady:
+		v = 1
+	case RegNumChannels:
+		v = uint32(len(d.channels))
+	case RegVRAMSizeLo:
+		v = uint32(d.cfg.VRAMBytes & 0xFFFF_FFFF)
+	case RegVRAMSizeHi:
+		v = uint32(d.cfg.VRAMBytes >> 32)
+	case RegApertureLo:
+		v = uint32(d.aperture & 0xFFFF_FFFF)
+	case RegApertureHi:
+		v = uint32(d.aperture >> 32)
+	case RegResetCount:
+		v = d.resetCount
+	case RegCtxSwitches:
+		v = uint32(d.ctxSwitches)
+	default:
+		v = 0
+	}
+	putReg(p, v)
+	return nil
+}
+
+func (d *Device) bar0Write(off uint64, p []byte) error {
+	d.mu.Lock()
+	// Ring area: the driver streams command bytes here.
+	if ch, rel, ok := d.channelOf(off, RingBase, RingSize); ok && off >= RingBase {
+		if int(rel)+len(p) > RingSize {
+			d.mu.Unlock()
+			return fmt.Errorf("gpu: ring write overflows channel %d", ch)
+		}
+		copy(d.channels[ch].ring[rel:], p)
+		d.mu.Unlock()
+		return nil
+	}
+	// Channel registers.
+	if ch, rel, ok := d.channelOf(off, ChannelRegsBase, ChannelRegsSize); ok &&
+		off >= ChannelRegsBase && off < RespBase {
+		if rel == ChanDoorbell {
+			n := getReg(p)
+			d.mu.Unlock()
+			d.processDoorbell(ch, int(n))
+			return nil
+		}
+		d.mu.Unlock()
+		return nil // other channel registers are read-only
+	}
+	// Global registers.
+	switch off {
+	case RegReset:
+		if getReg(p) == 1 {
+			d.reset()
+		}
+	case RegApertureLo:
+		d.aperture = d.aperture&^0xFFFF_FFFF | uint64(getReg(p))
+	case RegApertureHi:
+		d.aperture = d.aperture&0xFFFF_FFFF | uint64(getReg(p))<<32
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+func copyClamped(dst, src []byte, off uint64) {
+	if off >= uint64(len(src)) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	n := copy(dst, src[off:])
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+func putReg(p []byte, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	copy(p, b[:])
+}
+
+func getReg(p []byte) uint32 {
+	var b [4]byte
+	copy(b[:], p)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// --- BAR1: VRAM aperture ------------------------------------------------
+
+type bar1Handler struct{ d *Device }
+
+func (h bar1Handler) MMIORead(off uint64, p []byte) error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	a := h.d.aperture + off
+	if a+uint64(len(p)) > h.d.cfg.VRAMBytes {
+		return fmt.Errorf("gpu: aperture read beyond VRAM (%#x+%d)", a, len(p))
+	}
+	copy(p, h.d.vram[a:])
+	return nil
+}
+
+func (h bar1Handler) MMIOWrite(off uint64, p []byte) error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	a := h.d.aperture + off
+	if a+uint64(len(p)) > h.d.cfg.VRAMBytes {
+		return fmt.Errorf("gpu: aperture write beyond VRAM (%#x+%d)", a, len(p))
+	}
+	copy(h.d.vram[a:], p)
+	return nil
+}
+
+// PeekVRAM exposes raw device memory to tests and the attack harness (it
+// models physical access to the card, which the paper places out of
+// scope for protection but which tests use to observe ground truth).
+func (d *Device) PeekVRAM(addr uint64, p []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if addr+uint64(len(p)) > d.cfg.VRAMBytes {
+		return fmt.Errorf("gpu: peek beyond VRAM")
+	}
+	copy(p, d.vram[addr:])
+	return nil
+}

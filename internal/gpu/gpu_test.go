@@ -1,0 +1,690 @@
+package gpu
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
+	"math/big"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/mem"
+	"repro/internal/ocb"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// rig is a minimal "driver" for exercising the device through real MMIO.
+type rig struct {
+	t    *testing.T
+	as   *mem.AddressSpace
+	rc   *pcie.RootComplex
+	dev  *Device
+	bdf  pcie.BDF
+	bar0 mem.PhysAddr
+	seq  uint32
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pcie.NewRootComplex(as, 0x8000_0000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := rc.AddRootPort("rp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := sim.NewTimeline()
+	dev, err := New(Config{
+		Name:      "gtx580-sim",
+		VRAMBytes: 16 << 20,
+		Channels:  4,
+		Timeline:  tl,
+		Cost:      sim.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port.AttachEndpoint(dev)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	var bdf pcie.BDF
+	for b, d := range rc.Endpoints() {
+		if d == pcie.Device(dev) {
+			bdf = b
+		}
+	}
+	dev.ConnectDMA(rc, bdf)
+	bar0, _, _ := dev.Config().BAR(0)
+	return &rig{t: t, as: as, rc: rc, dev: dev, bdf: bdf, bar0: bar0}
+}
+
+func (r *rig) read32(off uint64) uint32 {
+	r.t.Helper()
+	var b [4]byte
+	if err := r.as.Read(r.bar0+mem.PhysAddr(off), b[:]); err != nil {
+		r.t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *rig) write32(off uint64, v uint32) {
+	r.t.Helper()
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if err := r.as.Write(r.bar0+mem.PhysAddr(off), b[:]); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+// submit encodes a command, writes it to the ring, rings the doorbell and
+// returns the resulting channel status.
+func (r *rig) submit(ch int, op Opcode, payload []byte, submit sim.Time) Status {
+	r.t.Helper()
+	r.seq++
+	cmd := Command{Header: Header{Op: op, Seq: r.seq, SubmitNS: int64(submit)}, Payload: payload}
+	enc := cmd.Encode()
+	ringOff := uint64(RingBase + ch*RingSize)
+	if err := r.as.Write(r.bar0+mem.PhysAddr(ringOff), enc); err != nil {
+		r.t.Fatal(err)
+	}
+	r.write32(uint64(ChannelRegsBase+ch*ChannelRegsSize+ChanDoorbell), uint32(len(enc)))
+	if got := r.read32(uint64(ChannelRegsBase + ch*ChannelRegsSize + ChanFenceSeq)); got != r.seq {
+		r.t.Fatalf("fence = %d, want %d", got, r.seq)
+	}
+	return Status(r.read32(uint64(ChannelRegsBase + ch*ChannelRegsSize + ChanStatus)))
+}
+
+func (r *rig) mustOK(ch int, op Opcode, payload []byte) {
+	r.t.Helper()
+	if st := r.submit(ch, op, payload, 0); st != StatusOK {
+		r.t.Fatalf("%s: status %s", op, st)
+	}
+}
+
+func (r *rig) completeNS(ch int) int64 {
+	lo := uint64(r.read32(uint64(ChannelRegsBase + ch*ChannelRegsSize + ChanCompleteLo)))
+	hi := uint64(r.read32(uint64(ChannelRegsBase + ch*ChannelRegsSize + ChanCompleteHi)))
+	return int64(hi<<32 | lo)
+}
+
+func (r *rig) response(ch int) []byte {
+	buf := make([]byte, RespSize)
+	if err := r.as.Read(r.bar0+mem.PhysAddr(uint64(RespBase+ch*RespSize)), buf); err != nil {
+		r.t.Fatal(err)
+	}
+	return buf
+}
+
+// setupCtx creates a context, binds channel 0 and binds an extent.
+func (r *rig) setupCtx(ctxID uint32, addr, size uint64) {
+	r.mustOK(0, OpCreateContext, BuildCreateContext(ctxID))
+	r.mustOK(0, OpBindChannel, BuildBindChannel(ctxID))
+	r.mustOK(0, OpBindMemory, BuildBindMemory(ctxID, addr, size))
+}
+
+func TestIdentityRegisters(t *testing.T) {
+	r := newRig(t)
+	if r.read32(RegMagic) != DeviceMagic {
+		t.Fatalf("magic = %#x", r.read32(RegMagic))
+	}
+	if r.read32(RegStatusReady) != 1 {
+		t.Fatal("device not ready")
+	}
+	if r.read32(RegNumChannels) != 4 {
+		t.Fatalf("channels = %d", r.read32(RegNumChannels))
+	}
+	size := uint64(r.read32(RegVRAMSizeLo)) | uint64(r.read32(RegVRAMSizeHi))<<32
+	if size != 16<<20 {
+		t.Fatalf("VRAM size = %d", size)
+	}
+}
+
+func TestNopCommandFenceAndStatus(t *testing.T) {
+	r := newRig(t)
+	if st := r.submit(0, OpNop, nil, 42); st != StatusOK {
+		t.Fatalf("status = %s", st)
+	}
+	if r.completeNS(0) != 42 {
+		t.Fatalf("completeNS = %d, want 42", r.completeNS(0))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	r := newRig(t)
+	garbage := make([]byte, 64)
+	if err := r.as.Write(r.bar0+RingBase, garbage); err != nil {
+		t.Fatal(err)
+	}
+	r.write32(ChannelRegsBase+ChanDoorbell, 64)
+	if st := Status(r.read32(ChannelRegsBase + ChanStatus)); st != StatusBadCommand {
+		t.Fatalf("status = %s", st)
+	}
+}
+
+func TestContextLifecycle(t *testing.T) {
+	r := newRig(t)
+	// Bind to a nonexistent context fails.
+	if st := r.submit(0, OpBindChannel, BuildBindChannel(9), 0); st != StatusNoContext {
+		t.Fatalf("bind to missing ctx: %s", st)
+	}
+	r.mustOK(0, OpCreateContext, BuildCreateContext(9))
+	r.mustOK(0, OpBindChannel, BuildBindChannel(9))
+	// Zero context ID is invalid.
+	if st := r.submit(0, OpCreateContext, BuildCreateContext(0), 0); st != StatusBadCommand {
+		t.Fatalf("zero ctx: %s", st)
+	}
+	r.mustOK(0, OpDestroyContext, BuildDestroyContext(9))
+	// Channel unbound after destroy: compute ops report no context.
+	if st := r.submit(0, OpFill, BuildFill(0, 16, 0, 0), 0); st != StatusNoContext {
+		t.Fatalf("fill after destroy: %s", st)
+	}
+}
+
+func TestBindMemoryValidation(t *testing.T) {
+	r := newRig(t)
+	r.mustOK(0, OpCreateContext, BuildCreateContext(1))
+	if st := r.submit(0, OpBindMemory, BuildBindMemory(1, 16<<20, 4096), 0); st != StatusOutOfRange {
+		t.Fatalf("oob bind: %s", st)
+	}
+	if st := r.submit(0, OpBindMemory, BuildBindMemory(1, ^uint64(0)-100, 4096), 0); st != StatusOutOfRange {
+		t.Fatalf("overflow bind: %s", st)
+	}
+	if st := r.submit(0, OpUnbindMemory, BuildBindMemory(1, 0, 4096), 0); st != StatusNotBound {
+		t.Fatalf("unbind missing: %s", st)
+	}
+	if st := r.submit(0, OpBindMemory, BuildBindMemory(5, 0, 4096), 0); st != StatusNoContext {
+		t.Fatalf("bind on missing ctx: %s", st)
+	}
+}
+
+func TestDMARoundtrip(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	want := []byte("secret tensor data, definitely confidential")
+	if err := r.as.Write(0x8000, want); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(0, OpDMAHtoD, BuildDMA(0x1000, 0x8000, uint64(len(want)), 0))
+	got := make([]byte, len(want))
+	if err := r.dev.PeekVRAM(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("VRAM = %q", got)
+	}
+	// DtoH back to a different host address.
+	r.mustOK(0, OpDMADtoH, BuildDMA(0x1000, 0x9000, uint64(len(want)), 0))
+	back := make([]byte, len(want))
+	if err := r.as.Read(0x9000, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, want) {
+		t.Fatalf("DtoH = %q", back)
+	}
+}
+
+func TestDMARequiresBinding(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	if st := r.submit(0, OpDMAHtoD, BuildDMA(0x5000, 0x8000, 64, 0), 0); st != StatusNotBound {
+		t.Fatalf("unbound DMA: %s", st)
+	}
+}
+
+func TestDMAFaultOnBadHostAddress(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0, 0x1000)
+	// Host address far outside DRAM.
+	if st := r.submit(0, OpDMAHtoD, BuildDMA(0, 0xDEAD_BEEF_000, 64, 0), 0); st != StatusDMAFault {
+		t.Fatalf("bad host DMA: %s", st)
+	}
+}
+
+func TestApertureAccess(t *testing.T) {
+	r := newRig(t)
+	bar1, _, _ := r.dev.Config().BAR(1)
+	// Write through the aperture at base 0.
+	if err := r.as.Write(bar1+0x100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := r.dev.PeekVRAM(0x100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("aperture write landed at %v", got)
+	}
+	// Move the aperture window and read the same bytes at the new offset.
+	r.write32(RegApertureLo, 0x100)
+	back := make([]byte, 3)
+	if err := r.as.Read(bar1, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, []byte{1, 2, 3}) {
+		t.Fatalf("windowed aperture read = %v", back)
+	}
+	// Beyond-VRAM access errors.
+	r.write32(RegApertureLo, uint32(r.dev.VRAMSize()-2))
+	if err := r.as.Read(bar1, make([]byte, 4)); err == nil {
+		t.Fatal("aperture read past VRAM succeeded")
+	}
+}
+
+func TestKernelLaunchFunctional(t *testing.T) {
+	r := newRig(t)
+	err := r.dev.RegisterKernel(&Kernel{
+		Name: "add_const",
+		Cost: func(cm sim.CostModel, p [NumKernelParams]uint64) sim.Duration {
+			return cm.ComputeTime(float64(p[1]))
+		},
+		Run: func(e *ExecContext) error {
+			addr, n, c := e.Params[0], e.Params[1], uint32(e.Params[2])
+			for i := uint64(0); i < n; i++ {
+				v, err := e.U32(addr + 4*i)
+				if err != nil {
+					return err
+				}
+				if err := e.PutU32(addr+4*i, v+c); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.setupCtx(1, 0x2000, 0x1000)
+	// Seed VRAM via aperture.
+	bar1, _, _ := r.dev.Config().BAR(1)
+	seed := make([]byte, 16)
+	binary.LittleEndian.PutUint32(seed[0:], 10)
+	binary.LittleEndian.PutUint32(seed[4:], 20)
+	binary.LittleEndian.PutUint32(seed[8:], 30)
+	binary.LittleEndian.PutUint32(seed[12:], 40)
+	if err := r.as.Write(bar1+0x2000, seed); err != nil {
+		t.Fatal(err)
+	}
+	var params [NumKernelParams]uint64
+	params[0], params[1], params[2] = 0x2000, 4, 5
+	r.mustOK(0, OpLaunch, BuildLaunch("add_const", params, 0))
+	out := make([]byte, 16)
+	if err := r.dev.PeekVRAM(0x2000, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint32{15, 25, 35, 45} {
+		if got := binary.LittleEndian.Uint32(out[4*i:]); got != want {
+			t.Fatalf("elem %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestKernelIsolationFault(t *testing.T) {
+	r := newRig(t)
+	err := r.dev.RegisterKernel(&Kernel{
+		Name: "prowler",
+		Run: func(e *ExecContext) error {
+			_, err := e.Mem(e.Params[0], 16)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.setupCtx(1, 0x1000, 0x1000)
+	// Victim context owns a disjoint extent.
+	r.mustOK(0, OpCreateContext, BuildCreateContext(2))
+	r.mustOK(0, OpBindMemory, BuildBindMemory(2, 0x8000, 0x1000))
+	var params [NumKernelParams]uint64
+	params[0] = 0x8000 // attacker kernel reaches for victim memory
+	if st := r.submit(0, OpLaunch, BuildLaunch("prowler", params, 0), 0); st != StatusKernelFault {
+		t.Fatalf("cross-context access status = %s", st)
+	}
+	params[0] = 0x1000 // own memory is fine
+	r.mustOK(0, OpLaunch, BuildLaunch("prowler", params, 0))
+}
+
+func TestLaunchUnknownKernel(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0, 4096)
+	var params [NumKernelParams]uint64
+	if st := r.submit(0, OpLaunch, BuildLaunch("no_such", params, 0), 0); st != StatusNoSuchKernel {
+		t.Fatalf("status = %s", st)
+	}
+}
+
+// establishKey runs the 3-party ring protocol with the device as party C,
+// returning the shared key the two CPU parties derived.
+func establishKey(t *testing.T, r *rig, slot uint32) [attest.SessionKeySize]byte {
+	t.Helper()
+	a, err := attest.NewDHParty(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := attest.NewDHParty(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: device publishes g^c.
+	r.mustOK(0, OpDHPublic, BuildDHPublic(slot))
+	resp := r.response(0)
+	gc := new(big.Int).SetBytes(resp[4 : 4+DHElementSize])
+	// Round 2 (ring): a mixes g^c -> g^ca (to b); b mixes g^a -> g^ab
+	// (to device); device mixes g^b -> g^bc (to a).
+	gca, err := a.Mix(gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gab, err := b.Mix(a.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elem := make([]byte, DHElementSize)
+	b.Public().FillBytes(elem)
+	r.mustOK(0, OpDHMix, BuildDHElement(slot, elem))
+	resp = r.response(0)
+	gbc := new(big.Int).SetBytes(resp[4 : 4+DHElementSize])
+	// Final: a mixes g^bc, b mixes g^ca, device finishes with g^ab.
+	sa, err := a.Mix(gbc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Mix(gca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attest.SessionKey(sa) != attest.SessionKey(sb) {
+		t.Fatal("CPU parties disagree")
+	}
+	gab.FillBytes(elem)
+	r.mustOK(0, OpDHFinish, BuildDHElement(slot, elem))
+	return attest.SessionKey(sa)
+}
+
+func TestInGPUCryptoRoundtrip(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x2000)
+	key := establishKey(t, r, 7)
+
+	// CPU-side encrypt with the shared key, DMA ciphertext in, decrypt
+	// in-GPU, verify plaintext in VRAM.
+	aead, err := ocb.New(key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("model weights batch 0")
+	nonce := []byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1}
+	ct := aead.Seal(nil, nonce, pt, nil)
+	if err := r.as.Write(0x8000, ct); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(0, OpDMAHtoD, BuildDMA(0x1000, 0x8000, uint64(len(ct)), 0))
+	r.mustOK(0, OpCryptoDecrypt, BuildCrypto(0x1000, 0x1000, uint64(len(ct)), 7, nonce, 0))
+	got := make([]byte, len(pt))
+	if err := r.dev.PeekVRAM(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("in-GPU decrypt = %q", got)
+	}
+
+	// In-GPU encrypt with a fresh nonce, DMA out, CPU-side decrypt.
+	nonce2 := []byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2}
+	r.mustOK(0, OpCryptoEncrypt, BuildCrypto(0x1000, 0x1000, uint64(len(pt)), 7, nonce2, 0))
+	ct2 := make([]byte, len(pt)+ocb.TagSize)
+	r.mustOK(0, OpDMADtoH, BuildDMA(0x1000, 0xA000, uint64(len(ct2)), 0))
+	if err := r.as.Read(0xA000, ct2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := aead.Open(nil, nonce2, ct2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("roundtrip = %q", back)
+	}
+}
+
+func TestInGPUDecryptDetectsTampering(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x2000)
+	key := establishKey(t, r, 3)
+	aead, _ := ocb.New(key[:])
+	nonce := []byte{0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 1}
+	ct := aead.Seal(nil, nonce, []byte("payload"), nil)
+	ct[2] ^= 0x40 // the adversary flips a bit on the DMA path
+	if err := r.as.Write(0x8000, ct); err != nil {
+		t.Fatal(err)
+	}
+	r.mustOK(0, OpDMAHtoD, BuildDMA(0x1000, 0x8000, uint64(len(ct)), 0))
+	if st := r.submit(0, OpCryptoDecrypt, BuildCrypto(0x1000, 0x1000, uint64(len(ct)), 3, nonce, 0), 0); st != StatusAuthFailed {
+		t.Fatalf("tampered decrypt status = %s", st)
+	}
+}
+
+func TestCryptoWithoutKey(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	nonce := make([]byte, NonceSize)
+	if st := r.submit(0, OpCryptoDecrypt, BuildCrypto(0x1000, 0x1000, 64, 99, nonce, 0), 0); st != StatusNoKey {
+		t.Fatalf("status = %s", st)
+	}
+}
+
+func TestDHMixRejectsDegenerateElement(t *testing.T) {
+	r := newRig(t)
+	r.mustOK(0, OpDHPublic, BuildDHPublic(1))
+	one := make([]byte, DHElementSize)
+	one[DHElementSize-1] = 1
+	if st := r.submit(0, OpDHMix, BuildDHElement(1, one), 0); st != StatusBadElement {
+		t.Fatalf("degenerate element status = %s", st)
+	}
+	if st := r.submit(0, OpDHMix, BuildDHElement(55, one), 0); st != StatusNoKey {
+		t.Fatalf("mix on missing slot = %s", st)
+	}
+}
+
+func TestResetCleansesDevice(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	establishKey(t, r, 7)
+	if err := r.as.Write(func() mem.PhysAddr { b, _, _ := r.dev.Config().BAR(1); return b }()+0x1000,
+		[]byte("residual secret")); err != nil {
+		t.Fatal(err)
+	}
+	r.write32(RegReset, 1)
+	if r.read32(RegResetCount) != 1 {
+		t.Fatalf("reset count = %d", r.read32(RegResetCount))
+	}
+	// VRAM cleansed.
+	got := make([]byte, 15)
+	if err := r.dev.PeekVRAM(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 15)) {
+		t.Fatalf("VRAM not cleansed: %q", got)
+	}
+	// Keys and contexts gone.
+	nonce := make([]byte, NonceSize)
+	if st := r.submit(0, OpCryptoDecrypt, BuildCrypto(0x1000, 0x1000, 64, 7, nonce, 0), 0); st != StatusNoContext {
+		t.Fatalf("post-reset status = %s", st)
+	}
+}
+
+func TestContextSwitchAccounting(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	r.mustOK(0, OpCreateContext, BuildCreateContext(2))
+	r.mustOK(0, OpBindMemory, BuildBindMemory(2, 0x4000, 0x1000))
+	// Channel 1 serves context 2.
+	r.mustOK(1, OpBindChannel, BuildBindChannel(2))
+
+	r.mustOK(0, OpFill, BuildFill(0x1000, 16, 1, 0)) // switch 0 -> 1
+	r.mustOK(1, OpFill, BuildFill(0x4000, 16, 2, 0)) // switch 1 -> 2
+	r.mustOK(0, OpFill, BuildFill(0x1000, 16, 3, 0)) // switch 2 -> 1
+	r.mustOK(0, OpFill, BuildFill(0x1000, 16, 4, 0)) // no switch
+	if got := r.dev.ContextSwitches(); got != 3 {
+		t.Fatalf("context switches = %d, want 3", got)
+	}
+}
+
+func TestSyntheticDMAMovesNoData(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0x1000, 0x1000)
+	if err := r.as.Write(0x8000, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.submit(0, OpDMAHtoD, BuildDMA(0x1000, 0x8000, 256, FlagSynthetic), 100)
+	if st != StatusOK {
+		t.Fatalf("synthetic DMA status = %s", st)
+	}
+	got := make([]byte, 1)
+	if err := r.dev.PeekVRAM(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("synthetic DMA moved data")
+	}
+	// But simulated time advanced past the submit time.
+	if r.completeNS(0) <= 100 {
+		t.Fatalf("completeNS = %d", r.completeNS(0))
+	}
+}
+
+func TestDMATimingMatchesCostModel(t *testing.T) {
+	r := newRig(t)
+	r.setupCtx(1, 0, 1<<20)
+	cm := sim.Default()
+	const n = 1 << 20
+	st := r.submit(0, OpDMAHtoD, BuildDMA(0, 0x8000, n, FlagSynthetic), 0)
+	if st != StatusOK {
+		t.Fatalf("status = %s", st)
+	}
+	want := int64(cm.HtoDTime(n))
+	if got := r.completeNS(0); got != want {
+		t.Fatalf("completion = %d, want %d", got, want)
+	}
+}
+
+func TestConfigValidationGPU(t *testing.T) {
+	tl := sim.NewTimeline()
+	if _, err := New(Config{VRAMBytes: 0, Channels: 1, Timeline: tl}); err == nil {
+		t.Fatal("zero VRAM accepted")
+	}
+	if _, err := New(Config{VRAMBytes: 1024, Channels: 0, Timeline: tl}); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := New(Config{VRAMBytes: 1024, Channels: 16, Timeline: tl}); err == nil {
+		t.Fatal("16 channels accepted")
+	}
+	if _, err := New(Config{VRAMBytes: 1024, Channels: 1}); err == nil {
+		t.Fatal("nil timeline accepted")
+	}
+}
+
+func TestRegisterKernelValidation(t *testing.T) {
+	r := newRig(t)
+	if err := r.dev.RegisterKernel(nil); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	if err := r.dev.RegisterKernel(&Kernel{}); err == nil {
+		t.Fatal("unnamed kernel accepted")
+	}
+	long := make([]byte, KernelNameSize+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := r.dev.RegisterKernel(&Kernel{Name: string(long)}); err == nil {
+		t.Fatal("long kernel name accepted")
+	}
+}
+
+func TestCommandEncodingRoundtrip(t *testing.T) {
+	in := Command{
+		Header:  Header{Op: OpDMAHtoD, Seq: 77, SubmitNS: 123456},
+		Payload: BuildDMA(1, 2, 3, 4),
+	}
+	buf := in.Encode()
+	out, rest, err := DecodeCommand(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes", len(rest))
+	}
+	if out.Op != OpDMAHtoD || out.Seq != 77 || out.SubmitNS != 123456 {
+		t.Fatalf("header mismatch: %+v", out.Header)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	// Truncated buffers error.
+	if _, _, err := DecodeCommand(buf[:HeaderSize-1]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, _, err := DecodeCommand(buf[:HeaderSize+1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestBatchedCommands(t *testing.T) {
+	r := newRig(t)
+	// Two commands in one doorbell.
+	c1 := Command{Header: Header{Op: OpCreateContext, Seq: 1}, Payload: BuildCreateContext(4)}
+	c2 := Command{Header: Header{Op: OpBindChannel, Seq: 2}, Payload: BuildBindChannel(4)}
+	batch := append(c1.Encode(), c2.Encode()...)
+	if err := r.as.Write(r.bar0+RingBase, batch); err != nil {
+		t.Fatal(err)
+	}
+	r.write32(ChannelRegsBase+ChanDoorbell, uint32(len(batch)))
+	if got := r.read32(ChannelRegsBase + ChanFenceSeq); got != 2 {
+		t.Fatalf("fence after batch = %d", got)
+	}
+	if st := Status(r.read32(ChannelRegsBase + ChanStatus)); st != StatusOK {
+		t.Fatalf("batch status = %s", st)
+	}
+}
+
+func TestOpcodeAndStatusStrings(t *testing.T) {
+	for op := OpNop; op <= OpCryptoDecrypt; op++ {
+		if s := op.String(); s == "" || s[0] == 'O' {
+			t.Fatalf("missing String for opcode %d: %q", op, s)
+		}
+	}
+	if Opcode(999).String() == "" {
+		t.Fatal("unknown opcode string empty")
+	}
+	for st := StatusOK; st <= StatusKernelFault; st++ {
+		if s := st.String(); s == "" || s[0] == 'S' {
+			t.Fatalf("missing String for status %d: %q", st, s)
+		}
+	}
+	if StatusOK.Err() != nil {
+		t.Fatal("StatusOK.Err() != nil")
+	}
+	if StatusAuthFailed.Err() == nil {
+		t.Fatal("StatusAuthFailed.Err() == nil")
+	}
+}
+
+func TestROMIsBIOS(t *testing.T) {
+	r := newRig(t)
+	base, _, enabled := r.dev.Config().ROMBAR()
+	if !enabled {
+		t.Fatal("ROM not enabled")
+	}
+	sig := make([]byte, 2)
+	if err := r.as.Read(base, sig); err != nil {
+		t.Fatal(err)
+	}
+	if sig[0] != 0x55 || sig[1] != 0xAA {
+		t.Fatalf("option ROM signature = %x", sig)
+	}
+}

@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Kernel is a GPU program in the device's registry — the analogue of a
+// loaded CUDA module's function.
+//
+// Run is the functional implementation: it executes on real bytes in
+// device memory and is exercised by tests, examples and the attack
+// harness. Cost is the timing model: the simulated compute-engine
+// occupancy for given parameters. The benchmark harness can launch with
+// FlagSynthetic to account Cost without executing Run at paper-scale
+// problem sizes.
+type Kernel struct {
+	Name string
+	// Cost returns the compute time for this launch (excluding the
+	// fixed launch overhead, which the device adds). Nil means
+	// zero-cost.
+	Cost func(cm sim.CostModel, params [NumKernelParams]uint64) sim.Duration
+	// Run executes the kernel against device memory. Nil means the
+	// kernel is timing-only.
+	Run func(e *ExecContext) error
+}
+
+// ExecContext is what a running kernel sees: its launch parameters and
+// bounds-checked access to the launching context's device memory.
+type ExecContext struct {
+	dev    *Device
+	ctx    *gpuContext
+	Params [NumKernelParams]uint64
+}
+
+// ErrKernelAccess reports an out-of-binding device memory access by a
+// kernel — the GPU-side isolation fault (§4.5).
+var ErrKernelAccess = errors.New("gpu: kernel access outside context bindings")
+
+// Mem returns a mutable view of [addr, addr+n) in device memory. The
+// extent must lie inside the launching context's bindings; crossing into
+// another context's memory faults, which is exactly the isolation the
+// paper's multi-context design provides.
+func (e *ExecContext) Mem(addr, n uint64) ([]byte, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if !bound(e.ctx, addr, n) {
+		return nil, fmt.Errorf("%w: %#x+%d in ctx %d", ErrKernelAccess, addr, n, e.ctx.id)
+	}
+	return e.dev.vram[addr : addr+n], nil
+}
+
+// U32 reads a little-endian uint32 from device memory.
+func (e *ExecContext) U32(addr uint64) (uint32, error) {
+	b, err := e.Mem(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// PutU32 writes a little-endian uint32 to device memory.
+func (e *ExecContext) PutU32(addr uint64, v uint32) error {
+	b, err := e.Mem(addr, 4)
+	if err != nil {
+		return err
+	}
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// F32 reads a little-endian float32 from device memory.
+func (e *ExecContext) F32(addr uint64) (float32, error) {
+	v, err := e.U32(addr)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(v), nil
+}
+
+// PutF32 writes a little-endian float32 to device memory.
+func (e *ExecContext) PutF32(addr uint64, v float32) error {
+	return e.PutU32(addr, math.Float32bits(v))
+}
+
+// KernelNop is a zero-work kernel present on every device; drivers use it
+// for liveness checks and launch-overhead measurements.
+const KernelNop = "nop"
+
+// RegisterBuiltinKernels installs the kernels every device ships with.
+func RegisterBuiltinKernels(d *Device) {
+	// The registry write cannot fail for these static names.
+	_ = d.RegisterKernel(&Kernel{Name: KernelNop})
+}

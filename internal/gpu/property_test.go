@@ -1,0 +1,121 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// Property: the device never panics on arbitrary ring contents — a
+// malicious or buggy driver writing junk must at worst get a bad-command
+// status.
+func TestDoorbellJunkNeverPanics(t *testing.T) {
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pcie.NewRootComplex(as, 0x8000_0000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := rc.AddRootPort("rp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(Config{
+		Name: "junk", VRAMBytes: 1 << 20, Channels: 2,
+		Timeline: sim.NewTimeline(), Cost: sim.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port.AttachEndpoint(dev)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(junk []byte, doorbell uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("device panicked on junk ring: %v", r)
+			}
+		}()
+		if len(junk) > RingSize {
+			junk = junk[:RingSize]
+		}
+		copy(dev.channels[0].ring, junk)
+		dev.processDoorbell(0, int(doorbell))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: valid command headers with arbitrary payloads never panic
+// either; unknown opcodes report bad-command.
+func TestDoorbellArbitraryCommandsNeverPanic(t *testing.T) {
+	dev, err := New(Config{
+		Name: "junk2", VRAMBytes: 1 << 20, Channels: 1,
+		Timeline: sim.NewTimeline(), Cost: sim.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(op uint8, payload []byte, seq uint32) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("device panicked on op %d: %v", op, r)
+			}
+		}()
+		if len(payload) > RingSize-HeaderSize {
+			payload = payload[:RingSize-HeaderSize]
+		}
+		cmd := Command{Header: Header{Op: Opcode(op), Seq: seq}, Payload: payload}
+		enc := cmd.Encode()
+		copy(dev.channels[0].ring, enc)
+		dev.processDoorbell(0, len(enc))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: command encode/decode roundtrips for arbitrary payloads.
+func TestCommandRoundtripProperty(t *testing.T) {
+	f := func(op uint32, seq uint32, submit int64, payload []byte) bool {
+		in := Command{Header: Header{Op: Opcode(op), Seq: seq, SubmitNS: submit}, Payload: payload}
+		out, rest, err := DecodeCommand(in.Encode())
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return out.Op == in.Op && out.Seq == seq && out.SubmitNS == submit &&
+			string(out.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extent containment is consistent: contained addresses are
+// within bounds and never wrap.
+func TestExtentContainsProperty(t *testing.T) {
+	f := func(base, size, addr, span uint64) bool {
+		e := extent{addr: base, size: size}
+		if e.contains(addr, span) {
+			if addr < base || addr+span > base+size {
+				return false
+			}
+			if addr+span < addr { // wrapped
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

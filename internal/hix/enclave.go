@@ -1,0 +1,609 @@
+package hix
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/gdev"
+	"repro/internal/gpu"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/ocb"
+	"repro/internal/osim"
+	"repro/internal/pcie"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// GPU enclave errors.
+var (
+	ErrEnclaveDead  = errors.New("hix: GPU enclave terminated")
+	ErrBIOSMismatch = errors.New("hix: GPU BIOS measurement mismatch")
+	// ErrRoutingMismatch indicates the PCIe routing configuration was
+	// modified before the GPU enclave launched (§4.3.2).
+	ErrRoutingMismatch = errors.New("hix: PCIe routing measurement mismatch")
+	ErrNoSession       = errors.New("hix: no such session")
+)
+
+// DefaultDriverImage is the measured "binary" of the GPU-enclave driver.
+// In the real system this is the refactored Gdev driver code loaded page
+// by page with EADD; here a deterministic blob stands in so MRENCLAVE is
+// stable and the vendor endorsement is meaningful.
+func DefaultDriverImage() []byte {
+	img := make([]byte, 3*mem.PageSize)
+	copy(img, []byte("HIX GPU-enclave driver build 1.0 (refactored Gdev core)"))
+	for i := 256; i < len(img); i++ {
+		img[i] = byte(i*13 + 7)
+	}
+	return img
+}
+
+// Config configures GPU-enclave launch.
+type Config struct {
+	Machine *machine.Machine
+	// Vendor endorses the enclave measurement for remote attestation.
+	// Required.
+	Vendor *attest.SigningAuthority
+	// DriverImage overrides the measured driver blob.
+	DriverImage []byte
+	// ExpectedBIOS pins the GPU BIOS measurement; zero means
+	// trust-on-first-measure (the measurement is still recorded and
+	// reported).
+	ExpectedBIOS attest.Measurement
+	// ExpectedRouting pins the PCIe routing measurement (§4.3.2): a
+	// pre-launch rerouting of the fabric (BAR moves, bridge-window
+	// changes) makes launch fail instead of sealing a compromised
+	// path. Zero means measure-and-report.
+	ExpectedRouting attest.Measurement
+	// SessionSegmentBytes sizes each session's inter-enclave shared
+	// segment (default 32 MiB).
+	SessionSegmentBytes uint64
+	// GPU selects which GPU this enclave claims on a multi-GPU machine
+	// (zero value = the primary GPU). One GPU enclave exists per GPU;
+	// PCIe peer-to-peer between them is out of scope (§5.6).
+	GPU pcie.BDF
+}
+
+// Enclave is the running GPU enclave: the sole owner and operator of the
+// GPU (§4.2).
+type Enclave struct {
+	m       *machine.Machine
+	gpu     *gpu.Device
+	gpuBDF  pcie.BDF
+	proc    *osim.Process
+	enclID  uint64
+	measure attest.Measurement
+	tok     *sgx.Token
+	core    *gdev.Core
+	vendor  *attest.SigningAuthority
+
+	bar0VA, bar1VA, romVA mmu.VirtAddr
+	romSize               uint64
+
+	biosMeasure  attest.Measurement
+	routeMeasure attest.Measurement
+	endorsement  attest.Endorsement
+
+	segBytes uint64
+
+	mu          sync.Mutex
+	sessions    map[uint32]*session
+	nextSID     uint32
+	channels    map[int]bool
+	dead        bool
+	now         sim.Time // enclave-global cursor for setup work
+	nextManaged uint64   // managed-handle bump allocator
+	paging      ManagedStats
+}
+
+// session is the GPU enclave's per-user state (§4.5: one GPU context and
+// one key per user enclave).
+type session struct {
+	id      uint32
+	ctxID   uint32
+	channel int
+	aead    *ocb.AEAD
+	dh      *attest.DHParty
+
+	seg    *osim.SharedSegment
+	reqQ   int
+	respQ  int
+	segVA  mmu.VirtAddr // unused placeholder for symmetry; data moves by DMA
+	active bool
+
+	// staging is the in-VRAM ciphertext landing zone for the
+	// single-copy path (§4.4.2), split into two slots so successive
+	// chunks double-buffer.
+	staging     uint64
+	stagingSize uint64
+	stagingTurn uint64
+
+	// Directed meta-channel nonce sequences; the receiver's counter
+	// advances in lockstep, so replay or reorder fails authentication.
+	// Bulk-data nonces arrive inside the authenticated request instead.
+	userMeta *attest.NonceSequence // consumed when opening requests
+	geMeta   *attest.NonceSequence // used when sealing responses
+
+	allocs map[uint64]uint64 // device ptr -> size
+	// managed holds demand-paged allocations (paging.go), keyed by
+	// handle; managedNonce feeds eviction-writeback encryption.
+	managed      map[uint64]*managedBuf
+	managedNonce *attest.NonceSequence
+	now          sim.Time // server-side session cursor
+}
+
+// enclaveMMIO reaches the GPU BARs through TGMR-validated enclave
+// memory accesses.
+type enclaveMMIO struct {
+	e *Enclave
+	// read/write are bound to the enclave token at launch.
+	read  func(va mmu.VirtAddr, p []byte) error
+	write func(va mmu.VirtAddr, p []byte) error
+}
+
+func (a *enclaveMMIO) ReadBar0(off uint64, p []byte) error {
+	return a.read(a.e.bar0VA+mmu.VirtAddr(off), p)
+}
+
+func (a *enclaveMMIO) WriteBar0(off uint64, p []byte) error {
+	return a.write(a.e.bar0VA+mmu.VirtAddr(off), p)
+}
+
+func (a *enclaveMMIO) ReadBar1(off uint64, p []byte) error {
+	return a.read(a.e.bar1VA+mmu.VirtAddr(off), p)
+}
+
+func (a *enclaveMMIO) WriteBar1(off uint64, p []byte) error {
+	return a.write(a.e.bar1VA+mmu.VirtAddr(off), p)
+}
+
+// Launch builds and starts the GPU enclave, performing the full secure
+// initialization of §4.2: enclave construction and measurement, EGCREATE
+// (GPU registration + MMIO lockdown), EGADD registration of every MMIO
+// page, routing measurement, GPU BIOS measurement, and a device reset to
+// cleanse pre-existing state.
+func Launch(cfg Config) (*Enclave, error) {
+	if cfg.Machine == nil || cfg.Vendor == nil {
+		return nil, errors.New("hix: machine and vendor required")
+	}
+	m := cfg.Machine
+	img := cfg.DriverImage
+	if img == nil {
+		img = DefaultDriverImage()
+	}
+	if cfg.SessionSegmentBytes == 0 {
+		cfg.SessionSegmentBytes = 32 << 20
+	}
+
+	bdf := cfg.GPU
+	if (bdf == pcie.BDF{}) {
+		bdf = m.GPUBDF
+	}
+	dev, ok := deviceFor(m, bdf)
+	if !ok {
+		return nil, fmt.Errorf("hix: no GPU at %s", bdf)
+	}
+	e := &Enclave{
+		m:        m,
+		gpu:      dev,
+		gpuBDF:   bdf,
+		vendor:   cfg.Vendor,
+		segBytes: cfg.SessionSegmentBytes,
+		sessions: make(map[uint32]*session),
+		channels: make(map[int]bool),
+	}
+	e.proc = m.OS.NewProcess()
+
+	// Build the enclave: EADD the driver image page by page.
+	const elBase = 0x100_0000
+	pages := (len(img) + mem.PageSize - 1) / mem.PageSize
+	encl, err := m.CPU.ECreate(e.proc.PID, elBase, uint64(pages)*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pages; i++ {
+		lo := i * mem.PageSize
+		hi := lo + mem.PageSize
+		if hi > len(img) {
+			hi = len(img)
+		}
+		frame, err := m.CPU.EAdd(encl.ID(), mmu.VirtAddr(elBase+lo), img[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		e.proc.PT.Map(mmu.VirtAddr(elBase+lo), mmu.PTE{Frame: frame, Writable: true, User: true})
+	}
+	if err := m.CPU.EInit(encl.ID()); err != nil {
+		return nil, err
+	}
+	tok, err := m.CPU.EEnter(encl.ID(), e.proc.PT)
+	if err != nil {
+		return nil, err
+	}
+	e.enclID = encl.ID()
+	e.measure = encl.Measurement()
+	e.tok = tok
+	e.endorsement = cfg.Vendor.Endorse(encl.Measurement())
+
+	// EGCREATE: claim the GPU, engage lockdown.
+	if err := m.CPU.EGCreate(tok, bdf); err != nil {
+		return nil, err
+	}
+
+	// Map and register (EGADD) the GPU's MMIO: BAR0, BAR1, ROM.
+	gcfg := dev.Config()
+	bar0, bar0Size, _ := gcfg.BAR(0)
+	bar1, bar1Size, _ := gcfg.BAR(1)
+	romBase, romSize, _ := gcfg.ROMBAR()
+	e.bar0VA, err = e.registerMMIO(bar0, bar0Size)
+	if err != nil {
+		return nil, err
+	}
+	e.bar1VA, err = e.registerMMIO(bar1, bar1Size)
+	if err != nil {
+		return nil, err
+	}
+	e.romVA, err = e.registerMMIO(romBase, romSize)
+	if err != nil {
+		return nil, err
+	}
+	e.romSize = romSize
+
+	// Measure PCIe routing configuration (§4.3.2) through the trusted
+	// root complex.
+	routing, err := m.Fabric.MeasureRouting(bdf)
+	if err != nil {
+		return nil, err
+	}
+	e.routeMeasure = attest.Measure(routing)
+	if !cfg.ExpectedRouting.IsZero() && e.routeMeasure != cfg.ExpectedRouting {
+		return nil, fmt.Errorf("%w: got %s", ErrRoutingMismatch, e.routeMeasure)
+	}
+
+	// Measure the GPU BIOS through the enclave's own ROM mapping
+	// (§4.2.2), then verify if pinned.
+	bios := make([]byte, romSize)
+	if err := m.CPU.Read(tok, e.romVA, bios); err != nil {
+		return nil, err
+	}
+	e.biosMeasure = attest.Measure(bios)
+	if !cfg.ExpectedBIOS.IsZero() && e.biosMeasure != cfg.ExpectedBIOS {
+		return nil, fmt.Errorf("%w: got %s", ErrBIOSMismatch, e.biosMeasure)
+	}
+
+	// Driver core over the enclave MMIO path.
+	mmio := &enclaveMMIO{
+		e:     e,
+		read:  func(va mmu.VirtAddr, p []byte) error { return m.CPU.Read(tok, va, p) },
+		write: func(va mmu.VirtAddr, p []byte) error { return m.CPU.Write(tok, va, p) },
+	}
+	core, err := gdev.NewCore(mmio, dev.VRAMSize(), m.Timeline, m.Cost)
+	if err != nil {
+		return nil, err
+	}
+	e.core = core
+
+	// Reset the GPU to eliminate any pre-loaded state (§4.2.2), then
+	// probe it.
+	e.now, err = core.ResetDevice(e.now)
+	if err != nil {
+		return nil, err
+	}
+	e.now, err = core.Probe(e.now)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// registerMMIO maps a physical MMIO window into the enclave process and
+// registers every page with EGADD.
+func (e *Enclave) registerMMIO(base mem.PhysAddr, size uint64) (mmu.VirtAddr, error) {
+	va, err := e.m.OS.MapPhys(e.proc, base, size, true)
+	if err != nil {
+		return 0, err
+	}
+	for off := uint64(0); off < size; off += mem.PageSize {
+		if err := e.m.CPU.EGAdd(e.tok, va+mmu.VirtAddr(off), base+mem.PhysAddr(off)); err != nil {
+			return 0, err
+		}
+	}
+	return va, nil
+}
+
+// Measurement returns the GPU enclave's MRENCLAVE, which users verify
+// via remote attestation before trusting it.
+func (e *Enclave) Measurement() attest.Measurement { return e.measure }
+
+// Endorsement returns the vendor's signature over the measurement.
+func (e *Enclave) Endorsement() attest.Endorsement { return e.endorsement }
+
+// BIOSMeasurement returns the measured GPU BIOS hash (§4.2.2).
+func (e *Enclave) BIOSMeasurement() attest.Measurement { return e.biosMeasure }
+
+// RoutingMeasurement returns the measured PCIe routing configuration
+// (§4.3.2).
+func (e *Enclave) RoutingMeasurement() attest.Measurement { return e.routeMeasure }
+
+// RegisterKernel loads a GPU kernel module into the device through the
+// enclave (the HIX analogue of cuModuleLoad; module loading is a GPU
+// enclave service).
+func (e *Enclave) RegisterKernel(k *gpu.Kernel) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return ErrEnclaveDead
+	}
+	return e.gpu.RegisterKernel(k)
+}
+
+func (e *Enclave) claimChannel() (int, error) {
+	for ch := 0; ch < e.gpu.Channels(); ch++ {
+		if !e.channels[ch] {
+			e.channels[ch] = true
+			return ch, nil
+		}
+	}
+	return 0, errors.New("hix: out of GPU channels")
+}
+
+// HandleHello serves the session-setup Request (§4.4.1). It verifies the
+// user's local-attestation report, obtains the GPU's DH share over
+// trusted MMIO, forwards the ring elements, and prepares the transport
+// resources.
+func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return HelloResponse{}, ErrEnclaveDead
+	}
+	// Verify the user enclave's report (EGETKEY+MAC under the hood) and
+	// the binding of the DH share.
+	ok, err := e.m.CPU.EVerifyReport(e.tok, h.Report)
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	if !ok {
+		return HelloResponse{}, fmt.Errorf("%w: user report rejected", ErrAuth)
+	}
+	if !bytes.Equal(h.Report.ReportData[:32], ReportDataFor(h.DHPublic)[:32]) {
+		return HelloResponse{}, fmt.Errorf("%w: DH share not bound to report", ErrAuth)
+	}
+
+	now := sim.Max(e.now, sim.Time(h.SubmitNS))
+	// One-time attestation + key-exchange CPU cost.
+	_, now = e.core.Timeline().AcquireLabeled(sim.ResCPU, "attest", now, e.core.Cost().AttestKeyExch)
+
+	e.nextSID++
+	sid := e.nextSID
+	ch, err := e.claimChannel()
+	if err != nil {
+		return HelloResponse{}, err
+	}
+
+	// GPU enclave's own DH share (party b).
+	b, err := attest.NewDHParty(rand.Reader)
+	if err != nil {
+		return HelloResponse{}, err
+	}
+
+	// Obtain g^c from the GPU over trusted MMIO.
+	st, now2, err := e.core.Submit(ch, now, gpu.OpDHPublic, gpu.BuildDHPublic(sid))
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	if err := st.Err(); err != nil {
+		return HelloResponse{}, err
+	}
+	now = now2
+	resp := make([]byte, 4+gpu.DHElementSize)
+	if err := e.core.ReadResponse(ch, resp); err != nil {
+		return HelloResponse{}, err
+	}
+	gc := new(big.Int).SetBytes(resp[4 : 4+gpu.DHElementSize])
+
+	// Ring step: g^ab to the GPU (it finishes to g^abc), g^bc to the
+	// user (they finish to g^abc).
+	ga := new(big.Int).SetBytes(h.DHPublic)
+	gab, err := b.Mix(ga)
+	if err != nil {
+		return HelloResponse{}, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	elem := make([]byte, gpu.DHElementSize)
+	gab.FillBytes(elem)
+	st, now, err = e.core.Submit(ch, now, gpu.OpDHFinish, gpu.BuildDHElement(sid, elem))
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	if err := st.Err(); err != nil {
+		return HelloResponse{}, err
+	}
+	gbc, err := b.Mix(gc)
+	if err != nil {
+		return HelloResponse{}, fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+
+	// Session transport: queues + shared segment from the (untrusted)
+	// OS.
+	seg, err := e.m.OS.ShmCreate(e.segBytes)
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	s := &session{
+		id:      sid,
+		ctxID:   sid,
+		channel: ch,
+		dh:      b,
+		seg:     seg,
+		reqQ:    e.m.OS.MQCreate(),
+		respQ:   e.m.OS.MQCreate(),
+		allocs:  make(map[uint64]uint64),
+		managed: make(map[uint64]*managedBuf),
+		now:     now,
+	}
+	e.sessions[sid] = s
+
+	// GPU enclave's counter-report, binding g^c||g^bc.
+	gcB := make([]byte, gpu.DHElementSize)
+	gc.FillBytes(gcB)
+	gbcB := make([]byte, gpu.DHElementSize)
+	gbc.FillBytes(gbcB)
+	report, err := e.m.CPU.EReport(e.tok, h.Report.Source, ReportDataFor(gcB, gbcB))
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	return HelloResponse{
+		SessionID:   sid,
+		Report:      report,
+		Endorsement: e.endorsement,
+		GPUPublic:   gcB,
+		MixedBC:     gbcB,
+		ReqQueue:    s.reqQ,
+		RespQueue:   s.respQ,
+		SegmentID:   seg.ID,
+		SegmentSize: seg.Size,
+		CompleteNS:  int64(s.now),
+	}, nil
+}
+
+// HandleFinish completes session setup: derive the session key from the
+// user's mixed element, verify key confirmation, create the session's
+// GPU context and in-VRAM staging buffer.
+func (e *Enclave) HandleFinish(f HelloFinish) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return ErrEnclaveDead
+	}
+	s, ok := e.sessions[f.SessionID]
+	if !ok {
+		return ErrNoSession
+	}
+	if s.active {
+		return fmt.Errorf("%w: session already active", ErrSessionState)
+	}
+	gca := new(big.Int).SetBytes(f.MixedCA)
+	shared, err := s.dh.Mix(gca)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAuth, err)
+	}
+	key := attest.SessionKey(shared)
+	aead, err := ocb.New(key[:])
+	if err != nil {
+		return err
+	}
+	s.aead = aead
+	s.userMeta = attest.NewNonceSequence(NonceChannel(s.id, NonceUserMeta))
+	s.geMeta = attest.NewNonceSequence(NonceChannel(s.id, NonceGEMeta))
+	s.managedNonce = newManagedNonce(s.id)
+
+	// Key confirmation proves the user derived the same key.
+	confirmNonce := s.userMeta.Next()
+	pt, err := aead.Open(nil, confirmNonce, f.Confirm, nil)
+	if err != nil || !bytes.Equal(pt, KeyConfirmation) {
+		delete(e.sessions, f.SessionID)
+		delete(e.channels, s.channel)
+		return fmt.Errorf("%w: key confirmation failed", ErrAuth)
+	}
+
+	now := sim.Max(s.now, sim.Time(f.SubmitNS))
+	// Create the session's isolated GPU context (§4.5) and staging.
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpCreateContext, gpu.BuildCreateContext(s.ctxID))
+	if err != nil || st.Err() != nil {
+		return firstErr(err, st.Err())
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpBindChannel, gpu.BuildBindChannel(s.ctxID))
+	if err != nil || st.Err() != nil {
+		return firstErr(err, st.Err())
+	}
+	s.stagingSize = 2 * (uint64(e.core.Cost().CryptoChunk) + ocb.TagSize)
+	s.staging, err = e.core.AllocVRAM(s.stagingSize)
+	if err != nil {
+		return err
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpBindMemory,
+		gpu.BuildBindMemory(s.ctxID, s.staging, e.core.AllocatedSize(s.staging)))
+	if err != nil || st.Err() != nil {
+		return firstErr(err, st.Err())
+	}
+	s.now = now
+	s.active = true
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Session transport identifiers, exposed for the user runtime and the
+// attack harness (the adversary knows all OS resource IDs anyway).
+func (e *Enclave) SessionTransport(sid uint32) (reqQ, respQ, segID int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[sid]
+	if !ok {
+		return 0, 0, 0, ErrNoSession
+	}
+	return s.reqQ, s.respQ, s.seg.ID, nil
+}
+
+// Kill models the adversary forcefully terminating the GPU enclave
+// process (§4.2.3). GECS/TGMR registrations survive inside the
+// processor, sealing the GPU.
+func (e *Enclave) Kill() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dead = true
+	_ = e.m.CPU.EKill(e.enclID)
+}
+
+// Shutdown is graceful termination: abort GPU work, cleanse the GPU, and
+// return it to the OS (§4.2.3).
+func (e *Enclave) Shutdown() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return ErrEnclaveDead
+	}
+	// Cleanse device state, then release ownership.
+	if _, err := e.core.ResetDevice(e.now); err != nil {
+		return err
+	}
+	if err := e.m.CPU.EGDestroy(e.tok); err != nil {
+		return err
+	}
+	e.dead = true
+	e.sessions = make(map[uint32]*session)
+	return nil
+}
+
+// GPUBDF reports which GPU this enclave owns.
+func (e *Enclave) GPUBDF() pcie.BDF { return e.gpuBDF }
+
+// deviceFor finds the device object for a BDF on the machine.
+func deviceFor(m *machine.Machine, bdf pcie.BDF) (*gpu.Device, bool) {
+	for i, b := range m.GPUBDFs {
+		if b == bdf {
+			return m.GPUs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Dead reports whether the enclave has terminated.
+func (e *Enclave) Dead() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dead
+}

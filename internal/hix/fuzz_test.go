@@ -1,0 +1,15 @@
+package hix
+
+import "testing"
+
+// FuzzDecodeRequest: hostile request bodies never panic the enclave's
+// decoder.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Request{Type: ReqMemAlloc, Size: 64}).Encode())
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		_, _ = DecodeRequest(buf)
+		_, _ = DecodeResponse(buf)
+		_, _ = DecodeEnvelope(buf)
+	})
+}

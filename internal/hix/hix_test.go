@@ -1,0 +1,239 @@
+package hix
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/machine"
+	"repro/internal/pcie"
+)
+
+func newMachine(t *testing.T) (*machine.Machine, *attest.SigningAuthority) {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    256 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    64 << 20,
+		Channels:     4,
+		PlatformSeed: "hix-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, vendor
+}
+
+func TestLaunchEngagesProtection(t *testing.T) {
+	m, vendor := newMachine(t)
+	resetsBefore := m.GPU.ResetCount()
+	ge, err := Launch(Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fabric.LockdownActive() {
+		t.Fatal("MMIO lockdown not engaged")
+	}
+	if owner, ok := m.CPU.GPUOwner(m.GPUBDF); !ok || owner == 0 {
+		t.Fatal("GPU not registered in GECS")
+	}
+	if m.GPU.ResetCount() <= resetsBefore {
+		t.Fatal("GPU was not reset during secure initialization")
+	}
+	if ge.BIOSMeasurement().IsZero() {
+		t.Fatal("BIOS not measured")
+	}
+	if ge.RoutingMeasurement().IsZero() {
+		t.Fatal("routing not measured")
+	}
+	if ge.Measurement().IsZero() {
+		t.Fatal("enclave not measured")
+	}
+	if !attest.VerifyEndorsement(vendor.PublicKey(), ge.Measurement(), ge.Endorsement()) {
+		t.Fatal("endorsement does not verify")
+	}
+}
+
+func TestMeasurementStableAcrossMachines(t *testing.T) {
+	m1, v1 := newMachine(t)
+	m2, v2 := newMachine(t)
+	ge1, err := Launch(Config{Machine: m1, Vendor: v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge2, err := Launch(Config{Machine: m2, Vendor: v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge1.Measurement() != ge2.Measurement() {
+		t.Fatal("same driver image measured differently")
+	}
+	if ge1.BIOSMeasurement() != ge2.BIOSMeasurement() {
+		t.Fatal("same GPU BIOS measured differently")
+	}
+	// A different driver image changes MRENCLAVE.
+	m3, v3 := newMachine(t)
+	ge3, err := Launch(Config{Machine: m3, Vendor: v3, DriverImage: []byte("evil driver")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge3.Measurement() == ge1.Measurement() {
+		t.Fatal("different driver, same measurement")
+	}
+}
+
+func TestBIOSPinning(t *testing.T) {
+	m1, v1 := newMachine(t)
+	ge, err := Launch(Config{Machine: m1, Vendor: v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodBIOS := ge.BIOSMeasurement()
+
+	// Pinning to the right BIOS succeeds.
+	m2, v2 := newMachine(t)
+	if _, err := Launch(Config{Machine: m2, Vendor: v2, ExpectedBIOS: goodBIOS}); err != nil {
+		t.Fatalf("pinned launch failed: %v", err)
+	}
+	// Pinning to a different BIOS (i.e. the BIOS was tampered with
+	// before the enclave started) aborts launch.
+	m3, v3 := newMachine(t)
+	bad := attest.Measure([]byte("compromised bios"))
+	if _, err := Launch(Config{Machine: m3, Vendor: v3, ExpectedBIOS: bad}); !errors.Is(err, ErrBIOSMismatch) {
+		t.Fatalf("tampered BIOS launch: %v", err)
+	}
+}
+
+func TestSecondLaunchRejected(t *testing.T) {
+	m, vendor := newMachine(t)
+	if _, err := Launch(Config{Machine: m, Vendor: vendor}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Launch(Config{Machine: m, Vendor: vendor}); err == nil {
+		t.Fatal("second GPU enclave claimed the same GPU")
+	}
+}
+
+func TestLaunchConfigValidation(t *testing.T) {
+	m, vendor := newMachine(t)
+	if _, err := Launch(Config{Machine: nil, Vendor: vendor}); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := Launch(Config{Machine: m, Vendor: nil}); err == nil {
+		t.Fatal("nil vendor accepted")
+	}
+}
+
+func TestBaselineDriverBlockedAfterLaunch(t *testing.T) {
+	// Once the GPU enclave owns the device, the OS-resident driver's
+	// MMIO mappings stop working: the walker denies its fills.
+	m, vendor := newMachine(t)
+	if _, err := Launch(Config{Machine: m, Vendor: vendor}); err != nil {
+		t.Fatal(err)
+	}
+	kproc := m.OS.NewProcess()
+	bar0, bar0Size, _ := m.GPU.Config().BAR(0)
+	va, err := m.OS.MapPhys(kproc, bar0, bar0Size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CPU.ReadAsOS(kproc.PID, kproc.PT, va, make([]byte, 4)); err == nil {
+		t.Fatal("OS driver still reaches GPU MMIO after EGCREATE")
+	}
+	_ = pcie.BDF{}
+}
+
+func TestRequestTypeStrings(t *testing.T) {
+	for r := ReqMemAlloc; r <= ReqClose; r++ {
+		if s := r.String(); s == "" || s[0] == 'R' {
+			t.Fatalf("missing String for %d: %q", r, s)
+		}
+	}
+	if ReqType(99).String() == "" {
+		t.Fatal("unknown ReqType string")
+	}
+}
+
+func TestProtocolEncodingRoundtrip(t *testing.T) {
+	req := Request{
+		Type: ReqMemcpyHtoD, Ptr: 0x1000, Size: 5, SegOff: 64, Len: 4096,
+		Kernel: "vec_add", Flags: 1,
+	}
+	req.Params[0] = 7
+	req.Params[7] = 9
+	back, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != req {
+		t.Fatalf("request roundtrip: %+v != %+v", back, req)
+	}
+	if _, err := DecodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short request decoded")
+	}
+	resp := Response{Status: RespAuthFailed, CompleteNS: 12345, Value: 42}
+	rback, err := DecodeResponse(resp.Encode())
+	if err != nil || rback != resp {
+		t.Fatalf("response roundtrip: %+v, %v", rback, err)
+	}
+	if _, err := DecodeResponse(nil); err == nil {
+		t.Fatal("empty response decoded")
+	}
+	env := Envelope{SessionID: 3, SubmitNS: 99, Body: []byte("ct")}
+	eback, err := DecodeEnvelope(env.Encode())
+	if err != nil || eback.SessionID != 3 || eback.SubmitNS != 99 || string(eback.Body) != "ct" {
+		t.Fatalf("envelope roundtrip: %+v, %v", eback, err)
+	}
+	if _, err := DecodeEnvelope([]byte{0}); err == nil {
+		t.Fatal("short envelope decoded")
+	}
+	bad := env.Encode()
+	bad[0] ^= 0xFF
+	if _, err := DecodeEnvelope(bad); err == nil {
+		t.Fatal("bad magic envelope decoded")
+	}
+}
+
+func TestNonceChannelSeparation(t *testing.T) {
+	seen := map[uint32]bool{}
+	for sid := uint32(1); sid <= 4; sid++ {
+		for ch := NonceUserMeta; ch <= NonceDataDtoH; ch++ {
+			v := NonceChannel(sid, ch)
+			if seen[v] {
+				t.Fatalf("nonce channel collision at sid=%d ch=%d", sid, ch)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRoutingPinning(t *testing.T) {
+	// Learn the good routing measurement.
+	m1, v1 := newMachine(t)
+	ge, err := Launch(Config{Machine: m1, Vendor: v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ge.RoutingMeasurement()
+
+	// Pinning to it succeeds on an identical machine.
+	m2, v2 := newMachine(t)
+	if _, err := Launch(Config{Machine: m2, Vendor: v2, ExpectedRouting: good}); err != nil {
+		t.Fatalf("pinned launch failed: %v", err)
+	}
+
+	// A pre-launch reroute (the adversary moves BAR0 before the GPU
+	// enclave exists — lockdown is not yet engaged) is detected.
+	m3, v3 := newMachine(t)
+	base, _, _ := m3.GPU.Config().BAR(0)
+	if err := m3.Fabric.ConfigWrite32(m3.GPUBDF, pcie.RegBAR0, uint32(base)+0x400_0000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Launch(Config{Machine: m3, Vendor: v3, ExpectedRouting: good}); !errors.Is(err, ErrRoutingMismatch) {
+		t.Fatalf("pre-launch reroute not detected: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package hix
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/machine"
+	"repro/internal/sgx"
+)
+
+func newMultiGPUMachine(t *testing.T) (*machine.Machine, *attest.SigningAuthority) {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    256 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    64 << 20,
+		Channels:     4,
+		GPUs:         2,
+		PlatformSeed: "multigpu-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, vendor
+}
+
+func TestTwoGPUsEnumerated(t *testing.T) {
+	m, _ := newMultiGPUMachine(t)
+	if len(m.GPUs) != 2 || len(m.GPUBDFs) != 2 {
+		t.Fatalf("GPUs = %d, BDFs = %d", len(m.GPUs), len(m.GPUBDFs))
+	}
+	if m.GPUBDFs[0] == m.GPUBDFs[1] {
+		t.Fatal("both GPUs at the same BDF")
+	}
+	if m.GPU != m.GPUs[0] || m.GPUBDF != m.GPUBDFs[0] {
+		t.Fatal("primary GPU aliases broken")
+	}
+	// Both are real endpoints with distinct BAR windows.
+	b0, _, _ := m.GPUs[0].Config().BAR(0)
+	b1, _, _ := m.GPUs[1].Config().BAR(0)
+	if b0 == b1 {
+		t.Fatal("overlapping BAR assignments")
+	}
+}
+
+func TestOneGPUEnclavePerGPU(t *testing.T) {
+	m, vendor := newMultiGPUMachine(t)
+	ge0, err := Launch(Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge0.GPUBDF() != m.GPUBDFs[0] {
+		t.Fatalf("default enclave claimed %s", ge0.GPUBDF())
+	}
+	// A second enclave for the second GPU works...
+	ge1, err := Launch(Config{Machine: m, Vendor: vendor, GPU: m.GPUBDFs[1]})
+	if err != nil {
+		t.Fatalf("second GPU enclave: %v", err)
+	}
+	if ge1.GPUBDF() != m.GPUBDFs[1] {
+		t.Fatalf("second enclave claimed %s", ge1.GPUBDF())
+	}
+	// ...but a third enclave has no GPU left.
+	if _, err := Launch(Config{Machine: m, Vendor: vendor, GPU: m.GPUBDFs[1]}); !errors.Is(err, sgx.ErrGPUOwned) {
+		t.Fatalf("third enclave error = %v", err)
+	}
+	// Both GPUs are reset and independently measured.
+	if m.GPUs[0].ResetCount() == 0 || m.GPUs[1].ResetCount() == 0 {
+		t.Fatal("GPU not reset during launch")
+	}
+	if ge0.BIOSMeasurement() == ge1.BIOSMeasurement() {
+		t.Fatal("distinct GPUs measured identically (BIOS embeds device name)")
+	}
+	// Lockdown covers both device paths.
+	for _, bdf := range m.GPUBDFs {
+		if err := m.Fabric.ConfigWrite32(bdf, 0x10, 0xDEAD0000); err == nil {
+			t.Fatalf("BAR of %s writable after lockdown", bdf)
+		}
+	}
+}
+
+func TestUnknownGPURejected(t *testing.T) {
+	m, vendor := newMultiGPUMachine(t)
+	bad := m.GPUBDFs[0]
+	bad.Bus += 7
+	if _, err := Launch(Config{Machine: m, Vendor: vendor, GPU: bad}); err == nil {
+		t.Fatal("enclave launched for nonexistent GPU")
+	}
+}

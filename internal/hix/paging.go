@@ -1,0 +1,307 @@
+package hix
+
+import (
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/ocb"
+	"repro/internal/osim"
+	"repro/internal/sim"
+)
+
+// Secure demand paging — the §5.6 future-work feature ("Supporting such
+// demand paging requires additional encryption and integrity protection
+// for the pages before writing back to the main memory. ... Adding the
+// demand paging will be our future work.").
+//
+// Managed buffers let sessions oversubscribe device memory: the GPU
+// enclave transparently evicts least-recently-used managed buffers to an
+// untrusted host backing store and pages them back in on use. Before a
+// buffer leaves the GPU it is encrypted and MACed by the in-GPU OCB
+// kernel under the owning session's key; on page-in the MAC is verified,
+// so the privileged adversary can neither read nor undetectably modify
+// swapped-out device memory.
+//
+// Granularity is whole buffers (the Gdev lineage's driver-managed
+// swapping) rather than hardware page faults, which the simulated GPU —
+// like the paper's GTX 580 — does not have.
+
+// managedBase is the virtual device-address region managed handles live
+// in; the GPU enclave translates them to resident VRAM addresses.
+const managedBase uint64 = 1 << 40
+
+// managedBuf is one managed allocation.
+type managedBuf struct {
+	owner    *session
+	handle   uint64 // virtual address (managedBase + offset)
+	size     uint64
+	resident bool
+	vram     uint64 // valid while resident
+	backing  *osim.SharedSegment
+	// chunkNonces holds, per chunk, the nonce used by the most recent
+	// eviction; page-in opens with exactly these.
+	chunkNonces [][]byte
+	hasData     bool // backing holds a valid evicted image
+	lastUse     sim.Time
+}
+
+// ManagedStats reports paging activity for tests and benchmarks.
+type ManagedStats struct {
+	Evictions uint64
+	PageIns   uint64
+}
+
+// ManagedStats returns the enclave-wide paging counters.
+func (e *Enclave) ManagedStats() ManagedStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.paging
+}
+
+// managedLookup resolves a managed virtual address within the session to
+// its buffer and offset.
+func (s *session) managedLookup(va uint64) (*managedBuf, uint64, bool) {
+	for _, b := range s.managed {
+		if va >= b.handle && va < b.handle+b.size {
+			return b, va - b.handle, true
+		}
+	}
+	return nil, 0, false
+}
+
+// doManagedAlloc creates a managed buffer: a handle plus an untrusted
+// backing segment. Residency is established lazily on first use.
+func (e *Enclave) doManagedAlloc(s *session, req Request, now sim.Time) Response {
+	if req.Size == 0 || req.Size > e.gpu.VRAMSize() {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	backing, err := e.m.OS.ShmCreate(req.Size + e.managedChunkOverhead(req.Size))
+	if err != nil {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	e.mu.Lock()
+	e.nextManaged += (req.Size + 255) &^ 255
+	handle := managedBase + e.nextManaged
+	e.mu.Unlock()
+	b := &managedBuf{owner: s, handle: handle, size: req.Size, backing: backing, lastUse: now}
+	s.managed[handle] = b
+	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%maxInt(e.core.Cost().CPULanes, 1)),
+		"managed-alloc", now, e.core.Cost().MemAllocPerCall)
+	return Response{Status: RespOK, CompleteNS: int64(now), Value: handle}
+}
+
+// managedChunkOverhead is the extra backing space for per-chunk OCB tags.
+func (e *Enclave) managedChunkOverhead(size uint64) uint64 {
+	chunk := uint64(e.core.Cost().CryptoChunk)
+	chunks := (size + chunk - 1) / chunk
+	return chunks * ocb.TagSize
+}
+
+// ensureResident pages b in (evicting LRU buffers as needed) and returns
+// the completion time. The caller holds no enclave lock.
+func (e *Enclave) ensureResident(b *managedBuf, now sim.Time, flags uint32) (sim.Time, error) {
+	b.lastUse = now
+	if b.resident {
+		return now, nil
+	}
+	// Make room.
+	for {
+		addr, err := e.core.AllocVRAM(b.size)
+		if err == nil {
+			b.vram = addr
+			break
+		}
+		victim := e.lruResident(b)
+		if victim == nil {
+			return now, fmt.Errorf("hix: cannot make %d bytes of device memory resident", b.size)
+		}
+		var verr error
+		now, verr = e.evict(victim, now, flags)
+		if verr != nil {
+			return now, verr
+		}
+	}
+	s := b.owner
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpBindMemory,
+		gpu.BuildBindMemory(s.ctxID, b.vram, e.core.AllocatedSize(b.vram)))
+	if err != nil || st != gpu.StatusOK {
+		return now, firstErr(err, st.Err())
+	}
+	if b.hasData {
+		// Page in: DMA each encrypted chunk from the untrusted backing
+		// store and verify+decrypt it with the in-GPU OCB kernel.
+		chunk := uint64(e.core.Cost().CryptoChunk)
+		idx := 0
+		for off := uint64(0); off < b.size; off += chunk {
+			cl := chunk
+			if off+cl > b.size {
+				cl = b.size - off
+			}
+			ctLen := cl + ocb.TagSize
+			staging := s.nextStagingSlot()
+			hostPA, err := b.backing.PhysAt(int(off) + idx*ocb.TagSize)
+			if err != nil {
+				return now, err
+			}
+			st, now, err = e.core.Submit(s.channel, now, gpu.OpDMAHtoD,
+				gpu.BuildDMA(staging, uint64(hostPA), ctLen, flags&gpu.FlagSynthetic))
+			if err != nil || st != gpu.StatusOK {
+				return now, firstErr(err, st.Err())
+			}
+			st, now, err = e.core.Submit(s.channel, now, gpu.OpCryptoDecrypt,
+				gpu.BuildCrypto(staging, b.vram+off, ctLen, s.id, b.chunkNonces[idx], flags&gpu.FlagSynthetic))
+			if err != nil {
+				return now, err
+			}
+			if st == gpu.StatusAuthFailed {
+				return now, fmt.Errorf("%w: swapped-out page tampered with", ErrAuth)
+			}
+			if st != gpu.StatusOK {
+				return now, st.Err()
+			}
+			idx++
+		}
+		e.mu.Lock()
+		e.paging.PageIns++
+		e.mu.Unlock()
+	}
+	b.resident = true
+	return now, nil
+}
+
+// lruResident picks the least-recently-used resident managed buffer other
+// than keep, across all sessions.
+func (e *Enclave) lruResident(keep *managedBuf) *managedBuf {
+	e.mu.Lock()
+	sessions := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	var victim *managedBuf
+	for _, s := range sessions {
+		for _, b := range s.managed {
+			if b == keep || !b.resident {
+				continue
+			}
+			if victim == nil || b.lastUse < victim.lastUse {
+				victim = b
+			}
+		}
+	}
+	return victim
+}
+
+// evict encrypts b's contents in-GPU, DMAs the ciphertext to the
+// untrusted backing store, cleanses and releases the VRAM.
+func (e *Enclave) evict(b *managedBuf, now sim.Time, flags uint32) (sim.Time, error) {
+	s := b.owner
+	chunk := uint64(e.core.Cost().CryptoChunk)
+	chunks := int((b.size + chunk - 1) / chunk)
+	b.chunkNonces = make([][]byte, 0, chunks)
+	idx := 0
+	for off := uint64(0); off < b.size; off += chunk {
+		cl := chunk
+		if off+cl > b.size {
+			cl = b.size - off
+		}
+		nonce := s.managedNonce.Next()
+		b.chunkNonces = append(b.chunkNonces, nonce)
+		staging := s.nextStagingSlot()
+		var st gpu.Status
+		var err error
+		st, now, err = e.core.Submit(s.channel, now, gpu.OpCryptoEncrypt,
+			gpu.BuildCrypto(b.vram+off, staging, cl, s.id, nonce, flags&gpu.FlagSynthetic))
+		if err != nil || st != gpu.StatusOK {
+			return now, firstErr(err, st.Err())
+		}
+		hostPA, err := b.backing.PhysAt(int(off) + idx*ocb.TagSize)
+		if err != nil {
+			return now, err
+		}
+		st, now, err = e.core.Submit(s.channel, now, gpu.OpDMADtoH,
+			gpu.BuildDMA(staging, uint64(hostPA), cl+ocb.TagSize, flags&gpu.FlagSynthetic))
+		if err != nil || st != gpu.StatusOK {
+			return now, firstErr(err, st.Err())
+		}
+		idx++
+	}
+	// Cleanse before releasing the frames to the allocator (§4.5).
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpFill,
+		gpu.BuildFill(b.vram, b.size, 0, flags&gpu.FlagSynthetic))
+	if err != nil || st != gpu.StatusOK {
+		return now, firstErr(err, st.Err())
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpUnbindMemory,
+		gpu.BuildBindMemory(s.ctxID, b.vram, e.core.AllocatedSize(b.vram)))
+	if err != nil || st != gpu.StatusOK {
+		return now, firstErr(err, st.Err())
+	}
+	_ = e.core.FreeVRAM(b.vram)
+	b.resident = false
+	b.hasData = true
+	b.vram = 0
+	e.mu.Lock()
+	e.paging.Evictions++
+	e.mu.Unlock()
+	return now, nil
+}
+
+// resolveManaged translates a device address that may be a managed handle
+// into a resident VRAM address, paging in as needed. Plain addresses pass
+// through untouched.
+func (e *Enclave) resolveManaged(s *session, va, span uint64, now sim.Time, flags uint32) (uint64, sim.Time, error) {
+	if va < managedBase {
+		return va, now, nil
+	}
+	b, off, ok := s.managedLookup(va)
+	if !ok {
+		return 0, now, fmt.Errorf("hix: unknown managed address %#x", va)
+	}
+	if off+span > b.size {
+		return 0, now, fmt.Errorf("hix: managed access %#x+%d out of bounds", va, span)
+	}
+	now, err := e.ensureResident(b, now, flags)
+	if err != nil {
+		return 0, now, err
+	}
+	return b.vram + off, now, nil
+}
+
+// doManagedFree releases a managed buffer: cleanse if resident, drop the
+// backing store.
+func (e *Enclave) doManagedFree(s *session, req Request, now sim.Time) Response {
+	b, off, ok := s.managedLookup(req.Ptr)
+	if !ok || off != 0 {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	if b.resident {
+		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill, gpu.BuildFill(b.vram, b.size, 0, 0))
+		if err == nil && st == gpu.StatusOK {
+			now = n2
+		}
+		st, n2, err = e.core.Submit(s.channel, now, gpu.OpUnbindMemory,
+			gpu.BuildBindMemory(s.ctxID, b.vram, e.core.AllocatedSize(b.vram)))
+		if err == nil && st == gpu.StatusOK {
+			now = n2
+		}
+		_ = e.core.FreeVRAM(b.vram)
+	}
+	// Scrub the (ciphertext) backing image.
+	zero := make([]byte, 4096)
+	for off := 0; off < int(b.backing.Size); off += len(zero) {
+		n := len(zero)
+		if off+n > int(b.backing.Size) {
+			n = int(b.backing.Size) - off
+		}
+		_ = e.m.OS.ShmWritePhys(b.backing, off, zero[:n])
+	}
+	delete(s.managed, b.handle)
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+// newManagedNonce builds the session's managed-eviction nonce channel.
+func newManagedNonce(sid uint32) *attest.NonceSequence {
+	return attest.NewNonceSequence(NonceChannel(sid, NonceManaged))
+}

@@ -1,0 +1,85 @@
+package hix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+)
+
+// Property: every well-formed Request survives Encode/Decode untouched.
+func TestRequestRoundtripProperty(t *testing.T) {
+	f := func(typ uint8, ptr, size, segOff, length uint64, name []byte,
+		params [gpu.NumKernelParams]uint64, nonce [gpu.NonceSize]byte, flags uint32) bool {
+		if len(name) > gpu.KernelNameSize {
+			name = name[:gpu.KernelNameSize]
+		}
+		// Kernel names are C strings on the wire: no interior NULs, and
+		// trailing NULs are not preserved.
+		for i, c := range name {
+			if c == 0 {
+				name = name[:i]
+				break
+			}
+		}
+		req := Request{
+			Type: ReqType(typ), Ptr: ptr, Size: size, SegOff: segOff,
+			Len: length, Kernel: string(name), Params: params,
+			Nonce: nonce, Flags: flags,
+		}
+		back, err := DecodeRequest(req.Encode())
+		return err == nil && back == req
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every Response survives Encode/Decode.
+func TestResponseRoundtripProperty(t *testing.T) {
+	f := func(status uint32, complete int64, value uint64) bool {
+		r := Response{Status: RespStatus(status), CompleteNS: complete, Value: value}
+		back, err := DecodeResponse(r.Encode())
+		return err == nil && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: envelope framing is robust — decoding arbitrary bytes never
+// panics, and valid envelopes roundtrip.
+func TestEnvelopeRobustnessProperty(t *testing.T) {
+	f := func(raw []byte, sid uint32, submit int64, body []byte) bool {
+		// Arbitrary input: must not panic (error is fine).
+		_, _ = DecodeEnvelope(raw)
+		env := Envelope{SessionID: sid, SubmitNS: submit, Body: body}
+		back, err := DecodeEnvelope(env.Encode())
+		if err != nil {
+			return false
+		}
+		if back.SessionID != sid || back.SubmitNS != submit {
+			return false
+		}
+		return string(back.Body) == string(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeRequest rejects every wrong-length buffer without
+// panicking.
+func TestRequestDecodeRejectsJunkProperty(t *testing.T) {
+	want := len((&Request{}).Encode())
+	f := func(junk []byte) bool {
+		if len(junk) == want {
+			junk = junk[:want-1]
+		}
+		_, err := DecodeRequest(junk)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

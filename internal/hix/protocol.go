@@ -1,0 +1,279 @@
+// Package hix implements the paper's primary contribution: the GPU
+// enclave (§4.2) — the GPU driver refactored out of the OS into an SGX
+// enclave extended with EGCREATE/EGADD — together with the secure
+// application-to-GPU communication protocol (§4.4): local attestation,
+// three-party Diffie-Hellman among user enclave / GPU enclave / GPU,
+// OCB-AES-protected requests over untrusted OS message queues, and the
+// single-copy encrypted data path with in-GPU cryptography.
+package hix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+)
+
+// ReqType identifies an encrypted request from the user enclave to the
+// GPU enclave. The set mirrors the CUDA driver API surface the trusted
+// runtime offers (§4.4: "GPU APIs such as memory copy or GPU kernel
+// launch").
+type ReqType uint32
+
+const (
+	ReqMemAlloc ReqType = iota + 1
+	ReqMemFree
+	ReqMemcpyHtoD
+	ReqMemcpyDtoH
+	ReqLaunch
+	ReqClose
+	ReqManagedAlloc
+	ReqManagedFree
+)
+
+func (r ReqType) String() string {
+	switch r {
+	case ReqMemAlloc:
+		return "mem-alloc"
+	case ReqMemFree:
+		return "mem-free"
+	case ReqMemcpyHtoD:
+		return "memcpy-htod"
+	case ReqMemcpyDtoH:
+		return "memcpy-dtoh"
+	case ReqLaunch:
+		return "launch"
+	case ReqClose:
+		return "close"
+	case ReqManagedAlloc:
+		return "managed-alloc"
+	case ReqManagedFree:
+		return "managed-free"
+	default:
+		return fmt.Sprintf("ReqType(%d)", uint32(r))
+	}
+}
+
+// Response status codes (distinct from device statuses: these describe
+// the protocol outcome).
+type RespStatus uint32
+
+const (
+	RespOK RespStatus = iota
+	RespError
+	RespAuthFailed
+	RespBadRequest
+)
+
+// Protocol errors.
+var (
+	ErrProtocol     = errors.New("hix: malformed protocol message")
+	ErrAuth         = errors.New("hix: message authentication failed")
+	ErrSessionState = errors.New("hix: invalid session state")
+)
+
+// envelopeMagic marks request/response envelopes on the queue.
+const envelopeMagic = 0x48495845 // "HIXE"
+
+// envelope is the plaintext framing around an encrypted body. SessionID
+// routes the message; SubmitNS carries the simulated submit instant
+// (scheduling metadata the OS could observe anyway); the body is OCB
+// ciphertext under the session key with a per-direction counter nonce,
+// so the adversary can neither read nor undetectably modify, reorder, or
+// replay it (§5.5).
+type Envelope struct {
+	SessionID uint32
+	SubmitNS  int64
+	Body      []byte // ciphertext
+}
+
+func (e *Envelope) Encode() []byte {
+	buf := make([]byte, 16+len(e.Body))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], envelopeMagic)
+	le.PutUint32(buf[4:], e.SessionID)
+	le.PutUint64(buf[8:], uint64(e.SubmitNS))
+	copy(buf[16:], e.Body)
+	return buf
+}
+
+func DecodeEnvelope(buf []byte) (Envelope, error) {
+	if len(buf) < 16 {
+		return Envelope{}, fmt.Errorf("%w: %d bytes", ErrProtocol, len(buf))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != envelopeMagic {
+		return Envelope{}, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	return Envelope{
+		SessionID: le.Uint32(buf[4:]),
+		SubmitNS:  int64(le.Uint64(buf[8:])),
+		Body:      buf[16:],
+	}, nil
+}
+
+// request is the plaintext body of a user-enclave request.
+type Request struct {
+	Type ReqType
+	// MemAlloc: Size. MemFree: Ptr. Launch: Kernel+Params.
+	// Memcpy: Ptr (device address), SegOff (shared-segment offset),
+	// Len (ciphertext length for HtoD, plaintext length for DtoH).
+	Ptr    uint64
+	Size   uint64
+	SegOff uint64
+	Len    uint64
+	Kernel string
+	Params [gpu.NumKernelParams]uint64
+	// Nonce is the OCB nonce for the bulk-data chunk of a memcpy
+	// request. It is chosen by the user enclave from its own counter
+	// and travels inside the integrity-protected request body, so both
+	// endpoints always agree on it and a refused request cannot
+	// desynchronize the channel.
+	Nonce [gpu.NonceSize]byte
+	Flags uint32
+}
+
+func (r *Request) Encode() []byte {
+	le := binary.LittleEndian
+	buf := make([]byte, 4+8*4+gpu.KernelNameSize+8*gpu.NumKernelParams+gpu.NonceSize+4)
+	le.PutUint32(buf[0:], uint32(r.Type))
+	le.PutUint64(buf[4:], r.Ptr)
+	le.PutUint64(buf[12:], r.Size)
+	le.PutUint64(buf[20:], r.SegOff)
+	le.PutUint64(buf[28:], r.Len)
+	copy(buf[36:36+gpu.KernelNameSize], r.Kernel)
+	off := 36 + gpu.KernelNameSize
+	for i, p := range r.Params {
+		le.PutUint64(buf[off+8*i:], p)
+	}
+	copy(buf[off+8*gpu.NumKernelParams:], r.Nonce[:])
+	le.PutUint32(buf[off+8*gpu.NumKernelParams+gpu.NonceSize:], r.Flags)
+	return buf
+}
+
+func DecodeRequest(buf []byte) (Request, error) {
+	want := 4 + 8*4 + gpu.KernelNameSize + 8*gpu.NumKernelParams + gpu.NonceSize + 4
+	if len(buf) != want {
+		return Request{}, fmt.Errorf("%w: request length %d != %d", ErrProtocol, len(buf), want)
+	}
+	le := binary.LittleEndian
+	var r Request
+	r.Type = ReqType(le.Uint32(buf[0:]))
+	r.Ptr = le.Uint64(buf[4:])
+	r.Size = le.Uint64(buf[12:])
+	r.SegOff = le.Uint64(buf[20:])
+	r.Len = le.Uint64(buf[28:])
+	name := buf[36 : 36+gpu.KernelNameSize]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	r.Kernel = string(name)
+	off := 36 + gpu.KernelNameSize
+	for i := range r.Params {
+		r.Params[i] = le.Uint64(buf[off+8*i:])
+	}
+	copy(r.Nonce[:], buf[off+8*gpu.NumKernelParams:])
+	r.Flags = le.Uint32(buf[off+8*gpu.NumKernelParams+gpu.NonceSize:])
+	return r, nil
+}
+
+// response is the plaintext body of a GPU-enclave response.
+type Response struct {
+	Status     RespStatus
+	CompleteNS int64
+	Value      uint64 // e.g. the allocated device pointer
+}
+
+func (r *Response) Encode() []byte {
+	buf := make([]byte, 20)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(r.Status))
+	le.PutUint64(buf[4:], uint64(r.CompleteNS))
+	le.PutUint64(buf[12:], r.Value)
+	return buf
+}
+
+func DecodeResponse(buf []byte) (Response, error) {
+	if len(buf) != 20 {
+		return Response{}, fmt.Errorf("%w: response length %d", ErrProtocol, len(buf))
+	}
+	le := binary.LittleEndian
+	return Response{
+		Status:     RespStatus(le.Uint32(buf[0:])),
+		CompleteNS: int64(le.Uint64(buf[4:])),
+		Value:      le.Uint64(buf[12:]),
+	}, nil
+}
+
+// Nonce channel layout: each session partitions its nonce space into
+// four directed channels so no (key, nonce) pair ever repeats.
+const (
+	NonceUserMeta uint32 = iota + 1 // user -> GPU enclave requests
+	NonceGEMeta                     // GPU enclave -> user responses
+	NonceDataHtoD                   // user -> GPU bulk data
+	NonceDataDtoH                   // GPU -> user bulk data
+	NonceManaged                    // GPU-enclave eviction writeback (demand paging)
+)
+
+func NonceChannel(sid uint32, ch uint32) uint32 { return sid<<3 | ch }
+
+// HelloRequest opens a session: the user enclave's local-attestation
+// report (its ReportData binds the DH public share) plus the share
+// itself (§4.4.1).
+type HelloRequest struct {
+	Report   attest.Report
+	DHPublic []byte
+	SubmitNS int64
+}
+
+// HelloResponse carries the GPU enclave's counter-attestation, its
+// vendor endorsement (remote-attestation provenance, §5.5), the GPU's DH
+// share g^c obtained over trusted MMIO, and the mixed element g^bc the
+// user needs to finish the ring. It also names the OS transport
+// resources for the session.
+type HelloResponse struct {
+	SessionID   uint32
+	Report      attest.Report
+	Endorsement attest.Endorsement
+	GPUPublic   []byte // g^c
+	MixedBC     []byte // g^bc
+	ReqQueue    int
+	RespQueue   int
+	SegmentID   int
+	SegmentSize uint64
+	CompleteNS  int64
+}
+
+// HelloFinish completes key agreement: the user's mixed element g^ca
+// (which the GPU enclave exponentiates to reach g^abc) and a key
+// confirmation: "confirm" sealed under the derived session key.
+type HelloFinish struct {
+	SessionID uint32
+	MixedCA   []byte
+	Confirm   []byte
+	SubmitNS  int64
+}
+
+// ManagedBase is the virtual device-address space of managed (demand-
+// paged) allocations; the GPU enclave translates these on use.
+const ManagedBase = managedBase
+
+// FlagDoubleCopy marks a memcpy request as using the naive double-copy
+// design of §4.4.2 (decrypt + re-encrypt inside the GPU enclave plus an
+// extra copy) instead of the single-copy path. Used only by the ablation
+// benchmark; bit chosen clear of the device FlagSynthetic bit.
+const FlagDoubleCopy = 1 << 8
+
+// KeyConfirmation is the plaintext sealed in HelloFinish.
+var KeyConfirmation = []byte("hix-key-confirmation-v1")
+
+// ReportDataFor binds DH material into an attestation report.
+func ReportDataFor(parts ...[]byte) []byte {
+	m := attest.Measure(parts...)
+	return m[:]
+}

@@ -1,0 +1,381 @@
+package hix
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/ocb"
+	"repro/internal/osim"
+	"repro/internal/sim"
+)
+
+// doubleCopyPenalty charges the naive double-copy design's extra work
+// (§4.4.2): the GPU enclave decrypts the user ciphertext, re-encrypts
+// under a second key, and performs an extra host-side copy. Timing-only;
+// functional behavior is unchanged.
+func (e *Enclave) doubleCopyPenalty(s *session, now sim.Time, n int, flags uint32) sim.Time {
+	if flags&FlagDoubleCopy == 0 {
+		return now
+	}
+	cm := e.core.Cost()
+	lane := sim.CryptoLane(int(s.id) % maxInt(cm.CPULanes, 1))
+	_, now = e.core.Timeline().AcquireLabeled(lane, "dc-decrypt", now, cm.CPUCryptoTime(n))
+	_, now = e.core.Timeline().AcquireLabeled(lane, "dc-reencrypt", now, cm.CPUCryptoTime(n))
+	cpu := sim.CPULane(int(s.id) % maxInt(cm.CPULanes, 1))
+	_, now = e.core.Timeline().AcquireLabeled(cpu, "dc-copy", now,
+		sim.TransferTime(n, cm.HostMemcpyBandwidth, 0))
+	return now
+}
+
+// managedErrResponse maps paging errors to protocol statuses.
+func managedErrResponse(err error, now sim.Time) Response {
+	if errors.Is(err, ErrAuth) {
+		return Response{Status: RespAuthFailed, CompleteNS: int64(now)}
+	}
+	return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Serve drains every session's Request queue, handling each Request and
+// posting an encrypted response. In the real system the GPU enclave is a
+// separate process woken by the message queue (§4.4.1); the simulation
+// invokes Serve synchronously after each send, with all costs accounted
+// on the shared simulated timeline.
+func (e *Enclave) Serve() error {
+	e.mu.Lock()
+	sessions := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	dead := e.dead
+	e.mu.Unlock()
+	if dead {
+		return ErrEnclaveDead
+	}
+	for _, s := range sessions {
+		for {
+			msg, err := e.m.OS.MQRecv(s.reqQ)
+			if errors.Is(err, osim.ErrQueueEmpty) {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			e.handleMessage(s, msg)
+		}
+	}
+	return nil
+}
+
+// handleMessage decrypts, dispatches and answers one Request. Every
+// failure path still produces a response so the user enclave can abort
+// cleanly rather than hang.
+func (e *Enclave) handleMessage(s *session, msg []byte) {
+	env, err := DecodeEnvelope(msg)
+	if err != nil || env.SessionID != s.id || !s.active {
+		e.respond(s, Response{Status: RespBadRequest, CompleteNS: int64(s.now)})
+		return
+	}
+	// Requests are handled when they arrive; ordering on the device is
+	// enforced by the per-resource timeline (the enclave queues commands
+	// asynchronously and only the caller polls fences), so chunk n+1's
+	// DMA overlaps chunk n's in-GPU decryption (§5.2).
+	now := sim.Time(env.SubmitNS)
+	if now < 0 {
+		now = 0
+	}
+
+	// Open the Request under the expected counter nonce: a replayed,
+	// reordered or tampered message fails here (§5.5).
+	nonce := s.userMeta.Next()
+	body, err := s.aead.Open(nil, nonce, env.Body, nil)
+	if err != nil {
+		e.respond(s, Response{Status: RespAuthFailed, CompleteNS: int64(now)})
+		return
+	}
+	// Metadata decryption cost (§4.4.3: "the GPU enclave decrypts the
+	// Request").
+	lanes := e.core.Cost().CPULanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%lanes), "meta-open", now,
+		e.core.Cost().CPUCryptoTime(len(body)))
+
+	req, err := DecodeRequest(body)
+	if err != nil {
+		e.respond(s, Response{Status: RespBadRequest, CompleteNS: int64(now)})
+		return
+	}
+	resp := e.dispatch(s, req, now)
+	e.respond(s, resp)
+}
+
+func (e *Enclave) respond(s *session, r Response) {
+	s.now = sim.Max(s.now, sim.Time(r.CompleteNS))
+	body := r.Encode()
+	// Seal the response under the GE->user meta channel.
+	var ct []byte
+	if s.aead != nil {
+		ct = s.aead.Seal(nil, s.geMeta.Next(), body, nil)
+	} else {
+		ct = body
+	}
+	env := Envelope{SessionID: s.id, SubmitNS: r.CompleteNS, Body: ct}
+	_ = e.m.OS.MQSend(s.respQ, env.Encode())
+}
+
+func (e *Enclave) dispatch(s *session, req Request, now sim.Time) Response {
+	switch req.Type {
+	case ReqMemAlloc:
+		return e.doMemAlloc(s, req, now)
+	case ReqMemFree:
+		return e.doMemFree(s, req, now)
+	case ReqMemcpyHtoD:
+		return e.doHtoD(s, req, now)
+	case ReqMemcpyDtoH:
+		return e.doDtoH(s, req, now)
+	case ReqLaunch:
+		return e.doLaunch(s, req, now)
+	case ReqClose:
+		return e.doClose(s, now)
+	case ReqManagedAlloc:
+		return e.doManagedAlloc(s, req, now)
+	case ReqManagedFree:
+		return e.doManagedFree(s, req, now)
+	default:
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+}
+
+// slotSize is the capacity of one in-VRAM staging slot.
+func (s *session) slotSize() uint64 { return s.stagingSize / 2 }
+
+// nextStagingSlot alternates between the two halves of the session's
+// in-VRAM staging buffer, so an in-flight DMA never races the decryption
+// of the previous chunk (mirroring the user side's double-buffered
+// shared-memory slots).
+func (s *session) nextStagingSlot() uint64 {
+	slot := s.staging + (s.stagingTurn%2)*s.slotSize()
+	s.stagingTurn++
+	return slot
+}
+
+// ownsRange verifies the session owns [ptr, ptr+size): the GPU enclave
+// never lets one user name another user's device memory (§4.5).
+func (s *session) ownsRange(ptr, size uint64) bool {
+	for base, sz := range s.allocs {
+		if ptr >= base && ptr+size <= base+sz && ptr+size >= ptr {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
+	addr, err := e.core.AllocVRAM(req.Size)
+	if err != nil {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%maxInt(e.core.Cost().CPULanes, 1)), "mem-alloc", now, e.core.Cost().MemAllocPerCall)
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpBindMemory,
+		gpu.BuildBindMemory(s.ctxID, addr, e.core.AllocatedSize(addr)))
+	if err != nil || st != gpu.StatusOK {
+		_ = e.core.FreeVRAM(addr)
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	s.allocs[addr] = e.core.AllocatedSize(addr)
+	return Response{Status: RespOK, CompleteNS: int64(now), Value: addr}
+}
+
+// doMemFree cleanses before release: the HIX runtime "must cleanse the
+// deallocated global memory" to stop residual-data leaks (§4.5) — the
+// security improvement over the baseline driver's free.
+func (e *Enclave) doMemFree(s *session, req Request, now sim.Time) Response {
+	size, ok := s.allocs[req.Ptr]
+	if !ok {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpFill,
+		gpu.BuildFill(req.Ptr, size, 0, req.Flags))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpUnbindMemory,
+		gpu.BuildBindMemory(s.ctxID, req.Ptr, size))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	delete(s.allocs, req.Ptr)
+	_ = e.core.FreeVRAM(req.Ptr)
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+// doHtoD implements one chunk of the single-copy host-to-device path
+// (§4.4.2–§4.4.3): DMA the user's ciphertext from inter-enclave shared
+// memory straight into the in-VRAM staging buffer, then run the in-GPU
+// OCB decryption kernel writing plaintext to the destination. The GPU
+// enclave never touches (or could even read) the plaintext.
+func (e *Enclave) doHtoD(s *session, req Request, now sim.Time) Response {
+	nonce := req.Nonce[:]
+	ctLen := req.Len // ciphertext incl. tag
+	if ctLen < ocb.TagSize || ctLen > s.slotSize() {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	ptLen := ctLen - ocb.TagSize
+	dst := req.Ptr
+	if dst >= managedBase {
+		var err error
+		dst, now, err = e.resolveManaged(s, req.Ptr, ptLen, now, req.Flags)
+		if err != nil {
+			return managedErrResponse(err, now)
+		}
+	} else if !s.ownsRange(dst, ptLen) {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	hostPA, err := s.seg.PhysAt(int(req.SegOff))
+	if err != nil {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	staging := s.nextStagingSlot()
+	now = e.doubleCopyPenalty(s, now, int(ptLen), req.Flags)
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpDMAHtoD,
+		gpu.BuildDMA(staging, uint64(hostPA), ctLen, req.Flags&^FlagDoubleCopy))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpCryptoDecrypt,
+		gpu.BuildCrypto(staging, dst, ctLen, s.id, nonce, req.Flags&^FlagDoubleCopy))
+	if err != nil {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	if st == gpu.StatusAuthFailed {
+		return Response{Status: RespAuthFailed, CompleteNS: int64(now)}
+	}
+	if st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+// doDtoH is the reverse single-copy path: in-GPU OCB encryption into
+// staging, then DMA of the ciphertext to inter-enclave shared memory for
+// the user enclave to open.
+func (e *Enclave) doDtoH(s *session, req Request, now sim.Time) Response {
+	nonce := req.Nonce[:]
+	ptLen := req.Len
+	if ptLen == 0 || ptLen+ocb.TagSize > s.slotSize() {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	src := req.Ptr
+	if src >= managedBase {
+		var err error
+		src, now, err = e.resolveManaged(s, req.Ptr, ptLen, now, req.Flags)
+		if err != nil {
+			return managedErrResponse(err, now)
+		}
+	} else if !s.ownsRange(src, ptLen) {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	hostPA, err := s.seg.PhysAt(int(req.SegOff))
+	if err != nil {
+		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
+	}
+	staging := s.nextStagingSlot()
+	now = e.doubleCopyPenalty(s, now, int(ptLen), req.Flags)
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpCryptoEncrypt,
+		gpu.BuildCrypto(src, staging, ptLen, s.id, nonce, req.Flags&^FlagDoubleCopy))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	st, now, err = e.core.Submit(s.channel, now, gpu.OpDMADtoH,
+		gpu.BuildDMA(staging, uint64(hostPA), ptLen+ocb.TagSize, req.Flags&^FlagDoubleCopy))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+func (e *Enclave) doLaunch(s *session, req Request, now sim.Time) Response {
+	// Translate managed handles among the kernel parameters to resident
+	// VRAM addresses, paging buffers in as needed (the unified-memory
+	// convenience of the demand-paging extension).
+	params := req.Params
+	for i, p := range params {
+		if p < managedBase {
+			continue
+		}
+		b, off, ok := s.managedLookup(p)
+		if !ok {
+			continue // not a managed handle of this session
+		}
+		var err error
+		now, err = e.ensureResident(b, now, req.Flags)
+		if err != nil {
+			return managedErrResponse(err, now)
+		}
+		params[i] = b.vram + off
+	}
+	st, now, err := e.core.Submit(s.channel, now, gpu.OpLaunch,
+		gpu.BuildLaunch(req.Kernel, params, req.Flags))
+	if err != nil || st != gpu.StatusOK {
+		return Response{Status: RespError, CompleteNS: int64(now)}
+	}
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+// doClose tears a session down: cleanse and free every allocation plus
+// the staging buffer, destroy the GPU context, release the channel.
+func (e *Enclave) doClose(s *session, now sim.Time) Response {
+	for ptr, size := range s.allocs {
+		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill, gpu.BuildFill(ptr, size, 0, 0))
+		if err == nil && st == gpu.StatusOK {
+			now = n2
+		}
+		_ = e.core.FreeVRAM(ptr)
+	}
+	s.allocs = make(map[uint64]uint64)
+	for handle := range s.managed {
+		e.doManagedFree(s, Request{Ptr: handle}, now)
+	}
+	if s.staging != 0 || s.stagingSize != 0 {
+		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill,
+			gpu.BuildFill(s.staging, s.stagingSize, 0, 0))
+		if err == nil && st == gpu.StatusOK {
+			now = n2
+		}
+		_ = e.core.FreeVRAM(s.staging)
+	}
+	_, now, _ = e.core.Submit(s.channel, now, gpu.OpDestroyContext, gpu.BuildDestroyContext(s.ctxID))
+	e.mu.Lock()
+	delete(e.sessions, s.id)
+	delete(e.channels, s.channel)
+	e.mu.Unlock()
+	s.active = false
+	return Response{Status: RespOK, CompleteNS: int64(now)}
+}
+
+// SessionCount reports live sessions (diagnostics).
+func (e *Enclave) SessionCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}
+
+// sessionByID is used by tests within the package.
+func (e *Enclave) sessionByID(id uint32) (*session, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	return s, nil
+}

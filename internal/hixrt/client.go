@@ -1,0 +1,425 @@
+// Package hixrt is the trusted user runtime library of HIX (§4.4): the
+// code linked into each application's user enclave. It hides session
+// setup (remote + local attestation, three-party Diffie-Hellman), the
+// encrypted request protocol over untrusted OS media, and the chunked,
+// pipelined encrypt-and-copy data path, behind an API almost identical
+// to the CUDA driver API.
+package hixrt
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/ocb"
+	"repro/internal/osim"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// Runtime errors.
+var (
+	ErrAttestation = errors.New("hixrt: GPU enclave attestation failed")
+	ErrRequest     = errors.New("hixrt: request failed")
+	ErrAuth        = errors.New("hixrt: authentication failed (data tampered?)")
+	ErrClosed      = errors.New("hixrt: session closed")
+)
+
+// Client is one GPU application: an OS process with a user enclave that
+// holds the session keys and runs this runtime.
+type Client struct {
+	m         *machine.Machine
+	ge        *hix.Enclave
+	proc      *osim.Process
+	enclID    uint64
+	measure   attest.Measurement
+	tok       *sgx.Token
+	vendorPub ed25519.PublicKey
+}
+
+// NewClient creates the application process and its user enclave. appImage
+// is the measured application code (distinct apps get distinct
+// MRENCLAVEs); vendorPub is the GPU vendor's endorsement key used during
+// remote attestation of the GPU enclave.
+func NewClient(m *machine.Machine, ge *hix.Enclave, vendorPub ed25519.PublicKey, appImage []byte) (*Client, error) {
+	if m == nil || ge == nil {
+		return nil, errors.New("hixrt: nil machine or GPU enclave")
+	}
+	if appImage == nil {
+		appImage = []byte("hix user application v1")
+	}
+	proc := m.OS.NewProcess()
+	const elBase = 0x200_0000
+	pages := (len(appImage) + mem.PageSize - 1) / mem.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	encl, err := m.CPU.ECreate(proc.PID, elBase, uint64(pages)*mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < pages; i++ {
+		lo := i * mem.PageSize
+		hi := lo + mem.PageSize
+		if hi > len(appImage) {
+			hi = len(appImage)
+		}
+		var content []byte
+		if lo < len(appImage) {
+			content = appImage[lo:hi]
+		}
+		frame, err := m.CPU.EAdd(encl.ID(), mmu.VirtAddr(elBase+lo), content)
+		if err != nil {
+			return nil, err
+		}
+		proc.PT.Map(mmu.VirtAddr(elBase+lo), mmu.PTE{Frame: frame, Writable: true, User: true})
+	}
+	if err := m.CPU.EInit(encl.ID()); err != nil {
+		return nil, err
+	}
+	tok, err := m.CPU.EEnter(encl.ID(), proc.PT)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		m:         m,
+		ge:        ge,
+		proc:      proc,
+		enclID:    encl.ID(),
+		measure:   encl.Measurement(),
+		tok:       tok,
+		vendorPub: vendorPub,
+	}, nil
+}
+
+// Measurement returns the user enclave's MRENCLAVE.
+func (c *Client) Measurement() attest.Measurement { return c.measure }
+
+// Hooks are adversary injection points used by the attack harness: they
+// run at the exact moments a privileged attacker could act on the
+// untrusted transport.
+type Hooks struct {
+	// BeforeServe runs after a request is enqueued on the OS message
+	// queue and before the GPU enclave drains it.
+	BeforeServe func()
+	// AfterDataWrite runs after ciphertext lands in the inter-enclave
+	// shared segment and before the DMA request is sent. Arguments are
+	// the segment offset and length.
+	AfterDataWrite func(segOff, n int)
+	// AfterDataReady runs after the GPU enclave posted DtoH ciphertext
+	// into the segment and before the user enclave opens it.
+	AfterDataReady func(segOff, n int)
+}
+
+// Ptr is a device-memory pointer returned by MemAlloc.
+type Ptr uint64
+
+// Session is an attested, keyed connection from this client's user
+// enclave through the GPU enclave to the GPU.
+type Session struct {
+	c    *Client
+	id   uint32
+	aead *ocb.AEAD
+	seg  *osim.SharedSegment
+
+	userMeta *attest.NonceSequence
+	geMeta   *attest.NonceSequence
+	dataHtoD *attest.NonceSequence
+	dataDtoH *attest.NonceSequence
+
+	reqQ, respQ int
+
+	cpuRes    sim.Resource
+	cryptoRes sim.Resource
+
+	now   sim.Time
+	start sim.Time
+
+	// Synthetic marks the session timing-only (paper-scale benchmark
+	// mode): payload bytes and bulk cryptography are not materialized
+	// but every cost is charged identically.
+	Synthetic bool
+	// DoubleCopy selects the naive §4.4.2 double-copy design instead of
+	// single-copy (ablation benchmarks only).
+	DoubleCopy bool
+	// NoPipeline disables the §5.2 encrypt/transfer overlap, fully
+	// serializing chunk processing (ablation benchmarks only).
+	NoPipeline bool
+	Hooks      Hooks
+
+	allocs map[Ptr]uint64
+	closed bool
+}
+
+// OpenSession performs the full §4.4.1 setup starting at simulated time
+// zero.
+func (c *Client) OpenSession() (*Session, error) { return c.OpenSessionAt(0) }
+
+// OpenSessionAt starts the session flow at the given simulated instant.
+func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
+	tl := c.m.Timeline
+	cm := c.m.Cost
+	now := start
+	// HIX-side task initialization (§5.3.2).
+	_, now = tl.AcquireLabeled(sim.ResCPU, "hix-task-init", now, cm.TaskInitHIX)
+
+	// Party a: the user enclave's DH share, bound into a local
+	// attestation report targeted at the GPU enclave.
+	a, err := attest.NewDHParty(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	gaB := make([]byte, gpu.DHElementSize)
+	a.Public().FillBytes(gaB)
+	report, err := c.m.CPU.EReport(c.tok, c.ge.Measurement(), hix.ReportDataFor(gaB))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.ge.HandleHello(hix.HelloRequest{
+		Report:   report,
+		DHPublic: gaB,
+		SubmitNS: int64(now),
+	})
+	if err != nil {
+		return nil, err
+	}
+	now = sim.Max(now, sim.Time(resp.CompleteNS))
+
+	// Remote attestation: the GPU enclave's measurement must carry the
+	// vendor's endorsement (§5.5 "code integrity attacks").
+	if !attest.VerifyEndorsement(c.vendorPub, resp.Report.Source, resp.Endorsement) {
+		return nil, fmt.Errorf("%w: vendor endorsement invalid", ErrAttestation)
+	}
+	// Local attestation: verify the counter-report and its DH binding.
+	ok, err := c.m.CPU.EVerifyReport(c.tok, resp.Report)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: GPU enclave report rejected", ErrAttestation)
+	}
+	if string(resp.Report.ReportData[:32]) != string(hix.ReportDataFor(resp.GPUPublic, resp.MixedBC)[:32]) {
+		return nil, fmt.Errorf("%w: DH elements not bound to report", ErrAttestation)
+	}
+
+	// Finish the ring: key = (g^bc)^a; hand g^ca to the GPU enclave.
+	gbc := new(big.Int).SetBytes(resp.MixedBC)
+	shared, err := a.Mix(gbc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	key := attest.SessionKey(shared)
+	aead, err := ocb.New(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gc := new(big.Int).SetBytes(resp.GPUPublic)
+	gca, err := a.Mix(gc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	gcaB := make([]byte, gpu.DHElementSize)
+	gca.FillBytes(gcaB)
+
+	lanes := cm.CPULanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	s := &Session{
+		c:        c,
+		id:       resp.SessionID,
+		aead:     aead,
+		userMeta: attest.NewNonceSequence(hix.NonceChannel(resp.SessionID, hix.NonceUserMeta)),
+		geMeta:   attest.NewNonceSequence(hix.NonceChannel(resp.SessionID, hix.NonceGEMeta)),
+		dataHtoD: attest.NewNonceSequence(hix.NonceChannel(resp.SessionID, hix.NonceDataHtoD)),
+		dataDtoH: attest.NewNonceSequence(hix.NonceChannel(resp.SessionID, hix.NonceDataDtoH)),
+		reqQ:     resp.ReqQueue,
+		respQ:    resp.RespQueue,
+		now:      now,
+		start:    start,
+		allocs:   make(map[Ptr]uint64),
+	}
+	s.cpuRes = sim.CPULane(int(resp.SessionID) % lanes)
+	s.cryptoRes = sim.CryptoLane(int(resp.SessionID) % lanes)
+	seg, okSeg := c.m.OS.Segment(resp.SegmentID)
+	if !okSeg {
+		return nil, errors.New("hixrt: session segment missing")
+	}
+	s.seg = seg
+
+	confirm := aead.Seal(nil, s.userMeta.Next(), hix.KeyConfirmation, nil)
+	if err := c.ge.HandleFinish(hix.HelloFinish{
+		SessionID: s.id,
+		MixedCA:   gcaB,
+		Confirm:   confirm,
+		SubmitNS:  int64(now),
+	}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Segment exposes the session's inter-enclave shared segment (untrusted
+// memory; the attack harness uses it as the adversary would).
+func (s *Session) Segment() *osim.SharedSegment { return s.seg }
+
+// Transport exposes the session's OS transport resource IDs (which the
+// privileged adversary knows anyway).
+func (s *Session) Transport() (reqQ, respQ, segID int) { return s.reqQ, s.respQ, s.seg.ID }
+
+// Elapsed returns the simulated time this session's flow has consumed.
+func (s *Session) Elapsed() sim.Duration { return s.now.Sub(s.start) }
+
+// Now returns the session's simulated-time cursor.
+func (s *Session) Now() sim.Time { return s.now }
+
+// AdvanceTo moves the cursor forward.
+func (s *Session) AdvanceTo(at sim.Time) {
+	if at > s.now {
+		s.now = at
+	}
+}
+
+func (s *Session) flags() uint32 {
+	if s.Synthetic {
+		return gpu.FlagSynthetic
+	}
+	return 0
+}
+
+// roundTrip seals one request, ships it over the OS message queue, wakes
+// the GPU enclave, and opens the response. submit is the instant the
+// request is ready; the returned response carries the server-side
+// completion instant.
+// reply pairs the decoded response with the flow instant at which the
+// user enclave has it in hand.
+type reply struct {
+	hix.Response
+	doneAt sim.Time
+}
+
+func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
+	if s.closed {
+		return reply{}, ErrClosed
+	}
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	body := req.Encode()
+	_, submit = tl.AcquireLabeled(s.cpuRes, "meta-seal", submit, cm.CPUCryptoTime(len(body)))
+	ct := s.aead.Seal(nil, s.userMeta.Next(), body, nil)
+	env := hix.Envelope{SessionID: s.id, SubmitNS: int64(submit), Body: ct}
+	if err := s.c.m.OS.MQSend(s.reqQ, env.Encode()); err != nil {
+		return reply{}, err
+	}
+	if s.Hooks.BeforeServe != nil {
+		s.Hooks.BeforeServe()
+	}
+	if err := s.c.ge.Serve(); err != nil {
+		return reply{}, err
+	}
+	msg, err := s.c.m.OS.MQRecv(s.respQ)
+	if err != nil {
+		return reply{}, err
+	}
+	renv, err := hix.DecodeEnvelope(msg)
+	if err != nil {
+		return reply{}, err
+	}
+	rbody, err := s.aead.Open(nil, s.geMeta.Next(), renv.Body, nil)
+	if err != nil {
+		return reply{}, fmt.Errorf("%w: response: %v", ErrAuth, err)
+	}
+	resp, err := hix.DecodeResponse(rbody)
+	if err != nil {
+		return reply{}, err
+	}
+	// One message-queue round trip (§4.4.1).
+	done := sim.Max(submit, sim.Time(resp.CompleteNS))
+	_, done = tl.AcquireLabeled(s.cpuRes, "ipc", done, cm.IPCRoundTrip)
+	return reply{Response: resp, doneAt: done}, nil
+}
+
+// MemAlloc allocates device memory (cuMemAlloc).
+func (s *Session) MemAlloc(size uint64) (Ptr, error) {
+	resp, err := s.roundTrip(hix.Request{Type: hix.ReqMemAlloc, Size: size}, s.now)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != hix.RespOK {
+		return 0, fmt.Errorf("%w: alloc status %d", ErrRequest, resp.Status)
+	}
+	s.now = resp.doneAt
+	s.allocs[Ptr(resp.Value)] = size
+	return Ptr(resp.Value), nil
+}
+
+// ManagedAlloc allocates demand-paged device memory (the cuMemAllocManaged
+// analogue of the secure-paging extension): the buffer may be swapped out
+// by the GPU enclave under memory pressure, always encrypted and
+// integrity-protected before it touches untrusted host memory.
+func (s *Session) ManagedAlloc(size uint64) (Ptr, error) {
+	resp, err := s.roundTrip(hix.Request{Type: hix.ReqManagedAlloc, Size: size}, s.now)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != hix.RespOK {
+		return 0, fmt.Errorf("%w: managed alloc status %d", ErrRequest, resp.Status)
+	}
+	s.now = resp.doneAt
+	s.allocs[Ptr(resp.Value)] = size
+	return Ptr(resp.Value), nil
+}
+
+// MemFree releases (and cleanses) device memory (cuMemFree). Managed
+// pointers route to the paging subsystem.
+func (s *Session) MemFree(ptr Ptr) error {
+	reqType := hix.ReqMemFree
+	if uint64(ptr) >= hix.ManagedBase {
+		reqType = hix.ReqManagedFree
+	}
+	resp, err := s.roundTrip(hix.Request{Type: reqType, Ptr: uint64(ptr), Flags: s.flags()}, s.now)
+	if err != nil {
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: free status %d", ErrRequest, resp.Status)
+	}
+	s.now = resp.doneAt
+	delete(s.allocs, ptr)
+	return nil
+}
+
+// Launch runs a kernel (cuLaunchKernel).
+func (s *Session) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	resp, err := s.roundTrip(hix.Request{Type: hix.ReqLaunch, Kernel: kernel, Params: params, Flags: s.flags()}, s.now)
+	if err != nil {
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: launch status %d", ErrRequest, resp.Status)
+	}
+	s.now = resp.doneAt
+	return nil
+}
+
+// Close tears the session down (cleansing all device allocations).
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	resp, err := s.roundTrip(hix.Request{Type: hix.ReqClose}, s.now)
+	if err != nil {
+		return err
+	}
+	s.now = resp.doneAt
+	s.closed = true
+	return nil
+}

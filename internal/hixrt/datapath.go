@@ -1,0 +1,184 @@
+package hixrt
+
+import (
+	"fmt"
+
+	"repro/internal/hix"
+	"repro/internal/ocb"
+	"repro/internal/sim"
+)
+
+// The data path implements §4.4.2/§4.4.3 with the §5.2 pipeline: large
+// copies are split into chunks; while chunk n travels over the untrusted
+// path, chunk n+1 is already being encrypted (HtoD) or the previous
+// chunk is being decrypted (DtoH). Two shared-segment slots are used as
+// a double buffer so an in-flight DMA never races the next encryption.
+
+// dataFlags builds the per-chunk request flags.
+func (s *Session) dataFlags() uint32 {
+	f := s.flags()
+	if s.DoubleCopy {
+		f |= hix.FlagDoubleCopy
+	}
+	return f
+}
+
+// chunkSpec describes the session's chunking geometry.
+func (s *Session) chunkSpec() (chunk int, slot0, slot1 uint64) {
+	chunk = s.c.m.Cost.CryptoChunk
+	slotSize := uint64(chunk + ocb.TagSize)
+	return chunk, 0, slotSize
+}
+
+// MemcpyHtoD encrypts data in the user enclave and moves it to device
+// memory at dst through the single-copy path. For a synthetic session,
+// data may be nil and logicalLen gives the transfer size.
+func (s *Session) MemcpyHtoD(dst Ptr, data []byte, logicalLen int) error {
+	if s.closed {
+		return ErrClosed
+	}
+	n := len(data)
+	if s.Synthetic {
+		n = logicalLen
+	}
+	if n == 0 {
+		return nil
+	}
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	chunk, slot0, slot1 := s.chunkSpec()
+	slots := [2]uint64{slot0, slot1}
+	if uint64(chunk)+ocb.TagSize > s.seg.Size/2 {
+		return fmt.Errorf("hixrt: segment too small for double-buffered chunks")
+	}
+
+	encReady := s.now
+	var last sim.Time
+	for off, idx := 0, 0; off < n; off, idx = off+chunk, idx+1 {
+		cl := chunk
+		if off+cl > n {
+			cl = n - off
+		}
+		// Pipeline stage 1: user-enclave OCB encryption of this chunk;
+		// it overlaps the previous chunk's DMA (§5.2).
+		_, encEnd := tl.AcquireLabeled(s.cryptoRes, "user-seal", encReady, cm.CPUCryptoTime(cl))
+		encReady = encEnd
+
+		segOff := slots[idx%2]
+		nonce := s.dataHtoD.Next()
+		if !s.Synthetic {
+			ct := s.aead.Seal(nil, nonce, data[off:off+cl], nil)
+			if err := s.c.m.OS.ShmWritePhys(s.seg, int(segOff), ct); err != nil {
+				return err
+			}
+			if s.Hooks.AfterDataWrite != nil {
+				s.Hooks.AfterDataWrite(int(segOff), len(ct))
+			}
+		}
+		req := hix.Request{
+			Type:   hix.ReqMemcpyHtoD,
+			Ptr:    uint64(dst) + uint64(off),
+			SegOff: segOff,
+			Len:    uint64(cl) + ocb.TagSize,
+			Flags:  s.dataFlags(),
+		}
+		copy(req.Nonce[:], nonce)
+		resp, err := s.roundTrip(req, encEnd)
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case hix.RespOK:
+		case hix.RespAuthFailed:
+			return fmt.Errorf("%w: HtoD chunk at %d rejected by in-GPU decryption", ErrAuth, off)
+		default:
+			return fmt.Errorf("%w: HtoD status %d", ErrRequest, resp.Status)
+		}
+		last = resp.doneAt
+		if s.NoPipeline {
+			// Serialize: the next chunk's encryption waits for this
+			// chunk's full completion.
+			encReady = resp.doneAt
+		}
+	}
+	if last > s.now {
+		s.now = last
+	}
+	return nil
+}
+
+// MemcpyDtoH moves device memory at src back into the user enclave,
+// decrypting each ciphertext chunk produced by the in-GPU encryption
+// kernel. out may be nil for synthetic sessions.
+func (s *Session) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
+	if s.closed {
+		return ErrClosed
+	}
+	n := len(out)
+	if s.Synthetic {
+		n = logicalLen
+	}
+	if n == 0 {
+		return nil
+	}
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	chunk, slot0, slot1 := s.chunkSpec()
+	slots := [2]uint64{slot0, slot1}
+
+	sendCursor := s.now
+	decReady := s.now
+	for off, idx := 0, 0; off < n; off, idx = off+chunk, idx+1 {
+		cl := chunk
+		if off+cl > n {
+			cl = n - off
+		}
+		segOff := slots[idx%2]
+		nonce := s.dataDtoH.Next()
+		req := hix.Request{
+			Type:   hix.ReqMemcpyDtoH,
+			Ptr:    uint64(src) + uint64(off),
+			SegOff: segOff,
+			Len:    uint64(cl),
+			Flags:  s.dataFlags(),
+		}
+		copy(req.Nonce[:], nonce)
+		resp, err := s.roundTrip(req, sendCursor)
+		if err != nil {
+			return err
+		}
+		if resp.Status != hix.RespOK {
+			return fmt.Errorf("%w: DtoH status %d", ErrRequest, resp.Status)
+		}
+		// The next chunk's request can go out while this chunk is
+		// decrypted in the user enclave: requests are cheap; the GPU
+		// crypto + DMA serialize on their own resources.
+		sendCursor = resp.doneAt
+
+		if !s.Synthetic {
+			if s.Hooks.AfterDataReady != nil {
+				s.Hooks.AfterDataReady(int(segOff), cl+ocb.TagSize)
+			}
+			ct := make([]byte, cl+ocb.TagSize)
+			if err := s.c.m.OS.ShmReadPhys(s.seg, int(segOff), ct); err != nil {
+				return err
+			}
+			pt, err := s.aead.Open(nil, nonce, ct, nil)
+			if err != nil {
+				return fmt.Errorf("%w: DtoH chunk at %d: %v", ErrAuth, off, err)
+			}
+			copy(out[off:], pt)
+		}
+		// Pipeline stage: user-enclave decryption of this chunk.
+		start := sim.Max(decReady, resp.doneAt)
+		_, decEnd := tl.AcquireLabeled(s.cryptoRes, "user-open", start, cm.CPUCryptoTime(cl))
+		decReady = decEnd
+		if s.NoPipeline {
+			sendCursor = decEnd
+		}
+	}
+	if decReady > s.now {
+		s.now = decReady
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package hixrt
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// TestChannelExhaustionForSessions: the GPU has a fixed channel count;
+// session setup fails cleanly when they are gone and recovers when a
+// session closes.
+func TestChannelExhaustionForSessions(t *testing.T) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes: 256 << 20, EPCBytes: 16 << 20, VRAMBytes: 64 << 20,
+		Channels: 3, PlatformSeed: "chan-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, ge, client := buildHIX(t, m)
+	_ = vendor
+	var sessions []*Session
+	for i := 0; i < 3; i++ {
+		s, err := client.OpenSession()
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		sessions = append(sessions, s)
+	}
+	if _, err := client.OpenSession(); err == nil {
+		t.Fatal("4th session on 3 channels accepted")
+	}
+	if err := sessions[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.OpenSession(); err != nil {
+		t.Fatalf("session after close: %v", err)
+	}
+	_ = ge
+}
+
+// TestEPCExhaustion: with a tiny EPC, enclave construction fails with the
+// SGX error rather than corrupting state.
+func TestEPCExhaustion(t *testing.T) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes: 256 << 20, EPCBytes: 1 << 20, VRAMBytes: 64 << 20,
+		Channels: 4, PlatformSeed: "epc-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, ge, _ := buildHIX(t, m) // GPU enclave fits in 1 MiB EPC
+	// Exhaust the EPC with large user enclaves until creation fails.
+	var lastErr error
+	for i := 0; i < 64 && lastErr == nil; i++ {
+		_, lastErr = NewClient(m, ge, vendor.PublicKey(), make([]byte, 64<<10))
+	}
+	if !errors.Is(lastErr, sgx.ErrEPCExhausted) {
+		t.Fatalf("expected EPC exhaustion, got %v", lastErr)
+	}
+}
+
+// TestServeAfterKill: all session operations fail once the enclave dies.
+func TestServeAfterKill(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	st.ge.Kill()
+	if err := st.ge.Serve(); !errors.Is(err, hix.ErrEnclaveDead) {
+		t.Fatalf("Serve after kill: %v", err)
+	}
+	if _, err := s.MemAlloc(64); err == nil {
+		t.Fatal("alloc served by dead enclave")
+	}
+	if err := st.ge.RegisterKernel(nil); !errors.Is(err, hix.ErrEnclaveDead) {
+		t.Fatalf("RegisterKernel after kill: %v", err)
+	}
+	if err := st.ge.Shutdown(); !errors.Is(err, hix.ErrEnclaveDead) {
+		t.Fatalf("Shutdown after kill: %v", err)
+	}
+}
+
+// TestVRAMExhaustionSurfacesCleanly: device-memory exhaustion returns an
+// error through the protocol; the session stays usable.
+func TestVRAMExhaustionSurfacesCleanly(t *testing.T) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes: 256 << 20, EPCBytes: 16 << 20, VRAMBytes: 16 << 20,
+		Channels: 4, PlatformSeed: "vram-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, client := buildHIX(t, m)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.MemAlloc(64 << 20); !errors.Is(err, ErrRequest) {
+		t.Fatalf("oversized alloc error = %v", err)
+	}
+	// Session still works.
+	if _, err := s.MemAlloc(4096); err != nil {
+		t.Fatalf("session broken after failed alloc: %v", err)
+	}
+}
+
+// TestMultiUserDeterminism: with the gap-filling timeline, concurrent
+// multi-tenant runs produce identical simulated times regardless of
+// goroutine scheduling.
+func TestMultiUserDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		m, err := machine.New(machine.Config{
+			DRAMBytes: 384 << 20, EPCBytes: 16 << 20, VRAMBytes: 256 << 20,
+			Channels: 8, PlatformSeed: "determinism",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vendor, ge, _ := buildHIX(t, m)
+		const users = 3
+		sessions := make([]*Session, users)
+		for i := range sessions {
+			c, err := NewClient(m, ge, vendor.PublicKey(), []byte{byte(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[i], err = c.OpenSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[i].Synthetic = true
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < users; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s := sessions[i]
+				ptr, err := s.MemAlloc(48 << 20)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.MemcpyHtoD(ptr, nil, 48<<20); err != nil {
+					t.Error(err)
+					return
+				}
+				for k := 0; k < 4; k++ {
+					if err := s.Launch("nop", [8]uint64{}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := s.MemcpyDtoH(nil, ptr, 48<<20); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		out := make([]sim.Duration, users)
+		for i, s := range sessions {
+			out[i] = sim.Duration(s.Now())
+		}
+		return out
+	}
+	a := run()
+	b := run()
+	// The multiset of completion times must be identical across runs;
+	// compare maxima and sums (session-to-goroutine assignment may vary).
+	var maxA, maxB, sumA, sumB sim.Duration
+	for i := range a {
+		if a[i] > maxA {
+			maxA = a[i]
+		}
+		if b[i] > maxB {
+			maxB = b[i]
+		}
+		sumA += a[i]
+		sumB += b[i]
+	}
+	if maxA != maxB {
+		t.Fatalf("nondeterministic makespan: %v vs %v", maxA, maxB)
+	}
+	if sumA != sumB {
+		t.Fatalf("nondeterministic totals: %v vs %v", sumA, sumB)
+	}
+}

@@ -1,0 +1,511 @@
+package hixrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/ocb"
+	"repro/internal/sim"
+)
+
+// stack is the full HIX system: machine, vendor, GPU enclave, client.
+type stack struct {
+	t      *testing.T
+	m      *machine.Machine
+	vendor *attest.SigningAuthority
+	ge     *hix.Enclave
+	client *Client
+}
+
+// buildHIX launches the vendor + GPU enclave + default client on m.
+func buildHIX(t *testing.T, m *machine.Machine) (*attest.SigningAuthority, *hix.Enclave, *Client) {
+	t.Helper()
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(m, ge, vendor.PublicKey(), []byte("test app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vendor, ge, client
+}
+
+func newStack(t *testing.T) *stack {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    384 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    128 << 20,
+		Channels:     8,
+		PlatformSeed: "hixrt-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, ge, client := buildHIX(t, m)
+	return &stack{t: t, m: m, vendor: vendor, ge: ge, client: client}
+}
+
+func (st *stack) openSession() *Session {
+	st.t.Helper()
+	s, err := st.client.OpenSession()
+	if err != nil {
+		st.t.Fatal(err)
+	}
+	return s
+}
+
+// registerDoubler installs a u32-doubling kernel.
+func (st *stack) registerDoubler() {
+	st.t.Helper()
+	err := st.ge.RegisterKernel(&gpu.Kernel{
+		Name: "double_u32",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			return cm.ComputeTime(float64(p[1]))
+		},
+		Run: func(e *gpu.ExecContext) error {
+			addr, n := e.Params[0], e.Params[1]
+			for i := uint64(0); i < n; i++ {
+				v, err := e.U32(addr + 4*i)
+				if err != nil {
+					return err
+				}
+				if err := e.PutU32(addr+4*i, 2*v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		st.t.Fatal(err)
+	}
+}
+
+func TestSecureEndToEnd(t *testing.T) {
+	st := newStack(t)
+	st.registerDoubler()
+	s := st.openSession()
+	defer s.Close()
+
+	in := make([]byte, 4*256)
+	for i := 0; i < 256; i++ {
+		binary.LittleEndian.PutUint32(in[4*i:], uint32(i+1))
+	}
+	ptr, err := s.MemAlloc(uint64(len(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, in, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Plaintext arrived in VRAM (decrypted by the in-GPU kernel).
+	vr := make([]byte, len(in))
+	if err := st.m.GPU.PeekVRAM(uint64(ptr), vr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vr, in) {
+		t.Fatal("plaintext mismatch in VRAM after secure HtoD")
+	}
+	var params [gpu.NumKernelParams]uint64
+	params[0], params[1] = uint64(ptr), 256
+	if err := s.Launch("double_u32", params); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if got := binary.LittleEndian.Uint32(out[4*i:]); got != uint32(2*(i+1)) {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+	if s.Elapsed() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestDataIsCiphertextOnUntrustedPath(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	secret := bytes.Repeat([]byte("TOP-SECRET-TENSOR "), 100)
+	ptr, err := s.MemAlloc(uint64(len(secret)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed []byte
+	s.Hooks.AfterDataWrite = func(segOff, n int) {
+		observed = make([]byte, n)
+		if err := st.m.OS.ShmReadPhys(s.seg, segOff, observed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.MemcpyHtoD(ptr, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	if observed == nil {
+		t.Fatal("hook did not run")
+	}
+	if bytes.Contains(observed, []byte("TOP-SECRET")) {
+		t.Fatal("plaintext visible in inter-enclave shared memory")
+	}
+	if len(observed) != len(secret)+ocb.TagSize && len(observed) != s.c.m.Cost.CryptoChunk+ocb.TagSize {
+		t.Fatalf("unexpected ciphertext size %d", len(observed))
+	}
+}
+
+func TestMultiChunkTransfer(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	// 3.5 chunks.
+	n := st.m.Cost.CryptoChunk*3 + st.m.Cost.CryptoChunk/2
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	ptr, err := s.MemAlloc(uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, n)
+	if err := s.MemcpyDtoH(back, ptr, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("multi-chunk roundtrip mismatch")
+	}
+}
+
+func TestHtoDTamperDetectedByGPU(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	data := make([]byte, 4096)
+	ptr, err := s.MemAlloc(uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Hooks.AfterDataWrite = func(segOff, n int) {
+		// The privileged adversary flips one ciphertext bit on the DMA
+		// path (§5.5, DMA attacks).
+		b := make([]byte, 1)
+		if err := st.m.OS.ShmReadPhys(s.seg, segOff+100, b); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0x80
+		if err := st.m.OS.ShmWritePhys(s.seg, segOff+100, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = s.MemcpyHtoD(ptr, data, 0)
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered HtoD error = %v", err)
+	}
+}
+
+func TestDtoHTamperDetectedByUser(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	ptr, err := s.MemAlloc(uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Hooks.AfterDataReady = func(segOff, n int) {
+		b := make([]byte, 1)
+		if err := st.m.OS.ShmReadPhys(s.seg, segOff+10, b); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 1
+		if err := st.m.OS.ShmWritePhys(s.seg, segOff+10, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]byte, len(data))
+	err = s.MemcpyDtoH(out, ptr, 0)
+	if !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered DtoH error = %v", err)
+	}
+}
+
+func TestRequestTamperRejected(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	s.Hooks.BeforeServe = func() {
+		msgs, err := st.m.OS.MQSnoop(s.reqQ)
+		if err != nil || len(msgs) == 0 {
+			t.Fatal("no pending request to tamper")
+		}
+		evil := append([]byte(nil), msgs[len(msgs)-1]...)
+		evil[len(evil)-1] ^= 0xFF // flip a ciphertext bit
+		if err := st.m.OS.MQTamper(s.reqQ, len(msgs)-1, evil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.MemAlloc(4096)
+	if err == nil {
+		t.Fatal("tampered request accepted")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	var captured []byte
+	s.Hooks.BeforeServe = func() {
+		msgs, _ := st.m.OS.MQSnoop(s.reqQ)
+		if len(msgs) > 0 && captured == nil {
+			captured = append([]byte(nil), msgs[0]...)
+		}
+	}
+	if _, err := s.MemAlloc(4096); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("no request captured")
+	}
+	// Adversary replays the captured alloc request.
+	if err := st.m.OS.MQSend(s.reqQ, captured); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ge.Serve(); err != nil {
+		t.Fatal(err)
+	}
+	// The GPU enclave must have rejected it: the response on the queue
+	// says auth failed.
+	msg, err := st.m.OS.MQRecv(s.respQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := hix.DecodeEnvelope(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := s.aead.Open(nil, s.geMeta.Next(), env.Body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hix.DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != hix.RespAuthFailed {
+		t.Fatalf("replay response status = %d, want auth-failed", resp.Status)
+	}
+}
+
+func TestMemFreeCleansesVRAM(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	secret := bytes.Repeat([]byte("KEY"), 100)
+	ptr, err := s.MemAlloc(uint64(len(secret)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemFree(ptr); err != nil {
+		t.Fatal(err)
+	}
+	check := make([]byte, len(secret))
+	if err := st.m.GPU.PeekVRAM(uint64(ptr), check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, make([]byte, len(secret))) {
+		t.Fatal("freed VRAM not cleansed (residual-data leak)")
+	}
+}
+
+func TestSessionIsolation(t *testing.T) {
+	st := newStack(t)
+	clientB, err := NewClient(st.m, st.ge, st.vendor.PublicKey(), []byte("app B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA := st.openSession()
+	defer sA.Close()
+	sB, err := clientB.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sB.Close()
+
+	secretB := []byte("tenant B's private data")
+	ptrB, err := sB.MemAlloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sB.MemcpyHtoD(ptrB, secretB, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Session A forges a request naming B's pointer. (We bypass the
+	// public API, which wouldn't even let us name it.)
+	req := hix.Request{Type: hix.ReqMemcpyDtoH, Ptr: uint64(ptrB), SegOff: 0, Len: 4096}
+	resp, err := sA.roundTrip(req, sA.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != hix.RespBadRequest {
+		t.Fatalf("cross-session access status = %d, want bad-request", resp.Status)
+	}
+}
+
+func TestWrongVendorKeyRejected(t *testing.T) {
+	st := newStack(t)
+	otherVendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(st.m, st.ge, otherVendor.PublicKey(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.OpenSession(); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("wrong vendor key: %v", err)
+	}
+}
+
+func TestEnclaveKillSealsGPU(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	ptr, err := s.MemAlloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, []byte("user data under protection"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The OS kills the GPU enclave process (§4.2.3).
+	st.ge.Kill()
+	// Requests now fail...
+	if _, err := s.MemAlloc(4096); err == nil {
+		t.Fatal("request succeeded after enclave kill")
+	}
+	// ...and a fresh GPU enclave cannot take over the GPU.
+	if _, err := hix.Launch(hix.Config{Machine: st.m, Vendor: st.vendor}); err == nil {
+		t.Fatal("new GPU enclave claimed a sealed GPU")
+	}
+	// Only a cold boot recovers the device — and it cleanses VRAM.
+	st.m.ColdBoot()
+	if _, err := hix.Launch(hix.Config{Machine: st.m, Vendor: st.vendor}); err != nil {
+		t.Fatalf("launch after cold boot: %v", err)
+	}
+	check := make([]byte, 8)
+	if err := st.m.GPU.PeekVRAM(uint64(ptr), check); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(check, make([]byte, 8)) {
+		t.Fatal("VRAM survived cold boot")
+	}
+}
+
+func TestGracefulShutdownReturnsGPU(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ge.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ge.Dead() {
+		t.Fatal("enclave alive after shutdown")
+	}
+	// A new GPU enclave can launch.
+	if _, err := hix.Launch(hix.Config{Machine: st.m, Vendor: st.vendor}); err != nil {
+		t.Fatalf("relaunch after graceful shutdown: %v", err)
+	}
+}
+
+func TestSyntheticSessionTimingMatchesReal(t *testing.T) {
+	elapsed := func(synthetic bool) sim.Duration {
+		st := newStack(t)
+		s := st.openSession()
+		defer s.Close()
+		s.Synthetic = synthetic
+		const n = 6 << 20
+		ptr, err := s.MemAlloc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var data []byte
+		if !synthetic {
+			data = make([]byte, n)
+		}
+		if err := s.MemcpyHtoD(ptr, data, n); err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		if !synthetic {
+			out = make([]byte, n)
+		}
+		if err := s.MemcpyDtoH(out, ptr, n); err != nil {
+			t.Fatal(err)
+		}
+		return s.Elapsed()
+	}
+	real := elapsed(false)
+	synth := elapsed(true)
+	if real != synth {
+		t.Fatalf("real %v != synthetic %v", real, synth)
+	}
+}
+
+func TestSessionClosedErrors(t *testing.T) {
+	st := newStack(t)
+	s := st.openSession()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	if _, err := s.MemAlloc(64); !errors.Is(err, ErrClosed) {
+		t.Fatalf("alloc on closed session: %v", err)
+	}
+	if err := s.MemcpyHtoD(0, []byte{1}, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("copy on closed session: %v", err)
+	}
+	if err := s.MemcpyDtoH([]byte{1}, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dtoh on closed session: %v", err)
+	}
+}
+
+func TestHIXTaskInitFasterThanGdev(t *testing.T) {
+	// §5.3.2: "the task initialization overhead is slightly lower in
+	// HIX" — the session-open cost must undercut the baseline task init.
+	st := newStack(t)
+	s := st.openSession()
+	defer s.Close()
+	if s.Elapsed() >= st.m.Cost.TaskInitGdev {
+		t.Fatalf("HIX session init %v >= Gdev task init %v", s.Elapsed(), st.m.Cost.TaskInitGdev)
+	}
+}

@@ -1,0 +1,218 @@
+// Package machine assembles the simulated computer: physical memory, the
+// PCIe fabric with the GPU, the MMU, the SGX+HIX processor, and the
+// untrusted OS. Every higher layer — the Gdev baseline driver, the HIX
+// GPU enclave, the benchmark harness, and the attack harness — builds on
+// one Machine.
+//
+// The default configuration mirrors the paper's testbed (Table 3): a
+// single SGX-capable CPU and an NVIDIA GTX 580-class GPU with 1.5 GiB of
+// device memory behind a PCIe root port.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/osim"
+	"repro/internal/pcie"
+	"repro/internal/sgx"
+	"repro/internal/sim"
+)
+
+// Physical memory layout.
+const (
+	DRAMBase = 0x0
+	// EPCBase places the enclave page cache above ordinary DRAM.
+	EPCBase = 0x7000_0000
+	// PCIeWindowBase is where the BIOS routes MMIO.
+	PCIeWindowBase = 0x8000_0000
+	PCIeWindowSize = 0x7000_0000 // up to the 4 GiB line
+
+	// FrameBase is where the OS frame allocator starts (below it live
+	// the kernel image and boot structures).
+	FrameBase = 0x40_0000
+)
+
+// Config sizes the machine.
+type Config struct {
+	// DRAMBytes is main-memory capacity (default 1.75 GiB, enough to
+	// stage the paper's largest transfer).
+	DRAMBytes uint64
+	// EPCBytes is the enclave page cache size (default 96 MiB, the
+	// usable EPC of SGX-era parts).
+	EPCBytes uint64
+	// VRAMBytes is GPU memory (default 1.5 GiB, the GTX 580).
+	VRAMBytes uint64
+	// Channels is the GPU command-channel count (default 8).
+	Channels int
+	// Cost overrides the calibrated cost model (zero value = default).
+	Cost *sim.CostModel
+	// PlatformSeed makes the hardware attestation secret deterministic
+	// for tests; empty = random.
+	PlatformSeed string
+	// VoltaStyle equips the GPU with concurrent multi-context execution
+	// (the §4.5 future-work hardware the paper anticipates).
+	VoltaStyle bool
+	// GPUs is the number of GPUs to attach (default 1). Each sits
+	// behind its own root port; PCIe peer-to-peer between them is not
+	// supported, matching the paper's scope (§5.6).
+	GPUs int
+}
+
+// Machine is the assembled platform.
+type Machine struct {
+	Memory *mem.AddressSpace
+	MMU    *mmu.MMU
+	Fabric *pcie.RootComplex
+	// GPU and GPUBDF are the primary (first) GPU.
+	GPU    *gpu.Device
+	GPUBDF pcie.BDF
+	// GPUs and GPUBDFs list every attached GPU, primary first.
+	GPUs     []*gpu.Device
+	GPUBDFs  []pcie.BDF
+	CPU      *sgx.Processor
+	OS       *osim.OS
+	Platform *attest.Platform
+	Timeline *sim.Timeline
+	Cost     sim.CostModel
+}
+
+// New boots a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.DRAMBytes == 0 {
+		cfg.DRAMBytes = 1792 << 20
+	}
+	if cfg.EPCBytes == 0 {
+		cfg.EPCBytes = 96 << 20
+	}
+	if cfg.VRAMBytes == 0 {
+		cfg.VRAMBytes = 1536 << 20
+	}
+	if cfg.Channels == 0 {
+		cfg.Channels = 8
+	}
+	cost := sim.Default()
+	if cfg.Cost != nil {
+		cost = *cfg.Cost
+	}
+	if cfg.DRAMBytes > EPCBase {
+		return nil, fmt.Errorf("machine: DRAM %#x overlaps the EPC window", cfg.DRAMBytes)
+	}
+
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("dram", DRAMBase, cfg.DRAMBytes); err != nil {
+		return nil, err
+	}
+	tl := sim.NewTimeline()
+
+	rc, err := pcie.NewRootComplex(as, PCIeWindowBase, PCIeWindowSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.GPUs == 0 {
+		cfg.GPUs = 1
+	}
+	baseName := "gtx580-sim"
+	if cfg.VoltaStyle {
+		baseName = "volta-sim"
+	}
+	devs := make([]*gpu.Device, cfg.GPUs)
+	for i := range devs {
+		port, err := rc.AddRootPort(fmt.Sprintf("rp%d", i))
+		if err != nil {
+			return nil, err
+		}
+		name := baseName
+		if cfg.GPUs > 1 {
+			name = fmt.Sprintf("%s-%d", baseName, i)
+		}
+		devs[i], err = gpu.New(gpu.Config{
+			Name:               name,
+			VRAMBytes:          cfg.VRAMBytes,
+			Channels:           cfg.Channels,
+			Timeline:           tl,
+			Cost:               cost,
+			ConcurrentContexts: cfg.VoltaStyle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		port.AttachEndpoint(devs[i])
+	}
+	if err := rc.Enumerate(); err != nil {
+		return nil, err
+	}
+	bdfs := make([]pcie.BDF, cfg.GPUs)
+	for b, d := range rc.Endpoints() {
+		for i, dev := range devs {
+			if d == pcie.Device(dev) {
+				bdfs[i] = b
+			}
+		}
+	}
+	for i, dev := range devs {
+		if (bdfs[i] == pcie.BDF{}) {
+			return nil, fmt.Errorf("machine: GPU %d not enumerated", i)
+		}
+		dev.ConnectDMA(rc, bdfs[i])
+	}
+
+	var platform *attest.Platform
+	if cfg.PlatformSeed != "" {
+		platform = attest.NewPlatformFromSeed([]byte(cfg.PlatformSeed))
+	} else {
+		platform = attest.NewPlatform()
+	}
+	m := mmu.New()
+	cpu, err := sgx.NewProcessor(sgx.Config{
+		Platform: platform,
+		MMU:      m,
+		Memory:   as,
+		EPCBase:  EPCBase,
+		EPCSize:  cfg.EPCBytes,
+		Fabric:   rc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	os, err := osim.New(osim.Config{
+		Memory:    as,
+		FrameBase: FrameBase,
+		FrameSize: cfg.DRAMBytes - FrameBase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rc.SetIOMMU(os.IOMMU())
+
+	return &Machine{
+		Memory:   as,
+		MMU:      m,
+		Fabric:   rc,
+		GPU:      devs[0],
+		GPUBDF:   bdfs[0],
+		GPUs:     devs,
+		GPUBDFs:  bdfs,
+		CPU:      cpu,
+		OS:       os,
+		Platform: platform,
+		Timeline: tl,
+		Cost:     cost,
+	}, nil
+}
+
+// ColdBoot power-cycles the platform: the GPU resets, lockdown clears,
+// all enclaves and GECS/TGMR registrations vanish (§4.2.3). OS state
+// (processes, segments) is not preserved either; callers should rebuild
+// their stacks afterwards.
+func (m *Machine) ColdBoot() {
+	for _, d := range m.GPUs {
+		d.Reset()
+	}
+	m.Fabric.ColdBoot()
+	m.CPU.ColdBoot()
+	m.MMU.FlushAll()
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func small() Config {
+	return Config{
+		DRAMBytes: 128 << 20, EPCBytes: 8 << 20, VRAMBytes: 32 << 20,
+		Channels: 4, PlatformSeed: "machine-test",
+	}
+}
+
+func TestDefaultsMatchTable3(t *testing.T) {
+	m, err := New(Config{PlatformSeed: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GPU.VRAMSize() != 1536<<20 {
+		t.Fatalf("VRAM = %d, want 1.5 GiB", m.GPU.VRAMSize())
+	}
+	if m.GPU.Channels() != 8 {
+		t.Fatalf("channels = %d", m.GPU.Channels())
+	}
+	if m.Cost.CPULanes != 4 {
+		t.Fatalf("lanes = %d", m.Cost.CPULanes)
+	}
+}
+
+func TestTopologyWiring(t *testing.T) {
+	m, err := New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GPU is enumerated and reachable through the fabric.
+	if _, ok := m.Fabric.Endpoint(m.GPUBDF); !ok {
+		t.Fatal("GPU not an enumerated endpoint")
+	}
+	bar0, size, err := m.GPU.Config().BAR(0)
+	if err != nil || size == 0 {
+		t.Fatalf("BAR0 unprogrammed: %v", err)
+	}
+	// CPU-side MMIO reaches the device registers via the address map.
+	buf := make([]byte, 4)
+	if err := m.Memory.Read(bar0, buf); err != nil {
+		t.Fatalf("MMIO read through fabric: %v", err)
+	}
+	// DRAM, EPC and the PCIe window coexist without overlap.
+	if _, ok := m.Memory.Lookup(0x1000); !ok {
+		t.Fatal("DRAM missing")
+	}
+	if _, ok := m.Memory.Lookup(EPCBase); !ok {
+		t.Fatal("EPC missing")
+	}
+	if r, ok := m.Memory.Lookup(mem.PhysAddr(PCIeWindowBase) + 0x100); !ok || r.Kind != mem.RegionMMIO {
+		t.Fatal("PCIe window missing")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := small()
+	cfg.DRAMBytes = uint64(EPCBase) + mem.PageSize // overlaps EPC
+	if _, err := New(cfg); err == nil {
+		t.Fatal("DRAM/EPC overlap accepted")
+	}
+}
+
+func TestColdBootResetsEverything(t *testing.T) {
+	m, err := New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty some state: VRAM via the device, lockdown via the fabric.
+	if err := m.Fabric.Lockdown(m.GPUBDF); err != nil {
+		t.Fatal(err)
+	}
+	resets := m.GPU.ResetCount()
+	m.ColdBoot()
+	if m.Fabric.LockdownActive() {
+		t.Fatal("lockdown survived cold boot")
+	}
+	if m.GPU.ResetCount() != resets+1 {
+		t.Fatal("GPU not reset at cold boot")
+	}
+}
+
+func TestVoltaStyleConfig(t *testing.T) {
+	cfg := small()
+	cfg.VoltaStyle = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GPU.DeviceName() != "volta-sim" {
+		t.Fatalf("device name = %q", m.GPU.DeviceName())
+	}
+}
+
+func TestCostOverride(t *testing.T) {
+	cost := sim.Default()
+	cost.PCIeHtoDBandwidth = 123e9
+	cfg := small()
+	cfg.Cost = &cost
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost.PCIeHtoDBandwidth != 123e9 {
+		t.Fatal("cost override ignored")
+	}
+}
+
+func TestDeterministicPlatformSeed(t *testing.T) {
+	m1, _ := New(small())
+	m2, _ := New(small())
+	// Same seed -> same platform report keys: a report created on m1's
+	// "hardware" verifies on m2's.
+	r, err := m1.Platform.CreateReport([32]byte{1}, [32]byte{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Platform.VerifyReport([32]byte{2}, r) {
+		t.Fatal("seeded platforms differ")
+	}
+}

@@ -1,0 +1,279 @@
+// Package mem models the system physical address map: DRAM, memory-mapped
+// I/O windows, and page-frame bookkeeping.
+//
+// In the paper's architecture (§2.2) the CPU distinguishes accesses to
+// MMIO regions from main-memory accesses using routing registers set up at
+// boot; accesses falling into an MMIO window are handed to the PCIe root
+// complex. This package provides that address map: DRAM regions carry real
+// byte backing (which the untrusted OS — and therefore the adversary — can
+// inspect), while MMIO regions delegate to a device handler.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PhysAddr is a physical address in the simulated machine.
+type PhysAddr uint64
+
+// PageSize is the base page size of the simulated machine.
+const PageSize = 4096
+
+// PageAlign rounds a down to a page boundary.
+func PageAlign(a PhysAddr) PhysAddr { return a &^ (PageSize - 1) }
+
+// PageOffset returns the offset of a within its page.
+func PageOffset(a PhysAddr) uint64 { return uint64(a) & (PageSize - 1) }
+
+// RegionKind classifies an address-map region.
+type RegionKind int
+
+const (
+	// RegionDRAM is ordinary main memory, fully visible to privileged
+	// software.
+	RegionDRAM RegionKind = iota
+	// RegionMMIO routes accesses to a device handler through the I/O
+	// interconnect.
+	RegionMMIO
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionDRAM:
+		return "dram"
+	case RegionMMIO:
+		return "mmio"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Handler receives accesses routed to an MMIO region. Offsets are relative
+// to the region base.
+type Handler interface {
+	MMIORead(off uint64, p []byte) error
+	MMIOWrite(off uint64, p []byte) error
+}
+
+// Region is one entry of the system address map.
+type Region struct {
+	Name    string
+	Kind    RegionKind
+	Base    PhysAddr
+	Size    uint64
+	handler Handler
+	backing []byte
+}
+
+// End returns the first address past the region.
+func (r *Region) End() PhysAddr { return r.Base + PhysAddr(r.Size) }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr PhysAddr) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Bytes exposes the raw DRAM backing of the region. It returns nil for
+// MMIO regions. This is deliberately public: under the threat model the
+// privileged adversary can inspect and modify all of main memory, and the
+// attack harness uses exactly this door.
+func (r *Region) Bytes() []byte { return r.backing }
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%s[%s] %#x-%#x", r.Name, r.Kind, r.Base, r.End())
+}
+
+// Common address-map errors.
+var (
+	ErrOverlap    = errors.New("mem: region overlaps existing region")
+	ErrUnmapped   = errors.New("mem: access to unmapped physical address")
+	ErrCrossing   = errors.New("mem: access crosses a region boundary")
+	ErrOutOfSpace = errors.New("mem: frame allocator exhausted")
+)
+
+// AddressSpace is the machine's physical address map. It is safe for
+// concurrent use.
+type AddressSpace struct {
+	mu      sync.RWMutex
+	regions []*Region // sorted by Base
+}
+
+// NewAddressSpace returns an empty address map.
+func NewAddressSpace() *AddressSpace { return &AddressSpace{} }
+
+func (as *AddressSpace) insert(r *Region) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, ex := range as.regions {
+		if r.Base < ex.End() && ex.Base < r.End() {
+			return fmt.Errorf("%w: %s vs %s", ErrOverlap, r, ex)
+		}
+	}
+	as.regions = append(as.regions, r)
+	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Base < as.regions[j].Base })
+	return nil
+}
+
+// AddDRAM maps size bytes of main memory at base.
+func (as *AddressSpace) AddDRAM(name string, base PhysAddr, size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, errors.New("mem: zero-size DRAM region")
+	}
+	r := &Region{Name: name, Kind: RegionDRAM, Base: base, Size: size, backing: make([]byte, size)}
+	if err := as.insert(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MapMMIO maps an MMIO window at base, routing accesses to h.
+func (as *AddressSpace) MapMMIO(name string, base PhysAddr, size uint64, h Handler) (*Region, error) {
+	if size == 0 {
+		return nil, errors.New("mem: zero-size MMIO region")
+	}
+	if h == nil {
+		return nil, errors.New("mem: nil MMIO handler")
+	}
+	r := &Region{Name: name, Kind: RegionMMIO, Base: base, Size: size, handler: h}
+	if err := as.insert(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Unmap removes a region from the map. It reports whether the region was
+// present.
+func (as *AddressSpace) Unmap(r *Region) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, ex := range as.regions {
+		if ex == r {
+			as.regions = append(as.regions[:i], as.regions[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup finds the region containing addr.
+func (as *AddressSpace) Lookup(addr PhysAddr) (*Region, bool) {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].End() > addr })
+	if i < len(as.regions) && as.regions[i].Contains(addr) {
+		return as.regions[i], true
+	}
+	return nil, false
+}
+
+// Regions returns a snapshot of the address map sorted by base address.
+func (as *AddressSpace) Regions() []*Region {
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	out := make([]*Region, len(as.regions))
+	copy(out, as.regions)
+	return out
+}
+
+// access validates an access of len(p) bytes at addr and returns the
+// containing region plus the in-region offset.
+func (as *AddressSpace) access(addr PhysAddr, n int) (*Region, uint64, error) {
+	r, ok := as.Lookup(addr)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %#x", ErrUnmapped, addr)
+	}
+	off := uint64(addr - r.Base)
+	if off+uint64(n) > r.Size {
+		return nil, 0, fmt.Errorf("%w: %#x+%d in %s", ErrCrossing, addr, n, r)
+	}
+	return r, off, nil
+}
+
+// Read copies len(p) bytes at addr into p. MMIO accesses are routed to the
+// region's handler; DRAM reads come straight from backing memory.
+func (as *AddressSpace) Read(addr PhysAddr, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	r, off, err := as.access(addr, len(p))
+	if err != nil {
+		return err
+	}
+	if r.Kind == RegionMMIO {
+		return r.handler.MMIORead(off, p)
+	}
+	copy(p, r.backing[off:])
+	return nil
+}
+
+// Write copies p to addr, routing MMIO accesses to the region handler.
+func (as *AddressSpace) Write(addr PhysAddr, p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	r, off, err := as.access(addr, len(p))
+	if err != nil {
+		return err
+	}
+	if r.Kind == RegionMMIO {
+		return r.handler.MMIOWrite(off, p)
+	}
+	copy(r.backing[off:], p)
+	return nil
+}
+
+// FrameAllocator hands out physical page frames from a DRAM region.
+type FrameAllocator struct {
+	mu   sync.Mutex
+	base PhysAddr
+	next PhysAddr
+	end  PhysAddr
+	free []PhysAddr
+}
+
+// NewFrameAllocator manages the frames of the given window, which must be
+// page-aligned.
+func NewFrameAllocator(base PhysAddr, size uint64) (*FrameAllocator, error) {
+	if PageOffset(base) != 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("mem: frame allocator window %#x+%#x not page-aligned", base, size)
+	}
+	return &FrameAllocator{base: base, next: base, end: base + PhysAddr(size)}, nil
+}
+
+// Alloc returns the address of a free page frame.
+func (fa *FrameAllocator) Alloc() (PhysAddr, error) {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	if n := len(fa.free); n > 0 {
+		a := fa.free[n-1]
+		fa.free = fa.free[:n-1]
+		return a, nil
+	}
+	if fa.next >= fa.end {
+		return 0, ErrOutOfSpace
+	}
+	a := fa.next
+	fa.next += PageSize
+	return a, nil
+}
+
+// Free returns a frame to the allocator. Freeing a frame outside the
+// window panics: that is a simulator bug, not a runtime condition.
+func (fa *FrameAllocator) Free(a PhysAddr) {
+	if a < fa.base || a >= fa.end || PageOffset(a) != 0 {
+		panic(fmt.Sprintf("mem: freeing invalid frame %#x", a))
+	}
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	fa.free = append(fa.free, a)
+}
+
+// FreeFrames reports how many frames are currently allocatable.
+func (fa *FrameAllocator) FreeFrames() int {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return len(fa.free) + int((fa.end-fa.next)/PageSize)
+}

@@ -1,0 +1,257 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+type recordingHandler struct {
+	data   []byte
+	reads  int
+	writes int
+	err    error
+}
+
+func (h *recordingHandler) MMIORead(off uint64, p []byte) error {
+	h.reads++
+	if h.err != nil {
+		return h.err
+	}
+	copy(p, h.data[off:])
+	return nil
+}
+
+func (h *recordingHandler) MMIOWrite(off uint64, p []byte) error {
+	h.writes++
+	if h.err != nil {
+		return h.err
+	}
+	copy(h.data[off:], p)
+	return nil
+}
+
+func TestDRAMReadWrite(t *testing.T) {
+	as := NewAddressSpace()
+	r, err := as.AddDRAM("ram", 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello physical world")
+	if err := as.Write(0x1000, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := as.Read(0x1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// The adversary's view through Bytes sees the same data.
+	if !bytes.Equal(r.Bytes()[0x1000:0x1000+len(want)], want) {
+		t.Fatal("Bytes() does not expose the written data")
+	}
+}
+
+func TestMMIORouting(t *testing.T) {
+	as := NewAddressSpace()
+	h := &recordingHandler{data: make([]byte, 0x1000)}
+	if _, err := as.MapMMIO("gpu-bar0", 0xF000_0000, 0x1000, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(0xF000_0010, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 4)
+	if err := as.Read(0xF000_0010, p); err != nil {
+		t.Fatal(err)
+	}
+	if h.reads != 1 || h.writes != 1 {
+		t.Fatalf("handler saw %d reads / %d writes, want 1/1", h.reads, h.writes)
+	}
+	if !bytes.Equal(p, []byte{1, 2, 3, 4}) {
+		t.Fatalf("MMIO read back %v", p)
+	}
+}
+
+func TestMMIOHandlerErrorPropagates(t *testing.T) {
+	as := NewAddressSpace()
+	sentinel := errors.New("device error")
+	h := &recordingHandler{data: make([]byte, 16), err: sentinel}
+	if _, err := as.MapMMIO("dev", 0x1000, 16, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(0x1000, make([]byte, 1)); !errors.Is(err, sentinel) {
+		t.Fatalf("read error = %v, want sentinel", err)
+	}
+	if err := as.Write(0x1000, []byte{0}); !errors.Is(err, sentinel) {
+		t.Fatalf("write error = %v, want sentinel", err)
+	}
+}
+
+func TestUnmappedAccess(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(0x5000, make([]byte, 1)); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped read error = %v", err)
+	}
+	if err := as.Write(0, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped write error = %v", err)
+	}
+}
+
+func TestRegionBoundaryCrossing(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	err := as.Read(0xFFE, make([]byte, 4))
+	if !errors.Is(err, ErrCrossing) {
+		t.Fatalf("crossing read error = %v", err)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddDRAM("a", 0, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.AddDRAM("b", 0x1000, 0x1000); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap error = %v", err)
+	}
+	// Adjacent is fine.
+	if _, err := as.AddDRAM("c", 0x2000, 0x1000); err != nil {
+		t.Fatalf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestUnmapAndLookup(t *testing.T) {
+	as := NewAddressSpace()
+	r, _ := as.AddDRAM("ram", 0, 0x1000)
+	if got, ok := as.Lookup(0x800); !ok || got != r {
+		t.Fatal("lookup failed before unmap")
+	}
+	if !as.Unmap(r) {
+		t.Fatal("unmap returned false")
+	}
+	if as.Unmap(r) {
+		t.Fatal("double unmap returned true")
+	}
+	if _, ok := as.Lookup(0x800); ok {
+		t.Fatal("lookup succeeded after unmap")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AddDRAM("z", 0, 0); err == nil {
+		t.Fatal("zero-size DRAM accepted")
+	}
+	if _, err := as.MapMMIO("z", 0, 0, &recordingHandler{}); err == nil {
+		t.Fatal("zero-size MMIO accepted")
+	}
+	if _, err := as.MapMMIO("z", 0, 16, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestEmptyAccessIsNoop(t *testing.T) {
+	as := NewAddressSpace()
+	if err := as.Read(0xdead, nil); err != nil {
+		t.Fatalf("zero-length read errored: %v", err)
+	}
+	if err := as.Write(0xdead, nil); err != nil {
+		t.Fatalf("zero-length write errored: %v", err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageAlign(0x1234) != 0x1000 {
+		t.Fatalf("PageAlign(0x1234) = %#x", PageAlign(0x1234))
+	}
+	if PageOffset(0x1234) != 0x234 {
+		t.Fatalf("PageOffset(0x1234) = %#x", PageOffset(0x1234))
+	}
+}
+
+func TestFrameAllocator(t *testing.T) {
+	fa, err := NewFrameAllocator(0x10000, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.FreeFrames() != 4 {
+		t.Fatalf("FreeFrames = %d, want 4", fa.FreeFrames())
+	}
+	seen := map[PhysAddr]bool{}
+	for i := 0; i < 4; i++ {
+		a, err := fa.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if PageOffset(a) != 0 || seen[a] {
+			t.Fatalf("bad frame %#x", a)
+		}
+		seen[a] = true
+	}
+	if _, err := fa.Alloc(); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("exhaustion error = %v", err)
+	}
+	fa.Free(0x10000)
+	if a, err := fa.Alloc(); err != nil || a != 0x10000 {
+		t.Fatalf("realloc after free = %#x, %v", a, err)
+	}
+}
+
+func TestFrameAllocatorValidation(t *testing.T) {
+	if _, err := NewFrameAllocator(0x10001, PageSize); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := NewFrameAllocator(0x10000, PageSize+1); err == nil {
+		t.Fatal("unaligned size accepted")
+	}
+	fa, _ := NewFrameAllocator(0x10000, PageSize)
+	for _, bad := range []PhysAddr{0, 0x10004, 0x20000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%#x) did not panic", bad)
+				}
+			}()
+			fa.Free(bad)
+		}()
+	}
+}
+
+// Property: whatever is written to DRAM reads back identically at the same
+// address, for arbitrary offsets and payloads within the region.
+func TestDRAMRoundtripProperty(t *testing.T) {
+	as := NewAddressSpace()
+	const size = 1 << 16
+	if _, err := as.AddDRAM("ram", 0, size); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		addr := PhysAddr(off)
+		if int(off)+len(payload) > size {
+			return true // out of window; covered by boundary tests
+		}
+		if err := as.Write(addr, payload); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if err := as.Read(addr, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package mmu models the CPU's memory management unit: per-process page
+// tables (owned and freely modified by the untrusted OS), a TLB, and the
+// hardware page-table walker.
+//
+// The walker is the enforcement point HIX extends (§4.3.1): before a new
+// translation is inserted into the TLB, registered fill validators —
+// the SGX EPCM check for enclave pages and the HIX GECS/TGMR check for
+// GPU MMIO pages — may veto it. A veto makes the access fault regardless
+// of what the OS wrote into the page table, which is precisely how HIX
+// defeats page-table remapping attacks on the MMIO region.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// VirtAddr is a virtual address in some process's address space.
+type VirtAddr uint64
+
+// PageAlign rounds v down to a page boundary.
+func PageAlign(v VirtAddr) VirtAddr { return v &^ (mem.PageSize - 1) }
+
+// PageOffset returns v's offset within its page.
+func PageOffset(v VirtAddr) uint64 { return uint64(v) & (mem.PageSize - 1) }
+
+// Translation errors.
+var (
+	ErrNotMapped   = errors.New("mmu: page fault (not present)")
+	ErrNotWritable = errors.New("mmu: write to read-only page")
+	ErrDenied      = errors.New("mmu: translation denied by fill validator")
+)
+
+// PTE is a page-table entry. The simulation keeps page tables as sparse
+// maps rather than 4-level radix trees; the OS-visible semantics — the OS
+// can point any virtual page at any frame at any time — are identical,
+// and those semantics are what the attacks exercise.
+type PTE struct {
+	Frame    mem.PhysAddr
+	Writable bool
+	User     bool
+}
+
+// PageTable is one address space's mapping structure. It is owned by the
+// untrusted OS: every mutator is public because the adversary is allowed
+// to call them.
+type PageTable struct {
+	mu      sync.RWMutex
+	entries map[VirtAddr]PTE
+	version uint64
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{entries: make(map[VirtAddr]PTE)}
+}
+
+// Map installs a translation for the page containing va.
+func (pt *PageTable) Map(va VirtAddr, e PTE) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.entries[PageAlign(va)] = e
+	pt.version++
+}
+
+// Unmap removes the translation for the page containing va.
+func (pt *PageTable) Unmap(va VirtAddr) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	delete(pt.entries, PageAlign(va))
+	pt.version++
+}
+
+// Lookup returns the PTE for the page containing va.
+func (pt *PageTable) Lookup(va VirtAddr) (PTE, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	e, ok := pt.entries[PageAlign(va)]
+	return e, ok
+}
+
+// Len reports the number of mapped pages.
+func (pt *PageTable) Len() int {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	return len(pt.entries)
+}
+
+// Context identifies the executing software for permission checks.
+type Context struct {
+	// PID is the OS process identifier.
+	PID int
+	// EnclaveID is the SGX enclave the processor is currently executing
+	// in, or 0 when outside any enclave.
+	EnclaveID uint64
+}
+
+func (c Context) String() string {
+	return fmt.Sprintf("pid=%d enclave=%d", c.PID, c.EnclaveID)
+}
+
+// FillValidator vets a translation before the walker inserts it into the
+// TLB. Implementations: the SGX EPCM check, and the HIX GECS/TGMR check.
+type FillValidator interface {
+	// ValidateFill returns nil to admit the translation. The write flag
+	// reports whether the faulting access was a write.
+	ValidateFill(ctx Context, va VirtAddr, pa mem.PhysAddr, write bool) error
+}
+
+// FillValidatorFunc adapts a function to FillValidator.
+type FillValidatorFunc func(ctx Context, va VirtAddr, pa mem.PhysAddr, write bool) error
+
+// ValidateFill implements FillValidator.
+func (f FillValidatorFunc) ValidateFill(ctx Context, va VirtAddr, pa mem.PhysAddr, write bool) error {
+	return f(ctx, va, pa, write)
+}
+
+// tlbKey identifies a cached translation. PID acts as the ASID.
+type tlbKey struct {
+	pid int
+	va  VirtAddr
+}
+
+type tlbEntry struct {
+	pte     PTE
+	version uint64
+	enclave uint64 // enclave the fill was validated for
+}
+
+// MMU combines the TLB and the validating page-table walker. One MMU
+// exists per simulated machine; contexts share it like hyperthreads share
+// hardware TLBs (entries are ASID-tagged).
+type MMU struct {
+	mu         sync.Mutex
+	tlb        map[tlbKey]tlbEntry
+	order      []tlbKey // FIFO eviction order
+	capacity   int
+	validators []FillValidator
+
+	// Statistics, for tests and the benchmark harness.
+	Hits      uint64
+	Misses    uint64
+	Denials   uint64
+	Evictions uint64
+}
+
+// DefaultTLBCapacity is the number of cached translations.
+const DefaultTLBCapacity = 1536
+
+// New returns an MMU with the default TLB capacity.
+func New() *MMU { return NewWithCapacity(DefaultTLBCapacity) }
+
+// NewWithCapacity returns an MMU with a specific TLB capacity (minimum 1).
+func NewWithCapacity(capacity int) *MMU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MMU{tlb: make(map[tlbKey]tlbEntry), capacity: capacity}
+}
+
+// AddValidator registers a fill validator. Validators run in registration
+// order; the first error wins.
+func (m *MMU) AddValidator(v FillValidator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.validators = append(m.validators, v)
+}
+
+// Translate resolves va in pt for the given context, enforcing walker
+// validation on TLB fills. It returns the physical address.
+func (m *MMU) Translate(ctx Context, pt *PageTable, va VirtAddr, write bool) (mem.PhysAddr, error) {
+	page := PageAlign(va)
+	key := tlbKey{pid: ctx.PID, va: page}
+
+	pt.mu.RLock()
+	pte, present := pt.entries[page]
+	version := pt.version
+	pt.mu.RUnlock()
+
+	m.mu.Lock()
+	if e, ok := m.tlb[key]; ok && e.version == version && e.enclave == ctx.EnclaveID {
+		m.Hits++
+		m.mu.Unlock()
+		return m.finish(e.pte, va, write)
+	}
+	m.Misses++
+	m.mu.Unlock()
+
+	// TLB miss: hardware page walk.
+	if !present {
+		return 0, fmt.Errorf("%w: %s va=%#x", ErrNotMapped, ctx, va)
+	}
+	pa := pte.Frame + mem.PhysAddr(PageOffset(page))
+	for _, v := range m.snapshotValidators() {
+		if err := v.ValidateFill(ctx, page, pa, write); err != nil {
+			m.mu.Lock()
+			m.Denials++
+			m.mu.Unlock()
+			return 0, fmt.Errorf("%w: %v", ErrDenied, err)
+		}
+	}
+
+	m.mu.Lock()
+	if len(m.tlb) >= m.capacity {
+		// FIFO eviction.
+		for len(m.order) > 0 {
+			victim := m.order[0]
+			m.order = m.order[1:]
+			if _, ok := m.tlb[victim]; ok {
+				delete(m.tlb, victim)
+				m.Evictions++
+				break
+			}
+		}
+	}
+	m.tlb[key] = tlbEntry{pte: pte, version: version, enclave: ctx.EnclaveID}
+	m.order = append(m.order, key)
+	m.mu.Unlock()
+
+	return m.finish(pte, va, write)
+}
+
+func (m *MMU) snapshotValidators() []FillValidator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]FillValidator, len(m.validators))
+	copy(out, m.validators)
+	return out
+}
+
+func (m *MMU) finish(pte PTE, va VirtAddr, write bool) (mem.PhysAddr, error) {
+	if write && !pte.Writable {
+		return 0, fmt.Errorf("%w: va=%#x", ErrNotWritable, va)
+	}
+	return pte.Frame + mem.PhysAddr(PageOffset(va)), nil
+}
+
+// FlushPID drops all TLB entries for one address space.
+func (m *MMU) FlushPID(pid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.tlb {
+		if k.pid == pid {
+			delete(m.tlb, k)
+		}
+	}
+}
+
+// FlushAll empties the TLB.
+func (m *MMU) FlushAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tlb = make(map[tlbKey]tlbEntry)
+	m.order = nil
+}
+
+// TLBLen reports the number of live TLB entries (for tests).
+func (m *MMU) TLBLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tlb)
+}

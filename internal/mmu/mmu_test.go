@@ -1,0 +1,272 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestTranslateBasic(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: true, User: true})
+	ctx := Context{PID: 1}
+
+	pa, err := m.Translate(ctx, pt, 0x4123, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x10123 {
+		t.Fatalf("pa = %#x, want 0x10123", pa)
+	}
+	// Second access hits the TLB.
+	if _, err := m.Translate(ctx, pt, 0x4FF0, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", m.Hits, m.Misses)
+	}
+}
+
+func TestPageFault(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	_, err := m.Translate(Context{PID: 1}, pt, 0x4000, false)
+	if !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: false})
+	ctx := Context{PID: 1}
+	if _, err := m.Translate(ctx, pt, 0x4000, false); err != nil {
+		t.Fatalf("read of RO page failed: %v", err)
+	}
+	if _, err := m.Translate(ctx, pt, 0x4000, true); !errors.Is(err, ErrNotWritable) {
+		t.Fatalf("write to RO page error = %v", err)
+	}
+}
+
+func TestValidatorDeniesFill(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: true})
+	boom := errors.New("forbidden region")
+	m.AddValidator(FillValidatorFunc(func(ctx Context, va VirtAddr, pa mem.PhysAddr, write bool) error {
+		if pa >= 0x10000 && pa < 0x11000 {
+			return boom
+		}
+		return nil
+	}))
+	_, err := m.Translate(Context{PID: 1}, pt, 0x4000, false)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("error = %v", err)
+	}
+	if m.Denials != 1 {
+		t.Fatalf("denials = %d", m.Denials)
+	}
+	// Denied translations must not be cached.
+	if m.TLBLen() != 0 {
+		t.Fatal("denied fill was cached")
+	}
+}
+
+func TestValidatorSeesContextAndWriteFlag(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: true})
+	var gotCtx Context
+	var gotWrite bool
+	m.AddValidator(FillValidatorFunc(func(ctx Context, va VirtAddr, pa mem.PhysAddr, write bool) error {
+		gotCtx, gotWrite = ctx, write
+		return nil
+	}))
+	ctx := Context{PID: 7, EnclaveID: 42}
+	if _, err := m.Translate(ctx, pt, 0x4000, true); err != nil {
+		t.Fatal(err)
+	}
+	if gotCtx != ctx || !gotWrite {
+		t.Fatalf("validator saw ctx=%v write=%v", gotCtx, gotWrite)
+	}
+}
+
+func TestPTEChangeInvalidatesTLB(t *testing.T) {
+	// The OS remaps a page after a fill: the next access must re-walk and
+	// be re-validated (this is where HIX catches PTE tampering).
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: true})
+	ctx := Context{PID: 1}
+	var fills int
+	m.AddValidator(FillValidatorFunc(func(Context, VirtAddr, mem.PhysAddr, bool) error {
+		fills++
+		return nil
+	}))
+	if _, err := m.Translate(ctx, pt, 0x4000, false); err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(0x4000, PTE{Frame: 0x20000, Writable: true}) // adversary remap
+	pa, err := m.Translate(ctx, pt, 0x4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != 0x20000 {
+		t.Fatalf("stale translation used: pa=%#x", pa)
+	}
+	if fills != 2 {
+		t.Fatalf("validator ran %d times, want 2", fills)
+	}
+}
+
+func TestEnclaveTransitionRevalidates(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000, Writable: true})
+	var fills int
+	m.AddValidator(FillValidatorFunc(func(Context, VirtAddr, mem.PhysAddr, bool) error {
+		fills++
+		return nil
+	}))
+	if _, err := m.Translate(Context{PID: 1, EnclaveID: 5}, pt, 0x4000, false); err != nil {
+		t.Fatal(err)
+	}
+	// Same PID, different enclave context: must not reuse the fill.
+	if _, err := m.Translate(Context{PID: 1, EnclaveID: 0}, pt, 0x4000, false); err != nil {
+		t.Fatal(err)
+	}
+	if fills != 2 {
+		t.Fatalf("fills = %d, want 2", fills)
+	}
+}
+
+func TestASIDSeparation(t *testing.T) {
+	m := New()
+	pt1, pt2 := NewPageTable(), NewPageTable()
+	pt1.Map(0x4000, PTE{Frame: 0x10000})
+	pt2.Map(0x4000, PTE{Frame: 0x20000})
+	pa1, err := m.Translate(Context{PID: 1}, pt1, 0x4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, err := m.Translate(Context{PID: 2}, pt2, 0x4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa1 == pa2 {
+		t.Fatal("TLB leaked translation across PIDs")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000})
+	pt.Map(0x5000, PTE{Frame: 0x11000})
+	ctx := Context{PID: 1}
+	m.Translate(ctx, pt, 0x4000, false)
+	m.Translate(ctx, pt, 0x5000, false)
+	m.Translate(Context{PID: 2}, pt, 0x4000, false)
+	if m.TLBLen() != 3 {
+		t.Fatalf("TLB len = %d", m.TLBLen())
+	}
+	m.FlushPID(1)
+	if m.TLBLen() != 1 {
+		t.Fatalf("after FlushPID len = %d", m.TLBLen())
+	}
+	m.FlushAll()
+	if m.TLBLen() != 0 {
+		t.Fatalf("after FlushAll len = %d", m.TLBLen())
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	m := NewWithCapacity(2)
+	pt := NewPageTable()
+	for i := 0; i < 4; i++ {
+		va := VirtAddr(0x1000 * (i + 1))
+		pt.Map(va, PTE{Frame: mem.PhysAddr(0x100000 + 0x1000*i)})
+		if _, err := m.Translate(Context{PID: 1}, pt, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.TLBLen() != 2 {
+		t.Fatalf("TLB exceeded capacity: %d", m.TLBLen())
+	}
+	if m.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", m.Evictions)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000})
+	ctx := Context{PID: 1}
+	if _, err := m.Translate(ctx, pt, 0x4000, false); err != nil {
+		t.Fatal(err)
+	}
+	pt.Unmap(0x4000)
+	if _, err := m.Translate(ctx, pt, 0x4000, false); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("access after unmap error = %v", err)
+	}
+	if pt.Len() != 0 {
+		t.Fatalf("page table len = %d", pt.Len())
+	}
+}
+
+func TestValidatorOrder(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	pt.Map(0x4000, PTE{Frame: 0x10000})
+	var order []int
+	m.AddValidator(FillValidatorFunc(func(Context, VirtAddr, mem.PhysAddr, bool) error {
+		order = append(order, 1)
+		return errors.New("first wins")
+	}))
+	m.AddValidator(FillValidatorFunc(func(Context, VirtAddr, mem.PhysAddr, bool) error {
+		order = append(order, 2)
+		return nil
+	}))
+	m.Translate(Context{PID: 1}, pt, 0x4000, false)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("validator order = %v", order)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageAlign(0x1FFF) != 0x1000 {
+		t.Fatalf("PageAlign = %#x", PageAlign(0x1FFF))
+	}
+	if PageOffset(0x1FFF) != 0xFFF {
+		t.Fatalf("PageOffset = %#x", PageOffset(0x1FFF))
+	}
+	c := Context{PID: 3, EnclaveID: 9}
+	if c.String() != "pid=3 enclave=9" {
+		t.Fatalf("Context string = %q", c.String())
+	}
+}
+
+// Property: translation preserves the page offset and maps to the frame
+// installed in the page table.
+func TestTranslationOffsetProperty(t *testing.T) {
+	m := New()
+	pt := NewPageTable()
+	f := func(pageIdx uint8, off uint16, frameIdx uint8) bool {
+		va := VirtAddr(pageIdx) * mem.PageSize
+		frame := mem.PhysAddr(0x100000) + mem.PhysAddr(frameIdx)*mem.PageSize
+		pt.Map(va, PTE{Frame: frame, Writable: true})
+		pa, err := m.Translate(Context{PID: 1}, pt, va+VirtAddr(off%mem.PageSize), true)
+		if err != nil {
+			return false
+		}
+		return pa == frame+mem.PhysAddr(off%mem.PageSize)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

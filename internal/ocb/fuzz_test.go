@@ -1,0 +1,43 @@
+package ocb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen: Open must never panic and must never accept a ciphertext that
+// Seal did not produce (except with negligible probability, which the
+// fuzzer would surface as a real forgery).
+func FuzzOpen(f *testing.F) {
+	f.Add([]byte("some ciphertext bytes............"), []byte("ad"), uint64(1))
+	f.Add([]byte{}, []byte{}, uint64(0))
+	a, _ := New(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, ct, ad []byte, nseed uint64) {
+		nonce := make([]byte, NonceSize)
+		for i := range nonce {
+			nonce[i] = byte(nseed >> (uint(i%8) * 8))
+		}
+		pt, err := a.Open(nil, nonce, ct, ad)
+		if err == nil {
+			// Anything accepted must re-seal to the identical bytes.
+			again := a.Seal(nil, nonce, pt, ad)
+			if !bytes.Equal(again, ct) {
+				t.Fatalf("accepted forgery: %x", ct)
+			}
+		}
+	})
+}
+
+// FuzzSealOpenRoundtrip: arbitrary inputs always roundtrip.
+func FuzzSealOpenRoundtrip(f *testing.F) {
+	f.Add([]byte("plaintext"), []byte("ad"))
+	a, _ := New(make([]byte, 16))
+	nonce := make([]byte, NonceSize)
+	f.Fuzz(func(t *testing.T, pt, ad []byte) {
+		ct := a.Seal(nil, nonce, pt, ad)
+		back, err := a.Open(nil, nonce, ct, ad)
+		if err != nil || !bytes.Equal(back, pt) {
+			t.Fatalf("roundtrip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package ocb
+
+import (
+	"bytes"
+	"crypto/cipher"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 7253 Appendix A sample results for AEAD_AES_128_OCB_TAGLEN128 with
+// K = 000102030405060708090A0B0C0D0E0F.
+var rfcVectors = []struct {
+	nonce, ad, plaintext, out string
+}{
+	{"BBAA99887766554433221100", "", "", "785407BFFFC8AD9EDCC5520AC9111EE6"},
+	{"BBAA99887766554433221101", "0001020304050607", "0001020304050607",
+		"6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009"},
+	{"BBAA99887766554433221102", "0001020304050607", "", "81017F8203F081277152FADE694A0A00"},
+	{"BBAA99887766554433221103", "", "0001020304050607",
+		"45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9"},
+	{"BBAA99887766554433221104", "000102030405060708090A0B0C0D0E0F",
+		"000102030405060708090A0B0C0D0E0F",
+		"571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358"},
+	{"BBAA99887766554433221105", "000102030405060708090A0B0C0D0E0F", "",
+		"8CF761B6902EF764462AD86498CA6B97"},
+	{"BBAA99887766554433221106", "", "000102030405060708090A0B0C0D0E0F",
+		"5CE88EC2E0692706A915C00AEB8B2396F40E1C743F52436BDF06D8FA1ECA343D"},
+	{"BBAA99887766554433221107", "000102030405060708090A0B0C0D0E0F1011121314151617",
+		"000102030405060708090A0B0C0D0E0F1011121314151617",
+		"1CA2207308C87C010756104D8840CE1952F09673A448A122C92C62241051F57356D7F3C90BB0E07F"},
+	{"BBAA99887766554433221108", "000102030405060708090A0B0C0D0E0F1011121314151617", "",
+		"6DC225A071FC1B9F7C69F93B0F1E10DE"},
+	{"BBAA99887766554433221109", "", "000102030405060708090A0B0C0D0E0F1011121314151617",
+		"221BD0DE7FA6FE993ECCD769460A0AF2D6CDED0C395B1C3CE725F32494B9F914D85C0B1EB38357FF"},
+	{"BBAA9988776655443322110A",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F",
+		"BD6F6C496201C69296C11EFD138A467ABD3C707924B964DEAFFC40319AF5A48540FBBA186C5553C68AD9F592A79A4240"},
+	{"BBAA9988776655443322110B",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F", "",
+		"FE80690BEE8A485D11F32965BC9D2A32"},
+	{"BBAA9988776655443322110C", "",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F",
+		"2942BFC773BDA23CABC6ACFD9BFD5835BD300F0973792EF46040C53F1432BCDFB5E1DDE3BC18A5F840B52E653444D5DF"},
+	{"BBAA9988776655443322110D",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+		"D5CA91748410C1751FF8A2F618255B68A0A12E093FF454606E59F9C1D0DDC54B65E8628E568BAD7AED07BA06A4A69483A7035490C5769E60"},
+	{"BBAA9988776655443322110E",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+		"", "C5CD9D1850C141E358649994EE701B68"},
+	{"BBAA9988776655443322110F", "",
+		"000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F2021222324252627",
+		"4412923493C57D5DE0D700F753CCE0D1D2D95060122E9F15A5DDBFC5787E50B5CC55EE507BCB084E479AD363AC366B95A98CA5F3000B1479"},
+}
+
+func TestRFC7253Vectors(t *testing.T) {
+	key := mustHex(t, "000102030405060708090A0B0C0D0E0F")
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rfcVectors {
+		nonce := mustHex(t, v.nonce)
+		ad := mustHex(t, v.ad)
+		pt := mustHex(t, v.plaintext)
+		want := mustHex(t, v.out)
+		got := a.Seal(nil, nonce, pt, ad)
+		if !bytes.Equal(got, want) {
+			t.Errorf("vector %d: Seal = %X, want %X", i, got, want)
+			continue
+		}
+		back, err := a.Open(nil, nonce, got, ad)
+		if err != nil {
+			t.Errorf("vector %d: Open failed: %v", i, err)
+			continue
+		}
+		if !bytes.Equal(back, pt) {
+			t.Errorf("vector %d: roundtrip = %X, want %X", i, back, pt)
+		}
+	}
+}
+
+// TestRFC7253Iterative runs the RFC's "wider variety" self-test: 128 rounds
+// of growing messages whose concatenated ciphertexts are themselves
+// authenticated; the RFC publishes the final tag for TAGLEN=128.
+func TestRFC7253Iterative(t *testing.T) {
+	key := make([]byte, 16)
+	key[15] = 128 // TAGLEN
+	a, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	num2str96 := func(x int) []byte {
+		n := make([]byte, 12)
+		n[10] = byte(x >> 8)
+		n[11] = byte(x)
+		return n
+	}
+	var c []byte
+	for i := 0; i <= 127; i++ {
+		s := make([]byte, i)
+		c = a.Seal(c, num2str96(3*i+1), s, s)
+		c = a.Seal(c, num2str96(3*i+2), s, nil)
+		c = a.Seal(c, num2str96(3*i+3), nil, s)
+	}
+	out := a.Seal(nil, num2str96(385), nil, c)
+	want := mustHex(t, "67E944D23256C5E0B6C61FA22FDF1EA2")
+	if !bytes.Equal(out, want) {
+		t.Fatalf("iterative self-test = %X, want %X", out, want)
+	}
+}
+
+func TestKeySizes(t *testing.T) {
+	for _, n := range []int{16, 24, 32} {
+		a, err := New(make([]byte, n))
+		if err != nil {
+			t.Fatalf("key size %d rejected: %v", n, err)
+		}
+		ct := a.Seal(nil, make([]byte, NonceSize), []byte("hello"), nil)
+		pt, err := a.Open(nil, make([]byte, NonceSize), ct, nil)
+		if err != nil || string(pt) != "hello" {
+			t.Fatalf("key size %d roundtrip failed: %v %q", n, err, pt)
+		}
+	}
+	if _, err := New(make([]byte, 17)); err == nil {
+		t.Fatal("17-byte key accepted")
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	a, _ := New(make([]byte, 16))
+	nonce := make([]byte, NonceSize)
+	ad := []byte("header")
+	pt := make([]byte, 100)
+	for i := range pt {
+		pt[i] = byte(i)
+	}
+	ct := a.Seal(nil, nonce, pt, ad)
+
+	// Flip each byte of the ciphertext in turn; all must fail.
+	for i := range ct {
+		bad := append([]byte(nil), ct...)
+		bad[i] ^= 0x01
+		if _, err := a.Open(nil, nonce, bad, ad); err == nil {
+			t.Fatalf("tampered byte %d accepted", i)
+		}
+	}
+	// Wrong AD must fail.
+	if _, err := a.Open(nil, nonce, ct, []byte("headex")); err == nil {
+		t.Fatal("wrong AD accepted")
+	}
+	// Wrong nonce must fail.
+	n2 := append([]byte(nil), nonce...)
+	n2[0] ^= 1
+	if _, err := a.Open(nil, n2, ct, ad); err == nil {
+		t.Fatal("wrong nonce accepted")
+	}
+	// Truncated to below a tag must fail without panicking.
+	if _, err := a.Open(nil, nonce, ct[:TagSize-1], ad); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestNonceLengths(t *testing.T) {
+	a, _ := New(make([]byte, 16))
+	for n := 1; n <= MaxNonceSize; n++ {
+		nonce := make([]byte, n)
+		nonce[n-1] = byte(n)
+		ct := a.Seal(nil, nonce, []byte("x"), nil)
+		if _, err := a.Open(nil, nonce, ct, nil); err != nil {
+			t.Fatalf("nonce length %d: %v", n, err)
+		}
+	}
+	for _, n := range []int{0, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("nonce length %d did not panic", n)
+				}
+			}()
+			a.Seal(nil, make([]byte, n), []byte("x"), nil)
+		}()
+	}
+}
+
+func TestSealAppendsToDst(t *testing.T) {
+	a, _ := New(make([]byte, 16))
+	nonce := make([]byte, NonceSize)
+	prefix := []byte("prefix")
+	out := a.Seal(append([]byte(nil), prefix...), nonce, []byte("data"), nil)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Seal did not preserve dst prefix")
+	}
+	pt, err := a.Open(append([]byte(nil), prefix...), nonce, out[len(prefix):], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "prefixdata" {
+		t.Fatalf("Open append = %q", pt)
+	}
+}
+
+func TestAEADInterface(t *testing.T) {
+	a, _ := New(make([]byte, 16))
+	var _ cipher.AEAD = a
+	if a.NonceSize() != 12 || a.Overhead() != 16 {
+		t.Fatalf("NonceSize/Overhead = %d/%d", a.NonceSize(), a.Overhead())
+	}
+}
+
+// Property: Seal/Open roundtrips for arbitrary plaintext, AD and nonce.
+func TestRoundtripProperty(t *testing.T) {
+	a, _ := New([]byte("0123456789abcdef"))
+	f := func(pt, ad []byte, nseed uint64) bool {
+		nonce := make([]byte, NonceSize)
+		for i := range nonce {
+			nonce[i] = byte(nseed >> (uint(i%8) * 8))
+		}
+		ct := a.Seal(nil, nonce, pt, ad)
+		if len(ct) != len(pt)+TagSize {
+			return false
+		}
+		back, err := a.Open(nil, nonce, ct, ad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ciphertext differs from plaintext (beyond negligible chance)
+// and distinct nonces give distinct ciphertexts.
+func TestNonceSeparationProperty(t *testing.T) {
+	a, _ := New(make([]byte, 16))
+	pt := make([]byte, 64)
+	n1 := make([]byte, NonceSize)
+	n2 := make([]byte, NonceSize)
+	n2[11] = 1
+	c1 := a.Seal(nil, n1, pt, nil)
+	c2 := a.Seal(nil, n2, pt, nil)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("different nonces produced identical ciphertexts")
+	}
+	if bytes.Equal(c1[:64], pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestDouble(t *testing.T) {
+	// double(0) = 0.
+	var z block
+	if double(z) != z {
+		t.Fatal("double(0) != 0")
+	}
+	// MSB set: shifts and xors 0x87 into the low byte.
+	var m block
+	m[0] = 0x80
+	d := double(m)
+	var want block
+	want[15] = 0x87
+	if d != want {
+		t.Fatalf("double(msb) = %x, want %x", d, want)
+	}
+	// Simple shift.
+	var s block
+	s[15] = 0x01
+	d = double(s)
+	if d[15] != 0x02 {
+		t.Fatalf("double(1) low byte = %x, want 2", d[15])
+	}
+}
+
+func BenchmarkSeal64K(b *testing.B) {
+	a, _ := New(make([]byte, 16))
+	nonce := make([]byte, NonceSize)
+	pt := make([]byte, 64<<10)
+	b.SetBytes(int64(len(pt)))
+	b.ResetTimer()
+	var ct []byte
+	for i := 0; i < b.N; i++ {
+		ct = a.Seal(ct[:0], nonce, pt, nil)
+	}
+}
+
+func BenchmarkOpen64K(b *testing.B) {
+	a, _ := New(make([]byte, 16))
+	nonce := make([]byte, NonceSize)
+	pt := make([]byte, 64<<10)
+	ct := a.Seal(nil, nonce, pt, nil)
+	b.SetBytes(int64(len(pt)))
+	b.ResetTimer()
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = a.Open(out[:0], nonce, ct, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

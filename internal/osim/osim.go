@@ -1,0 +1,414 @@
+// Package osim models the untrusted operating system of the HIX threat
+// model (§3.1): it owns the page tables, physical frame allocation, the
+// IOMMU, and the inter-process communication media (shared memory and
+// message queues) that enclaves must treat as hostile.
+//
+// Everything in this package is deliberately adversary-accessible. The
+// attack harness exercises exactly these doors: reading any physical
+// frame, rewriting any PTE, remapping the IOMMU, snooping and tampering
+// with message queues. HIX's guarantees must hold anyway.
+package osim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pcie"
+)
+
+// OS errors.
+var (
+	ErrNoProcess  = errors.New("osim: no such process")
+	ErrNoSegment  = errors.New("osim: no such shared segment")
+	ErrNoQueue    = errors.New("osim: no such message queue")
+	ErrQueueEmpty = errors.New("osim: message queue empty")
+)
+
+// Process is one OS process: an address space plus a simple VA allocator.
+type Process struct {
+	PID int
+	PT  *mmu.PageTable
+
+	mu       sync.Mutex
+	heapNext mmu.VirtAddr
+}
+
+// reserveVA carves a page-aligned virtual range out of the process heap.
+func (p *Process) reserveVA(size uint64) mmu.VirtAddr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	va := p.heapNext
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	p.heapNext += mmu.VirtAddr(pages * mem.PageSize)
+	return va
+}
+
+// SharedSegment is a System-V-style shared memory segment: a run of
+// physical frames mappable into multiple processes. It is ordinary DRAM —
+// fully visible to the adversary — which is why HIX only ever places
+// ciphertext here (§4.4.1).
+type SharedSegment struct {
+	ID     int
+	Frames []mem.PhysAddr
+	Size   uint64
+}
+
+// MessageQueue is an OS-mediated queue of byte messages. The adversary
+// can observe, reorder, drop, and inject (see Snoop/Inject).
+type MessageQueue struct {
+	mu   sync.Mutex
+	msgs [][]byte
+}
+
+// OS is the kernel of the simulated machine.
+type OS struct {
+	mu        sync.Mutex
+	as        *mem.AddressSpace
+	frames    *mem.FrameAllocator
+	processes map[int]*Process
+	nextPID   int
+	segments  map[int]*SharedSegment
+	nextSeg   int
+	queues    map[int]*MessageQueue
+	nextQueue int
+	iommu     *IOMMU
+}
+
+// Config describes the kernel's resources.
+type Config struct {
+	Memory *mem.AddressSpace
+	// FrameBase/FrameSize is the DRAM window the kernel allocates user
+	// frames from (must not overlap the EPC).
+	FrameBase mem.PhysAddr
+	FrameSize uint64
+}
+
+// New boots the OS.
+func New(cfg Config) (*OS, error) {
+	if cfg.Memory == nil {
+		return nil, errors.New("osim: nil memory")
+	}
+	fa, err := mem.NewFrameAllocator(cfg.FrameBase, cfg.FrameSize)
+	if err != nil {
+		return nil, err
+	}
+	return &OS{
+		as:        cfg.Memory,
+		frames:    fa,
+		processes: make(map[int]*Process),
+		segments:  make(map[int]*SharedSegment),
+		queues:    make(map[int]*MessageQueue),
+		iommu:     NewIOMMU(),
+	}, nil
+}
+
+// Memory exposes the physical address space — the adversary's direct
+// physical view (and the kernel's own).
+func (o *OS) Memory() *mem.AddressSpace { return o.as }
+
+// IOMMU returns the DMA translation unit the kernel programs.
+func (o *OS) IOMMU() *IOMMU { return o.iommu }
+
+// NewProcess creates a process with an empty page table.
+func (o *OS) NewProcess() *Process {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nextPID++
+	p := &Process{PID: o.nextPID, PT: mmu.NewPageTable(), heapNext: 0x1000_0000}
+	o.processes[p.PID] = p
+	return p
+}
+
+// Process looks up a process by PID.
+func (o *OS) Process(pid int) (*Process, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p, ok := o.processes[pid]
+	return p, ok
+}
+
+// AllocPages maps n fresh frames into the process and returns the base
+// virtual address.
+func (o *OS) AllocPages(p *Process, n int) (mmu.VirtAddr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("osim: invalid page count %d", n)
+	}
+	va := p.reserveVA(uint64(n) * mem.PageSize)
+	for i := 0; i < n; i++ {
+		frame, err := o.frames.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		p.PT.Map(va+mmu.VirtAddr(i*mem.PageSize), mmu.PTE{Frame: frame, Writable: true, User: true})
+	}
+	return va, nil
+}
+
+// MapPhys maps an arbitrary physical range (page-aligned) into the
+// process — the "benign kernel service" of §4.2 that assigns virtual
+// addresses for MMIO regions. The kernel can of course also abuse this to
+// point a process anywhere; the MMU walker is what constrains the damage.
+func (o *OS) MapPhys(p *Process, pa mem.PhysAddr, size uint64, writable bool) (mmu.VirtAddr, error) {
+	if mem.PageOffset(pa) != 0 {
+		return 0, fmt.Errorf("osim: unaligned physical base %#x", pa)
+	}
+	va := p.reserveVA(size)
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	for i := uint64(0); i < pages; i++ {
+		p.PT.Map(va+mmu.VirtAddr(i*mem.PageSize),
+			mmu.PTE{Frame: pa + mem.PhysAddr(i*mem.PageSize), Writable: writable, User: true})
+	}
+	return va, nil
+}
+
+// --- Shared memory -------------------------------------------------------
+
+// ShmCreate allocates a shared segment of at least size bytes.
+func (o *OS) ShmCreate(size uint64) (*SharedSegment, error) {
+	if size == 0 {
+		return nil, errors.New("osim: zero-size segment")
+	}
+	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	seg := &SharedSegment{Size: uint64(pages) * mem.PageSize}
+	for i := 0; i < pages; i++ {
+		frame, err := o.frames.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		seg.Frames = append(seg.Frames, frame)
+	}
+	o.mu.Lock()
+	o.nextSeg++
+	seg.ID = o.nextSeg
+	o.segments[seg.ID] = seg
+	o.mu.Unlock()
+	return seg, nil
+}
+
+// Segment looks up a shared segment.
+func (o *OS) Segment(id int) (*SharedSegment, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.segments[id]
+	return s, ok
+}
+
+// ShmAttach maps a segment into the process and returns its base VA.
+func (o *OS) ShmAttach(p *Process, seg *SharedSegment) mmu.VirtAddr {
+	va := p.reserveVA(seg.Size)
+	for i, frame := range seg.Frames {
+		p.PT.Map(va+mmu.VirtAddr(i*mem.PageSize), mmu.PTE{Frame: frame, Writable: true, User: true})
+	}
+	return va
+}
+
+// ShmReadPhys reads the segment contents through physical memory — the
+// adversary's (and DMA engine's) view, no MMU involved.
+func (o *OS) ShmReadPhys(seg *SharedSegment, off int, buf []byte) error {
+	return o.shmAccess(seg, off, buf, false)
+}
+
+// ShmWritePhys writes segment contents through physical memory.
+func (o *OS) ShmWritePhys(seg *SharedSegment, off int, buf []byte) error {
+	return o.shmAccess(seg, off, buf, true)
+}
+
+func (o *OS) shmAccess(seg *SharedSegment, off int, buf []byte, write bool) error {
+	if off < 0 || uint64(off)+uint64(len(buf)) > seg.Size {
+		return fmt.Errorf("osim: segment access out of range (%d+%d of %d)", off, len(buf), seg.Size)
+	}
+	done := 0
+	for done < len(buf) {
+		page := (off + done) / mem.PageSize
+		pageOff := (off + done) % mem.PageSize
+		n := mem.PageSize - pageOff
+		if n > len(buf)-done {
+			n = len(buf) - done
+		}
+		pa := seg.Frames[page] + mem.PhysAddr(pageOff)
+		var err error
+		if write {
+			err = o.as.Write(pa, buf[done:done+n])
+		} else {
+			err = o.as.Read(pa, buf[done:done+n])
+		}
+		if err != nil {
+			return err
+		}
+		done += n
+	}
+	return nil
+}
+
+// PhysAt returns the physical address corresponding to a byte offset in
+// the segment — what the kernel hands to a device as a DMA target.
+func (seg *SharedSegment) PhysAt(off int) (mem.PhysAddr, error) {
+	if off < 0 || uint64(off) >= seg.Size {
+		return 0, fmt.Errorf("osim: offset %d out of segment", off)
+	}
+	return seg.Frames[off/mem.PageSize] + mem.PhysAddr(off%mem.PageSize), nil
+}
+
+// ContiguousPhys reports whether [off, off+n) is physically contiguous —
+// DMA descriptors in this simulation cover one contiguous run.
+func (seg *SharedSegment) ContiguousPhys(off, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	first := off / mem.PageSize
+	last := (off + n - 1) / mem.PageSize
+	for p := first; p < last; p++ {
+		if seg.Frames[p+1] != seg.Frames[p]+mem.PageSize {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Message queues ------------------------------------------------------
+
+// MQCreate allocates a message queue and returns its ID.
+func (o *OS) MQCreate() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nextQueue++
+	o.queues[o.nextQueue] = &MessageQueue{}
+	return o.nextQueue
+}
+
+func (o *OS) queue(id int) (*MessageQueue, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	q, ok := o.queues[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoQueue, id)
+	}
+	return q, nil
+}
+
+// MQSend appends a message (copied) to the queue.
+func (o *OS) MQSend(id int, msg []byte) error {
+	q, err := o.queue(id)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.msgs = append(q.msgs, append([]byte(nil), msg...))
+	return nil
+}
+
+// MQRecv pops the oldest message; ErrQueueEmpty when none is pending.
+func (o *OS) MQRecv(id int) ([]byte, error) {
+	q, err := o.queue(id)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.msgs) == 0 {
+		return nil, ErrQueueEmpty
+	}
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+	return m, nil
+}
+
+// MQSnoop returns a copy of all pending messages without consuming them —
+// the adversary reading kernel memory.
+func (o *OS) MQSnoop(id int) ([][]byte, error) {
+	q, err := o.queue(id)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([][]byte, len(q.msgs))
+	for i, m := range q.msgs {
+		out[i] = append([]byte(nil), m...)
+	}
+	return out, nil
+}
+
+// MQTamper replaces the i-th pending message — the adversary rewriting
+// kernel memory.
+func (o *OS) MQTamper(id, i int, msg []byte) error {
+	q, err := o.queue(id)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if i < 0 || i >= len(q.msgs) {
+		return fmt.Errorf("osim: no pending message %d", i)
+	}
+	q.msgs[i] = append([]byte(nil), msg...)
+	return nil
+}
+
+// MQLen reports the number of pending messages.
+func (o *OS) MQLen(id int) (int, error) {
+	q, err := o.queue(id)
+	if err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.msgs), nil
+}
+
+// --- IOMMU ---------------------------------------------------------------
+
+// IOMMU is a table-walked DMA remapper, fully under kernel control — and
+// therefore under adversary control (§4.3.3: "the OS can route the DMA
+// data to any memory pages ... by compromising the IOMMU page table").
+type IOMMU struct {
+	mu      sync.RWMutex
+	enabled bool
+	tables  map[pcie.BDF]map[mem.PhysAddr]mem.PhysAddr
+}
+
+// NewIOMMU creates a disabled (identity) IOMMU.
+func NewIOMMU() *IOMMU {
+	return &IOMMU{tables: make(map[pcie.BDF]map[mem.PhysAddr]mem.PhysAddr)}
+}
+
+// Enable turns translation on; devices without mappings then fault.
+func (u *IOMMU) Enable(on bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.enabled = on
+}
+
+// MapDMA installs iova -> pa for one page.
+func (u *IOMMU) MapDMA(dev pcie.BDF, iova, pa mem.PhysAddr) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	t, ok := u.tables[dev]
+	if !ok {
+		t = make(map[mem.PhysAddr]mem.PhysAddr)
+		u.tables[dev] = t
+	}
+	t[mem.PageAlign(iova)] = mem.PageAlign(pa)
+}
+
+// Translate implements pcie.IOMMU.
+func (u *IOMMU) Translate(dev pcie.BDF, iova mem.PhysAddr) (mem.PhysAddr, error) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if !u.enabled {
+		return iova, nil
+	}
+	t, ok := u.tables[dev]
+	if !ok {
+		return 0, fmt.Errorf("osim: IOMMU fault: no table for %s", dev)
+	}
+	pa, ok := t[mem.PageAlign(iova)]
+	if !ok {
+		return 0, fmt.Errorf("osim: IOMMU fault: %s iova %#x", dev, iova)
+	}
+	return pa + mem.PhysAddr(mem.PageOffset(iova)), nil
+}

@@ -1,0 +1,332 @@
+// Package pcie models the PCI Express fabric of the simulated machine:
+// per-function configuration space with BARs, bridges with routing
+// windows, a root complex that routes memory and configuration TLPs, and
+// the HIX MMIO-lockdown extension (§4.3.2 of the paper) that freezes the
+// MMIO address map once a GPU enclave owns the device.
+//
+// Routing reads the *live* register values on every transaction, so a
+// privileged adversary who rewrites a BAR or a bridge window genuinely
+// redirects traffic — unless lockdown drops the write first. That is the
+// property the paper's security analysis depends on.
+package pcie
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Standard configuration-space register offsets (PCI Local Bus spec 3.0).
+const (
+	RegVendorID   = 0x00
+	RegDeviceID   = 0x02
+	RegCommand    = 0x04
+	RegStatus     = 0x06
+	RegRevision   = 0x08
+	RegClassCode  = 0x09
+	RegHeaderType = 0x0E
+	RegBAR0       = 0x10
+	RegBAR1       = 0x14
+	RegBAR2       = 0x18
+	RegBAR3       = 0x1C
+	RegBAR4       = 0x20
+	RegBAR5       = 0x24
+	RegExpROM     = 0x30 // type-0 expansion ROM base address
+
+	// Type-1 (bridge) header registers.
+	RegPrimaryBus     = 0x18
+	RegSecondaryBus   = 0x19
+	RegSubordinateBus = 0x1A
+	RegMemoryBase     = 0x20
+	RegMemoryLimit    = 0x22
+	RegBridgeExpROM   = 0x38
+
+	// Command register bits.
+	CmdMemorySpace = 0x0002
+	CmdBusMaster   = 0x0004
+
+	// Header types.
+	HeaderTypeEndpoint = 0x00
+	HeaderTypeBridge   = 0x01
+
+	// ConfigSize is the size of the (non-extended) config space.
+	ConfigSize = 256
+)
+
+// NumBARs is the number of base address registers in a type-0 header.
+const NumBARs = 6
+
+// Config-space errors.
+var (
+	ErrBadRegister = errors.New("pcie: config access out of range")
+	ErrBARIndex    = errors.New("pcie: invalid BAR index")
+)
+
+// ConfigSpace is one function's 256-byte configuration header with BAR
+// sizing semantics. It is safe for concurrent use.
+type ConfigSpace struct {
+	mu       sync.RWMutex
+	raw      [ConfigSize]byte
+	barSize  [NumBARs]uint64 // 0 = BAR not implemented
+	romSize  uint64
+	isBridge bool
+	// sizing[i] is true after software wrote all-1s to BAR i and before
+	// the next write, making reads return the size mask.
+	sizing    [NumBARs]bool
+	romSizing bool
+}
+
+// ConfigOpts describes a function's identity and resource needs.
+type ConfigOpts struct {
+	VendorID  uint16
+	DeviceID  uint16
+	ClassCode uint32 // 24-bit class code
+	Bridge    bool
+	BARSizes  [NumBARs]uint64 // each must be 0 or a power of two >= 16
+	ROMSize   uint64          // expansion ROM size; 0 = none
+}
+
+// NewConfigSpace builds a configuration space from opts.
+func NewConfigSpace(opts ConfigOpts) (*ConfigSpace, error) {
+	cs := &ConfigSpace{isBridge: opts.Bridge}
+	for i, s := range opts.BARSizes {
+		if s == 0 {
+			continue
+		}
+		if opts.Bridge && i >= 2 {
+			return nil, fmt.Errorf("pcie: bridge supports only BAR0/BAR1, got BAR%d", i)
+		}
+		if s < 16 || s&(s-1) != 0 {
+			return nil, fmt.Errorf("pcie: BAR%d size %#x is not a power of two >= 16", i, s)
+		}
+		cs.barSize[i] = s
+	}
+	if opts.ROMSize != 0 {
+		if opts.ROMSize&(opts.ROMSize-1) != 0 {
+			return nil, fmt.Errorf("pcie: ROM size %#x is not a power of two", opts.ROMSize)
+		}
+		cs.romSize = opts.ROMSize
+	}
+	binary.LittleEndian.PutUint16(cs.raw[RegVendorID:], opts.VendorID)
+	binary.LittleEndian.PutUint16(cs.raw[RegDeviceID:], opts.DeviceID)
+	cs.raw[RegClassCode] = byte(opts.ClassCode)
+	cs.raw[RegClassCode+1] = byte(opts.ClassCode >> 8)
+	cs.raw[RegClassCode+2] = byte(opts.ClassCode >> 16)
+	if opts.Bridge {
+		cs.raw[RegHeaderType] = HeaderTypeBridge
+	}
+	return cs, nil
+}
+
+// IsBridge reports whether this is a type-1 header.
+func (cs *ConfigSpace) IsBridge() bool { return cs.isBridge }
+
+func barReg(i int) int { return RegBAR0 + 4*i }
+
+// barIndexOf returns which BAR (if any) a 4-byte register write at off
+// addresses, or -1.
+func (cs *ConfigSpace) barIndexOf(off int) int {
+	if off < RegBAR0 {
+		return -1
+	}
+	n := NumBARs
+	if cs.isBridge {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		if off == barReg(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (cs *ConfigSpace) romReg() int {
+	if cs.isBridge {
+		return RegBridgeExpROM
+	}
+	return RegExpROM
+}
+
+// Read32 reads a naturally-aligned 32-bit register.
+func (cs *ConfigSpace) Read32(off int) (uint32, error) {
+	if off < 0 || off+4 > ConfigSize || off%4 != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	if i := cs.barIndexOf(off); i >= 0 && cs.sizing[i] {
+		// Sizing read: the writable bits are the size mask.
+		return uint32(^(cs.barSize[i] - 1)), nil
+	}
+	if off == cs.romReg() && cs.romSizing {
+		return uint32(^(cs.romSize - 1)), nil
+	}
+	return binary.LittleEndian.Uint32(cs.raw[off:]), nil
+}
+
+// Write32 writes a naturally-aligned 32-bit register, applying BAR
+// semantics: the low address bits of implemented BARs are read-only, and
+// an all-1s write arms a sizing read rather than storing an address.
+func (cs *ConfigSpace) Write32(off int, v uint32) error {
+	if off < 0 || off+4 > ConfigSize || off%4 != 0 {
+		return fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if i := cs.barIndexOf(off); i >= 0 {
+		if cs.barSize[i] == 0 {
+			return nil // unimplemented BAR: writes ignored, reads zero
+		}
+		if v == 0xFFFF_FFFF {
+			cs.sizing[i] = true
+			return nil
+		}
+		cs.sizing[i] = false
+		v &= uint32(^(cs.barSize[i] - 1)) // address bits only
+		binary.LittleEndian.PutUint32(cs.raw[off:], v)
+		return nil
+	}
+	if off == cs.romReg() {
+		if cs.romSize == 0 {
+			return nil
+		}
+		if v == 0xFFFF_FFFF {
+			cs.romSizing = true
+			return nil
+		}
+		cs.romSizing = false
+		// Bit 0 is the ROM enable; keep it, mask the rest to size.
+		enable := v & 1
+		v &= uint32(^(cs.romSize - 1))
+		binary.LittleEndian.PutUint32(cs.raw[off:], v|enable)
+		return nil
+	}
+	binary.LittleEndian.PutUint32(cs.raw[off:], v)
+	return nil
+}
+
+// Read8 reads a single config byte (no sizing semantics; used for bus
+// number registers and header probing).
+func (cs *ConfigSpace) Read8(off int) (byte, error) {
+	if off < 0 || off >= ConfigSize {
+		return 0, fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.raw[off], nil
+}
+
+// Write8 writes a single config byte.
+func (cs *ConfigSpace) Write8(off int, v byte) error {
+	if off < 0 || off >= ConfigSize {
+		return fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.raw[off] = v
+	return nil
+}
+
+// Read16 reads a naturally-aligned 16-bit register.
+func (cs *ConfigSpace) Read16(off int) (uint16, error) {
+	if off < 0 || off+2 > ConfigSize || off%2 != 0 {
+		return 0, fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return binary.LittleEndian.Uint16(cs.raw[off:]), nil
+}
+
+// Write16 writes a naturally-aligned 16-bit register.
+func (cs *ConfigSpace) Write16(off int, v uint16) error {
+	if off < 0 || off+2 > ConfigSize || off%2 != 0 {
+		return fmt.Errorf("%w: %#x", ErrBadRegister, off)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	binary.LittleEndian.PutUint16(cs.raw[off:], v)
+	return nil
+}
+
+// BAR returns the programmed base address and size of BAR i. Size 0 means
+// the BAR is unimplemented.
+func (cs *ConfigSpace) BAR(i int) (base mem.PhysAddr, size uint64, err error) {
+	if i < 0 || i >= NumBARs {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBARIndex, i)
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	if cs.barSize[i] == 0 {
+		return 0, 0, nil
+	}
+	raw := binary.LittleEndian.Uint32(cs.raw[barReg(i):])
+	return mem.PhysAddr(raw &^ 0xF), cs.barSize[i], nil
+}
+
+// BARSize reports the resource size BAR i requests.
+func (cs *ConfigSpace) BARSize(i int) uint64 {
+	if i < 0 || i >= NumBARs {
+		return 0
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.barSize[i]
+}
+
+// ROMBAR returns the expansion ROM base, size and enable bit.
+func (cs *ConfigSpace) ROMBAR() (base mem.PhysAddr, size uint64, enabled bool) {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	if cs.romSize == 0 {
+		return 0, 0, false
+	}
+	raw := binary.LittleEndian.Uint32(cs.raw[cs.romReg():])
+	return mem.PhysAddr(raw &^ 0x7FF), cs.romSize, raw&1 == 1
+}
+
+// MemoryEnabled reports whether the command register's memory-space bit is
+// set, i.e. whether the function decodes its BARs.
+func (cs *ConfigSpace) MemoryEnabled() bool {
+	v, _ := cs.Read16(RegCommand)
+	return v&CmdMemorySpace != 0
+}
+
+// BridgeWindow returns a bridge's downstream memory routing window
+// [base, limit]. An empty window (base > limit) routes nothing.
+func (cs *ConfigSpace) BridgeWindow() (base, limit mem.PhysAddr) {
+	b, _ := cs.Read16(RegMemoryBase)
+	l, _ := cs.Read16(RegMemoryLimit)
+	return mem.PhysAddr(uint64(b&0xFFF0) << 16), mem.PhysAddr(uint64(l&0xFFF0)<<16 | 0xF_FFFF)
+}
+
+// SetBridgeWindow programs the bridge routing window. base must be 1MiB
+// aligned and limit must end on a 1MiB boundary - 1.
+func (cs *ConfigSpace) SetBridgeWindow(base, limit mem.PhysAddr) error {
+	if !cs.isBridge {
+		return errors.New("pcie: SetBridgeWindow on endpoint")
+	}
+	if uint64(base)&0xF_FFFF != 0 {
+		return fmt.Errorf("pcie: bridge window base %#x not 1MiB aligned", base)
+	}
+	if uint64(limit)&0xF_FFFF != 0xF_FFFF {
+		return fmt.Errorf("pcie: bridge window limit %#x not 1MiB-1 aligned", limit)
+	}
+	if err := cs.Write16(RegMemoryBase, uint16(uint64(base)>>16)); err != nil {
+		return err
+	}
+	return cs.Write16(RegMemoryLimit, uint16(uint64(limit)>>16))
+}
+
+// Snapshot returns a copy of the raw 256-byte header, used by the GPU
+// enclave to measure the routing configuration (§4.3.2).
+func (cs *ConfigSpace) Snapshot() []byte {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	out := make([]byte, ConfigSize)
+	copy(out, cs.raw[:])
+	return out
+}

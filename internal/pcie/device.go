@@ -1,0 +1,97 @@
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// BDF identifies a PCIe function by bus, device and function number.
+type BDF struct {
+	Bus uint8
+	Dev uint8
+	Fn  uint8
+}
+
+func (b BDF) String() string { return fmt.Sprintf("%02x:%02x.%d", b.Bus, b.Dev, b.Fn) }
+
+// Device is a PCIe endpoint: a function with a type-0 config header, BAR
+// targets, and optionally an expansion ROM image.
+type Device interface {
+	// DeviceName is a human-readable identifier for diagnostics.
+	DeviceName() string
+	// Config returns the function's configuration space.
+	Config() *ConfigSpace
+	// BARHandler returns the access target behind BAR i, or nil if the
+	// BAR is unimplemented. Offsets passed to the handler are relative
+	// to the BAR base.
+	BARHandler(i int) mem.Handler
+	// ROMImage returns the expansion ROM contents (the device BIOS the
+	// GPU enclave measures during initialization, §4.2.2), or nil.
+	ROMImage() []byte
+}
+
+// Endpoint is a convenience base for Device implementations. Embed it and
+// install handlers for the BARs declared in the config options.
+type Endpoint struct {
+	name     string
+	cfg      *ConfigSpace
+	handlers [NumBARs]mem.Handler
+	rom      []byte
+}
+
+// NewEndpoint creates an endpoint with the given identity. opts.Bridge
+// must be false.
+func NewEndpoint(name string, opts ConfigOpts) (*Endpoint, error) {
+	if opts.Bridge {
+		return nil, fmt.Errorf("pcie: endpoint %q configured as bridge", name)
+	}
+	cfg, err := NewConfigSpace(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Endpoint{name: name, cfg: cfg}, nil
+}
+
+// DeviceName implements Device.
+func (e *Endpoint) DeviceName() string { return e.name }
+
+// Config implements Device.
+func (e *Endpoint) Config() *ConfigSpace { return e.cfg }
+
+// BARHandler implements Device.
+func (e *Endpoint) BARHandler(i int) mem.Handler {
+	if i < 0 || i >= NumBARs {
+		return nil
+	}
+	return e.handlers[i]
+}
+
+// ROMImage implements Device.
+func (e *Endpoint) ROMImage() []byte { return e.rom }
+
+// SetBARHandler installs the access target behind BAR i. The BAR must
+// have a nonzero size in the config space.
+func (e *Endpoint) SetBARHandler(i int, h mem.Handler) error {
+	if i < 0 || i >= NumBARs {
+		return fmt.Errorf("%w: %d", ErrBARIndex, i)
+	}
+	if e.cfg.BARSize(i) == 0 {
+		return fmt.Errorf("pcie: BAR%d of %q is unimplemented", i, e.name)
+	}
+	e.handlers[i] = h
+	return nil
+}
+
+// SetROMImage installs the expansion ROM contents. The image must fit the
+// ROM size declared in the config options.
+func (e *Endpoint) SetROMImage(img []byte) error {
+	if e.cfg.romSize == 0 {
+		return fmt.Errorf("pcie: device %q declared no ROM", e.name)
+	}
+	if uint64(len(img)) > e.cfg.romSize {
+		return fmt.Errorf("pcie: ROM image %d bytes exceeds declared %d", len(img), e.cfg.romSize)
+	}
+	e.rom = img
+	return nil
+}

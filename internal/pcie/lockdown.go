@@ -1,0 +1,307 @@
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ConfigRead32 routes a configuration-read TLP to the function at bdf.
+func (rc *RootComplex) ConfigRead32(bdf BDF, reg int) (uint32, error) {
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Read32(reg)
+}
+
+// ConfigRead8 reads one byte of configuration space.
+func (rc *RootComplex) ConfigRead8(bdf BDF, reg int) (byte, error) {
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Read8(reg)
+}
+
+// ConfigWrite32 routes a configuration-write TLP to the function at bdf.
+// When MMIO lockdown covers the function, writes touching routing
+// registers are discarded (§4.3.2), with the RFC'd exception that an
+// all-1s BAR write — the sizing inquiry — is still permitted (§5.6).
+func (rc *RootComplex) ConfigWrite32(bdf BDF, reg int, v uint32) error {
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		return err
+	}
+	if rc.isLocked(bdf) && routingRegister32(cfg, reg) {
+		if !(isBARRegister(cfg, reg) && v == 0xFFFF_FFFF) {
+			rc.dropWrite()
+			return fmt.Errorf("%w: %s reg %#x", ErrConfigLocked, bdf, reg)
+		}
+	}
+	return cfg.Write32(reg, v)
+}
+
+// ConfigWrite16 routes a 16-bit configuration write.
+func (rc *RootComplex) ConfigWrite16(bdf BDF, reg int, v uint16) error {
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		return err
+	}
+	if rc.isLocked(bdf) && routingRegister16(cfg, reg) {
+		rc.dropWrite()
+		return fmt.Errorf("%w: %s reg %#x", ErrConfigLocked, bdf, reg)
+	}
+	return cfg.Write16(reg, v)
+}
+
+// ConfigWrite8 routes a single-byte configuration write.
+func (rc *RootComplex) ConfigWrite8(bdf BDF, reg int, v byte) error {
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		return err
+	}
+	if rc.isLocked(bdf) && routingRegister8(cfg, reg) {
+		rc.dropWrite()
+		return fmt.Errorf("%w: %s reg %#x", ErrConfigLocked, bdf, reg)
+	}
+	return cfg.Write8(reg, v)
+}
+
+func (rc *RootComplex) function(bdf BDF) (*ConfigSpace, error) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	cfg, ok := rc.functions[bdf]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBDF, bdf)
+	}
+	return cfg, nil
+}
+
+func (rc *RootComplex) isLocked(bdf BDF) bool {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.locked[bdf]
+}
+
+func (rc *RootComplex) dropWrite() {
+	rc.mu.Lock()
+	rc.DroppedConfigWrites++
+	rc.mu.Unlock()
+}
+
+// isBARRegister reports whether a 32-bit register write at reg addresses a
+// BAR or the expansion-ROM BAR.
+func isBARRegister(cfg *ConfigSpace, reg int) bool {
+	return cfg.barIndexOf(reg) >= 0 || reg == cfg.romReg()
+}
+
+// routingRegister32 classifies the registers whose modification would
+// change the MMIO address map or packet routing: BARs, ROM BAR, command
+// (memory decode), bus numbers, and bridge windows.
+func routingRegister32(cfg *ConfigSpace, reg int) bool {
+	if isBARRegister(cfg, reg) {
+		return true
+	}
+	switch reg {
+	case RegCommand & ^3: // dword containing the command register
+		return true
+	}
+	if cfg.IsBridge() && (reg == RegPrimaryBus&^3 || reg == RegMemoryBase&^3) {
+		return true
+	}
+	return false
+}
+
+func routingRegister16(cfg *ConfigSpace, reg int) bool {
+	switch reg {
+	case RegCommand:
+		return true
+	}
+	if cfg.IsBridge() && (reg == RegMemoryBase || reg == RegMemoryLimit) {
+		return true
+	}
+	// 16-bit writes landing inside a BAR change the address map too.
+	return isBARRegister(cfg, reg&^3)
+}
+
+func routingRegister8(cfg *ConfigSpace, reg int) bool {
+	if reg == RegCommand || reg == RegCommand+1 {
+		return true
+	}
+	if cfg.IsBridge() {
+		switch reg {
+		case RegPrimaryBus, RegSecondaryBus, RegSubordinateBus,
+			RegMemoryBase, RegMemoryBase + 1, RegMemoryLimit, RegMemoryLimit + 1:
+			return true
+		}
+	}
+	return isBARRegister(cfg, reg&^3)
+}
+
+// PathTo returns the BDFs of every bridge from the root complex down to —
+// and including — the endpoint at bdf. This is the set of functions the
+// MMIO lockdown must freeze.
+func (rc *RootComplex) PathTo(bdf BDF) ([]BDF, error) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	if _, ok := rc.functions[bdf]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBDF, bdf)
+	}
+	for _, root := range rc.roots {
+		if path := findPath(root, bdf); path != nil {
+			return path, nil
+		}
+	}
+	// The BDF is a root port itself.
+	return []BDF{bdf}, nil
+}
+
+func findPath(p *Port, target BDF) []BDF {
+	if p.bdf == target {
+		return []BDF{p.bdf}
+	}
+	for _, ep := range p.endpoints {
+		if ep.bdf == target {
+			return []BDF{p.bdf, ep.bdf}
+		}
+	}
+	for _, child := range p.ports {
+		if sub := findPath(child, target); sub != nil {
+			return append([]BDF{p.bdf}, sub...)
+		}
+	}
+	return nil
+}
+
+// Lockdown freezes the routing configuration of every function on the
+// path from the root complex to bdf. It is invoked by EGCREATE (§4.3.2)
+// and is irreversible until platform reset.
+func (rc *RootComplex) Lockdown(bdf BDF) error {
+	path, err := rc.PathTo(bdf)
+	if err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, f := range path {
+		rc.locked[f] = true
+	}
+	return nil
+}
+
+// LockdownActive reports whether any function is currently frozen.
+func (rc *RootComplex) LockdownActive() bool {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return len(rc.locked) > 0
+}
+
+// ReleaseLockdown unfreezes the path to bdf. It is invoked only by the
+// EGDESTROY microcode on graceful GPU-enclave termination (§4.2.3), when
+// the GPU is returned to the OS; the adversarial OS has no architectural
+// way to reach it.
+func (rc *RootComplex) ReleaseLockdown(bdf BDF) {
+	path, err := rc.PathTo(bdf)
+	if err != nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, f := range path {
+		delete(rc.locked, f)
+	}
+}
+
+// clearLockdown is called only by platform cold boot.
+func (rc *RootComplex) clearLockdown() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.locked = make(map[BDF]bool)
+}
+
+// ColdBoot models a full power cycle of the fabric: lockdown state is
+// cleared. (GECS/TGMR clearing is the SGX package's part of cold boot.)
+func (rc *RootComplex) ColdBoot() { rc.clearLockdown() }
+
+// MeasureRouting returns the concatenated config-space snapshots of every
+// function on the path to bdf, in order. The GPU enclave hashes this as
+// part of its measurement so a pre-lockdown routing change is detected
+// (§4.3.2).
+func (rc *RootComplex) MeasureRouting(bdf BDF) ([]byte, error) {
+	path, err := rc.PathTo(bdf)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, f := range path {
+		cfg, err := rc.function(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg.Snapshot()...)
+	}
+	return out, nil
+}
+
+// Endpoint returns the device enumerated at bdf, if it is a hardware
+// endpoint attached to the fabric. The GPU-emulation defense (§5.5) rests
+// on this: only devices physically enumerated by the trusted root complex
+// are returned, never software-fabricated ones.
+func (rc *RootComplex) Endpoint(bdf BDF) (Device, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	dev, ok := rc.owners[bdf]
+	return dev, ok
+}
+
+// Endpoints lists all enumerated hardware endpoints with their BDFs.
+func (rc *RootComplex) Endpoints() map[BDF]Device {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	out := make(map[BDF]Device, len(rc.owners))
+	for k, v := range rc.owners {
+		out[k] = v
+	}
+	return out
+}
+
+// DMARead performs a device-initiated read of host memory (device <- host,
+// used for HtoD copies): the DMA engine of dev reads len(p) bytes from
+// iova. The transaction passes through the IOMMU if one is installed, and
+// peer-to-peer (landing in the PCIe window) is rejected.
+func (rc *RootComplex) DMARead(dev BDF, iova mem.PhysAddr, p []byte) error {
+	addr, err := rc.translate(dev, iova)
+	if err != nil {
+		return err
+	}
+	return rc.host.Read(addr, p)
+}
+
+// DMAWrite performs a device-initiated write of host memory (device ->
+// host, used for DtoH copies).
+func (rc *RootComplex) DMAWrite(dev BDF, iova mem.PhysAddr, p []byte) error {
+	addr, err := rc.translate(dev, iova)
+	if err != nil {
+		return err
+	}
+	return rc.host.Write(addr, p)
+}
+
+func (rc *RootComplex) translate(dev BDF, iova mem.PhysAddr) (mem.PhysAddr, error) {
+	rc.mu.RLock()
+	iommu := rc.iommu
+	rc.mu.RUnlock()
+	addr := iova
+	if iommu != nil {
+		var err error
+		addr, err = iommu.Translate(dev, iova)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if addr >= rc.windowBase && addr < rc.windowBase+mem.PhysAddr(rc.windowSize) {
+		return 0, fmt.Errorf("%w: %#x", ErrDMAToMMIO, addr)
+	}
+	return addr, nil
+}

@@ -1,0 +1,597 @@
+package pcie
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// ramHandler is a byte-array BAR target for tests.
+type ramHandler struct{ data []byte }
+
+func (h *ramHandler) MMIORead(off uint64, p []byte) error {
+	copy(p, h.data[off:])
+	return nil
+}
+
+func (h *ramHandler) MMIOWrite(off uint64, p []byte) error {
+	copy(h.data[off:], p)
+	return nil
+}
+
+func newTestDevice(t *testing.T, name string, bar0Size uint64, rom []byte) (*Endpoint, *ramHandler) {
+	t.Helper()
+	romSize := uint64(0)
+	if rom != nil {
+		romSize = 1 << 16
+	}
+	ep, err := NewEndpoint(name, ConfigOpts{
+		VendorID:  0x10DE,
+		DeviceID:  0x1080, // GTX 580
+		ClassCode: 0x030000,
+		BARSizes:  [NumBARs]uint64{0: bar0Size},
+		ROMSize:   romSize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &ramHandler{data: make([]byte, bar0Size)}
+	if err := ep.SetBARHandler(0, h); err != nil {
+		t.Fatal(err)
+	}
+	if rom != nil {
+		if err := ep.SetROMImage(rom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ep, h
+}
+
+// newTestFabric builds host memory + root complex + one root port with the
+// GPU-like device, enumerated.
+func newTestFabric(t *testing.T) (*mem.AddressSpace, *RootComplex, *Endpoint, *ramHandler, BDF) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRootComplex(as, 0xC000_0000, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := rc.AddRootPort("rp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, h := newTestDevice(t, "gpu0", 1<<20, []byte("GPU BIOS IMAGE v1.0"))
+	port.AttachEndpoint(dev)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	var bdf BDF
+	found := false
+	for b, d := range rc.Endpoints() {
+		if d == Device(dev) {
+			bdf, found = b, true
+		}
+	}
+	if !found {
+		t.Fatal("device not enumerated")
+	}
+	return as, rc, dev, h, bdf
+}
+
+func TestConfigSpaceIdentity(t *testing.T) {
+	cs, err := NewConfigSpace(ConfigOpts{VendorID: 0x10DE, DeviceID: 0x1080, ClassCode: 0x030000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cs.Read16(RegVendorID); v != 0x10DE {
+		t.Fatalf("vendor = %#x", v)
+	}
+	if v, _ := cs.Read16(RegDeviceID); v != 0x1080 {
+		t.Fatalf("device = %#x", v)
+	}
+	if b, _ := cs.Read8(RegClassCode + 2); b != 0x03 {
+		t.Fatalf("class base = %#x", b)
+	}
+	if cs.IsBridge() {
+		t.Fatal("endpoint reported as bridge")
+	}
+}
+
+func TestBARSizingProtocol(t *testing.T) {
+	cs, err := NewConfigSpace(ConfigOpts{BARSizes: [NumBARs]uint64{0: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Write32(RegBAR0, 0xD000_0000); err != nil {
+		t.Fatal(err)
+	}
+	// Sizing inquiry: write all 1s, read back the size mask.
+	if err := cs.Write32(RegBAR0, 0xFFFF_FFFF); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := cs.Read32(RegBAR0)
+	if v != 0xFFF0_0000 {
+		t.Fatalf("sizing read = %#x, want 0xFFF00000", v)
+	}
+	// The next ordinary write restores address semantics.
+	if err := cs.Write32(RegBAR0, 0xD010_0000); err != nil {
+		t.Fatal(err)
+	}
+	base, size, err := cs.BAR(0)
+	if err != nil || base != 0xD010_0000 || size != 1<<20 {
+		t.Fatalf("BAR(0) = %#x/%#x, %v", base, size, err)
+	}
+	// Low bits of an address write are masked off.
+	if err := cs.Write32(RegBAR0, 0xD000_1234); err != nil {
+		t.Fatal(err)
+	}
+	base, _, _ = cs.BAR(0)
+	if base != 0xD000_0000 {
+		t.Fatalf("unaligned BAR write stored %#x", base)
+	}
+}
+
+func TestUnimplementedBAR(t *testing.T) {
+	cs, _ := NewConfigSpace(ConfigOpts{})
+	if err := cs.Write32(RegBAR2, 0xDEAD_0000); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cs.Read32(RegBAR2); v != 0 {
+		t.Fatalf("unimplemented BAR reads %#x", v)
+	}
+	base, size, err := cs.BAR(2)
+	if err != nil || base != 0 || size != 0 {
+		t.Fatalf("BAR(2) = %#x/%#x/%v", base, size, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewConfigSpace(ConfigOpts{BARSizes: [NumBARs]uint64{0: 100}}); err == nil {
+		t.Fatal("non-power-of-two BAR accepted")
+	}
+	if _, err := NewConfigSpace(ConfigOpts{BARSizes: [NumBARs]uint64{0: 8}}); err == nil {
+		t.Fatal("tiny BAR accepted")
+	}
+	if _, err := NewConfigSpace(ConfigOpts{Bridge: true, BARSizes: [NumBARs]uint64{3: 4096}}); err == nil {
+		t.Fatal("bridge BAR3 accepted")
+	}
+	if _, err := NewConfigSpace(ConfigOpts{ROMSize: 3}); err == nil {
+		t.Fatal("non-power-of-two ROM accepted")
+	}
+	cs, _ := NewConfigSpace(ConfigOpts{})
+	if _, err := cs.Read32(255); err == nil {
+		t.Fatal("unaligned/out-of-range read accepted")
+	}
+	if _, err := cs.Read32(13); err == nil {
+		t.Fatal("unaligned read accepted")
+	}
+	if err := cs.Write16(RegCommand+1, 0); err == nil {
+		t.Fatal("unaligned 16-bit write accepted")
+	}
+}
+
+func TestROMBAREnableBit(t *testing.T) {
+	cs, _ := NewConfigSpace(ConfigOpts{ROMSize: 1 << 16})
+	if _, _, enabled := cs.ROMBAR(); enabled {
+		t.Fatal("ROM enabled before programming")
+	}
+	if err := cs.Write32(RegExpROM, 0xE000_0000|1); err != nil {
+		t.Fatal(err)
+	}
+	base, size, enabled := cs.ROMBAR()
+	if !enabled || base != 0xE000_0000 || size != 1<<16 {
+		t.Fatalf("ROMBAR = %#x/%#x/%v", base, size, enabled)
+	}
+	// Sizing on the ROM BAR.
+	if err := cs.Write32(RegExpROM, 0xFFFF_FFFF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cs.Read32(RegExpROM); v != 0xFFFF_0000 {
+		t.Fatalf("ROM sizing read = %#x", v)
+	}
+}
+
+func TestBridgeWindow(t *testing.T) {
+	cs, _ := NewConfigSpace(ConfigOpts{Bridge: true})
+	if err := cs.SetBridgeWindow(0xC000_0000, 0xC0FF_FFFF); err != nil {
+		t.Fatal(err)
+	}
+	base, limit := cs.BridgeWindow()
+	if base != 0xC000_0000 || limit != 0xC0FF_FFFF {
+		t.Fatalf("window = %#x..%#x", base, limit)
+	}
+	if err := cs.SetBridgeWindow(0xC000_0100, 0xC0FF_FFFF); err == nil {
+		t.Fatal("unaligned window base accepted")
+	}
+	if err := cs.SetBridgeWindow(0xC000_0000, 0xC0FF_0000); err == nil {
+		t.Fatal("unaligned window limit accepted")
+	}
+	ep, _ := NewConfigSpace(ConfigOpts{})
+	if err := ep.SetBridgeWindow(0xC000_0000, 0xC0FF_FFFF); err == nil {
+		t.Fatal("SetBridgeWindow on endpoint accepted")
+	}
+}
+
+func TestEnumerationAndRouting(t *testing.T) {
+	as, rc, _, h, bdf := newTestFabric(t)
+	if bdf.Bus == 0 {
+		t.Fatalf("endpoint on bus 0: %s", bdf)
+	}
+	cfg, err := rc.function(bdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, size, _ := cfg.BAR(0)
+	if size != 1<<20 || base < 0xC000_0000 {
+		t.Fatalf("BAR0 = %#x/%#x", base, size)
+	}
+	// A CPU write into BAR0 through the host address map must land in the
+	// device handler at the right offset.
+	if err := as.Write(base+0x100, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	if h.data[0x100] != 0xAA || h.data[0x101] != 0xBB {
+		t.Fatalf("device did not receive MMIO write: % x", h.data[0x100:0x102])
+	}
+	got := make([]byte, 2)
+	if err := as.Read(base+0x100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0xAA, 0xBB}) {
+		t.Fatalf("MMIO read back % x", got)
+	}
+}
+
+func TestROMReadThroughFabric(t *testing.T) {
+	as, rc, _, _, bdf := newTestFabric(t)
+	cfg, _ := rc.function(bdf)
+	base, _, enabled := cfg.ROMBAR()
+	if !enabled {
+		t.Fatal("ROM not enabled by enumeration")
+	}
+	buf := make([]byte, 19)
+	if err := as.Read(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "GPU BIOS IMAGE v1.0" {
+		t.Fatalf("ROM read = %q", buf)
+	}
+	// Reads past the image return 0xFF like erased flash.
+	one := make([]byte, 1)
+	if err := as.Read(base+1000, one); err != nil || one[0] != 0xFF {
+		t.Fatalf("past-image ROM read = %#x, %v", one[0], err)
+	}
+	// ROM writes are dropped.
+	if err := as.Write(base, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(base, one); err != nil || one[0] != 'G' {
+		t.Fatalf("ROM write was not dropped: %#x", one[0])
+	}
+}
+
+func TestMasterAbort(t *testing.T) {
+	as, _, _, _, _ := newTestFabric(t)
+	err := as.Read(0xC800_0000, make([]byte, 4)) // inside window, no device
+	if !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("unrouted access error = %v", err)
+	}
+}
+
+func TestMemoryDecodeDisableBlocksRouting(t *testing.T) {
+	as, rc, _, _, bdf := newTestFabric(t)
+	cfg, _ := rc.function(bdf)
+	base, _, _ := cfg.BAR(0)
+	// Clear the memory-space enable bit: accesses must master-abort.
+	if err := rc.ConfigWrite16(bdf, RegCommand, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(base, make([]byte, 1)); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("decode-disabled access error = %v", err)
+	}
+}
+
+func TestBARRemapMovesDevice(t *testing.T) {
+	as, rc, _, h, bdf := newTestFabric(t)
+	cfg, _ := rc.function(bdf)
+	oldBase, _, _ := cfg.BAR(0)
+	// Remap within the bridge window (an OS moving it further would also
+	// reprogram the window). This is the §5.5 routing attack, and it
+	// must genuinely work on the baseline with no lockdown.
+	newBase := oldBase + 0x10_0000
+	if err := rc.ConfigWrite32(bdf, RegBAR0, uint32(newBase)); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(newBase+4, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if h.data[4] != 7 {
+		t.Fatal("device unreachable at new BAR address")
+	}
+	if err := as.Write(oldBase+4, []byte{9}); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("old address still routed: %v", err)
+	}
+}
+
+func TestLockdownBlocksRoutingWrites(t *testing.T) {
+	as, rc, _, h, bdf := newTestFabric(t)
+	cfg, _ := rc.function(bdf)
+	base, _, _ := cfg.BAR(0)
+	if err := rc.Lockdown(bdf); err != nil {
+		t.Fatal(err)
+	}
+	if !rc.LockdownActive() {
+		t.Fatal("lockdown not active")
+	}
+	// BAR rewrite must be rejected and must not take effect.
+	err := rc.ConfigWrite32(bdf, RegBAR0, uint32(base+0x100000))
+	if !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("locked BAR write error = %v", err)
+	}
+	if rc.DroppedConfigWrites != 1 {
+		t.Fatalf("dropped counter = %d", rc.DroppedConfigWrites)
+	}
+	if b, _, _ := cfg.BAR(0); b != base {
+		t.Fatal("locked BAR write took effect")
+	}
+	// Command register, 16- and 8-bit flavors.
+	if err := rc.ConfigWrite16(bdf, RegCommand, 0); !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("locked command write error = %v", err)
+	}
+	if err := rc.ConfigWrite8(bdf, RegCommand, 0); !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("locked command byte write error = %v", err)
+	}
+	// The bridge on the path is frozen too.
+	path, _ := rc.PathTo(bdf)
+	bridge := path[0]
+	if err := rc.ConfigWrite16(bridge, RegMemoryBase, 0); !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("locked bridge window write error = %v", err)
+	}
+	if err := rc.ConfigWrite8(bridge, RegSecondaryBus, 0); !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("locked bus number write error = %v", err)
+	}
+	// Routing still works.
+	if err := as.Write(base, []byte{1}); err != nil || h.data[0] != 1 {
+		t.Fatalf("routing broken after lockdown: %v", err)
+	}
+	// Non-routing registers stay writable (e.g. scratch at 0x40).
+	if err := rc.ConfigWrite32(bdf, 0x40, 0x1234); err != nil {
+		t.Fatalf("non-routing write rejected: %v", err)
+	}
+}
+
+func TestLockdownAllowsSizingInquiry(t *testing.T) {
+	_, rc, _, _, bdf := newTestFabric(t)
+	cfg, _ := rc.function(bdf)
+	base, _, _ := cfg.BAR(0)
+	if err := rc.Lockdown(bdf); err != nil {
+		t.Fatal(err)
+	}
+	// §5.6: the all-1s sizing write remains permitted under lockdown.
+	if err := rc.ConfigWrite32(bdf, RegBAR0, 0xFFFF_FFFF); err != nil {
+		t.Fatalf("sizing inquiry rejected under lockdown: %v", err)
+	}
+	if v, _ := rc.ConfigRead32(bdf, RegBAR0); v != 0xFFF0_0000 {
+		t.Fatalf("sizing read = %#x", v)
+	}
+	// But the follow-up address write is still rejected, and the BAR
+	// must recover its original value for routing... the sizing state
+	// is cleared by reading; subsequent reads return the address.
+	if err := rc.ConfigWrite32(bdf, RegBAR0, 0); !errors.Is(err, ErrConfigLocked) {
+		t.Fatalf("address write after sizing accepted: %v", err)
+	}
+	_ = base
+}
+
+func TestColdBootClearsLockdown(t *testing.T) {
+	_, rc, _, _, bdf := newTestFabric(t)
+	if err := rc.Lockdown(bdf); err != nil {
+		t.Fatal(err)
+	}
+	rc.ColdBoot()
+	if rc.LockdownActive() {
+		t.Fatal("lockdown survived cold boot")
+	}
+	if err := rc.ConfigWrite32(bdf, RegBAR0, 0xD000_0000); err != nil {
+		t.Fatalf("write rejected after cold boot: %v", err)
+	}
+}
+
+func TestPathToAndMeasureRouting(t *testing.T) {
+	_, rc, _, _, bdf := newTestFabric(t)
+	path, err := rc.PathTo(bdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[1] != bdf {
+		t.Fatalf("path = %v", path)
+	}
+	m1, err := rc.MeasureRouting(bdf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != 2*ConfigSize {
+		t.Fatalf("measurement length = %d", len(m1))
+	}
+	// Changing a routing register changes the measurement.
+	if err := rc.ConfigWrite32(bdf, RegBAR0, 0xDF00_0000); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := rc.MeasureRouting(bdf)
+	if bytes.Equal(m1, m2) {
+		t.Fatal("measurement unchanged after BAR rewrite")
+	}
+	if _, err := rc.PathTo(BDF{Bus: 9}); !errors.Is(err, ErrUnknownBDF) {
+		t.Fatalf("PathTo unknown = %v", err)
+	}
+}
+
+func TestDeepTopologyRouting(t *testing.T) {
+	as := mem.NewAddressSpace()
+	rc, err := NewRootComplex(as, 0xC000_0000, 512<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, _ := rc.AddRootPort("rp0")
+	sw, err := rp.AttachPort("switch0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, h := newTestDevice(t, "deep-gpu", 1<<20, nil)
+	sw.AttachEndpoint(dev)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	base, _, _ := dev.Config().BAR(0)
+	if err := as.Write(base+8, []byte{0x5A}); err != nil {
+		t.Fatal(err)
+	}
+	if h.data[8] != 0x5A {
+		t.Fatal("write did not reach device behind switch")
+	}
+	// Path includes both bridges.
+	var bdf BDF
+	for b, d := range rc.Endpoints() {
+		if d == Device(dev) {
+			bdf = b
+		}
+	}
+	path, _ := rc.PathTo(bdf)
+	if len(path) != 3 {
+		t.Fatalf("deep path = %v", path)
+	}
+}
+
+type tableIOMMU struct {
+	m   map[mem.PhysAddr]mem.PhysAddr
+	err error
+}
+
+func (t *tableIOMMU) Translate(_ BDF, iova mem.PhysAddr) (mem.PhysAddr, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	pa, ok := t.m[mem.PageAlign(iova)]
+	if !ok {
+		return 0, errors.New("iommu: fault")
+	}
+	return pa + mem.PhysAddr(mem.PageOffset(iova)), nil
+}
+
+func TestDMAIdentityAndIOMMU(t *testing.T) {
+	as, rc, _, _, bdf := newTestFabric(t)
+	// Identity DMA.
+	want := []byte("dma payload")
+	if err := as.Write(0x2000, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := rc.DMARead(bdf, 0x2000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("identity DMA read = %q", got)
+	}
+	// With an IOMMU, the device-visible address is remapped.
+	rc.SetIOMMU(&tableIOMMU{m: map[mem.PhysAddr]mem.PhysAddr{0x5000: 0x2000}})
+	got2 := make([]byte, len(want))
+	if err := rc.DMARead(bdf, 0x5040-0x40, got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, want) {
+		t.Fatalf("IOMMU DMA read = %q", got2)
+	}
+	// IOMMU fault propagates.
+	if err := rc.DMARead(bdf, 0x9000, got2); err == nil {
+		t.Fatal("IOMMU fault not propagated")
+	}
+	// Device write to host.
+	rc.SetIOMMU(nil)
+	if err := rc.DMAWrite(bdf, 0x3000, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	chk := make([]byte, 3)
+	if err := as.Read(0x3000, chk); err != nil || !bytes.Equal(chk, []byte{1, 2, 3}) {
+		t.Fatalf("DMA write readback = %v %v", chk, err)
+	}
+}
+
+func TestDMAPeerToPeerRejected(t *testing.T) {
+	_, rc, _, _, bdf := newTestFabric(t)
+	err := rc.DMARead(bdf, 0xC000_1000, make([]byte, 4))
+	if !errors.Is(err, ErrDMAToMMIO) {
+		t.Fatalf("P2P DMA error = %v", err)
+	}
+}
+
+func TestRouteBeforeEnumerate(t *testing.T) {
+	as := mem.NewAddressSpace()
+	rc, err := NewRootComplex(as, 0xC000_0000, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(0xC000_0000, make([]byte, 1)); !errors.Is(err, ErrNotEnum) {
+		t.Fatalf("pre-enumeration route error = %v", err)
+	}
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Enumerate(); err == nil {
+		t.Fatal("double enumeration accepted")
+	}
+	if _, err := rc.AddRootPort("late"); err == nil {
+		t.Fatal("root port added after enumeration")
+	}
+}
+
+func TestEndpointHelpers(t *testing.T) {
+	ep, _ := newTestDevice(t, "x", 1<<20, nil)
+	if ep.DeviceName() != "x" {
+		t.Fatalf("name = %q", ep.DeviceName())
+	}
+	if ep.BARHandler(-1) != nil || ep.BARHandler(6) != nil || ep.BARHandler(3) != nil {
+		t.Fatal("unexpected BAR handler")
+	}
+	if err := ep.SetBARHandler(9, nil); err == nil {
+		t.Fatal("bad BAR index accepted")
+	}
+	if err := ep.SetBARHandler(3, &ramHandler{}); err == nil {
+		t.Fatal("handler on unimplemented BAR accepted")
+	}
+	if err := ep.SetROMImage([]byte{1}); err == nil {
+		t.Fatal("ROM image on ROM-less device accepted")
+	}
+	if _, err := NewEndpoint("b", ConfigOpts{Bridge: true}); err == nil {
+		t.Fatal("bridge endpoint accepted")
+	}
+	big, _ := NewEndpoint("r", ConfigOpts{ROMSize: 16})
+	if err := big.SetROMImage(make([]byte, 17)); err == nil {
+		t.Fatal("oversized ROM image accepted")
+	}
+}
+
+func TestConfigAccessUnknownBDF(t *testing.T) {
+	_, rc, _, _, _ := newTestFabric(t)
+	bad := BDF{Bus: 0x7F}
+	if _, err := rc.ConfigRead32(bad, 0); !errors.Is(err, ErrUnknownBDF) {
+		t.Fatalf("read error = %v", err)
+	}
+	if err := rc.ConfigWrite32(bad, 0, 0); !errors.Is(err, ErrUnknownBDF) {
+		t.Fatalf("write error = %v", err)
+	}
+	if _, err := rc.ConfigRead8(bad, 0); !errors.Is(err, ErrUnknownBDF) {
+		t.Fatalf("read8 error = %v", err)
+	}
+}
+
+func TestBDFString(t *testing.T) {
+	b := BDF{Bus: 1, Dev: 2, Fn: 0}
+	if b.String() != "01:02.0" {
+		t.Fatalf("BDF string = %q", b.String())
+	}
+}

@@ -1,0 +1,371 @@
+package pcie
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// Routing and lockdown errors.
+var (
+	ErrNoDevice     = errors.New("pcie: no device decodes this address (master abort)")
+	ErrUnknownBDF   = errors.New("pcie: no function at this BDF")
+	ErrConfigLocked = errors.New("pcie: config write rejected by MMIO lockdown")
+	ErrDMAToMMIO    = errors.New("pcie: peer-to-peer DMA is not supported")
+	ErrNotEnum      = errors.New("pcie: fabric not enumerated")
+)
+
+// IOMMU translates device-visible DMA addresses to host physical
+// addresses. The OS owns the IOMMU under the threat model; a nil IOMMU
+// means identity mapping (DMA remapping disabled).
+type IOMMU interface {
+	Translate(dev BDF, iova mem.PhysAddr) (mem.PhysAddr, error)
+}
+
+// Port is a bridge in the fabric: a root port or switch port with a
+// type-1 header, downstream endpoints and downstream ports.
+type Port struct {
+	name      string
+	cfg       *ConfigSpace
+	bdf       BDF
+	endpoints []*attachedEndpoint
+	ports     []*Port
+}
+
+type attachedEndpoint struct {
+	dev Device
+	bdf BDF
+}
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Config returns the port's type-1 configuration space.
+func (p *Port) Config() *ConfigSpace { return p.cfg }
+
+// BDF returns the port's address after enumeration.
+func (p *Port) BDF() BDF { return p.bdf }
+
+// AttachEndpoint connects an endpoint below this port. It must be called
+// before enumeration.
+func (p *Port) AttachEndpoint(dev Device) {
+	p.endpoints = append(p.endpoints, &attachedEndpoint{dev: dev})
+}
+
+// AttachPort creates and connects a downstream switch port.
+func (p *Port) AttachPort(name string) (*Port, error) {
+	child, err := newPort(name)
+	if err != nil {
+		return nil, err
+	}
+	p.ports = append(p.ports, child)
+	return child, nil
+}
+
+func newPort(name string) (*Port, error) {
+	cfg, err := NewConfigSpace(ConfigOpts{
+		VendorID:  0x8086,
+		DeviceID:  0x3420, // IOH3420-style root/switch port, as in the prototype
+		ClassCode: 0x060400,
+		Bridge:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Port{name: name, cfg: cfg}, nil
+}
+
+// RootComplex is the top of the PCIe tree. It decodes the host MMIO
+// window, routes memory TLPs through live bridge windows and BARs, routes
+// configuration TLPs by BDF, performs DMA on behalf of devices, and
+// implements the HIX MMIO-lockdown filter.
+type RootComplex struct {
+	mu         sync.RWMutex
+	host       *mem.AddressSpace
+	windowBase mem.PhysAddr
+	windowSize uint64
+	roots      []*Port
+	functions  map[BDF]*ConfigSpace
+	owners     map[BDF]Device // endpoints only
+	enumerated bool
+	locked     map[BDF]bool
+	iommu      IOMMU
+
+	// Counters for tests and diagnostics.
+	DroppedConfigWrites int
+}
+
+// NewRootComplex creates a root complex decoding [windowBase,
+// windowBase+windowSize) of the host address map. The window is registered
+// in the address space so CPU-side MMIO accesses route through the fabric.
+func NewRootComplex(host *mem.AddressSpace, windowBase mem.PhysAddr, windowSize uint64) (*RootComplex, error) {
+	if uint64(windowBase)+windowSize > 1<<32 {
+		return nil, fmt.Errorf("pcie: MMIO window %#x+%#x exceeds 32-bit BAR space", windowBase, windowSize)
+	}
+	rc := &RootComplex{
+		host:       host,
+		windowBase: windowBase,
+		windowSize: windowSize,
+		functions:  make(map[BDF]*ConfigSpace),
+		owners:     make(map[BDF]Device),
+		locked:     make(map[BDF]bool),
+	}
+	if _, err := host.MapMMIO("pcie-window", windowBase, windowSize, rc); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// Window returns the host MMIO window decoded by this root complex.
+func (rc *RootComplex) Window() (mem.PhysAddr, uint64) { return rc.windowBase, rc.windowSize }
+
+// AddRootPort creates a root port directly below the root complex.
+func (rc *RootComplex) AddRootPort(name string) (*Port, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.enumerated {
+		return nil, errors.New("pcie: cannot add root port after enumeration")
+	}
+	p, err := newPort(name)
+	if err != nil {
+		return nil, err
+	}
+	rc.roots = append(rc.roots, p)
+	return p, nil
+}
+
+// SetIOMMU installs (or clears, with nil) the DMA translation unit.
+func (rc *RootComplex) SetIOMMU(iommu IOMMU) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.iommu = iommu
+}
+
+// Enumerate walks the fabric, assigns bus numbers, programs BARs and
+// bridge windows from the MMIO window, and enables memory decode. It
+// mirrors what the BIOS does at boot (§2.2).
+func (rc *RootComplex) Enumerate() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.enumerated {
+		return errors.New("pcie: already enumerated")
+	}
+	alloc := &barAllocator{next: rc.windowBase, end: rc.windowBase + mem.PhysAddr(rc.windowSize)}
+	bus := uint8(0)
+	for _, p := range rc.roots {
+		var err error
+		bus, err = rc.enumeratePort(p, bus, alloc)
+		if err != nil {
+			return err
+		}
+	}
+	rc.enumerated = true
+	return nil
+}
+
+type barAllocator struct {
+	next mem.PhysAddr
+	end  mem.PhysAddr
+}
+
+func (a *barAllocator) alloc(size, align uint64) (mem.PhysAddr, error) {
+	base := (uint64(a.next) + align - 1) &^ (align - 1)
+	if base+size > uint64(a.end) {
+		return 0, fmt.Errorf("pcie: MMIO window exhausted allocating %#x bytes", size)
+	}
+	a.next = mem.PhysAddr(base + size)
+	return mem.PhysAddr(base), nil
+}
+
+const bridgeWindowAlign = 1 << 20 // bridge windows have 1MiB granularity
+
+// enumeratePort assigns bus numbers and resources below p. p itself sits
+// on bus `bus` as device len(siblings); children go on bus+1.
+func (rc *RootComplex) enumeratePort(p *Port, bus uint8, alloc *barAllocator) (uint8, error) {
+	p.bdf = BDF{Bus: bus, Dev: uint8(len(rc.functions) % 32), Fn: 0}
+	rc.functions[p.bdf] = p.cfg
+	secondary := bus + 1
+	if err := p.cfg.Write8(RegPrimaryBus, bus); err != nil {
+		return 0, err
+	}
+	if err := p.cfg.Write8(RegSecondaryBus, secondary); err != nil {
+		return 0, err
+	}
+
+	// Align the start of this port's window to bridge granularity.
+	start, err := alloc.alloc(0, bridgeWindowAlign)
+	if err != nil {
+		return 0, err
+	}
+
+	devNum := uint8(0)
+	for _, ep := range p.endpoints {
+		ep.bdf = BDF{Bus: secondary, Dev: devNum, Fn: 0}
+		devNum++
+		rc.functions[ep.bdf] = ep.dev.Config()
+		rc.owners[ep.bdf] = ep.dev
+		if err := rc.assignEndpointBARs(ep.dev, alloc); err != nil {
+			return 0, err
+		}
+	}
+	lastBus := secondary
+	for _, child := range p.ports {
+		lastBus, err = rc.enumeratePort(child, lastBus+1, alloc)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := p.cfg.Write8(RegSubordinateBus, lastBus); err != nil {
+		return 0, err
+	}
+
+	// Close the window: round up to bridge granularity.
+	endAddr, err := alloc.alloc(0, bridgeWindowAlign)
+	if err != nil {
+		return 0, err
+	}
+	if endAddr == start {
+		// Nothing below this port consumed space; give it an empty
+		// (inverted) window so it routes nothing.
+		if err := p.cfg.Write16(RegMemoryBase, 0xFFF0); err != nil {
+			return 0, err
+		}
+		if err := p.cfg.Write16(RegMemoryLimit, 0); err != nil {
+			return 0, err
+		}
+	} else if err := p.cfg.SetBridgeWindow(start, endAddr-1); err != nil {
+		return 0, err
+	}
+	if err := p.cfg.Write16(RegCommand, CmdMemorySpace|CmdBusMaster); err != nil {
+		return 0, err
+	}
+	return lastBus, nil
+}
+
+func (rc *RootComplex) assignEndpointBARs(dev Device, alloc *barAllocator) error {
+	cfg := dev.Config()
+	for i := 0; i < NumBARs; i++ {
+		size := cfg.BARSize(i)
+		if size == 0 {
+			continue
+		}
+		align := size
+		if align < mem.PageSize {
+			align = mem.PageSize
+		}
+		base, err := alloc.alloc(size, align)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Write32(barReg(i), uint32(base)); err != nil {
+			return err
+		}
+	}
+	if cfg.romSize != 0 {
+		base, err := alloc.alloc(cfg.romSize, cfg.romSize)
+		if err != nil {
+			return err
+		}
+		if err := cfg.Write32(cfg.romReg(), uint32(base)|1); err != nil {
+			return err
+		}
+	}
+	return cfg.Write16(RegCommand, CmdMemorySpace|CmdBusMaster)
+}
+
+// MMIORead implements mem.Handler for the host PCIe window: the CPU read
+// becomes a memory-read TLP routed through the live fabric configuration.
+func (rc *RootComplex) MMIORead(off uint64, p []byte) error {
+	return rc.routeMemory(rc.windowBase+mem.PhysAddr(off), p, false)
+}
+
+// MMIOWrite implements mem.Handler for the host PCIe window.
+func (rc *RootComplex) MMIOWrite(off uint64, p []byte) error {
+	return rc.routeMemory(rc.windowBase+mem.PhysAddr(off), p, true)
+}
+
+func (rc *RootComplex) routeMemory(addr mem.PhysAddr, p []byte, write bool) error {
+	rc.mu.RLock()
+	if !rc.enumerated {
+		rc.mu.RUnlock()
+		return ErrNotEnum
+	}
+	roots := rc.roots
+	rc.mu.RUnlock()
+	for _, port := range roots {
+		if h, off, ok := routeThroughPort(port, addr); ok {
+			if write {
+				return h.MMIOWrite(off, p)
+			}
+			return h.MMIORead(off, p)
+		}
+	}
+	return fmt.Errorf("%w: %#x", ErrNoDevice, addr)
+}
+
+// routeThroughPort descends the tree following live bridge windows and
+// endpoint BARs, exactly as the hardware routing registers would.
+func routeThroughPort(p *Port, addr mem.PhysAddr) (mem.Handler, uint64, bool) {
+	if !p.cfg.MemoryEnabled() {
+		return nil, 0, false
+	}
+	base, limit := p.cfg.BridgeWindow()
+	if base > limit || addr < base || addr > limit {
+		return nil, 0, false
+	}
+	for _, ep := range p.endpoints {
+		if h, off, ok := routeToEndpoint(ep.dev, addr); ok {
+			return h, off, true
+		}
+	}
+	for _, child := range p.ports {
+		if h, off, ok := routeThroughPort(child, addr); ok {
+			return h, off, true
+		}
+	}
+	return nil, 0, false
+}
+
+func routeToEndpoint(dev Device, addr mem.PhysAddr) (mem.Handler, uint64, bool) {
+	cfg := dev.Config()
+	if !cfg.MemoryEnabled() {
+		return nil, 0, false
+	}
+	for i := 0; i < NumBARs; i++ {
+		base, size, err := cfg.BAR(i)
+		if err != nil || size == 0 || base == 0 {
+			continue
+		}
+		if addr >= base && addr < base+mem.PhysAddr(size) {
+			h := dev.BARHandler(i)
+			if h == nil {
+				return nil, 0, false
+			}
+			return h, uint64(addr - base), true
+		}
+	}
+	if base, size, enabled := cfg.ROMBAR(); enabled && size != 0 &&
+		addr >= base && addr < base+mem.PhysAddr(size) {
+		return romHandler{dev.ROMImage()}, uint64(addr - base), true
+	}
+	return nil, 0, false
+}
+
+// romHandler serves expansion-ROM reads; ROM writes are dropped, as on
+// real hardware.
+type romHandler struct{ img []byte }
+
+func (r romHandler) MMIORead(off uint64, p []byte) error {
+	for i := range p {
+		if int(off)+i < len(r.img) {
+			p[i] = r.img[int(off)+i]
+		} else {
+			p[i] = 0xFF
+		}
+	}
+	return nil
+}
+
+func (r romHandler) MMIOWrite(uint64, []byte) error { return nil }

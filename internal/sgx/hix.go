@@ -1,0 +1,289 @@
+package sgx
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pcie"
+)
+
+// HIX extension errors.
+var (
+	ErrNoFabric     = errors.New("sgx: no PCIe fabric attached")
+	ErrNotHardware  = errors.New("sgx: BDF is not an enumerated hardware device (emulated GPU rejected)")
+	ErrGPUOwned     = errors.New("sgx: GPU already registered to a GPU enclave")
+	ErrHasGPU       = errors.New("sgx: enclave already owns a GPU")
+	ErrNoGPUEnclave = errors.New("sgx: enclave is not a GPU enclave")
+	ErrNotMMIO      = errors.New("sgx: physical address outside the GPU's MMIO ranges")
+	ErrTGMRConflict = errors.New("sgx: TGMR entry already present for this address")
+)
+
+// MMIORange is one protected window of the owned GPU.
+type MMIORange struct {
+	Base mem.PhysAddr
+	Size uint64
+	Name string
+}
+
+func (r MMIORange) contains(pa mem.PhysAddr) bool {
+	return pa >= r.Base && pa < r.Base+mem.PhysAddr(r.Size)
+}
+
+// GECS is the GPU enclave control structure (§4.2.1): the hidden,
+// EPC-resident record binding a GPU enclave to its hardware GPU. It
+// persists even after the owning enclave dies — that persistence is the
+// termination protection of §4.2.3.
+type GECS struct {
+	EnclaveID uint64
+	GPU       pcie.BDF
+	Ranges    []MMIORange
+	// OwnerDead records that the owning enclave was forcefully killed;
+	// the GPU then stays unreachable until platform cold boot.
+	OwnerDead bool
+}
+
+// EGCreate is the EGCREATE instruction (§4.2.1): it binds the calling
+// enclave to the hardware GPU at bdf, snapshots the GPU's MMIO ranges
+// into GECS, and engages the PCIe MMIO lockdown (§4.3.2).
+//
+// Hardware checks enforced here:
+//   - the BDF must be a real enumerated endpoint (GPU-emulation defense),
+//   - the GPU must not be registered to any GPU enclave — alive or dead,
+//   - the enclave may own at most one GPU.
+func (p *Processor) EGCreate(t *Token, bdf pcie.BDF) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.checkToken(t)
+	if err != nil {
+		return err
+	}
+	if p.fabric == nil {
+		return ErrNoFabric
+	}
+	dev, ok := p.fabric.Endpoint(bdf)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotHardware, bdf)
+	}
+	if owner, taken := p.gpuOwners[bdf]; taken {
+		return fmt.Errorf("%w: %s owned by enclave %d", ErrGPUOwned, bdf, owner)
+	}
+	if _, has := p.gecs[e.id]; has {
+		return ErrHasGPU
+	}
+	cfg := dev.Config()
+	var ranges []MMIORange
+	for i := 0; i < pcie.NumBARs; i++ {
+		base, size, err := cfg.BAR(i)
+		if err != nil || size == 0 || base == 0 {
+			continue
+		}
+		ranges = append(ranges, MMIORange{Base: base, Size: size, Name: fmt.Sprintf("bar%d", i)})
+	}
+	if base, size, enabled := cfg.ROMBAR(); enabled && size != 0 {
+		ranges = append(ranges, MMIORange{Base: base, Size: size, Name: "rom"})
+	}
+	if len(ranges) == 0 {
+		return fmt.Errorf("%w: device has no MMIO ranges", ErrNotMMIO)
+	}
+	if err := p.fabric.Lockdown(bdf); err != nil {
+		return err
+	}
+	p.gecs[e.id] = &GECS{EnclaveID: e.id, GPU: bdf, Ranges: ranges}
+	p.gpuOwners[bdf] = e.id
+	p.tgmr[e.id] = make(map[mmu.VirtAddr]mem.PhysAddr)
+	p.mmuUnit.FlushAll()
+	return nil
+}
+
+// EGAdd is the EGADD instruction (§4.2.1): it registers one page of the
+// GPU enclave's virtual address space as mapping to one page of the
+// owned GPU's MMIO, recording the pair in the TGMR table. The walker
+// admits MMIO translations only when they match a TGMR entry.
+func (p *Processor) EGAdd(t *Token, va mmu.VirtAddr, pa mem.PhysAddr) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.checkToken(t)
+	if err != nil {
+		return err
+	}
+	g, ok := p.gecs[e.id]
+	if !ok {
+		return ErrNoGPUEnclave
+	}
+	vaPage, paPage := mmu.PageAlign(va), mem.PageAlign(pa)
+	inRange := false
+	for _, r := range g.Ranges {
+		if r.contains(paPage) {
+			inRange = true
+			break
+		}
+	}
+	if !inRange {
+		return fmt.Errorf("%w: %#x", ErrNotMMIO, pa)
+	}
+	table := p.tgmr[e.id]
+	if _, dup := table[vaPage]; dup {
+		return fmt.Errorf("%w: va %#x", ErrTGMRConflict, va)
+	}
+	table[vaPage] = paPage
+	return nil
+}
+
+// GPUOf returns the GPU the enclave owns.
+func (p *Processor) GPUOf(eid uint64) (pcie.BDF, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.gecs[eid]
+	if !ok {
+		return pcie.BDF{}, false
+	}
+	return g.GPU, true
+}
+
+// GPUOwner returns the enclave owning a GPU, if any.
+func (p *Processor) GPUOwner(bdf pcie.BDF) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	eid, ok := p.gpuOwners[bdf]
+	return eid, ok
+}
+
+// EGDestroy is the graceful-termination path (§4.2.3): invoked *by the
+// GPU enclave itself* (token-authenticated), it clears GECS and TGMR and
+// returns the GPU to the OS, releasing the MMIO lockdown.
+func (p *Processor) EGDestroy(t *Token) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.checkToken(t)
+	if err != nil {
+		return err
+	}
+	g, ok := p.gecs[e.id]
+	if !ok {
+		return ErrNoGPUEnclave
+	}
+	delete(p.gecs, e.id)
+	delete(p.tgmr, e.id)
+	delete(p.gpuOwners, g.GPU)
+	if p.fabric != nil {
+		p.fabric.ReleaseLockdown(g.GPU)
+	}
+	p.mmuUnit.FlushAll()
+	return nil
+}
+
+// NoteEnclaveDeath is called by EKill's HIX half: a killed GPU enclave
+// leaves its GECS/TGMR registration in place (so the GPU stays owned and
+// unreachable) but marks the owner dead.
+func (p *Processor) noteEnclaveDeathLocked(eid uint64) {
+	if g, ok := p.gecs[eid]; ok {
+		g.OwnerDead = true
+	}
+}
+
+// ColdBoot models a platform power cycle for the SGX/HIX state: every
+// enclave dies, the EPC is scrubbed, and — critically for §4.2.3 — the
+// GECS and TGMR registrations are cleared so the GPU becomes usable
+// again.
+func (p *Processor) ColdBoot() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.enclaves {
+		e.state = stateDead
+		e.gen++
+	}
+	p.enclaves = make(map[uint64]*Enclave)
+	p.epcm = make(map[mem.PhysAddr]epcmEntry)
+	// Scrub and rebuild the EPC allocator.
+	alloc, err := mem.NewFrameAllocator(p.epcBase, p.epcSize)
+	if err == nil {
+		p.epcAlloc = alloc
+	}
+	zero := make([]byte, p.epcSize)
+	_ = p.memory.Write(p.epcBase, zero)
+	p.gecs = make(map[uint64]*GECS)
+	p.gpuOwners = make(map[pcie.BDF]uint64)
+	p.tgmr = make(map[uint64]map[mmu.VirtAddr]mem.PhysAddr)
+	p.mmuUnit.FlushAll()
+}
+
+// protectedRangeOf returns the GECS protecting pa, if any.
+func (p *Processor) protectedRangeOf(pa mem.PhysAddr) (*GECS, bool) {
+	for _, g := range p.gecs {
+		for _, r := range g.Ranges {
+			if r.contains(pa) {
+				return g, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// ValidateFill implements mmu.FillValidator: the combined EPCM (§2.1) and
+// HIX GECS/TGMR (§4.3.1) checks the hardware page-table walker runs
+// before admitting a translation into the TLB.
+func (p *Processor) ValidateFill(ctx mmu.Context, va mmu.VirtAddr, pa mem.PhysAddr, write bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// EPC pages: only the owning enclave, at the registered VA.
+	if p.InEPC(pa) {
+		ent, ok := p.epcm[mem.PageAlign(pa)]
+		if !ok {
+			return fmt.Errorf("%w: unallocated EPC page %#x", ErrAccessDenied, pa)
+		}
+		if ctx.EnclaveID != ent.enclave {
+			return fmt.Errorf("%w: EPC page %#x belongs to enclave %d", ErrAccessDenied, pa, ent.enclave)
+		}
+		if mmu.PageAlign(va) != ent.va {
+			return fmt.Errorf("%w: EPC page %#x mapped at wrong va %#x", ErrAccessDenied, pa, va)
+		}
+		return nil
+	}
+
+	// ELRANGE integrity: an enclave's protected virtual range must map
+	// to its own EPC pages — the OS cannot splice ordinary memory in.
+	if ctx.EnclaveID != 0 {
+		if e, ok := p.enclaves[ctx.EnclaveID]; ok {
+			if uint64(va) >= uint64(e.elBase) && uint64(va) < uint64(e.elBase)+e.elSize {
+				return fmt.Errorf("%w: ELRANGE va %#x mapped outside EPC", ErrAccessDenied, va)
+			}
+		}
+	}
+
+	// HIX rule (§4.3.1), VA side: a virtual page the GPU enclave
+	// registered in TGMR must translate to exactly its registered MMIO
+	// page — redirecting it to attacker-controlled memory is denied.
+	if ctx.EnclaveID != 0 {
+		if table, ok := p.tgmr[ctx.EnclaveID]; ok {
+			if reg, registered := table[mmu.PageAlign(va)]; registered && reg != mem.PageAlign(pa) {
+				return fmt.Errorf("%w: TGMR va %#x redirected to %#x (registered %#x)",
+					ErrAccessDenied, va, pa, reg)
+			}
+		}
+	}
+
+	// HIX rule (§4.3.1): translations into a protected GPU MMIO range
+	// are admitted only for the owning, living GPU enclave, and only
+	// when both VA and PA match the TGMR registration.
+	if g, prot := p.protectedRangeOf(pa); prot {
+		if g.OwnerDead {
+			return fmt.Errorf("%w: GPU %s is sealed after enclave termination", ErrAccessDenied, g.GPU)
+		}
+		if ctx.EnclaveID != g.EnclaveID {
+			return fmt.Errorf("%w: GPU MMIO %#x owned by enclave %d", ErrAccessDenied, pa, g.EnclaveID)
+		}
+		table := p.tgmr[g.EnclaveID]
+		registered, ok := table[mmu.PageAlign(va)]
+		if !ok {
+			return fmt.Errorf("%w: va %#x not registered in TGMR", ErrAccessDenied, va)
+		}
+		if registered != mem.PageAlign(pa) {
+			return fmt.Errorf("%w: TGMR mismatch va %#x -> %#x (registered %#x)",
+				ErrAccessDenied, va, pa, registered)
+		}
+	}
+	return nil
+}

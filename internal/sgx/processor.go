@@ -1,0 +1,453 @@
+// Package sgx models an SGX-capable processor and the HIX extensions to
+// it. The baseline model provides enclaves with measured launch, an
+// enclave page cache (EPC) whose pages are access-controlled through the
+// page-table walker (EPCM) and encrypted in DRAM (MEE), local attestation
+// (EREPORT/EGETKEY), and enclave entry tokens.
+//
+// The HIX extensions (paper §4.2–§4.3) live in hix.go: the EGCREATE and
+// EGADD instructions, the GECS and TGMR hidden data structures, the
+// MMIO-access validation in the walker, and the GPU-ownership persistence
+// that protects data after a forced GPU-enclave termination.
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pcie"
+)
+
+// SGX model errors.
+var (
+	ErrNoEnclave     = errors.New("sgx: no such enclave")
+	ErrEnclaveState  = errors.New("sgx: operation invalid in this enclave state")
+	ErrEPCExhausted  = errors.New("sgx: EPC exhausted")
+	ErrBadToken      = errors.New("sgx: invalid or stale execution token")
+	ErrAccessDenied  = errors.New("sgx: access denied")
+	ErrNotOwner      = errors.New("sgx: caller does not own this resource")
+	ErrELRANGE       = errors.New("sgx: address outside ELRANGE")
+	ErrAlreadyMapped = errors.New("sgx: page already added")
+)
+
+// Config wires a processor into the simulated machine.
+type Config struct {
+	Platform *attest.Platform
+	MMU      *mmu.MMU
+	Memory   *mem.AddressSpace
+	// EPC placement in physical memory. The region is added to the
+	// address map by NewProcessor.
+	EPCBase mem.PhysAddr
+	EPCSize uint64
+	// Fabric gives the HIX instructions access to the trusted PCIe root
+	// complex (device inventory, lockdown, routing measurement).
+	Fabric *pcie.RootComplex
+}
+
+type epcmEntry struct {
+	enclave uint64
+	va      mmu.VirtAddr
+}
+
+type enclaveState int
+
+const (
+	stateBuilding enclaveState = iota
+	stateInitialized
+	stateDead
+)
+
+// Enclave is the SECS-equivalent: per-enclave control state.
+type Enclave struct {
+	id      uint64
+	pid     int
+	elBase  mmu.VirtAddr
+	elSize  uint64
+	state   enclaveState
+	gen     uint64 // bumped on death to invalidate tokens
+	mrHash  []byte // running measurement while building
+	measure attest.Measurement
+	pages   map[mmu.VirtAddr]mem.PhysAddr
+}
+
+// ID returns the hardware enclave identifier.
+func (e *Enclave) ID() uint64 { return e.id }
+
+// Measurement returns MRENCLAVE; valid after EInit.
+func (e *Enclave) Measurement() attest.Measurement { return e.measure }
+
+// Processor is the SGX+HIX capable CPU package (the hardware root of
+// trust, Axiom #1).
+type Processor struct {
+	mu       sync.Mutex
+	platform *attest.Platform
+	mmuUnit  *mmu.MMU
+	memory   *mem.AddressSpace
+	fabric   *pcie.RootComplex
+
+	epcBase  mem.PhysAddr
+	epcSize  uint64
+	epcAlloc *mem.FrameAllocator
+	epcm     map[mem.PhysAddr]epcmEntry
+	mee      cipher.Block // memory encryption engine key schedule
+
+	enclaves map[uint64]*Enclave
+	nextID   uint64
+
+	// HIX state (hix.go).
+	gecs      map[uint64]*GECS
+	gpuOwners map[pcie.BDF]uint64
+	tgmr      map[uint64]map[mmu.VirtAddr]mem.PhysAddr
+}
+
+// NewProcessor builds the CPU, maps the EPC into physical memory, and
+// hooks the EPCM/TGMR checks into the MMU's walker.
+func NewProcessor(cfg Config) (*Processor, error) {
+	if cfg.Platform == nil || cfg.MMU == nil || cfg.Memory == nil {
+		return nil, errors.New("sgx: incomplete config")
+	}
+	if cfg.EPCSize == 0 || cfg.EPCSize%mem.PageSize != 0 || mem.PageOffset(cfg.EPCBase) != 0 {
+		return nil, fmt.Errorf("sgx: EPC %#x+%#x not page aligned", cfg.EPCBase, cfg.EPCSize)
+	}
+	if _, err := cfg.Memory.AddDRAM("epc", cfg.EPCBase, cfg.EPCSize); err != nil {
+		return nil, err
+	}
+	alloc, err := mem.NewFrameAllocator(cfg.EPCBase, cfg.EPCSize)
+	if err != nil {
+		return nil, err
+	}
+	var key [16]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, fmt.Errorf("sgx: %w", err)
+	}
+	blk, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		platform:  cfg.Platform,
+		mmuUnit:   cfg.MMU,
+		memory:    cfg.Memory,
+		fabric:    cfg.Fabric,
+		epcBase:   cfg.EPCBase,
+		epcSize:   cfg.EPCSize,
+		epcAlloc:  alloc,
+		epcm:      make(map[mem.PhysAddr]epcmEntry),
+		mee:       blk,
+		enclaves:  make(map[uint64]*Enclave),
+		gecs:      make(map[uint64]*GECS),
+		gpuOwners: make(map[pcie.BDF]uint64),
+		tgmr:      make(map[uint64]map[mmu.VirtAddr]mem.PhysAddr),
+	}
+	cfg.MMU.AddValidator(p)
+	return p, nil
+}
+
+// InEPC reports whether pa falls inside the enclave page cache.
+func (p *Processor) InEPC(pa mem.PhysAddr) bool {
+	return pa >= p.epcBase && pa < p.epcBase+mem.PhysAddr(p.epcSize)
+}
+
+// --- Enclave lifecycle ---------------------------------------------------
+
+// ECreate starts building an enclave for process pid with the given
+// ELRANGE.
+func (p *Processor) ECreate(pid int, elBase mmu.VirtAddr, elSize uint64) (*Enclave, error) {
+	if elSize == 0 || elSize%mem.PageSize != 0 || mmu.PageOffset(elBase) != 0 {
+		return nil, fmt.Errorf("sgx: ELRANGE %#x+%#x not page aligned", elBase, elSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	e := &Enclave{
+		id:     p.nextID,
+		pid:    pid,
+		elBase: elBase,
+		elSize: elSize,
+		pages:  make(map[mmu.VirtAddr]mem.PhysAddr),
+	}
+	h := sha256.New()
+	h.Write([]byte("ecreate"))
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(elBase))
+	binary.LittleEndian.PutUint64(hdr[8:], elSize)
+	h.Write(hdr[:])
+	e.mrHash = h.Sum(nil)
+	p.enclaves[e.id] = e
+	return e, nil
+}
+
+// EAdd adds one page of content to a building enclave: it allocates an
+// EPC frame, extends the measurement, stores the (encrypted) content, and
+// records the EPCM entry. The returned frame is what the OS must map at
+// va in the process page table.
+func (p *Processor) EAdd(eid uint64, va mmu.VirtAddr, content []byte) (mem.PhysAddr, error) {
+	if len(content) > mem.PageSize {
+		return 0, fmt.Errorf("sgx: EADD content %d exceeds page size", len(content))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.enclaves[eid]
+	if !ok {
+		return 0, ErrNoEnclave
+	}
+	if e.state != stateBuilding {
+		return 0, fmt.Errorf("%w: EADD after EINIT", ErrEnclaveState)
+	}
+	page := mmu.PageAlign(va)
+	if uint64(page) < uint64(e.elBase) || uint64(page)+mem.PageSize > uint64(e.elBase)+e.elSize {
+		return 0, fmt.Errorf("%w: va %#x", ErrELRANGE, va)
+	}
+	if _, dup := e.pages[page]; dup {
+		return 0, fmt.Errorf("%w: va %#x", ErrAlreadyMapped, va)
+	}
+	frame, err := p.epcAlloc.Alloc()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrEPCExhausted, err)
+	}
+	// Extend measurement over (va, content).
+	h := sha256.New()
+	h.Write(e.mrHash)
+	var vab [8]byte
+	binary.LittleEndian.PutUint64(vab[:], uint64(page))
+	h.Write(vab[:])
+	h.Write(content)
+	e.mrHash = h.Sum(nil)
+
+	// Store the page through the MEE: DRAM holds ciphertext.
+	buf := make([]byte, mem.PageSize)
+	copy(buf, content)
+	p.meeXor(frame, buf)
+	if err := p.memory.Write(frame, buf); err != nil {
+		p.epcAlloc.Free(frame)
+		return 0, err
+	}
+	e.pages[page] = frame
+	p.epcm[frame] = epcmEntry{enclave: eid, va: page}
+	return frame, nil
+}
+
+// EInit finalizes the enclave: the measurement freezes and the enclave
+// becomes enterable.
+func (p *Processor) EInit(eid uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.enclaves[eid]
+	if !ok {
+		return ErrNoEnclave
+	}
+	if e.state != stateBuilding {
+		return fmt.Errorf("%w: double EINIT", ErrEnclaveState)
+	}
+	copy(e.measure[:], e.mrHash)
+	e.state = stateInitialized
+	return nil
+}
+
+// Token is an opaque proof of execution inside an enclave, returned by
+// EEnter. Only code holding a valid token can touch enclave memory or
+// issue enclave-authority instructions — the software analogue of "the
+// CPU is currently running this enclave". Tokens are unforgeable outside
+// this package.
+type Token struct {
+	p   *Processor
+	eid uint64
+	gen uint64
+	pt  *mmu.PageTable
+	pid int
+}
+
+// EnclaveID identifies the enclave this token executes.
+func (t *Token) EnclaveID() uint64 { return t.eid }
+
+// Context returns the hardware execution context for MMU checks.
+func (t *Token) Context() mmu.Context { return mmu.Context{PID: t.pid, EnclaveID: t.eid} }
+
+// EEnter enters an initialized enclave. pt is the process page table the
+// hardware will walk (CR3 is under OS control; the walker's validation is
+// what keeps that safe).
+func (p *Processor) EEnter(eid uint64, pt *mmu.PageTable) (*Token, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.enclaves[eid]
+	if !ok {
+		return nil, ErrNoEnclave
+	}
+	if e.state != stateInitialized {
+		return nil, fmt.Errorf("%w: enclave not enterable", ErrEnclaveState)
+	}
+	return &Token{p: p, eid: eid, gen: e.gen, pt: pt, pid: e.pid}, nil
+}
+
+func (p *Processor) checkToken(t *Token) (*Enclave, error) {
+	if t == nil || t.p != p {
+		return nil, ErrBadToken
+	}
+	e, ok := p.enclaves[t.eid]
+	if !ok || e.state != stateInitialized || e.gen != t.gen {
+		return nil, ErrBadToken
+	}
+	return e, nil
+}
+
+// EKill models the OS forcefully destroying an enclave (§4.2.3): EPC
+// pages are reclaimed and tokens invalidated — but note that HIX GPU
+// ownership in GECS/TGMR deliberately survives; see hix.go.
+func (p *Processor) EKill(eid uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.enclaves[eid]
+	if !ok {
+		return ErrNoEnclave
+	}
+	e.state = stateDead
+	e.gen++
+	p.noteEnclaveDeathLocked(eid)
+	for _, frame := range e.pages {
+		delete(p.epcm, frame)
+		// Hardware scrubs reclaimed EPC frames.
+		zero := make([]byte, mem.PageSize)
+		_ = p.memory.Write(frame, zero)
+		p.epcAlloc.Free(frame)
+	}
+	e.pages = make(map[mmu.VirtAddr]mem.PhysAddr)
+	p.mmuUnit.FlushAll()
+	return nil
+}
+
+// --- Enclave memory access (EPC + MEE) ----------------------------------
+
+// meeXor applies the memory encryption engine keystream for the page at
+// frame to buf in place (AES-CTR with a physical-address tweak).
+func (p *Processor) meeXor(frame mem.PhysAddr, buf []byte) {
+	var iv [16]byte
+	binary.LittleEndian.PutUint64(iv[:8], uint64(frame))
+	stream := cipher.NewCTR(p.mee, iv[:])
+	stream.XORKeyStream(buf, buf)
+}
+
+// access translates va through the MMU (walker validation included) and
+// performs the read/write, applying the MEE when the target is EPC.
+func (p *Processor) access(ctx mmu.Context, pt *mmu.PageTable, va mmu.VirtAddr, buf []byte, write bool) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	// Split at page boundaries: each page may map anywhere.
+	off := 0
+	for off < len(buf) {
+		cur := va + mmu.VirtAddr(off)
+		n := int(mem.PageSize - mmu.PageOffset(cur))
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		pa, err := p.mmuUnit.Translate(ctx, pt, cur, write)
+		if err != nil {
+			return err
+		}
+		chunk := buf[off : off+n]
+		if p.InEPC(pa) {
+			frame := mem.PageAlign(pa)
+			pageBuf := make([]byte, mem.PageSize)
+			if err := p.memory.Read(frame, pageBuf); err != nil {
+				return err
+			}
+			p.meeXor(frame, pageBuf)
+			if write {
+				copy(pageBuf[mem.PageOffset(pa):], chunk)
+				p.meeXor(frame, pageBuf)
+				if err := p.memory.Write(frame, pageBuf); err != nil {
+					return err
+				}
+			} else {
+				copy(chunk, pageBuf[mem.PageOffset(pa):])
+			}
+		} else {
+			if write {
+				if err := p.memory.Write(pa, chunk); err != nil {
+					return err
+				}
+			} else {
+				if err := p.memory.Read(pa, chunk); err != nil {
+					return err
+				}
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// Read performs an enclave-mode memory read through the MMU.
+func (p *Processor) Read(t *Token, va mmu.VirtAddr, buf []byte) error {
+	p.mu.Lock()
+	_, err := p.checkToken(t)
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return p.access(t.Context(), t.pt, va, buf, false)
+}
+
+// Write performs an enclave-mode memory write through the MMU.
+func (p *Processor) Write(t *Token, va mmu.VirtAddr, buf []byte) error {
+	p.mu.Lock()
+	_, err := p.checkToken(t)
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return p.access(t.Context(), t.pt, va, buf, true)
+}
+
+// ReadAsOS performs a non-enclave (ring-0 or user, EnclaveID 0) access —
+// the adversary's view through the MMU.
+func (p *Processor) ReadAsOS(pid int, pt *mmu.PageTable, va mmu.VirtAddr, buf []byte) error {
+	return p.access(mmu.Context{PID: pid}, pt, va, buf, false)
+}
+
+// WriteAsOS is the non-enclave write counterpart.
+func (p *Processor) WriteAsOS(pid int, pt *mmu.PageTable, va mmu.VirtAddr, buf []byte) error {
+	return p.access(mmu.Context{PID: pid}, pt, va, buf, true)
+}
+
+// --- Local attestation ---------------------------------------------------
+
+// EReport creates a local attestation report from the token's enclave to
+// the target measurement.
+func (p *Processor) EReport(t *Token, target attest.Measurement, data []byte) (attest.Report, error) {
+	p.mu.Lock()
+	e, err := p.checkToken(t)
+	p.mu.Unlock()
+	if err != nil {
+		return attest.Report{}, err
+	}
+	return p.platform.CreateReport(e.measure, target, data)
+}
+
+// EVerifyReport lets the token's enclave verify a report targeted at it
+// (the EGETKEY + MAC-check flow).
+func (p *Processor) EVerifyReport(t *Token, r attest.Report) (bool, error) {
+	p.mu.Lock()
+	e, err := p.checkToken(t)
+	p.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	return p.platform.VerifyReport(e.measure, r), nil
+}
+
+// Enclave returns enclave metadata by ID.
+func (p *Processor) Enclave(eid uint64) (*Enclave, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.enclaves[eid]
+	return e, ok
+}

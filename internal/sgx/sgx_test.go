@@ -1,0 +1,553 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/pcie"
+)
+
+// fixture assembles a machine: DRAM, EPC, PCIe fabric with one GPU-like
+// endpoint, MMU, and the SGX+HIX processor.
+type fixture struct {
+	t    *testing.T
+	as   *mem.AddressSpace
+	mmu  *mmu.MMU
+	rc   *pcie.RootComplex
+	proc *Processor
+	gpu  *pcie.Endpoint
+	bdf  pcie.BDF
+	bar0 mem.PhysAddr
+}
+
+type ramBar struct{ data []byte }
+
+func (h *ramBar) MMIORead(off uint64, p []byte) error  { copy(p, h.data[off:]); return nil }
+func (h *ramBar) MMIOWrite(off uint64, p []byte) error { copy(h.data[off:], p); return nil }
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 32<<20); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pcie.NewRootComplex(as, 0x8000_0000, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := rc.AddRootPort("rp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := pcie.NewEndpoint("gpu0", pcie.ConfigOpts{
+		VendorID: 0x10DE, DeviceID: 0x1080, ClassCode: 0x030000,
+		BARSizes: [pcie.NumBARs]uint64{0: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpu.SetBARHandler(0, &ramBar{data: make([]byte, 1<<20)}); err != nil {
+		t.Fatal(err)
+	}
+	port.AttachEndpoint(gpu)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	var bdf pcie.BDF
+	for b, d := range rc.Endpoints() {
+		if d == pcie.Device(gpu) {
+			bdf = b
+		}
+	}
+	m := mmu.New()
+	proc, err := NewProcessor(Config{
+		Platform: attest.NewPlatformFromSeed([]byte("test-platform")),
+		MMU:      m,
+		Memory:   as,
+		EPCBase:  0x400_0000, // 64 MiB, clear of the 32 MiB DRAM region
+		EPCSize:  4 << 20,
+		Fabric:   rc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar0, _, _ := gpu.Config().BAR(0)
+	return &fixture{t: t, as: as, mmu: m, rc: rc, proc: proc, gpu: gpu, bdf: bdf, bar0: bar0}
+}
+
+// buildEnclave creates, populates and initializes an enclave mapped into
+// pt.
+func (f *fixture) buildEnclave(pid int, pt *mmu.PageTable, code []byte) (*Enclave, *Token) {
+	f.t.Helper()
+	const elBase = 0x10_0000
+	e, err := f.proc.ECreate(pid, elBase, 16*mem.PageSize)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	frame, err := f.proc.EAdd(e.ID(), elBase, code)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	pt.Map(elBase, mmu.PTE{Frame: frame, Writable: true, User: true})
+	if err := f.proc.EInit(e.ID()); err != nil {
+		f.t.Fatal(err)
+	}
+	tok, err := f.proc.EEnter(e.ID(), pt)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return e, tok
+}
+
+func TestEnclaveLifecycleValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.proc.ECreate(1, 0x1001, mem.PageSize); err == nil {
+		t.Fatal("unaligned ELRANGE base accepted")
+	}
+	if _, err := f.proc.ECreate(1, 0x1000, 100); err == nil {
+		t.Fatal("unaligned ELRANGE size accepted")
+	}
+	e, err := f.proc.ECreate(1, 0x10000, 4*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EADD outside ELRANGE.
+	if _, err := f.proc.EAdd(e.ID(), 0x50000, nil); !errors.Is(err, ErrELRANGE) {
+		t.Fatalf("EADD outside ELRANGE: %v", err)
+	}
+	// Oversized content.
+	if _, err := f.proc.EAdd(e.ID(), 0x10000, make([]byte, mem.PageSize+1)); err == nil {
+		t.Fatal("oversized EADD accepted")
+	}
+	if _, err := f.proc.EAdd(e.ID(), 0x10000, []byte("code")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate page.
+	if _, err := f.proc.EAdd(e.ID(), 0x10008, []byte("x")); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("duplicate EADD: %v", err)
+	}
+	// Enter before init.
+	if _, err := f.proc.EEnter(e.ID(), mmu.NewPageTable()); !errors.Is(err, ErrEnclaveState) {
+		t.Fatalf("EENTER before EINIT: %v", err)
+	}
+	if err := f.proc.EInit(e.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.proc.EInit(e.ID()); !errors.Is(err, ErrEnclaveState) {
+		t.Fatalf("double EINIT: %v", err)
+	}
+	if _, err := f.proc.EAdd(e.ID(), 0x11000, nil); !errors.Is(err, ErrEnclaveState) {
+		t.Fatalf("EADD after EINIT: %v", err)
+	}
+	if _, err := f.proc.EEnter(999, mmu.NewPageTable()); !errors.Is(err, ErrNoEnclave) {
+		t.Fatalf("EENTER missing enclave: %v", err)
+	}
+}
+
+func TestMeasurementReflectsContents(t *testing.T) {
+	f := newFixture(t)
+	pt := mmu.NewPageTable()
+	e1, _ := f.buildEnclave(1, pt, []byte("driver v1"))
+	f2 := newFixture(t)
+	pt2 := mmu.NewPageTable()
+	e2, _ := f2.buildEnclave(1, pt2, []byte("driver v1"))
+	if e1.Measurement() != e2.Measurement() {
+		t.Fatal("identical enclaves measured differently")
+	}
+	f3 := newFixture(t)
+	e3, _ := f3.buildEnclave(1, mmu.NewPageTable(), []byte("driver v2"))
+	if e1.Measurement() == e3.Measurement() {
+		t.Fatal("different code, same measurement")
+	}
+	if e1.Measurement().IsZero() {
+		t.Fatal("zero measurement")
+	}
+}
+
+func TestEnclaveMemoryRoundtripAndMEE(t *testing.T) {
+	f := newFixture(t)
+	pt := mmu.NewPageTable()
+	_, tok := f.buildEnclave(1, pt, []byte("initial page content"))
+
+	secret := []byte("the model weights live here")
+	if err := f.proc.Write(tok, 0x10_0040, secret); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(secret))
+	if err := f.proc.Read(tok, 0x10_0040, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("enclave readback = %q", got)
+	}
+	// EADDed content is readable too.
+	head := make([]byte, 20)
+	if err := f.proc.Read(tok, 0x10_0000, head); err != nil {
+		t.Fatal(err)
+	}
+	if string(head) != "initial page content" {
+		t.Fatalf("initial content = %q", head)
+	}
+
+	// The adversary reading raw DRAM sees only MEE ciphertext.
+	pte, _ := pt.Lookup(0x10_0000)
+	raw := make([]byte, mem.PageSize)
+	if err := f.as.Read(pte.Frame, raw); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) || bytes.Contains(raw, []byte("initial page")) {
+		t.Fatal("plaintext visible in DRAM — MEE not applied")
+	}
+}
+
+func TestOSCannotAccessEPCThroughMMU(t *testing.T) {
+	f := newFixture(t)
+	pt := mmu.NewPageTable()
+	_, _ = f.buildEnclave(1, pt, []byte("secret"))
+	// The OS uses the same page table mapping but runs outside the
+	// enclave: the walker must refuse the fill.
+	err := f.proc.ReadAsOS(1, pt, 0x10_0000, make([]byte, 4))
+	if !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("OS access to EPC: %v", err)
+	}
+	// Mapping the EPC frame at a different VA in another process also
+	// fails (EPCM va check).
+	pte, _ := pt.Lookup(0x10_0000)
+	evil := mmu.NewPageTable()
+	evil.Map(0x77_0000, mmu.PTE{Frame: pte.Frame, Writable: true})
+	err = f.proc.ReadAsOS(2, evil, 0x77_0000, make([]byte, 4))
+	if !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("aliased EPC access: %v", err)
+	}
+}
+
+func TestELRANGESpliceDetected(t *testing.T) {
+	f := newFixture(t)
+	pt := mmu.NewPageTable()
+	_, tok := f.buildEnclave(1, pt, []byte("code"))
+	// The OS splices ordinary DRAM into the enclave's protected range.
+	pt.Map(0x10_1000, mmu.PTE{Frame: 0x5000, Writable: true})
+	err := f.proc.Read(tok, 0x10_1000, make([]byte, 4))
+	if !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("ELRANGE splice: %v", err)
+	}
+}
+
+func TestEKillInvalidatesAndScrubs(t *testing.T) {
+	f := newFixture(t)
+	pt := mmu.NewPageTable()
+	e, tok := f.buildEnclave(1, pt, []byte("sensitive"))
+	pte, _ := pt.Lookup(0x10_0000)
+	if err := f.proc.EKill(e.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.proc.Read(tok, 0x10_0000, make([]byte, 4)); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("token after kill: %v", err)
+	}
+	// Frame scrubbed in DRAM.
+	raw := make([]byte, 16)
+	if err := f.as.Read(pte.Frame, raw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, make([]byte, 16)) {
+		t.Fatal("EPC frame not scrubbed on reclaim")
+	}
+	if err := f.proc.EKill(e.ID() + 100); !errors.Is(err, ErrNoEnclave) {
+		t.Fatalf("kill missing enclave: %v", err)
+	}
+}
+
+func TestLocalAttestationBetweenEnclaves(t *testing.T) {
+	f := newFixture(t)
+	ptA, ptB := mmu.NewPageTable(), mmu.NewPageTable()
+	_, tokA := f.buildEnclave(1, ptA, []byte("user enclave"))
+	const elB = 0x40_0000
+	eB, err := f.proc.ECreate(2, elB, 4*mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := f.proc.EAdd(eB.ID(), elB, []byte("gpu enclave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptB.Map(elB, mmu.PTE{Frame: frame, Writable: true})
+	if err := f.proc.EInit(eB.ID()); err != nil {
+		t.Fatal(err)
+	}
+	tokB, err := f.proc.EEnter(eB.ID(), ptB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A reports to B.
+	r, err := f.proc.EReport(tokA, eB.Measurement(), []byte("hello B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okB, err := f.proc.EVerifyReport(tokB, r)
+	if err != nil || !okB {
+		t.Fatalf("B verify = %v, %v", okB, err)
+	}
+	// A cannot verify a report targeted at B.
+	okA, err := f.proc.EVerifyReport(tokA, r)
+	if err != nil || okA {
+		t.Fatalf("A verified B's report: %v, %v", okA, err)
+	}
+}
+
+// gpuEnclave builds an initialized enclave that owns the fixture's GPU.
+func (f *fixture) gpuEnclave(pid int) (*Enclave, *Token, *mmu.PageTable) {
+	f.t.Helper()
+	pt := mmu.NewPageTable()
+	e, tok := f.buildEnclave(pid, pt, []byte("gpu enclave driver"))
+	if err := f.proc.EGCreate(tok, f.bdf); err != nil {
+		f.t.Fatal(err)
+	}
+	return e, tok, pt
+}
+
+func TestEGCreateChecks(t *testing.T) {
+	f := newFixture(t)
+	_, tok, _ := f.gpuEnclave(1)
+	// Lockdown engaged.
+	if !f.rc.LockdownActive() {
+		t.Fatal("EGCREATE did not engage lockdown")
+	}
+	// Same enclave cannot own a second GPU (and the GPU is taken).
+	if err := f.proc.EGCreate(tok, f.bdf); !errors.Is(err, ErrGPUOwned) && !errors.Is(err, ErrHasGPU) {
+		t.Fatalf("double EGCREATE: %v", err)
+	}
+	// A different enclave cannot claim the same GPU.
+	pt2 := mmu.NewPageTable()
+	_, tok2 := f.buildEnclave(2, pt2, []byte("second gpu enclave"))
+	if err := f.proc.EGCreate(tok2, f.bdf); !errors.Is(err, ErrGPUOwned) {
+		t.Fatalf("steal EGCREATE: %v", err)
+	}
+	// Emulated (non-enumerated) device is rejected.
+	if err := f.proc.EGCreate(tok2, pcie.BDF{Bus: 0x42}); !errors.Is(err, ErrNotHardware) {
+		t.Fatalf("emulated GPU: %v", err)
+	}
+}
+
+func TestEGAddAndMMIOAccess(t *testing.T) {
+	f := newFixture(t)
+	e, tok, pt := f.gpuEnclave(1)
+	const mmioVA = 0x7000_0000
+	// Register and map the first MMIO page.
+	if err := f.proc.EGAdd(tok, mmioVA, f.bar0); err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(mmioVA, mmu.PTE{Frame: f.bar0, Writable: true})
+
+	// The GPU enclave can now write device registers through the MMU.
+	if err := f.proc.Write(tok, mmioVA+0x10, []byte{0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := f.proc.Read(tok, mmioVA+0x10, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("MMIO readback = %#x", got[0])
+	}
+
+	// EGADD validation: PA outside the GPU's MMIO.
+	if err := f.proc.EGAdd(tok, mmioVA+0x1000, 0x5000); !errors.Is(err, ErrNotMMIO) {
+		t.Fatalf("EGADD to DRAM: %v", err)
+	}
+	// Duplicate VA registration.
+	if err := f.proc.EGAdd(tok, mmioVA, f.bar0+0x1000); !errors.Is(err, ErrTGMRConflict) {
+		t.Fatalf("duplicate EGADD: %v", err)
+	}
+	// Non-GPU-enclave cannot EGADD.
+	pt2 := mmu.NewPageTable()
+	_, tok2 := f.buildEnclave(2, pt2, []byte("other"))
+	if err := f.proc.EGAdd(tok2, mmioVA, f.bar0); !errors.Is(err, ErrNoGPUEnclave) {
+		t.Fatalf("EGADD without GECS: %v", err)
+	}
+	_ = e
+}
+
+func TestOSBlockedFromProtectedMMIO(t *testing.T) {
+	f := newFixture(t)
+	_, _, _ = f.gpuEnclave(1)
+	// Before EGCREATE the OS could touch the BAR; now the walker denies.
+	osPT := mmu.NewPageTable()
+	osPT.Map(0x9000_0000, mmu.PTE{Frame: f.bar0, Writable: true})
+	err := f.proc.WriteAsOS(3, osPT, 0x9000_0000, []byte{1})
+	if !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("OS MMIO write: %v", err)
+	}
+}
+
+func TestOSCanTouchMMIOBeforeEGCreate(t *testing.T) {
+	f := newFixture(t)
+	osPT := mmu.NewPageTable()
+	osPT.Map(0x9000_0000, mmu.PTE{Frame: f.bar0, Writable: true})
+	if err := f.proc.WriteAsOS(3, osPT, 0x9000_0000, []byte{1}); err != nil {
+		t.Fatalf("baseline OS MMIO access should work: %v", err)
+	}
+}
+
+func TestPTETamperOnMMIODetected(t *testing.T) {
+	f := newFixture(t)
+	_, tok, pt := f.gpuEnclave(1)
+	const mmioVA = 0x7000_0000
+	if err := f.proc.EGAdd(tok, mmioVA, f.bar0); err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(mmioVA, mmu.PTE{Frame: f.bar0, Writable: true})
+	if err := f.proc.Write(tok, mmioVA, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Attack 1: redirect the registered VA to attacker DRAM.
+	pt.Map(mmioVA, mmu.PTE{Frame: 0x6000, Writable: true})
+	if err := f.proc.Write(tok, mmioVA, []byte{2}); err == nil {
+		t.Fatal("PTE redirect to DRAM not detected")
+	}
+	// Attack 2: redirect to a different (unregistered) MMIO page.
+	pt.Map(mmioVA, mmu.PTE{Frame: f.bar0 + 0x2000, Writable: true})
+	if err := f.proc.Write(tok, mmioVA, []byte{3}); !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("PTE redirect within MMIO: %v", err)
+	}
+	// Attack 3: map an unregistered VA to the MMIO page.
+	pt.Map(0x7100_0000, mmu.PTE{Frame: f.bar0, Writable: true})
+	if err := f.proc.Write(tok, 0x7100_0000, []byte{4}); !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("unregistered VA fill: %v", err)
+	}
+}
+
+func TestTerminationProtection(t *testing.T) {
+	f := newFixture(t)
+	e, tok, pt := f.gpuEnclave(1)
+	const mmioVA = 0x7000_0000
+	if err := f.proc.EGAdd(tok, mmioVA, f.bar0); err != nil {
+		t.Fatal(err)
+	}
+	pt.Map(mmioVA, mmu.PTE{Frame: f.bar0, Writable: true})
+
+	// The OS kills the GPU enclave (§4.2.3).
+	if err := f.proc.EKill(e.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The GPU remains owned: a fresh enclave cannot claim it...
+	pt2 := mmu.NewPageTable()
+	_, tok2 := f.buildEnclave(2, pt2, []byte("usurper"))
+	if err := f.proc.EGCreate(tok2, f.bdf); !errors.Is(err, ErrGPUOwned) {
+		t.Fatalf("usurper EGCREATE: %v", err)
+	}
+	// ...and nobody can reach the MMIO.
+	osPT := mmu.NewPageTable()
+	osPT.Map(0x9000_0000, mmu.PTE{Frame: f.bar0, Writable: true})
+	if err := f.proc.ReadAsOS(3, osPT, 0x9000_0000, make([]byte, 4)); !errors.Is(err, mmu.ErrDenied) {
+		t.Fatalf("sealed GPU access: %v", err)
+	}
+	// Cold boot recovers the platform.
+	f.proc.ColdBoot()
+	f.rc.ColdBoot()
+	pt3 := mmu.NewPageTable()
+	_, tok3 := f.buildEnclave(4, pt3, []byte("fresh gpu enclave"))
+	if err := f.proc.EGCreate(tok3, f.bdf); err != nil {
+		t.Fatalf("EGCREATE after cold boot: %v", err)
+	}
+}
+
+func TestGracefulTermination(t *testing.T) {
+	f := newFixture(t)
+	_, tok, _ := f.gpuEnclave(1)
+	if err := f.proc.EGDestroy(tok); err != nil {
+		t.Fatal(err)
+	}
+	if f.rc.LockdownActive() {
+		t.Fatal("lockdown persists after graceful termination")
+	}
+	// The OS can use the GPU again, unprotected.
+	osPT := mmu.NewPageTable()
+	osPT.Map(0x9000_0000, mmu.PTE{Frame: f.bar0, Writable: true})
+	if err := f.proc.WriteAsOS(3, osPT, 0x9000_0000, []byte{1}); err != nil {
+		t.Fatalf("OS access after EGDESTROY: %v", err)
+	}
+	// A new GPU enclave can be created.
+	pt2 := mmu.NewPageTable()
+	_, tok2 := f.buildEnclave(2, pt2, []byte("next gpu enclave"))
+	if err := f.proc.EGCreate(tok2, f.bdf); err != nil {
+		t.Fatal(err)
+	}
+	// EGDestroy by a non-GPU enclave fails.
+	pt3 := mmu.NewPageTable()
+	_, tok3 := f.buildEnclave(5, pt3, []byte("bystander"))
+	if err := f.proc.EGDestroy(tok3); !errors.Is(err, ErrNoGPUEnclave) {
+		t.Fatalf("bystander EGDESTROY: %v", err)
+	}
+}
+
+func TestGPUOwnershipQueries(t *testing.T) {
+	f := newFixture(t)
+	e, _, _ := f.gpuEnclave(1)
+	bdf, ok := f.proc.GPUOf(e.ID())
+	if !ok || bdf != f.bdf {
+		t.Fatalf("GPUOf = %v, %v", bdf, ok)
+	}
+	owner, ok := f.proc.GPUOwner(f.bdf)
+	if !ok || owner != e.ID() {
+		t.Fatalf("GPUOwner = %d, %v", owner, ok)
+	}
+	if _, ok := f.proc.GPUOf(999); ok {
+		t.Fatal("GPUOf on non-GPU enclave")
+	}
+	if _, ok := f.proc.Enclave(e.ID()); !ok {
+		t.Fatal("Enclave lookup failed")
+	}
+}
+
+func TestTokenForgeryImpossibleAcrossProcessors(t *testing.T) {
+	f1 := newFixture(t)
+	f2 := newFixture(t)
+	pt := mmu.NewPageTable()
+	_, tok1 := f1.buildEnclave(1, pt, []byte("x"))
+	// A token from one processor is rejected by another.
+	if err := f2.proc.Read(tok1, 0x10_0000, make([]byte, 1)); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("cross-processor token: %v", err)
+	}
+	var nilTok *Token
+	if err := f1.proc.Read(nilTok, 0, make([]byte, 1)); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("nil token: %v", err)
+	}
+}
+
+func TestProcessorConfigValidation(t *testing.T) {
+	as := mem.NewAddressSpace()
+	m := mmu.New()
+	pl := attest.NewPlatformFromSeed([]byte("x"))
+	if _, err := NewProcessor(Config{MMU: m, Memory: as}); err == nil {
+		t.Fatal("missing platform accepted")
+	}
+	if _, err := NewProcessor(Config{Platform: pl, MMU: m, Memory: as, EPCBase: 1, EPCSize: mem.PageSize}); err == nil {
+		t.Fatal("unaligned EPC accepted")
+	}
+	if _, err := NewProcessor(Config{Platform: pl, MMU: m, Memory: as, EPCBase: 0, EPCSize: 0}); err == nil {
+		t.Fatal("zero EPC accepted")
+	}
+}
+
+func TestEPCExhaustion(t *testing.T) {
+	f := newFixture(t)
+	e, err := f.proc.ECreate(1, 0x100_0000, 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 2000; i++ {
+		_, lastErr = f.proc.EAdd(e.ID(), mmu.VirtAddr(0x100_0000+i*mem.PageSize), nil)
+		if lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrEPCExhausted) {
+		t.Fatalf("expected EPC exhaustion, got %v", lastErr)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import "time"
+
+// CostModel holds the calibrated performance parameters of the simulated
+// platform. The defaults approximate the paper's testbed (Core i7-6700 +
+// NVIDIA GTX 580 on PCIe 2.0 x16, SGX SDK 2.0, Gdev) closely enough to
+// reproduce the *shape* of every figure: which configuration wins, by
+// roughly what factor, and where crossovers fall. Absolute values are not
+// meaningful beyond that.
+type CostModel struct {
+	// PCIe link (root complex <-> GPU).
+	PCIeHtoDBandwidth float64  // bytes/s, host-to-device DMA
+	PCIeDtoHBandwidth float64  // bytes/s, device-to-host DMA
+	PCIeLatency       Duration // per-transaction latency
+	DMASetup          Duration // DMA descriptor setup per copy
+
+	// MMIO data path (slow, per-word; used for small copies and doorbells).
+	MMIOWriteBandwidth float64
+	MMIOReadBandwidth  float64
+	MMIOAccess         Duration // single register read/write
+
+	// Cryptography.
+	CPUCryptoBandwidth float64  // OCB-AES inside an SGX enclave, bytes/s
+	GPUCryptoBandwidth float64  // in-GPU OCB-AES kernel, bytes/s
+	GPUCryptoLaunch    Duration // launching the in-GPU crypto kernel
+	CryptoChunk        int      // pipeline chunk size for encrypt/copy overlap
+	GPUDHOpTime        Duration // one modular exponentiation on the device
+	GPUFillBandwidth   float64  // in-VRAM memset (cleansing) bytes/s
+
+	// Driver / runtime overheads.
+	KernelLaunch    Duration // per GPU kernel launch (command submit + dispatch)
+	TaskInitGdev    Duration // Gdev context+task initialization (baseline)
+	TaskInitHIX     Duration // HIX GPU-enclave session task init (slightly lower; §5.3.2)
+	IPCRoundTrip    Duration // user-enclave <-> GPU-enclave message queue round trip
+	AttestKeyExch   Duration // one-time local attestation + Diffie-Hellman
+	ContextSwitch   Duration // GPU context switch between user contexts (§4.5)
+	MemAllocPerCall Duration // cuMemAlloc / cuMemFree bookkeeping
+
+	// Host-side staging copies (user buffer <-> pinned DMA buffer).
+	HostMemcpyBandwidth float64
+
+	// CPULanes is the number of host cores available to concurrent
+	// flows (staging copies and enclave crypto from different users run
+	// on different cores; the Core i7-6700 has 4).
+	CPULanes int
+
+	// Compute engine.
+	GPUComputeOpsPerSec float64 // effective simple-op throughput of the SMs
+}
+
+// Default returns the calibrated cost model used by every experiment.
+func Default() CostModel {
+	return CostModel{
+		PCIeHtoDBandwidth: 3.0e9,
+		PCIeDtoHBandwidth: 2.7e9,
+		PCIeLatency:       2 * time.Microsecond,
+		DMASetup:          8 * time.Microsecond,
+
+		MMIOWriteBandwidth: 500e6,
+		MMIOReadBandwidth:  300e6,
+		MMIOAccess:         300 * time.Nanosecond,
+
+		CPUCryptoBandwidth: 1.25e9,
+		GPUCryptoBandwidth: 1.8e9,
+		GPUCryptoLaunch:    20 * time.Microsecond,
+		CryptoChunk:        4 << 20,
+		GPUDHOpTime:        260 * time.Microsecond,
+		GPUFillBandwidth:   24e9,
+
+		KernelLaunch:    9 * time.Microsecond,
+		TaskInitGdev:    30000 * time.Microsecond,
+		TaskInitHIX:     2400 * time.Microsecond,
+		IPCRoundTrip:    18 * time.Microsecond,
+		AttestKeyExch:   1200 * time.Microsecond,
+		ContextSwitch:   55 * time.Microsecond,
+		MemAllocPerCall: 60 * time.Microsecond,
+
+		HostMemcpyBandwidth: 9.0e9,
+		CPULanes:            4,
+
+		GPUComputeOpsPerSec: 390e9,
+	}
+}
+
+// ComputeTime converts an operation count into GPU compute-engine time.
+func (cm CostModel) ComputeTime(ops float64) Duration {
+	if ops <= 0 {
+		return 0
+	}
+	return Duration(ops / cm.GPUComputeOpsPerSec * 1e9)
+}
+
+// HtoDTime is the duration of a host-to-device DMA of n bytes.
+func (cm CostModel) HtoDTime(n int) Duration {
+	return cm.DMASetup + TransferTime(n, cm.PCIeHtoDBandwidth, cm.PCIeLatency)
+}
+
+// DtoHTime is the duration of a device-to-host DMA of n bytes.
+func (cm CostModel) DtoHTime(n int) Duration {
+	return cm.DMASetup + TransferTime(n, cm.PCIeDtoHBandwidth, cm.PCIeLatency)
+}
+
+// CPUCryptoTime is the duration of sealing or opening n bytes with OCB-AES
+// on the CPU inside an enclave.
+func (cm CostModel) CPUCryptoTime(n int) Duration {
+	return TransferTime(n, cm.CPUCryptoBandwidth, 0)
+}
+
+// GPUCryptoTime is the duration of the in-GPU OCB-AES kernel over n bytes,
+// including its launch.
+func (cm CostModel) GPUCryptoTime(n int) Duration {
+	return cm.GPUCryptoLaunch + TransferTime(n, cm.GPUCryptoBandwidth, 0)
+}

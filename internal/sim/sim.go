@@ -1,0 +1,135 @@
+// Package sim provides the deterministic simulated-time substrate used by
+// every performance experiment in this repository.
+//
+// All "execution times" reported by the benchmark harness are simulated:
+// operations do real work on real bytes, but their cost is accounted on a
+// virtual clock driven by a calibrated cost model rather than measured from
+// the host. This keeps every figure reproducible bit-for-bit across
+// machines, which is what a paper-reproduction harness needs.
+//
+// The model is a resource timeline: each hardware resource (the PCIe link,
+// the GPU compute engine, the GPU DMA engine, the CPU crypto unit, ...)
+// has a "busy until" horizon. An operation that becomes ready at time t and
+// needs resource r for duration d starts at max(t, busy[r]) and pushes the
+// horizon forward. Pipelines (encrypt chunk n+1 while chunk n is in flight)
+// fall out naturally by threading per-chunk ready times through successive
+// resources.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since platform reset.
+type Time int64
+
+// Duration is a span of simulated time. It aliases time.Duration so the
+// standard formatting helpers apply.
+type Duration = time.Duration
+
+// After returns the instant d after t.
+func (t Time) After(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the time as a duration since reset.
+func (t Time) String() string { return Duration(t).String() }
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Resource identifies a contended hardware unit on the timeline.
+type Resource string
+
+// The resources modeled by the HIX platform simulation.
+const (
+	ResCPU        Resource = "cpu"         // host CPU (request handling, task setup)
+	ResCPUCrypto  Resource = "cpu-crypto"  // host-side OCB-AES (inside SGX enclaves)
+	ResPCIe       Resource = "pcie"        // the PCIe link between root complex and GPU
+	ResGPUDMA     Resource = "gpu-dma"     // the GPU's DMA copy engine
+	ResGPUCompute Resource = "gpu-compute" // the GPU's compute engine (SMs)
+)
+
+// CPULane returns the compute resource for one host core; lane 0 is
+// ResCPU itself.
+func CPULane(lane int) Resource {
+	if lane == 0 {
+		return ResCPU
+	}
+	return Resource(fmt.Sprintf("cpu#%d", lane))
+}
+
+// CryptoLane returns the host-crypto resource for one core; lane 0 is
+// ResCPUCrypto.
+func CryptoLane(lane int) Resource {
+	if lane == 0 {
+		return ResCPUCrypto
+	}
+	return Resource(fmt.Sprintf("cpu-crypto#%d", lane))
+}
+
+// TransferTime converts a byte count and bandwidth (bytes per second) into
+// a duration, plus a fixed per-operation latency.
+func TransferTime(bytes int, bandwidthBps float64, latency Duration) Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative byte count %d", bytes))
+	}
+	if bandwidthBps <= 0 {
+		panic(fmt.Sprintf("sim: non-positive bandwidth %f", bandwidthBps))
+	}
+	return latency + Duration(float64(bytes)/bandwidthBps*1e9)
+}
+
+// Stage describes one step of a chunked pipeline: every chunk passes
+// through the stage's resource at the stage's bandwidth, paying the fixed
+// latency per chunk.
+type Stage struct {
+	Resource  Resource
+	Label     string
+	Bandwidth float64 // bytes per second
+	Latency   Duration
+}
+
+// Pipeline schedules totalBytes through the given stages in chunkSize
+// pieces, starting no earlier than ready. Chunk i may begin stage s+1 as
+// soon as it finishes stage s, and each stage processes chunks in order —
+// the classic software pipeline the paper uses to overlap OCB encryption
+// with PCIe transfer (§5.2). It returns the completion time of the last
+// chunk through the last stage.
+func Pipeline(tl *Timeline, ready Time, totalBytes, chunkSize int, stages []Stage) Time {
+	if totalBytes <= 0 || len(stages) == 0 {
+		return ready
+	}
+	if chunkSize <= 0 {
+		chunkSize = totalBytes
+	}
+	finish := ready
+	chunkReady := ready
+	for off := 0; off < totalBytes; off += chunkSize {
+		n := chunkSize
+		if off+n > totalBytes {
+			n = totalBytes - off
+		}
+		t := chunkReady
+		for _, st := range stages {
+			d := TransferTime(n, st.Bandwidth, st.Latency)
+			_, t = tl.AcquireLabeled(st.Resource, st.Label, t, d)
+		}
+		if t > finish {
+			finish = t
+		}
+		// The next chunk may start its first stage as soon as this
+		// chunk has released it; Acquire's busy-horizon already
+		// serializes per resource, so the next chunk is ready
+		// immediately.
+		chunkReady = ready
+	}
+	return finish
+}

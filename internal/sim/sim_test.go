@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAcquireSerializesResource(t *testing.T) {
+	tl := NewTimeline()
+	s1, e1 := tl.Acquire(ResPCIe, 0, 100*time.Nanosecond)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first acquire: got (%d,%d), want (0,100)", s1, e1)
+	}
+	// Ready earlier than the horizon: must wait.
+	s2, e2 := tl.Acquire(ResPCIe, 50, 100*time.Nanosecond)
+	if s2 != 100 || e2 != 200 {
+		t.Fatalf("second acquire: got (%d,%d), want (100,200)", s2, e2)
+	}
+	// Ready after the horizon: starts at ready.
+	s3, e3 := tl.Acquire(ResPCIe, 500, 10*time.Nanosecond)
+	if s3 != 500 || e3 != 510 {
+		t.Fatalf("third acquire: got (%d,%d), want (500,510)", s3, e3)
+	}
+}
+
+func TestAcquireIndependentResources(t *testing.T) {
+	tl := NewTimeline()
+	tl.Acquire(ResPCIe, 0, time.Millisecond)
+	s, _ := tl.Acquire(ResGPUCompute, 0, time.Millisecond)
+	if s != 0 {
+		t.Fatalf("independent resource should start at 0, started at %d", s)
+	}
+}
+
+func TestAcquireZeroDuration(t *testing.T) {
+	tl := NewTimeline()
+	tl.Acquire(ResCPU, 0, time.Second)
+	s, e := tl.Acquire(ResCPU, 10, 0)
+	if s != 10 || e != 10 {
+		t.Fatalf("zero duration must not occupy: got (%d,%d)", s, e)
+	}
+	if tl.BusyUntil(ResCPU) != Time(time.Second) {
+		t.Fatalf("zero duration moved the horizon")
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	tl := NewTimeline()
+	if tl.Horizon() != 0 {
+		t.Fatalf("fresh timeline horizon = %d, want 0", tl.Horizon())
+	}
+	tl.Acquire(ResCPU, 0, 5*time.Nanosecond)
+	tl.Acquire(ResPCIe, 0, 9*time.Nanosecond)
+	if got := tl.Horizon(); got != 9 {
+		t.Fatalf("horizon = %d, want 9", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tl := NewTimeline()
+	tl.EnableTrace()
+	tl.Acquire(ResCPU, 0, time.Second)
+	tl.Reset()
+	if tl.Horizon() != 0 || len(tl.Trace()) != 0 {
+		t.Fatalf("reset did not clear state")
+	}
+}
+
+func TestTraceOrdering(t *testing.T) {
+	tl := NewTimeline()
+	tl.EnableTrace()
+	tl.AcquireLabeled(ResPCIe, "b", 100, 10*time.Nanosecond)
+	tl.AcquireLabeled(ResCPU, "a", 0, 10*time.Nanosecond)
+	tr := tl.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d, want 2", len(tr))
+	}
+	if tr[0].Label != "a" || tr[1].Label != "b" {
+		t.Fatalf("trace not sorted by start: %+v", tr)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tl := NewTimeline()
+	tl.EnableTrace()
+	tl.Acquire(ResCPU, 0, 50*time.Nanosecond)
+	tl.Acquire(ResPCIe, 0, 100*time.Nanosecond)
+	if got := tl.Utilization(ResCPU); got != 0.5 {
+		t.Fatalf("cpu utilization = %f, want 0.5", got)
+	}
+	if got := tl.Utilization(ResPCIe); got != 1.0 {
+		t.Fatalf("pcie utilization = %f, want 1.0", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1000 bytes at 1 GB/s = 1000 ns, plus 5 ns latency.
+	d := TransferTime(1000, 1e9, 5*time.Nanosecond)
+	if d != 1005*time.Nanosecond {
+		t.Fatalf("TransferTime = %v, want 1005ns", d)
+	}
+}
+
+func TestTransferTimePanicsOnBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		bytes int
+		bw    float64
+	}{{-1, 1e9}, {10, 0}, {10, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TransferTime(%d, %f) did not panic", tc.bytes, tc.bw)
+				}
+			}()
+			TransferTime(tc.bytes, tc.bw, 0)
+		}()
+	}
+}
+
+func TestPipelineSingleStageEqualsSequential(t *testing.T) {
+	tl := NewTimeline()
+	stages := []Stage{{Resource: ResPCIe, Bandwidth: 1e9}}
+	end := Pipeline(tl, 0, 4000, 1000, stages)
+	// 4 chunks of 1000 ns each, fully serialized on one resource.
+	if end != 4000 {
+		t.Fatalf("single-stage pipeline end = %d, want 4000", end)
+	}
+}
+
+func TestPipelineOverlapsStages(t *testing.T) {
+	// Two stages of equal speed: total should be (nChunks+1) * chunkTime,
+	// not 2*nChunks*chunkTime, because stage 2 of chunk i overlaps stage 1
+	// of chunk i+1.
+	tl := NewTimeline()
+	stages := []Stage{
+		{Resource: ResCPUCrypto, Bandwidth: 1e9},
+		{Resource: ResPCIe, Bandwidth: 1e9},
+	}
+	end := Pipeline(tl, 0, 4000, 1000, stages)
+	if end != 5000 {
+		t.Fatalf("two-stage pipeline end = %d, want 5000 (overlapped)", end)
+	}
+}
+
+func TestPipelineBottleneckDominates(t *testing.T) {
+	// Fast first stage, slow second: completion is governed by the slow
+	// stage plus one fast-chunk fill time.
+	tl := NewTimeline()
+	stages := []Stage{
+		{Resource: ResCPUCrypto, Bandwidth: 4e9}, // 250ns per 1000B chunk
+		{Resource: ResPCIe, Bandwidth: 1e9},      // 1000ns per chunk
+	}
+	end := Pipeline(tl, 0, 4000, 1000, stages)
+	if end != 4250 {
+		t.Fatalf("bottleneck pipeline end = %d, want 4250", end)
+	}
+}
+
+func TestPipelineRemainderChunk(t *testing.T) {
+	tl := NewTimeline()
+	stages := []Stage{{Resource: ResPCIe, Bandwidth: 1e9}}
+	end := Pipeline(tl, 0, 2500, 1000, stages)
+	if end != 2500 {
+		t.Fatalf("remainder pipeline end = %d, want 2500", end)
+	}
+}
+
+func TestPipelineDegenerateInputs(t *testing.T) {
+	tl := NewTimeline()
+	if end := Pipeline(tl, 42, 0, 10, []Stage{{Resource: ResPCIe, Bandwidth: 1}}); end != 42 {
+		t.Fatalf("zero bytes should return ready, got %d", end)
+	}
+	if end := Pipeline(tl, 42, 100, 10, nil); end != 42 {
+		t.Fatalf("no stages should return ready, got %d", end)
+	}
+	// chunkSize <= 0 means a single chunk.
+	end := Pipeline(tl, 0, 1000, 0, []Stage{{Resource: ResGPUDMA, Bandwidth: 1e9}})
+	if end != 1000 {
+		t.Fatalf("chunkSize 0: end = %d, want 1000", end)
+	}
+}
+
+func TestPipelineRespectsReadyTime(t *testing.T) {
+	tl := NewTimeline()
+	end := Pipeline(tl, 100, 1000, 1000, []Stage{{Resource: ResPCIe, Bandwidth: 1e9}})
+	if end != 1100 {
+		t.Fatalf("pipeline ignored ready time: end = %d, want 1100", end)
+	}
+}
+
+// Property: the pipeline completion is never earlier than the best case
+// (total work on the bottleneck stage) and never later than fully
+// sequential execution of all stages of all chunks.
+func TestPipelineBoundsProperty(t *testing.T) {
+	f := func(totalKB uint16, chunkKB uint8, bw1kHz, bw2kHz uint16) bool {
+		total := (int(totalKB)%512 + 1) * 1024
+		chunk := (int(chunkKB)%64 + 1) * 1024
+		b1 := float64(int(bw1kHz)%1000+1) * 1e6
+		b2 := float64(int(bw2kHz)%1000+1) * 1e6
+		stages := []Stage{
+			{Resource: ResCPUCrypto, Bandwidth: b1},
+			{Resource: ResPCIe, Bandwidth: b2},
+		}
+		tl := NewTimeline()
+		end := Pipeline(tl, 0, total, chunk, stages)
+
+		bottleneck := TransferTime(total, b1, 0)
+		if t2 := TransferTime(total, b2, 0); t2 > bottleneck {
+			bottleneck = t2
+		}
+		sequential := TransferTime(total, b1, 0) + TransferTime(total, b2, 0)
+		return Duration(end) >= bottleneck && Duration(end) <= sequential
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostModelHelpers(t *testing.T) {
+	cm := Default()
+	if cm.ComputeTime(0) != 0 || cm.ComputeTime(-5) != 0 {
+		t.Fatalf("ComputeTime of non-positive ops must be 0")
+	}
+	ops := cm.GPUComputeOpsPerSec // one second of work
+	if got := cm.ComputeTime(ops); got != time.Second {
+		t.Fatalf("ComputeTime(1s of ops) = %v, want 1s", got)
+	}
+	if cm.HtoDTime(1<<20) <= cm.DMASetup {
+		t.Fatalf("HtoD time must exceed DMA setup")
+	}
+	if cm.DtoHTime(1<<20) <= cm.HtoDTime(1<<20)-cm.DMASetup {
+		// DtoH bandwidth is lower, so the transfer should be slower.
+		t.Fatalf("DtoH should be slower than HtoD for equal sizes")
+	}
+	if cm.GPUCryptoTime(1<<20) <= cm.GPUCryptoLaunch {
+		t.Fatalf("GPU crypto time must include data-dependent part")
+	}
+	if cm.CPUCryptoTime(0) != 0 {
+		t.Fatalf("CPU crypto of 0 bytes should cost 0")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	var x Time = 100
+	if x.After(50*time.Nanosecond) != 150 {
+		t.Fatalf("After failed")
+	}
+	if x.Sub(40) != 60*time.Nanosecond {
+		t.Fatalf("Sub failed")
+	}
+	if Max(3, 9) != 9 || Max(9, 3) != 9 {
+		t.Fatalf("Max failed")
+	}
+	if x.String() != "100ns" {
+		t.Fatalf("String = %q", x.String())
+	}
+}
+
+func TestGapFillingBackfill(t *testing.T) {
+	// Work that arrives later in real time but is ready earlier in
+	// simulated time fills the earlier gap instead of queuing at the
+	// horizon — multi-tenant results become order-independent.
+	tl := NewTimeline()
+	tl.Acquire(ResPCIe, 1000, 100*time.Nanosecond) // [1000,1100)
+	s, e := tl.Acquire(ResPCIe, 0, 200*time.Nanosecond)
+	if s != 0 || e != 200 {
+		t.Fatalf("backfill placed at (%d,%d), want (0,200)", s, e)
+	}
+	// A chunk too big for the gap goes after the horizon.
+	s, _ = tl.Acquire(ResPCIe, 0, 900*time.Nanosecond)
+	if s != 1100 {
+		t.Fatalf("oversized chunk placed at %d, want 1100", s)
+	}
+	// A chunk that fits between 200 and 1000 goes there.
+	s, e = tl.Acquire(ResPCIe, 100, 800*time.Nanosecond)
+	if s != 200 || e != 1000 {
+		t.Fatalf("fitting chunk placed at (%d,%d), want (200,1000)", s, e)
+	}
+}
+
+func TestGapFillingFlowInterleaving(t *testing.T) {
+	// Two chained flows (each op ready when the previous op of the same
+	// flow ends) produce the same makespan whatever real-time order
+	// their operations are issued in — the property that makes
+	// multi-tenant experiments independent of goroutine scheduling.
+	const d = 100 * time.Nanosecond
+	runFlows := func(schedule []int) Time {
+		tl := NewTimeline()
+		ready := []Time{0, 0}
+		for _, flow := range schedule {
+			_, end := tl.Acquire(ResGPUDMA, ready[flow], d)
+			ready[flow] = end
+		}
+		return tl.Horizon()
+	}
+	sequential := runFlows([]int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	alternating := runFlows([]int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	reversed := runFlows([]int{1, 1, 1, 1, 1, 0, 0, 0, 0, 0})
+	if sequential != 1000 || alternating != 1000 || reversed != 1000 {
+		t.Fatalf("interleaving changed makespan: %v %v %v", sequential, alternating, reversed)
+	}
+
+	// Work conservation: total busy time equals the sum of durations,
+	// whatever the order.
+	tl := NewTimeline()
+	var want Duration
+	for _, r := range []struct {
+		ready Time
+		d     Duration
+	}{{0, 100}, {50, 200}, {400, 100}, {10, 50}, {380, 300}} {
+		tl.Acquire(ResGPUDMA, r.ready, r.d)
+		want += r.d
+	}
+	h := tl.Horizon()
+	if got := Duration(float64(h)*tl.Utilization(ResGPUDMA) + 0.5); got != want {
+		t.Fatalf("busy time %v != sum of durations %v", got, want)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	tl := NewTimeline()
+	// Back-to-back appends coalesce into one span; utilization stays 1.
+	var ready Time
+	for i := 0; i < 100; i++ {
+		_, ready = tl.Acquire(ResCPU, ready, 10*time.Nanosecond)
+	}
+	if got := tl.BusyUntil(ResCPU); got != 1000 {
+		t.Fatalf("busy until = %d", got)
+	}
+	if u := tl.Utilization(ResCPU); u != 1.0 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+// Property: intervals on one resource never overlap and each starts no
+// earlier than its ready time.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		tl := NewTimeline()
+		type iv struct{ s, e Time }
+		var placed []iv
+		for _, seed := range seeds {
+			ready := Time(seed % 1000)
+			d := Duration(seed%97 + 1)
+			s, e := tl.Acquire(ResGPUCompute, ready, d)
+			if s < ready || e != s.After(d) {
+				return false
+			}
+			placed = append(placed, iv{s, e})
+		}
+		sort.Slice(placed, func(i, j int) bool { return placed[i].s < placed[j].s })
+		for i := 1; i < len(placed); i++ {
+			if placed[i].s < placed[i-1].e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+)
+
+// span is one occupied interval [start, end) on a resource.
+type span struct {
+	start, end Time
+}
+
+// Timeline tracks per-resource occupancy in simulated time as a set of
+// disjoint, coalesced busy intervals. Scheduling is *gap filling*: an
+// operation ready at t is placed into the earliest interval of its
+// duration starting at or after t. This makes results independent of the
+// real-time order in which concurrent flows issue their operations —
+// multi-tenant experiments are deterministic regardless of goroutine
+// scheduling — while remaining work-conserving.
+//
+// It is safe for concurrent use; experiments that model multiple tenants
+// share one Timeline so contention is accounted.
+type Timeline struct {
+	mu   sync.Mutex
+	res  map[Resource][]span
+	log  []Interval
+	keep bool
+}
+
+// Interval records one scheduled occupancy, for tracing and tests.
+type Interval struct {
+	Resource Resource
+	Label    string
+	Start    Time
+	End      Time
+}
+
+// NewTimeline returns an empty timeline with all resources idle at time 0.
+func NewTimeline() *Timeline {
+	return &Timeline{res: make(map[Resource][]span)}
+}
+
+// EnableTrace records every scheduled interval for later inspection with
+// Trace. Tracing is off by default to keep long runs cheap.
+func (tl *Timeline) EnableTrace() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.keep = true
+}
+
+// Acquire schedules an operation that is ready at ready and occupies r
+// for d. It returns the start and end instants. A zero or negative
+// duration occupies nothing and returns (ready, ready).
+func (tl *Timeline) Acquire(r Resource, ready Time, d Duration) (start, end Time) {
+	return tl.AcquireLabeled(r, "", ready, d)
+}
+
+// AcquireLabeled is Acquire with a trace label.
+func (tl *Timeline) AcquireLabeled(r Resource, label string, ready Time, d Duration) (start, end Time) {
+	if d <= 0 {
+		return ready, ready
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+
+	spans := tl.res[r]
+	start = ready
+	// First span that ends after the candidate start.
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].end > start })
+	for i < len(spans) {
+		if spans[i].start >= start.After(d) {
+			break // the gap before span i fits
+		}
+		if spans[i].end > start {
+			start = spans[i].end
+		}
+		i++
+	}
+	end = start.After(d)
+
+	// Insert [start, end) at position i, coalescing with neighbors.
+	touchPrev := i > 0 && spans[i-1].end == start
+	touchNext := i < len(spans) && spans[i].start == end
+	switch {
+	case touchPrev && touchNext:
+		spans[i-1].end = spans[i].end
+		spans = append(spans[:i], spans[i+1:]...)
+	case touchPrev:
+		spans[i-1].end = end
+	case touchNext:
+		spans[i].start = start
+	default:
+		spans = append(spans, span{})
+		copy(spans[i+1:], spans[i:])
+		spans[i] = span{start: start, end: end}
+	}
+	tl.res[r] = spans
+
+	if tl.keep {
+		tl.log = append(tl.log, Interval{Resource: r, Label: label, Start: start, End: end})
+	}
+	return start, end
+}
+
+// BusyUntil reports the end of the last busy interval of r: with no
+// pending earlier gaps, the earliest instant fresh sequential work could
+// start.
+func (tl *Timeline) BusyUntil(r Resource) Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	spans := tl.res[r]
+	if len(spans) == 0 {
+		return 0
+	}
+	return spans[len(spans)-1].end
+}
+
+// Horizon reports the latest busy instant across all resources: the
+// makespan of everything scheduled so far.
+func (tl *Timeline) Horizon() Time {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var h Time
+	for _, spans := range tl.res {
+		if n := len(spans); n > 0 && spans[n-1].end > h {
+			h = spans[n-1].end
+		}
+	}
+	return h
+}
+
+// Trace returns the recorded intervals sorted by start time. It returns
+// nil unless EnableTrace was called before scheduling.
+func (tl *Timeline) Trace() []Interval {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]Interval, len(tl.log))
+	copy(out, tl.log)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+// Utilization reports the fraction of [0, horizon] during which r was
+// busy.
+func (tl *Timeline) Utilization(r Resource) float64 {
+	h := tl.Horizon()
+	if h == 0 {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var busy Duration
+	for _, s := range tl.res[r] {
+		busy += s.end.Sub(s.start)
+	}
+	return float64(busy) / float64(h)
+}
+
+// Reset returns every resource to idle at time zero and clears the trace.
+func (tl *Timeline) Reset() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.res = make(map[Resource][]span)
+	tl.log = nil
+}

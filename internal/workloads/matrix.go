@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Matrix is the §5.3.1 microbenchmark: integer matrix addition
+// (A + B = C) or multiplication (A x B = C) over n x n int32 matrices.
+// Table 4's data volumes fall out directly: HtoD = 2*n^2*4 bytes,
+// DtoH = n^2*4 bytes.
+type Matrix struct {
+	n         int
+	mul       bool
+	synthetic bool
+	a, b, c   []byte
+}
+
+// NewMatrixAdd builds a functional matrix-addition workload.
+func NewMatrixAdd(n int) *Matrix { return newMatrix(n, false, false) }
+
+// NewMatrixMul builds a functional matrix-multiplication workload.
+func NewMatrixMul(n int) *Matrix { return newMatrix(n, true, false) }
+
+// NewMatrixSynthetic builds a timing-only instance at any size (used for
+// the paper-scale Figure 6 sweep).
+func NewMatrixSynthetic(n int, mul bool) *Matrix { return newMatrix(n, mul, true) }
+
+func newMatrix(n int, mul, synthetic bool) *Matrix {
+	m := &Matrix{n: n, mul: mul, synthetic: synthetic}
+	if !synthetic {
+		m.a = make([]byte, 4*n*n)
+		m.b = make([]byte, 4*n*n)
+		m.c = make([]byte, 4*n*n)
+		for i := 0; i < n*n; i++ {
+			binary.LittleEndian.PutUint32(m.a[4*i:], uint32(i%97+1))
+			binary.LittleEndian.PutUint32(m.b[4*i:], uint32(i%89+2))
+		}
+	}
+	return m
+}
+
+// Spec implements Workload.
+func (m *Matrix) Spec() Spec {
+	op := "add"
+	if m.mul {
+		op = "mul"
+	}
+	bytesN := int64(4) * int64(m.n) * int64(m.n)
+	return Spec{
+		Name:      fmt.Sprintf("matrix-%s-%d", op, m.n),
+		HtoDBytes: 2 * bytesN,
+		DtoHBytes: bytesN,
+		Problem:   fmt.Sprintf("%dx%d int32", m.n, m.n),
+	}
+}
+
+// Kernels implements Workload.
+func (m *Matrix) Kernels() []*gpu.Kernel {
+	return []*gpu.Kernel{MatrixAddKernel(), MatrixMulKernel()}
+}
+
+// MatrixAddKernel is the elementwise C = A + B kernel. Cost: ~3 simple
+// ops per element.
+func MatrixAddKernel() *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: "mat_add_i32",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			n := float64(p[3])
+			return cm.ComputeTime(3 * n * n)
+		},
+		Run: func(e *gpu.ExecContext) error {
+			aAddr, bAddr, cAddr, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+			sz := 4 * n * n
+			a, err := e.Mem(aAddr, sz)
+			if err != nil {
+				return err
+			}
+			b, err := e.Mem(bAddr, sz)
+			if err != nil {
+				return err
+			}
+			c, err := e.Mem(cAddr, sz)
+			if err != nil {
+				return err
+			}
+			le := binary.LittleEndian
+			for i := uint64(0); i < n*n; i++ {
+				le.PutUint32(c[4*i:], le.Uint32(a[4*i:])+le.Uint32(b[4*i:]))
+			}
+			return nil
+		},
+	}
+}
+
+// MatrixMulKernel is the naive C = A x B kernel. Cost: 2*n^3 ops
+// (multiply + add per inner-product step).
+func MatrixMulKernel() *gpu.Kernel {
+	return &gpu.Kernel{
+		Name: "mat_mul_i32",
+		Cost: func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+			n := float64(p[3])
+			return cm.ComputeTime(2 * n * n * n)
+		},
+		Run: func(e *gpu.ExecContext) error {
+			aAddr, bAddr, cAddr, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+			sz := 4 * n * n
+			a, err := e.Mem(aAddr, sz)
+			if err != nil {
+				return err
+			}
+			b, err := e.Mem(bAddr, sz)
+			if err != nil {
+				return err
+			}
+			c, err := e.Mem(cAddr, sz)
+			if err != nil {
+				return err
+			}
+			le := binary.LittleEndian
+			for i := uint64(0); i < n; i++ {
+				for j := uint64(0); j < n; j++ {
+					var sum uint32
+					for k := uint64(0); k < n; k++ {
+						sum += le.Uint32(a[4*(i*n+k):]) * le.Uint32(b[4*(k*n+j):])
+					}
+					le.PutUint32(c[4*(i*n+j):], sum)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Run implements Workload: HtoD A and B, one kernel, DtoH C — exactly
+// the §4.4.3 flow.
+func (m *Matrix) Run(r Runner) error {
+	n := uint64(m.n)
+	sz := 4 * n * n
+	aPtr, err := r.MemAlloc(sz)
+	if err != nil {
+		return err
+	}
+	bPtr, err := r.MemAlloc(sz)
+	if err != nil {
+		return err
+	}
+	cPtr, err := r.MemAlloc(sz)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(aPtr, m.a, int(sz)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(bPtr, m.b, int(sz)); err != nil {
+		return err
+	}
+	kernel := "mat_add_i32"
+	if m.mul {
+		kernel = "mat_mul_i32"
+	}
+	if err := r.Launch(kernel, params(aPtr, bPtr, cPtr, n)); err != nil {
+		return err
+	}
+	return r.MemcpyDtoH(m.c, cPtr, int(sz))
+}
+
+// Check implements Workload: recompute on the host and compare.
+func (m *Matrix) Check() error {
+	if m.synthetic {
+		return ErrNotFunctional
+	}
+	le := binary.LittleEndian
+	n := m.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want uint32
+			if m.mul {
+				for k := 0; k < n; k++ {
+					want += le.Uint32(m.a[4*(i*n+k):]) * le.Uint32(m.b[4*(k*n+j):])
+				}
+			} else {
+				want = le.Uint32(m.a[4*(i*n+j):]) + le.Uint32(m.b[4*(i*n+j):])
+			}
+			if got := le.Uint32(m.c[4*(i*n+j):]); got != want {
+				return fmt.Errorf("workloads: matrix[%d,%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// PaperMatrixSizes are the Table 4 problem sizes.
+var PaperMatrixSizes = []int{2048, 4096, 8192, 11264}

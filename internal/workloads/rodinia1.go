@@ -1,0 +1,657 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Helpers for typed access into device buffers ([]byte views).
+
+func f32(b []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+}
+
+func putF32(b []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+}
+
+func i32(b []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(b[4*i:]))
+}
+
+func putI32(b []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+}
+
+// lcg is a tiny deterministic generator for reproducible inputs.
+type lcg uint64
+
+func (r *lcg) next() uint32 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint32(*r >> 33)
+}
+
+func (r *lcg) float() float32 { return float32(r.next()%1000) / 1000 }
+
+// --- Back Propagation (BP) ----------------------------------------------
+//
+// A one-hidden-layer network: input layer of n units, bpHidden hidden
+// units; the forward pass computes hidden activations, the backward pass
+// produces input-weight deltas. Buffer geometry is chosen so the paper
+// problem (589,824 nodes) transfers 117.0 MB in and 42.75 MB out
+// (Table 5).
+
+const (
+	bpHidden = 48 // weights in: n x 48 floats (+ n inputs) ~ 117 MB
+	bpDeltaW = 18 // deltas out: n x 18 floats ~ 42.75 MB
+	bpPaperN = 589824
+	bpPaperM = bpPaperN * bpHidden
+)
+
+// BP is the Rodinia back-propagation workload.
+type BP struct {
+	n         int
+	synthetic bool
+	input     []byte // n floats
+	weights   []byte // n*bpHidden floats
+	deltas    []byte // n*bpDeltaW floats (result)
+}
+
+// NewBP builds a functional instance with n input nodes.
+func NewBP(n int) *BP { return newBP(n, false) }
+
+// PaperBP is the Table 5 instance (synthetic).
+func PaperBP() *BP { return newBP(bpPaperN, true) }
+
+func newBP(n int, synthetic bool) *BP {
+	w := &BP{n: n, synthetic: synthetic}
+	if !synthetic {
+		w.input = make([]byte, 4*n)
+		w.weights = make([]byte, 4*n*bpHidden)
+		w.deltas = make([]byte, 4*n*bpDeltaW)
+		r := lcg(42)
+		for i := 0; i < n; i++ {
+			putF32(w.input, i, r.float())
+		}
+		for i := 0; i < n*bpHidden; i++ {
+			putF32(w.weights, i, r.float()-0.5)
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *BP) Spec() Spec {
+	return Spec{
+		Name:      "bp",
+		HtoDBytes: int64(4*w.n) + int64(4*w.n*bpHidden),
+		DtoHBytes: int64(4 * w.n * bpDeltaW),
+		Problem:   fmt.Sprintf("%d nodes", w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *BP) Kernels() []*gpu.Kernel {
+	fwdCost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		frac := float64(p[3]) / bpPaperN
+		return cm.ComputeTime(0.6 * bpComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac)
+	}
+	bwdCost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		frac := float64(p[4]) / bpPaperN
+		return cm.ComputeTime(0.4 * bpComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac)
+	}
+	return []*gpu.Kernel{
+		{
+			Name: "bp_forward",
+			Cost: fwdCost,
+			Run: func(e *gpu.ExecContext) error {
+				inPtr, wPtr, hidPtr, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+				in, err := e.Mem(inPtr, 4*n)
+				if err != nil {
+					return err
+				}
+				wts, err := e.Mem(wPtr, 4*n*bpHidden)
+				if err != nil {
+					return err
+				}
+				hid, err := e.Mem(hidPtr, 4*bpHidden)
+				if err != nil {
+					return err
+				}
+				for j := 0; j < bpHidden; j++ {
+					var sum float64
+					for i := uint64(0); i < n; i++ {
+						sum += float64(f32(in, int(i)) * f32(wts, int(i)*bpHidden+j))
+					}
+					putF32(hid, j, float32(1.0/(1.0+math.Exp(-sum))))
+				}
+				return nil
+			},
+		},
+		{
+			Name: "bp_backward",
+			Cost: bwdCost,
+			Run: func(e *gpu.ExecContext) error {
+				inPtr, hidPtr, dwPtr, _, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3], e.Params[4]
+				in, err := e.Mem(inPtr, 4*n)
+				if err != nil {
+					return err
+				}
+				hid, err := e.Mem(hidPtr, 4*bpHidden)
+				if err != nil {
+					return err
+				}
+				dw, err := e.Mem(dwPtr, 4*n*bpDeltaW)
+				if err != nil {
+					return err
+				}
+				const eta = 0.3
+				for i := uint64(0); i < n; i++ {
+					for j := 0; j < bpDeltaW; j++ {
+						putF32(dw, int(i)*bpDeltaW+j, eta*f32(in, int(i))*f32(hid, j))
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// Run implements Workload.
+func (w *BP) Run(r Runner) error {
+	n := uint64(w.n)
+	inPtr, err := r.MemAlloc(4 * n)
+	if err != nil {
+		return err
+	}
+	wPtr, err := r.MemAlloc(4 * n * bpHidden)
+	if err != nil {
+		return err
+	}
+	hidPtr, err := r.MemAlloc(4 * bpHidden)
+	if err != nil {
+		return err
+	}
+	dwPtr, err := r.MemAlloc(4 * n * bpDeltaW)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(inPtr, w.input, 4*int(n)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(wPtr, w.weights, 4*int(n)*bpHidden); err != nil {
+		return err
+	}
+	if err := r.Launch("bp_forward", params(inPtr, wPtr, hidPtr, n)); err != nil {
+		return err
+	}
+	if err := r.Launch("bp_backward", params(inPtr, hidPtr, dwPtr, 0, n)); err != nil {
+		return err
+	}
+	return r.MemcpyDtoH(w.deltas, dwPtr, 4*int(n)*bpDeltaW)
+}
+
+// Check implements Workload.
+func (w *BP) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	// Host-side mirror of forward + backward.
+	hidden := make([]float32, bpHidden)
+	for j := 0; j < bpHidden; j++ {
+		var sum float64
+		for i := 0; i < w.n; i++ {
+			sum += float64(f32(w.input, i) * f32(w.weights, i*bpHidden+j))
+		}
+		hidden[j] = float32(1.0 / (1.0 + math.Exp(-sum)))
+	}
+	for i := 0; i < w.n; i++ {
+		for j := 0; j < bpDeltaW; j++ {
+			want := 0.3 * f32(w.input, i) * hidden[j]
+			got := f32(w.deltas, i*bpDeltaW+j)
+			if !approxEqual(got, want, 1e-5) {
+				return fmt.Errorf("workloads: bp delta[%d,%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Breadth-First Search (BFS) ------------------------------------------
+//
+// Frontier-expansion BFS over a CSR graph, iterating a GPU kernel until
+// the frontier empties (the host polls a flag each round, as Rodinia
+// does). The paper problem is 1,000,000 nodes with ~8 edges/node
+// (Table 5: 45.78 MB in, 3.81 MB out).
+
+const (
+	bfsPaperN   = 1_000_000
+	bfsDegree   = 8
+	bfsSynIters = 8 // frontier rounds charged for synthetic instances
+)
+
+// BFS is the Rodinia breadth-first-search workload.
+type BFS struct {
+	n         int
+	synthetic bool
+	off       []byte // (n+1) int32 CSR offsets
+	edges     []byte // m int32
+	cost      []byte // n int32 result (depth per node)
+}
+
+// NewBFS builds a functional instance over a deterministic random graph.
+func NewBFS(n int) *BFS { return newBFS(n, false) }
+
+// PaperBFS is the Table 5 instance (synthetic).
+func PaperBFS() *BFS { return newBFS(bfsPaperN, true) }
+
+func newBFS(n int, synthetic bool) *BFS {
+	w := &BFS{n: n, synthetic: synthetic}
+	if !synthetic {
+		m := n * bfsDegree
+		w.off = make([]byte, 4*(n+1))
+		w.edges = make([]byte, 4*m)
+		w.cost = make([]byte, 4*n)
+		r := lcg(7)
+		// Ring + random chords: connected, deterministic.
+		e := 0
+		for i := 0; i < n; i++ {
+			putI32(w.off, i, int32(e))
+			putI32(w.edges, e, int32((i+1)%n))
+			e++
+			for d := 1; d < bfsDegree; d++ {
+				putI32(w.edges, e, int32(r.next()%uint32(n)))
+				e++
+			}
+		}
+		putI32(w.off, n, int32(e))
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *BFS) Spec() Spec {
+	m := w.n * bfsDegree
+	return Spec{
+		Name: "bfs",
+		// offsets + edges + 3 byte-masks + initial cost array.
+		HtoDBytes: int64(4*(w.n+1)) + int64(4*m) + int64(3*w.n) + int64(4*w.n),
+		DtoHBytes: int64(4 * w.n),
+		Problem:   fmt.Sprintf("%d nodes", w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *BFS) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		frac := float64(p[7]) * bfsDegree / (bfsPaperN * bfsDegree)
+		return cm.ComputeTime(bfsComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac / bfsSynIters)
+	}
+	return []*gpu.Kernel{{
+		Name: "bfs_step",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			offPtr, edgePtr, maskPtr, visPtr, costPtr, flagPtr := e.Params[0],
+				e.Params[1], e.Params[2], e.Params[3], e.Params[4], e.Params[5]
+			n := e.Params[7]
+			off, err := e.Mem(offPtr, 4*(n+1))
+			if err != nil {
+				return err
+			}
+			deg := uint64(i32(off, int(n)))
+			edges, err := e.Mem(edgePtr, 4*deg)
+			if err != nil {
+				return err
+			}
+			mask, err := e.Mem(maskPtr, n)
+			if err != nil {
+				return err
+			}
+			vis, err := e.Mem(visPtr, n)
+			if err != nil {
+				return err
+			}
+			costB, err := e.Mem(costPtr, 4*n)
+			if err != nil {
+				return err
+			}
+			flag, err := e.Mem(flagPtr, 4)
+			if err != nil {
+				return err
+			}
+			flag[0] = 0
+			next := make([]bool, n)
+			for u := uint64(0); u < n; u++ {
+				if mask[u] == 0 {
+					continue
+				}
+				mask[u] = 0
+				lo, hi := i32(off, int(u)), i32(off, int(u)+1)
+				for e2 := lo; e2 < hi; e2++ {
+					v := i32(edges, int(e2))
+					if vis[v] == 0 {
+						vis[v] = 1
+						putI32(costB, int(v), i32(costB, int(u))+1)
+						next[v] = true
+						flag[0] = 1
+					}
+				}
+			}
+			for v, b := range next {
+				if b {
+					mask[v] = 1
+				}
+			}
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *BFS) Run(r Runner) error {
+	n := uint64(w.n)
+	m := n * bfsDegree
+	offPtr, err := r.MemAlloc(4 * (n + 1))
+	if err != nil {
+		return err
+	}
+	edgePtr, err := r.MemAlloc(4 * m)
+	if err != nil {
+		return err
+	}
+	maskPtr, err := r.MemAlloc(n)
+	if err != nil {
+		return err
+	}
+	visPtr, err := r.MemAlloc(n)
+	if err != nil {
+		return err
+	}
+	costPtr, err := r.MemAlloc(4 * n)
+	if err != nil {
+		return err
+	}
+	flagPtr, err := r.MemAlloc(4)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(offPtr, w.off, 4*int(n+1)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(edgePtr, w.edges, 4*int(m)); err != nil {
+		return err
+	}
+	var mask, vis, cost []byte
+	if !w.synthetic {
+		mask = make([]byte, n)
+		vis = make([]byte, n)
+		cost = make([]byte, 4*n)
+		mask[0] = 1
+		vis[0] = 1
+		for i := 1; i < int(n); i++ {
+			putI32(cost, i, -1)
+		}
+	}
+	if err := r.MemcpyHtoD(maskPtr, mask, int(n)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(visPtr, vis, int(n)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(costPtr, cost, 4*int(n)); err != nil {
+		return err
+	}
+	flag := make([]byte, 4)
+	maxIters := 4 * w.n // safety bound for functional runs
+	if w.synthetic {
+		maxIters = bfsSynIters
+	}
+	for it := 0; it < maxIters; it++ {
+		if err := r.Launch("bfs_step",
+			params(offPtr, edgePtr, maskPtr, visPtr, costPtr, flagPtr, 0, n)); err != nil {
+			return err
+		}
+		if w.synthetic {
+			continue
+		}
+		if err := r.MemcpyDtoH(flag, flagPtr, 4); err != nil {
+			return err
+		}
+		if i32(flag, 0) == 0 {
+			break
+		}
+	}
+	return r.MemcpyDtoH(w.cost, costPtr, 4*int(n))
+}
+
+// Check implements Workload: compare against a host BFS.
+func (w *BFS) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	want := make([]int32, w.n)
+	for i := 1; i < w.n; i++ {
+		want[i] = -1
+	}
+	queue := []int32{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		lo, hi := i32(w.off, int(u)), i32(w.off, int(u)+1)
+		for e := lo; e < hi; e++ {
+			v := i32(w.edges, int(e))
+			if want[v] == -1 && v != 0 {
+				want[v] = want[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i := 0; i < w.n; i++ {
+		if got := i32(w.cost, i); got != want[i] {
+			return fmt.Errorf("workloads: bfs cost[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// --- Gaussian Elimination (GS) --------------------------------------------
+//
+// Forward elimination of Ax=b via the Rodinia fan1/fan2 kernel pair,
+// 2(n-1) launches; the host back-substitutes. Paper problem: 2048x2048
+// (Table 5: 32 MB each way — the A and M matrices).
+
+const gsPaperN = 2048
+
+// GS is the Rodinia gaussian-elimination workload.
+type GS struct {
+	n         int
+	synthetic bool
+	a         []byte // n*n floats (eliminated in place)
+	m         []byte // n*n multiplier matrix
+	b         []byte // n floats
+	origA     []float32
+	origB     []float32
+}
+
+// NewGS builds a functional instance (diagonally dominant system).
+func NewGS(n int) *GS { return newGS(n, false) }
+
+// PaperGS is the Table 5 instance (synthetic).
+func PaperGS() *GS { return newGS(gsPaperN, true) }
+
+func newGS(n int, synthetic bool) *GS {
+	w := &GS{n: n, synthetic: synthetic}
+	if !synthetic {
+		w.a = make([]byte, 4*n*n)
+		w.m = make([]byte, 4*n*n)
+		w.b = make([]byte, 4*n)
+		w.origA = make([]float32, n*n)
+		w.origB = make([]float32, n)
+		r := lcg(13)
+		for i := 0; i < n; i++ {
+			var rowSum float32
+			for j := 0; j < n; j++ {
+				v := r.float() - 0.5
+				w.origA[i*n+j] = v
+				rowSum += float32(math.Abs(float64(v)))
+			}
+			// Diagonal dominance keeps elimination stable.
+			w.origA[i*n+i] += rowSum + 1
+			w.origB[i] = r.float() * 10
+		}
+		for i := 0; i < n*n; i++ {
+			putF32(w.a, i, w.origA[i])
+		}
+		for i := 0; i < n; i++ {
+			putF32(w.b, i, w.origB[i])
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *GS) Spec() Spec {
+	nn := int64(4) * int64(w.n) * int64(w.n)
+	return Spec{
+		Name:      "gs",
+		HtoDBytes: 2*nn + int64(4*w.n),
+		DtoHBytes: 2*nn + int64(4*w.n),
+		Problem:   fmt.Sprintf("%dx%d points", w.n, w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *GS) Kernels() []*gpu.Kernel {
+	paperWork := float64(gsPaperN) * gsPaperN * gsPaperN / 3
+	fan1Cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		rem := float64(p[2] - p[3])
+		return cm.ComputeTime(0.02 * gsComputeNS / 1e9 * cm.GPUComputeOpsPerSec *
+			rem * rem / paperWork * float64(gsPaperN) / 2)
+	}
+	fan2Cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		rem := float64(p[3] - p[4])
+		return cm.ComputeTime(0.98 * gsComputeNS / 1e9 * cm.GPUComputeOpsPerSec *
+			rem * rem / paperWork)
+	}
+	return []*gpu.Kernel{
+		{
+			Name: "gs_fan1",
+			Cost: fan1Cost,
+			Run: func(e *gpu.ExecContext) error {
+				mPtr, aPtr, n, t := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+				mB, err := e.Mem(mPtr, 4*n*n)
+				if err != nil {
+					return err
+				}
+				aB, err := e.Mem(aPtr, 4*n*n)
+				if err != nil {
+					return err
+				}
+				piv := f32(aB, int(t*n+t))
+				for i := t + 1; i < n; i++ {
+					putF32(mB, int(i*n+t), f32(aB, int(i*n+t))/piv)
+				}
+				return nil
+			},
+		},
+		{
+			Name: "gs_fan2",
+			Cost: fan2Cost,
+			Run: func(e *gpu.ExecContext) error {
+				mPtr, aPtr, bPtr, n, t := e.Params[0], e.Params[1], e.Params[2], e.Params[3], e.Params[4]
+				mB, err := e.Mem(mPtr, 4*n*n)
+				if err != nil {
+					return err
+				}
+				aB, err := e.Mem(aPtr, 4*n*n)
+				if err != nil {
+					return err
+				}
+				bB, err := e.Mem(bPtr, 4*n)
+				if err != nil {
+					return err
+				}
+				for i := t + 1; i < n; i++ {
+					mult := f32(mB, int(i*n+t))
+					for j := t; j < n; j++ {
+						putF32(aB, int(i*n+j), f32(aB, int(i*n+j))-mult*f32(aB, int(t*n+j)))
+					}
+					putF32(bB, int(i), f32(bB, int(i))-mult*f32(bB, int(t)))
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// Run implements Workload.
+func (w *GS) Run(r Runner) error {
+	n := uint64(w.n)
+	nn := 4 * n * n
+	aPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	mPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	bPtr, err := r.MemAlloc(4 * n)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(aPtr, w.a, int(nn)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(mPtr, w.m, int(nn)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(bPtr, w.b, 4*int(n)); err != nil {
+		return err
+	}
+	for t := uint64(0); t < n-1; t++ {
+		if err := r.Launch("gs_fan1", params(mPtr, aPtr, n, t)); err != nil {
+			return err
+		}
+		if err := r.Launch("gs_fan2", params(mPtr, aPtr, bPtr, n, t)); err != nil {
+			return err
+		}
+	}
+	if err := r.MemcpyDtoH(w.a, aPtr, int(nn)); err != nil {
+		return err
+	}
+	if err := r.MemcpyDtoH(w.m, mPtr, int(nn)); err != nil {
+		return err
+	}
+	return r.MemcpyDtoH(w.b, bPtr, 4*int(n))
+}
+
+// Check implements Workload: back-substitute and verify A_orig * x = b_orig.
+func (w *GS) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	n := w.n
+	x := make([]float32, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := f32(w.b, i)
+		for j := i + 1; j < n; j++ {
+			sum -= f32(w.a, i*n+j) * x[j]
+		}
+		x[i] = sum / f32(w.a, i*n+i)
+	}
+	for i := 0; i < n; i++ {
+		var got float32
+		for j := 0; j < n; j++ {
+			got += w.origA[i*n+j] * x[j]
+		}
+		if !approxEqual(got, w.origB[i], 1e-2) {
+			return fmt.Errorf("workloads: gs residual row %d: %g != %g", i, got, w.origB[i])
+		}
+	}
+	return nil
+}

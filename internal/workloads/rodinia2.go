@@ -1,0 +1,479 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// --- Hotspot (HS) ---------------------------------------------------------
+//
+// Thermal stencil simulation: each iteration updates the temperature
+// grid from its neighbors and the power grid. Paper problem: 1024x1024
+// points, 8 MB in (temp + power), 4 MB out (Table 5).
+
+const (
+	hsPaperN = 1024
+	hsIters  = 60
+	hsKappa  = 0.1
+	hsPowerW = 0.05
+)
+
+// HS is the Rodinia hotspot workload.
+type HS struct {
+	n         int
+	synthetic bool
+	temp      []byte
+	power     []byte
+}
+
+// NewHS builds a functional instance.
+func NewHS(n int) *HS { return newHS(n, false) }
+
+// PaperHS is the Table 5 instance (synthetic).
+func PaperHS() *HS { return newHS(hsPaperN, true) }
+
+func newHS(n int, synthetic bool) *HS {
+	w := &HS{n: n, synthetic: synthetic}
+	if !synthetic {
+		w.temp = make([]byte, 4*n*n)
+		w.power = make([]byte, 4*n*n)
+		r := lcg(99)
+		for i := 0; i < n*n; i++ {
+			putF32(w.temp, i, 300+10*r.float())
+			putF32(w.power, i, hsPowerW*r.float())
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *HS) Spec() Spec {
+	nn := int64(4) * int64(w.n) * int64(w.n)
+	return Spec{
+		Name:      "hs",
+		HtoDBytes: 2 * nn,
+		DtoHBytes: nn,
+		Problem:   fmt.Sprintf("%dx%d points", w.n, w.n),
+	}
+}
+
+// hsStep performs one stencil iteration src -> dst (shared by kernel and
+// host check).
+func hsStep(src, power, dst []byte, n int) {
+	at := func(b []byte, i, j int) float32 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= n {
+			j = n - 1
+		}
+		return f32(b, i*n+j)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := at(src, i, j)
+			lap := at(src, i-1, j) + at(src, i+1, j) + at(src, i, j-1) + at(src, i, j+1) - 4*c
+			putF32(dst, i*n+j, c+hsKappa*lap+f32(power, i*n+j))
+		}
+	}
+}
+
+// Kernels implements Workload.
+func (w *HS) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		n := float64(p[3])
+		frac := n * n / (hsPaperN * hsPaperN)
+		return cm.ComputeTime(hsComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac / hsIters)
+	}
+	return []*gpu.Kernel{{
+		Name: "hs_step",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			srcPtr, powPtr, dstPtr, n := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+			src, err := e.Mem(srcPtr, 4*n*n)
+			if err != nil {
+				return err
+			}
+			pow, err := e.Mem(powPtr, 4*n*n)
+			if err != nil {
+				return err
+			}
+			dst, err := e.Mem(dstPtr, 4*n*n)
+			if err != nil {
+				return err
+			}
+			hsStep(src, pow, dst, int(n))
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *HS) Run(r Runner) error {
+	n := uint64(w.n)
+	nn := 4 * n * n
+	t0, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	t1, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	pPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(t0, w.temp, int(nn)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(pPtr, w.power, int(nn)); err != nil {
+		return err
+	}
+	src, dst := t0, t1
+	for it := 0; it < hsIters; it++ {
+		if err := r.Launch("hs_step", params(src, pPtr, dst, n)); err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	return r.MemcpyDtoH(w.temp, src, int(nn))
+}
+
+// Check implements Workload: rerun the stencil on the host.
+func (w *HS) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	n := w.n
+	// Rebuild the original inputs (same seed as the constructor).
+	cur := make([]byte, 4*n*n)
+	pow := make([]byte, 4*n*n)
+	r := lcg(99)
+	for i := 0; i < n*n; i++ {
+		putF32(cur, i, 300+10*r.float())
+		putF32(pow, i, hsPowerW*r.float())
+	}
+	next := make([]byte, 4*n*n)
+	for it := 0; it < hsIters; it++ {
+		hsStep(cur, pow, next, n)
+		cur, next = next, cur
+	}
+	for i := 0; i < n*n; i++ {
+		if !approxEqual(f32(w.temp, i), f32(cur, i), 1e-4) {
+			return fmt.Errorf("workloads: hs temp[%d] = %g, want %g", i, f32(w.temp, i), f32(cur, i))
+		}
+	}
+	return nil
+}
+
+// --- LU Decomposition (LUD) ------------------------------------------------
+//
+// In-place Doolittle LU factorization, one kernel launch per pivot
+// column (n-1 launches). Paper problem: 2048x2048, 16 MB each way.
+
+const (
+	ludPaperN = 2048
+	ludBlock  = 16 // pivot columns per launch (Rodinia's blocked LUD)
+)
+
+// LUD is the Rodinia LU-decomposition workload.
+type LUD struct {
+	n         int
+	synthetic bool
+	a         []byte
+	orig      []float32
+}
+
+// NewLUD builds a functional instance.
+func NewLUD(n int) *LUD { return newLUD(n, false) }
+
+// PaperLUD is the Table 5 instance (synthetic).
+func PaperLUD() *LUD { return newLUD(ludPaperN, true) }
+
+func newLUD(n int, synthetic bool) *LUD {
+	w := &LUD{n: n, synthetic: synthetic}
+	if !synthetic {
+		w.a = make([]byte, 4*n*n)
+		w.orig = make([]float32, n*n)
+		r := lcg(31)
+		for i := 0; i < n; i++ {
+			var rowSum float32
+			for j := 0; j < n; j++ {
+				v := r.float() - 0.5
+				w.orig[i*n+j] = v
+				rowSum += float32(math.Abs(float64(v)))
+			}
+			w.orig[i*n+i] += rowSum + 1
+		}
+		for i := 0; i < n*n; i++ {
+			putF32(w.a, i, w.orig[i])
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *LUD) Spec() Spec {
+	nn := int64(4) * int64(w.n) * int64(w.n)
+	return Spec{
+		Name:      "lud",
+		HtoDBytes: nn,
+		DtoHBytes: nn,
+		Problem:   fmt.Sprintf("%dx%d points", w.n, w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *LUD) Kernels() []*gpu.Kernel {
+	paperWork := float64(ludPaperN) * ludPaperN * ludPaperN / 3
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		rem := float64(p[1] - p[2])
+		return cm.ComputeTime(ludComputeNS / 1e9 * cm.GPUComputeOpsPerSec *
+			ludBlock * rem * rem / paperWork)
+	}
+	return []*gpu.Kernel{{
+		Name: "lud_block",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			aPtr, n, t0 := e.Params[0], e.Params[1], e.Params[2]
+			a, err := e.Mem(aPtr, 4*n*n)
+			if err != nil {
+				return err
+			}
+			for t := t0; t < t0+ludBlock && t < n-1; t++ {
+				piv := f32(a, int(t*n+t))
+				for i := t + 1; i < n; i++ {
+					l := f32(a, int(i*n+t)) / piv
+					putF32(a, int(i*n+t), l)
+					for j := t + 1; j < n; j++ {
+						putF32(a, int(i*n+j), f32(a, int(i*n+j))-l*f32(a, int(t*n+j)))
+					}
+				}
+			}
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *LUD) Run(r Runner) error {
+	n := uint64(w.n)
+	nn := 4 * n * n
+	aPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(aPtr, w.a, int(nn)); err != nil {
+		return err
+	}
+	for t := uint64(0); t < n-1; t += ludBlock {
+		if err := r.Launch("lud_block", params(aPtr, n, t)); err != nil {
+			return err
+		}
+	}
+	return r.MemcpyDtoH(w.a, aPtr, int(nn))
+}
+
+// Check implements Workload: L*U must reproduce the original matrix.
+func (w *LUD) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	n := w.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float32
+			kMax := i
+			if j < i {
+				kMax = j
+			}
+			for k := 0; k < kMax; k++ {
+				sum += f32(w.a, i*n+k) * f32(w.a, k*n+j)
+			}
+			if j >= i {
+				sum += f32(w.a, i*n+j) // L diagonal is 1
+			} else {
+				sum += f32(w.a, i*n+j) * f32(w.a, j*n+j)
+			}
+			if !approxEqual(sum, w.orig[i*n+j], 1e-2) {
+				return fmt.Errorf("workloads: lud (L*U)[%d,%d] = %g, want %g", i, j, sum, w.orig[i*n+j])
+			}
+		}
+	}
+	return nil
+}
+
+// --- Needleman-Wunsch (NW) --------------------------------------------------
+//
+// Sequence-alignment dynamic program filled in 16x16 blocks along
+// anti-diagonals: 2*(n/16)-1 kernel launches. Paper problem: 4096x4096
+// (Table 5: 128.1 MB in — reference + input matrices; 64 MB out).
+
+const (
+	nwPaperN  = 4096
+	nwBlock   = 16
+	nwPenalty = 10
+)
+
+// NW is the Rodinia Needleman-Wunsch workload.
+type NW struct {
+	n         int
+	synthetic bool
+	ref       []byte // (n+1)^2 int32 reference (substitution scores)
+	mat       []byte // (n+1)^2 int32 DP matrix
+}
+
+// NewNW builds a functional instance; n must be a multiple of nwBlock.
+func NewNW(n int) *NW { return newNW(n, false) }
+
+// PaperNW is the Table 5 instance (synthetic).
+func PaperNW() *NW { return newNW(nwPaperN, true) }
+
+func newNW(n int, synthetic bool) *NW {
+	w := &NW{n: n, synthetic: synthetic}
+	if !synthetic {
+		d := n + 1
+		w.ref = make([]byte, 4*d*d)
+		w.mat = make([]byte, 4*d*d)
+		r := lcg(55)
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				putI32(w.ref, i*d+j, int32(r.next()%21)-10)
+			}
+		}
+		for i := 1; i <= n; i++ {
+			putI32(w.mat, i*d, int32(-i*nwPenalty))
+			putI32(w.mat, i, int32(-i*nwPenalty))
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *NW) Spec() Spec {
+	dd := int64(4) * int64(w.n+1) * int64(w.n+1)
+	return Spec{
+		Name:      "nw",
+		HtoDBytes: 2 * dd,
+		DtoHBytes: dd,
+		Problem:   fmt.Sprintf("%dx%d points", w.n, w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *NW) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		n := float64(p[2])
+		launches := 2*(n/nwBlock) - 1
+		frac := n * n / (nwPaperN * nwPaperN)
+		return cm.ComputeTime(nwComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac / launches)
+	}
+	return []*gpu.Kernel{{
+		Name: "nw_diag",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			matPtr, refPtr, n, diag := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+			d := n + 1
+			mat, err := e.Mem(matPtr, 4*d*d)
+			if err != nil {
+				return err
+			}
+			ref, err := e.Mem(refPtr, 4*d*d)
+			if err != nil {
+				return err
+			}
+			blocks := n / nwBlock
+			for bi := uint64(0); bi < blocks; bi++ {
+				bj := diag - bi
+				if bj >= blocks { // uint wrap covers bj < 0 too
+					continue
+				}
+				for ii := uint64(0); ii < nwBlock; ii++ {
+					for jj := uint64(0); jj < nwBlock; jj++ {
+						i := bi*nwBlock + ii + 1
+						j := bj*nwBlock + jj + 1
+						best := i32(mat, int((i-1)*d+j-1)) + i32(ref, int(i*d+j))
+						if v := i32(mat, int(i*d+j-1)) - nwPenalty; v > best {
+							best = v
+						}
+						if v := i32(mat, int((i-1)*d+j)) - nwPenalty; v > best {
+							best = v
+						}
+						putI32(mat, int(i*d+j), best)
+					}
+				}
+			}
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *NW) Run(r Runner) error {
+	n := uint64(w.n)
+	d := n + 1
+	dd := 4 * d * d
+	matPtr, err := r.MemAlloc(dd)
+	if err != nil {
+		return err
+	}
+	refPtr, err := r.MemAlloc(dd)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(matPtr, w.mat, int(dd)); err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(refPtr, w.ref, int(dd)); err != nil {
+		return err
+	}
+	blocks := n / nwBlock
+	for diag := uint64(0); diag < 2*blocks-1; diag++ {
+		if err := r.Launch("nw_diag", params(matPtr, refPtr, n, diag)); err != nil {
+			return err
+		}
+	}
+	return r.MemcpyDtoH(w.mat, matPtr, int(dd))
+}
+
+// Check implements Workload: compare against the host DP.
+func (w *NW) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	n := w.n
+	d := n + 1
+	want := make([]int32, d*d)
+	for i := 1; i <= n; i++ {
+		want[i*d] = int32(-i * nwPenalty)
+		want[i] = int32(-i * nwPenalty)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			best := want[(i-1)*d+j-1] + i32(w.ref, i*d+j)
+			if v := want[i*d+j-1] - nwPenalty; v > best {
+				best = v
+			}
+			if v := want[(i-1)*d+j] - nwPenalty; v > best {
+				best = v
+			}
+			want[i*d+j] = best
+		}
+	}
+	for i := 0; i < d*d; i++ {
+		if got := i32(w.mat, i); got != want[i] {
+			return fmt.Errorf("workloads: nw mat[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	return nil
+}

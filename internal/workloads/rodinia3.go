@@ -1,0 +1,523 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// --- K-Nearest Neighbors (NN) ----------------------------------------------
+//
+// Distance computation over (latitude, longitude) records on the GPU;
+// the host selects the k minima from the returned distance array. Paper
+// problem: 42,764 records (Table 5: 334.1 KB in, 167.05 KB out).
+
+const (
+	nnPaperN = 42764
+	nnK      = 5
+)
+
+// NN is the Rodinia k-nearest-neighbors workload.
+type NN struct {
+	n         int
+	synthetic bool
+	records   []byte // n * 2 float32 (lat, lng)
+	dists     []byte // n float32 (result)
+	lat, lng  float32
+	nearest   []int
+}
+
+// NewNN builds a functional instance.
+func NewNN(n int) *NN { return newNN(n, false) }
+
+// PaperNN is the Table 5 instance (synthetic).
+func PaperNN() *NN { return newNN(nnPaperN, true) }
+
+func newNN(n int, synthetic bool) *NN {
+	w := &NN{n: n, synthetic: synthetic, lat: 30, lng: 90}
+	if !synthetic {
+		w.records = make([]byte, 8*n)
+		w.dists = make([]byte, 4*n)
+		r := lcg(77)
+		for i := 0; i < n; i++ {
+			putF32(w.records, 2*i, r.float()*180-90)
+			putF32(w.records, 2*i+1, r.float()*360-180)
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *NN) Spec() Spec {
+	return Spec{
+		Name:      "nn",
+		HtoDBytes: int64(8 * w.n),
+		DtoHBytes: int64(4 * w.n),
+		Problem:   fmt.Sprintf("%d records", w.n),
+	}
+}
+
+// Kernels implements Workload.
+func (w *NN) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		frac := float64(p[2]) / nnPaperN
+		return cm.ComputeTime(nnComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac)
+	}
+	return []*gpu.Kernel{{
+		Name: "nn_dist",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			recPtr, distPtr, n := e.Params[0], e.Params[1], e.Params[2]
+			lat := math.Float32frombits(uint32(e.Params[3]))
+			lng := math.Float32frombits(uint32(e.Params[4]))
+			rec, err := e.Mem(recPtr, 8*n)
+			if err != nil {
+				return err
+			}
+			dist, err := e.Mem(distPtr, 4*n)
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < n; i++ {
+				dLat := f32(rec, int(2*i)) - lat
+				dLng := f32(rec, int(2*i+1)) - lng
+				putF32(dist, int(i), float32(math.Sqrt(float64(dLat*dLat+dLng*dLng))))
+			}
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *NN) Run(r Runner) error {
+	n := uint64(w.n)
+	recPtr, err := r.MemAlloc(8 * n)
+	if err != nil {
+		return err
+	}
+	distPtr, err := r.MemAlloc(4 * n)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(recPtr, w.records, 8*int(n)); err != nil {
+		return err
+	}
+	if err := r.Launch("nn_dist", params(recPtr, distPtr, n,
+		uint64(math.Float32bits(w.lat)), uint64(math.Float32bits(w.lng)))); err != nil {
+		return err
+	}
+	if err := r.MemcpyDtoH(w.dists, distPtr, 4*int(n)); err != nil {
+		return err
+	}
+	if !w.synthetic {
+		// Host-side top-k selection, as in Rodinia.
+		idx := make([]int, w.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return f32(w.dists, idx[a]) < f32(w.dists, idx[b]) })
+		k := nnK
+		if k > w.n {
+			k = w.n
+		}
+		w.nearest = idx[:k]
+	}
+	return nil
+}
+
+// Check implements Workload: verify distances and the k-minimum set.
+func (w *NN) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	type cand struct {
+		i int
+		d float32
+	}
+	all := make([]cand, w.n)
+	for i := 0; i < w.n; i++ {
+		dLat := f32(w.records, 2*i) - w.lat
+		dLng := f32(w.records, 2*i+1) - w.lng
+		want := float32(math.Sqrt(float64(dLat*dLat + dLng*dLng)))
+		if !approxEqual(f32(w.dists, i), want, 1e-5) {
+			return fmt.Errorf("workloads: nn dist[%d] = %g, want %g", i, f32(w.dists, i), want)
+		}
+		all[i] = cand{i, want}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	for rank, got := range w.nearest {
+		if all[rank].d != f32(w.dists, got) {
+			return fmt.Errorf("workloads: nn rank %d: got idx %d (d=%g), want d=%g",
+				rank, got, f32(w.dists, got), all[rank].d)
+		}
+	}
+	return nil
+}
+
+// --- Pathfinder (PF) ---------------------------------------------------------
+//
+// Bottom-up dynamic program over a cost grid; each kernel launch
+// processes pfHeight rows (the Rodinia "pyramid" optimization), so the
+// paper's 8192x8192 grid takes ~410 launches. Table 5: 256 MB in, 32 KB
+// out.
+
+const (
+	pfPaperRows = 8192
+	pfPaperCols = 8192
+	pfHeight    = 20
+)
+
+// PF is the Rodinia pathfinder workload.
+type PF struct {
+	rows, cols int
+	synthetic  bool
+	grid       []byte // rows*cols int32
+	result     []byte // cols int32
+}
+
+// NewPF builds a functional instance.
+func NewPF(rows, cols int) *PF { return newPF(rows, cols, false) }
+
+// PaperPF is the Table 5 instance (synthetic).
+func PaperPF() *PF { return newPF(pfPaperRows, pfPaperCols, true) }
+
+func newPF(rows, cols int, synthetic bool) *PF {
+	w := &PF{rows: rows, cols: cols, synthetic: synthetic}
+	if !synthetic {
+		w.grid = make([]byte, 4*rows*cols)
+		w.result = make([]byte, 4*cols)
+		r := lcg(3)
+		for i := 0; i < rows*cols; i++ {
+			putI32(w.grid, i, int32(r.next()%10))
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *PF) Spec() Spec {
+	return Spec{
+		Name:      "pf",
+		HtoDBytes: int64(4) * int64(w.rows) * int64(w.cols),
+		DtoHBytes: int64(4 * w.cols),
+		Problem:   fmt.Sprintf("%dx%d points", w.rows, w.cols),
+	}
+}
+
+// Kernels implements Workload.
+func (w *PF) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		cols := float64(p[3])
+		height := float64(p[5])
+		frac := cols * height / (pfPaperCols * pfPaperRows)
+		return cm.ComputeTime(pfComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac)
+	}
+	return []*gpu.Kernel{{
+		Name: "pf_rows",
+		Cost: cost,
+		Run: func(e *gpu.ExecContext) error {
+			gridPtr, curPtr, rows, cols, rowStart, height := e.Params[0], e.Params[1],
+				e.Params[2], e.Params[3], e.Params[4], e.Params[5]
+			grid, err := e.Mem(gridPtr, 4*rows*cols)
+			if err != nil {
+				return err
+			}
+			cur, err := e.Mem(curPtr, 4*cols)
+			if err != nil {
+				return err
+			}
+			next := make([]int32, cols)
+			for rr := rowStart; rr < rowStart+height && rr < rows; rr++ {
+				for j := uint64(0); j < cols; j++ {
+					best := i32(cur, int(j))
+					if j > 0 {
+						if v := i32(cur, int(j-1)); v < best {
+							best = v
+						}
+					}
+					if j+1 < cols {
+						if v := i32(cur, int(j+1)); v < best {
+							best = v
+						}
+					}
+					next[j] = best + i32(grid, int(rr*cols+j))
+				}
+				for j := uint64(0); j < cols; j++ {
+					putI32(cur, int(j), next[j])
+				}
+			}
+			return nil
+		},
+	}}
+}
+
+// Run implements Workload.
+func (w *PF) Run(r Runner) error {
+	rows, cols := uint64(w.rows), uint64(w.cols)
+	gridPtr, err := r.MemAlloc(4 * rows * cols)
+	if err != nil {
+		return err
+	}
+	curPtr, err := r.MemAlloc(4 * cols)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(gridPtr, w.grid, 4*int(rows*cols)); err != nil {
+		return err
+	}
+	// Row 0 seeds the DP.
+	var row0 []byte
+	if !w.synthetic {
+		row0 = w.grid[:4*cols]
+	}
+	if err := r.MemcpyHtoD(curPtr, row0, 4*int(cols)); err != nil {
+		return err
+	}
+	for row := uint64(1); row < rows; row += pfHeight {
+		if err := r.Launch("pf_rows", params(gridPtr, curPtr, rows, cols, row, pfHeight)); err != nil {
+			return err
+		}
+	}
+	return r.MemcpyDtoH(w.result, curPtr, 4*int(cols))
+}
+
+// Check implements Workload: compare with the host DP.
+func (w *PF) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	cols := w.cols
+	cur := make([]int32, cols)
+	for j := 0; j < cols; j++ {
+		cur[j] = i32(w.grid, j)
+	}
+	next := make([]int32, cols)
+	for rr := 1; rr < w.rows; rr++ {
+		for j := 0; j < cols; j++ {
+			best := cur[j]
+			if j > 0 && cur[j-1] < best {
+				best = cur[j-1]
+			}
+			if j+1 < cols && cur[j+1] < best {
+				best = cur[j+1]
+			}
+			next[j] = best + i32(w.grid, rr*cols+j)
+		}
+		cur, next = next, cur
+	}
+	for j := 0; j < cols; j++ {
+		if got := i32(w.result, j); got != cur[j] {
+			return fmt.Errorf("workloads: pf result[%d] = %d, want %d", j, got, cur[j])
+		}
+	}
+	return nil
+}
+
+// --- SRAD ---------------------------------------------------------------------
+//
+// Speckle-reducing anisotropic diffusion over an image: two kernels per
+// iteration (diffusion-coefficient computation, then the update). Paper
+// problem: 3096x2048 points, ~24 MB each way.
+
+const (
+	sradPaperRows = 3096
+	sradPaperCols = 2048
+	sradIters     = 4
+	sradLambda    = 0.5
+)
+
+// SRAD is the Rodinia SRAD workload.
+type SRAD struct {
+	rows, cols int
+	synthetic  bool
+	img        []byte // rows*cols float32 (in place)
+}
+
+// NewSRAD builds a functional instance.
+func NewSRAD(rows, cols int) *SRAD { return newSRAD(rows, cols, false) }
+
+// PaperSRAD is the Table 5 instance (synthetic).
+func PaperSRAD() *SRAD { return newSRAD(sradPaperRows, sradPaperCols, true) }
+
+func newSRAD(rows, cols int, synthetic bool) *SRAD {
+	w := &SRAD{rows: rows, cols: cols, synthetic: synthetic}
+	if !synthetic {
+		w.img = make([]byte, 4*rows*cols)
+		r := lcg(21)
+		for i := 0; i < rows*cols; i++ {
+			putF32(w.img, i, 1+r.float())
+		}
+	}
+	return w
+}
+
+// Spec implements Workload.
+func (w *SRAD) Spec() Spec {
+	nn := int64(4) * int64(w.rows) * int64(w.cols)
+	return Spec{
+		Name:      "srad",
+		HtoDBytes: nn,
+		DtoHBytes: nn,
+		Problem:   fmt.Sprintf("%dx%d points", w.rows, w.cols),
+	}
+}
+
+// sradPass runs one full iteration (coefficients + update) on a host or
+// device float image.
+func sradPass(img, coeff []byte, rows, cols int) {
+	at := func(b []byte, i, j int) float32 {
+		if i < 0 {
+			i = 0
+		}
+		if i >= rows {
+			i = rows - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		if j >= cols {
+			j = cols - 1
+		}
+		return f32(b, i*cols+j)
+	}
+	// Kernel 1: diffusion coefficients from local statistics.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			c := at(img, i, j)
+			dN := at(img, i-1, j) - c
+			dS := at(img, i+1, j) - c
+			dW := at(img, i, j-1) - c
+			dE := at(img, i, j+1) - c
+			g2 := (dN*dN + dS*dS + dW*dW + dE*dE) / (c*c + 1e-6)
+			l := (dN + dS + dW + dE) / (c + 1e-6)
+			num := 0.5*g2 - 0.0625*l*l
+			den := 1 + 0.25*l
+			q := num / (den*den + 1e-6)
+			cf := 1 / (1 + q)
+			if cf < 0 {
+				cf = 0
+			}
+			if cf > 1 {
+				cf = 1
+			}
+			putF32(coeff, i*cols+j, cf)
+		}
+	}
+	// Kernel 2: divergence update.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			c := at(img, i, j)
+			cN := at(coeff, i, j)
+			cS := at(coeff, i+1, j)
+			cW := at(coeff, i, j)
+			cE := at(coeff, i, j+1)
+			d := cN*(at(img, i-1, j)-c) + cS*(at(img, i+1, j)-c) +
+				cW*(at(img, i, j-1)-c) + cE*(at(img, i, j+1)-c)
+			putF32(img, i*cols+j, c+sradLambda*0.25*d)
+		}
+	}
+}
+
+// Kernels implements Workload. The two real kernels are fused into the
+// device-side pair below; each is charged half the per-iteration budget.
+func (w *SRAD) Kernels() []*gpu.Kernel {
+	cost := func(cm sim.CostModel, p [gpu.NumKernelParams]uint64) sim.Duration {
+		rows, cols := float64(p[2]), float64(p[3])
+		frac := rows * cols / (sradPaperRows * sradPaperCols)
+		return cm.ComputeTime(sradComputeNS / 1e9 * cm.GPUComputeOpsPerSec * frac / (2 * sradIters))
+	}
+	return []*gpu.Kernel{
+		{
+			Name: "srad1",
+			Cost: cost,
+			Run:  func(e *gpu.ExecContext) error { return nil }, // fused into srad2
+		},
+		{
+			Name: "srad2",
+			Cost: cost,
+			Run: func(e *gpu.ExecContext) error {
+				imgPtr, cPtr, rows, cols := e.Params[0], e.Params[1], e.Params[2], e.Params[3]
+				img, err := e.Mem(imgPtr, 4*rows*cols)
+				if err != nil {
+					return err
+				}
+				coeff, err := e.Mem(cPtr, 4*rows*cols)
+				if err != nil {
+					return err
+				}
+				sradPass(img, coeff, int(rows), int(cols))
+				return nil
+			},
+		},
+	}
+}
+
+// Run implements Workload.
+func (w *SRAD) Run(r Runner) error {
+	rows, cols := uint64(w.rows), uint64(w.cols)
+	nn := 4 * rows * cols
+	imgPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	cPtr, err := r.MemAlloc(nn)
+	if err != nil {
+		return err
+	}
+	if err := r.MemcpyHtoD(imgPtr, w.img, int(nn)); err != nil {
+		return err
+	}
+	for it := 0; it < sradIters; it++ {
+		if err := r.Launch("srad1", params(imgPtr, cPtr, rows, cols)); err != nil {
+			return err
+		}
+		if err := r.Launch("srad2", params(imgPtr, cPtr, rows, cols)); err != nil {
+			return err
+		}
+	}
+	return r.MemcpyDtoH(w.img, imgPtr, int(nn))
+}
+
+// Check implements Workload: rerun the diffusion on the host.
+func (w *SRAD) Check() error {
+	if w.synthetic {
+		return ErrNotFunctional
+	}
+	rows, cols := w.rows, w.cols
+	img := make([]byte, 4*rows*cols)
+	coeff := make([]byte, 4*rows*cols)
+	r := lcg(21)
+	for i := 0; i < rows*cols; i++ {
+		putF32(img, i, 1+r.float())
+	}
+	for it := 0; it < sradIters; it++ {
+		sradPass(img, coeff, rows, cols)
+	}
+	for i := 0; i < rows*cols; i++ {
+		if !approxEqual(f32(w.img, i), f32(img, i), 1e-4) {
+			return fmt.Errorf("workloads: srad img[%d] = %g, want %g", i, f32(w.img, i), f32(img, i))
+		}
+	}
+	return nil
+}
+
+// PaperRodinia returns the nine Table 5 applications at paper scale
+// (synthetic, timing-only).
+func PaperRodinia() []Workload {
+	return []Workload{
+		PaperBP(), PaperBFS(), PaperGS(), PaperHS(), PaperLUD(),
+		PaperNW(), PaperNN(), PaperPF(), PaperSRAD(),
+	}
+}
+
+// FunctionalRodinia returns reduced-size functional instances of all nine
+// applications (used by tests and examples).
+func FunctionalRodinia() []Workload {
+	return []Workload{
+		NewBP(512), NewBFS(600), NewGS(48), NewHS(32), NewLUD(48),
+		NewNW(64), NewNN(300), NewPF(40, 60), NewSRAD(24, 32),
+	}
+}

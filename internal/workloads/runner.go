@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"repro/internal/gdev"
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+)
+
+// GdevRunner adapts a baseline Gdev task to the Runner interface.
+type GdevRunner struct{ Task *gdev.Task }
+
+var _ Runner = GdevRunner{}
+
+// MemAlloc implements Runner.
+func (r GdevRunner) MemAlloc(size uint64) (uint64, error) {
+	p, err := r.Task.MemAlloc(size)
+	return uint64(p), err
+}
+
+// MemFree implements Runner.
+func (r GdevRunner) MemFree(ptr uint64) error { return r.Task.MemFree(gdev.GPUPtr(ptr)) }
+
+// MemcpyHtoD implements Runner.
+func (r GdevRunner) MemcpyHtoD(dst uint64, data []byte, logicalLen int) error {
+	return r.Task.MemcpyHtoD(gdev.GPUPtr(dst), data, logicalLen)
+}
+
+// MemcpyDtoH implements Runner.
+func (r GdevRunner) MemcpyDtoH(out []byte, src uint64, logicalLen int) error {
+	return r.Task.MemcpyDtoH(out, gdev.GPUPtr(src), logicalLen)
+}
+
+// Launch implements Runner.
+func (r GdevRunner) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	return r.Task.Launch(kernel, params)
+}
+
+// HIXRunner adapts a secure HIX session to the Runner interface.
+type HIXRunner struct{ Session *hixrt.Session }
+
+var _ Runner = HIXRunner{}
+
+// MemAlloc implements Runner.
+func (r HIXRunner) MemAlloc(size uint64) (uint64, error) {
+	p, err := r.Session.MemAlloc(size)
+	return uint64(p), err
+}
+
+// MemFree implements Runner.
+func (r HIXRunner) MemFree(ptr uint64) error { return r.Session.MemFree(hixrt.Ptr(ptr)) }
+
+// MemcpyHtoD implements Runner.
+func (r HIXRunner) MemcpyHtoD(dst uint64, data []byte, logicalLen int) error {
+	return r.Session.MemcpyHtoD(hixrt.Ptr(dst), data, logicalLen)
+}
+
+// MemcpyDtoH implements Runner.
+func (r HIXRunner) MemcpyDtoH(out []byte, src uint64, logicalLen int) error {
+	return r.Session.MemcpyDtoH(out, hixrt.Ptr(src), logicalLen)
+}
+
+// Launch implements Runner.
+func (r HIXRunner) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	return r.Session.Launch(kernel, params)
+}

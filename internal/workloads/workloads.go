@@ -1,0 +1,95 @@
+// Package workloads implements the evaluation workloads of the paper:
+// the integer matrix addition/multiplication microbenchmarks (Table 4,
+// Figure 6) and nine applications from the Rodinia benchmark suite
+// (Table 5, Figures 7–9), each as a GPU-kernel program driven through
+// the runtime API.
+//
+// Every workload has two facets:
+//
+//   - a functional implementation: real algorithms over real bytes in
+//     simulated device memory, verified by tests at reduced problem
+//     sizes; and
+//   - a timing model: per-kernel Cost functions calibrated (see
+//     calibration.go) so that paper-scale runs reproduce the relative
+//     shapes of the paper's figures.
+//
+// Paper-scale runs use synthetic payloads (timing-only) because, e.g.,
+// an 11264x11264 integer matrix multiplication is ~1.4 terra-ops — real
+// execution is neither feasible nor needed for the timing results.
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Runner abstracts the two runtimes a workload can execute on: the
+// baseline Gdev task and the HIX secure session. Pointers are raw device
+// addresses.
+type Runner interface {
+	MemAlloc(size uint64) (uint64, error)
+	MemFree(ptr uint64) error
+	MemcpyHtoD(dst uint64, data []byte, logicalLen int) error
+	MemcpyDtoH(out []byte, src uint64, logicalLen int) error
+	Launch(kernel string, params [gpu.NumKernelParams]uint64) error
+}
+
+// Spec describes a workload for the harness and the Table 4/5 output.
+type Spec struct {
+	Name      string
+	HtoDBytes int64
+	DtoHBytes int64
+	Problem   string
+}
+
+// Workload is a runnable benchmark application.
+type Workload interface {
+	// Spec reports the workload's identity and transfer volumes.
+	Spec() Spec
+	// Kernels returns the GPU kernels the workload needs registered.
+	Kernels() []*gpu.Kernel
+	// Run drives the workload through the runner.
+	Run(r Runner) error
+	// Check verifies functional results after Run; it returns
+	// ErrNotFunctional for synthetic (timing-only) instances.
+	Check() error
+}
+
+// ErrNotFunctional is returned by Check on synthetic instances.
+var ErrNotFunctional = errors.New("workloads: synthetic instance has no functional result")
+
+// params packs kernel launch parameters.
+func params(vs ...uint64) [gpu.NumKernelParams]uint64 {
+	var p [gpu.NumKernelParams]uint64
+	copy(p[:], vs)
+	return p
+}
+
+// approxEqual compares float32 results with tolerance.
+func approxEqual(a, b, eps float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	}
+	if -b > m {
+		m = -b
+	}
+	return d <= eps*(1+m)
+}
+
+// checkLen validates buffer geometry inside kernels.
+func checkLen(name string, got, want int) error {
+	if got != want {
+		return fmt.Errorf("workloads: %s buffer %d != %d", name, got, want)
+	}
+	return nil
+}

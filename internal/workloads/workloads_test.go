@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/gdev"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+)
+
+func newMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes:    384 << 20,
+		EPCBytes:     16 << 20,
+		VRAMBytes:    128 << 20,
+		Channels:     8,
+		PlatformSeed: "workloads-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// gdevRunnerFor builds a baseline runner with the workload's kernels
+// registered.
+func gdevRunnerFor(t *testing.T, w Workload) (Runner, func()) {
+	t.Helper()
+	m := newMachine(t)
+	d, err := gdev.Open(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range w.Kernels() {
+		if err := d.RegisterKernel(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	task, err := d.NewTask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GdevRunner{Task: task}, func() { task.Close() }
+}
+
+// hixRunnerFor builds a secure runner with the workload's kernels
+// registered.
+func hixRunnerFor(t *testing.T, w Workload) (Runner, func()) {
+	t.Helper()
+	m := newMachine(t)
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range w.Kernels() {
+		if err := ge.RegisterKernel(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := hixrt.NewClient(m, ge, vendor.PublicKey(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return HIXRunner{Session: s}, func() { s.Close() }
+}
+
+// functionalInstances builds fresh reduced-size instances; sizes are kept
+// small enough that the full matrix of (workload x runtime) stays fast.
+func functionalInstances() []Workload {
+	return []Workload{
+		NewMatrixAdd(48),
+		NewMatrixMul(24),
+		NewBP(256),
+		NewBFS(400),
+		NewGS(32),
+		NewHS(16),
+		NewLUD(32),
+		NewNW(32),
+		NewNN(200),
+		NewPF(24, 40),
+		NewSRAD(16, 24),
+	}
+}
+
+func TestFunctionalOnGdev(t *testing.T) {
+	for _, w := range functionalInstances() {
+		w := w
+		t.Run(w.Spec().Name, func(t *testing.T) {
+			r, done := gdevRunnerFor(t, w)
+			defer done()
+			if err := w.Run(r); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := w.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+func TestFunctionalOnHIX(t *testing.T) {
+	for _, w := range functionalInstances() {
+		w := w
+		t.Run(w.Spec().Name, func(t *testing.T) {
+			r, done := hixRunnerFor(t, w)
+			defer done()
+			if err := w.Run(r); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := w.Check(); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+		})
+	}
+}
+
+func TestPaperSpecsMatchTable5(t *testing.T) {
+	// Transfer volumes of the paper-scale instances must match Table 5
+	// within 10% (buffer layouts are reconstructed, not copied from the
+	// Rodinia sources).
+	want := map[string][2]float64{ // MB HtoD, MB DtoH
+		"bp":   {117.0, 42.75},
+		"bfs":  {45.78, 3.81},
+		"gs":   {32.00, 32.00},
+		"hs":   {8.00, 4.00},
+		"lud":  {16.00, 16.00},
+		"nw":   {128.1, 64.03},
+		"nn":   {0.3263, 0.1631},
+		"pf":   {256.0, 0.03125},
+		"srad": {24.23, 24.19},
+	}
+	const mb = 1 << 20
+	for _, w := range PaperRodinia() {
+		sp := w.Spec()
+		exp, ok := want[sp.Name]
+		if !ok {
+			t.Fatalf("unexpected workload %q", sp.Name)
+		}
+		htod := float64(sp.HtoDBytes) / mb
+		dtoh := float64(sp.DtoHBytes) / mb
+		for i, pair := range [][2]float64{{htod, exp[0]}, {dtoh, exp[1]}} {
+			got, wantV := pair[0], pair[1]
+			if got < wantV*0.88 || got > wantV*1.12 {
+				t.Errorf("%s volume[%d] = %.3f MB, paper %.3f MB", sp.Name, i, got, wantV)
+			}
+		}
+	}
+}
+
+func TestTable4MatrixVolumes(t *testing.T) {
+	// Table 4 exactly: 2048 -> 32/16 MB ... 11264 -> 968/484 MB.
+	want := map[int][2]int64{
+		2048:  {32 << 20, 16 << 20},
+		4096:  {128 << 20, 64 << 20},
+		8192:  {512 << 20, 256 << 20},
+		11264: {968 << 20, 484 << 20},
+	}
+	for _, n := range PaperMatrixSizes {
+		w := NewMatrixSynthetic(n, false)
+		sp := w.Spec()
+		if sp.HtoDBytes != want[n][0] || sp.DtoHBytes != want[n][1] {
+			t.Errorf("matrix %d: %d/%d bytes, want %d/%d",
+				n, sp.HtoDBytes, sp.DtoHBytes, want[n][0], want[n][1])
+		}
+	}
+}
+
+func TestSyntheticCheckReturnsNotFunctional(t *testing.T) {
+	for _, w := range PaperRodinia() {
+		if err := w.Check(); !errors.Is(err, ErrNotFunctional) {
+			t.Errorf("%s synthetic Check = %v", w.Spec().Name, err)
+		}
+	}
+	if err := NewMatrixSynthetic(64, true).Check(); !errors.Is(err, ErrNotFunctional) {
+		t.Error("synthetic matrix Check")
+	}
+}
+
+func TestFunctionalRodiniaList(t *testing.T) {
+	ws := FunctionalRodinia()
+	if len(ws) != 9 {
+		t.Fatalf("FunctionalRodinia has %d entries", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		name := w.Spec().Name
+		if seen[name] {
+			t.Fatalf("duplicate workload %q", name)
+		}
+		seen[name] = true
+		if len(w.Kernels()) == 0 {
+			t.Fatalf("%s has no kernels", name)
+		}
+	}
+}
+
+func TestMatrixCheckCatchesCorruption(t *testing.T) {
+	w := NewMatrixAdd(8)
+	r, done := gdevRunnerFor(t, w)
+	defer done()
+	if err := w.Run(r); err != nil {
+		t.Fatal(err)
+	}
+	w.c[5] ^= 0xFF
+	if err := w.Check(); err == nil {
+		t.Fatal("corrupted result passed Check")
+	}
+}
