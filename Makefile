@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent paths introduced by the wide data path:
+# the OCB package (shared AEAD across goroutines, BufPool) and the
+# hixrt windowed transfer machinery. The full suite is not run under
+# -race because TestMultiUserDeterminism has a pre-existing flake
+# (gap-filling timeline placement is sensitive to goroutine arrival
+# order); see EXPERIMENTS.md.
+race:
+	$(GO) test -race -count=1 ./internal/ocb/
+	$(GO) test -race -count=1 ./internal/hixrt/ -run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation'
+
+# Short benchmark run; scripts/check.sh turns the same run into
+# BENCH_pr1.json.
+bench:
+	$(GO) test -run '^$$' -bench 'MemcpyHtoD|MemcpyDtoH' -benchtime 3x -benchmem .
+	$(GO) test -run '^$$' -bench 'OCBSealInto|OCBOpenInto' -benchmem ./internal/ocb/
+
+check:
+	./scripts/check.sh

@@ -8,7 +8,7 @@
 //	hixbench -exp table4,fig6    # a comma-separated subset
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
-// volta, paging, breakdown.
+// volta, paging, breakdown, datapath.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -62,6 +62,9 @@ func main() {
 	}
 	if run("breakdown") {
 		ok = breakdown() && ok
+	}
+	if run("datapath") {
+		ok = datapath() && ok
 	}
 	if !ok {
 		os.Exit(1)

@@ -236,6 +236,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			d.writeElementResponse(findChannel(d, ch), out)
 		} else {
 			d.keys[slot] = attest.SessionKey(out)
+			delete(d.aeads, slot) // new key: drop any cached schedule
 		}
 		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "dh-mix", ready, d.cm.GPUDHOpTime)
 		return StatusOK, done
@@ -275,19 +276,33 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		}
 		ready = d.switchContext(ctx.id, ready)
 		if flags&FlagSynthetic == 0 {
-			aead, err := ocb.New(key[:])
-			if err != nil {
+			// The OCB key schedule (AES expansion + the L-mask table) is
+			// derived once per key slot, not per chunk: the crypto kernels
+			// run on every chunk of every transfer.
+			aead, ok := d.aeads[slot]
+			if !ok {
+				var err error
+				aead, err = ocb.New(key[:])
+				if err != nil {
+					return StatusBadCommand, ready
+				}
+				d.aeads[slot] = aead
+			}
+			// The Into paths write straight into VRAM with no staging
+			// allocation. src and dst spans are either identical (in-place)
+			// or disjoint — the enclave stages through its own ring — but a
+			// malformed command could still ask for a partial overlap, which
+			// the Into APIs reject by panicking; refuse it here instead.
+			if dst != src && rangesOverlap(src, srcSpan, dst, dstSpan) {
 				return StatusBadCommand, ready
 			}
 			if cmd.Op == OpCryptoEncrypt {
-				ct := aead.Seal(nil, nonce, d.vram[src:src+size], nil)
-				copy(d.vram[dst:], ct)
+				aead.SealInto(d.vram[dst:dst+dstSpan], nonce, d.vram[src:src+size], nil)
 			} else {
-				pt, err := aead.Open(nil, nonce, d.vram[src:src+size], nil)
+				pt, err := aead.OpenInto(d.vram[dst:dst+dstSpan], nonce, d.vram[src:src+size], nil)
 				if err != nil {
 					return StatusAuthFailed, ready
 				}
-				copy(d.vram[dst:], pt)
 				if dst == src {
 					// In-place: scrub the stale tag bytes.
 					for i := dst + uint64(len(pt)); i < dst+size; i++ {
@@ -307,6 +322,12 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 	default:
 		return StatusBadCommand, ready
 	}
+}
+
+// rangesOverlap reports whether the VRAM extents [a, a+an) and [b, b+bn)
+// intersect.
+func rangesOverlap(a, an, b, bn uint64) bool {
+	return a < b+bn && b < a+an
 }
 
 // boundContext resolves the channel's bound context.

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/attest"
+	"repro/internal/ocb"
 	"repro/internal/pcie"
 	"repro/internal/sim"
 )
@@ -93,6 +94,7 @@ type Device struct {
 	contexts map[uint32]*gpuContext
 	current  uint32 // context owning the compute engine
 	keys     map[uint32][attest.SessionKeySize]byte
+	aeads    map[uint32]*ocb.AEAD // per-slot OCB instance derived from keys
 	dh       map[uint32]*attest.DHParty
 	kernels  map[string]*Kernel
 
@@ -156,6 +158,7 @@ func New(cfg Config) (*Device, error) {
 		vram:     make([]byte, cfg.VRAMBytes),
 		contexts: make(map[uint32]*gpuContext),
 		keys:     make(map[uint32][attest.SessionKeySize]byte),
+		aeads:    make(map[uint32]*ocb.AEAD),
 		dh:       make(map[uint32]*attest.DHParty),
 		kernels:  make(map[string]*Kernel),
 		tl:       cfg.Timeline,
@@ -265,6 +268,7 @@ func (d *Device) reset() {
 	}
 	d.contexts = make(map[uint32]*gpuContext)
 	d.keys = make(map[uint32][attest.SessionKeySize]byte)
+	d.aeads = make(map[uint32]*ocb.AEAD)
 	d.dh = make(map[uint32]*attest.DHParty)
 	d.current = 0
 	d.ctxSwitches = 0

@@ -64,6 +64,12 @@ type Config struct {
 	// SessionSegmentBytes sizes each session's inter-enclave shared
 	// segment (default 32 MiB).
 	SessionSegmentBytes uint64
+	// StagingSlots sets how many chunk-sized slots each session's in-VRAM
+	// staging ring holds (default 2, the classic double buffer). Clients
+	// using a wider request window (hixrt Session.WindowSlots) need at
+	// least as many slots here so a window of in-flight chunks never
+	// overwrites a slot whose DMA or crypto is still pending.
+	StagingSlots int
 	// GPU selects which GPU this enclave claims on a multi-GPU machine
 	// (zero value = the primary GPU). One GPU enclave exists per GPU;
 	// PCIe peer-to-peer between them is out of scope (§5.6).
@@ -90,7 +96,8 @@ type Enclave struct {
 	routeMeasure attest.Measurement
 	endorsement  attest.Endorsement
 
-	segBytes uint64
+	segBytes     uint64
+	stagingSlots uint64
 
 	mu          sync.Mutex
 	sessions    map[uint32]*session
@@ -118,11 +125,13 @@ type session struct {
 	active bool
 
 	// staging is the in-VRAM ciphertext landing zone for the
-	// single-copy path (§4.4.2), split into two slots so successive
-	// chunks double-buffer.
-	staging     uint64
-	stagingSize uint64
-	stagingTurn uint64
+	// single-copy path (§4.4.2), split into stagingSlots slots used
+	// round-robin; two slots double-buffer, more form the ring backing
+	// the client's batched request window.
+	staging      uint64
+	stagingSize  uint64
+	stagingSlots uint64
+	stagingTurn  uint64
 
 	// Directed meta-channel nonce sequences; the receiver's counter
 	// advances in lockstep, so replay or reorder fails authentication.
@@ -180,6 +189,9 @@ func Launch(cfg Config) (*Enclave, error) {
 	if cfg.SessionSegmentBytes == 0 {
 		cfg.SessionSegmentBytes = 32 << 20
 	}
+	if cfg.StagingSlots < 2 {
+		cfg.StagingSlots = 2
+	}
 
 	bdf := cfg.GPU
 	if (bdf == pcie.BDF{}) {
@@ -193,10 +205,11 @@ func Launch(cfg Config) (*Enclave, error) {
 		m:        m,
 		gpu:      dev,
 		gpuBDF:   bdf,
-		vendor:   cfg.Vendor,
-		segBytes: cfg.SessionSegmentBytes,
-		sessions: make(map[uint32]*session),
-		channels: make(map[int]bool),
+		vendor:       cfg.Vendor,
+		segBytes:     cfg.SessionSegmentBytes,
+		stagingSlots: uint64(cfg.StagingSlots),
+		sessions:     make(map[uint32]*session),
+		channels:     make(map[int]bool),
 	}
 	e.proc = m.OS.NewProcess()
 
@@ -522,7 +535,8 @@ func (e *Enclave) HandleFinish(f HelloFinish) error {
 	if err != nil || st.Err() != nil {
 		return firstErr(err, st.Err())
 	}
-	s.stagingSize = 2 * (uint64(e.core.Cost().CryptoChunk) + ocb.TagSize)
+	s.stagingSlots = e.stagingSlots
+	s.stagingSize = s.stagingSlots * (uint64(e.core.Cost().CryptoChunk) + ocb.TagSize)
 	s.staging, err = e.core.AllocVRAM(s.stagingSize)
 	if err != nil {
 		return err

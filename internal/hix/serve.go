@@ -156,14 +156,24 @@ func (e *Enclave) dispatch(s *session, req Request, now sim.Time) Response {
 }
 
 // slotSize is the capacity of one in-VRAM staging slot.
-func (s *session) slotSize() uint64 { return s.stagingSize / 2 }
+func (s *session) slotSize() uint64 {
+	slots := s.stagingSlots
+	if slots == 0 {
+		slots = 2
+	}
+	return s.stagingSize / slots
+}
 
-// nextStagingSlot alternates between the two halves of the session's
-// in-VRAM staging buffer, so an in-flight DMA never races the decryption
-// of the previous chunk (mirroring the user side's double-buffered
-// shared-memory slots).
+// nextStagingSlot rotates through the session's in-VRAM staging ring, so
+// an in-flight DMA never races the crypto of another outstanding chunk
+// (mirroring the user side's slotted shared-memory window). With the
+// default two slots this is the classic double buffer.
 func (s *session) nextStagingSlot() uint64 {
-	slot := s.staging + (s.stagingTurn%2)*s.slotSize()
+	slots := s.stagingSlots
+	if slots == 0 {
+		slots = 2
+	}
+	slot := s.staging + (s.stagingTurn%slots)*s.slotSize()
 	s.stagingTurn++
 	return slot
 }

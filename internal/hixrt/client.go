@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/attest"
 	"repro/internal/gpu"
@@ -43,6 +46,11 @@ type Client struct {
 	measure   attest.Measurement
 	tok       *sgx.Token
 	vendorPub ed25519.PublicKey
+
+	// Workers is the default chunk-crypto worker count inherited by
+	// sessions this client opens (see Session.Workers). Zero means
+	// GOMAXPROCS.
+	Workers int
 }
 
 // NewClient creates the application process and its user enclave. appImage
@@ -153,7 +161,23 @@ type Session struct {
 	// NoPipeline disables the §5.2 encrypt/transfer overlap, fully
 	// serializing chunk processing (ablation benchmarks only).
 	NoPipeline bool
-	Hooks      Hooks
+	// Workers bounds the goroutine pool that Seals/Opens data chunks
+	// concurrently on real CPU cores. Zero inherits Client.Workers; both
+	// zero means GOMAXPROCS. Chunk nonces are pre-assigned per chunk
+	// index and results commit in order, so the wire protocol, the
+	// replay-protection semantics, and (for a fixed WindowSlots) the
+	// simulated timeline are identical for every worker count.
+	Workers int
+	// WindowSlots is the number of shared-segment slots the data path
+	// cycles through, i.e. how many chunk requests are enqueued before
+	// responses are drained. The default 2 keeps the classic
+	// double-buffered one-request-per-wakeup path; values above 2 batch
+	// a window of requests so the GPU enclave's Serve() processes a
+	// batch per wakeup. The GPU enclave should be launched with a
+	// matching in-VRAM staging ring (hix.Config.StagingSlots) so the
+	// modeled DMA/crypto overlap has a slot per in-flight chunk.
+	WindowSlots int
+	Hooks       Hooks
 
 	allocs map[Ptr]uint64
 	closed bool
@@ -307,16 +331,8 @@ type reply struct {
 }
 
 func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
-	if s.closed {
-		return reply{}, ErrClosed
-	}
-	tl := s.c.m.Timeline
-	cm := s.c.m.Cost
-	body := req.Encode()
-	_, submit = tl.AcquireLabeled(s.cpuRes, "meta-seal", submit, cm.CPUCryptoTime(len(body)))
-	ct := s.aead.Seal(nil, s.userMeta.Next(), body, nil)
-	env := hix.Envelope{SessionID: s.id, SubmitNS: int64(submit), Body: ct}
-	if err := s.c.m.OS.MQSend(s.reqQ, env.Encode()); err != nil {
+	submit, err := s.sendRequest(req, submit)
+	if err != nil {
 		return reply{}, err
 	}
 	if s.Hooks.BeforeServe != nil {
@@ -325,6 +341,38 @@ func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
 	if err := s.c.ge.Serve(); err != nil {
 		return reply{}, err
 	}
+	return s.recvReply(submit)
+}
+
+// sendRequest seals one request under the user->GE meta channel and
+// enqueues it on the OS message queue without waking the GPU enclave,
+// so callers can batch a window of requests per Serve(). It returns the
+// flow instant after the metadata seal, which recvReply needs to account
+// the IPC round trip.
+func (s *Session) sendRequest(req hix.Request, submit sim.Time) (sim.Time, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	body := req.Encode()
+	_, submit = tl.AcquireLabeled(s.cpuRes, "meta-seal", submit, cm.CPUCryptoTime(len(body)))
+	ct := s.aead.Seal(nil, s.userMeta.Next(), body, nil)
+	env := hix.Envelope{SessionID: s.id, SubmitNS: int64(submit), Body: ct}
+	if err := s.c.m.OS.MQSend(s.reqQ, env.Encode()); err != nil {
+		return 0, err
+	}
+	return submit, nil
+}
+
+// recvReply dequeues and opens one response from the GE->user meta
+// channel. Responses arrive in request order (the GPU enclave drains the
+// request queue FIFO and the nonce counters advance in lockstep), so a
+// batched sender calls recvReply once per outstanding sendRequest, in
+// order.
+func (s *Session) recvReply(submit sim.Time) (reply, error) {
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
 	msg, err := s.c.m.OS.MQRecv(s.respQ)
 	if err != nil {
 		return reply{}, err
@@ -345,6 +393,60 @@ func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
 	done := sim.Max(submit, sim.Time(resp.CompleteNS))
 	_, done = tl.AcquireLabeled(s.cpuRes, "ipc", done, cm.IPCRoundTrip)
 	return reply{Response: resp, doneAt: done}, nil
+}
+
+// workerCount resolves the session's effective crypto worker count.
+func (s *Session) workerCount() int {
+	w := s.Workers
+	if w == 0 {
+		w = s.c.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// windowSlots resolves the session's effective shared-segment slot count.
+func (s *Session) windowSlots() int {
+	k := s.WindowSlots
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// runParallel runs fn(i) for each i in [0, n) across at most workers
+// goroutines. This is the client-side crypto worker pool of the wide data
+// path: chunk Seal/Open calls are independent (per-chunk counter nonces,
+// stack-local AEAD state), so they scale across real CPU cores. With one
+// worker it degenerates to a plain loop on the caller's goroutine.
+func runParallel(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // MemAlloc allocates device memory (cuMemAlloc).

@@ -11,8 +11,22 @@ import (
 // The data path implements §4.4.2/§4.4.3 with the §5.2 pipeline: large
 // copies are split into chunks; while chunk n travels over the untrusted
 // path, chunk n+1 is already being encrypted (HtoD) or the previous
-// chunk is being decrypted (DtoH). Two shared-segment slots are used as
-// a double buffer so an in-flight DMA never races the next encryption.
+// chunk is being decrypted (DtoH). The shared segment is divided into
+// WindowSlots slots (default 2, the classic double buffer) so an
+// in-flight DMA never races the next encryption.
+//
+// With WindowSlots > 2 the wide path activates: a window of chunk
+// requests is enqueued before any response is drained — the GPU enclave's
+// Serve() then processes the whole batch per wakeup — and the chunk
+// Seal/Open calls of each window run on the session's worker pool
+// (Workers goroutines) on real CPU cores. Counter nonces are pre-assigned
+// per chunk index and all commits happen in chunk order, so the bytes on
+// the wire and the replay-protection semantics are identical to the
+// serial path for any Workers/WindowSlots combination.
+
+// chunkBufs recycles per-chunk ciphertext staging buffers across all
+// sessions' transfers.
+var chunkBufs ocb.BufPool
 
 // dataFlags builds the per-chunk request flags.
 func (s *Session) dataFlags() uint32 {
@@ -24,10 +38,20 @@ func (s *Session) dataFlags() uint32 {
 }
 
 // chunkSpec describes the session's chunking geometry.
-func (s *Session) chunkSpec() (chunk int, slot0, slot1 uint64) {
+func (s *Session) chunkSpec() (chunk int, slotSize uint64) {
 	chunk = s.c.m.Cost.CryptoChunk
-	slotSize := uint64(chunk + ocb.TagSize)
-	return chunk, 0, slotSize
+	return chunk, uint64(chunk) + ocb.TagSize
+}
+
+// checkWindow validates that the shared segment can hold k chunk slots —
+// both directions fail cleanly on undersized segments instead of
+// corrupting overlapping slot reads and writes.
+func (s *Session) checkWindow(k int) error {
+	if avail := s.c.m.Cost.ChunkSlots(s.seg.Size, ocb.TagSize); k > avail {
+		return fmt.Errorf("hixrt: segment too small for %d-slot chunk window (%d bytes holds %d)",
+			k, s.seg.Size, avail)
+	}
+	return nil
 }
 
 // MemcpyHtoD encrypts data in the user enclave and moves it to device
@@ -44,13 +68,22 @@ func (s *Session) MemcpyHtoD(dst Ptr, data []byte, logicalLen int) error {
 	if n == 0 {
 		return nil
 	}
+	k := s.windowSlots()
+	if err := s.checkWindow(k); err != nil {
+		return err
+	}
+	if k <= 2 || s.NoPipeline {
+		return s.memcpyHtoDSerial(dst, data, n)
+	}
+	return s.memcpyHtoDWindowed(dst, data, n, k)
+}
+
+// memcpyHtoDSerial is the classic double-buffered path: one request, one
+// Serve() wakeup, one response per chunk.
+func (s *Session) memcpyHtoDSerial(dst Ptr, data []byte, n int) error {
 	tl := s.c.m.Timeline
 	cm := s.c.m.Cost
-	chunk, slot0, slot1 := s.chunkSpec()
-	slots := [2]uint64{slot0, slot1}
-	if uint64(chunk)+ocb.TagSize > s.seg.Size/2 {
-		return fmt.Errorf("hixrt: segment too small for double-buffered chunks")
-	}
+	chunk, slotSize := s.chunkSpec()
 
 	encReady := s.now
 	var last sim.Time
@@ -64,15 +97,18 @@ func (s *Session) MemcpyHtoD(dst Ptr, data []byte, logicalLen int) error {
 		_, encEnd := tl.AcquireLabeled(s.cryptoRes, "user-seal", encReady, cm.CPUCryptoTime(cl))
 		encReady = encEnd
 
-		segOff := slots[idx%2]
+		segOff := uint64(idx%2) * slotSize
 		nonce := s.dataHtoD.Next()
 		if !s.Synthetic {
-			ct := s.aead.Seal(nil, nonce, data[off:off+cl], nil)
-			if err := s.c.m.OS.ShmWritePhys(s.seg, int(segOff), ct); err != nil {
+			ct := chunkBufs.Get(cl + ocb.TagSize)
+			s.aead.SealInto(ct, nonce, data[off:off+cl], nil)
+			err := s.c.m.OS.ShmWritePhys(s.seg, int(segOff), ct)
+			chunkBufs.Put(ct)
+			if err != nil {
 				return err
 			}
 			if s.Hooks.AfterDataWrite != nil {
-				s.Hooks.AfterDataWrite(int(segOff), len(ct))
+				s.Hooks.AfterDataWrite(int(segOff), cl+ocb.TagSize)
 			}
 		}
 		req := hix.Request{
@@ -107,6 +143,151 @@ func (s *Session) MemcpyHtoD(dst Ptr, data []byte, logicalLen int) error {
 	return nil
 }
 
+// dataJob is one chunk of a windowed transfer.
+type dataJob struct {
+	off, n int
+	segOff uint64
+	nonce  []byte
+	submit sim.Time
+	doneAt sim.Time
+	ct     []byte
+	err    error
+}
+
+// putJobBufs returns the window's staging buffers to the pool.
+func putJobBufs(jobs []dataJob) {
+	for j := range jobs {
+		if jobs[j].ct != nil {
+			chunkBufs.Put(jobs[j].ct)
+			jobs[j].ct = nil
+		}
+	}
+}
+
+// memcpyHtoDWindowed is the wide path: per window of k chunks, the seals
+// run on the worker pool, then all k requests are enqueued before the GPU
+// enclave is woken once to drain them as a batch.
+func (s *Session) memcpyHtoDWindowed(dst Ptr, data []byte, n, k int) error {
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	chunk, slotSize := s.chunkSpec()
+	workers := s.workerCount()
+	nChunks := (n + chunk - 1) / chunk
+
+	encReady := s.now
+	var last sim.Time
+	jobs := make([]dataJob, 0, k)
+	defer putJobBufs(jobs)
+	for base := 0; base < nChunks; base += k {
+		batch := k
+		if base+batch > nChunks {
+			batch = nChunks - base
+		}
+		jobs = jobs[:batch]
+		for j := 0; j < batch; j++ {
+			off := (base + j) * chunk
+			cl := chunk
+			if off+cl > n {
+				cl = n - off
+			}
+			// The §5.2 pipeline charge, in chunk order exactly as the
+			// serial path: the simulated timeline models the paper's
+			// testbed, not this process's goroutine schedule.
+			_, encEnd := tl.AcquireLabeled(s.cryptoRes, "user-seal", encReady, cm.CPUCryptoTime(cl))
+			encReady = encEnd
+			jobs[j] = dataJob{
+				off:    off,
+				n:      cl,
+				segOff: uint64(j) * slotSize,
+				nonce:  s.dataHtoD.Next(), // pre-assigned in chunk order
+				submit: encEnd,
+			}
+		}
+		if !s.Synthetic {
+			for j := range jobs {
+				jobs[j].ct = chunkBufs.Get(jobs[j].n + ocb.TagSize)
+			}
+			// The real wall-clock work: seal the window's chunks
+			// concurrently. Each call only touches its own job.
+			runParallel(workers, batch, func(j int) {
+				jb := &jobs[j]
+				s.aead.SealInto(jb.ct, jb.nonce, data[jb.off:jb.off+jb.n], nil)
+			})
+		}
+		// Commit in chunk order: segment writes and request sends.
+		sent := 0
+		var commitErr error
+		for j := range jobs {
+			jb := &jobs[j]
+			if !s.Synthetic {
+				if err := s.c.m.OS.ShmWritePhys(s.seg, int(jb.segOff), jb.ct); err != nil {
+					commitErr = err
+					break
+				}
+				if s.Hooks.AfterDataWrite != nil {
+					s.Hooks.AfterDataWrite(int(jb.segOff), jb.n+ocb.TagSize)
+				}
+			}
+			req := hix.Request{
+				Type:   hix.ReqMemcpyHtoD,
+				Ptr:    uint64(dst) + uint64(jb.off),
+				SegOff: jb.segOff,
+				Len:    uint64(jb.n) + ocb.TagSize,
+				Flags:  s.dataFlags(),
+			}
+			copy(req.Nonce[:], jb.nonce)
+			submit, err := s.sendRequest(req, jb.submit)
+			if err != nil {
+				commitErr = err
+				break
+			}
+			jb.submit = submit
+			sent++
+		}
+		// One wakeup serves the whole window.
+		if s.Hooks.BeforeServe != nil {
+			s.Hooks.BeforeServe()
+		}
+		if err := s.c.ge.Serve(); err != nil {
+			return err
+		}
+		// Drain every outstanding response to keep the meta-channel nonce
+		// counters in lockstep, then surface the first failure in chunk
+		// order.
+		var firstErr error
+		for j := 0; j < sent; j++ {
+			resp, err := s.recvReply(jobs[j].submit)
+			if err != nil {
+				// Response-channel integrity failure: remaining replies
+				// are undecodable, the session is unusable.
+				return err
+			}
+			if firstErr != nil {
+				continue
+			}
+			switch resp.Status {
+			case hix.RespOK:
+				last = resp.doneAt
+			case hix.RespAuthFailed:
+				firstErr = fmt.Errorf("%w: HtoD chunk at %d rejected by in-GPU decryption", ErrAuth, jobs[j].off)
+			default:
+				firstErr = fmt.Errorf("%w: HtoD status %d", ErrRequest, resp.Status)
+			}
+		}
+		putJobBufs(jobs)
+		if firstErr == nil {
+			firstErr = commitErr
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+	if last > s.now {
+		s.now = last
+	}
+	return nil
+}
+
 // MemcpyDtoH moves device memory at src back into the user enclave,
 // decrypting each ciphertext chunk produced by the in-GPU encryption
 // kernel. out may be nil for synthetic sessions.
@@ -121,10 +302,21 @@ func (s *Session) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
 	if n == 0 {
 		return nil
 	}
+	k := s.windowSlots()
+	if err := s.checkWindow(k); err != nil {
+		return err
+	}
+	if k <= 2 || s.NoPipeline {
+		return s.memcpyDtoHSerial(out, src, n)
+	}
+	return s.memcpyDtoHWindowed(out, src, n, k)
+}
+
+// memcpyDtoHSerial is the classic double-buffered path.
+func (s *Session) memcpyDtoHSerial(out []byte, src Ptr, n int) error {
 	tl := s.c.m.Timeline
 	cm := s.c.m.Cost
-	chunk, slot0, slot1 := s.chunkSpec()
-	slots := [2]uint64{slot0, slot1}
+	chunk, slotSize := s.chunkSpec()
 
 	sendCursor := s.now
 	decReady := s.now
@@ -133,7 +325,7 @@ func (s *Session) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
 		if off+cl > n {
 			cl = n - off
 		}
-		segOff := slots[idx%2]
+		segOff := uint64(idx%2) * slotSize
 		nonce := s.dataDtoH.Next()
 		req := hix.Request{
 			Type:   hix.ReqMemcpyDtoH,
@@ -159,15 +351,16 @@ func (s *Session) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
 			if s.Hooks.AfterDataReady != nil {
 				s.Hooks.AfterDataReady(int(segOff), cl+ocb.TagSize)
 			}
-			ct := make([]byte, cl+ocb.TagSize)
+			ct := chunkBufs.Get(cl + ocb.TagSize)
 			if err := s.c.m.OS.ShmReadPhys(s.seg, int(segOff), ct); err != nil {
+				chunkBufs.Put(ct)
 				return err
 			}
-			pt, err := s.aead.Open(nil, nonce, ct, nil)
+			_, err := s.aead.OpenInto(out[off:off+cl], nonce, ct, nil)
+			chunkBufs.Put(ct)
 			if err != nil {
 				return fmt.Errorf("%w: DtoH chunk at %d: %v", ErrAuth, off, err)
 			}
-			copy(out[off:], pt)
 		}
 		// Pipeline stage: user-enclave decryption of this chunk.
 		start := sim.Max(decReady, resp.doneAt)
@@ -175,6 +368,123 @@ func (s *Session) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
 		decReady = decEnd
 		if s.NoPipeline {
 			sendCursor = decEnd
+		}
+	}
+	if decReady > s.now {
+		s.now = decReady
+	}
+	return nil
+}
+
+// memcpyDtoHWindowed is the wide path for device-to-host copies: a window
+// of k requests goes out per Serve() wakeup; once the ciphertext chunks
+// land in their segment slots, the worker pool opens them concurrently
+// straight into the destination buffer.
+func (s *Session) memcpyDtoHWindowed(out []byte, src Ptr, n, k int) error {
+	tl := s.c.m.Timeline
+	cm := s.c.m.Cost
+	chunk, slotSize := s.chunkSpec()
+	workers := s.workerCount()
+	nChunks := (n + chunk - 1) / chunk
+
+	sendCursor := s.now
+	decReady := s.now
+	jobs := make([]dataJob, 0, k)
+	defer putJobBufs(jobs)
+	for base := 0; base < nChunks; base += k {
+		batch := k
+		if base+batch > nChunks {
+			batch = nChunks - base
+		}
+		jobs = jobs[:batch]
+		sent := 0
+		var commitErr error
+		for j := 0; j < batch; j++ {
+			off := (base + j) * chunk
+			cl := chunk
+			if off+cl > n {
+				cl = n - off
+			}
+			jobs[j] = dataJob{
+				off:    off,
+				n:      cl,
+				segOff: uint64(j) * slotSize,
+				nonce:  s.dataDtoH.Next(),
+			}
+			req := hix.Request{
+				Type:   hix.ReqMemcpyDtoH,
+				Ptr:    uint64(src) + uint64(off),
+				SegOff: jobs[j].segOff,
+				Len:    uint64(cl),
+				Flags:  s.dataFlags(),
+			}
+			copy(req.Nonce[:], jobs[j].nonce)
+			submit, err := s.sendRequest(req, sendCursor)
+			if err != nil {
+				commitErr = err
+				break
+			}
+			jobs[j].submit = submit
+			sent++
+		}
+		if s.Hooks.BeforeServe != nil {
+			s.Hooks.BeforeServe()
+		}
+		if err := s.c.ge.Serve(); err != nil {
+			return err
+		}
+		var firstErr error
+		for j := 0; j < sent; j++ {
+			resp, err := s.recvReply(jobs[j].submit)
+			if err != nil {
+				return err
+			}
+			if firstErr == nil && resp.Status != hix.RespOK {
+				firstErr = fmt.Errorf("%w: DtoH status %d", ErrRequest, resp.Status)
+			}
+			jobs[j].doneAt = resp.doneAt
+			if resp.doneAt > sendCursor {
+				// The next window's requests chain on this batch's
+				// completion, as the serial path's send cursor does.
+				sendCursor = resp.doneAt
+			}
+		}
+		if firstErr == nil {
+			firstErr = commitErr
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		if !s.Synthetic {
+			// Pull every slot's ciphertext (in chunk order, so the
+			// adversary hooks observe the same sequence as the serial
+			// path), then open the window concurrently.
+			for j := range jobs {
+				jb := &jobs[j]
+				if s.Hooks.AfterDataReady != nil {
+					s.Hooks.AfterDataReady(int(jb.segOff), jb.n+ocb.TagSize)
+				}
+				jb.ct = chunkBufs.Get(jb.n + ocb.TagSize)
+				if err := s.c.m.OS.ShmReadPhys(s.seg, int(jb.segOff), jb.ct); err != nil {
+					return err
+				}
+			}
+			runParallel(workers, batch, func(j int) {
+				jb := &jobs[j]
+				_, jb.err = s.aead.OpenInto(out[jb.off:jb.off+jb.n], jb.nonce, jb.ct, nil)
+			})
+			putJobBufs(jobs)
+			for j := range jobs {
+				if jobs[j].err != nil {
+					return fmt.Errorf("%w: DtoH chunk at %d: %v", ErrAuth, jobs[j].off, jobs[j].err)
+				}
+			}
+		}
+		// The §5.2 user-open pipeline charges, in chunk order.
+		for j := range jobs {
+			start := sim.Max(decReady, jobs[j].doneAt)
+			_, decEnd := tl.AcquireLabeled(s.cryptoRes, "user-open", start, cm.CPUCryptoTime(jobs[j].n))
+			decReady = decEnd
 		}
 	}
 	if decReady > s.now {

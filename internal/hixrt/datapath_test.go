@@ -1,0 +1,395 @@
+package hixrt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/ocb"
+	"repro/internal/sim"
+)
+
+// smallChunkCost shrinks the pipeline chunk so multi-chunk windows are
+// cheap to exercise with real cryptography.
+func smallChunkCost() *sim.CostModel {
+	cm := sim.Default()
+	cm.CryptoChunk = 256 << 10
+	return &cm
+}
+
+// wideStack builds a full HIX system whose GPU enclave has a staging ring
+// of `slots` slots and whose cost model uses 256 KiB chunks.
+func wideStack(t *testing.T, seed string, slots int) (*machine.Machine, *Client) {
+	t.Helper()
+	m, err := machine.New(machine.Config{
+		DRAMBytes: 384 << 20, EPCBytes: 16 << 20, VRAMBytes: 128 << 20,
+		Channels: 8, PlatformSeed: seed, Cost: smallChunkCost(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor, StagingSlots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(m, ge, vendor.PublicKey(), []byte("wide app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, client
+}
+
+func patternData(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i*131 + i>>9)
+	}
+	return data
+}
+
+// TestWindowedCiphertextMatchesSerialSpec proves the parallel windowed
+// HtoD path emits exactly the ciphertext stream the serial specification
+// defines: chunk i sealed under the i-th counter nonce of the session's
+// HtoD data channel.
+func TestWindowedCiphertextMatchesSerialSpec(t *testing.T) {
+	m, client := wideStack(t, "wide-ct", 4)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.WindowSlots = 4
+	s.Workers = 4
+
+	chunk, _ := s.chunkSpec()
+	n := chunk*5 + chunk/2 + 7 // ragged: 5.5 chunks and a partial block
+	data := patternData(n)
+
+	var stream [][]byte
+	s.Hooks.AfterDataWrite = func(segOff, length int) {
+		ct := make([]byte, length)
+		if err := m.OS.ShmReadPhys(s.Segment(), segOff, ct); err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, ct)
+	}
+	ptr, err := s.MemAlloc(uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recompute the serial specification with an independent nonce walk.
+	seq := attest.NewNonceSequence(hix.NonceChannel(s.id, hix.NonceDataHtoD))
+	idx := 0
+	for off := 0; off < n; off += chunk {
+		cl := chunk
+		if off+cl > n {
+			cl = n - off
+		}
+		want := s.aead.Seal(nil, seq.Next(), data[off:off+cl], nil)
+		if idx >= len(stream) {
+			t.Fatalf("only %d ciphertext chunks observed", len(stream))
+		}
+		if !bytes.Equal(stream[idx], want) {
+			t.Fatalf("chunk %d: windowed ciphertext differs from serial spec", idx)
+		}
+		idx++
+	}
+	if idx != len(stream) {
+		t.Fatalf("observed %d chunks, want %d", len(stream), idx)
+	}
+}
+
+// TestWindowedRoundTripAndWorkerTimelineIdentity runs the same workload
+// on two identical platforms — workers=1 vs workers=4 at the same window —
+// and requires byte-identical results and exactly equal simulated
+// timelines: the worker pool is a wall-clock optimization, invisible to
+// the model.
+func TestWindowedRoundTripAndWorkerTimelineIdentity(t *testing.T) {
+	elapsed := make([]sim.Duration, 0, 2)
+	for _, workers := range []int{1, 4} {
+		_, client := wideStack(t, "wide-identity", 6)
+		client.Workers = workers // sessions inherit the client default
+		s, err := client.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WindowSlots = 6
+
+		chunk, _ := s.chunkSpec()
+		n := chunk*7 + 1234
+		data := patternData(n)
+		ptr, err := s.MemAlloc(uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, n)
+		if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("workers=%d: round trip corrupted data", workers)
+		}
+		elapsed = append(elapsed, s.Elapsed())
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed[0] != elapsed[1] {
+		t.Fatalf("timeline differs across worker counts: %v vs %v", elapsed[0], elapsed[1])
+	}
+}
+
+// TestWindowedMatchesSerialBytes round-trips the same data through a
+// serial (default) session and a windowed one and requires identical
+// plaintext recovery, including ragged tail chunks.
+func TestWindowedMatchesSerialBytes(t *testing.T) {
+	_, client := wideStack(t, "wide-vs-serial", 5)
+	chunkLens := func(s *Session) int {
+		chunk, _ := s.chunkSpec()
+		return chunk*4 + chunk/3
+	}
+	for _, window := range []int{2, 5} {
+		s, err := client.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.WindowSlots = window
+		s.Workers = 3
+		n := chunkLens(s)
+		data := patternData(n)
+		ptr, err := s.MemAlloc(uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		out := make([]byte, n)
+		if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("window=%d: data corrupted", window)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWindowedTamperDetected flips bits on the untrusted path mid-window
+// in both directions; the authenticated encryption must catch it.
+func TestWindowedTamperDetected(t *testing.T) {
+	m, client := wideStack(t, "wide-tamper", 4)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.WindowSlots = 4
+	s.Workers = 2
+
+	chunk, _ := s.chunkSpec()
+	n := chunk * 3
+	data := patternData(n)
+	ptr, err := s.MemAlloc(uint64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// HtoD: corrupt the second slot after the ciphertext lands.
+	calls := 0
+	s.Hooks.AfterDataWrite = func(segOff, length int) {
+		calls++
+		if calls == 2 {
+			b := []byte{0}
+			if err := m.OS.ShmReadPhys(s.Segment(), segOff+3, b); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x40
+			if err := m.OS.ShmWritePhys(s.Segment(), segOff+3, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.MemcpyHtoD(ptr, data, 0); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered windowed HtoD error = %v, want ErrAuth", err)
+	}
+	s.Hooks.AfterDataWrite = nil
+
+	// The drain kept the meta channel in lockstep: the session still works.
+	if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatalf("session unusable after tampered window: %v", err)
+	}
+
+	// DtoH: corrupt a slot after the GPU enclave posts it.
+	calls = 0
+	s.Hooks.AfterDataReady = func(segOff, length int) {
+		calls++
+		if calls == 3 {
+			b := []byte{0}
+			if err := m.OS.ShmReadPhys(s.Segment(), segOff+9, b); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x01
+			if err := m.OS.ShmWritePhys(s.Segment(), segOff+9, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	out := make([]byte, n)
+	if err := s.MemcpyDtoH(out, ptr, 0); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered windowed DtoH error = %v, want ErrAuth", err)
+	}
+	s.Hooks.AfterDataReady = nil
+	if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+		t.Fatalf("session unusable after tampered DtoH window: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("clean DtoH after tamper returned wrong data")
+	}
+}
+
+// TestWindowedBadRequestDrainsWindow sends a windowed transfer against an
+// unowned pointer: every response of the window must be drained so the
+// session survives the failure.
+func TestWindowedBadRequestDrainsWindow(t *testing.T) {
+	_, client := wideStack(t, "wide-badreq", 4)
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.WindowSlots = 4
+	chunk, _ := s.chunkSpec()
+	n := chunk * 4
+	data := patternData(n)
+	if err := s.MemcpyHtoD(Ptr(0xdead0000), data, 0); !errors.Is(err, ErrRequest) {
+		t.Fatalf("unowned windowed HtoD error = %v, want ErrRequest", err)
+	}
+	// Session remains usable.
+	ptr, err := s.MemAlloc(uint64(n))
+	if err != nil {
+		t.Fatalf("session broken after failed window: %v", err)
+	}
+	if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUndersizedSegmentGuards: both directions must reject windows the
+// shared segment cannot hold instead of corrupting overlapping slots.
+func TestUndersizedSegmentGuards(t *testing.T) {
+	m, err := machine.New(machine.Config{
+		DRAMBytes: 256 << 20, EPCBytes: 16 << 20, VRAMBytes: 64 << 20,
+		Channels: 4, PlatformSeed: "tiny-seg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One chunk + tag needs CryptoChunk+16 bytes; one slot fits, two don't.
+	ge, err := hix.Launch(hix.Config{
+		Machine: m, Vendor: vendor,
+		SessionSegmentBytes: uint64(sim.Default().CryptoChunk) + ocb.TagSize + 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(m, ge, vendor.PublicKey(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := client.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ptr, err := s.MemAlloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := patternData(1 << 20)
+	err = s.MemcpyHtoD(ptr, data, 0)
+	if err == nil || !strings.Contains(err.Error(), "segment too small") {
+		t.Fatalf("HtoD on undersized segment: %v", err)
+	}
+	out := make([]byte, 1<<20)
+	err = s.MemcpyDtoH(out, ptr, 0)
+	if err == nil || !strings.Contains(err.Error(), "segment too small") {
+		t.Fatalf("DtoH on undersized segment: %v", err)
+	}
+
+	// An oversized window on a normally-sized segment is also rejected.
+	st := newStack(t)
+	s2 := st.openSession()
+	defer s2.Close()
+	s2.WindowSlots = 64
+	ptr2, err := s2.MemAlloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s2.MemcpyHtoD(ptr2, data, 0)
+	if err == nil || !strings.Contains(err.Error(), "segment too small") {
+		t.Fatalf("oversized window accepted: %v", err)
+	}
+}
+
+// TestSyntheticWindowedTimingMatchesReal extends the synthetic-timing
+// contract to the windowed path: payload-free synthetic sessions must
+// charge exactly what real ones do.
+func TestSyntheticWindowedTimingMatchesReal(t *testing.T) {
+	run := func(synthetic bool) sim.Duration {
+		_, client := wideStack(t, "wide-synth", 4)
+		s, err := client.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.WindowSlots = 4
+		s.Synthetic = synthetic
+		chunk, _ := s.chunkSpec()
+		n := chunk*6 + 99
+		ptr, err := s.MemAlloc(uint64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var data []byte
+		if !synthetic {
+			data = patternData(n)
+		}
+		if err := s.MemcpyHtoD(ptr, data, n); err != nil {
+			t.Fatal(err)
+		}
+		var out []byte
+		if !synthetic {
+			out = make([]byte, n)
+		}
+		if err := s.MemcpyDtoH(out, ptr, n); err != nil {
+			t.Fatal(err)
+		}
+		return s.Elapsed()
+	}
+	real, synth := run(false), run(true)
+	if real != synth {
+		t.Fatalf("windowed synthetic timing %v != real %v", synth, real)
+	}
+}

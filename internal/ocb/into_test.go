@@ -1,0 +1,250 @@
+package ocb
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/bits"
+	"sync"
+	"testing"
+)
+
+func newTestAEAD(t testing.TB) *AEAD {
+	t.Helper()
+	key := bytes.Repeat([]byte{0x5a}, 16)
+	a, err := New(key)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func deterministicBytes(n int, seed byte) []byte {
+	b := make([]byte, n)
+	state := sha256.Sum256([]byte{seed})
+	for off := 0; off < n; off += len(state) {
+		copy(b[off:], state[:])
+		state = sha256.Sum256(state[:])
+	}
+	return b
+}
+
+// lengths crossing every path: empty, sub-block, exact blocks, the wide
+// 16-block groups, and ragged tails around the group boundary.
+var intoLengths = []int{0, 1, 15, 16, 17, 31, 32, 255, 256, 257, 4096, 4096 + 7, 16*16*3 + 5}
+
+func TestSealIntoMatchesSeal(t *testing.T) {
+	a := newTestAEAD(t)
+	for _, n := range intoLengths {
+		for _, ad := range [][]byte{nil, []byte("associated data")} {
+			pt := deterministicBytes(n, byte(n))
+			nonce := deterministicBytes(NonceSize, 0x77)
+			want := a.Seal(nil, nonce, pt, ad)
+			dst := make([]byte, n+TagSize+13) // oversized on purpose
+			got := a.SealInto(dst, nonce, pt, ad)
+			if len(got) != n+TagSize || &got[0] != &dst[0] {
+				t.Fatalf("n=%d: SealInto did not return dst prefix", n)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d ad=%v: SealInto != Seal", n, ad != nil)
+			}
+		}
+	}
+}
+
+func TestOpenIntoMatchesOpen(t *testing.T) {
+	a := newTestAEAD(t)
+	for _, n := range intoLengths {
+		pt := deterministicBytes(n, byte(n+1))
+		nonce := deterministicBytes(NonceSize, 0x42)
+		ct := a.Seal(nil, nonce, pt, nil)
+		want, err := a.Open(nil, nonce, ct, nil)
+		if err != nil {
+			t.Fatalf("n=%d: Open: %v", n, err)
+		}
+		dst := make([]byte, n+9)
+		got, err := a.OpenInto(dst, nonce, ct, nil)
+		if err != nil {
+			t.Fatalf("n=%d: OpenInto: %v", n, err)
+		}
+		if len(got) != n || (n > 0 && &got[0] != &dst[0]) {
+			t.Fatalf("n=%d: OpenInto did not return dst prefix", n)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: OpenInto != Open", n)
+		}
+	}
+}
+
+// TestInPlaceRoundTrip exercises the documented exact-alias support: seal
+// with the output starting at the plaintext's address, then open the
+// ciphertext body back over itself.
+func TestInPlaceRoundTrip(t *testing.T) {
+	a := newTestAEAD(t)
+	for _, n := range intoLengths {
+		pt := deterministicBytes(n, byte(n+2))
+		nonce := deterministicBytes(NonceSize, 0x99)
+		want := a.Seal(nil, nonce, pt, nil)
+
+		buf := make([]byte, n+TagSize)
+		copy(buf, pt)
+		ct := a.SealInto(buf, nonce, buf[:n], nil)
+		if !bytes.Equal(ct, want) {
+			t.Fatalf("n=%d: in-place SealInto differs from out-of-place Seal", n)
+		}
+
+		got, err := a.OpenInto(buf, nonce, buf, nil)
+		if err != nil {
+			t.Fatalf("n=%d: in-place OpenInto: %v", n, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("n=%d: in-place round trip corrupted plaintext", n)
+		}
+
+		// Append-style exact aliasing: Seal(dst=buf[:0], ..., buf[:n]).
+		copy(buf, pt)
+		ct2 := a.Seal(buf[:0], nonce, buf[:n], nil)
+		if !bytes.Equal(ct2, want) {
+			t.Fatalf("n=%d: in-place Seal(dst[:0]) differs", n)
+		}
+		pt2, err := a.Open(buf[:0], nonce, buf[:n+TagSize], nil)
+		if err != nil || !bytes.Equal(pt2, pt) {
+			t.Fatalf("n=%d: in-place Open(dst[:0]) round trip failed: %v", n, err)
+		}
+	}
+}
+
+func TestInexactOverlapPanics(t *testing.T) {
+	a := newTestAEAD(t)
+	nonce := deterministicBytes(NonceSize, 1)
+	buf := make([]byte, 64+TagSize)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on inexact overlap", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SealInto", func() { a.SealInto(buf[8:], nonce, buf[:32], nil) })
+	mustPanic("Seal", func() { a.Seal(buf[8:8], nonce, buf[:32], nil) })
+	ct := a.Seal(nil, nonce, deterministicBytes(32, 2), nil)
+	copy(buf, ct)
+	mustPanic("OpenInto", func() { _, _ = a.OpenInto(buf[8:], nonce, buf[:len(ct)], nil) })
+}
+
+func TestOpenIntoFailureZeroesDst(t *testing.T) {
+	a := newTestAEAD(t)
+	nonce := deterministicBytes(NonceSize, 3)
+	pt := deterministicBytes(100, 4)
+	ct := a.Seal(nil, nonce, pt, nil)
+	ct[5] ^= 1
+	dst := bytes.Repeat([]byte{0xee}, len(pt))
+	if _, err := a.OpenInto(dst, nonce, ct, nil); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+	for i, b := range dst {
+		if b != 0 {
+			t.Fatalf("dst[%d] = %#x, want zeroed tentative plaintext", i, b)
+		}
+	}
+}
+
+// TestMaskAtMatchesIncremental cross-checks the Gray-code closed form of
+// the offset-mask sequence against the RFC's incremental ntz rule that the
+// wide loops use.
+func TestMaskAtMatchesIncremental(t *testing.T) {
+	a := newTestAEAD(t)
+	var inc block
+	for i := uint64(1); i <= 1024; i++ {
+		inc.xor(&a.lTable[bits.TrailingZeros64(i)])
+		if got := a.maskAt(i); got != inc {
+			t.Fatalf("maskAt(%d) diverges from incremental mask", i)
+		}
+	}
+}
+
+// TestConcurrentSealOpen drives one AEAD from many goroutines with
+// distinct nonces (the wide data path's usage pattern); run under -race.
+func TestConcurrentSealOpen(t *testing.T) {
+	a := newTestAEAD(t)
+	const goroutines = 8
+	const perG = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				n := 1 + (g*perG+i)*37%3000
+				pt := deterministicBytes(n, byte(g))
+				nonce := deterministicBytes(NonceSize, byte(100+g*perG+i))
+				ct := make([]byte, n+TagSize)
+				a.SealInto(ct, nonce, pt, nil)
+				out := make([]byte, n)
+				got, err := a.OpenInto(out, nonce, ct, nil)
+				if err != nil {
+					errs <- fmt.Errorf("g%d i%d: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(got, pt) {
+					errs <- fmt.Errorf("g%d i%d: round trip mismatch", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	var bp BufPool
+	b := bp.Get(1 << 12)
+	if len(b) != 1<<12 {
+		t.Fatalf("Get returned len %d", len(b))
+	}
+	bp.Put(b)
+	c := bp.Get(64)
+	if len(c) != 64 {
+		t.Fatalf("Get after Put returned len %d", len(c))
+	}
+	bp.Put(nil) // must not panic
+}
+
+func BenchmarkOCBSealInto(b *testing.B) {
+	a := newTestAEAD(b)
+	const n = 64 << 10
+	pt := deterministicBytes(n, 9)
+	nonce := deterministicBytes(NonceSize, 10)
+	dst := make([]byte, n+TagSize)
+	b.SetBytes(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SealInto(dst, nonce, pt, nil)
+	}
+}
+
+func BenchmarkOCBOpenInto(b *testing.B) {
+	a := newTestAEAD(b)
+	const n = 64 << 10
+	pt := deterministicBytes(n, 11)
+	nonce := deterministicBytes(NonceSize, 12)
+	ct := a.Seal(nil, nonce, pt, nil)
+	dst := make([]byte, n)
+	b.SetBytes(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.OpenInto(dst, nonce, ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

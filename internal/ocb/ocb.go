@@ -5,15 +5,25 @@
 // directly and is validated against the RFC's published test vectors.
 //
 // The AEAD returned by New satisfies crypto/cipher.AEAD.
+//
+// Aliasing: Seal, Open, SealInto and OpenInto support exact in-place
+// operation — the output may start at the same address as the input — but
+// reject buffers that overlap at different offsets with a panic, matching
+// the crypto/cipher contract. Open and OpenInto zero any tentative
+// plaintext they wrote before reporting an authentication failure, so an
+// in-place Open that fails destroys the ciphertext body.
 package ocb
 
 import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
+	"unsafe"
 )
 
 const (
@@ -27,6 +37,12 @@ const (
 	NonceSize = 12
 	// MaxNonceSize is the largest nonce the algorithm accepts.
 	MaxNonceSize = 15
+
+	// wideBlocks is the unroll factor of the bulk encrypt/decrypt loops:
+	// the per-block offset run is materialized this many blocks at a time
+	// and the blocks are then swept with word-wide XORs. Sixteen blocks is
+	// one 256-byte group, small enough to live on the stack.
+	wideBlocks = 16
 )
 
 // ErrOpen is returned by Open when the ciphertext or additional data fail
@@ -55,7 +71,9 @@ func double(s block) block {
 }
 
 // AEAD is an OCB3 instance bound to one AES key. It is safe for concurrent
-// use: all per-message state lives on the stack.
+// use: all per-message state lives on the stack, so distinct goroutines may
+// Seal/Open with distinct nonces simultaneously (the wide data path relies
+// on this).
 type AEAD struct {
 	enc cipher.Block // AES encryption
 	// lStar, lDollar and the lTable are the key-dependent masks from the
@@ -151,37 +169,132 @@ func (a *AEAD) initialOffset(nonce []byte) block {
 	return off
 }
 
+// maskAt returns the cumulative offset mask after block i, i.e.
+// XOR_{j=1..i} L_{ntz(j)}. The run has a closed form: it is the XOR of L_b
+// over the set bits b of the Gray code i ^ (i>>1), so any position in the
+// offset sequence can be reached in O(popcount) steps without walking the
+// run. The wide loops below use the cheaper incremental rule; this closed
+// form documents the sequence and is cross-checked in the tests.
+func (a *AEAD) maskAt(i uint64) block {
+	var m block
+	for g := i ^ (i >> 1); g != 0; g &= g - 1 {
+		m.xor(&a.lTable[bits.TrailingZeros64(g)])
+	}
+	return m
+}
+
 // Seal encrypts and authenticates plaintext along with the additional data
-// ad, appending the ciphertext and 16-byte tag to dst.
+// ad, appending the ciphertext and 16-byte tag to dst. The output may
+// exactly alias plaintext (dst = plaintext[:0]); inexact overlap panics.
 func (a *AEAD) Seal(dst, nonce, plaintext, ad []byte) []byte {
 	ret, out := sliceForAppend(dst, len(plaintext)+TagSize)
+	if inexactOverlap(out[:len(plaintext)], plaintext) {
+		panic("ocb: invalid buffer overlap of output and input")
+	}
+	if anyOverlap(out, ad) {
+		panic("ocb: invalid buffer overlap of output and additional data")
+	}
+	a.sealCore(out, nonce, plaintext, ad)
+	return ret
+}
 
+// SealInto encrypts and authenticates plaintext into the caller-provided
+// buffer dst, which must be at least len(plaintext)+TagSize bytes long —
+// typically a shared-segment-backed or pooled chunk buffer. It performs no
+// allocation and returns dst[:len(plaintext)+TagSize]. dst may exactly
+// alias plaintext (in-place seal); inexact overlap panics.
+func (a *AEAD) SealInto(dst, nonce, plaintext, ad []byte) []byte {
+	need := len(plaintext) + TagSize
+	if len(dst) < need {
+		panic(fmt.Sprintf("ocb: SealInto dst too short: %d < %d", len(dst), need))
+	}
+	out := dst[:need]
+	if inexactOverlap(out[:len(plaintext)], plaintext) {
+		panic("ocb: invalid buffer overlap of output and input")
+	}
+	if anyOverlap(out, ad) {
+		panic("ocb: invalid buffer overlap of output and additional data")
+	}
+	a.sealCore(out, nonce, plaintext, ad)
+	return out
+}
+
+// sealCore writes ciphertext||tag into out, which is exactly
+// len(plaintext)+TagSize bytes and may exactly alias plaintext.
+func (a *AEAD) sealCore(out, nonce, plaintext, ad []byte) {
 	offset := a.initialOffset(nonce)
-	var checksum block
+	var c0, c1 uint64 // checksum words, folded into a block at the end
+	// tmp is reused for every block: it is handed to the cipher.Block
+	// interface, so a per-block temporary would escape and allocate.
+	var tmp block
 	full := len(plaintext) / BlockSize
-	for i := 1; i <= full; i++ {
+	i := 1
+
+	// Wide path: materialize the offset run for a group of blocks, then
+	// sweep the group with word-wide XORs around the AES calls. One pass
+	// over the precomputed offsets replaces per-block mask bookkeeping in
+	// the hot loop.
+	var offs [wideBlocks]block
+	for ; i+wideBlocks-1 <= full; i += wideBlocks {
+		for k := 0; k < wideBlocks; k++ {
+			offset.xor(&a.lTable[bits.TrailingZeros(uint(i+k))])
+			offs[k] = offset
+		}
+		base := (i - 1) * BlockSize
+		for k := 0; k < wideBlocks; k++ {
+			p := plaintext[base+k*BlockSize : base+(k+1)*BlockSize]
+			o := &offs[k]
+			p0 := binary.LittleEndian.Uint64(p[0:8])
+			p1 := binary.LittleEndian.Uint64(p[8:16])
+			o0 := binary.LittleEndian.Uint64(o[0:8])
+			o1 := binary.LittleEndian.Uint64(o[8:16])
+			c0 ^= p0
+			c1 ^= p1
+			binary.LittleEndian.PutUint64(tmp[0:8], p0^o0)
+			binary.LittleEndian.PutUint64(tmp[8:16], p1^o1)
+			a.enc.Encrypt(tmp[:], tmp[:])
+			d := out[base+k*BlockSize : base+(k+1)*BlockSize]
+			binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(tmp[0:8])^o0)
+			binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(tmp[8:16])^o1)
+		}
+	}
+	for ; i <= full; i++ {
 		p := plaintext[(i-1)*BlockSize : i*BlockSize]
 		offset.xor(&a.lTable[bits.TrailingZeros(uint(i))])
-		var tmp block
-		copy(tmp[:], p)
-		checksum.xor(&tmp)
-		tmp.xor(&offset)
+		o0 := binary.LittleEndian.Uint64(offset[0:8])
+		o1 := binary.LittleEndian.Uint64(offset[8:16])
+		p0 := binary.LittleEndian.Uint64(p[0:8])
+		p1 := binary.LittleEndian.Uint64(p[8:16])
+		c0 ^= p0
+		c1 ^= p1
+		binary.LittleEndian.PutUint64(tmp[0:8], p0^o0)
+		binary.LittleEndian.PutUint64(tmp[8:16], p1^o1)
 		a.enc.Encrypt(tmp[:], tmp[:])
-		tmp.xor(&offset)
-		copy(out[(i-1)*BlockSize:], tmp[:])
+		d := out[(i-1)*BlockSize : i*BlockSize]
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(tmp[0:8])^o0)
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(tmp[8:16])^o1)
 	}
+
+	var checksum block
+	binary.LittleEndian.PutUint64(checksum[0:8], c0)
+	binary.LittleEndian.PutUint64(checksum[8:16], c1)
+
 	if rem := len(plaintext) % BlockSize; rem > 0 {
 		offset.xor(&a.lStar)
 		var pad block
 		a.enc.Encrypt(pad[:], offset[:])
 		tail := plaintext[full*BlockSize:]
-		for i, b := range tail {
-			out[full*BlockSize+i] = b ^ pad[i]
-		}
+		// Fold the padded plaintext into the checksum BEFORE writing the
+		// ciphertext tail: when out aliases plaintext, the write below
+		// destroys the tail bytes.
 		var padded block
 		copy(padded[:], tail)
 		padded[rem] = 0x80
 		checksum.xor(&padded)
+		o := out[full*BlockSize:]
+		for i := 0; i < rem; i++ {
+			o[i] = padded[i] ^ pad[i]
+		}
 	}
 
 	// Tag = ENCIPHER(K, Checksum xor Offset xor L_$) xor HASH(K, A)
@@ -192,49 +305,130 @@ func (a *AEAD) Seal(dst, nonce, plaintext, ad []byte) []byte {
 	h := a.hash(ad)
 	tag.xor(&h)
 	copy(out[len(plaintext):], tag[:])
-	return ret
 }
 
 // Open authenticates ciphertext (which includes the trailing tag) and the
 // additional data ad, and appends the decrypted plaintext to dst. The
-// plaintext is not released unless the tag verifies.
+// plaintext is not released unless the tag verifies. The output may exactly
+// alias the ciphertext body (dst = ciphertext[:0]); inexact overlap panics.
 func (a *AEAD) Open(dst, nonce, ciphertext, ad []byte) ([]byte, error) {
 	if len(ciphertext) < TagSize {
 		return nil, ErrOpen
 	}
 	body := ciphertext[:len(ciphertext)-TagSize]
-	wantTag := ciphertext[len(ciphertext)-TagSize:]
 	ret, out := sliceForAppend(dst, len(body))
+	if inexactOverlap(out, body) {
+		panic("ocb: invalid buffer overlap of output and input")
+	}
+	if anyOverlap(out, ad) {
+		panic("ocb: invalid buffer overlap of output and additional data")
+	}
+	if err := a.openCore(out, nonce, ciphertext, ad); err != nil {
+		return nil, err
+	}
+	return ret, nil
+}
+
+// OpenInto authenticates ciphertext (including the trailing tag) and
+// decrypts it into the caller-provided buffer dst, which must be at least
+// len(ciphertext)-TagSize bytes long. It performs no allocation and returns
+// dst[:len(ciphertext)-TagSize]. dst may exactly alias the ciphertext body
+// (in-place open); inexact overlap panics. On authentication failure the
+// written prefix of dst is zeroed and an error returned.
+func (a *AEAD) OpenInto(dst, nonce, ciphertext, ad []byte) ([]byte, error) {
+	if len(ciphertext) < TagSize {
+		return nil, ErrOpen
+	}
+	need := len(ciphertext) - TagSize
+	if len(dst) < need {
+		panic(fmt.Sprintf("ocb: OpenInto dst too short: %d < %d", len(dst), need))
+	}
+	out := dst[:need]
+	if inexactOverlap(out, ciphertext[:need]) {
+		panic("ocb: invalid buffer overlap of output and input")
+	}
+	if anyOverlap(out, ad) {
+		panic("ocb: invalid buffer overlap of output and additional data")
+	}
+	if err := a.openCore(out, nonce, ciphertext, ad); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// openCore decrypts the body of ciphertext into out (exactly
+// len(ciphertext)-TagSize bytes, may exactly alias the body) and verifies
+// the tag, zeroing out on failure.
+func (a *AEAD) openCore(out, nonce, ciphertext, ad []byte) error {
+	body := ciphertext[:len(ciphertext)-TagSize]
+	wantTag := ciphertext[len(ciphertext)-TagSize:]
 
 	// AES-128 decryption direction for full blocks.
 	dec := a.decryptor()
 
 	offset := a.initialOffset(nonce)
-	var checksum block
+	var c0, c1 uint64
+	var tmp block // reused across blocks; see sealCore
 	full := len(body) / BlockSize
-	for i := 1; i <= full; i++ {
+	i := 1
+
+	var offs [wideBlocks]block
+	for ; i+wideBlocks-1 <= full; i += wideBlocks {
+		for k := 0; k < wideBlocks; k++ {
+			offset.xor(&a.lTable[bits.TrailingZeros(uint(i+k))])
+			offs[k] = offset
+		}
+		base := (i - 1) * BlockSize
+		for k := 0; k < wideBlocks; k++ {
+			c := body[base+k*BlockSize : base+(k+1)*BlockSize]
+			o := &offs[k]
+			o0 := binary.LittleEndian.Uint64(o[0:8])
+			o1 := binary.LittleEndian.Uint64(o[8:16])
+			binary.LittleEndian.PutUint64(tmp[0:8], binary.LittleEndian.Uint64(c[0:8])^o0)
+			binary.LittleEndian.PutUint64(tmp[8:16], binary.LittleEndian.Uint64(c[8:16])^o1)
+			dec.Decrypt(tmp[:], tmp[:])
+			p0 := binary.LittleEndian.Uint64(tmp[0:8]) ^ o0
+			p1 := binary.LittleEndian.Uint64(tmp[8:16]) ^ o1
+			c0 ^= p0
+			c1 ^= p1
+			d := out[base+k*BlockSize : base+(k+1)*BlockSize]
+			binary.LittleEndian.PutUint64(d[0:8], p0)
+			binary.LittleEndian.PutUint64(d[8:16], p1)
+		}
+	}
+	for ; i <= full; i++ {
 		c := body[(i-1)*BlockSize : i*BlockSize]
 		offset.xor(&a.lTable[bits.TrailingZeros(uint(i))])
-		var tmp block
-		copy(tmp[:], c)
-		tmp.xor(&offset)
+		o0 := binary.LittleEndian.Uint64(offset[0:8])
+		o1 := binary.LittleEndian.Uint64(offset[8:16])
+		binary.LittleEndian.PutUint64(tmp[0:8], binary.LittleEndian.Uint64(c[0:8])^o0)
+		binary.LittleEndian.PutUint64(tmp[8:16], binary.LittleEndian.Uint64(c[8:16])^o1)
 		dec.Decrypt(tmp[:], tmp[:])
-		tmp.xor(&offset)
-		copy(out[(i-1)*BlockSize:], tmp[:])
-		checksum.xor(&tmp)
+		p0 := binary.LittleEndian.Uint64(tmp[0:8]) ^ o0
+		p1 := binary.LittleEndian.Uint64(tmp[8:16]) ^ o1
+		c0 ^= p0
+		c1 ^= p1
+		d := out[(i-1)*BlockSize : i*BlockSize]
+		binary.LittleEndian.PutUint64(d[0:8], p0)
+		binary.LittleEndian.PutUint64(d[8:16], p1)
 	}
+
+	var checksum block
+	binary.LittleEndian.PutUint64(checksum[0:8], c0)
+	binary.LittleEndian.PutUint64(checksum[8:16], c1)
+
 	if rem := len(body) % BlockSize; rem > 0 {
 		offset.xor(&a.lStar)
 		var pad block
 		a.enc.Encrypt(pad[:], offset[:])
 		tail := body[full*BlockSize:]
-		for i, b := range tail {
-			out[full*BlockSize+i] = b ^ pad[i]
-		}
 		var padded block
-		copy(padded[:], out[full*BlockSize:])
+		for i := 0; i < rem; i++ {
+			padded[i] = tail[i] ^ pad[i]
+		}
 		padded[rem] = 0x80
 		checksum.xor(&padded)
+		copy(out[full*BlockSize:], padded[:rem])
 	}
 
 	checksum.xor(&offset)
@@ -249,9 +443,9 @@ func (a *AEAD) Open(dst, nonce, ciphertext, ad []byte) ([]byte, error) {
 		for i := range out {
 			out[i] = 0
 		}
-		return nil, ErrOpen
+		return ErrOpen
 	}
-	return ret, nil
+	return nil
 }
 
 // decryptor returns the AES block in decryption direction. crypto/aes
@@ -269,4 +463,49 @@ func sliceForAppend(in []byte, n int) (head, tail []byte) {
 	}
 	tail = head[len(in):]
 	return
+}
+
+// anyOverlap reports whether x and y share any memory.
+func anyOverlap(x, y []byte) bool {
+	return len(x) > 0 && len(y) > 0 &&
+		uintptr(unsafe.Pointer(&x[0])) <= uintptr(unsafe.Pointer(&y[len(y)-1])) &&
+		uintptr(unsafe.Pointer(&y[0])) <= uintptr(unsafe.Pointer(&x[len(x)-1]))
+}
+
+// inexactOverlap reports whether x and y overlap at different offsets —
+// the only aliasing the seal/open cores cannot process (mirrors
+// crypto/internal/alias).
+func inexactOverlap(x, y []byte) bool {
+	if len(x) == 0 || len(y) == 0 || &x[0] == &y[0] {
+		return false
+	}
+	return anyOverlap(x, y)
+}
+
+// A BufPool recycles chunk-sized scratch buffers across data-path
+// operations. The wide data path seals and opens one 4 MiB chunk per
+// worker per window; without recycling, every chunk would be a fresh
+// large allocation and a GC obligation.
+type BufPool struct {
+	p sync.Pool
+}
+
+// Get returns a buffer of length n, reusing a pooled buffer when one with
+// sufficient capacity is available.
+func (bp *BufPool) Get(n int) []byte {
+	if v := bp.p.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// Put returns a buffer to the pool for reuse. The caller must not touch b
+// afterwards.
+func (bp *BufPool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp.p.Put(b[:0]) //nolint:staticcheck // []byte in a Pool is deliberate
 }

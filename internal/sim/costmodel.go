@@ -107,6 +107,19 @@ func (cm CostModel) CPUCryptoTime(n int) Duration {
 	return TransferTime(n, cm.CPUCryptoBandwidth, 0)
 }
 
+// ChunkSlots reports how many staging slots — one pipeline chunk plus
+// overhead bytes (the AEAD tag) each — fit in a buffer of size bytes. Both
+// ends of the wide data path use it to bound the request window: the user
+// runtime against the inter-enclave shared segment, the GPU enclave
+// against its in-VRAM staging ring.
+func (cm CostModel) ChunkSlots(size uint64, overhead int) int {
+	slot := uint64(cm.CryptoChunk) + uint64(overhead)
+	if slot == 0 {
+		return 0
+	}
+	return int(size / slot)
+}
+
 // GPUCryptoTime is the duration of the in-GPU OCB-AES kernel over n bytes,
 // including its launch.
 func (cm CostModel) GPUCryptoTime(n int) Duration {

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Repository gate: vet + build + full test suite + race checks on the
+# concurrent paths + short benchmarks dumped to BENCH_pr1.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test (full suite) =="
+go test ./...
+
+# -race targets the paths this PR made concurrent. The whole suite is
+# not raced because TestMultiUserDeterminism flakes independently of
+# this work (timeline gap-filling is goroutine-arrival-order sensitive,
+# reproducible on the seed tree).
+echo "== go test -race (concurrent paths) =="
+go test -race -count=1 ./internal/ocb/
+go test -race -count=1 ./internal/hixrt/ \
+	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation'
+
+echo "== benchmarks -> BENCH_pr1.json =="
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench 'MemcpyHtoD|MemcpyDtoH' -benchtime 3x -benchmem . >>"$tmp"
+go test -run '^$' -bench 'OCBSealInto|OCBOpenInto' -benchmem ./internal/ocb/ >>"$tmp"
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "  {\"name\":\"%s\",\"iterations\":%s", $1, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		printf ",\"%s\":%s", unit, $i
+	}
+	printf "}"
+}
+END { print "\n]" }
+' "$tmp" >BENCH_pr1.json
+cat BENCH_pr1.json
+echo "== OK =="
