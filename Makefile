@@ -13,21 +13,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent paths introduced by the wide data path:
-# the OCB package (shared AEAD across goroutines, BufPool) and the
-# hixrt windowed transfer machinery. The full suite is not run under
-# -race because TestMultiUserDeterminism has a pre-existing flake
-# (gap-filling timeline placement is sensitive to goroutine arrival
-# order); see EXPERIMENTS.md.
+# Race-check the concurrent paths: the OCB package (shared AEAD across
+# goroutines, BufPool), the hixrt windowed transfer machinery, and the
+# multi-tenant serving engine (concurrent Serve workers + lockstep
+# clients, including the determinism tests that pin the simulated
+# schedule across worker counts).
 race:
 	$(GO) test -race -count=1 ./internal/ocb/
-	$(GO) test -race -count=1 ./internal/hixrt/ -run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation'
+	$(GO) test -race -count=1 ./internal/hixrt/ -run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism'
 
-# Short benchmark run; scripts/check.sh turns the same run into
-# BENCH_pr1.json.
+# Benchmark run: the wide-datapath microbenches (BENCH_pr1.json via
+# scripts/check.sh --bench), the TLB microbench, and the serving-engine
+# experiments (datapath wall clock + multi-tenant sweep) dumped to
+# BENCH_pr2.json.
 bench:
 	$(GO) test -run '^$$' -bench 'MemcpyHtoD|MemcpyDtoH' -benchtime 3x -benchmem .
 	$(GO) test -run '^$$' -bench 'OCBSealInto|OCBOpenInto' -benchmem ./internal/ocb/
+	$(GO) test -run '^$$' -bench 'Translate' -benchmem ./internal/mmu/
+	$(GO) run ./cmd/hixbench -exp datapath,multitenant -json BENCH_pr2.json
 
 check:
 	./scripts/check.sh

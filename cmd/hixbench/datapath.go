@@ -121,6 +121,12 @@ func datapath() bool {
 		}
 		fmt.Printf("%-30s %12.1f %12.1f %9.2fx\n",
 			c.label, h, d, (h+d)/(baseH+baseD))
+		record(map[string]any{
+			"name":          fmt.Sprintf("datapath/workers=%d/window=%d", c.workers, c.window),
+			"HtoD_MB_per_s": h,
+			"DtoH_MB_per_s": d,
+			"speedup":       (h + d) / (baseH + baseD),
+		})
 	}
 	fmt.Println("(client-side crypto parallelizes; the GPU enclave's engine is serial)")
 	fmt.Println()

@@ -8,10 +8,11 @@
 //	hixbench -exp table4,fig6    # a comma-separated subset
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
-// volta, paging, breakdown, datapath.
+// volta, paging, breakdown, datapath, multitenant.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +22,23 @@ import (
 	"repro/internal/workloads"
 )
 
+// records collects machine-readable results from experiments that opt in
+// (datapath, multitenant); -json dumps them for the benchmark gate.
+var records []map[string]any
+
+func record(r map[string]any) { records = append(records, r) }
+
+func writeRecords(path string) error {
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, all")
+	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -65,6 +81,14 @@ func main() {
 	}
 	if run("datapath") {
 		ok = datapath() && ok
+	}
+	if run("multitenant") {
+		ok = multitenant() && ok
+	}
+	if *jsonPath != "" {
+		if err := writeRecords(*jsonPath); err != nil {
+			ok = fail(err)
+		}
 	}
 	if !ok {
 		os.Exit(1)

@@ -38,7 +38,7 @@ type Core struct {
 	cm sim.CostModel
 
 	mu    sync.Mutex
-	seq   uint32
+	seq   map[int]uint32 // per-channel fence sequence; channels submit independently
 	alloc *vramAllocator
 }
 
@@ -51,7 +51,7 @@ func NewCore(mm MMIO, vramSize uint64, tl *sim.Timeline, cm sim.CostModel) (*Cor
 	if err != nil {
 		return nil, err
 	}
-	return &Core{mm: mm, tl: tl, cm: cm, alloc: a}, nil
+	return &Core{mm: mm, tl: tl, cm: cm, seq: make(map[int]uint32), alloc: a}, nil
 }
 
 // Cost exposes the cost model for layered runtimes.
@@ -60,11 +60,11 @@ func (c *Core) Cost() sim.CostModel { return c.cm }
 // Timeline exposes the shared resource timeline.
 func (c *Core) Timeline() *sim.Timeline { return c.tl }
 
-func (c *Core) nextSeq() uint32 {
+func (c *Core) nextSeq(ch int) uint32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.seq++
-	return c.seq
+	c.seq[ch]++
+	return c.seq[ch]
 }
 
 // reg32 reads a BAR0 register, charging one MMIO access on the PCIe link.
@@ -113,17 +113,31 @@ func (c *Core) ResetDevice(now sim.Time) (sim.Time, error) {
 
 // Submit sends one command on a channel and synchronizes on its fence.
 // It returns the command status and the simulated completion time of the
-// flow (MMIO costs plus device execution).
+// flow (MMIO costs plus device execution). Distinct channels may submit
+// concurrently; a channel itself is a serial command stream.
 func (c *Core) Submit(ch int, now sim.Time, op gpu.Opcode, payload []byte) (gpu.Status, sim.Time, error) {
-	seq := c.nextSeq()
-	// Ring writes are MMIO traffic: charge them before the device sees
-	// the doorbell.
-	cmdBytes := gpu.HeaderSize + len(payload)
-	_, now = c.tl.AcquireLabeled(sim.ResPCIe, "ring-write", now,
-		sim.TransferTime(cmdBytes, c.cm.MMIOWriteBandwidth, c.cm.MMIOAccess))
+	return c.SubmitPhase(ch, now, op, payload, gpu.PhaseFull, 0)
+}
+
+// SubmitPhase is Submit with an explicit submission phase. PhaseData
+// commands execute the device's real data work but account no simulated
+// time — neither MMIO traffic nor engine occupancy — so they may run
+// concurrently without perturbing the schedule; the serving engine later
+// replays each one as a PhaseTime command carrying the recorded status
+// (pstatus) to charge its timing at the canonical point in the schedule.
+func (c *Core) SubmitPhase(ch int, now sim.Time, op gpu.Opcode, payload []byte, phase uint8, pstatus gpu.Status) (gpu.Status, sim.Time, error) {
+	seq := c.nextSeq(ch)
+	charged := phase != gpu.PhaseData
+	if charged {
+		// Ring writes are MMIO traffic: charge them before the device
+		// sees the doorbell.
+		cmdBytes := gpu.HeaderSize + len(payload)
+		_, now = c.tl.AcquireLabeled(sim.ResPCIe, "ring-write", now,
+			sim.TransferTime(cmdBytes, c.cm.MMIOWriteBandwidth, c.cm.MMIOAccess))
+	}
 
 	cmd := gpu.Command{
-		Header:  gpu.Header{Op: op, Seq: seq, SubmitNS: int64(now)},
+		Header:  gpu.Header{Op: op, Seq: seq, SubmitNS: int64(now), Phase: phase, PStatus: pstatus},
 		Payload: payload,
 	}
 	enc := cmd.Encode()
@@ -132,28 +146,28 @@ func (c *Core) Submit(ch int, now sim.Time, op gpu.Opcode, payload []byte) (gpu.
 		return 0, now, err
 	}
 	chanBase := uint64(gpu.ChannelRegsBase + ch*gpu.ChannelRegsSize)
-	now, err := c.writeReg32(chanBase+gpu.ChanDoorbell, uint32(len(enc)), now)
+	now, err := c.phaseWriteReg32(charged, chanBase+gpu.ChanDoorbell, uint32(len(enc)), now)
 	if err != nil {
 		return 0, now, err
 	}
 	// Fence poll (the device model completes synchronously; simulated
 	// time still reflects the real wait via the completion register).
-	fence, now, err := c.reg32(chanBase+gpu.ChanFenceSeq, now)
+	fence, now, err := c.phaseReg32(charged, chanBase+gpu.ChanFenceSeq, now)
 	if err != nil {
 		return 0, now, err
 	}
 	if fence != seq {
 		return 0, now, fmt.Errorf("gdev: fence %d != submitted %d (concurrent channel use?)", fence, seq)
 	}
-	statusV, now, err := c.reg32(chanBase+gpu.ChanStatus, now)
+	statusV, now, err := c.phaseReg32(charged, chanBase+gpu.ChanStatus, now)
 	if err != nil {
 		return 0, now, err
 	}
-	lo, now, err := c.reg32(chanBase+gpu.ChanCompleteLo, now)
+	lo, now, err := c.phaseReg32(charged, chanBase+gpu.ChanCompleteLo, now)
 	if err != nil {
 		return 0, now, err
 	}
-	hi, now, err := c.reg32(chanBase+gpu.ChanCompleteHi, now)
+	hi, now, err := c.phaseReg32(charged, chanBase+gpu.ChanCompleteHi, now)
 	if err != nil {
 		return 0, now, err
 	}
@@ -162,6 +176,31 @@ func (c *Core) Submit(ch int, now sim.Time, op gpu.Opcode, payload []byte) (gpu.
 		now = done
 	}
 	return gpu.Status(statusV), now, nil
+}
+
+// phaseReg32 reads a register, charging the MMIO access only when the
+// submission phase accounts time.
+func (c *Core) phaseReg32(charged bool, off uint64, now sim.Time) (uint32, sim.Time, error) {
+	if charged {
+		return c.reg32(off, now)
+	}
+	var b [4]byte
+	if err := c.mm.ReadBar0(off, b[:]); err != nil {
+		return 0, now, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), now, nil
+}
+
+func (c *Core) phaseWriteReg32(charged bool, off uint64, v uint32, now sim.Time) (sim.Time, error) {
+	if charged {
+		return c.writeReg32(off, v, now)
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if err := c.mm.WriteBar0(off, b[:]); err != nil {
+		return now, err
+	}
+	return now, nil
 }
 
 // ReadResponse fetches a channel's response buffer (after DH commands).

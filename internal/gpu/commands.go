@@ -183,14 +183,34 @@ const (
 	FlagSynthetic = 1 << 0
 )
 
+// Submission phases. The serving engine executes a command's functional
+// work and its simulated-time accounting in two separate passes so that
+// data movement can run concurrently across sessions while the schedule
+// stays canonical (see internal/hix). PhaseFull — the default, used by
+// the Gdev baseline and all control-plane traffic — does both at once.
+const (
+	// PhaseFull executes the command and accounts its time in one step.
+	PhaseFull uint8 = 0
+	// PhaseData performs the functional work and all validation but no
+	// simulated-time accounting: no timeline acquires, no context-switch
+	// state changes. The status register reports the real outcome.
+	PhaseData uint8 = 1
+	// PhaseTime replays the timing of a previously executed PhaseData
+	// command without re-touching data or bindings. Header.PStatus
+	// carries the recorded outcome so failed commands charge exactly
+	// what their failing PhaseFull execution would have.
+	PhaseTime uint8 = 2
+)
+
 // Header is the fixed preamble of every command packet.
 type Header struct {
 	Magic      uint32
 	Op         Opcode
 	Seq        uint32
 	PayloadLen uint32
-	SubmitNS   int64 // simulated submit time of this command
-	_          uint64
+	SubmitNS   int64  // simulated submit time of this command
+	Phase      uint8  // submission phase (PhaseFull/PhaseData/PhaseTime)
+	PStatus    Status // recorded outcome, consulted only in PhaseTime
 }
 
 // Command is a decoded packet.
@@ -208,6 +228,8 @@ func (c *Command) Encode() []byte {
 	le.PutUint32(buf[8:], c.Seq)
 	le.PutUint32(buf[12:], uint32(len(c.Payload)))
 	le.PutUint64(buf[16:], uint64(c.SubmitNS))
+	le.PutUint32(buf[24:], uint32(c.Phase))
+	le.PutUint32(buf[28:], uint32(c.PStatus))
 	copy(buf[HeaderSize:], c.Payload)
 	return buf
 }
@@ -231,6 +253,8 @@ func DecodeCommand(buf []byte) (Command, []byte, error) {
 	c.Seq = le.Uint32(buf[8:])
 	c.PayloadLen = le.Uint32(buf[12:])
 	c.SubmitNS = int64(le.Uint64(buf[16:]))
+	c.Phase = uint8(le.Uint32(buf[24:]))
+	c.PStatus = Status(le.Uint32(buf[28:]))
 	if int(c.PayloadLen) > len(buf)-HeaderSize {
 		return Command{}, nil, fmt.Errorf("%w: payload %d exceeds buffer", ErrBadPacket, c.PayloadLen)
 	}

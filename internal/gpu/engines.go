@@ -15,13 +15,17 @@ import (
 // dispatches it to the right engine, and publishes fence / status /
 // completion-time registers that the driver polls over MMIO (Gdev
 // synchronizes by MMIO polling, not interrupts — §5.2).
+//
+// Only the channel's own lock is held across the batch, so independent
+// channels execute commands concurrently; command execution takes the
+// device registry lock briefly where it touches shared maps.
 func (d *Device) processDoorbell(chIdx, n int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if chIdx >= len(d.channels) || n < 0 || n > RingSize {
 		return
 	}
 	ch := d.channels[chIdx]
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
 	buf := ch.ring[:n]
 	for len(buf) > 0 {
 		cmd, rest, err := DecodeCommand(buf)
@@ -37,9 +41,23 @@ func (d *Device) processDoorbell(chIdx, n int) {
 	}
 }
 
+// charge accounts dur on res unless the command runs in PhaseData (whose
+// time is replayed later by a PhaseTime command).
+func (d *Device) charge(phase uint8, res sim.Resource, label string, ready sim.Time, dur sim.Duration) sim.Time {
+	if phase == PhaseData {
+		return ready
+	}
+	_, done := d.tl.AcquireLabeled(res, label, ready, dur)
+	return done
+}
+
 // execute dispatches one command and returns its status and simulated
-// completion time. The caller holds d.mu.
+// completion time. The caller holds ch.mu (and nothing else).
 func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
+	if cmd.Phase == PhaseTime {
+		return d.replayTiming(ch, cmd)
+	}
+	phase := cmd.Phase
 	ready := sim.Time(cmd.SubmitNS)
 	r := &payloadReader{buf: cmd.Payload}
 	switch cmd.Op {
@@ -51,9 +69,11 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil || id == 0 {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
 		if _, exists := d.contexts[id]; !exists {
 			d.contexts[id] = &gpuContext{id: id}
 		}
+		d.mu.Unlock()
 		return StatusOK, ready
 
 	case OpDestroyContext:
@@ -61,6 +81,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
 		delete(d.contexts, id)
 		for _, c := range d.channels {
 			if c.boundCtx == id {
@@ -70,6 +91,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if d.current == id {
 			d.current = 0
 		}
+		d.mu.Unlock()
 		return StatusOK, ready
 
 	case OpBindChannel:
@@ -77,6 +99,8 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
 		if _, ok := d.contexts[id]; !ok {
 			return StatusNoContext, ready
 		}
@@ -89,6 +113,8 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
 		ctx, ok := d.contexts[id]
 		if !ok {
 			return StatusNoContext, ready
@@ -115,21 +141,18 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
-		ctx, st := d.boundContext(ch)
+		ctx, st := d.boundAndOwned(ch, addr, size)
 		if st != StatusOK {
 			return st, ready
 		}
-		if !bound(ctx, addr, size) {
-			return StatusNotBound, ready
-		}
-		ready = d.switchContext(ctx.id, ready)
+		ready = d.switchContext(phase, ctx.id, ready)
 		if flags&FlagSynthetic == 0 {
 			for i := addr; i < addr+size; i++ {
 				d.vram[i] = value
 			}
 		}
 		dur := sim.TransferTime(int(size), d.cm.GPUFillBandwidth, d.cm.KernelLaunch)
-		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "fill", ready, dur)
+		done := d.charge(phase, sim.ResGPUCompute, "fill", ready, dur)
 		return StatusOK, done
 
 	case OpDMAHtoD, OpDMADtoH:
@@ -138,12 +161,8 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
-		ctx, st := d.boundContext(ch)
-		if st != StatusOK {
+		if _, st := d.boundAndOwned(ch, gpuAddr, size); st != StatusOK {
 			return st, ready
-		}
-		if !bound(ctx, gpuAddr, size) {
-			return StatusNotBound, ready
 		}
 		if flags&FlagSynthetic == 0 {
 			if d.rc == nil {
@@ -163,7 +182,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if cmd.Op == OpDMADtoH {
 			dur = d.cm.DtoHTime(int(size))
 		}
-		_, done := d.tl.AcquireLabeled(sim.ResGPUDMA, cmd.Op.String(), ready, dur)
+		done := d.charge(phase, sim.ResGPUDMA, cmd.Op.String(), ready, dur)
 		return StatusOK, done
 
 	case OpLaunch:
@@ -177,15 +196,18 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			return StatusBadCommand, ready
 		}
 		name := cString(nameBytes)
+		d.mu.Lock()
 		k, ok := d.kernels[name]
 		if !ok {
+			d.mu.Unlock()
 			return StatusNoSuchKernel, ready
 		}
-		ctx, st := d.boundContext(ch)
+		ctx, st := d.boundContextLocked(ch)
+		d.mu.Unlock()
 		if st != StatusOK {
 			return st, ready
 		}
-		ready = d.switchContext(ctx.id, ready)
+		ready = d.switchContext(phase, ctx.id, ready)
 		if flags&FlagSynthetic == 0 && k.Run != nil {
 			ec := &ExecContext{dev: d, ctx: ctx, Params: params}
 			if err := k.Run(ec); err != nil {
@@ -196,7 +218,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if k.Cost != nil {
 			dur += k.Cost(d.cm, params)
 		}
-		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "kernel:"+name, ready, dur)
+		done := d.charge(phase, sim.ResGPUCompute, "kernel:"+name, ready, dur)
 		return StatusOK, done
 
 	case OpDHPublic:
@@ -204,17 +226,20 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
 		party, ok := d.dh[slot]
 		if !ok {
 			var err error
 			party, err = attest.NewDHParty(deviceEntropy{})
 			if err != nil {
+				d.mu.Unlock()
 				return StatusBadElement, ready
 			}
 			d.dh[slot] = party
 		}
-		d.writeElementResponse(findChannel(d, ch), party.Public())
-		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "dh-public", ready, d.cm.GPUDHOpTime)
+		d.mu.Unlock()
+		d.writeElementResponse(ch, party.Public())
+		done := d.charge(phase, sim.ResGPUCompute, "dh-public", ready, d.cm.GPUDHOpTime)
 		return StatusOK, done
 
 	case OpDHMix, OpDHFinish:
@@ -223,7 +248,9 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil {
 			return StatusBadCommand, ready
 		}
+		d.mu.Lock()
 		party, ok := d.dh[slot]
+		d.mu.Unlock()
 		if !ok {
 			return StatusNoKey, ready
 		}
@@ -233,12 +260,14 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			return StatusBadElement, ready
 		}
 		if cmd.Op == OpDHMix {
-			d.writeElementResponse(findChannel(d, ch), out)
+			d.writeElementResponse(ch, out)
 		} else {
+			d.mu.Lock()
 			d.keys[slot] = attest.SessionKey(out)
 			delete(d.aeads, slot) // new key: drop any cached schedule
+			d.mu.Unlock()
 		}
-		_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "dh-mix", ready, d.cm.GPUDHOpTime)
+		done := d.charge(phase, sim.ResGPUCompute, "dh-mix", ready, d.cm.GPUDHOpTime)
 		return StatusOK, done
 
 	case OpCryptoEncrypt, OpCryptoDecrypt:
@@ -248,14 +277,6 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		flags := r.u32()
 		if r.err != nil {
 			return StatusBadCommand, ready
-		}
-		ctx, st := d.boundContext(ch)
-		if st != StatusOK {
-			return st, ready
-		}
-		key, ok := d.keys[slot]
-		if !ok {
-			return StatusNoKey, ready
 		}
 		// The plaintext side is `size` for encrypt, `size - tag` for
 		// decrypt; the ciphertext side always carries the tag.
@@ -271,23 +292,38 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			srcSpan, dstSpan = size, size-ocb.TagSize
 			dataLen = int(size) - ocb.TagSize
 		}
+		d.mu.Lock()
+		ctx, st := d.boundContextLocked(ch)
+		if st != StatusOK {
+			d.mu.Unlock()
+			return st, ready
+		}
+		key, haveKey := d.keys[slot]
+		if !haveKey {
+			d.mu.Unlock()
+			return StatusNoKey, ready
+		}
 		if !bound(ctx, src, srcSpan) || !bound(ctx, dst, dstSpan) {
+			d.mu.Unlock()
 			return StatusNotBound, ready
 		}
-		ready = d.switchContext(ctx.id, ready)
-		if flags&FlagSynthetic == 0 {
-			// The OCB key schedule (AES expansion + the L-mask table) is
-			// derived once per key slot, not per chunk: the crypto kernels
-			// run on every chunk of every transfer.
-			aead, ok := d.aeads[slot]
-			if !ok {
-				var err error
-				aead, err = ocb.New(key[:])
-				if err != nil {
-					return StatusBadCommand, ready
-				}
-				d.aeads[slot] = aead
+		// The OCB key schedule (AES expansion + the L-mask table) is
+		// derived once per key slot, not per chunk: the crypto kernels
+		// run on every chunk of every transfer. The cached AEAD is safe
+		// for concurrent use across channels.
+		aead, haveAEAD := d.aeads[slot]
+		if !haveAEAD {
+			var err error
+			aead, err = ocb.New(key[:])
+			if err != nil {
+				d.mu.Unlock()
+				return StatusBadCommand, ready
 			}
+			d.aeads[slot] = aead
+		}
+		d.mu.Unlock()
+		ready = d.switchContext(phase, ctx.id, ready)
+		if flags&FlagSynthetic == 0 {
 			// The Into paths write straight into VRAM with no staging
 			// allocation. src and dst spans are either identical (in-place)
 			// or disjoint — the enclave stages through its own ring — but a
@@ -316,12 +352,114 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if d.cfg.ConcurrentContexts {
 			cryptoRes = ResGPUComputeAux
 		}
-		_, done := d.tl.AcquireLabeled(cryptoRes, cmd.Op.String(), ready, dur)
+		done := d.charge(phase, cryptoRes, cmd.Op.String(), ready, dur)
 		return StatusOK, done
 
 	default:
 		return StatusBadCommand, ready
 	}
+}
+
+// replayTiming charges the simulated time of a command previously
+// executed in PhaseData, without re-touching data, bindings or key
+// state. The recorded outcome (Header.PStatus) steers the control flow
+// so failed commands charge exactly what their failing PhaseFull
+// execution would have: pre-dispatch failures charge nothing, and an
+// in-GPU authentication failure or kernel fault still pays the context
+// switch that preceded it.
+func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
+	ready := sim.Time(cmd.SubmitNS)
+	st := cmd.PStatus
+	r := &payloadReader{buf: cmd.Payload}
+	switch cmd.Op {
+	case OpFill:
+		_, size := r.u64(), r.u64()
+		if r.err != nil || st != StatusOK {
+			return st, ready
+		}
+		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
+		dur := sim.TransferTime(int(size), d.cm.GPUFillBandwidth, d.cm.KernelLaunch)
+		done := d.charge(PhaseTime, sim.ResGPUCompute, "fill", ready, dur)
+		return st, done
+
+	case OpDMAHtoD, OpDMADtoH:
+		_, _, size := r.u64(), r.u64(), r.u64()
+		if r.err != nil || st != StatusOK {
+			return st, ready
+		}
+		dur := d.cm.HtoDTime(int(size))
+		if cmd.Op == OpDMADtoH {
+			dur = d.cm.DtoHTime(int(size))
+		}
+		done := d.charge(PhaseTime, sim.ResGPUDMA, cmd.Op.String(), ready, dur)
+		return st, done
+
+	case OpLaunch:
+		nameBytes := r.bytes(KernelNameSize)
+		var params [NumKernelParams]uint64
+		for i := range params {
+			params[i] = r.u64()
+		}
+		if r.err != nil || (st != StatusOK && st != StatusKernelFault) {
+			return st, ready
+		}
+		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
+		if st != StatusOK {
+			return st, ready // kernel fault: switched, then failed
+		}
+		name := cString(nameBytes)
+		d.mu.Lock()
+		k := d.kernels[name]
+		d.mu.Unlock()
+		dur := d.cm.KernelLaunch
+		if k != nil && k.Cost != nil {
+			dur += k.Cost(d.cm, params)
+		}
+		done := d.charge(PhaseTime, sim.ResGPUCompute, "kernel:"+name, ready, dur)
+		return st, done
+
+	case OpCryptoEncrypt, OpCryptoDecrypt:
+		_, _, size := r.u64(), r.u64(), r.u64()
+		if r.err != nil || (st != StatusOK && st != StatusAuthFailed) {
+			return st, ready
+		}
+		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
+		if st != StatusOK {
+			return st, ready // auth failure: switched, then failed
+		}
+		dataLen := int(size)
+		if cmd.Op == OpCryptoDecrypt {
+			dataLen -= ocb.TagSize
+		}
+		cryptoRes := sim.ResGPUCompute
+		if d.cfg.ConcurrentContexts {
+			cryptoRes = ResGPUComputeAux
+		}
+		done := d.charge(PhaseTime, cryptoRes, cmd.Op.String(), ready, d.cm.GPUCryptoTime(dataLen))
+		return st, done
+
+	case OpDHPublic, OpDHMix, OpDHFinish:
+		if st != StatusOK {
+			return st, ready
+		}
+		label := "dh-mix"
+		if cmd.Op == OpDHPublic {
+			label = "dh-public"
+		}
+		done := d.charge(PhaseTime, sim.ResGPUCompute, label, ready, d.cm.GPUDHOpTime)
+		return st, done
+
+	default:
+		// Nop, context management and memory binding are instantaneous.
+		return st, ready
+	}
+}
+
+// channelCtx reads the channel's bound context under the registry lock.
+func (d *Device) channelCtx(ch *channel) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ch.boundCtx
 }
 
 // rangesOverlap reports whether the VRAM extents [a, a+an) and [b, b+bn)
@@ -330,8 +468,24 @@ func rangesOverlap(a, an, b, bn uint64) bool {
 	return a < b+bn && b < a+an
 }
 
-// boundContext resolves the channel's bound context.
-func (d *Device) boundContext(ch *channel) (*gpuContext, Status) {
+// boundAndOwned resolves the channel's context and verifies [addr,
+// addr+size) is bound to it, all under the registry lock.
+func (d *Device) boundAndOwned(ch *channel, addr, size uint64) (*gpuContext, Status) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ctx, st := d.boundContextLocked(ch)
+	if st != StatusOK {
+		return nil, st
+	}
+	if !bound(ctx, addr, size) {
+		return nil, StatusNotBound
+	}
+	return ctx, StatusOK
+}
+
+// boundContextLocked resolves the channel's bound context. The caller
+// holds d.mu.
+func (d *Device) boundContextLocked(ch *channel) (*gpuContext, Status) {
 	if ch.boundCtx == 0 {
 		return nil, StatusNoContext
 	}
@@ -343,7 +497,9 @@ func (d *Device) boundContext(ch *channel) (*gpuContext, Status) {
 }
 
 // bound reports whether [addr, addr+size) is covered by one of the
-// context's bindings (the GPU-side page-table check).
+// context's bindings (the GPU-side page-table check). Bindings only
+// change on the serialized control plane, so data-plane readers see a
+// stable slice.
 func bound(ctx *gpuContext, addr, size uint64) bool {
 	for _, e := range ctx.bindings {
 		if e.contains(addr, size) {
@@ -359,39 +515,36 @@ const ResGPUComputeAux = sim.Resource("gpu-compute-aux")
 
 // switchContext accounts a compute-engine context switch when ownership
 // changes (§4.5: pre-Volta GPUs run one context at a time). With
-// concurrent contexts enabled, switches are free.
-func (d *Device) switchContext(ctxID uint32, ready sim.Time) sim.Time {
+// concurrent contexts enabled, switches are free. PhaseData commands
+// defer the switch to their PhaseTime replay so engine ownership evolves
+// in canonical schedule order, not data-execution order.
+func (d *Device) switchContext(phase uint8, ctxID uint32, ready sim.Time) sim.Time {
+	if phase == PhaseData {
+		return ready
+	}
+	d.mu.Lock()
 	if d.cfg.ConcurrentContexts || d.current == ctxID {
 		d.current = ctxID
+		d.mu.Unlock()
 		return ready
 	}
 	d.current = ctxID
 	d.ctxSwitches++
+	d.mu.Unlock()
 	_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "ctx-switch", ready, d.cm.ContextSwitch)
 	return done
 }
 
 // writeElementResponse publishes a DH group element in the channel's
-// response buffer: u32 length followed by the fixed-width element.
-func (d *Device) writeElementResponse(chIdx int, v *big.Int) {
-	if chIdx < 0 {
-		return
-	}
-	resp := d.channels[chIdx].resp
+// response buffer: u32 length followed by the fixed-width element. The
+// caller holds ch.mu.
+func (d *Device) writeElementResponse(ch *channel, v *big.Int) {
+	resp := ch.resp
 	for i := range resp {
 		resp[i] = 0
 	}
 	putReg(resp[0:4], DHElementSize)
 	v.FillBytes(resp[4 : 4+DHElementSize])
-}
-
-func findChannel(d *Device, ch *channel) int {
-	for i, c := range d.channels {
-		if c == ch {
-			return i
-		}
-	}
-	return -1
 }
 
 func cString(b []byte) string {

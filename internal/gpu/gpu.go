@@ -83,6 +83,25 @@ type Config struct {
 }
 
 // Device is the simulated GPU.
+//
+// Locking: command submission is serialized per channel, not device-wide,
+// so independent sessions never contend on one big lock. The hierarchy:
+//
+//   - channel.mu guards one channel's submission state (ring, response
+//     buffer, fence/status/completion registers) and is held for the
+//     whole doorbell batch.
+//   - Device.mu is the narrow registry lock: contexts and their
+//     bindings, channel→context bindings, key slots, cached AEADs, DH
+//     state, the kernel table, the aperture, and the counters. It is
+//     taken briefly inside command execution (a channel.mu may be held
+//     at that point; the reverse order is forbidden).
+//
+// Bulk data work — DMA payloads, in-GPU crypto, fills — runs with no
+// device-wide lock. It is safe because every session's commands name
+// only extents bound to that session's context, and the VRAM allocator
+// hands out disjoint extents; Reset (which touches all of VRAM) takes
+// every channel lock first and only runs while no commands are in
+// flight (device launch).
 type Device struct {
 	*pcie.Endpoint
 
@@ -109,12 +128,13 @@ type Device struct {
 }
 
 type channel struct {
+	mu         sync.Mutex // guards this channel's submission state
 	ring       []byte
 	resp       []byte
 	fenceSeq   uint32
 	status     Status
 	completeNS int64
-	boundCtx   uint32 // 0 = unbound
+	boundCtx   uint32 // 0 = unbound; guarded by Device.mu, not mu
 }
 
 type gpuContext struct {
@@ -261,7 +281,8 @@ func (d *Device) RegisterKernel(k *Kernel) error {
 
 // reset cleanses all device state: VRAM, contexts, key slots, fences
 // (§4.2.2 "resetting the GPU to eliminate potential malicious codes";
-// §4.2.3 cold-boot cleansing).
+// §4.2.3 cold-boot cleansing). The caller holds every channel.mu (in
+// index order) and then d.mu.
 func (d *Device) reset() {
 	for i := range d.vram {
 		d.vram[i] = 0
@@ -285,11 +306,18 @@ func (d *Device) reset() {
 }
 
 // Reset performs a device reset from outside the MMIO path (used by
-// platform cold boot).
+// platform cold boot). Channel locks are taken in index order before the
+// registry lock, matching the channel→registry hierarchy everywhere else.
 func (d *Device) Reset() {
+	for _, ch := range d.channels {
+		ch.mu.Lock()
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.reset()
+	d.mu.Unlock()
+	for i := len(d.channels) - 1; i >= 0; i-- {
+		d.channels[i].mu.Unlock()
+	}
 }
 
 // --- BAR0: registers, rings, responses ---------------------------------
@@ -316,23 +344,27 @@ func (d *Device) channelOf(off uint64, base, size uint64) (int, uint64, bool) {
 }
 
 func (d *Device) bar0Read(off uint64, p []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
 	// Ring area (write-mostly, readable for debugging).
 	if ch, rel, ok := d.channelOf(off, RingBase, RingSize); ok && off >= RingBase {
-		copyClamped(p, d.channels[ch].ring, rel)
+		c := d.channels[ch]
+		c.mu.Lock()
+		copyClamped(p, c.ring, rel)
+		c.mu.Unlock()
 		return nil
 	}
 	// Response buffers.
 	if ch, rel, ok := d.channelOf(off, RespBase, RespSize); ok && off >= RespBase && off < RingBase {
-		copyClamped(p, d.channels[ch].resp, rel)
+		c := d.channels[ch]
+		c.mu.Lock()
+		copyClamped(p, c.resp, rel)
+		c.mu.Unlock()
 		return nil
 	}
 	// Channel registers.
 	if ch, rel, ok := d.channelOf(off, ChannelRegsBase, ChannelRegsSize); ok &&
 		off >= ChannelRegsBase && off < RespBase {
 		c := d.channels[ch]
+		c.mu.Lock()
 		var v uint32
 		switch rel {
 		case ChanFenceSeq:
@@ -346,10 +378,13 @@ func (d *Device) bar0Read(off uint64, p []byte) error {
 		default:
 			v = 0
 		}
+		c.mu.Unlock()
 		putReg(p, v)
 		return nil
 	}
 	// Global registers.
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var v uint32
 	switch off {
 	case RegMagic:
@@ -378,41 +413,41 @@ func (d *Device) bar0Read(off uint64, p []byte) error {
 }
 
 func (d *Device) bar0Write(off uint64, p []byte) error {
-	d.mu.Lock()
 	// Ring area: the driver streams command bytes here.
 	if ch, rel, ok := d.channelOf(off, RingBase, RingSize); ok && off >= RingBase {
 		if int(rel)+len(p) > RingSize {
-			d.mu.Unlock()
 			return fmt.Errorf("gpu: ring write overflows channel %d", ch)
 		}
-		copy(d.channels[ch].ring[rel:], p)
-		d.mu.Unlock()
+		c := d.channels[ch]
+		c.mu.Lock()
+		copy(c.ring[rel:], p)
+		c.mu.Unlock()
 		return nil
 	}
 	// Channel registers.
 	if ch, rel, ok := d.channelOf(off, ChannelRegsBase, ChannelRegsSize); ok &&
 		off >= ChannelRegsBase && off < RespBase {
 		if rel == ChanDoorbell {
-			n := getReg(p)
-			d.mu.Unlock()
-			d.processDoorbell(ch, int(n))
-			return nil
+			d.processDoorbell(ch, int(getReg(p)))
 		}
-		d.mu.Unlock()
 		return nil // other channel registers are read-only
 	}
 	// Global registers.
 	switch off {
 	case RegReset:
 		if getReg(p) == 1 {
-			d.reset()
+			d.Reset()
 		}
+		return nil
 	case RegApertureLo:
+		d.mu.Lock()
 		d.aperture = d.aperture&^0xFFFF_FFFF | uint64(getReg(p))
+		d.mu.Unlock()
 	case RegApertureHi:
+		d.mu.Lock()
 		d.aperture = d.aperture&0xFFFF_FFFF | uint64(getReg(p))<<32
+		d.mu.Unlock()
 	}
-	d.mu.Unlock()
 	return nil
 }
 

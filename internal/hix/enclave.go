@@ -74,6 +74,11 @@ type Config struct {
 	// (zero value = the primary GPU). One GPU enclave exists per GPU;
 	// PCIe peer-to-peer between them is out of scope (§5.6).
 	GPU pcie.BDF
+	// ServeWorkers bounds how many sessions Serve prepares in parallel
+	// during its data phase (default 1, fully serial). Any value yields
+	// the same simulated schedule: timing is replayed serially in
+	// canonical session order regardless of worker count.
+	ServeWorkers int
 }
 
 // Enclave is the running GPU enclave: the sole owner and operator of the
@@ -98,6 +103,11 @@ type Enclave struct {
 
 	segBytes     uint64
 	stagingSlots uint64
+	serveWorkers int
+
+	// serveMu serializes Serve invocations: the two-phase engine assumes
+	// exclusive ownership of the session queues between its phases.
+	serveMu sync.Mutex
 
 	mu          sync.Mutex
 	sessions    map[uint32]*session
@@ -139,13 +149,19 @@ type session struct {
 	userMeta *attest.NonceSequence // consumed when opening requests
 	geMeta   *attest.NonceSequence // used when sealing responses
 
-	allocs map[uint64]uint64 // device ptr -> size
-	// managed holds demand-paged allocations (paging.go), keyed by
+	// allocs is the session's device allocations as extents sorted by
+	// base address: ownership checks binary-search it, and teardown
+	// cleanses in deterministic address order.
+	allocs []allocExtent
+	// managed holds demand-paged allocations (paging.go) sorted by
 	// handle; managedNonce feeds eviction-writeback encryption.
-	managed      map[uint64]*managedBuf
+	managed      []*managedBuf
 	managedNonce *attest.NonceSequence
 	now          sim.Time // server-side session cursor
 }
+
+// allocExtent is one owned device-memory extent.
+type allocExtent struct{ base, size uint64 }
 
 // enclaveMMIO reaches the GPU BARs through TGMR-validated enclave
 // memory accesses.
@@ -192,6 +208,9 @@ func Launch(cfg Config) (*Enclave, error) {
 	if cfg.StagingSlots < 2 {
 		cfg.StagingSlots = 2
 	}
+	if cfg.ServeWorkers < 1 {
+		cfg.ServeWorkers = 1
+	}
 
 	bdf := cfg.GPU
 	if (bdf == pcie.BDF{}) {
@@ -208,6 +227,7 @@ func Launch(cfg Config) (*Enclave, error) {
 		vendor:       cfg.Vendor,
 		segBytes:     cfg.SessionSegmentBytes,
 		stagingSlots: uint64(cfg.StagingSlots),
+		serveWorkers: cfg.ServeWorkers,
 		sessions:     make(map[uint32]*session),
 		channels:     make(map[int]bool),
 	}
@@ -456,8 +476,6 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 		seg:     seg,
 		reqQ:    e.m.OS.MQCreate(),
 		respQ:   e.m.OS.MQCreate(),
-		allocs:  make(map[uint64]uint64),
-		managed: make(map[uint64]*managedBuf),
 		now:     now,
 	}
 	e.sessions[sid] = s

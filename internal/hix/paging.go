@@ -2,6 +2,7 @@ package hix
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/attest"
 	"repro/internal/gpu"
@@ -60,14 +61,36 @@ func (e *Enclave) ManagedStats() ManagedStats {
 }
 
 // managedLookup resolves a managed virtual address within the session to
-// its buffer and offset.
+// its buffer and offset. s.managed is sorted by handle and buffers never
+// overlap (handles come from a bump allocator), so this is a binary
+// search: the kernel-launch path translates every managed parameter of
+// every launch through here.
 func (s *session) managedLookup(va uint64) (*managedBuf, uint64, bool) {
-	for _, b := range s.managed {
-		if va >= b.handle && va < b.handle+b.size {
-			return b, va - b.handle, true
-		}
+	i := sort.Search(len(s.managed), func(i int) bool { return s.managed[i].handle > va })
+	if i == 0 {
+		return nil, 0, false
+	}
+	b := s.managed[i-1]
+	if va < b.handle+b.size {
+		return b, va - b.handle, true
 	}
 	return nil, 0, false
+}
+
+// managedInsert adds b keeping s.managed sorted by handle.
+func (s *session) managedInsert(b *managedBuf) {
+	i := sort.Search(len(s.managed), func(i int) bool { return s.managed[i].handle >= b.handle })
+	s.managed = append(s.managed, nil)
+	copy(s.managed[i+1:], s.managed[i:])
+	s.managed[i] = b
+}
+
+// managedRemove drops the buffer with the given handle, if present.
+func (s *session) managedRemove(handle uint64) {
+	i := sort.Search(len(s.managed), func(i int) bool { return s.managed[i].handle >= handle })
+	if i < len(s.managed) && s.managed[i].handle == handle {
+		s.managed = append(s.managed[:i], s.managed[i+1:]...)
+	}
 }
 
 // doManagedAlloc creates a managed buffer: a handle plus an untrusted
@@ -85,7 +108,7 @@ func (e *Enclave) doManagedAlloc(s *session, req Request, now sim.Time) Response
 	handle := managedBase + e.nextManaged
 	e.mu.Unlock()
 	b := &managedBuf{owner: s, handle: handle, size: req.Size, backing: backing, lastUse: now}
-	s.managed[handle] = b
+	s.managedInsert(b)
 	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%maxInt(e.core.Cost().CPULanes, 1)),
 		"managed-alloc", now, e.core.Cost().MemAllocPerCall)
 	return Response{Status: RespOK, CompleteNS: int64(now), Value: handle}
@@ -171,7 +194,8 @@ func (e *Enclave) ensureResident(b *managedBuf, now sim.Time, flags uint32) (sim
 }
 
 // lruResident picks the least-recently-used resident managed buffer other
-// than keep, across all sessions.
+// than keep, across all sessions. Sessions are scanned in id order and
+// buffers in handle order, so ties break deterministically.
 func (e *Enclave) lruResident(keep *managedBuf) *managedBuf {
 	e.mu.Lock()
 	sessions := make([]*session, 0, len(e.sessions))
@@ -179,6 +203,7 @@ func (e *Enclave) lruResident(keep *managedBuf) *managedBuf {
 		sessions = append(sessions, s)
 	}
 	e.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
 	var victim *managedBuf
 	for _, s := range sessions {
 		for _, b := range s.managed {
@@ -297,7 +322,7 @@ func (e *Enclave) doManagedFree(s *session, req Request, now sim.Time) Response 
 		}
 		_ = e.m.OS.ShmWritePhys(b.backing, off, zero[:n])
 	}
-	delete(s.managed, b.handle)
+	s.managedRemove(b.handle)
 	return Response{Status: RespOK, CompleteNS: int64(now)}
 }
 

@@ -3,28 +3,122 @@ package hix
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gpu"
 	"repro/internal/ocb"
-	"repro/internal/osim"
 	"repro/internal/sim"
 )
+
+// The serving engine (§4.4.1: the GPU enclave is woken by the message
+// queue and serves every session's pending requests) runs each wakeup in
+// two phases:
+//
+//   - Phase P (data, parallel): per-session batches are prepared by up
+//     to ServeWorkers goroutines. All real work that has a
+//     deterministic, order-independent outcome happens here — envelope
+//     decode, nonce-counter authentication, request decode, and for
+//     data-plane requests the actual DMA + in-GPU crypto + kernel
+//     execution, submitted in PhaseData so the device moves bytes but
+//     accounts no simulated time. Every charge and submission is
+//     recorded as a step.
+//   - Phase T (time, serial): batches are replayed in canonical order —
+//     ascending session id, per-session FIFO — charging the recorded
+//     steps on the shared timeline (device timing via PhaseTime
+//     commands) and posting responses. Requests whose outcome depends
+//     on execution order (allocation, paging, teardown) were deferred
+//     in phase P and execute here in full.
+//
+// Because phase T alone touches the timeline and always runs in the
+// same order, the simulated schedule is byte-identical for every
+// ServeWorkers value — concurrency buys host wall-clock, not a
+// different answer.
+
+// exec abstracts how a request handler charges simulated time and
+// submits device commands, so the same handler code runs both live
+// (serial, charging as it goes) and recorded (data phase, charges and
+// submissions logged for canonical replay).
+type exec interface {
+	charge(res sim.Resource, label string, now sim.Time, d sim.Duration) sim.Time
+	submit(s *session, now sim.Time, op gpu.Opcode, payload []byte) (gpu.Status, sim.Time, error)
+}
+
+// liveExec charges and submits immediately (phase T and legacy serial
+// handling).
+type liveExec struct{ e *Enclave }
+
+func (x liveExec) charge(res sim.Resource, label string, now sim.Time, d sim.Duration) sim.Time {
+	_, now = x.e.core.Timeline().AcquireLabeled(res, label, now, d)
+	return now
+}
+
+func (x liveExec) submit(s *session, now sim.Time, op gpu.Opcode, payload []byte) (gpu.Status, sim.Time, error) {
+	return x.e.core.Submit(s.channel, now, op, payload)
+}
+
+// step is one recorded action of a phase-P request: either a timeline
+// charge or a device submission (with its observed status, replayed as
+// a PhaseTime command).
+type step struct {
+	submit  bool
+	res     sim.Resource
+	label   string
+	dur     sim.Duration
+	op      gpu.Opcode
+	payload []byte
+	st      gpu.Status
+}
+
+// recExec executes device work in PhaseData (real bytes, no simulated
+// time) and records every action for phase-T replay.
+type recExec struct {
+	e     *Enclave
+	steps []step
+}
+
+func (x *recExec) charge(res sim.Resource, label string, now sim.Time, d sim.Duration) sim.Time {
+	x.steps = append(x.steps, step{res: res, label: label, dur: d})
+	return now
+}
+
+func (x *recExec) submit(s *session, now sim.Time, op gpu.Opcode, payload []byte) (gpu.Status, sim.Time, error) {
+	st, now, err := x.e.core.SubmitPhase(s.channel, now, op, payload, gpu.PhaseData, 0)
+	if err != nil {
+		return st, now, err
+	}
+	x.steps = append(x.steps, step{submit: true, op: op, payload: payload, st: st})
+	return st, now, nil
+}
+
+// replaySteps charges a recorded request's steps at its canonical point
+// in the schedule and returns the completion time.
+func (e *Enclave) replaySteps(s *session, now sim.Time, steps []step) sim.Time {
+	for _, st := range steps {
+		if st.submit {
+			_, now, _ = e.core.SubmitPhase(s.channel, now, st.op, st.payload, gpu.PhaseTime, st.st)
+		} else {
+			_, now = e.core.Timeline().AcquireLabeled(st.res, st.label, now, st.dur)
+		}
+	}
+	return now
+}
 
 // doubleCopyPenalty charges the naive double-copy design's extra work
 // (§4.4.2): the GPU enclave decrypts the user ciphertext, re-encrypts
 // under a second key, and performs an extra host-side copy. Timing-only;
 // functional behavior is unchanged.
-func (e *Enclave) doubleCopyPenalty(s *session, now sim.Time, n int, flags uint32) sim.Time {
+func (e *Enclave) doubleCopyPenalty(x exec, s *session, now sim.Time, n int, flags uint32) sim.Time {
 	if flags&FlagDoubleCopy == 0 {
 		return now
 	}
 	cm := e.core.Cost()
 	lane := sim.CryptoLane(int(s.id) % maxInt(cm.CPULanes, 1))
-	_, now = e.core.Timeline().AcquireLabeled(lane, "dc-decrypt", now, cm.CPUCryptoTime(n))
-	_, now = e.core.Timeline().AcquireLabeled(lane, "dc-reencrypt", now, cm.CPUCryptoTime(n))
+	now = x.charge(lane, "dc-decrypt", now, cm.CPUCryptoTime(n))
+	now = x.charge(lane, "dc-reencrypt", now, cm.CPUCryptoTime(n))
 	cpu := sim.CPULane(int(s.id) % maxInt(cm.CPULanes, 1))
-	_, now = e.core.Timeline().AcquireLabeled(cpu, "dc-copy", now,
-		sim.TransferTime(n, cm.HostMemcpyBandwidth, 0))
+	now = x.charge(cpu, "dc-copy", now, sim.TransferTime(n, cm.HostMemcpyBandwidth, 0))
 	return now
 }
 
@@ -43,12 +137,62 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// Serve drains every session's Request queue, handling each Request and
-// posting an encrypted response. In the real system the GPU enclave is a
-// separate process woken by the message queue (§4.4.1); the simulation
-// invokes Serve synchronously after each send, with all costs accounted
-// on the shared simulated timeline.
+// servedKind classifies a prepared message for phase T.
+type servedKind uint8
+
+const (
+	srvReject     servedKind = iota // malformed envelope, wrong/closed session
+	srvAuthFailed                   // meta-channel authentication failed
+	srvRecorded                     // data-plane work done; steps + status recorded
+	srvDeferred                     // serial-only request, dispatched live in phase T
+)
+
+// served is one prepared request awaiting its phase-T turn.
+type served struct {
+	kind  servedKind
+	now   sim.Time // clamped client submit instant
+	steps []step
+	resp  Response // srvRecorded: status decided in phase P
+	req   Request  // srvDeferred
+}
+
+// serveBatch is one session's drained epoch.
+type serveBatch struct {
+	s     *session
+	msgs  [][]byte
+	items []served
+}
+
+// serialOnly reports whether a request must wait for the serial timing
+// phase: anything that mutates shared registries (VRAM allocator,
+// bindings, session table) or touches demand-paged memory, where
+// execution order itself determines the result (e.g. which addresses
+// the allocator hands out, which buffer is the LRU eviction victim).
+func serialOnly(req Request) bool {
+	switch req.Type {
+	case ReqMemcpyHtoD, ReqMemcpyDtoH:
+		return req.Ptr >= managedBase
+	case ReqLaunch:
+		for _, p := range req.Params {
+			if p >= managedBase {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Serve drains every session's request queue and answers each request,
+// with all costs accounted on the shared simulated timeline. In the real
+// system the GPU enclave is a separate process woken by the message
+// queue (§4.4.1); the simulation invokes Serve synchronously after each
+// send. Concurrent callers serialize: one wakeup owns the queues.
 func (e *Enclave) Serve() error {
+	e.serveMu.Lock()
+	defer e.serveMu.Unlock()
+
 	e.mu.Lock()
 	sessions := make([]*session, 0, len(e.sessions))
 	for _, s := range e.sessions {
@@ -59,63 +203,139 @@ func (e *Enclave) Serve() error {
 	if dead {
 		return ErrEnclaveDead
 	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
+	batches := make([]*serveBatch, 0, len(sessions))
 	for _, s := range sessions {
-		for {
-			msg, err := e.m.OS.MQRecv(s.reqQ)
-			if errors.Is(err, osim.ErrQueueEmpty) {
-				break
-			}
-			if err != nil {
-				return err
-			}
-			e.handleMessage(s, msg)
+		msgs, err := e.m.OS.MQDrain(s.reqQ)
+		if err != nil {
+			return err
+		}
+		if len(msgs) > 0 {
+			batches = append(batches, &serveBatch{s: s, msgs: msgs})
+		}
+	}
+	if len(batches) == 0 {
+		return nil
+	}
+
+	// Phase P: prepare batches, in parallel when configured. Each batch
+	// is owned by exactly one worker, so per-session state (nonce
+	// counters, staging ring, ownership tables) needs no locking; the
+	// device layer's per-channel submission state keeps concurrent
+	// PhaseData submissions of different sessions apart.
+	if workers := minInt(e.serveWorkers, len(batches)); workers <= 1 {
+		for _, b := range batches {
+			b.items = e.prepBatch(b.s, b.msgs)
+		}
+	} else {
+		var next int32 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1))
+					if i >= len(batches) {
+						return
+					}
+					b := batches[i]
+					b.items = e.prepBatch(b.s, b.msgs)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase T: replay in canonical order and respond. Interleaving in
+	// *simulated* time is the timeline's gap-filling scheduler's job;
+	// processing order here only has to be deterministic.
+	for _, b := range batches {
+		for _, it := range b.items {
+			e.finishItem(b.s, it)
 		}
 	}
 	return nil
 }
 
-// handleMessage decrypts, dispatches and answers one Request. Every
-// failure path still produces a response so the user enclave can abort
-// cleanly rather than hang.
-func (e *Enclave) handleMessage(s *session, msg []byte) {
-	env, err := DecodeEnvelope(msg)
-	if err != nil || env.SessionID != s.id || !s.active {
+// prepBatch runs phase P for one session's drained messages, in FIFO
+// order. Once a serial-only request is seen, every later request of the
+// batch is deferred too, preserving program order; after a Close, later
+// messages are rejected without consuming nonces (the session will be
+// inactive by the time they are answered).
+func (e *Enclave) prepBatch(s *session, msgs [][]byte) []served {
+	items := make([]served, 0, len(msgs))
+	deferring := false
+	closed := false
+	for _, msg := range msgs {
+		env, err := DecodeEnvelope(msg)
+		if err != nil || env.SessionID != s.id || !s.active || closed {
+			items = append(items, served{kind: srvReject})
+			continue
+		}
+		now := sim.Time(env.SubmitNS)
+		if now < 0 {
+			now = 0
+		}
+		// Open the request under the expected counter nonce: a replayed,
+		// reordered or tampered message fails here (§5.5).
+		nonce := s.userMeta.Next()
+		body, err := s.aead.Open(nil, nonce, env.Body, nil)
+		if err != nil {
+			items = append(items, served{kind: srvAuthFailed, now: now})
+			continue
+		}
+		// Metadata decryption cost (§4.4.3: "the GPU enclave decrypts
+		// the Request").
+		rx := &recExec{e: e}
+		lane := sim.CPULane(int(s.id) % maxInt(e.core.Cost().CPULanes, 1))
+		rx.charge(lane, "meta-open", now, e.core.Cost().CPUCryptoTime(len(body)))
+
+		req, err := DecodeRequest(body)
+		if err != nil {
+			items = append(items, served{kind: srvRecorded, now: now, steps: rx.steps,
+				resp: Response{Status: RespBadRequest}})
+			continue
+		}
+		if deferring || serialOnly(req) {
+			deferring = true
+			if req.Type == ReqClose {
+				closed = true
+			}
+			items = append(items, served{kind: srvDeferred, now: now, steps: rx.steps, req: req})
+			continue
+		}
+		resp := e.dispatch(rx, s, req, now)
+		items = append(items, served{kind: srvRecorded, now: now, steps: rx.steps, resp: resp})
+	}
+	return items
+}
+
+// finishItem runs phase T for one prepared request: charge its steps at
+// the canonical point in the schedule, run deferred work live, respond.
+func (e *Enclave) finishItem(s *session, it served) {
+	switch it.kind {
+	case srvReject:
 		e.respond(s, Response{Status: RespBadRequest, CompleteNS: int64(s.now)})
-		return
+	case srvAuthFailed:
+		e.respond(s, Response{Status: RespAuthFailed, CompleteNS: int64(it.now)})
+	case srvRecorded:
+		now := e.replaySteps(s, it.now, it.steps)
+		r := it.resp
+		r.CompleteNS = int64(now)
+		e.respond(s, r)
+	case srvDeferred:
+		now := e.replaySteps(s, it.now, it.steps)
+		e.respond(s, e.dispatch(liveExec{e}, s, it.req, now))
 	}
-	// Requests are handled when they arrive; ordering on the device is
-	// enforced by the per-resource timeline (the enclave queues commands
-	// asynchronously and only the caller polls fences), so chunk n+1's
-	// DMA overlaps chunk n's in-GPU decryption (§5.2).
-	now := sim.Time(env.SubmitNS)
-	if now < 0 {
-		now = 0
-	}
+}
 
-	// Open the Request under the expected counter nonce: a replayed,
-	// reordered or tampered message fails here (§5.5).
-	nonce := s.userMeta.Next()
-	body, err := s.aead.Open(nil, nonce, env.Body, nil)
-	if err != nil {
-		e.respond(s, Response{Status: RespAuthFailed, CompleteNS: int64(now)})
-		return
+func minInt(a, b int) int {
+	if a < b {
+		return a
 	}
-	// Metadata decryption cost (§4.4.3: "the GPU enclave decrypts the
-	// Request").
-	lanes := e.core.Cost().CPULanes
-	if lanes <= 0 {
-		lanes = 1
-	}
-	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%lanes), "meta-open", now,
-		e.core.Cost().CPUCryptoTime(len(body)))
-
-	req, err := DecodeRequest(body)
-	if err != nil {
-		e.respond(s, Response{Status: RespBadRequest, CompleteNS: int64(now)})
-		return
-	}
-	resp := e.dispatch(s, req, now)
-	e.respond(s, resp)
+	return b
 }
 
 func (e *Enclave) respond(s *session, r Response) {
@@ -132,18 +352,18 @@ func (e *Enclave) respond(s *session, r Response) {
 	_ = e.m.OS.MQSend(s.respQ, env.Encode())
 }
 
-func (e *Enclave) dispatch(s *session, req Request, now sim.Time) Response {
+func (e *Enclave) dispatch(x exec, s *session, req Request, now sim.Time) Response {
 	switch req.Type {
 	case ReqMemAlloc:
 		return e.doMemAlloc(s, req, now)
 	case ReqMemFree:
 		return e.doMemFree(s, req, now)
 	case ReqMemcpyHtoD:
-		return e.doHtoD(s, req, now)
+		return e.doHtoD(x, s, req, now)
 	case ReqMemcpyDtoH:
-		return e.doDtoH(s, req, now)
+		return e.doDtoH(x, s, req, now)
 	case ReqLaunch:
-		return e.doLaunch(s, req, now)
+		return e.doLaunch(x, s, req, now)
 	case ReqClose:
 		return e.doClose(s, now)
 	case ReqManagedAlloc:
@@ -178,15 +398,49 @@ func (s *session) nextStagingSlot() uint64 {
 	return slot
 }
 
+// --- Per-session allocation table ---------------------------------------
+//
+// Extents sorted by base address: ownership checks are a binary search
+// (sessions issuing thousands of chunked copies hit ownsRange on every
+// one), and teardown walks allocations in deterministic address order.
+
+// allocInsert records [base, base+size). Extents never overlap: bases
+// come from the shared VRAM allocator.
+func (s *session) allocInsert(base, size uint64) {
+	i := sort.Search(len(s.allocs), func(i int) bool { return s.allocs[i].base >= base })
+	s.allocs = append(s.allocs, allocExtent{})
+	copy(s.allocs[i+1:], s.allocs[i:])
+	s.allocs[i] = allocExtent{base: base, size: size}
+}
+
+// allocFind returns the size of the extent starting exactly at base.
+func (s *session) allocFind(base uint64) (uint64, bool) {
+	i := sort.Search(len(s.allocs), func(i int) bool { return s.allocs[i].base >= base })
+	if i < len(s.allocs) && s.allocs[i].base == base {
+		return s.allocs[i].size, true
+	}
+	return 0, false
+}
+
+func (s *session) allocRemove(base uint64) {
+	i := sort.Search(len(s.allocs), func(i int) bool { return s.allocs[i].base >= base })
+	if i < len(s.allocs) && s.allocs[i].base == base {
+		s.allocs = append(s.allocs[:i], s.allocs[i+1:]...)
+	}
+}
+
 // ownsRange verifies the session owns [ptr, ptr+size): the GPU enclave
 // never lets one user name another user's device memory (§4.5).
 func (s *session) ownsRange(ptr, size uint64) bool {
-	for base, sz := range s.allocs {
-		if ptr >= base && ptr+size <= base+sz && ptr+size >= ptr {
-			return true
-		}
+	if ptr+size < ptr {
+		return false
 	}
-	return false
+	i := sort.Search(len(s.allocs), func(i int) bool { return s.allocs[i].base > ptr })
+	if i == 0 {
+		return false
+	}
+	a := s.allocs[i-1]
+	return ptr+size <= a.base+a.size
 }
 
 func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
@@ -201,7 +455,7 @@ func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
 		_ = e.core.FreeVRAM(addr)
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
-	s.allocs[addr] = e.core.AllocatedSize(addr)
+	s.allocInsert(addr, e.core.AllocatedSize(addr))
 	return Response{Status: RespOK, CompleteNS: int64(now), Value: addr}
 }
 
@@ -209,7 +463,7 @@ func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
 // deallocated global memory" to stop residual-data leaks (§4.5) — the
 // security improvement over the baseline driver's free.
 func (e *Enclave) doMemFree(s *session, req Request, now sim.Time) Response {
-	size, ok := s.allocs[req.Ptr]
+	size, ok := s.allocFind(req.Ptr)
 	if !ok {
 		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
 	}
@@ -223,7 +477,7 @@ func (e *Enclave) doMemFree(s *session, req Request, now sim.Time) Response {
 	if err != nil || st != gpu.StatusOK {
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
-	delete(s.allocs, req.Ptr)
+	s.allocRemove(req.Ptr)
 	_ = e.core.FreeVRAM(req.Ptr)
 	return Response{Status: RespOK, CompleteNS: int64(now)}
 }
@@ -233,7 +487,7 @@ func (e *Enclave) doMemFree(s *session, req Request, now sim.Time) Response {
 // memory straight into the in-VRAM staging buffer, then run the in-GPU
 // OCB decryption kernel writing plaintext to the destination. The GPU
 // enclave never touches (or could even read) the plaintext.
-func (e *Enclave) doHtoD(s *session, req Request, now sim.Time) Response {
+func (e *Enclave) doHtoD(x exec, s *session, req Request, now sim.Time) Response {
 	nonce := req.Nonce[:]
 	ctLen := req.Len // ciphertext incl. tag
 	if ctLen < ocb.TagSize || ctLen > s.slotSize() {
@@ -255,13 +509,13 @@ func (e *Enclave) doHtoD(s *session, req Request, now sim.Time) Response {
 		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
 	}
 	staging := s.nextStagingSlot()
-	now = e.doubleCopyPenalty(s, now, int(ptLen), req.Flags)
-	st, now, err := e.core.Submit(s.channel, now, gpu.OpDMAHtoD,
+	now = e.doubleCopyPenalty(x, s, now, int(ptLen), req.Flags)
+	st, now, err := x.submit(s, now, gpu.OpDMAHtoD,
 		gpu.BuildDMA(staging, uint64(hostPA), ctLen, req.Flags&^FlagDoubleCopy))
 	if err != nil || st != gpu.StatusOK {
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
-	st, now, err = e.core.Submit(s.channel, now, gpu.OpCryptoDecrypt,
+	st, now, err = x.submit(s, now, gpu.OpCryptoDecrypt,
 		gpu.BuildCrypto(staging, dst, ctLen, s.id, nonce, req.Flags&^FlagDoubleCopy))
 	if err != nil {
 		return Response{Status: RespError, CompleteNS: int64(now)}
@@ -278,7 +532,7 @@ func (e *Enclave) doHtoD(s *session, req Request, now sim.Time) Response {
 // doDtoH is the reverse single-copy path: in-GPU OCB encryption into
 // staging, then DMA of the ciphertext to inter-enclave shared memory for
 // the user enclave to open.
-func (e *Enclave) doDtoH(s *session, req Request, now sim.Time) Response {
+func (e *Enclave) doDtoH(x exec, s *session, req Request, now sim.Time) Response {
 	nonce := req.Nonce[:]
 	ptLen := req.Len
 	if ptLen == 0 || ptLen+ocb.TagSize > s.slotSize() {
@@ -299,13 +553,13 @@ func (e *Enclave) doDtoH(s *session, req Request, now sim.Time) Response {
 		return Response{Status: RespBadRequest, CompleteNS: int64(now)}
 	}
 	staging := s.nextStagingSlot()
-	now = e.doubleCopyPenalty(s, now, int(ptLen), req.Flags)
-	st, now, err := e.core.Submit(s.channel, now, gpu.OpCryptoEncrypt,
+	now = e.doubleCopyPenalty(x, s, now, int(ptLen), req.Flags)
+	st, now, err := x.submit(s, now, gpu.OpCryptoEncrypt,
 		gpu.BuildCrypto(src, staging, ptLen, s.id, nonce, req.Flags&^FlagDoubleCopy))
 	if err != nil || st != gpu.StatusOK {
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
-	st, now, err = e.core.Submit(s.channel, now, gpu.OpDMADtoH,
+	st, now, err = x.submit(s, now, gpu.OpDMADtoH,
 		gpu.BuildDMA(staging, uint64(hostPA), ptLen+ocb.TagSize, req.Flags&^FlagDoubleCopy))
 	if err != nil || st != gpu.StatusOK {
 		return Response{Status: RespError, CompleteNS: int64(now)}
@@ -313,10 +567,11 @@ func (e *Enclave) doDtoH(s *session, req Request, now sim.Time) Response {
 	return Response{Status: RespOK, CompleteNS: int64(now)}
 }
 
-func (e *Enclave) doLaunch(s *session, req Request, now sim.Time) Response {
+func (e *Enclave) doLaunch(x exec, s *session, req Request, now sim.Time) Response {
 	// Translate managed handles among the kernel parameters to resident
 	// VRAM addresses, paging buffers in as needed (the unified-memory
-	// convenience of the demand-paging extension).
+	// convenience of the demand-paging extension). Requests carrying
+	// managed handles are serial-only, so paging always runs live.
 	params := req.Params
 	for i, p := range params {
 		if p < managedBase {
@@ -333,7 +588,7 @@ func (e *Enclave) doLaunch(s *session, req Request, now sim.Time) Response {
 		}
 		params[i] = b.vram + off
 	}
-	st, now, err := e.core.Submit(s.channel, now, gpu.OpLaunch,
+	st, now, err := x.submit(s, now, gpu.OpLaunch,
 		gpu.BuildLaunch(req.Kernel, params, req.Flags))
 	if err != nil || st != gpu.StatusOK {
 		return Response{Status: RespError, CompleteNS: int64(now)}
@@ -343,25 +598,42 @@ func (e *Enclave) doLaunch(s *session, req Request, now sim.Time) Response {
 
 // doClose tears a session down: cleanse and free every allocation plus
 // the staging buffer, destroy the GPU context, release the channel.
+// Cleansing walks allocations in ascending address order — teardown work
+// lands on the timeline deterministically — and any cleanse or release
+// failure surfaces in the response status instead of being swallowed
+// (the user must know if residual data may remain, §4.5).
 func (e *Enclave) doClose(s *session, now sim.Time) Response {
-	for ptr, size := range s.allocs {
-		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill, gpu.BuildFill(ptr, size, 0, 0))
-		if err == nil && st == gpu.StatusOK {
+	status := RespOK
+	for _, a := range s.allocs {
+		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill, gpu.BuildFill(a.base, a.size, 0, 0))
+		if err != nil || st != gpu.StatusOK {
+			status = RespError
+		} else {
 			now = n2
 		}
-		_ = e.core.FreeVRAM(ptr)
+		if err := e.core.FreeVRAM(a.base); err != nil {
+			status = RespError
+		}
 	}
-	s.allocs = make(map[uint64]uint64)
-	for handle := range s.managed {
-		e.doManagedFree(s, Request{Ptr: handle}, now)
+	s.allocs = nil
+	for _, b := range append([]*managedBuf(nil), s.managed...) {
+		r := e.doManagedFree(s, Request{Ptr: b.handle}, now)
+		now = sim.Max(now, sim.Time(r.CompleteNS))
+		if r.Status != RespOK {
+			status = RespError
+		}
 	}
 	if s.staging != 0 || s.stagingSize != 0 {
 		st, n2, err := e.core.Submit(s.channel, now, gpu.OpFill,
 			gpu.BuildFill(s.staging, s.stagingSize, 0, 0))
-		if err == nil && st == gpu.StatusOK {
+		if err != nil || st != gpu.StatusOK {
+			status = RespError
+		} else {
 			now = n2
 		}
-		_ = e.core.FreeVRAM(s.staging)
+		if err := e.core.FreeVRAM(s.staging); err != nil {
+			status = RespError
+		}
 	}
 	_, now, _ = e.core.Submit(s.channel, now, gpu.OpDestroyContext, gpu.BuildDestroyContext(s.ctxID))
 	e.mu.Lock()
@@ -369,7 +641,7 @@ func (e *Enclave) doClose(s *session, now sim.Time) Response {
 	delete(e.channels, s.channel)
 	e.mu.Unlock()
 	s.active = false
-	return Response{Status: RespOK, CompleteNS: int64(now)}
+	return Response{Status: status, CompleteNS: int64(now)}
 }
 
 // SessionCount reports live sessions (diagnostics).

@@ -125,6 +125,12 @@ type Hooks struct {
 	// AfterDataReady runs after the GPU enclave posted DtoH ciphertext
 	// into the segment and before the user enclave opens it.
 	AfterDataReady func(segOff, n int)
+	// AfterReply runs once a request round trip (or a whole batched
+	// window) has drained its responses. Paired with BeforeServe it
+	// brackets one serving epoch: deterministic multi-tenant drivers
+	// (Lockstep) barrier on both so no session races ahead into the
+	// next epoch while another is still serving the current one.
+	AfterReply func()
 }
 
 // Ptr is a device-memory pointer returned by MemAlloc.
@@ -341,7 +347,14 @@ func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
 	if err := s.c.ge.Serve(); err != nil {
 		return reply{}, err
 	}
-	return s.recvReply(submit)
+	rep, err := s.recvReply(submit)
+	if err != nil {
+		return reply{}, err
+	}
+	if s.Hooks.AfterReply != nil {
+		s.Hooks.AfterReply()
+	}
+	return rep, nil
 }
 
 // sendRequest seals one request under the user->GE meta channel and

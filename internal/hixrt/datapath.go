@@ -275,6 +275,9 @@ func (s *Session) memcpyHtoDWindowed(dst Ptr, data []byte, n, k int) error {
 			}
 		}
 		putJobBufs(jobs)
+		if s.Hooks.AfterReply != nil {
+			s.Hooks.AfterReply()
+		}
 		if firstErr == nil {
 			firstErr = commitErr
 		}
@@ -448,6 +451,9 @@ func (s *Session) memcpyDtoHWindowed(out []byte, src Ptr, n, k int) error {
 				// completion, as the serial path's send cursor does.
 				sendCursor = resp.doneAt
 			}
+		}
+		if s.Hooks.AfterReply != nil {
+			s.Hooks.AfterReply()
 		}
 		if firstErr == nil {
 			firstErr = commitErr

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/attest"
 	"repro/internal/hix"
 	"repro/internal/machine"
 	"repro/internal/sgx"
@@ -109,11 +110,14 @@ func TestVRAMExhaustionSurfacesCleanly(t *testing.T) {
 	}
 }
 
-// TestMultiUserDeterminism: with the gap-filling timeline, concurrent
-// multi-tenant runs produce identical simulated times regardless of
-// goroutine scheduling.
+// TestMultiUserDeterminism: concurrent multi-tenant runs produce
+// bit-for-bit identical simulated schedules regardless of goroutine
+// scheduling and of the serving engine's worker count. Sessions drive
+// the enclave in lockstep epochs (all enqueue, one Serve drains the
+// whole epoch, all receive) and occupy distinct CPU lanes, so the
+// canonical phase-T replay order is the only order there is.
 func TestMultiUserDeterminism(t *testing.T) {
-	run := func() []sim.Duration {
+	run := func(workers int) (string, []sim.Duration) {
 		m, err := machine.New(machine.Config{
 			DRAMBytes: 384 << 20, EPCBytes: 16 << 20, VRAMBytes: 256 << 20,
 			Channels: 8, PlatformSeed: "determinism",
@@ -121,8 +125,17 @@ func TestMultiUserDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		vendor, ge, _ := buildHIX(t, m)
+		m.Timeline.EnableTrace()
+		vendor, err := attest.NewSigningAuthority()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor, ServeWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
 		const users = 3
+		ls := NewLockstep()
 		sessions := make([]*Session, users)
 		for i := range sessions {
 			c, err := NewClient(m, ge, vendor.PublicKey(), []byte{byte(i)})
@@ -134,6 +147,7 @@ func TestMultiUserDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 			sessions[i].Synthetic = true
+			ls.Attach(sessions[i])
 		}
 		var wg sync.WaitGroup
 		for i := 0; i < users; i++ {
@@ -141,6 +155,7 @@ func TestMultiUserDeterminism(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				s := sessions[i]
+				defer ls.Leave()
 				ptr, err := s.MemAlloc(48 << 20)
 				if err != nil {
 					t.Error(err)
@@ -166,27 +181,23 @@ func TestMultiUserDeterminism(t *testing.T) {
 		for i, s := range sessions {
 			out[i] = sim.Duration(s.Now())
 		}
-		return out
+		return m.Timeline.TraceString(), out
 	}
-	a := run()
-	b := run()
-	// The multiset of completion times must be identical across runs;
-	// compare maxima and sums (session-to-goroutine assignment may vary).
-	var maxA, maxB, sumA, sumB sim.Duration
+	serial, a := run(1)
+	conc, b := run(4)
+	conc2, _ := run(4)
+	if serial == "" {
+		t.Fatal("empty trace: tracing not enabled?")
+	}
+	if serial != conc {
+		t.Fatalf("schedule changed with ServeWorkers=4:\nserial %d bytes, concurrent %d bytes", len(serial), len(conc))
+	}
+	if conc != conc2 {
+		t.Fatal("nondeterministic schedule across identical concurrent runs")
+	}
 	for i := range a {
-		if a[i] > maxA {
-			maxA = a[i]
+		if a[i] != b[i] {
+			t.Fatalf("session %d completion differs: %v vs %v", i, a[i], b[i])
 		}
-		if b[i] > maxB {
-			maxB = b[i]
-		}
-		sumA += a[i]
-		sumB += b[i]
-	}
-	if maxA != maxB {
-		t.Fatalf("nondeterministic makespan: %v vs %v", maxA, maxB)
-	}
-	if sumA != sumB {
-		t.Fatalf("nondeterministic totals: %v vs %v", sumA, sumB)
 	}
 }

@@ -1,0 +1,89 @@
+package hixrt
+
+import "sync"
+
+// Lockstep coordinates concurrent sessions into deterministic serving
+// epochs. Each participating session installs Barrier as its BeforeServe
+// hook: every member then finishes enqueueing its requests before any
+// member wakes the GPU enclave, so the first Serve call drains one
+// complete epoch — every session's pending work — and the serving
+// engine's canonical ordering makes the resulting schedule independent
+// of goroutine timing. Combined with per-session CPU lanes (the cost
+// model's CPULanes must be at least the session count so no two
+// sessions share a lane), the whole multi-tenant run is bit-for-bit
+// reproducible.
+//
+// Membership is dynamic: Join before starting a session's workload,
+// Leave when it finishes (or will stop hitting the barrier, e.g. before
+// an asymmetric tail of requests). A Leave releases the current epoch
+// if the departing member was the last one outstanding.
+type Lockstep struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	members int
+	arrived int
+	gen     uint64
+}
+
+// NewLockstep returns an empty barrier; members join explicitly.
+func NewLockstep() *Lockstep {
+	l := &Lockstep{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Join adds one member. The caller must Join before its first Barrier.
+func (l *Lockstep) Join() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.members++
+}
+
+// Leave removes one member, opening the current epoch if everyone else
+// has already arrived.
+func (l *Lockstep) Leave() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.members > 0 {
+		l.members--
+	}
+	l.release()
+}
+
+// Attach joins the barrier and installs it on both ends of the
+// session's serving epochs: BeforeServe (no member wakes the enclave
+// until all have enqueued) and AfterReply (no member races into the
+// next epoch until all have their responses).
+func (l *Lockstep) Attach(s *Session) {
+	l.Join()
+	s.Hooks.BeforeServe = l.Barrier
+	s.Hooks.AfterReply = l.Barrier
+}
+
+// Barrier blocks until every member has arrived, then releases them all
+// as one epoch.
+func (l *Lockstep) Barrier() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.arrived++
+	if l.arrived >= l.members {
+		l.arrived = 0
+		l.gen++
+		l.cond.Broadcast()
+		return
+	}
+	gen := l.gen
+	for l.gen == gen {
+		l.cond.Wait()
+	}
+}
+
+// release opens the epoch if all remaining members have arrived. Caller
+// holds l.mu.
+func (l *Lockstep) release() {
+	if l.members > 0 && l.arrived >= l.members {
+		l.arrived = 0
+		l.gen++
+		l.cond.Broadcast()
+	}
+}

@@ -124,10 +124,16 @@ type tlbKey struct {
 	va  VirtAddr
 }
 
-type tlbEntry struct {
-	pte     PTE
-	version uint64
-	enclave uint64 // enclave the fill was validated for
+// tlbNode is one cached translation, threaded onto an intrusive
+// doubly-linked recency list (head = most recently used, tail = LRU
+// victim). Storing the links in the map values makes every TLB
+// operation — hit promotion, fill, eviction — O(1).
+type tlbNode struct {
+	key        tlbKey
+	pte        PTE
+	version    uint64
+	enclave    uint64 // enclave the fill was validated for
+	prev, next *tlbNode
 }
 
 // MMU combines the TLB and the validating page-table walker. One MMU
@@ -135,8 +141,8 @@ type tlbEntry struct {
 // hardware TLBs (entries are ASID-tagged).
 type MMU struct {
 	mu         sync.Mutex
-	tlb        map[tlbKey]tlbEntry
-	order      []tlbKey // FIFO eviction order
+	tlb        map[tlbKey]*tlbNode
+	head, tail *tlbNode // recency list: head = MRU, tail = LRU
 	capacity   int
 	validators []FillValidator
 
@@ -158,7 +164,7 @@ func NewWithCapacity(capacity int) *MMU {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &MMU{tlb: make(map[tlbKey]tlbEntry), capacity: capacity}
+	return &MMU{tlb: make(map[tlbKey]*tlbNode), capacity: capacity}
 }
 
 // AddValidator registers a fill validator. Validators run in registration
@@ -181,10 +187,12 @@ func (m *MMU) Translate(ctx Context, pt *PageTable, va VirtAddr, write bool) (me
 	pt.mu.RUnlock()
 
 	m.mu.Lock()
-	if e, ok := m.tlb[key]; ok && e.version == version && e.enclave == ctx.EnclaveID {
+	if n, ok := m.tlb[key]; ok && n.version == version && n.enclave == ctx.EnclaveID {
 		m.Hits++
+		m.moveToFront(n)
+		pte := n.pte
 		m.mu.Unlock()
-		return m.finish(e.pte, va, write)
+		return m.finish(pte, va, write)
 	}
 	m.Misses++
 	m.mu.Unlock()
@@ -204,23 +212,61 @@ func (m *MMU) Translate(ctx Context, pt *PageTable, va VirtAddr, write bool) (me
 	}
 
 	m.mu.Lock()
-	if len(m.tlb) >= m.capacity {
-		// FIFO eviction.
-		for len(m.order) > 0 {
-			victim := m.order[0]
-			m.order = m.order[1:]
-			if _, ok := m.tlb[victim]; ok {
-				delete(m.tlb, victim)
-				m.Evictions++
-				break
-			}
+	if n, ok := m.tlb[key]; ok {
+		// Refill of a stale entry: update in place, promote.
+		n.pte, n.version, n.enclave = pte, version, ctx.EnclaveID
+		m.moveToFront(n)
+	} else {
+		if len(m.tlb) >= m.capacity {
+			victim := m.tail
+			m.unlink(victim)
+			delete(m.tlb, victim.key)
+			m.Evictions++
 		}
+		n := &tlbNode{key: key, pte: pte, version: version, enclave: ctx.EnclaveID}
+		m.tlb[key] = n
+		m.pushFront(n)
 	}
-	m.tlb[key] = tlbEntry{pte: pte, version: version, enclave: ctx.EnclaveID}
-	m.order = append(m.order, key)
 	m.mu.Unlock()
 
 	return m.finish(pte, va, write)
+}
+
+// pushFront inserts n at the head of the recency list. Caller holds m.mu.
+func (m *MMU) pushFront(n *tlbNode) {
+	n.prev = nil
+	n.next = m.head
+	if m.head != nil {
+		m.head.prev = n
+	}
+	m.head = n
+	if m.tail == nil {
+		m.tail = n
+	}
+}
+
+// unlink removes n from the recency list. Caller holds m.mu.
+func (m *MMU) unlink(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		m.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		m.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// moveToFront promotes n to most-recently-used. Caller holds m.mu.
+func (m *MMU) moveToFront(n *tlbNode) {
+	if m.head == n {
+		return
+	}
+	m.unlink(n)
+	m.pushFront(n)
 }
 
 func (m *MMU) snapshotValidators() []FillValidator {
@@ -242,8 +288,9 @@ func (m *MMU) finish(pte PTE, va VirtAddr, write bool) (mem.PhysAddr, error) {
 func (m *MMU) FlushPID(pid int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k := range m.tlb {
+	for k, n := range m.tlb {
 		if k.pid == pid {
+			m.unlink(n)
 			delete(m.tlb, k)
 		}
 	}
@@ -253,8 +300,8 @@ func (m *MMU) FlushPID(pid int) {
 func (m *MMU) FlushAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.tlb = make(map[tlbKey]tlbEntry)
-	m.order = nil
+	m.tlb = make(map[tlbKey]*tlbNode)
+	m.head, m.tail = nil, nil
 }
 
 // TLBLen reports the number of live TLB entries (for tests).

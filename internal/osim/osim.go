@@ -317,6 +317,25 @@ func (o *OS) MQRecv(id int) ([]byte, error) {
 	return m, nil
 }
 
+// MQDrain pops every pending message in one queue-lock acquisition — the
+// batched wakeup the GPU enclave's serving engine uses: one MQ syscall
+// per epoch instead of one per request. Returns nil (not ErrQueueEmpty)
+// when the queue is empty.
+func (o *OS) MQDrain(id int) ([][]byte, error) {
+	q, err := o.queue(id)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.msgs) == 0 {
+		return nil, nil
+	}
+	out := q.msgs
+	q.msgs = nil
+	return out, nil
+}
+
 // MQSnoop returns a copy of all pending messages without consuming them —
 // the adversary reading kernel memory.
 func (o *OS) MQSnoop(id int) ([][]byte, error) {

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -140,9 +143,36 @@ func (tl *Timeline) Trace() []Interval {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
-		return out[i].End < out[j].End
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		if out[i].Resource != out[j].Resource {
+			return out[i].Resource < out[j].Resource
+		}
+		return out[i].Label < out[j].Label
 	})
 	return out
+}
+
+// TraceString renders the recorded trace in a canonical one-interval-
+// per-line text form. Two schedules are identical iff their TraceStrings
+// are byte-identical; the determinism tests and the multitenant
+// experiment compare serving-engine schedules this way.
+func (tl *Timeline) TraceString() string {
+	var b strings.Builder
+	for _, iv := range tl.Trace() {
+		fmt.Fprintf(&b, "%s\t%s\t%d\t%d\n", iv.Resource, iv.Label, int64(iv.Start), int64(iv.End))
+	}
+	return b.String()
+}
+
+// Fingerprint hashes the canonical trace (FNV-1a, 64-bit). Cheap to
+// compare and log; requires EnableTrace, otherwise it hashes the empty
+// trace.
+func (tl *Timeline) Fingerprint() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(tl.TraceString()))
+	return h.Sum64()
 }
 
 // Utilization reports the fraction of [0, horizon] during which r was
