@@ -37,7 +37,7 @@ func writeRecords(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, all")
 	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
 	flag.Parse()
 
@@ -84,6 +84,9 @@ func main() {
 	}
 	if run("multitenant") {
 		ok = multitenant() && ok
+	}
+	if run("netserve") {
+		ok = netserveExp() && ok
 	}
 	if *jsonPath != "" {
 		if err := writeRecords(*jsonPath); err != nil {

@@ -1,0 +1,100 @@
+// Command hixserve exposes a simulated HIX machine over TCP: it boots
+// the platform, launches the GPU enclave, registers the standard kernel
+// catalog, and serves remote sessions speaking the internal/wire
+// protocol (connect with hixrt.Dial or `hixbench -exp netserve`).
+//
+// The TCP link models the application↔user-enclave boundary: hixserve
+// hosts one user enclave per connection and runs the full HIX protocol
+// (attestation, three-party DH, OCB, single-copy data path) between it
+// and the GPU enclave.
+//
+// Usage:
+//
+//	hixserve -addr 127.0.0.1:7070 -serve-workers 4 -max-conns 8
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish and flush, sessions close; a second signal (or the
+// -drain-timeout) force-closes what remains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/netserve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		serveWorkers = flag.Int("serve-workers", 1, "GPU-enclave serving workers (data-plane parallelism; the simulated schedule is identical for any value)")
+		maxConns     = flag.Int("max-conns", 8, "connection limit; the listener stops accepting beyond it")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline (idle clients are disconnected)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline")
+		segMB        = flag.Uint64("seg-mb", 32, "per-session shared-segment size in MiB")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+		seed         = flag.String("seed", "", "platform seed for a deterministic machine (empty = random)")
+		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{PlatformSeed: *seed},
+		ServeWorkers:  *serveWorkers,
+		SegmentBytes:  *segMB << 20,
+		Kernels:       workloads.AllKernels(),
+		MaxConns:      *maxConns,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		Logf:          logf,
+	})
+	if err != nil {
+		log.Fatalf("hixserve: %v", err)
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("hixserve: %v", err)
+	}
+	log.Printf("hixserve: listening on %s (serve-workers=%d max-conns=%d enclave=%s)",
+		bound, *serveWorkers, *maxConns, srv.Enclave().Measurement())
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Wait() }()
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("hixserve: %v — draining (limit %v, signal again to force)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			<-sigCh
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("hixserve: forced shutdown: %v", err)
+			cancel()
+			os.Exit(1)
+		}
+		cancel()
+		log.Printf("hixserve: drained cleanly (%d sessions left)", srv.SessionCount())
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, netserve.ErrServerClosed) {
+			log.Fatalf("hixserve: %v", err)
+		}
+	}
+	fmt.Println("hixserve: bye")
+}

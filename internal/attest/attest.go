@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Measurement is a SHA-256 digest of enclave or device contents
@@ -173,6 +174,46 @@ var (
 			"995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF", 16)
 	dhGen = big.NewInt(2)
 )
+
+// SeededRNG is a deterministic random stream (SHA-256 in counter mode
+// over a seed). It backs every ephemeral-key draw on platforms booted
+// with a deterministic seed, so whole-protocol runs — including session
+// keys and therefore ciphertext — reproduce bit-for-bit. Never use it
+// outside tests and reproducibility harnesses.
+type SeededRNG struct {
+	mu   sync.Mutex
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+// NewSeededRNG derives a deterministic stream from seed.
+func NewSeededRNG(seed []byte) *SeededRNG {
+	return &SeededRNG{seed: sha256.Sum256(seed)}
+}
+
+// Read fills p with the next stream bytes. Safe for concurrent use
+// (draw order across goroutines is the caller's problem — serialize
+// draws if cross-run reproducibility matters).
+func (r *SeededRNG) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(p)
+	for len(p) > 0 {
+		if len(r.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], r.seed[:])
+			binary.LittleEndian.PutUint64(block[32:], r.ctr)
+			r.ctr++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		k := copy(p, r.buf)
+		p = p[k:]
+		r.buf = r.buf[k:]
+	}
+	return n, nil
+}
 
 // DHParty holds one participant's ephemeral secret exponent.
 type DHParty struct {

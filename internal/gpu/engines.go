@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"crypto/rand"
+	"io"
 	"math/big"
 
 	"repro/internal/attest"
@@ -230,7 +231,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		party, ok := d.dh[slot]
 		if !ok {
 			var err error
-			party, err = attest.NewDHParty(deviceEntropy{})
+			party, err = attest.NewDHParty(d.entropy())
 			if err != nil {
 				d.mu.Unlock()
 				return StatusBadElement, ready
@@ -563,4 +564,13 @@ type deviceEntropy struct{}
 
 func (deviceEntropy) Read(p []byte) (int, error) {
 	return rand.Read(p)
+}
+
+// entropy resolves the device TRNG: the injected deterministic stream
+// on seeded platforms, the host crypto RNG otherwise.
+func (d *Device) entropy() io.Reader {
+	if d.cfg.Entropy != nil {
+		return d.cfg.Entropy
+	}
+	return deviceEntropy{}
 }

@@ -13,6 +13,7 @@ package gpu
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/attest"
@@ -80,6 +81,10 @@ type Config struct {
 	// VendorID/DeviceID default to 0x10DE/0x1080 (GTX 580).
 	VendorID uint16
 	DeviceID uint16
+	// Entropy overrides the device TRNG that sources ephemeral DH
+	// secrets (nil = the host crypto RNG). Deterministic platforms
+	// inject a seeded stream here so session keys reproduce.
+	Entropy io.Reader
 }
 
 // Device is the simulated GPU.

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"sync"
 
@@ -350,6 +351,15 @@ func (e *Enclave) registerMMIO(base mem.PhysAddr, size uint64) (mmu.VirtAddr, er
 	return va, nil
 }
 
+// entropy resolves the enclave's ephemeral-key source: the platform's
+// (deterministic on seeded machines), else the host crypto RNG.
+func (e *Enclave) entropy() io.Reader {
+	if e.m.Entropy != nil {
+		return e.m.Entropy
+	}
+	return rand.Reader
+}
+
 // Measurement returns the GPU enclave's MRENCLAVE, which users verify
 // via remote attestation before trusting it.
 func (e *Enclave) Measurement() attest.Measurement { return e.measure }
@@ -421,7 +431,7 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 	}
 
 	// GPU enclave's own DH share (party b).
-	b, err := attest.NewDHParty(rand.Reader)
+	b, err := attest.NewDHParty(e.entropy())
 	if err != nil {
 		return HelloResponse{}, err
 	}

@@ -109,7 +109,7 @@ func (e *Enclave) doManagedAlloc(s *session, req Request, now sim.Time) Response
 	e.mu.Unlock()
 	b := &managedBuf{owner: s, handle: handle, size: req.Size, backing: backing, lastUse: now}
 	s.managedInsert(b)
-	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%maxInt(e.core.Cost().CPULanes, 1)),
+	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%max(e.core.Cost().CPULanes, 1)),
 		"managed-alloc", now, e.core.Cost().MemAllocPerCall)
 	return Response{Status: RespOK, CompleteNS: int64(now), Value: handle}
 }

@@ -114,10 +114,10 @@ func (e *Enclave) doubleCopyPenalty(x exec, s *session, now sim.Time, n int, fla
 		return now
 	}
 	cm := e.core.Cost()
-	lane := sim.CryptoLane(int(s.id) % maxInt(cm.CPULanes, 1))
+	lane := sim.CryptoLane(int(s.id) % max(cm.CPULanes, 1))
 	now = x.charge(lane, "dc-decrypt", now, cm.CPUCryptoTime(n))
 	now = x.charge(lane, "dc-reencrypt", now, cm.CPUCryptoTime(n))
-	cpu := sim.CPULane(int(s.id) % maxInt(cm.CPULanes, 1))
+	cpu := sim.CPULane(int(s.id) % max(cm.CPULanes, 1))
 	now = x.charge(cpu, "dc-copy", now, sim.TransferTime(n, cm.HostMemcpyBandwidth, 0))
 	return now
 }
@@ -128,13 +128,6 @@ func managedErrResponse(err error, now sim.Time) Response {
 		return Response{Status: RespAuthFailed, CompleteNS: int64(now)}
 	}
 	return Response{Status: RespBadRequest, CompleteNS: int64(now)}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // servedKind classifies a prepared message for phase T.
@@ -224,7 +217,7 @@ func (e *Enclave) Serve() error {
 	// counters, staging ring, ownership tables) needs no locking; the
 	// device layer's per-channel submission state keeps concurrent
 	// PhaseData submissions of different sessions apart.
-	if workers := minInt(e.serveWorkers, len(batches)); workers <= 1 {
+	if workers := min(e.serveWorkers, len(batches)); workers <= 1 {
 		for _, b := range batches {
 			b.items = e.prepBatch(b.s, b.msgs)
 		}
@@ -289,7 +282,7 @@ func (e *Enclave) prepBatch(s *session, msgs [][]byte) []served {
 		// Metadata decryption cost (§4.4.3: "the GPU enclave decrypts
 		// the Request").
 		rx := &recExec{e: e}
-		lane := sim.CPULane(int(s.id) % maxInt(e.core.Cost().CPULanes, 1))
+		lane := sim.CPULane(int(s.id) % max(e.core.Cost().CPULanes, 1))
 		rx.charge(lane, "meta-open", now, e.core.Cost().CPUCryptoTime(len(body)))
 
 		req, err := DecodeRequest(body)
@@ -329,13 +322,6 @@ func (e *Enclave) finishItem(s *session, it served) {
 		now := e.replaySteps(s, it.now, it.steps)
 		e.respond(s, e.dispatch(liveExec{e}, s, it.req, now))
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func (e *Enclave) respond(s *session, r Response) {
@@ -448,7 +434,7 @@ func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
 	if err != nil {
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
-	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%maxInt(e.core.Cost().CPULanes, 1)), "mem-alloc", now, e.core.Cost().MemAllocPerCall)
+	_, now = e.core.Timeline().AcquireLabeled(sim.CPULane(int(s.id)%max(e.core.Cost().CPULanes, 1)), "mem-alloc", now, e.core.Cost().MemAllocPerCall)
 	st, now, err := e.core.Submit(s.channel, now, gpu.OpBindMemory,
 		gpu.BuildBindMemory(s.ctxID, addr, e.core.AllocatedSize(addr)))
 	if err != nil || st != gpu.StatusOK {

@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"runtime"
 	"sync"
@@ -203,7 +204,11 @@ func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
 
 	// Party a: the user enclave's DH share, bound into a local
 	// attestation report targeted at the GPU enclave.
-	a, err := attest.NewDHParty(rand.Reader)
+	rng := io.Reader(rand.Reader)
+	if c.m.Entropy != nil {
+		rng = c.m.Entropy
+	}
+	a, err := attest.NewDHParty(rng)
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +301,9 @@ func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
 	}
 	return s, nil
 }
+
+// ID returns the session identifier assigned by the GPU enclave.
+func (s *Session) ID() uint32 { return s.id }
 
 // Segment exposes the session's inter-enclave shared segment (untrusted
 // memory; the attack harness uses it as the adversary would).

@@ -1,0 +1,381 @@
+package hixrt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/wire"
+)
+
+// Remote sessions: the client half of the network serving layer. Dial
+// connects to a hixserve front-end (internal/netserve), performs the
+// wire handshake (version negotiation + the client's attestation
+// measurement), and returns a RemoteSession with the same
+// MemAlloc/MemcpyHtoD/Launch/MemcpyDtoH/MemFree/Close surface as the
+// in-process Session — existing workloads run unmodified over TCP.
+//
+// The TCP link models the application↔user-enclave boundary: the server
+// hosts this client's user enclave, whose identity (MRENCLAVE image) is
+// the measurement sent in the handshake, and the full HIX protocol
+// (attestation, three-party DH, OCB, single-copy data path) runs
+// between that user enclave and the GPU enclave exactly as in process.
+
+// Remote-session errors.
+var (
+	// ErrServerClosed reports the server draining the connection
+	// (graceful shutdown) before or during a request.
+	ErrServerClosed = errors.New("hixrt: server closed connection")
+	// ErrBroken reports a remote session whose transport failed; no
+	// further requests are possible.
+	ErrBroken = errors.New("hixrt: remote session broken")
+)
+
+// DefaultRemoteMeasurement identifies remote clients that don't present
+// their own application measurement.
+func DefaultRemoteMeasurement() attest.Measurement {
+	return attest.Measure([]byte("hix remote client v1"))
+}
+
+// RemoteConfig tunes Dial.
+type RemoteConfig struct {
+	// Measurement is the client application's attestation measurement,
+	// sent in the handshake and used by the server as the measured
+	// image of the user enclave it hosts for this connection. Zero
+	// means DefaultRemoteMeasurement.
+	Measurement attest.Measurement
+	// DialTimeout bounds the TCP connect + handshake (default 10s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response exchange on the wire
+	// (default 60s).
+	IOTimeout time.Duration
+}
+
+// RemoteSession is an attested HIX session reached over the wire
+// protocol. Methods serialize: the protocol is strictly one
+// request/response exchange at a time per connection.
+type RemoteSession struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	sid     uint32
+	version uint16
+	segSize uint64
+	chunk   int
+	maxData int
+	enclave attest.Measurement
+
+	ioTimeout time.Duration
+
+	closed bool
+	broken error // sticky transport failure
+}
+
+// Dial opens a remote session with default configuration.
+func Dial(addr string) (*RemoteSession, error) {
+	return DialConfig(addr, RemoteConfig{})
+}
+
+// DialConfig opens a remote session.
+func DialConfig(addr string, cfg RemoteConfig) (*RemoteSession, error) {
+	if cfg.Measurement.IsZero() {
+		cfg.Measurement = DefaultRemoteMeasurement()
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 60 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &RemoteSession{
+		nc:        nc,
+		br:        bufio.NewReaderSize(nc, 64<<10),
+		bw:        bufio.NewWriterSize(nc, 64<<10),
+		ioTimeout: cfg.IOTimeout,
+	}
+	if err := s.handshake(cfg); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *RemoteSession) handshake(cfg RemoteConfig) error {
+	deadline := time.Now().Add(cfg.DialTimeout)
+	if err := s.nc.SetDeadline(deadline); err != nil {
+		return err
+	}
+	hello := wire.Hello{
+		MinVersion:  wire.MinVersion,
+		MaxVersion:  wire.MaxVersion,
+		Measurement: cfg.Measurement,
+	}
+	if err := wire.WriteFrame(s.bw, wire.OpHello, hello.Encode()); err != nil {
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	op, body, err := wire.ReadFrame(s.br)
+	if err != nil {
+		return fmt.Errorf("hixrt: handshake: %w", err)
+	}
+	switch op {
+	case wire.OpWelcome:
+		w, err := wire.DecodeWelcome(body)
+		if err != nil {
+			return fmt.Errorf("hixrt: handshake: %w", err)
+		}
+		s.sid = w.SessionID
+		s.version = w.Version
+		s.segSize = w.SegmentSize
+		s.chunk = int(w.ChunkSize)
+		s.maxData = int(w.MaxData)
+		s.enclave = w.Enclave
+		return nil
+	case wire.OpError:
+		re, err := wire.DecodeError(body)
+		if err != nil {
+			return fmt.Errorf("hixrt: handshake: %w", err)
+		}
+		return fmt.Errorf("hixrt: handshake refused: %w", re)
+	case wire.OpGoodbye:
+		return ErrServerClosed
+	default:
+		return fmt.Errorf("hixrt: handshake: %w: unexpected %v", hix.ErrProtocol, op)
+	}
+}
+
+// SessionID returns the server-side HIX session id this connection was
+// bridged onto.
+func (s *RemoteSession) SessionID() uint32 { return s.sid }
+
+// Version returns the negotiated wire-protocol version.
+func (s *RemoteSession) Version() uint16 { return s.version }
+
+// EnclaveMeasurement returns the GPU enclave's MRENCLAVE as reported in
+// the handshake.
+func (s *RemoteSession) EnclaveMeasurement() attest.Measurement { return s.enclave }
+
+// fail marks the transport dead and closes it; the first failure wins.
+func (s *RemoteSession) fail(err error) error {
+	if s.broken == nil {
+		s.broken = err
+		s.closed = true
+		_ = s.nc.Close()
+	}
+	return err
+}
+
+// exchange runs one request/response exchange: the request frame, then
+// the HtoD payload (if any) as Data frames, then the response, then the
+// DtoH payload (if any) read back into out.
+func (s *RemoteSession) exchange(req hix.Request, payload, out []byte) (hix.Response, error) {
+	if s.broken != nil {
+		return hix.Response{}, fmt.Errorf("%w: %v", ErrBroken, s.broken)
+	}
+	if s.closed {
+		return hix.Response{}, ErrClosed
+	}
+	if err := s.nc.SetDeadline(time.Now().Add(s.ioTimeout)); err != nil {
+		return hix.Response{}, s.fail(err)
+	}
+	if err := wire.WriteFrame(s.bw, wire.OpRequest, req.Encode()); err != nil {
+		return hix.Response{}, s.fail(err)
+	}
+	for off := 0; off < len(payload); off += s.maxData {
+		end := min(off+s.maxData, len(payload))
+		if err := wire.WriteFrame(s.bw, wire.OpData, payload[off:end]); err != nil {
+			return hix.Response{}, s.fail(err)
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return hix.Response{}, s.fail(err)
+	}
+	resp, err := s.readResponse()
+	if err != nil {
+		return hix.Response{}, err
+	}
+	if resp.Status == hix.RespOK && len(out) > 0 {
+		if err := s.readPayload(out); err != nil {
+			return hix.Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+// readResponse consumes frames until a Response, surfacing Error and
+// Goodbye frames as typed errors.
+func (s *RemoteSession) readResponse() (hix.Response, error) {
+	op, body, err := wire.ReadFrame(s.br)
+	if err != nil {
+		return hix.Response{}, s.fail(fmt.Errorf("hixrt: response: %w", err))
+	}
+	switch op {
+	case wire.OpResponse:
+		resp, err := hix.DecodeResponse(body)
+		if err != nil {
+			return hix.Response{}, s.fail(err)
+		}
+		return resp, nil
+	case wire.OpError:
+		re, derr := wire.DecodeError(body)
+		if derr != nil {
+			return hix.Response{}, s.fail(derr)
+		}
+		return hix.Response{}, s.fail(re)
+	case wire.OpGoodbye:
+		s.closed = true
+		_ = s.nc.Close()
+		return hix.Response{}, ErrServerClosed
+	default:
+		return hix.Response{}, s.fail(fmt.Errorf("hixrt: %w: unexpected %v", hix.ErrProtocol, op))
+	}
+}
+
+// readPayload fills out from consecutive Data frames.
+func (s *RemoteSession) readPayload(out []byte) error {
+	got := 0
+	for got < len(out) {
+		op, body, err := wire.ReadFrame(s.br)
+		if err != nil {
+			return s.fail(fmt.Errorf("hixrt: payload: %w", err))
+		}
+		if op != wire.OpData {
+			return s.fail(fmt.Errorf("hixrt: %w: %v during payload", hix.ErrProtocol, op))
+		}
+		if got+len(body) > len(out) {
+			return s.fail(fmt.Errorf("hixrt: %w: payload overrun (%d+%d of %d)",
+				hix.ErrProtocol, got, len(body), len(out)))
+		}
+		copy(out[got:], body)
+		got += len(body)
+	}
+	return nil
+}
+
+// MemAlloc allocates device memory on the remote session.
+func (s *RemoteSession) MemAlloc(size uint64) (Ptr, error) {
+	resp, err := s.exchange(hix.Request{Type: hix.ReqMemAlloc, Size: size}, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != hix.RespOK {
+		return 0, fmt.Errorf("%w: alloc status %d", ErrRequest, resp.Status)
+	}
+	return Ptr(resp.Value), nil
+}
+
+// ManagedAlloc allocates demand-paged device memory remotely.
+func (s *RemoteSession) ManagedAlloc(size uint64) (Ptr, error) {
+	resp, err := s.exchange(hix.Request{Type: hix.ReqManagedAlloc, Size: size}, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != hix.RespOK {
+		return 0, fmt.Errorf("%w: managed alloc status %d", ErrRequest, resp.Status)
+	}
+	return Ptr(resp.Value), nil
+}
+
+// MemFree releases remote device memory (managed pointers included).
+func (s *RemoteSession) MemFree(ptr Ptr) error {
+	reqType := hix.ReqMemFree
+	if uint64(ptr) >= hix.ManagedBase {
+		reqType = hix.ReqManagedFree
+	}
+	resp, err := s.exchange(hix.Request{Type: reqType, Ptr: uint64(ptr)}, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: free status %d", ErrRequest, resp.Status)
+	}
+	return nil
+}
+
+// MemcpyHtoD moves data to remote device memory. Remote sessions are
+// always functional (real bytes); logicalLen is accepted for signature
+// parity with the in-process session and ignored.
+func (s *RemoteSession) MemcpyHtoD(dst Ptr, data []byte, logicalLen int) error {
+	if len(data) == 0 {
+		return nil
+	}
+	req := hix.Request{Type: hix.ReqMemcpyHtoD, Ptr: uint64(dst), Len: uint64(len(data))}
+	resp, err := s.exchange(req, data, nil)
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case hix.RespOK:
+		return nil
+	case hix.RespAuthFailed:
+		return fmt.Errorf("%w: HtoD rejected by in-GPU decryption", ErrAuth)
+	default:
+		return fmt.Errorf("%w: HtoD status %d", ErrRequest, resp.Status)
+	}
+}
+
+// MemcpyDtoH moves remote device memory back into out.
+func (s *RemoteSession) MemcpyDtoH(out []byte, src Ptr, logicalLen int) error {
+	if len(out) == 0 {
+		return nil
+	}
+	req := hix.Request{Type: hix.ReqMemcpyDtoH, Ptr: uint64(src), Len: uint64(len(out))}
+	resp, err := s.exchange(req, nil, out)
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case hix.RespOK:
+		return nil
+	case hix.RespAuthFailed:
+		return fmt.Errorf("%w: DtoH chunk failed authentication", ErrAuth)
+	default:
+		return fmt.Errorf("%w: DtoH status %d", ErrRequest, resp.Status)
+	}
+}
+
+// Launch runs a kernel on the remote session.
+func (s *RemoteSession) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	resp, err := s.exchange(hix.Request{Type: hix.ReqLaunch, Kernel: kernel, Params: params}, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: launch status %d", ErrRequest, resp.Status)
+	}
+	return nil
+}
+
+// Close tears the remote session down and closes the connection. Safe
+// to call more than once; after a transport failure it only closes the
+// socket.
+func (s *RemoteSession) Close() error {
+	if s.closed {
+		return nil
+	}
+	resp, err := s.exchange(hix.Request{Type: hix.ReqClose}, nil, nil)
+	s.closed = true
+	_ = s.nc.Close()
+	if err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: close status %d", ErrRequest, resp.Status)
+	}
+	return nil
+}

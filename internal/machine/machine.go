@@ -10,7 +10,9 @@
 package machine
 
 import (
+	"crypto/rand"
 	"fmt"
+	"io"
 
 	"repro/internal/attest"
 	"repro/internal/gpu"
@@ -50,8 +52,9 @@ type Config struct {
 	Channels int
 	// Cost overrides the calibrated cost model (zero value = default).
 	Cost *sim.CostModel
-	// PlatformSeed makes the hardware attestation secret deterministic
-	// for tests; empty = random.
+	// PlatformSeed makes the hardware attestation secret and the
+	// platform entropy source (Machine.Entropy) deterministic for tests
+	// and reproducibility harnesses; empty = random.
 	PlatformSeed string
 	// VoltaStyle equips the GPU with concurrent multi-context execution
 	// (the §4.5 future-work hardware the paper anticipates).
@@ -78,6 +81,12 @@ type Machine struct {
 	Platform *attest.Platform
 	Timeline *sim.Timeline
 	Cost     sim.CostModel
+	// Entropy sources every ephemeral-key draw on this platform (the
+	// user enclave's, the GPU enclave's, and the device TRNG's DH
+	// exponents). crypto/rand on normally booted machines; a
+	// deterministic stream when PlatformSeed is set, so full protocol
+	// runs — session keys and ciphertext included — reproduce exactly.
+	Entropy io.Reader
 }
 
 // New boots a machine.
@@ -100,6 +109,11 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.DRAMBytes > EPCBase {
 		return nil, fmt.Errorf("machine: DRAM %#x overlaps the EPC window", cfg.DRAMBytes)
+	}
+
+	var entropy io.Reader = rand.Reader
+	if cfg.PlatformSeed != "" {
+		entropy = attest.NewSeededRNG([]byte("machine-entropy/" + cfg.PlatformSeed))
 	}
 
 	as := mem.NewAddressSpace()
@@ -136,6 +150,7 @@ func New(cfg Config) (*Machine, error) {
 			Timeline:           tl,
 			Cost:               cost,
 			ConcurrentContexts: cfg.VoltaStyle,
+			Entropy:            entropy,
 		})
 		if err != nil {
 			return nil, err
@@ -201,6 +216,7 @@ func New(cfg Config) (*Machine, error) {
 		Platform: platform,
 		Timeline: tl,
 		Cost:     cost,
+		Entropy:  entropy,
 	}, nil
 }
 

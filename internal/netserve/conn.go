@@ -1,0 +1,426 @@
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/wire"
+)
+
+// errDrained reports an idle wait ended by graceful shutdown.
+var errDrained = errors.New("netserve: draining")
+
+// outFrame is one queued frame on a connection's send path.
+type outFrame struct {
+	op   wire.Opcode
+	body []byte
+}
+
+// conn bridges one TCP connection onto one in-process HIX session. The
+// handler goroutine owns the read side and the session; a dedicated
+// writer goroutine drains the send queue so a slow peer backpressures
+// only its own connection.
+//
+// Shutdown interruption is precise: while the handler idles between
+// requests it waits for the next frame header with a non-destructive
+// Peek, which Shutdown may cut short at any time (no bytes are lost).
+// Once a frame has started arriving the connection is "busy" —
+// interruptRead leaves busy reads alone, so a request already in
+// flight always completes and flushes its response before Goodbye.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	sess *hixrt.Session
+
+	// readMu orders deadline writes between the handler and
+	// interruptRead; busy marks a destructive read in progress that
+	// drain must not cut short.
+	readMu sync.Mutex
+	busy   bool
+
+	sendQ      chan outFrame
+	writerDone chan struct{}
+	wfailed    atomic.Bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:        s,
+		nc:         nc,
+		br:         bufio.NewReaderSize(nc, 64<<10),
+		sendQ:      make(chan outFrame, s.cfg.SendQueue),
+		writerDone: make(chan struct{}),
+	}
+}
+
+// interruptRead wakes the handler out of an idle wait so a draining
+// server doesn't sit out the idle timeout. A busy connection (request
+// frame mid-read) is left alone; its handler observes the drain flag
+// after the in-flight request completes.
+func (c *conn) interruptRead() {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	if !c.busy {
+		_ = c.nc.SetReadDeadline(time.Now())
+	}
+}
+
+func (c *conn) setBusy(b bool) {
+	c.readMu.Lock()
+	c.busy = b
+	c.readMu.Unlock()
+}
+
+// waitFrame blocks until a full frame header is buffered (consuming
+// nothing), the idle deadline passes, or the server drains. During a
+// drain a partially arrived frame gets one idle-timeout grace period to
+// finish instead of being cut mid-frame.
+func (c *conn) waitFrame() error {
+	grace := false
+	for {
+		c.readMu.Lock()
+		c.busy = false
+		dl := time.Now().Add(c.srv.cfg.ReadTimeout)
+		if c.srv.isDraining() && !grace && c.br.Buffered() == 0 {
+			dl = time.Now()
+		}
+		_ = c.nc.SetReadDeadline(dl)
+		c.readMu.Unlock()
+		_, err := c.br.Peek(wire.HeaderSize)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) && c.srv.isDraining() {
+			if c.br.Buffered() == 0 {
+				return errDrained
+			}
+			if !grace {
+				grace = true
+				continue
+			}
+		}
+		return err
+	}
+}
+
+// readFrame destructively reads one frame under a fresh deadline. Only
+// call with the connection busy (or during the handshake, before
+// Shutdown tracks the conn as idle).
+func (c *conn) readFrame() (wire.Opcode, []byte, error) {
+	_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	return wire.ReadFrame(c.br)
+}
+
+// send queues one frame for the writer; it reports false once the write
+// side has failed, so handlers stop producing into a dead connection.
+func (c *conn) send(op wire.Opcode, body []byte) bool {
+	if c.wfailed.Load() {
+		return false
+	}
+	c.sendQ <- outFrame{op: op, body: body}
+	return true
+}
+
+// writer drains the send queue onto the socket, flushing whenever the
+// queue runs empty. After a write failure it keeps consuming (so the
+// handler never blocks on a dead peer) until the queue closes.
+func (c *conn) writer() {
+	defer close(c.writerDone)
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	for f := range c.sendQ {
+		if c.wfailed.Load() {
+			continue
+		}
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if err := wire.WriteFrame(bw, f.op, f.body); err != nil {
+			c.wfailed.Store(true)
+			c.srv.logf("netserve: write: %v", err)
+			continue
+		}
+		if len(c.sendQ) == 0 {
+			if err := bw.Flush(); err != nil {
+				c.wfailed.Store(true)
+				c.srv.logf("netserve: flush: %v", err)
+			}
+		}
+	}
+	if !c.wfailed.Load() {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		_ = bw.Flush()
+	}
+}
+
+// sendNow writes one frame directly (handshake replies, before the
+// writer goroutine exists).
+func (c *conn) sendNow(op wire.Opcode, body []byte) {
+	_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+	_ = wire.WriteFrame(c.nc, op, body)
+}
+
+// run serves the connection to completion: handshake, request loop,
+// drained teardown. The teardown order matters: stop reading, flush
+// every queued frame, close the socket, close the session.
+func (c *conn) run() {
+	defer c.nc.Close()
+	if !c.handshake() {
+		return
+	}
+	defer c.srv.closeSession(c.sess)
+	go c.writer()
+	defer func() {
+		close(c.sendQ)
+		<-c.writerDone
+	}()
+	c.loop()
+}
+
+// handshake reads the Hello, negotiates a version, opens the bridged
+// session, and answers Welcome. Failures answer a typed Error frame
+// directly. Reports whether the connection reached serving state.
+func (c *conn) handshake() bool {
+	if err := c.waitFrame(); err != nil {
+		if err == errDrained {
+			c.sendNow(wire.OpGoodbye, nil)
+		} else if err != io.EOF {
+			c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		}
+		return false
+	}
+	c.setBusy(true)
+	op, body, err := c.readFrame()
+	if err != nil {
+		c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		return false
+	}
+	if op != wire.OpHello {
+		c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeProto,
+			fmt.Sprintf("expected hello, got %v", op)))
+		return false
+	}
+	h, err := wire.DecodeHello(body)
+	if err != nil {
+		code := wire.ECodeProto
+		if errors.Is(err, wire.ErrVersion) {
+			code = wire.ECodeVersion
+		}
+		c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
+		return false
+	}
+	ver, err := wire.Negotiate(h.MinVersion, h.MaxVersion)
+	if err != nil {
+		c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeVersion, err.Error()))
+		return false
+	}
+	if c.srv.isDraining() {
+		c.sendNow(wire.OpGoodbye, nil)
+		return false
+	}
+	sess, err := c.srv.openSession(h.Measurement)
+	if err != nil {
+		code := wire.ECodeServer
+		if errors.Is(err, hixrt.ErrAttestation) || errors.Is(err, hixrt.ErrAuth) {
+			code = wire.ECodeAuth
+		}
+		c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
+		return false
+	}
+	c.sess = sess
+	w := wire.Welcome{
+		Version:     ver,
+		SessionID:   sess.ID(),
+		SegmentSize: sess.Segment().Size,
+		ChunkSize:   uint32(c.srv.m.Cost.CryptoChunk),
+		MaxData:     wire.MaxData,
+		Enclave:     c.srv.ge.Measurement(),
+	}
+	c.sendNow(wire.OpWelcome, w.Encode())
+	return true
+}
+
+// loop is the serving state: one request at a time, in order, until the
+// client closes, an error breaks the connection, or the server drains.
+func (c *conn) loop() {
+	for {
+		if c.wfailed.Load() {
+			return
+		}
+		if err := c.waitFrame(); err != nil {
+			switch {
+			case err == errDrained:
+				c.send(wire.OpGoodbye, nil)
+			case err == io.EOF:
+				// Peer hung up without ReqClose; session teardown in run.
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, "idle timeout"))
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				c.srv.logf("netserve: %v", err)
+			default:
+				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+			}
+			return
+		}
+		c.setBusy(true)
+		op, body, err := c.readFrame()
+		if err != nil {
+			if !errors.Is(err, wire.ErrShortFrame) {
+				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+			}
+			c.srv.logf("netserve: %v", err)
+			return
+		}
+		if op != wire.OpRequest {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("expected request, got %v", op)))
+			return
+		}
+		done, err := c.handleRequest(body)
+		c.setBusy(false)
+		if err != nil {
+			c.srv.logf("netserve: request: %v", err)
+			return
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// handleRequest bridges one wire request onto the session. It reports
+// done=true when the connection should end (client close), and a
+// non-nil error when the connection is no longer coherent (an Error
+// frame has already been queued where one applies).
+func (c *conn) handleRequest(body []byte) (done bool, err error) {
+	req, err := hix.DecodeRequest(body)
+	if err != nil {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		return false, err
+	}
+	if req.Flags&gpu.FlagSynthetic != 0 {
+		// Remote sessions are always functional: synthetic (timing-only)
+		// transfers carry no bytes and cannot be bridged faithfully.
+		return false, c.reply(hix.Response{Status: hix.RespBadRequest})
+	}
+	switch req.Type {
+	case hix.ReqMemAlloc:
+		ptr, err := c.sess.MemAlloc(req.Size)
+		return false, c.replyErr(err, uint64(ptr))
+	case hix.ReqManagedAlloc:
+		ptr, err := c.sess.ManagedAlloc(req.Size)
+		return false, c.replyErr(err, uint64(ptr))
+	case hix.ReqMemFree, hix.ReqManagedFree:
+		return false, c.replyErr(c.sess.MemFree(hixrt.Ptr(req.Ptr)), 0)
+	case hix.ReqMemcpyHtoD:
+		return false, c.handleHtoD(req)
+	case hix.ReqMemcpyDtoH:
+		return false, c.handleDtoH(req)
+	case hix.ReqLaunch:
+		return false, c.replyErr(c.sess.Launch(req.Kernel, req.Params), 0)
+	case hix.ReqClose:
+		if err := c.replyErr(c.sess.Close(), 0); err != nil {
+			return true, err
+		}
+		c.send(wire.OpGoodbye, nil)
+		return true, nil
+	default:
+		return false, c.reply(hix.Response{Status: hix.RespBadRequest})
+	}
+}
+
+// handleHtoD consumes the request's Data frames and bridges the upload.
+func (c *conn) handleHtoD(req hix.Request) error {
+	if req.Len == 0 || req.Len > c.srv.cfg.MaxTransfer {
+		// Reject before consuming payload; the stream is desynced, so
+		// this is terminal.
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest,
+			fmt.Sprintf("HtoD length %d out of range (max %d)", req.Len, c.srv.cfg.MaxTransfer)))
+		return fmt.Errorf("HtoD length %d out of range", req.Len)
+	}
+	buf := make([]byte, req.Len)
+	got := 0
+	for got < len(buf) {
+		op, body, err := c.readFrame()
+		if err != nil {
+			return fmt.Errorf("HtoD payload: %w", err)
+		}
+		if op != wire.OpData {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("expected data, got %v", op)))
+			return fmt.Errorf("HtoD payload: unexpected %v", op)
+		}
+		if got+len(body) > len(buf) {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, "payload overrun"))
+			return fmt.Errorf("HtoD payload overrun (%d+%d of %d)", got, len(body), len(buf))
+		}
+		copy(buf[got:], body)
+		got += len(body)
+	}
+	return c.replyErr(c.sess.MemcpyHtoD(hixrt.Ptr(req.Ptr), buf, len(buf)), 0)
+}
+
+// handleDtoH bridges the download and streams the bytes back as Data
+// frames after the OK response.
+func (c *conn) handleDtoH(req hix.Request) error {
+	if req.Len == 0 || req.Len > c.srv.cfg.MaxTransfer {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest,
+			fmt.Sprintf("DtoH length %d out of range (max %d)", req.Len, c.srv.cfg.MaxTransfer)))
+		return fmt.Errorf("DtoH length %d out of range", req.Len)
+	}
+	buf := make([]byte, req.Len)
+	err := c.sess.MemcpyDtoH(buf, hixrt.Ptr(req.Ptr), len(buf))
+	if rerr := c.replyErr(err, 0); rerr != nil {
+		return rerr
+	}
+	if err != nil {
+		return nil // error response sent; no payload follows
+	}
+	for off := 0; off < len(buf); off += wire.MaxData {
+		end := min(off+wire.MaxData, len(buf))
+		if !c.send(wire.OpData, buf[off:end]) {
+			return errors.New("DtoH payload: send queue failed")
+		}
+	}
+	return nil
+}
+
+// replyErr maps a session-API error onto the wire, mirroring the
+// in-process error surface: auth failures become RespAuthFailed,
+// request refusals RespError; transport-level failures (closed session,
+// machine faults) are terminal and answer an Error frame instead.
+func (c *conn) replyErr(err error, value uint64) error {
+	switch {
+	case err == nil:
+		return c.reply(hix.Response{Status: hix.RespOK, Value: value})
+	case errors.Is(err, hixrt.ErrAuth):
+		return c.reply(hix.Response{Status: hix.RespAuthFailed})
+	case errors.Is(err, hixrt.ErrRequest):
+		return c.reply(hix.Response{Status: hix.RespError})
+	case errors.Is(err, hixrt.ErrClosed):
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest, "session closed"))
+		return err
+	default:
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeServer, err.Error()))
+		return err
+	}
+}
+
+// reply queues one Response frame, stamped with the session's simulated
+// completion instant so remote clients see sim time.
+func (c *conn) reply(resp hix.Response) error {
+	resp.CompleteNS = int64(c.sess.Now())
+	if !c.send(wire.OpResponse, resp.Encode()) {
+		return errors.New("netserve: send queue failed")
+	}
+	return nil
+}

@@ -1,0 +1,411 @@
+// Package netserve is the network serving layer of the HIX
+// reproduction: a TCP front-end that owns a simulated machine and its
+// GPU enclave and serves remote clients speaking the internal/wire
+// protocol (hixrt.Dial).
+//
+// Each accepted connection is bridged onto a full in-process HIX
+// session: the server hosts the client's user enclave (its identity is
+// the measurement from the wire handshake), performs the attested
+// three-party key exchange with the GPU enclave, and drives the
+// OCB-protected request queues and single-copy shared-segment data
+// path on the client's behalf. The wire link stands in for the
+// application↔user-enclave boundary of a client/server confidential
+// offload deployment; every HIX security property holds unchanged
+// behind it.
+//
+// The server is robust by construction:
+//
+//   - a connection limit with accept backpressure (the listener does
+//     not accept beyond MaxConns; excess dials queue in the kernel);
+//   - per-connection read and write deadlines, so a stalled peer
+//     cannot pin a handler forever;
+//   - a per-connection send queue drained by a dedicated writer
+//     goroutine, so one slow client blocks only its own connection and
+//     never a shared lock or the Serve engine;
+//   - graceful shutdown that stops accepting, interrupts idle reads,
+//     lets in-flight requests finish and flush their responses, and
+//     closes every session deterministically.
+package netserve
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+)
+
+// Server errors.
+var (
+	// ErrServerClosed is returned by Serve after Shutdown.
+	ErrServerClosed = errors.New("netserve: server closed")
+	// ErrNotListening is returned by Serve before Listen.
+	ErrNotListening = errors.New("netserve: not listening")
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Machine is the simulated platform. Nil boots a default machine
+	// (or MachineConfig if set).
+	Machine *machine.Machine
+	// MachineConfig configures the machine booted when Machine is nil.
+	MachineConfig *machine.Config
+	// Enclave is the GPU enclave to serve. Nil launches one on the
+	// machine with a fresh vendor authority; non-nil requires Machine
+	// and VendorPub.
+	Enclave *hix.Enclave
+	// VendorPub verifies the GPU enclave's endorsement when creating
+	// user enclaves. Required iff Enclave is provided.
+	VendorPub ed25519.PublicKey
+
+	// ServeWorkers configures the enclave's serving engine when the
+	// server launches it (default 1; ignored with a provided Enclave).
+	ServeWorkers int
+	// SegmentBytes sizes per-session shared segments when the server
+	// launches the enclave (default hix.Launch's 32 MiB).
+	SegmentBytes uint64
+	// StagingSlots sizes the per-session in-VRAM staging ring when the
+	// server launches the enclave.
+	StagingSlots int
+	// Kernels are registered with the enclave at construction.
+	Kernels []*gpu.Kernel
+
+	// MaxConns bounds concurrently served connections (default 8). The
+	// accept loop blocks — backpressure — while at the limit.
+	MaxConns int
+	// ReadTimeout is the per-frame read deadline; an idle or stalled
+	// peer is disconnected after it (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline on the send side
+	// (default 10s).
+	WriteTimeout time.Duration
+	// SendQueue is the per-connection send-queue depth in frames
+	// (default 64).
+	SendQueue int
+	// MaxTransfer bounds one memcpy request's byte count (default
+	// 64 MiB); larger requests are a protocol violation.
+	MaxTransfer uint64
+
+	// SessionWorkers and SessionWindowSlots configure each bridged
+	// session's crypto worker pool and request window (defaults: the
+	// hixrt defaults).
+	SessionWorkers     int
+	SessionWindowSlots int
+	// OnSession runs after each bridged session opens, before its
+	// first request — instrumentation hook (e.g. ciphertext capture).
+	OnSession func(*hixrt.Session)
+
+	// Logf receives connection-level diagnostics. Nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server owns a machine + GPU enclave and serves remote sessions.
+type Server struct {
+	cfg       Config
+	m         *machine.Machine
+	ge        *hix.Enclave
+	vendorPub ed25519.PublicKey
+
+	// setupMu serializes session construction and teardown so enclave
+	// and OS bookkeeping happen in a deterministic, race-free order.
+	setupMu sync.Mutex
+
+	sem chan struct{} // connection-limit semaphore
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	drainCh  chan struct{}
+
+	wg        sync.WaitGroup // live connection handlers
+	serveDone chan error
+}
+
+// New assembles a server, booting the machine and launching the GPU
+// enclave as needed, and registers cfg.Kernels.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 8
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 64
+	}
+	if cfg.MaxTransfer == 0 {
+		cfg.MaxTransfer = 64 << 20
+	}
+	m := cfg.Machine
+	if m == nil {
+		if cfg.Enclave != nil {
+			return nil, errors.New("netserve: Enclave provided without its Machine")
+		}
+		mc := machine.Config{}
+		if cfg.MachineConfig != nil {
+			mc = *cfg.MachineConfig
+		}
+		var err error
+		m, err = machine.New(mc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ge := cfg.Enclave
+	vendorPub := cfg.VendorPub
+	if ge == nil {
+		vendor, err := attest.NewSigningAuthority()
+		if err != nil {
+			return nil, err
+		}
+		ge, err = hix.Launch(hix.Config{
+			Machine:             m,
+			Vendor:              vendor,
+			SessionSegmentBytes: cfg.SegmentBytes,
+			StagingSlots:        cfg.StagingSlots,
+			ServeWorkers:        cfg.ServeWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vendorPub = vendor.PublicKey()
+	} else if vendorPub == nil {
+		return nil, errors.New("netserve: Enclave provided without VendorPub")
+	}
+	for _, k := range cfg.Kernels {
+		if err := ge.RegisterKernel(k); err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		cfg:       cfg,
+		m:         m,
+		ge:        ge,
+		vendorPub: vendorPub,
+		sem:       make(chan struct{}, cfg.MaxConns),
+		conns:     make(map[*conn]struct{}),
+		drainCh:   make(chan struct{}),
+		serveDone: make(chan error, 1),
+	}, nil
+}
+
+// Machine exposes the simulated platform (bench instrumentation).
+func (s *Server) Machine() *machine.Machine { return s.m }
+
+// Enclave exposes the GPU enclave.
+func (s *Server) Enclave() *hix.Enclave { return s.ge }
+
+// VendorPub exposes the vendor endorsement key remote-session user
+// enclaves verify against.
+func (s *Server) VendorPub() ed25519.PublicKey { return s.vendorPub }
+
+// Listen binds the TCP address (e.g. "127.0.0.1:0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		ln.Close()
+		return nil, ErrServerClosed
+	}
+	if s.ln != nil {
+		ln.Close()
+		return nil, errors.New("netserve: already listening")
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Addr reports the bound address, nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve runs the accept loop until Shutdown (returning ErrServerClosed)
+// or a listener failure. A connection slot is acquired before each
+// Accept, so the listener applies backpressure at MaxConns instead of
+// accepting connections it cannot serve.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return ErrNotListening
+	}
+	for {
+		select {
+		case <-s.drainCh:
+			return ErrServerClosed
+		case s.sem <- struct{}{}:
+		}
+		if s.isDraining() {
+			<-s.sem
+			return ErrServerClosed
+		}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			c.run()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Start is Listen + Serve in the background; the Serve result is
+// available via Wait.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	a, err := s.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { s.serveDone <- s.Serve() }()
+	return a, nil
+}
+
+// Wait blocks until a Serve started with Start returns.
+func (s *Server) Wait() error { return <-s.serveDone }
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown gracefully stops the server: the listener closes, idle
+// connection reads are interrupted, each handler finishes (and flushes
+// the response of) any request already in flight, sends Goodbye, and
+// closes its session. Shutdown returns once every handler exited, or
+// force-closes the remaining connections when ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	if !already {
+		close(s.drainCh)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		c.interruptRead()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			_ = c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// openSession builds the user enclave + attested session for one
+// connection. Serialized so concurrent handshakes construct enclave and
+// OS state in arrival order.
+func (s *Server) openSession(measure attest.Measurement) (*hixrt.Session, error) {
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	client, err := hixrt.NewClient(s.m, s.ge, s.vendorPub, measure[:])
+	if err != nil {
+		return nil, err
+	}
+	sess, err := client.OpenSession()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.SessionWorkers > 0 {
+		sess.Workers = s.cfg.SessionWorkers
+	}
+	if s.cfg.SessionWindowSlots > 0 {
+		sess.WindowSlots = s.cfg.SessionWindowSlots
+	}
+	if s.cfg.OnSession != nil {
+		s.cfg.OnSession(sess)
+	}
+	return sess, nil
+}
+
+// closeSession tears a bridged session down (idempotent if the client
+// already sent ReqClose).
+func (s *Server) closeSession(sess *hixrt.Session) {
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	if err := sess.Close(); err != nil {
+		s.logf("netserve: session close: %v", err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// SessionCount reports the enclave's live session count (tests).
+func (s *Server) SessionCount() int { return s.ge.SessionCount() }
+
+// ConnCount reports currently tracked connections (tests).
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// String describes the server (diagnostics).
+func (s *Server) String() string {
+	return fmt.Sprintf("netserve.Server(max_conns=%d, sessions=%d)", s.cfg.MaxConns, s.SessionCount())
+}

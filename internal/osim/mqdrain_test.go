@@ -1,0 +1,161 @@
+package osim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMQDrainEmpty(t *testing.T) {
+	o, _ := newOS(t)
+	id := o.MQCreate()
+	msgs, err := o.MQDrain(id)
+	if err != nil {
+		t.Fatalf("drain of empty queue: %v", err)
+	}
+	if msgs != nil {
+		t.Fatalf("drain of empty queue returned %d messages, want nil", len(msgs))
+	}
+	// MQRecv on the same state reports ErrQueueEmpty; MQDrain must not.
+	if _, err := o.MQRecv(id); !errors.Is(err, ErrQueueEmpty) {
+		t.Fatalf("MQRecv on empty queue: %v, want ErrQueueEmpty", err)
+	}
+}
+
+func TestMQDrainUnknownQueue(t *testing.T) {
+	o, _ := newOS(t)
+	if _, err := o.MQDrain(999); !errors.Is(err, ErrNoQueue) {
+		t.Fatalf("drain of unknown queue: %v, want ErrNoQueue", err)
+	}
+}
+
+func TestMQDrainPartialBatch(t *testing.T) {
+	o, _ := newOS(t)
+	id := o.MQCreate()
+	for i := 0; i < 5; i++ {
+		if err := o.MQSend(id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pop two singly, then drain: the batch must hold exactly the rest,
+	// in order.
+	for i := 0; i < 2; i++ {
+		m, err := o.MQRecv(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m[0] != byte(i) {
+			t.Fatalf("MQRecv #%d = %d", i, m[0])
+		}
+	}
+	msgs, err := o.MQDrain(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("drained %d messages, want 3", len(msgs))
+	}
+	for i, m := range msgs {
+		if !bytes.Equal(m, []byte{byte(i + 2)}) {
+			t.Fatalf("batch[%d] = %v, want [%d]", i, m, i+2)
+		}
+	}
+	// And the queue is now empty.
+	if msgs, err := o.MQDrain(id); err != nil || msgs != nil {
+		t.Fatalf("second drain = (%d msgs, %v), want (nil, nil)", len(msgs), err)
+	}
+}
+
+func TestMQDrainFullBatch(t *testing.T) {
+	o, _ := newOS(t)
+	id := o.MQCreate()
+	const n = 64
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		want[i] = []byte(fmt.Sprintf("msg-%03d", i))
+		if err := o.MQSend(id, want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, err := o.MQDrain(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != n {
+		t.Fatalf("drained %d messages, want %d", len(msgs), n)
+	}
+	for i := range msgs {
+		if !bytes.Equal(msgs[i], want[i]) {
+			t.Fatalf("batch[%d] = %q, want %q", i, msgs[i], want[i])
+		}
+	}
+}
+
+// TestMQDrainConcurrentSenders interleaves drains with concurrent
+// senders: across all batches every message must appear exactly once,
+// and each sender's messages must appear in its send order (FIFO is
+// per-queue, so per-sender subsequences are preserved).
+func TestMQDrainConcurrentSenders(t *testing.T) {
+	o, _ := newOS(t)
+	id := o.MQCreate()
+	const senders, perSender = 8, 200
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var msg [8]byte
+			for i := 0; i < perSender; i++ {
+				binary.LittleEndian.PutUint32(msg[0:], uint32(s))
+				binary.LittleEndian.PutUint32(msg[4:], uint32(i))
+				if err := o.MQSend(id, msg[:]); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+			}
+		}(s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var got [][]byte
+	collect := func() {
+		msgs, err := o.MQDrain(id)
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		got = append(got, msgs...)
+	}
+	for sending := true; sending; {
+		select {
+		case <-done:
+			sending = false
+		default:
+			collect()
+		}
+	}
+	collect() // final sweep after all senders finished
+
+	if len(got) != senders*perSender {
+		t.Fatalf("collected %d messages, want %d", len(got), senders*perSender)
+	}
+	next := make([]uint32, senders)
+	for _, m := range got {
+		if len(m) != 8 {
+			t.Fatalf("message length %d", len(m))
+		}
+		s := binary.LittleEndian.Uint32(m[0:])
+		i := binary.LittleEndian.Uint32(m[4:])
+		if s >= senders {
+			t.Fatalf("unknown sender %d", s)
+		}
+		if i != next[s] {
+			t.Fatalf("sender %d out of order: got seq %d, want %d", s, i, next[s])
+		}
+		next[s]++
+	}
+}

@@ -1,0 +1,329 @@
+// Package wire is the network protocol of the HIX serving layer: a
+// versioned, length-prefixed binary framing spoken between a remote
+// client (hixrt.Dial) and the hixserve front-end (internal/netserve).
+//
+// The TCP link models the application↔user-enclave boundary of a
+// client/server confidential-offload deployment (the RPC split Gramine
+// uses for SGX accelerator offloading): the HIX security protocol
+// itself — attestation, three-party Diffie-Hellman, OCB-protected
+// requests and single-copy encrypted data — runs unchanged between the
+// server-hosted user enclave and the GPU enclave. Request and response
+// frames are therefore a faithful encoding of hix.Request/hix.Response,
+// and bulk data travels as shared-segment payload chunks bracketed by
+// those frames.
+//
+// Framing: every frame is
+//
+//	uint32  body length (little endian, excludes this 5-byte header)
+//	uint8   opcode
+//	[]byte  body
+//
+// The handshake is one Hello frame from the client (magic, the version
+// range it speaks, its attestation measurement) answered by one Welcome
+// frame from the server (magic, the negotiated version, session id,
+// transfer geometry, the GPU enclave's measurement) or an Error frame.
+// Decoding is strict: frames above MaxBody, unknown opcodes, short
+// reads, bad magic, and unsatisfiable version ranges all surface as
+// typed errors — never panics.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/attest"
+)
+
+// Protocol identity.
+const (
+	// Magic opens every Hello and Welcome body ("HIXW").
+	Magic = 0x48495857
+	// Version1 is the first (and current) protocol version.
+	Version1 = 1
+	// MaxVersion is the newest version this implementation speaks.
+	MaxVersion = Version1
+	// MinVersion is the oldest version this implementation accepts.
+	MinVersion = Version1
+)
+
+// Frame geometry.
+const (
+	// HeaderSize is the fixed frame header: uint32 length + uint8 opcode.
+	HeaderSize = 5
+	// MaxBody bounds one frame's body. A decoder must reject larger
+	// lengths before allocating, so a hostile peer cannot balloon
+	// memory with one forged header.
+	MaxBody = 1 << 20
+	// MaxData is the largest payload slice a single Data frame may
+	// carry; bulk transfers split into as many Data frames as needed.
+	MaxData = 256 << 10
+)
+
+// Opcode identifies a frame type.
+type Opcode uint8
+
+const (
+	// OpHello is the client's opening frame.
+	OpHello Opcode = iota + 1
+	// OpWelcome is the server's handshake acceptance.
+	OpWelcome
+	// OpRequest carries one hix.Request encoding.
+	OpRequest
+	// OpResponse carries one hix.Response encoding.
+	OpResponse
+	// OpData carries one payload chunk of a bulk transfer.
+	OpData
+	// OpError carries a terminal error (code + message).
+	OpError
+	// OpGoodbye tells the client the server is draining and will accept
+	// no further requests on this connection.
+	OpGoodbye
+
+	opMax = OpGoodbye
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpHello:
+		return "hello"
+	case OpWelcome:
+		return "welcome"
+	case OpRequest:
+		return "request"
+	case OpResponse:
+		return "response"
+	case OpData:
+		return "data"
+	case OpError:
+		return "error"
+	case OpGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// Typed protocol errors.
+var (
+	// ErrFrameTooBig reports a header announcing a body above the limit.
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	// ErrShortFrame reports a header or body truncated mid-read.
+	ErrShortFrame = errors.New("wire: short frame")
+	// ErrUnknownOpcode reports an opcode outside the protocol.
+	ErrUnknownOpcode = errors.New("wire: unknown opcode")
+	// ErrBadMagic reports a handshake body not starting with Magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion reports an unsatisfiable version negotiation.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrBadFrame reports a structurally invalid frame body.
+	ErrBadFrame = errors.New("wire: malformed frame body")
+)
+
+// Remote error codes carried by OpError frames.
+const (
+	// ECodeProto: the peer violated the framing or protocol state.
+	ECodeProto uint32 = iota + 1
+	// ECodeVersion: version negotiation failed.
+	ECodeVersion
+	// ECodeAuth: session setup or message authentication failed.
+	ECodeAuth
+	// ECodeRequest: the request was understood but refused.
+	ECodeRequest
+	// ECodeServer: an internal server failure; the session is gone.
+	ECodeServer
+	// ECodeShutdown: the server is draining connections.
+	ECodeShutdown
+)
+
+// RemoteError is an OpError frame surfaced to the API caller.
+type RemoteError struct {
+	Code uint32
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %d: %s", e.Code, e.Msg)
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, op Opcode, body []byte) error {
+	if len(body) > MaxBody {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(body))
+	}
+	if op == 0 || op > opMax {
+		return fmt.Errorf("%w: %d", ErrUnknownOpcode, op)
+	}
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	hdr[4] = byte(op)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads and validates one frame. Oversized lengths are
+// rejected before any body allocation; truncated headers and bodies
+// surface as ErrShortFrame (a clean EOF before any header byte is
+// returned as io.EOF so callers can distinguish orderly close).
+func ReadFrame(r io.Reader) (Opcode, []byte, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %w", ErrShortFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	op := Opcode(hdr[4])
+	if n > MaxBody {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooBig, n, MaxBody)
+	}
+	if op == 0 || op > opMax {
+		return 0, nil, fmt.Errorf("%w: %d", ErrUnknownOpcode, uint8(op))
+	}
+	if n == 0 {
+		return op, nil, nil
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: body: %w", ErrShortFrame, err)
+	}
+	return op, body, nil
+}
+
+// Hello is the client's handshake: the version range it speaks and its
+// attestation measurement, which the server uses as the identity (and
+// measured image) of the user enclave it hosts for this connection.
+type Hello struct {
+	MinVersion  uint16
+	MaxVersion  uint16
+	Measurement attest.Measurement
+}
+
+const helloSize = 4 + 2 + 2 + len(attest.Measurement{})
+
+// Encode serializes the Hello body.
+func (h *Hello) Encode() []byte {
+	buf := make([]byte, helloSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], Magic)
+	le.PutUint16(buf[4:], h.MinVersion)
+	le.PutUint16(buf[6:], h.MaxVersion)
+	copy(buf[8:], h.Measurement[:])
+	return buf
+}
+
+// DecodeHello parses and validates a Hello body.
+func DecodeHello(buf []byte) (Hello, error) {
+	if len(buf) != helloSize {
+		return Hello{}, fmt.Errorf("%w: hello length %d != %d", ErrBadFrame, len(buf), helloSize)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != Magic {
+		return Hello{}, fmt.Errorf("%w: hello %#x", ErrBadMagic, le.Uint32(buf[0:]))
+	}
+	var h Hello
+	h.MinVersion = le.Uint16(buf[4:])
+	h.MaxVersion = le.Uint16(buf[6:])
+	copy(h.Measurement[:], buf[8:])
+	if h.MinVersion == 0 || h.MaxVersion < h.MinVersion {
+		return Hello{}, fmt.Errorf("%w: hello range [%d,%d]", ErrVersion, h.MinVersion, h.MaxVersion)
+	}
+	return h, nil
+}
+
+// Negotiate picks the highest mutually spoken version for a client
+// offering [lo, hi], or fails with ErrVersion.
+func Negotiate(lo, hi uint16) (uint16, error) {
+	v := uint16(MaxVersion)
+	if hi < v {
+		v = hi
+	}
+	if v < lo || v < MinVersion {
+		return 0, fmt.Errorf("%w: client [%d,%d], server [%d,%d]", ErrVersion, lo, hi, MinVersion, MaxVersion)
+	}
+	return v, nil
+}
+
+// Welcome is the server's handshake acceptance: the negotiated version,
+// the session the connection was bridged onto, the transfer geometry
+// the client needs to chunk payloads, and the GPU enclave's measurement
+// for the client's records.
+type Welcome struct {
+	Version     uint16
+	SessionID   uint32
+	SegmentSize uint64
+	ChunkSize   uint32 // data-path pipeline chunk (cost model CryptoChunk)
+	MaxData     uint32 // largest payload per Data frame
+	Enclave     attest.Measurement
+}
+
+const welcomeSize = 4 + 2 + 4 + 8 + 4 + 4 + len(attest.Measurement{})
+
+// Encode serializes the Welcome body.
+func (w *Welcome) Encode() []byte {
+	buf := make([]byte, welcomeSize)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], Magic)
+	le.PutUint16(buf[4:], w.Version)
+	le.PutUint32(buf[6:], w.SessionID)
+	le.PutUint64(buf[10:], w.SegmentSize)
+	le.PutUint32(buf[18:], w.ChunkSize)
+	le.PutUint32(buf[22:], w.MaxData)
+	copy(buf[26:], w.Enclave[:])
+	return buf
+}
+
+// DecodeWelcome parses and validates a Welcome body.
+func DecodeWelcome(buf []byte) (Welcome, error) {
+	if len(buf) != welcomeSize {
+		return Welcome{}, fmt.Errorf("%w: welcome length %d != %d", ErrBadFrame, len(buf), welcomeSize)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(buf[0:]) != Magic {
+		return Welcome{}, fmt.Errorf("%w: welcome %#x", ErrBadMagic, le.Uint32(buf[0:]))
+	}
+	var w Welcome
+	w.Version = le.Uint16(buf[4:])
+	w.SessionID = le.Uint32(buf[6:])
+	w.SegmentSize = le.Uint64(buf[10:])
+	w.ChunkSize = le.Uint32(buf[18:])
+	w.MaxData = le.Uint32(buf[22:])
+	copy(w.Enclave[:], buf[26:])
+	if w.Version < MinVersion || w.Version > MaxVersion {
+		return Welcome{}, fmt.Errorf("%w: welcome version %d", ErrVersion, w.Version)
+	}
+	if w.MaxData == 0 || w.MaxData > MaxData {
+		return Welcome{}, fmt.Errorf("%w: welcome max data %d", ErrBadFrame, w.MaxData)
+	}
+	return w, nil
+}
+
+// EncodeError serializes an OpError body.
+func EncodeError(code uint32, msg string) []byte {
+	if len(msg) > MaxBody-4 {
+		msg = msg[:MaxBody-4]
+	}
+	buf := make([]byte, 4+len(msg))
+	binary.LittleEndian.PutUint32(buf[0:], code)
+	copy(buf[4:], msg)
+	return buf
+}
+
+// DecodeError parses an OpError body.
+func DecodeError(buf []byte) (*RemoteError, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: error frame %d bytes", ErrBadFrame, len(buf))
+	}
+	return &RemoteError{
+		Code: binary.LittleEndian.Uint32(buf[0:]),
+		Msg:  string(buf[4:]),
+	}, nil
+}

@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/attest"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, {0x42}, bytes.Repeat([]byte{0xab}, MaxData)}
+	for _, body := range bodies {
+		for op := OpHello; op <= opMax; op++ {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, op, body); err != nil {
+				t.Fatalf("WriteFrame(%v, %d bytes): %v", op, len(body), err)
+			}
+			gotOp, gotBody, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("ReadFrame(%v, %d bytes): %v", op, len(body), err)
+			}
+			if gotOp != op || !bytes.Equal(gotBody, body) {
+				t.Fatalf("round trip: got (%v, %d bytes), want (%v, %d bytes)",
+					gotOp, len(gotBody), op, len(body))
+			}
+		}
+	}
+}
+
+func TestFrameSequencing(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, OpData, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		op, body, err := ReadFrame(&buf)
+		if err != nil || op != OpData || len(body) != 1 || body[0] != byte(i) {
+			t.Fatalf("frame %d: op=%v body=%v err=%v", i, op, body, err)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+// header builds a raw frame header for malformed-input tests.
+func header(n uint32, op byte) []byte {
+	hdr := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(hdr, n)
+	hdr[4] = op
+	return hdr
+}
+
+func TestReadFrameMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"truncated header", header(1, byte(OpData))[:3], ErrShortFrame},
+		{"truncated body", append(header(100, byte(OpData)), 1, 2, 3), ErrShortFrame},
+		{"oversized", header(MaxBody+1, byte(OpData)), ErrFrameTooBig},
+		{"huge length", header(0xffff_ffff, byte(OpData)), ErrFrameTooBig},
+		{"opcode zero", header(0, 0), ErrUnknownOpcode},
+		{"opcode unknown", header(0, byte(opMax)+1), ErrUnknownOpcode},
+		{"opcode 255", header(4, 255), ErrUnknownOpcode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(tc.raw))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	err := WriteFrame(io.Discard, OpData, make([]byte, MaxBody+1))
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig", err)
+	}
+	if err := WriteFrame(io.Discard, 0, nil); !errors.Is(err, ErrUnknownOpcode) {
+		t.Fatalf("got %v, want ErrUnknownOpcode", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{
+		MinVersion:  1,
+		MaxVersion:  3,
+		Measurement: attest.Measure([]byte("client app")),
+	}
+	got, err := DecodeHello(h.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("got %+v, want %+v", got, h)
+	}
+}
+
+func TestDecodeHelloMalformed(t *testing.T) {
+	good := (&Hello{MinVersion: 1, MaxVersion: 1}).Encode()
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xff
+
+	zeroMin := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(zeroMin[4:], 0)
+
+	inverted := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(inverted[4:], 5)
+	binary.LittleEndian.PutUint16(inverted[6:], 2)
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"short", good[:8], ErrBadFrame},
+		{"long", append(append([]byte(nil), good...), 0), ErrBadFrame},
+		{"bad magic", badMagic, ErrBadMagic},
+		{"zero min version", zeroMin, ErrVersion},
+		{"inverted range", inverted, ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeHello(tc.buf); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		lo, hi uint16
+		want   uint16
+		ok     bool
+	}{
+		{1, 1, 1, true},
+		{1, 7, 1, true}, // client newer: server caps at its max
+		{2, 9, 0, false},
+		{0, 0, 0, false},
+	}
+	for _, tc := range cases {
+		v, err := Negotiate(tc.lo, tc.hi)
+		if tc.ok && (err != nil || v != tc.want) {
+			t.Fatalf("Negotiate(%d,%d) = %d, %v; want %d", tc.lo, tc.hi, v, err, tc.want)
+		}
+		if !tc.ok && !errors.Is(err, ErrVersion) {
+			t.Fatalf("Negotiate(%d,%d): got %v, want ErrVersion", tc.lo, tc.hi, err)
+		}
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	w := Welcome{
+		Version:     1,
+		SessionID:   42,
+		SegmentSize: 32 << 20,
+		ChunkSize:   4 << 20,
+		MaxData:     MaxData,
+		Enclave:     attest.Measure([]byte("gpu enclave")),
+	}
+	got, err := DecodeWelcome(w.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Fatalf("got %+v, want %+v", got, w)
+	}
+}
+
+func TestDecodeWelcomeMalformed(t *testing.T) {
+	good := (&Welcome{Version: 1, MaxData: MaxData}).Encode()
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[3] ^= 0x01
+
+	badVersion := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(badVersion[4:], MaxVersion+1)
+
+	zeroData := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(zeroData[22:], 0)
+
+	hugeData := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(hugeData[22:], MaxData+1)
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"short", good[:10], ErrBadFrame},
+		{"bad magic", badMagic, ErrBadMagic},
+		{"bad version", badVersion, ErrVersion},
+		{"zero max data", zeroData, ErrBadFrame},
+		{"huge max data", hugeData, ErrBadFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeWelcome(tc.buf); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	re, err := DecodeError(EncodeError(ECodeAuth, "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Code != ECodeAuth || re.Msg != "nope" {
+		t.Fatalf("got %+v", re)
+	}
+	if !strings.Contains(re.Error(), "nope") {
+		t.Fatalf("Error() = %q", re.Error())
+	}
+	if _, err := DecodeError([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short error frame: got %v, want ErrBadFrame", err)
+	}
+	// Oversized messages are clipped to fit a frame, not rejected.
+	huge := EncodeError(ECodeServer, strings.Repeat("x", MaxBody))
+	if len(huge) > MaxBody {
+		t.Fatalf("EncodeError produced %d bytes > MaxBody", len(huge))
+	}
+}
+
+// FuzzReadFrame asserts the strict decoder never panics and only
+// returns typed errors on arbitrary input.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(header(0, byte(OpGoodbye)))
+	f.Add(append(header(3, byte(OpData)), 1, 2, 3))
+	f.Add(header(MaxBody+1, byte(OpRequest)))
+	f.Add(header(12, 99))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		op, body, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			switch {
+			case err == io.EOF,
+				errors.Is(err, ErrShortFrame),
+				errors.Is(err, ErrFrameTooBig),
+				errors.Is(err, ErrUnknownOpcode):
+			default:
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if op == 0 || op > opMax {
+			t.Fatalf("accepted opcode %d", op)
+		}
+		if len(body) > MaxBody {
+			t.Fatalf("accepted %d-byte body", len(body))
+		}
+		// Re-encoding an accepted frame must reproduce the consumed prefix.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, op, body); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw[:buf.Len()]) {
+			t.Fatal("re-encoded frame differs from input prefix")
+		}
+	})
+}

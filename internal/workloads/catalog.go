@@ -1,0 +1,28 @@
+package workloads
+
+import "repro/internal/gpu"
+
+// AllKernels returns the full kernel catalog of the standard workloads
+// (matrix add/mul plus the eight Rodinia applications), deduplicated by
+// name. A serving front-end registers this catalog once so any standard
+// workload can run against it; kernel behavior depends only on launch
+// parameters, never on the instance the kernel was collected from.
+func AllKernels() []*gpu.Kernel {
+	var sources [][]*gpu.Kernel
+	sources = append(sources, NewMatrixAdd(1).Kernels())
+	for _, w := range PaperRodinia() {
+		sources = append(sources, w.Kernels())
+	}
+	seen := make(map[string]bool)
+	var out []*gpu.Kernel
+	for _, ks := range sources {
+		for _, k := range ks {
+			if seen[k.Name] {
+				continue
+			}
+			seen[k.Name] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

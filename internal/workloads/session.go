@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+)
+
+// SessionAPI is the driver-API surface shared by the in-process HIX
+// session and the remote (network) session returned by hixrt.Dial. Any
+// workload drives either through SessionRunner — the same program runs
+// unmodified in process or over TCP.
+type SessionAPI interface {
+	MemAlloc(size uint64) (hixrt.Ptr, error)
+	MemFree(ptr hixrt.Ptr) error
+	MemcpyHtoD(dst hixrt.Ptr, data []byte, logicalLen int) error
+	MemcpyDtoH(out []byte, src hixrt.Ptr, logicalLen int) error
+	Launch(kernel string, params [gpu.NumKernelParams]uint64) error
+}
+
+// Both session flavors satisfy the shared surface.
+var (
+	_ SessionAPI = (*hixrt.Session)(nil)
+	_ SessionAPI = (*hixrt.RemoteSession)(nil)
+)
+
+// SessionRunner adapts any SessionAPI to the Runner interface.
+type SessionRunner struct{ S SessionAPI }
+
+var _ Runner = SessionRunner{}
+
+// MemAlloc implements Runner.
+func (r SessionRunner) MemAlloc(size uint64) (uint64, error) {
+	p, err := r.S.MemAlloc(size)
+	return uint64(p), err
+}
+
+// MemFree implements Runner.
+func (r SessionRunner) MemFree(ptr uint64) error { return r.S.MemFree(hixrt.Ptr(ptr)) }
+
+// MemcpyHtoD implements Runner.
+func (r SessionRunner) MemcpyHtoD(dst uint64, data []byte, logicalLen int) error {
+	return r.S.MemcpyHtoD(hixrt.Ptr(dst), data, logicalLen)
+}
+
+// MemcpyDtoH implements Runner.
+func (r SessionRunner) MemcpyDtoH(out []byte, src uint64, logicalLen int) error {
+	return r.S.MemcpyDtoH(out, hixrt.Ptr(src), logicalLen)
+}
+
+// Launch implements Runner.
+func (r SessionRunner) Launch(kernel string, params [gpu.NumKernelParams]uint64) error {
+	return r.S.Launch(kernel, params)
+}
