@@ -8,7 +8,7 @@
 //	hixbench -exp table4,fig6    # a comma-separated subset
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
-// volta, paging, breakdown, datapath, multitenant.
+// volta, paging, breakdown, datapath, multitenant, netserve, faults.
 package main
 
 import (
@@ -37,7 +37,7 @@ func writeRecords(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, all")
 	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
 	flag.Parse()
 
@@ -87,6 +87,9 @@ func main() {
 	}
 	if run("netserve") {
 		ok = netserveExp() && ok
+	}
+	if run("faults") {
+		ok = faultsExp() && ok
 	}
 	if *jsonPath != "" {
 		if err := writeRecords(*jsonPath); err != nil {

@@ -1,0 +1,445 @@
+// Package faults is the deterministic fault-injection plane of the HIX
+// serving stack: a seeded schedule of substrate failures — corrupted or
+// truncated wire frames, dropped connections, accept failures,
+// send-queue overflow, OCB auth-tag corruption on the inter-enclave
+// data path, device faults, attestation mismatches — wired through
+// wire, netserve, hixrt, and the GPU data path.
+//
+// HIX's premise is correct operation on a hostile substrate (a
+// malicious OS, a lossy PCIe path, forged DMA). The serving layers
+// above the protocol must inherit that posture: every injected failure
+// here must surface as a typed error at the client API, never as
+// silent corruption or a wedged handler. The plane makes that
+// checkable at scale: every decision derives from SHA-256 over
+// (seed, site, index), so a chaos run is bit-reproducible — rerunning
+// the same seed injects the same faults at the same protocol points
+// and must produce the same outcome sequence. This is the same
+// determinism discipline as the seeded platform entropy
+// (attest.SeededRNG): randomness for coverage, seeds for reproduction.
+//
+// Two kinds of injection site:
+//
+//   - Event sites fire per call with a configured probability
+//     (Config.Rates), drawn from the site's own deterministic stream.
+//     Callers place Fire(site) at the exact protocol point the fault
+//     models; sites are serialized by the protocol (one decision per
+//     request, handshake, or chunk), which keeps the global call
+//     indices — and therefore the schedule — reproducible.
+//   - Stream sites ride a wrapped net.Conn (WrapConn): byte-offset
+//     schedules for truncation and delay, and a frame-count schedule
+//     for header corruption. The wrapper parses its own outgoing byte
+//     stream, so corruption targets the frame header (the opcode is
+//     flipped out of the valid range), which the peer's strict decoder
+//     is guaranteed to reject as a typed error. Payload-byte
+//     corruption on this link is deliberately not injected: the TCP
+//     link models the application↔user-enclave boundary, which is
+//     inside the application TCB; end-to-end integrity (OCB) begins at
+//     the user enclave. See DESIGN.md's fault model.
+//
+// A nil *Plane is a valid no-op plane: every injection point may be
+// wired unconditionally.
+package faults
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Injection sites. The name is the identity of the deterministic
+// stream backing the site's decisions.
+const (
+	// WireCorrupt corrupts a wire frame header in transit (stream site,
+	// Config.CorruptEveryFrames).
+	WireCorrupt = "wire/corrupt"
+	// WireTruncate cuts the connection mid-stream (stream site,
+	// Config.TruncateEveryBytes).
+	WireTruncate = "wire/truncate"
+	// WireDelay stalls the stream for Config.Delay (stream site,
+	// Config.DelayEveryBytes).
+	WireDelay = "wire/delay"
+	// NetAccept fails an accepted connection before serving (event
+	// site; one call per accept).
+	NetAccept = "net/accept"
+	// NetDrop drops a serving connection just as a request arrives
+	// (event site; one call per received request).
+	NetDrop = "net/drop"
+	// NetSendQueue overflows a connection's send queue during bulk
+	// DtoH streaming (event site; one call per queued Data frame).
+	NetSendQueue = "net/sendq"
+	// GPUTagCorrupt flips an OCB auth-tag byte in the inter-enclave
+	// shared segment (event site; one call per data chunk).
+	GPUTagCorrupt = "gpu/tag"
+	// GPUDeviceFault fails a kernel launch with a device fault (event
+	// site; one call per launch request).
+	GPUDeviceFault = "gpu/fault"
+	// AttestMismatch fails session setup with a measurement mismatch
+	// (event site; one call per handshake).
+	AttestMismatch = "attest/measure"
+)
+
+// ErrInjectedTruncate is the write error surfaced to the local peer
+// when WireTruncate cuts its connection.
+var ErrInjectedTruncate = fmt.Errorf("faults: injected connection truncation")
+
+// Config tunes a Plane. Zero values disable the corresponding sites.
+type Config struct {
+	// Rates is the per-call injection probability of each event site.
+	Rates map[string]float64
+	// Limits caps the number of injections per site (both kinds);
+	// absent means unlimited.
+	Limits map[string]int
+	// After suppresses an event site's first N calls, so tests can
+	// place a deterministic fault after a known amount of traffic.
+	After map[string]int
+
+	// CorruptEveryFrames is the mean gap, in frames, between corrupted
+	// frame headers on a wrapped connection (0 disables).
+	CorruptEveryFrames int
+	// TruncateEveryBytes is the mean gap, in stream bytes, between
+	// injected connection truncations (0 disables). A truncation kills
+	// the wrapped connection; the schedule position carries over to
+	// the next wrapped connection only through its own fresh stream.
+	TruncateEveryBytes int
+	// DelayEveryBytes is the mean gap, in stream bytes, between
+	// injected write stalls (0 disables).
+	DelayEveryBytes int
+	// Delay is the injected stall length (default 1ms).
+	Delay time.Duration
+}
+
+func (c Config) wantsWire() bool {
+	return c.CorruptEveryFrames > 0 || c.TruncateEveryBytes > 0 || c.DelayEveryBytes > 0
+}
+
+// Plane is a seeded fault schedule shared by every layer of one
+// serving stack (client and server sides alike).
+type Plane struct {
+	seed string
+	cfg  Config
+
+	mu    sync.Mutex
+	calls map[string]uint64
+	fired map[string]int
+	wraps map[string]int
+}
+
+// New builds a plane whose every decision derives from seed.
+func New(seed string, cfg Config) *Plane {
+	if cfg.Delay <= 0 {
+		cfg.Delay = time.Millisecond
+	}
+	return &Plane{
+		seed:  seed,
+		cfg:   cfg,
+		calls: make(map[string]uint64),
+		fired: make(map[string]int),
+		wraps: make(map[string]int),
+	}
+}
+
+// draw returns the deterministic uniform [0,1) variate for the n-th
+// call at site.
+func (p *Plane) draw(site string, n uint64) float64 {
+	h := sha256.New()
+	io.WriteString(h, p.seed)
+	h.Write([]byte{0})
+	io.WriteString(h, site)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], n)
+	h.Write(b[:])
+	u := binary.LittleEndian.Uint64(h.Sum(nil))
+	return float64(u>>11) / (1 << 53)
+}
+
+// Fire records one call at an event site and reports whether the
+// schedule injects a fault there. Nil-safe.
+func (p *Plane) Fire(site string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.calls[site]
+	p.calls[site] = n + 1
+	rate := p.cfg.Rates[site]
+	if rate <= 0 {
+		return false
+	}
+	if after, ok := p.cfg.After[site]; ok && n < uint64(after) {
+		return false
+	}
+	if lim, ok := p.cfg.Limits[site]; ok && p.fired[site] >= lim {
+		return false
+	}
+	if p.draw(site, n) >= rate {
+		return false
+	}
+	p.fired[site]++
+	return true
+}
+
+// allow consults only Limits for a stream site (whose schedule lives
+// in the conn wrapper) and records the injection if allowed.
+func (p *Plane) allow(site string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if lim, ok := p.cfg.Limits[site]; ok && p.fired[site] >= lim {
+		return false
+	}
+	p.fired[site]++
+	return true
+}
+
+// Fired reports how many faults the plane injected at site.
+func (p *Plane) Fired(site string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[site]
+}
+
+// TotalFired reports the total injections across all sites.
+func (p *Plane) TotalFired() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := 0
+	for _, n := range p.fired {
+		t += n
+	}
+	return t
+}
+
+// Stats returns a copy of the per-site injection counts.
+func (p *Plane) Stats() map[string]int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.fired))
+	for s, n := range p.fired {
+		out[s] = n
+	}
+	return out
+}
+
+// Signature digests the plane's call and injection counts into a
+// stable string: two runs of the same seeded scenario must produce
+// equal signatures, which is the reproducibility gate of the chaos
+// sweep.
+func (p *Plane) Signature() string {
+	if p == nil {
+		return "plane:nil"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sites := make(map[string]bool, len(p.calls)+len(p.fired))
+	for s := range p.calls {
+		sites[s] = true
+	}
+	for s := range p.fired {
+		sites[s] = true
+	}
+	names := make([]string, 0, len(sites))
+	for s := range sites {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, s := range names {
+		fmt.Fprintf(&b, "%s=%d/%d;", s, p.fired[s], p.calls[s])
+	}
+	return b.String()
+}
+
+// gapSchedule is a seeded sequence of injection positions (byte
+// offsets or frame indices) with a configured mean gap.
+type gapSchedule struct {
+	rng  *counterRNG
+	mean uint64
+	next uint64
+}
+
+func newGapSchedule(seed string, mean int) *gapSchedule {
+	g := &gapSchedule{rng: newCounterRNG(seed), mean: uint64(mean)}
+	g.next = g.gap()
+	return g
+}
+
+// gap draws a uniform gap in [1, 2*mean] (mean ≈ configured mean).
+func (g *gapSchedule) gap() uint64 {
+	return 1 + g.rng.next()%(2*g.mean)
+}
+
+func (g *gapSchedule) advance() { g.next += g.gap() }
+
+// counterRNG is SHA-256 in counter mode over a seed — the same
+// construction as attest.SeededRNG, inlined so the plane owns its
+// stream layout.
+type counterRNG struct {
+	seed [32]byte
+	ctr  uint64
+}
+
+func newCounterRNG(seed string) *counterRNG {
+	return &counterRNG{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (r *counterRNG) next() uint64 {
+	var block [40]byte
+	copy(block[:32], r.seed[:])
+	binary.LittleEndian.PutUint64(block[32:], r.ctr)
+	r.ctr++
+	sum := sha256.Sum256(block[:])
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// WrapConn wraps nc with the plane's wire-fault schedules. Each
+// wrapped connection gets its own deterministic schedule, derived from
+// the plane seed, the caller's tag ("client" for dialed connections,
+// "server" for accepted ones — the two sides wrap concurrently, so
+// they must not share one counter), and the per-tag wrap index.
+// Returns nc unchanged when no wire site is configured. Nil-safe.
+func (p *Plane) WrapConn(nc net.Conn, tag string) net.Conn {
+	if p == nil || !p.cfg.wantsWire() {
+		return nc
+	}
+	p.mu.Lock()
+	p.wraps[tag]++
+	idx := p.wraps[tag]
+	p.mu.Unlock()
+	sub := fmt.Sprintf("%s|%s|%d", p.seed, tag, idx)
+	c := &Conn{Conn: nc, plane: p, delay: p.cfg.Delay}
+	if p.cfg.CorruptEveryFrames > 0 {
+		c.corrupt = newGapSchedule(sub+"|corrupt", p.cfg.CorruptEveryFrames)
+	}
+	if p.cfg.TruncateEveryBytes > 0 {
+		c.trunc = newGapSchedule(sub+"|truncate", p.cfg.TruncateEveryBytes)
+	}
+	if p.cfg.DelayEveryBytes > 0 {
+		c.delayS = newGapSchedule(sub+"|delay", p.cfg.DelayEveryBytes)
+	}
+	return c
+}
+
+// Conn injects wire faults into the write side of a connection. The
+// read side passes through untouched: each peer corrupts only its own
+// outgoing stream, so a full-duplex link under test has two
+// independent schedules (one per wrapped side).
+type Conn struct {
+	net.Conn
+	plane *Plane
+	delay time.Duration
+
+	corrupt *gapSchedule // in frames
+	trunc   *gapSchedule // in bytes
+	delayS  *gapSchedule // in bytes
+
+	woff   uint64 // write-stream offset
+	frameN uint64 // frames started
+
+	// Outgoing-frame parser state (header = 4-byte length + opcode).
+	hdrGot      int
+	hdrLen      [4]byte
+	bodyLeft    uint64
+	corruptNext bool
+
+	dead bool
+}
+
+// Write applies the schedules due within this span, then forwards.
+// Truncation writes the prefix up to the scheduled offset, closes the
+// connection, and fails the write with ErrInjectedTruncate.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, ErrInjectedTruncate
+	}
+	end := c.woff + uint64(len(p))
+	if c.delayS != nil && c.delayS.next < end {
+		for c.delayS.next < end {
+			c.delayS.advance()
+		}
+		if c.plane.allow(WireDelay) {
+			time.Sleep(c.delay)
+		}
+	}
+	buf := p
+	if c.corrupt != nil {
+		buf = c.scanFrames(p)
+	}
+	if c.trunc != nil && c.trunc.next < end && c.plane.allow(WireTruncate) {
+		keep := int(c.trunc.next - c.woff)
+		var n int
+		if keep > 0 {
+			n, _ = c.Conn.Write(buf[:keep])
+		}
+		c.dead = true
+		_ = c.Conn.Close()
+		c.woff += uint64(n)
+		return n, fmt.Errorf("%w (stream byte %d)", ErrInjectedTruncate, c.trunc.next)
+	}
+	n, err := c.Conn.Write(buf)
+	c.woff += uint64(n)
+	return n, err
+}
+
+// scanFrames tracks the outgoing wire framing and flips the opcode of
+// each frame the corruption schedule selects. Flipping the opcode's
+// high bit moves it outside the protocol's opcode range, so the peer's
+// strict decoder rejects the frame as a typed error — never a silently
+// different payload. The true body length is left intact, keeping this
+// parser aligned with the sender's framing.
+func (c *Conn) scanFrames(p []byte) []byte {
+	out := p
+	owned := false
+	for i := 0; i < len(p); {
+		if c.bodyLeft > 0 {
+			skip := uint64(len(p) - i)
+			if skip > c.bodyLeft {
+				skip = c.bodyLeft
+			}
+			c.bodyLeft -= skip
+			i += int(skip)
+			continue
+		}
+		if c.hdrGot == 0 {
+			c.frameN++
+			if c.frameN >= c.corrupt.next {
+				c.corrupt.advance()
+				c.corruptNext = c.plane.allow(WireCorrupt)
+			}
+		}
+		if c.hdrGot < 4 {
+			c.hdrLen[c.hdrGot] = p[i]
+		} else {
+			// Opcode byte.
+			if c.corruptNext {
+				if !owned {
+					out = append([]byte(nil), p...)
+					owned = true
+				}
+				out[i] ^= 0x80
+				c.corruptNext = false
+			}
+			c.bodyLeft = uint64(binary.LittleEndian.Uint32(c.hdrLen[:]))
+		}
+		c.hdrGot++
+		if c.hdrGot == 5 {
+			c.hdrGot = 0
+		}
+		i++
+	}
+	return out
+}

@@ -550,6 +550,7 @@ func (e *Enclave) HandleFinish(f HelloFinish) error {
 	if err != nil || !bytes.Equal(pt, KeyConfirmation) {
 		delete(e.sessions, f.SessionID)
 		delete(e.channels, s.channel)
+		e.m.OS.ShmDestroy(s.seg)
 		return fmt.Errorf("%w: key confirmation failed", ErrAuth)
 	}
 

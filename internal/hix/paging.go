@@ -322,6 +322,7 @@ func (e *Enclave) doManagedFree(s *session, req Request, now sim.Time) Response 
 		}
 		_ = e.m.OS.ShmWritePhys(b.backing, off, zero[:n])
 	}
+	e.m.OS.ShmDestroy(b.backing)
 	s.managedRemove(b.handle)
 	return Response{Status: RespOK, CompleteNS: int64(now)}
 }

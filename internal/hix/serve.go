@@ -626,6 +626,11 @@ func (e *Enclave) doClose(s *session, now sim.Time) Response {
 	delete(e.sessions, s.id)
 	delete(e.channels, s.channel)
 	e.mu.Unlock()
+	// The transport segment holds only ciphertext, so it needs release,
+	// not cleansing. Leaving it allocated leaks its frames for the
+	// machine's lifetime — fatal for a server opening one session per
+	// connection.
+	e.m.OS.ShmDestroy(s.seg)
 	s.active = false
 	return Response{Status: status, CompleteNS: int64(now)}
 }

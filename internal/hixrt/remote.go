@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/hix"
 	"repro/internal/wire"
@@ -34,6 +36,11 @@ var (
 	// ErrBroken reports a remote session whose transport failed; no
 	// further requests are possible.
 	ErrBroken = errors.New("hixrt: remote session broken")
+	// ErrDesync reports a response stream that violated the exact
+	// payload framing contract (a Data frame that is not the expected
+	// byte count): the connection can no longer be trusted to be
+	// frame-aligned and is torn down.
+	ErrDesync = errors.New("hixrt: response stream desynchronized")
 )
 
 // DefaultRemoteMeasurement identifies remote clients that don't present
@@ -54,12 +61,19 @@ type RemoteConfig struct {
 	// IOTimeout bounds each request/response exchange on the wire
 	// (default 60s).
 	IOTimeout time.Duration
+	// Faults optionally wraps the dialed connection with a seeded
+	// wire-fault schedule (nil disables injection).
+	Faults *faults.Plane
 }
 
 // RemoteSession is an attested HIX session reached over the wire
-// protocol. Methods serialize: the protocol is strictly one
-// request/response exchange at a time per connection.
+// protocol. The protocol is strictly one request/response exchange at
+// a time per connection; a session mutex serializes concurrent
+// callers, so a RemoteSession is safe for use from multiple
+// goroutines (exchanges simply queue).
 type RemoteSession struct {
+	mu sync.Mutex // serializes exchanges on the single wire stream
+
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
@@ -97,6 +111,7 @@ func DialConfig(addr string, cfg RemoteConfig) (*RemoteSession, error) {
 	if err != nil {
 		return nil, err
 	}
+	nc = cfg.Faults.WrapConn(nc, "client")
 	s := &RemoteSession{
 		nc:        nc,
 		br:        bufio.NewReaderSize(nc, 64<<10),
@@ -168,19 +183,31 @@ func (s *RemoteSession) Version() uint16 { return s.version }
 func (s *RemoteSession) EnclaveMeasurement() attest.Measurement { return s.enclave }
 
 // fail marks the transport dead and closes it; the first failure wins.
+// The returned error is always ErrBroken-typed (wrapping the cause),
+// so the very first transport failure is retry-classifiable — not just
+// the sticky errors on later calls.
 func (s *RemoteSession) fail(err error) error {
 	if s.broken == nil {
 		s.broken = err
 		s.closed = true
 		_ = s.nc.Close()
 	}
-	return err
+	return fmt.Errorf("%w: %w", ErrBroken, err)
 }
 
-// exchange runs one request/response exchange: the request frame, then
-// the HtoD payload (if any) as Data frames, then the response, then the
-// DtoH payload (if any) read back into out.
+// exchange serializes callers onto the single wire stream and runs one
+// request/response exchange.
 func (s *RemoteSession) exchange(req hix.Request, payload, out []byte) (hix.Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exchangeLocked(req, payload, out)
+}
+
+// exchangeLocked runs one request/response exchange: the request
+// frame, then the HtoD payload (if any) as Data frames, then the
+// response, then the DtoH payload (if any) read back into out.
+// Callers hold s.mu.
+func (s *RemoteSession) exchangeLocked(req hix.Request, payload, out []byte) (hix.Response, error) {
 	if s.broken != nil {
 		return hix.Response{}, fmt.Errorf("%w: %v", ErrBroken, s.broken)
 	}
@@ -243,7 +270,12 @@ func (s *RemoteSession) readResponse() (hix.Response, error) {
 	}
 }
 
-// readPayload fills out from consecutive Data frames.
+// readPayload fills out from consecutive Data frames under exact
+// framing: each frame must carry exactly min(MaxData, remaining)
+// bytes, mirroring how the server chunks a DtoH payload. Anything else
+// (an over-send, a trailing short frame) would be misparsed as the
+// next exchange's response, so it is a desync — the session is torn
+// down with ErrDesync rather than left frame-misaligned.
 func (s *RemoteSession) readPayload(out []byte) error {
 	got := 0
 	for got < len(out) {
@@ -254,9 +286,10 @@ func (s *RemoteSession) readPayload(out []byte) error {
 		if op != wire.OpData {
 			return s.fail(fmt.Errorf("hixrt: %w: %v during payload", hix.ErrProtocol, op))
 		}
-		if got+len(body) > len(out) {
-			return s.fail(fmt.Errorf("hixrt: %w: payload overrun (%d+%d of %d)",
-				hix.ErrProtocol, got, len(body), len(out)))
+		want := min(s.maxData, len(out)-got)
+		if len(body) != want {
+			return s.fail(fmt.Errorf("%w: Data frame of %d bytes at offset %d, want exactly %d",
+				ErrDesync, len(body), got, want))
 		}
 		copy(out[got:], body)
 		got += len(body)
@@ -362,10 +395,12 @@ func (s *RemoteSession) Launch(kernel string, params [gpu.NumKernelParams]uint64
 // to call more than once; after a transport failure it only closes the
 // socket.
 func (s *RemoteSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
-	resp, err := s.exchange(hix.Request{Type: hix.ReqClose}, nil, nil)
+	resp, err := s.exchangeLocked(hix.Request{Type: hix.ReqClose}, nil, nil)
 	s.closed = true
 	_ = s.nc.Close()
 	if err != nil {

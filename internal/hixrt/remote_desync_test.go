@@ -1,0 +1,119 @@
+package hixrt
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/hix"
+	"repro/internal/wire"
+)
+
+// fakeWireServer accepts one connection and hands it to serve on a
+// goroutine: a minimal in-test peer for exercising the client against
+// protocol misbehavior a real netserve server never produces.
+func fakeWireServer(t *testing.T, serve func(nc net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		_ = nc.SetDeadline(time.Now().Add(10 * time.Second))
+		serve(nc)
+	}()
+	return ln.Addr().String()
+}
+
+// welcomeClient consumes the Hello and answers a plausible Welcome.
+func welcomeClient(t *testing.T, nc net.Conn) {
+	t.Helper()
+	op, _, err := wire.ReadFrame(nc)
+	if err != nil || op != wire.OpHello {
+		t.Errorf("fake server: op=%v err=%v, want hello", op, err)
+		return
+	}
+	w := wire.Welcome{
+		Version:     wire.Version1,
+		SessionID:   1,
+		SegmentSize: 32 << 20,
+		ChunkSize:   64 << 10,
+		MaxData:     wire.MaxData,
+	}
+	if err := wire.WriteFrame(nc, wire.OpWelcome, w.Encode()); err != nil {
+		t.Errorf("fake server: welcome: %v", err)
+	}
+}
+
+// TestRemoteDesyncOverSend: a server that answers a DtoH with a Data
+// frame larger than the expected exact chunk has desynced the stream —
+// the client must surface ErrDesync and break the session rather than
+// misparse the surplus as the next exchange's response.
+func TestRemoteDesyncOverSend(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClient(t, nc)
+		op, _, err := wire.ReadFrame(nc)
+		if err != nil || op != wire.OpRequest {
+			t.Errorf("fake server: op=%v err=%v, want request", op, err)
+			return
+		}
+		resp := hix.Response{Status: hix.RespOK}
+		if err := wire.WriteFrame(nc, wire.OpResponse, resp.Encode()); err != nil {
+			return
+		}
+		// The client asked for 8 bytes; send 16 in one frame.
+		_ = wire.WriteFrame(nc, wire.OpData, make([]byte, 16))
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out := make([]byte, 8)
+	err = s.MemcpyDtoH(out, 0x1000, len(out))
+	if !errors.Is(err, ErrDesync) {
+		t.Fatalf("over-send surfaced as %v, want ErrDesync", err)
+	}
+	if !errors.Is(err, ErrBroken) {
+		t.Fatalf("desync did not break the session: %v", err)
+	}
+	// The session is sticky-broken: later requests fail typed, fast.
+	if _, err := s.MemAlloc(64); !errors.Is(err, ErrBroken) {
+		t.Fatalf("post-desync request: %v, want ErrBroken", err)
+	}
+}
+
+// TestRemoteDesyncShortChunk: a non-final Data frame smaller than the
+// exact chunk size is equally a desync.
+func TestRemoteDesyncShortChunk(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClient(t, nc)
+		op, _, err := wire.ReadFrame(nc)
+		if err != nil || op != wire.OpRequest {
+			return
+		}
+		resp := hix.Response{Status: hix.RespOK}
+		if err := wire.WriteFrame(nc, wire.OpResponse, resp.Encode()); err != nil {
+			return
+		}
+		// First chunk of a MaxData+8 payload must be exactly MaxData
+		// bytes; send 100.
+		_ = wire.WriteFrame(nc, wire.OpData, make([]byte, 100))
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out := make([]byte, wire.MaxData+8)
+	if err := s.MemcpyDtoH(out, 0x1000, len(out)); !errors.Is(err, ErrDesync) {
+		t.Fatalf("short chunk surfaced as %v, want ErrDesync", err)
+	}
+}

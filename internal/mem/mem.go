@@ -260,6 +260,39 @@ func (fa *FrameAllocator) Alloc() (PhysAddr, error) {
 	return a, nil
 }
 
+// AllocContig returns the base of n physically consecutive free frames.
+// DMA engines address shared segments as physical base + offset, so
+// segment-backed buffers need contiguous frames. The free list is
+// searched for a run first (so same-size churn recycles the same run),
+// then the untouched tail of the window.
+func (fa *FrameAllocator) AllocContig(n int) (PhysAddr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: invalid contiguous frame count %d", n)
+	}
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	sort.Slice(fa.free, func(i, j int) bool { return fa.free[i] < fa.free[j] })
+	run := 1
+	for i, a := range fa.free {
+		if i > 0 && a == fa.free[i-1]+PageSize {
+			run++
+		} else {
+			run = 1
+		}
+		if run == n {
+			base := fa.free[i+1-n]
+			fa.free = append(fa.free[:i+1-n], fa.free[i+1:]...)
+			return base, nil
+		}
+	}
+	if fa.next+PhysAddr(uint64(n)*PageSize) <= fa.end {
+		base := fa.next
+		fa.next += PhysAddr(uint64(n) * PageSize)
+		return base, nil
+	}
+	return 0, ErrOutOfSpace
+}
+
 // Free returns a frame to the allocator. Freeing a frame outside the
 // window panics: that is a simulator bug, not a runtime condition.
 func (fa *FrameAllocator) Free(a PhysAddr) {

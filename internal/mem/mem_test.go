@@ -255,3 +255,38 @@ func TestDRAMRoundtripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAllocContig(t *testing.T) {
+	fa, err := NewFrameAllocator(0x10000, 8*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fragment the window: a, b, c singles; free a and c (non-adjacent).
+	a, _ := fa.Alloc()
+	b, _ := fa.Alloc()
+	c, _ := fa.Alloc()
+	fa.Free(a)
+	fa.Free(c)
+	// No 2-frame run in the free list; the bump tail serves it.
+	base, err := fa.AllocContig(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != c+PageSize {
+		t.Fatalf("contig base %#x, want bump tail %#x", base, c+PageSize)
+	}
+	// Free the pair plus b: now a..b and the pair are runs; a 3-run
+	// exists (a is isolated until b freed — a,b adjacent).
+	fa.Free(b)
+	got, err := fa.AllocContig(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("free-list run starts at %#x, want %#x", got, a)
+	}
+	// Exhaustion: ask for more than the window holds.
+	if _, err := fa.AllocContig(64); err == nil {
+		t.Fatal("oversized contiguous alloc accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/hix"
 	"repro/internal/hixrt"
@@ -110,6 +111,11 @@ func (c *conn) waitFrame() error {
 				grace = true
 				continue
 			}
+			// The grace period expired with the frame still partial:
+			// this is a drain abort, not an idle timeout — surface it
+			// as errDrained so the client gets a clean Goodbye instead
+			// of an "idle timeout" protocol error.
+			return errDrained
 		}
 		return err
 	}
@@ -129,6 +135,15 @@ func (c *conn) send(op wire.Opcode, body []byte) bool {
 	if c.wfailed.Load() {
 		return false
 	}
+	// Injected overflow targets Data frames only: those are the bulk
+	// DtoH stream, and keeping the site request-driven (one decision
+	// per queued chunk on the serial handler) keeps the fault schedule
+	// deterministic.
+	if op == wire.OpData && c.srv.cfg.Faults.Fire(faults.NetSendQueue) {
+		c.wfailed.Store(true)
+		c.srv.logf("netserve: injected send-queue overflow")
+		return false
+	}
 	c.sendQ <- outFrame{op: op, body: body}
 	return true
 }
@@ -138,6 +153,12 @@ func (c *conn) send(op wire.Opcode, body []byte) bool {
 // handler never blocks on a dead peer) until the queue closes.
 func (c *conn) writer() {
 	defer close(c.writerDone)
+	defer func() {
+		if r := recover(); r != nil {
+			c.wfailed.Store(true)
+			c.srv.logf("netserve: writer panic: %v", r)
+		}
+	}()
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
 	for f := range c.sendQ {
 		if c.wfailed.Load() {
@@ -174,6 +195,16 @@ func (c *conn) sendNow(op wire.Opcode, body []byte) {
 // every queued frame, close the socket, close the session.
 func (c *conn) run() {
 	defer c.nc.Close()
+	// A panic anywhere in this connection's handling (a hostile
+	// request tripping a bug, instrumentation hooks, injected faults)
+	// must cost only this connection, never the server: the recover
+	// runs after the deferred session teardown and writer drain, so
+	// even a panicking handler leaves no leaked session behind.
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.logf("netserve: connection handler panic: %v", r)
+		}
+	}()
 	if !c.handshake() {
 		return
 	}
@@ -227,15 +258,22 @@ func (c *conn) handshake() bool {
 		c.sendNow(wire.OpGoodbye, nil)
 		return false
 	}
+	if !c.srv.authAllow() {
+		c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeAuth,
+			"authentication circuit breaker open"))
+		return false
+	}
 	sess, err := c.srv.openSession(h.Measurement)
 	if err != nil {
 		code := wire.ECodeServer
 		if errors.Is(err, hixrt.ErrAttestation) || errors.Is(err, hixrt.ErrAuth) {
 			code = wire.ECodeAuth
+			c.srv.authResult(false)
 		}
 		c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
 		return false
 	}
+	c.srv.authResult(true)
 	c.sess = sess
 	w := wire.Welcome{
 		Version:     ver,
@@ -269,6 +307,12 @@ func (c *conn) loop() {
 			default:
 				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
 			}
+			return
+		}
+		// A drop fires as the request arrives: abrupt close, no
+		// Goodbye — the client sees the transport die mid-exchange.
+		if c.srv.cfg.Faults.Fire(faults.NetDrop) {
+			c.srv.logf("netserve: injected connection drop")
 			return
 		}
 		c.setBusy(true)
@@ -326,6 +370,10 @@ func (c *conn) handleRequest(body []byte) (done bool, err error) {
 	case hix.ReqMemcpyDtoH:
 		return false, c.handleDtoH(req)
 	case hix.ReqLaunch:
+		if c.srv.cfg.Faults.Fire(faults.GPUDeviceFault) {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeServer, "injected device fault"))
+			return false, errors.New("injected device fault")
+		}
 		return false, c.replyErr(c.sess.Launch(req.Kernel, req.Params), 0)
 	case hix.ReqClose:
 		if err := c.replyErr(c.sess.Close(), 0); err != nil {
@@ -359,9 +407,17 @@ func (c *conn) handleHtoD(req hix.Request) error {
 				fmt.Sprintf("expected data, got %v", op)))
 			return fmt.Errorf("HtoD payload: unexpected %v", op)
 		}
-		if got+len(body) > len(buf) {
-			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, "payload overrun"))
-			return fmt.Errorf("HtoD payload overrun (%d+%d of %d)", got, len(body), len(buf))
+		// Exact framing, mirroring the client's readPayload: each Data
+		// frame must carry exactly min(MaxData, remaining) bytes. An
+		// over-send or short chunk means the peer's framing has
+		// desynced from ours — terminal, before any partial payload
+		// reaches the session.
+		want := min(wire.MaxData, len(buf)-got)
+		if len(body) != want {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("HtoD payload desync: %d-byte frame at offset %d, want exactly %d",
+					len(body), got, want)))
+			return fmt.Errorf("HtoD payload desync (%d at %d, want %d)", len(body), got, want)
 		}
 		copy(buf[got:], body)
 		got += len(body)

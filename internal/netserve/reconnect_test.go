@@ -1,0 +1,212 @@
+package netserve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+	"repro/internal/netserve"
+	"repro/internal/workloads"
+)
+
+// fastReconnect keeps retry latency test-friendly.
+func fastReconnect() hixrt.ReconnectConfig {
+	return hixrt.ReconnectConfig{
+		Remote:      hixrt.RemoteConfig{DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		JitterSeed:  "reconnect-test",
+	}
+}
+
+// TestReconnectAcrossDrops: the server drops the connection on two
+// scheduled requests; a ReconnectingSession completes the full
+// workload anyway, with zero data corruption and the expected rebuild
+// count.
+func TestReconnectAcrossDrops(t *testing.T) {
+	plane := faults.New("reconnect-drops", faults.Config{
+		Rates: map[string]float64{faults.NetDrop: 1},
+		// Let a few requests through, then drop twice; replayed
+		// requests on the rebuilt connections also advance the call
+		// index, so the limit bounds total chaos.
+		After:  map[string]int{faults.NetDrop: 3},
+		Limits: map[string]int{faults.NetDrop: 2},
+	})
+	srv, addr := startServer(t, netserve.Config{Faults: plane})
+	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		wl := workloads.NewMatrixAdd(16)
+		if err := wl.Run(workloads.SessionRunner{S: rs}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := wl.Check(); err != nil {
+			t.Fatalf("round %d: corrupted result: %v", round, err)
+		}
+	}
+	if got := plane.Fired(faults.NetDrop); got != 2 {
+		t.Fatalf("injected %d drops, want 2", got)
+	}
+	if got := rs.Reconnects(); got < 2 {
+		t.Fatalf("Reconnects()=%d, want >=2 (one per injected drop)", got)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitDrained(t, srv, 2*time.Second)
+}
+
+// TestReconnectReplaysState drops the connection surgically between an
+// upload and its readback: the rebuilt session must replay the journal
+// (alloc + upload) so the readback returns the original bytes.
+func TestReconnectReplaysState(t *testing.T) {
+	plane := faults.New("reconnect-replay", faults.Config{
+		Rates:  map[string]float64{faults.NetDrop: 1},
+		After:  map[string]int{faults.NetDrop: 2}, // after alloc + HtoD
+		Limits: map[string]int{faults.NetDrop: 1},
+	})
+	_, addr := startServer(t, netserve.Config{Faults: plane})
+	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	data := make([]byte, 48<<10)
+	for i := range data {
+		data[i] = byte(i*7 + i>>9)
+	}
+	ptr, err := rs.MemAlloc(uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.MemcpyHtoD(ptr, data, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	// The drop fires as this request arrives; the wrapper redials,
+	// replays alloc + upload, and re-issues the readback.
+	out := make([]byte, len(data))
+	if err := rs.MemcpyDtoH(out, ptr, len(out)); err != nil {
+		t.Fatalf("readback across drop: %v", err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("replayed state corrupted: readback differs from upload")
+	}
+	if got := rs.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects()=%d, want exactly 1", got)
+	}
+	if got := plane.Fired(faults.NetDrop); got != 1 {
+		t.Fatalf("injected %d drops, want 1", got)
+	}
+}
+
+// TestReconnectGivesUp: with the server gone for good, the retry loop
+// must exhaust its attempts and surface the failure — bounded, typed,
+// no spin.
+func TestReconnectGivesUp(t *testing.T) {
+	srv, err := netserve.New(netserve.Config{
+		Kernels:     []*gpu.Kernel{workloads.MatrixAddKernel()},
+		ReadTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastReconnect()
+	cfg.MaxAttempts = 3
+	rs, err := hixrt.DialReconnecting(addr.String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = rs.MemAlloc(4096)
+	if err == nil {
+		t.Fatal("request succeeded against a dead server")
+	}
+	if !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("exhaustion not surfaced: %v", err)
+	}
+}
+
+// TestReconnectNonRetryable: request-level refusals pass straight
+// through — no redial, the session stays usable.
+func TestReconnectNonRetryable(t *testing.T) {
+	_, addr := startServer(t, netserve.Config{})
+	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if err := rs.Launch("no_such_kernel", [gpu.NumKernelParams]uint64{}); !errors.Is(err, hixrt.ErrRequest) {
+		t.Fatalf("unknown kernel: %v, want ErrRequest", err)
+	}
+	if got := rs.Reconnects(); got != 0 {
+		t.Fatalf("Reconnects()=%d after a request refusal, want 0", got)
+	}
+	wl := workloads.NewMatrixAdd(12)
+	if err := wl.Run(workloads.SessionRunner{S: rs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReconnectSurvivesTagCorruption: substrate tampering with one
+// transfer's OCB tag surfaces server-side as an auth failure; the
+// wrapper rebuilds and re-issues the whole transfer, which then
+// succeeds — data integrity end to end, zero corruption.
+func TestReconnectSurvivesTagCorruption(t *testing.T) {
+	plane := faults.New("reconnect-tag", faults.Config{
+		Rates:  map[string]float64{faults.GPUTagCorrupt: 1},
+		After:  map[string]int{faults.GPUTagCorrupt: 1},
+		Limits: map[string]int{faults.GPUTagCorrupt: 1},
+	})
+	_, addr := startServer(t, netserve.Config{Faults: plane})
+	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	data := make([]byte, 96<<10)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	ptr, err := rs.MemAlloc(uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second sealed chunk of this upload gets its tag flipped in
+	// the shared segment; the GPU enclave rejects it, the wrapper
+	// rebuilds and re-uploads.
+	if err := rs.MemcpyHtoD(ptr, data, len(data)); err != nil {
+		t.Fatalf("upload across tag corruption: %v", err)
+	}
+	out := make([]byte, len(data))
+	if err := rs.MemcpyDtoH(out, ptr, len(out)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("tag corruption leaked into plaintext")
+	}
+	if got := plane.Fired(faults.GPUTagCorrupt); got != 1 {
+		t.Fatalf("injected %d tag corruptions, want 1", got)
+	}
+	if got := rs.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects()=%d, want 1", got)
+	}
+}

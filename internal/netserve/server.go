@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/hix"
 	"repro/internal/hixrt"
@@ -105,6 +106,24 @@ type Config struct {
 
 	// Logf receives connection-level diagnostics. Nil silences them.
 	Logf func(format string, args ...any)
+
+	// Faults optionally injects seeded substrate failures — accepted
+	// connections failed or wrapped with wire faults, connections
+	// dropped mid-serve, send queues overflowed, attestation
+	// mismatches, OCB tag corruption, device faults. Nil disables
+	// injection entirely.
+	Faults *faults.Plane
+	// AuthFailureThreshold trips the auth circuit breaker after this
+	// many consecutive authentication/attestation handshake failures
+	// (default 4; negative disables the breaker). While open, the
+	// breaker refuses handshakes outright — a flood of forged
+	// measurements never reaches expensive session setup.
+	AuthFailureThreshold int
+	// AuthBreakerCooloff is how many handshakes an open breaker
+	// refuses before admitting one half-open trial (default 8). The
+	// window is counted in connections, not wall time, so breaker
+	// behavior is deterministic under the fault plane.
+	AuthBreakerCooloff int
 }
 
 // Server owns a machine + GPU enclave and serves remote sessions.
@@ -128,6 +147,13 @@ type Server struct {
 
 	wg        sync.WaitGroup // live connection handlers
 	serveDone chan error
+
+	// Auth circuit breaker (see Config.AuthFailureThreshold).
+	bkMu          sync.Mutex
+	bkOpen        bool
+	bkConsecutive int
+	bkRejectLeft  int
+	bkTrips       int
 }
 
 // New assembles a server, booting the machine and launching the GPU
@@ -147,6 +173,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxTransfer == 0 {
 		cfg.MaxTransfer = 64 << 20
+	}
+	if cfg.AuthFailureThreshold == 0 {
+		cfg.AuthFailureThreshold = 4
+	}
+	if cfg.AuthBreakerCooloff <= 0 {
+		cfg.AuthBreakerCooloff = 8
 	}
 	m := cfg.Machine
 	if m == nil {
@@ -274,6 +306,13 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
+		nc = s.cfg.Faults.WrapConn(nc, "server")
+		if s.cfg.Faults.Fire(faults.NetAccept) {
+			s.logf("netserve: injected accept failure")
+			_ = nc.Close()
+			<-s.sem
+			continue
+		}
 		c := newConn(s, nc)
 		s.mu.Lock()
 		s.conns[c] = struct{}{}
@@ -359,6 +398,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) openSession(measure attest.Measurement) (*hixrt.Session, error) {
 	s.setupMu.Lock()
 	defer s.setupMu.Unlock()
+	if s.cfg.Faults.Fire(faults.AttestMismatch) {
+		return nil, fmt.Errorf("%w: injected measurement mismatch", hixrt.ErrAttestation)
+	}
 	client, err := hixrt.NewClient(s.m, s.ge, s.vendorPub, measure[:])
 	if err != nil {
 		return nil, err
@@ -376,7 +418,98 @@ func (s *Server) openSession(measure attest.Measurement) (*hixrt.Session, error)
 	if s.cfg.OnSession != nil {
 		s.cfg.OnSession(sess)
 	}
+	s.installFaultHooks(sess)
 	return sess, nil
+}
+
+// installFaultHooks chains the GPU-tag corruption site onto the
+// session's data-path hooks (composing with any OnSession
+// instrumentation). The fault flips one byte of the sealed chunk
+// sitting in the inter-enclave shared segment — the classic
+// substrate-tampering attack — and the real OCB open then fails, so
+// the client must see RespAuthFailed, never silently different bytes.
+func (s *Server) installFaultHooks(sess *hixrt.Session) {
+	p := s.cfg.Faults
+	if p == nil {
+		return
+	}
+	seg := sess.Segment()
+	corrupt := func(off, n int) {
+		if n == 0 || !p.Fire(faults.GPUTagCorrupt) {
+			return
+		}
+		pos := off + n - 1
+		var b [1]byte
+		if err := s.m.OS.ShmReadPhys(seg, pos, b[:]); err != nil {
+			return
+		}
+		b[0] ^= 0x41
+		_ = s.m.OS.ShmWritePhys(seg, pos, b[:])
+		s.logf("netserve: injected tag corruption at segment offset %d", pos)
+	}
+	prevW, prevR := sess.Hooks.AfterDataWrite, sess.Hooks.AfterDataReady
+	sess.Hooks.AfterDataWrite = func(off, n int) {
+		if prevW != nil {
+			prevW(off, n)
+		}
+		corrupt(off, n)
+	}
+	sess.Hooks.AfterDataReady = func(off, n int) {
+		if prevR != nil {
+			prevR(off, n)
+		}
+		corrupt(off, n)
+	}
+}
+
+// authAllow gates a handshake through the auth circuit breaker.
+func (s *Server) authAllow() bool {
+	if s.cfg.AuthFailureThreshold < 0 {
+		return true
+	}
+	s.bkMu.Lock()
+	defer s.bkMu.Unlock()
+	if !s.bkOpen {
+		return true
+	}
+	if s.bkRejectLeft > 0 {
+		s.bkRejectLeft--
+		return false
+	}
+	// Cooloff spent: admit one half-open trial.
+	return true
+}
+
+// authResult feeds a handshake's auth outcome back to the breaker.
+func (s *Server) authResult(ok bool) {
+	if s.cfg.AuthFailureThreshold < 0 {
+		return
+	}
+	s.bkMu.Lock()
+	defer s.bkMu.Unlock()
+	if ok {
+		s.bkOpen = false
+		s.bkConsecutive = 0
+		return
+	}
+	s.bkConsecutive++
+	if s.bkOpen {
+		// The half-open trial failed: re-arm the cooloff.
+		s.bkRejectLeft = s.cfg.AuthBreakerCooloff
+		return
+	}
+	if s.bkConsecutive >= s.cfg.AuthFailureThreshold {
+		s.bkOpen = true
+		s.bkTrips++
+		s.bkRejectLeft = s.cfg.AuthBreakerCooloff
+	}
+}
+
+// BreakerTrips reports how many times the auth circuit breaker opened.
+func (s *Server) BreakerTrips() int {
+	s.bkMu.Lock()
+	defer s.bkMu.Unlock()
+	return s.bkTrips
 }
 
 // closeSession tears a bridged session down (idempotent if the client

@@ -447,6 +447,15 @@ func TestMalformedFrames(t *testing.T) {
 			r.write(frame(byte(wire.OpData), make([]byte, 64)))
 			r.expectError(wire.ECodeProto)
 		}},
+		{"HtoD short chunk desync", func(t *testing.T, r *rawConn) {
+			// A Data frame smaller than the exact expected chunk is a
+			// framing desync, not a valid partial delivery.
+			r.hello()
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Ptr: 0, Len: 8}
+			r.write(frame(byte(wire.OpRequest), req.Encode()))
+			r.write(frame(byte(wire.OpData), make([]byte, 4)))
+			r.expectError(wire.ECodeProto)
+		}},
 		{"unknown request type", func(t *testing.T, r *rawConn) {
 			r.hello()
 			req := hix.Request{Type: 200}

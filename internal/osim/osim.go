@@ -166,19 +166,22 @@ func (o *OS) MapPhys(p *Process, pa mem.PhysAddr, size uint64, writable bool) (m
 
 // --- Shared memory -------------------------------------------------------
 
-// ShmCreate allocates a shared segment of at least size bytes.
+// ShmCreate allocates a shared segment of at least size bytes. Segments
+// are physically contiguous: they are DMA targets, and the engines
+// address them as one physical base + offset (scatter-gather is out of
+// scope for the simulator).
 func (o *OS) ShmCreate(size uint64) (*SharedSegment, error) {
 	if size == 0 {
 		return nil, errors.New("osim: zero-size segment")
 	}
 	pages := int((size + mem.PageSize - 1) / mem.PageSize)
+	base, err := o.frames.AllocContig(pages)
+	if err != nil {
+		return nil, err
+	}
 	seg := &SharedSegment{Size: uint64(pages) * mem.PageSize}
 	for i := 0; i < pages; i++ {
-		frame, err := o.frames.Alloc()
-		if err != nil {
-			return nil, err
-		}
-		seg.Frames = append(seg.Frames, frame)
+		seg.Frames = append(seg.Frames, base+mem.PhysAddr(uint64(i)*mem.PageSize))
 	}
 	o.mu.Lock()
 	o.nextSeg++
@@ -187,6 +190,34 @@ func (o *OS) ShmCreate(size uint64) (*SharedSegment, error) {
 	o.mu.Unlock()
 	return seg, nil
 }
+
+// ShmDestroy removes a segment and returns its frames to the kernel
+// allocator. Processes still mapping the segment keep their stale
+// mappings (System V semantics); callers must stop using attached VAs
+// first. Destroying an unknown or already-destroyed segment is a no-op,
+// so teardown paths may call it unconditionally. Without this, a
+// serving stack that opens a session per connection exhausts DRAM: each
+// session's segment held its frames forever.
+func (o *OS) ShmDestroy(seg *SharedSegment) {
+	if seg == nil {
+		return
+	}
+	o.mu.Lock()
+	if _, ok := o.segments[seg.ID]; !ok {
+		o.mu.Unlock()
+		return
+	}
+	delete(o.segments, seg.ID)
+	o.mu.Unlock()
+	for _, f := range seg.Frames {
+		o.frames.Free(f)
+	}
+	seg.Frames = nil
+}
+
+// FreeFrames reports how many user frames remain allocatable
+// (diagnostics).
+func (o *OS) FreeFrames() int { return o.frames.FreeFrames() }
 
 // Segment looks up a shared segment.
 func (o *OS) Segment(id int) (*SharedSegment, bool) {

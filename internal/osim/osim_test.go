@@ -51,6 +51,42 @@ func TestProcessCreationAndAlloc(t *testing.T) {
 	}
 }
 
+func TestShmDestroyRecyclesFrames(t *testing.T) {
+	o, _ := newOS(t)
+	// The frame window holds 8 MiB; churning 4 MiB segments 16 times
+	// moves 64 MiB through it, which only works if destroy returns
+	// frames to the allocator.
+	for i := 0; i < 16; i++ {
+		seg, err := o.ShmCreate(4 << 20)
+		if err != nil {
+			t.Fatalf("churn %d: %v", i, err)
+		}
+		// Recycled segments must stay physically contiguous: the DMA
+		// engines address them as base + offset.
+		for j, f := range seg.Frames {
+			if f != seg.Frames[0]+mem.PhysAddr(uint64(j)*mem.PageSize) {
+				t.Fatalf("churn %d: frame %d at %#x breaks contiguity (base %#x)", i, j, f, seg.Frames[0])
+			}
+		}
+		o.ShmDestroy(seg)
+	}
+	if free := o.FreeFrames(); free != int(8<<20)/mem.PageSize {
+		t.Fatalf("FreeFrames = %d after full churn, want the whole window", free)
+	}
+	// Destroyed segments disappear from lookup; double-destroy and nil
+	// are no-ops.
+	seg, err := o.ShmCreate(mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ShmDestroy(seg)
+	if _, ok := o.Segment(seg.ID); ok {
+		t.Fatal("destroyed segment still resolvable")
+	}
+	o.ShmDestroy(seg)
+	o.ShmDestroy(nil)
+}
+
 func TestMapPhys(t *testing.T) {
 	o, _ := newOS(t)
 	p := o.NewProcess()

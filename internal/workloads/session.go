@@ -21,6 +21,7 @@ type SessionAPI interface {
 var (
 	_ SessionAPI = (*hixrt.Session)(nil)
 	_ SessionAPI = (*hixrt.RemoteSession)(nil)
+	_ SessionAPI = (*hixrt.ReconnectingSession)(nil)
 )
 
 // SessionRunner adapts any SessionAPI to the Runner interface.

@@ -3,8 +3,9 @@
 # concurrent paths. Benchmarks are behind a flag so the tier-1 gate
 # stays fast: pass --bench (or set BENCH=1) to also regenerate
 # BENCH_pr1.json (datapath microbenches), BENCH_pr2.json (serving-engine
-# experiments via hixbench), and BENCH_pr3.json (network serving layer:
-# remote-vs-in-process identity gate + loopback connection sweep).
+# experiments via hixbench), BENCH_pr3.json (network serving layer:
+# remote-vs-in-process identity gate + loopback connection sweep), and
+# BENCH_pr4.json (seeded chaos sweep + reconnect gate).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,19 +28,21 @@ go test ./...
 
 # -race targets the paths that run concurrently: client-side chunk
 # crypto, the windowed transfer machinery, the multi-tenant serving
-# engine (concurrent Serve workers driven by lockstep clients), and the
-# network serving layer (wire codec in full; for netserve the heaviest
-# concurrent scenarios — 8 parallel connections and shutdown-under-load
-# — via -run, because the full netserve suite under -race takes minutes
-# on a single-core host). The Determinism tests double as the
+# engine (concurrent Serve workers driven by lockstep clients), the
+# network serving layer (wire codec and fault plane in full; for
+# netserve the heaviest concurrent scenarios — parallel connections,
+# shutdown-under-load, reconnect-across-drops, fault injection — via
+# -run, because the full netserve suite under -race takes minutes on a
+# single-core host). The Determinism tests double as the
 # schedule-reproducibility gate.
 echo "== go test -race (concurrent paths) =="
 go test -race -count=1 ./internal/ocb/
 go test -race -count=1 ./internal/hixrt/ \
 	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism'
 go test -race -count=1 ./internal/wire/
+go test -race -count=1 ./internal/faults/
 go test -race -count=1 -timeout 10m ./internal/netserve/ \
-	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient'
+	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse'
 
 if [ "$bench" != "1" ]; then
 	echo "== OK (benchmarks skipped; pass --bench to run them) =="
@@ -73,5 +76,8 @@ go run ./cmd/hixbench -exp datapath,multitenant -json BENCH_pr2.json
 
 echo "== network serving layer -> BENCH_pr3.json =="
 go run ./cmd/hixbench -exp netserve -json BENCH_pr3.json
+
+echo "== chaos sweep + reconnect gate -> BENCH_pr4.json =="
+go run ./cmd/hixbench -exp faults -json BENCH_pr4.json
 
 echo "== OK =="
