@@ -1,0 +1,403 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/netserve"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// faults: the chaos gate for the fault-injection plane. Three claims,
+// each checked per seed:
+//
+//   - Reproducibility: a seeded chaos run executed twice produces the
+//     same outcome class per round AND the same plane signature
+//     (per-site call and injection counts). The schedule is a pure
+//     function of the seed, so any divergence is a nondeterminism bug
+//     in the serving stack, not in the chaos.
+//   - Integrity: every round that completes its readback under chaos
+//     returns bytes identical to the fault-free run — faults may fail
+//     requests, never corrupt surviving data.
+//   - Typing: every failed round fails with an error from the stack's
+//     typed surface (hixrt sentinels, wire.RemoteError, transport
+//     errors at dial time) — never an untyped mystery, never a hang.
+//
+// A fourth gate exercises ReconnectingSession: a full multi-round
+// workload must complete, bit-correct, across two injected connection
+// drops (one of which lands mid-replay).
+const (
+	faultsSeed   = "faults-exp" // platform seed, shared by every run
+	chaosRounds  = 48
+	chaosBytes   = 32 << 10
+	chaosSeedFmt = "chaos-%d"
+	chaosSeeds   = 3
+)
+
+// chaosConfig is the sweep's fault mix: every site armed, each capped
+// so a run degrades but never collapses.
+func chaosConfig() faults.Config {
+	return faults.Config{
+		Rates: map[string]float64{
+			faults.NetAccept:      0.04,
+			faults.NetDrop:        0.05,
+			faults.NetSendQueue:   0.04,
+			faults.GPUTagCorrupt:  0.03,
+			faults.GPUDeviceFault: 0.05,
+			faults.AttestMismatch: 0.06,
+		},
+		Limits: map[string]int{
+			faults.NetAccept:      2,
+			faults.NetDrop:        3,
+			faults.NetSendQueue:   2,
+			faults.GPUTagCorrupt:  2,
+			faults.GPUDeviceFault: 2,
+			faults.AttestMismatch: 2,
+			faults.WireCorrupt:    3,
+			faults.WireTruncate:   2,
+			faults.WireDelay:      8,
+		},
+		CorruptEveryFrames: 25,
+		TruncateEveryBytes: 200 << 10,
+		DelayEveryBytes:    256 << 10,
+	}
+}
+
+func chaosServer(plane *faults.Plane) (*netserve.Server, net.Addr, error) {
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{
+			DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+			Channels: 8, PlatformSeed: faultsSeed,
+		},
+		Kernels:     workloads.NewMatrixAdd(1).Kernels(),
+		ReadTimeout: 5 * time.Second,
+		Faults:      plane,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, addr, nil
+}
+
+func chaosShutdown(srv *netserve.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// classify maps a round's failure to its outcome class and reports
+// whether the error belongs to the stack's typed surface. Transport
+// failures during session setup collapse into one "dial" class: whether
+// a killed handshake surfaces as EOF or a reset is a kernel-level race,
+// and the gate must not depend on it.
+func classify(err error) (string, bool) {
+	if err == nil {
+		return "ok", true
+	}
+	var re *wire.RemoteError
+	switch {
+	case errors.As(err, &re):
+		return fmt.Sprintf("remote:%d", re.Code), true
+	case errors.Is(err, hixrt.ErrAttestation):
+		return "attest", true
+	case errors.Is(err, hixrt.ErrDesync):
+		return "desync", true
+	case errors.Is(err, hixrt.ErrAuth):
+		return "auth", true
+	case errors.Is(err, hixrt.ErrRequest):
+		return "request", true
+	case errors.Is(err, hixrt.ErrServerClosed):
+		return "server-closed", true
+	case errors.Is(err, hixrt.ErrBroken), errors.Is(err, faults.ErrInjectedTruncate):
+		return "transport", true
+	}
+	// Remaining failures happen before a session exists (dial +
+	// handshake): raw transport errors, or the wire decoder rejecting a
+	// corrupted Welcome.
+	var ne net.Error
+	if errors.As(err, &ne) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, wire.ErrUnknownOpcode) || errors.Is(err, wire.ErrShortFrame) ||
+		errors.Is(err, wire.ErrFrameTooBig) {
+		return "dial", true
+	}
+	return fmt.Sprintf("untyped(%T)", err), false
+}
+
+// chaosRound runs one dial + alloc/upload/launch/readback/free/close
+// cycle. The returned digest covers the readback whenever it completed
+// (even if a later step failed), so the integrity gate sees every
+// surviving byte stream.
+func chaosRound(addr string, plane *faults.Plane, round int) (digest string, err error) {
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{
+		DialTimeout: 5 * time.Second,
+		IOTimeout:   10 * time.Second,
+		Faults:      plane,
+	})
+	if err != nil {
+		return "", err
+	}
+	defer s.Close()
+	buf := make([]byte, chaosBytes)
+	for i := range buf {
+		buf[i] = byte(round*131 + i*7 + i>>8)
+	}
+	ptr, err := s.MemAlloc(chaosBytes)
+	if err != nil {
+		return "", err
+	}
+	if err := s.MemcpyHtoD(ptr, buf, len(buf)); err != nil {
+		return "", err
+	}
+	if err := s.Launch("nop", [8]uint64{}); err != nil {
+		return "", err
+	}
+	out := make([]byte, chaosBytes)
+	if err := s.MemcpyDtoH(out, ptr, len(out)); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(out)
+	digest = hex.EncodeToString(sum[:])
+	if err := s.MemFree(ptr); err != nil {
+		return digest, err
+	}
+	return digest, s.Close()
+}
+
+// chaosRun is one full pass over the round schedule.
+type chaosRun struct {
+	classes []string // outcome class per round
+	errs    []string // error text per round (diagnostics only, "" if ok)
+	digests []string // readback digest per round ("" if none)
+	sig     string   // plane signature (call/injection counts per site)
+	stats   map[string]int
+	total   int
+}
+
+func runChaos(seed string) (*chaosRun, error) {
+	var plane *faults.Plane
+	if seed != "" {
+		plane = faults.New(seed, chaosConfig())
+	}
+	srv, addr, err := chaosServer(plane)
+	if err != nil {
+		return nil, err
+	}
+	r := &chaosRun{}
+	for round := 0; round < chaosRounds; round++ {
+		digest, err := chaosRound(addr.String(), plane, round)
+		class, _ := classify(err)
+		r.classes = append(r.classes, class)
+		if err != nil {
+			r.errs = append(r.errs, err.Error())
+		} else {
+			r.errs = append(r.errs, "")
+		}
+		r.digests = append(r.digests, digest)
+	}
+	if err := chaosShutdown(srv); err != nil {
+		return nil, fmt.Errorf("shutdown after chaos: %w", err)
+	}
+	r.sig = plane.Signature()
+	r.stats = plane.Stats()
+	r.total = plane.TotalFired()
+	return r, nil
+}
+
+func classHistogram(classes []string) string {
+	n := map[string]int{}
+	for _, c := range classes {
+		n[c]++
+	}
+	keys := make([]string, 0, len(n))
+	for k := range n {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, n[k])
+	}
+	return s
+}
+
+// chaosReconnect drives a multi-round functional workload through a
+// ReconnectingSession while the schedule drops the connection twice —
+// once mid-workload and once again during the journal replay the first
+// drop triggers. The workload must complete bit-correct.
+func chaosReconnect(seed string) (reconnects, drops int, err error) {
+	plane := faults.New(seed+"/reconnect", faults.Config{
+		Rates:  map[string]float64{faults.NetDrop: 1},
+		After:  map[string]int{faults.NetDrop: 6},
+		Limits: map[string]int{faults.NetDrop: 2},
+	})
+	srv, addr, err := chaosServer(plane)
+	if err != nil {
+		return 0, 0, err
+	}
+	rs, err := hixrt.DialReconnecting(addr.String(), hixrt.ReconnectConfig{
+		Remote:      hixrt.RemoteConfig{DialTimeout: 5 * time.Second, IOTimeout: 10 * time.Second},
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		JitterSeed:  seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for round := 0; round < 4; round++ {
+		wl := workloads.NewMatrixAdd(24)
+		if err := wl.Run(workloads.SessionRunner{S: rs}); err != nil {
+			return 0, 0, fmt.Errorf("round %d: %w", round, err)
+		}
+		if err := wl.Check(); err != nil {
+			return 0, 0, fmt.Errorf("round %d corrupted: %w", round, err)
+		}
+	}
+	reconnects, drops = rs.Reconnects(), plane.Fired(faults.NetDrop)
+	if err := rs.Close(); err != nil {
+		return reconnects, drops, fmt.Errorf("close: %w", err)
+	}
+	return reconnects, drops, chaosShutdown(srv)
+}
+
+func faultsExp() bool {
+	fmt.Println("== Extension: fault-injection chaos sweep (seeded, reproducible) ==")
+	fmt.Printf("reference: %d fault-free rounds, %d KiB round-trip each\n",
+		chaosRounds, chaosBytes>>10)
+	ref, err := runChaos("")
+	if err != nil {
+		return fail(fmt.Errorf("faults reference run: %w", err))
+	}
+	for round, class := range ref.classes {
+		if class != "ok" {
+			return fail(fmt.Errorf("faults: fault-free round %d failed (%s): %s", round, class, ref.errs[round]))
+		}
+	}
+
+	ok := true
+	for i := 0; i < chaosSeeds; i++ {
+		seed := fmt.Sprintf(chaosSeedFmt, i+1)
+		a, err := runChaos(seed)
+		if err != nil {
+			return fail(fmt.Errorf("faults chaos %s: %w", seed, err))
+		}
+		b, err := runChaos(seed)
+		if err != nil {
+			return fail(fmt.Errorf("faults chaos %s (replay): %w", seed, err))
+		}
+
+		classesEqual, digestsEqual := true, true
+		succeeded, readbacks, mismatches, untyped := 0, 0, 0, 0
+		for r := 0; r < chaosRounds; r++ {
+			if a.classes[r] != b.classes[r] {
+				classesEqual = false
+			}
+			if a.digests[r] != b.digests[r] {
+				digestsEqual = false
+			}
+			if a.classes[r] == "ok" {
+				succeeded++
+			} else if strings.HasPrefix(a.classes[r], "untyped") {
+				untyped++
+				fmt.Printf("  round %d untyped failure: %s\n", r, a.errs[r])
+			}
+			if a.digests[r] != "" {
+				readbacks++
+				if a.digests[r] != ref.digests[r] {
+					mismatches++
+				}
+			}
+		}
+		sigEqual := a.sig == b.sig
+		fmt.Printf("seed %-8s rounds: %s\n", seed+":", classHistogram(a.classes))
+		fmt.Printf("  injections: %d (%s)\n", a.total, faultsStats(a.stats))
+		fmt.Printf("  replay identical: classes=%v digests=%v signature=%v; readbacks %d/%d reference-identical\n",
+			classesEqual, digestsEqual, sigEqual, readbacks-mismatches, readbacks)
+		record(map[string]any{
+			"name":              "faults/chaos/" + seed,
+			"rounds":            chaosRounds,
+			"succeeded":         succeeded,
+			"injected_total":    a.total,
+			"injected_by_site":  a.stats,
+			"classes":           classHistogram(a.classes),
+			"classes_equal":     classesEqual,
+			"digests_equal":     digestsEqual,
+			"signature_equal":   sigEqual,
+			"readbacks":         readbacks,
+			"readback_mismatch": mismatches,
+			"untyped_failures":  untyped,
+		})
+		switch {
+		case !classesEqual || !digestsEqual || !sigEqual:
+			ok = fail(fmt.Errorf("faults %s: replay diverged (classes=%v digests=%v signature=%v)",
+				seed, classesEqual, digestsEqual, sigEqual))
+		case mismatches > 0:
+			ok = fail(fmt.Errorf("faults %s: %d readbacks differ from the fault-free reference", seed, mismatches))
+		case untyped > 0:
+			ok = fail(fmt.Errorf("faults %s: %d untyped failures", seed, untyped))
+		case a.total == 0:
+			ok = fail(fmt.Errorf("faults %s: schedule injected nothing", seed))
+		case succeeded == 0:
+			ok = fail(fmt.Errorf("faults %s: no round survived — chaos mix too hot", seed))
+		}
+	}
+
+	fmt.Println("reconnect gate: 4-round matrix add through ReconnectingSession, 2 forced drops")
+	for i := 0; i < chaosSeeds; i++ {
+		seed := fmt.Sprintf(chaosSeedFmt, i+1)
+		reconnects, drops, err := chaosReconnect(seed)
+		if err != nil {
+			return fail(fmt.Errorf("faults reconnect %s: %w", seed, err))
+		}
+		fmt.Printf("  seed %-8s drops=%d reconnects=%d, workload bit-correct\n", seed+":", drops, reconnects)
+		record(map[string]any{
+			"name":        "faults/reconnect/" + seed,
+			"drops":       drops,
+			"reconnects":  reconnects,
+			"workload_ok": true,
+		})
+		if drops < 2 || reconnects < 2 {
+			ok = fail(fmt.Errorf("faults reconnect %s: drops=%d reconnects=%d, want >=2 each", seed, drops, reconnects))
+		}
+	}
+	if ok {
+		fmt.Println("chaos sweep reproducible; surviving data intact; all failures typed")
+	}
+	fmt.Println()
+	return ok
+}
+
+func faultsStats(stats map[string]int) string {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, stats[k])
+	}
+	return s
+}

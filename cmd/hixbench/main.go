@@ -8,7 +8,8 @@
 //	hixbench -exp table4,fig6    # a comma-separated subset
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
-// volta, paging, breakdown, datapath, multitenant, netserve, faults.
+// volta, paging, breakdown, datapath, multitenant, netserve, faults,
+// pipeline.
 package main
 
 import (
@@ -37,7 +38,7 @@ func writeRecords(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, pipeline, all")
 	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
 	flag.Parse()
 
@@ -90,6 +91,9 @@ func main() {
 	}
 	if run("faults") {
 		ok = faultsExp() && ok
+	}
+	if run("pipeline") {
+		ok = pipelineExp() && ok
 	}
 	if *jsonPath != "" {
 		if err := writeRecords(*jsonPath); err != nil {

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/netserve"
+	"repro/internal/osim"
+	"repro/internal/workloads"
+)
+
+// netserve: the network serving layer (hixserve front-end + hixrt.Dial
+// remote sessions) measured against the in-process client. Two gates,
+// then a throughput sweep:
+//
+//   - Identity: the same functional workload driven over loopback TCP
+//     and in process, on machines booted from one seed, must produce a
+//     byte-identical ciphertext stream through the inter-enclave shared
+//     segment AND an identical timeline fingerprint — checked for
+//     ServeWorkers 1 and 4. The wire is outside the simulated platform,
+//     so remoting must be invisible to the HIX protocol.
+//   - Sweep: 1/2/4/8 concurrent loopback connections streaming real
+//     encrypted data, reporting host wall-clock throughput.
+const (
+	nsMatrixN = 96      // identity workload: functional 96x96 matrix add
+	nsBytes   = 4 << 20 // sweep: per-direction bytes per connection
+	nsRounds  = 2       // sweep: best-of rounds
+	nsSeed    = "netserve-exp"
+)
+
+// nsCipher accumulates the ciphertext stream crossing the shared
+// segment: every HtoD chunk after sealing, every DtoH chunk before
+// opening, each framed with direction/offset/length.
+type nsCipher struct {
+	mu sync.Mutex
+	h  hash.Hash
+}
+
+func newNsCipher() *nsCipher { return &nsCipher{h: sha256.New()} }
+
+func (c *nsCipher) observe(m *machine.Machine, seg *osim.SharedSegment, dir byte, off, n int) {
+	buf := make([]byte, n)
+	if err := m.OS.ShmReadPhys(seg, off, buf); err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hdr [9]byte
+	hdr[0] = dir
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(off))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(n))
+	c.h.Write(hdr[:])
+	c.h.Write(buf)
+}
+
+func (c *nsCipher) sum() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return hex.EncodeToString(c.h.Sum(nil))
+}
+
+// nsTap points a session's data-path hooks at the ciphertext capture.
+func nsTap(m *machine.Machine, s *hixrt.Session, cap *nsCipher) {
+	seg := s.Segment()
+	s.Hooks.AfterDataWrite = func(off, n int) { cap.observe(m, seg, 'W', off, n) }
+	s.Hooks.AfterDataReady = func(off, n int) { cap.observe(m, seg, 'R', off, n) }
+}
+
+func nsMachine(seed string) (*machine.Machine, error) {
+	return machine.New(machine.Config{
+		DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+		Channels: 8, PlatformSeed: seed,
+	})
+}
+
+// nsIdentityRun drives one functional matrix add either over loopback
+// TCP or in process and returns the timeline fingerprint plus the
+// ciphertext-stream digest.
+func nsIdentityRun(remote bool, workers int) (uint64, string, error) {
+	m, err := nsMachine(nsSeed)
+	if err != nil {
+		return 0, "", err
+	}
+	m.Timeline.EnableTrace()
+	cap := newNsCipher()
+	srv, err := netserve.New(netserve.Config{
+		Machine:      m,
+		ServeWorkers: workers,
+		Kernels:      workloads.NewMatrixAdd(1).Kernels(),
+		OnSession:    func(s *hixrt.Session) { nsTap(m, s, cap) },
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	wl := workloads.NewMatrixAdd(nsMatrixN)
+	if remote {
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return 0, "", err
+		}
+		s, err := hixrt.Dial(addr.String())
+		if err != nil {
+			return 0, "", err
+		}
+		if err := wl.Run(workloads.SessionRunner{S: s}); err != nil {
+			return 0, "", err
+		}
+		if err := wl.Check(); err != nil {
+			return 0, "", err
+		}
+		if err := s.Close(); err != nil {
+			return 0, "", err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return 0, "", err
+		}
+	} else {
+		meas := hixrt.DefaultRemoteMeasurement()
+		client, err := hixrt.NewClient(m, srv.Enclave(), srv.VendorPub(), meas[:])
+		if err != nil {
+			return 0, "", err
+		}
+		s, err := client.OpenSession()
+		if err != nil {
+			return 0, "", err
+		}
+		nsTap(m, s, cap)
+		if err := wl.Run(workloads.SessionRunner{S: s}); err != nil {
+			return 0, "", err
+		}
+		if err := wl.Check(); err != nil {
+			return 0, "", err
+		}
+		if err := s.Close(); err != nil {
+			return 0, "", err
+		}
+	}
+	return m.Timeline.Fingerprint(), cap.sum(), nil
+}
+
+// nsResult is one sweep configuration.
+type nsResult struct {
+	conns int
+	wall  time.Duration
+	ops   int
+}
+
+func (r nsResult) mbPerSec() float64 {
+	return float64(2*nsBytes*r.conns) / (1 << 20) / r.wall.Seconds()
+}
+
+// nsSweepRun streams nsBytes each way over `conns` concurrent loopback
+// connections and reports the wall clock.
+func nsSweepRun(conns int) (nsResult, error) {
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{
+			DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+			Channels: 8, PlatformSeed: "netserve-sweep",
+		},
+		ServeWorkers: conns,
+		MaxConns:     conns,
+	})
+	if err != nil {
+		return nsResult{}, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nsResult{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	data := make([]byte, nsBytes)
+	for i := range data {
+		data[i] = byte(i*2654435761 + i>>13)
+	}
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := hixrt.Dial(addr.String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer s.Close()
+			out := make([]byte, nsBytes)
+			ptr, err := s.MemAlloc(nsBytes)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := s.Launch("nop", [8]uint64{}); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(out, data) {
+				errs[i] = fmt.Errorf("round-trip corruption on connection %d", i)
+				return
+			}
+			if err := s.MemFree(ptr); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.Close()
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return nsResult{}, err
+		}
+	}
+	return nsResult{conns: conns, wall: wall, ops: conns * 5}, nil
+}
+
+func netserveExp() bool {
+	fmt.Println("== Extension: network serving layer (hixserve + remote sessions) ==")
+	fmt.Printf("identity gate: functional %dx%d matrix add, remote (loopback TCP) vs in-process\n",
+		nsMatrixN, nsMatrixN)
+	for _, workers := range []int{1, 4} {
+		rfp, rcipher, err := nsIdentityRun(true, workers)
+		if err != nil {
+			return fail(fmt.Errorf("netserve identity remote (workers=%d): %w", workers, err))
+		}
+		lfp, lcipher, err := nsIdentityRun(false, workers)
+		if err != nil {
+			return fail(fmt.Errorf("netserve identity in-process (workers=%d): %w", workers, err))
+		}
+		fpOK := rfp == lfp
+		ctOK := rcipher == lcipher
+		fmt.Printf("  workers=%d: fingerprint %016x remote / %016x in-process, ciphertext %s…/%s…\n",
+			workers, rfp, lfp, rcipher[:12], lcipher[:12])
+		record(map[string]any{
+			"name":               fmt.Sprintf("netserve/identity/workers=%d", workers),
+			"fingerprint_remote": fmt.Sprintf("%016x", rfp),
+			"fingerprint_local":  fmt.Sprintf("%016x", lfp),
+			"ciphertext_remote":  rcipher,
+			"ciphertext_local":   lcipher,
+			"fingerprint_equal":  fpOK,
+			"ciphertext_equal":   ctOK,
+		})
+		if !fpOK {
+			return fail(fmt.Errorf("netserve: timeline diverged between remote and in-process at workers=%d", workers))
+		}
+		if !ctOK {
+			return fail(fmt.Errorf("netserve: ciphertext stream diverged between remote and in-process at workers=%d", workers))
+		}
+	}
+	fmt.Println("  remote and in-process runs are ciphertext- and schedule-identical")
+
+	fmt.Printf("sweep: %d MiB each way per connection (real crypto over loopback), GOMAXPROCS=%d\n",
+		nsBytes>>20, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s %10s %10s %8s\n", "connections", "wall ms", "MB/s", "reqs")
+	for _, conns := range []int{1, 2, 4, 8} {
+		var best nsResult
+		for r := 0; r < nsRounds; r++ {
+			res, err := nsSweepRun(conns)
+			if err != nil {
+				return fail(fmt.Errorf("netserve sweep (conns=%d): %w", conns, err))
+			}
+			if r == 0 || res.wall < best.wall {
+				best = res
+			}
+		}
+		fmt.Printf("%-12d %10.1f %10.1f %8d\n",
+			best.conns, float64(best.wall.Microseconds())/1000, best.mbPerSec(), best.ops)
+		record(map[string]any{
+			"name":     fmt.Sprintf("netserve/sweep/conns=%d", best.conns),
+			"wall_ms":  float64(best.wall.Microseconds()) / 1000,
+			"MB_per_s": best.mbPerSec(),
+			"ops":      best.ops,
+		})
+	}
+	fmt.Println("(loopback TCP sits outside the simulated platform; wall-clock scaling")
+	fmt.Println(" requires the host to grant this process multiple cores)")
+	fmt.Println()
+	return true
+}

@@ -11,6 +11,7 @@
 // Usage:
 //
 //	hixserve -addr 127.0.0.1:7070 -serve-workers 4 -max-conns 8
+//	hixserve -max-inflight 32 -pprof 127.0.0.1:6060
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests finish and flush, sessions close; a second signal (or the
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,22 +47,37 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 		seed         = flag.String("seed", "", "platform seed for a deterministic machine (empty = random)")
 		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
+		maxInFlight  = flag.Int("max-inflight", 0, "per-connection pipelining window advertised to v2 clients (0 = default)")
+		maxWireVer   = flag.Uint("max-wire-version", 0, "cap the negotiated wire version (0 = newest; 1 forces lock-step)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("hixserve: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("hixserve: pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
 	srv, err := netserve.New(netserve.Config{
-		MachineConfig: &machine.Config{PlatformSeed: *seed},
-		ServeWorkers:  *serveWorkers,
-		SegmentBytes:  *segMB << 20,
-		Kernels:       workloads.AllKernels(),
-		MaxConns:      *maxConns,
-		ReadTimeout:   *readTimeout,
-		WriteTimeout:  *writeTimeout,
-		Logf:          logf,
+		MachineConfig:  &machine.Config{PlatformSeed: *seed},
+		ServeWorkers:   *serveWorkers,
+		SegmentBytes:   *segMB << 20,
+		Kernels:        workloads.AllKernels(),
+		MaxConns:       *maxConns,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		MaxInFlight:    *maxInFlight,
+		MaxWireVersion: uint16(*maxWireVer),
+		Logf:           logf,
 	})
 	if err != nil {
 		log.Fatalf("hixserve: %v", err)

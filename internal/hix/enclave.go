@@ -222,9 +222,9 @@ func Launch(cfg Config) (*Enclave, error) {
 		return nil, fmt.Errorf("hix: no GPU at %s", bdf)
 	}
 	e := &Enclave{
-		m:        m,
-		gpu:      dev,
-		gpuBDF:   bdf,
+		m:            m,
+		gpu:          dev,
+		gpuBDF:       bdf,
 		vendor:       cfg.Vendor,
 		segBytes:     cfg.SessionSegmentBytes,
 		stagingSlots: uint64(cfg.StagingSlots),

@@ -1,0 +1,356 @@
+package hixrt
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/wire"
+)
+
+// welcomeClientV2 consumes the Hello and answers a v2 Welcome with the
+// given pipelining bound.
+func welcomeClientV2(t *testing.T, nc net.Conn, maxInFlight uint16) {
+	t.Helper()
+	op, _, err := wire.ReadFrame(nc)
+	if err != nil || op != wire.OpHello {
+		t.Errorf("fake server: op=%v err=%v, want hello", op, err)
+		return
+	}
+	w := wire.Welcome{
+		Version:     wire.Version2,
+		SessionID:   1,
+		SegmentSize: 32 << 20,
+		ChunkSize:   64 << 10,
+		MaxData:     wire.MaxData,
+		MaxInFlight: maxInFlight,
+	}
+	if err := wire.WriteFrame(nc, wire.OpWelcome, w.Encode()); err != nil {
+		t.Errorf("fake server: welcome: %v", err)
+	}
+}
+
+// readTagged reads one frame and splits its tag, failing the fake
+// server on anything unexpected.
+func readTagged(t *testing.T, nc net.Conn, want wire.Opcode) (uint32, []byte, bool) {
+	t.Helper()
+	op, body, err := wire.ReadFrame(nc)
+	if err != nil || op != want {
+		t.Errorf("fake server: op=%v err=%v, want %v", op, err, want)
+		return 0, nil, false
+	}
+	tag, rest, err := wire.SplitTag(body)
+	if err != nil {
+		t.Errorf("fake server: %v", err)
+		return 0, nil, false
+	}
+	return tag, rest, true
+}
+
+func writeTaggedResp(nc net.Conn, tag uint32, resp hix.Response) error {
+	body := append(make([]byte, 0, wire.TagSize+20), byte(tag), byte(tag>>8), byte(tag>>16), byte(tag>>24))
+	body = append(body, resp.Encode()...)
+	return wire.WriteFrame(nc, wire.OpTResponse, body)
+}
+
+// TestPipeUnknownTagReply: a reply whose tag matches no in-flight
+// request tears the session down with the typed, retry-classifiable
+// ErrUnknownTag.
+func TestPipeUnknownTagReply(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		_ = writeTaggedResp(nc, tag+7, hix.Response{Status: hix.RespOK})
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.MemAlloc(64)
+	if !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("unknown tag surfaced as %v, want ErrUnknownTag", err)
+	}
+	if !errors.Is(err, ErrBroken) {
+		t.Fatalf("unknown tag did not break the session: %v", err)
+	}
+	if !retryable(err) {
+		t.Fatalf("ErrUnknownTag not retry-classifiable: %v", err)
+	}
+}
+
+// TestPipeTagTruncatedReply: a tagged frame too short to carry its tag
+// is a framing error, surfaced typed.
+func TestPipeTagTruncatedReply(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		if _, _, ok := readTagged(t, nc, wire.OpTRequest); !ok {
+			return
+		}
+		_ = wire.WriteFrame(nc, wire.OpTResponse, []byte{1, 2})
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.MemAlloc(64)
+	if !errors.Is(err, wire.ErrTagTruncated) {
+		t.Fatalf("truncated tag surfaced as %v, want ErrTagTruncated", err)
+	}
+	if !errors.Is(err, ErrBroken) {
+		t.Fatalf("truncated tag did not break the session: %v", err)
+	}
+}
+
+// TestPipeV1FrameOnV2Stream: after negotiating v2, an untagged v1
+// Response on the stream is a protocol violation, not something to
+// silently interpret.
+func TestPipeV1FrameOnV2Stream(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		if _, _, ok := readTagged(t, nc, wire.OpTRequest); !ok {
+			return
+		}
+		resp := hix.Response{Status: hix.RespOK}
+		_ = wire.WriteFrame(nc, wire.OpResponse, resp.Encode())
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.MemAlloc(64)
+	if !errors.Is(err, hix.ErrProtocol) {
+		t.Fatalf("v1 frame on v2 stream surfaced as %v, want ErrProtocol", err)
+	}
+}
+
+// TestPipeDataBeforeResponse: DtoH payload chunks may only follow
+// their response.
+func TestPipeDataBeforeResponse(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		body := append([]byte{byte(tag), byte(tag >> 8), byte(tag >> 16), byte(tag >> 24)}, make([]byte, 8)...)
+		_ = wire.WriteFrame(nc, wire.OpTData, body)
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out := make([]byte, 8)
+	if err := s.MemcpyDtoH(out, 0x1000, len(out)); !errors.Is(err, hix.ErrProtocol) {
+		t.Fatalf("data-before-response surfaced as %v, want ErrProtocol", err)
+	}
+}
+
+// TestPipeDesyncOverSend is the v1 over-send desync test replayed on
+// the pipelined transport: a Data chunk larger than the exact expected
+// frame is ErrDesync, terminal.
+func TestPipeDesyncOverSend(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		if err := writeTaggedResp(nc, tag, hix.Response{Status: hix.RespOK}); err != nil {
+			return
+		}
+		// The client asked for 8 bytes; send 16 in one tagged frame.
+		body := append([]byte{byte(tag), byte(tag >> 8), byte(tag >> 16), byte(tag >> 24)}, make([]byte, 16)...)
+		_ = wire.WriteFrame(nc, wire.OpTData, body)
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out := make([]byte, 8)
+	err = s.MemcpyDtoH(out, 0x1000, len(out))
+	if !errors.Is(err, ErrDesync) {
+		t.Fatalf("over-send surfaced as %v, want ErrDesync", err)
+	}
+	if _, err := s.MemAlloc(64); !errors.Is(err, ErrBroken) {
+		t.Fatalf("post-desync request: %v, want ErrBroken", err)
+	}
+}
+
+// TestPipeOutOfOrderCompletion: the in-flight table routes replies by
+// tag, so the server may complete requests in any order.
+func TestPipeOutOfOrderCompletion(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 4)
+		t1, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		t2, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		// Reply in reverse submission order with distinct values.
+		_ = writeTaggedResp(nc, t2, hix.Response{Status: hix.RespOK, Value: 0x2000})
+		_ = writeTaggedResp(nc, t1, hix.Response{Status: hix.RespOK, Value: 0x1000})
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.MaxInFlight(); got != 4 {
+		t.Fatalf("MaxInFlight %d, want 4", got)
+	}
+	c1, err := s.pipe.submit(hix.Request{Type: hix.ReqMemAlloc, Size: 64}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.pipe.submit(hix.Request{Type: hix.ReqMemAlloc, Size: 64}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.pipe.wait(c1)
+	if err != nil || r1.Value != 0x1000 {
+		t.Fatalf("first call: resp=%+v err=%v, want value 0x1000", r1, err)
+	}
+	r2, err := s.pipe.wait(c2)
+	if err != nil || r2.Value != 0x2000 {
+		t.Fatalf("second call: resp=%+v err=%v, want value 0x2000", r2, err)
+	}
+}
+
+// TestPipeWindowBound: with the window full, a further submit blocks
+// until a completion frees a slot — flow control, not failure.
+func TestPipeWindowBound(t *testing.T) {
+	release := make(chan struct{})
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 2)
+		var tags []uint32
+		for i := 0; i < 2; i++ {
+			tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+			if !ok {
+				return
+			}
+			tags = append(tags, tag)
+		}
+		<-release // hold both slots until the test has seen the third submit block
+		for _, tag := range tags {
+			_ = writeTaggedResp(nc, tag, hix.Response{Status: hix.RespOK})
+		}
+		tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+		if !ok {
+			return
+		}
+		_ = writeTaggedResp(nc, tag, hix.Response{Status: hix.RespOK})
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p1 := s.StartLaunch("k", [gpu.NumKernelParams]uint64{})
+	p2 := s.StartLaunch("k", [gpu.NumKernelParams]uint64{})
+	third := make(chan *Pending)
+	go func() { third <- s.StartLaunch("k", [gpu.NumKernelParams]uint64{}) }()
+	select {
+	case <-third:
+		t.Fatal("third submit did not block with a full window of 2")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (<-third).Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipeConcurrentSubmitters drives many goroutines through one
+// pipelined session against an echo-style fake server (the -race gate
+// for the client core).
+func TestPipeConcurrentSubmitters(t *testing.T) {
+	const ops = 64
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClientV2(t, nc, 8)
+		for i := 0; i < ops; i++ {
+			tag, _, ok := readTagged(t, nc, wire.OpTRequest)
+			if !ok {
+				return
+			}
+			if err := writeTaggedResp(nc, tag, hix.Response{Status: hix.RespOK, Value: uint64(tag)}); err != nil {
+				return
+			}
+		}
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops/8; i++ {
+				if _, err := s.MemAlloc(64); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestPipeV1Fallback: a v1 server keeps the client on the lock-step
+// path — no pipe, window of 1, Start* degrade to blocking exchanges.
+func TestPipeV1Fallback(t *testing.T) {
+	addr := fakeWireServer(t, func(nc net.Conn) {
+		welcomeClient(t, nc) // answers Version1
+		op, _, err := wire.ReadFrame(nc)
+		if err != nil || op != wire.OpRequest {
+			t.Errorf("fake server: op=%v err=%v, want untagged request", op, err)
+			return
+		}
+		resp := hix.Response{Status: hix.RespOK, Value: 0x4000}
+		_ = wire.WriteFrame(nc, wire.OpResponse, resp.Encode())
+	})
+	s, err := DialConfig(addr, RemoteConfig{IOTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Version() != wire.Version1 {
+		t.Fatalf("version %d, want 1", s.Version())
+	}
+	if s.MaxInFlight() != 1 {
+		t.Fatalf("MaxInFlight %d, want 1", s.MaxInFlight())
+	}
+	ptr, err := s.MemAlloc(64)
+	if err != nil || ptr != 0x4000 {
+		t.Fatalf("lock-step alloc: ptr=%#x err=%v", ptr, err)
+	}
+}

@@ -132,13 +132,16 @@ func (r *ReconnectingSession) Reconnects() int {
 // retryable classifies an error: transport-class and server-side
 // failures warrant a rebuild + re-issue, while request-level rejections
 // (bad arguments, unknown kernel) and attestation refusals are the
-// caller's to see. A data-path auth failure (ErrAuth) IS retried: it
+// caller's to see. A redial always starts a fresh tag space (the pipe
+// and its in-flight table die with the connection), so v2 tag-routing
+// failures (ErrUnknownTag) rebuild cleanly like a desync. A data-path auth failure (ErrAuth) IS retried: it
 // models substrate tampering with one transfer, and a fresh session
 // re-issues the whole transfer under fresh keys — persistent tampering
 // exhausts the attempts and surfaces.
 func retryable(err error) bool {
 	if errors.Is(err, ErrBroken) || errors.Is(err, ErrServerClosed) ||
-		errors.Is(err, ErrDesync) || errors.Is(err, ErrAuth) {
+		errors.Is(err, ErrDesync) || errors.Is(err, ErrAuth) ||
+		errors.Is(err, ErrUnknownTag) {
 		return true
 	}
 	if errors.Is(err, ErrRequest) || errors.Is(err, ErrClosed) || errors.Is(err, ErrAttestation) {

@@ -64,26 +64,42 @@ type RemoteConfig struct {
 	// Faults optionally wraps the dialed connection with a seeded
 	// wire-fault schedule (nil disables injection).
 	Faults *faults.Plane
+	// MaxWireVersion caps the protocol version offered in the
+	// handshake (0 means wire.MaxVersion). Setting it to wire.Version1
+	// forces lock-step exchanges even against a v2 server.
+	MaxWireVersion uint16
+	// MaxInFlight caps this client's pipelining window below the bound
+	// the server advertises in a v2 Welcome (0 means use the server's
+	// bound unchanged). 1 keeps the v2 transport but serializes
+	// requests.
+	MaxInFlight int
 }
 
 // RemoteSession is an attested HIX session reached over the wire
-// protocol. The protocol is strictly one request/response exchange at
-// a time per connection; a session mutex serializes concurrent
-// callers, so a RemoteSession is safe for use from multiple
-// goroutines (exchanges simply queue).
+// protocol. Over wire v1 the protocol is strictly one
+// request/response exchange at a time per connection, and a session
+// mutex serializes concurrent callers. Over wire v2 the session runs
+// on a pipelined core (see pipe): blocking methods still submit one
+// exchange and wait, but up to MaxInFlight exchanges from concurrent
+// goroutines — or from the async Start* methods — share the
+// connection with out-of-order completion. Either way a RemoteSession
+// is safe for use from multiple goroutines.
 type RemoteSession struct {
-	mu sync.Mutex // serializes exchanges on the single wire stream
+	mu sync.Mutex // v1: serializes exchanges; v2: guards closed
 
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
 
-	sid     uint32
-	version uint16
-	segSize uint64
-	chunk   int
-	maxData int
-	enclave attest.Measurement
+	sid         uint32
+	version     uint16
+	segSize     uint64
+	chunk       int
+	maxData     int
+	maxInFlight int
+	enclave     attest.Measurement
+
+	pipe *pipe // v2 async core; nil on a v1 (lock-step) session
 
 	ioTimeout time.Duration
 
@@ -122,6 +138,19 @@ func DialConfig(addr string, cfg RemoteConfig) (*RemoteSession, error) {
 		nc.Close()
 		return nil, err
 	}
+	if s.version >= wire.Version2 {
+		// The dial deadline must not linger into the pipelined phase;
+		// the pipe manages read/write deadlines itself.
+		if err := s.nc.SetDeadline(time.Time{}); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		window := s.maxInFlight
+		if cfg.MaxInFlight > 0 && cfg.MaxInFlight < window {
+			window = cfg.MaxInFlight
+		}
+		s.pipe = newPipe(s, window)
+	}
 	return s, nil
 }
 
@@ -130,9 +159,13 @@ func (s *RemoteSession) handshake(cfg RemoteConfig) error {
 	if err := s.nc.SetDeadline(deadline); err != nil {
 		return err
 	}
+	maxV := cfg.MaxWireVersion
+	if maxV == 0 || maxV > wire.MaxVersion {
+		maxV = wire.MaxVersion
+	}
 	hello := wire.Hello{
 		MinVersion:  wire.MinVersion,
-		MaxVersion:  wire.MaxVersion,
+		MaxVersion:  maxV,
 		Measurement: cfg.Measurement,
 	}
 	if err := wire.WriteFrame(s.bw, wire.OpHello, hello.Encode()); err != nil {
@@ -156,6 +189,10 @@ func (s *RemoteSession) handshake(cfg RemoteConfig) error {
 		s.segSize = w.SegmentSize
 		s.chunk = int(w.ChunkSize)
 		s.maxData = int(w.MaxData)
+		s.maxInFlight = 1
+		if w.Version >= wire.Version2 {
+			s.maxInFlight = int(w.MaxInFlight)
+		}
 		s.enclave = w.Enclave
 		return nil
 	case wire.OpError:
@@ -178,6 +215,16 @@ func (s *RemoteSession) SessionID() uint32 { return s.sid }
 // Version returns the negotiated wire-protocol version.
 func (s *RemoteSession) Version() uint16 { return s.version }
 
+// MaxInFlight returns the effective pipelining window: the server's
+// negotiated bound capped by RemoteConfig.MaxInFlight. It is 1 on a
+// v1 (lock-step) connection.
+func (s *RemoteSession) MaxInFlight() int {
+	if s.pipe == nil {
+		return 1
+	}
+	return cap(s.pipe.window)
+}
+
 // EnclaveMeasurement returns the GPU enclave's MRENCLAVE as reported in
 // the handshake.
 func (s *RemoteSession) EnclaveMeasurement() attest.Measurement { return s.enclave }
@@ -195,9 +242,19 @@ func (s *RemoteSession) fail(err error) error {
 	return fmt.Errorf("%w: %w", ErrBroken, err)
 }
 
-// exchange serializes callers onto the single wire stream and runs one
-// request/response exchange.
+// exchange runs one request/response exchange: over v2 through the
+// pipelined core (concurrent exchanges share the connection), over v1
+// serialized onto the single lock-step stream.
 func (s *RemoteSession) exchange(req hix.Request, payload, out []byte) (hix.Response, error) {
+	if s.pipe != nil {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return hix.Response{}, ErrClosed
+		}
+		s.mu.Unlock()
+		return s.pipe.roundTrip(req, payload, out)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.exchangeLocked(req, payload, out)
@@ -395,6 +452,9 @@ func (s *RemoteSession) Launch(kernel string, params [gpu.NumKernelParams]uint64
 // to call more than once; after a transport failure it only closes the
 // socket.
 func (s *RemoteSession) Close() error {
+	if s.pipe != nil {
+		return s.closeV2()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -402,6 +462,32 @@ func (s *RemoteSession) Close() error {
 	}
 	resp, err := s.exchangeLocked(hix.Request{Type: hix.ReqClose}, nil, nil)
 	s.closed = true
+	_ = s.nc.Close()
+	if err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+	if resp.Status != hix.RespOK {
+		return fmt.Errorf("%w: close status %d", ErrRequest, resp.Status)
+	}
+	return nil
+}
+
+// closeV2 sends the close request as one more pipelined exchange (it
+// queues behind any in-flight work — the server executes a
+// connection's requests in submission order) and tears the transport
+// down once the reply lands.
+func (s *RemoteSession) closeV2() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	resp, err := s.pipe.roundTrip(hix.Request{Type: hix.ReqClose}, nil, nil)
 	_ = s.nc.Close()
 	if err != nil {
 		if errors.Is(err, ErrServerClosed) {

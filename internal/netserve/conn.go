@@ -21,10 +21,26 @@ import (
 // errDrained reports an idle wait ended by graceful shutdown.
 var errDrained = errors.New("netserve: draining")
 
-// outFrame is one queued frame on a connection's send path.
+// errAborted reports a v2 read loop cut short by its executor hitting
+// a terminal error.
+var errAborted = errors.New("netserve: connection aborted")
+
+// outFrame is one queued frame on a connection's send path. When buf
+// is non-nil the body aliases pooled storage owned by this frame; the
+// writer releases it once the frame is written (or dropped).
 type outFrame struct {
-	op   wire.Opcode
-	body []byte
+	op     wire.Opcode
+	tag    uint32
+	tagged bool
+	body   []byte
+	buf    *wire.Buf
+}
+
+func (f *outFrame) release() {
+	if f.buf != nil {
+		f.buf.Release()
+		f.buf = nil
+	}
 }
 
 // conn bridges one TCP connection onto one in-process HIX session. The
@@ -42,25 +58,36 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 	br  *bufio.Reader
+	fr  *wire.FrameReader // pooled destructive reads (v2 path)
 
-	sess *hixrt.Session
+	sess    *hixrt.Session
+	version uint16
 
 	// readMu orders deadline writes between the handler and
 	// interruptRead; busy marks a destructive read in progress that
-	// drain must not cut short.
-	readMu sync.Mutex
-	busy   bool
+	// drain must not cut short. lastArm is when the read deadline was
+	// last pushed out — deadline writes are syscalls, so they are
+	// re-armed at most once per quarter of ReadTimeout (a stall is then
+	// detected after 0.75x–1x the configured timeout).
+	readMu  sync.Mutex
+	busy    bool
+	lastArm time.Time
 
 	sendQ      chan outFrame
 	writerDone chan struct{}
 	wfailed    atomic.Bool
+	// aborted marks a v2 connection whose executor hit a terminal
+	// error; the read loop must stop instead of feeding it more work.
+	aborted atomic.Bool
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
+	br := bufio.NewReaderSize(nc, 64<<10)
 	return &conn{
 		srv:        s,
 		nc:         nc,
-		br:         bufio.NewReaderSize(nc, 64<<10),
+		br:         br,
+		fr:         wire.NewFrameReader(br),
 		sendQ:      make(chan outFrame, s.cfg.SendQueue),
 		writerDone: make(chan struct{}),
 	}
@@ -92,12 +119,25 @@ func (c *conn) waitFrame() error {
 	grace := false
 	for {
 		c.readMu.Lock()
-		c.busy = false
-		dl := time.Now().Add(c.srv.cfg.ReadTimeout)
-		if c.srv.isDraining() && !grace && c.br.Buffered() == 0 {
-			dl = time.Now()
+		if c.aborted.Load() {
+			c.readMu.Unlock()
+			return errAborted
 		}
-		_ = c.nc.SetReadDeadline(dl)
+		c.busy = false
+		now := time.Now()
+		switch {
+		case c.srv.isDraining() && !grace && c.br.Buffered() == 0:
+			_ = c.nc.SetReadDeadline(now)
+			c.lastArm = time.Time{}
+		case c.srv.isDraining():
+			// Grace period for a partially arrived frame: always a
+			// fresh, full timeout.
+			_ = c.nc.SetReadDeadline(now.Add(c.srv.cfg.ReadTimeout))
+			c.lastArm = now
+		case now.Sub(c.lastArm) > c.srv.cfg.ReadTimeout/4:
+			_ = c.nc.SetReadDeadline(now.Add(c.srv.cfg.ReadTimeout))
+			c.lastArm = now
+		}
 		c.readMu.Unlock()
 		_, err := c.br.Peek(wire.HeaderSize)
 		if err == nil {
@@ -121,36 +161,71 @@ func (c *conn) waitFrame() error {
 	}
 }
 
+// armRead pushes the read deadline out under the coarse re-arm policy.
+// An aborted connection keeps its cut deadline so in-progress reads
+// fail fast instead of waiting out a fresh timeout.
+func (c *conn) armRead() {
+	now := time.Now()
+	c.readMu.Lock()
+	if !c.aborted.Load() && now.Sub(c.lastArm) > c.srv.cfg.ReadTimeout/4 {
+		_ = c.nc.SetReadDeadline(now.Add(c.srv.cfg.ReadTimeout))
+		c.lastArm = now
+	}
+	c.readMu.Unlock()
+}
+
 // readFrame destructively reads one frame under a fresh deadline. Only
 // call with the connection busy (or during the handshake, before
 // Shutdown tracks the conn as idle).
 func (c *conn) readFrame() (wire.Opcode, []byte, error) {
-	_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
+	c.armRead()
 	return wire.ReadFrame(c.br)
+}
+
+// readFrameP is readFrame on the pooled path (v2): the body comes from
+// the frame pool and the caller must Release it exactly once.
+func (c *conn) readFrameP() (wire.Opcode, *wire.Buf, error) {
+	c.armRead()
+	return c.fr.Next()
 }
 
 // send queues one frame for the writer; it reports false once the write
 // side has failed, so handlers stop producing into a dead connection.
 func (c *conn) send(op wire.Opcode, body []byte) bool {
+	return c.enqueue(outFrame{op: op, body: body})
+}
+
+// sendT queues one tagged (v2) frame. buf, when non-nil, is the pooled
+// storage body aliases; the writer releases it after the write — on a
+// false return the frame was dropped and buf has already been
+// released.
+func (c *conn) sendT(op wire.Opcode, tag uint32, body []byte, buf *wire.Buf) bool {
+	return c.enqueue(outFrame{op: op, tag: tag, tagged: true, body: body, buf: buf})
+}
+
+func (c *conn) enqueue(f outFrame) bool {
 	if c.wfailed.Load() {
+		f.release()
 		return false
 	}
 	// Injected overflow targets Data frames only: those are the bulk
 	// DtoH stream, and keeping the site request-driven (one decision
 	// per queued chunk on the serial handler) keeps the fault schedule
 	// deterministic.
-	if op == wire.OpData && c.srv.cfg.Faults.Fire(faults.NetSendQueue) {
+	if (f.op == wire.OpData || f.op == wire.OpTData) && c.srv.cfg.Faults.Fire(faults.NetSendQueue) {
 		c.wfailed.Store(true)
 		c.srv.logf("netserve: injected send-queue overflow")
+		f.release()
 		return false
 	}
-	c.sendQ <- outFrame{op: op, body: body}
+	c.sendQ <- f
 	return true
 }
 
-// writer drains the send queue onto the socket, flushing whenever the
-// queue runs empty. After a write failure it keeps consuming (so the
-// handler never blocks on a dead peer) until the queue closes.
+// writer drains the send queue onto the socket through a vectored
+// FrameWriter, flushing whenever the queue runs empty. After a write
+// failure it keeps consuming (so the handler never blocks on a dead
+// peer) until the queue closes; pooled bodies are released either way.
 func (c *conn) writer() {
 	defer close(c.writerDone)
 	defer func() {
@@ -159,19 +234,34 @@ func (c *conn) writer() {
 			c.srv.logf("netserve: writer panic: %v", r)
 		}
 	}()
-	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	fw := wire.NewFrameWriter(c.nc, 64<<10)
+	var lastArm time.Time
 	for f := range c.sendQ {
 		if c.wfailed.Load() {
+			f.release()
 			continue
 		}
-		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if err := wire.WriteFrame(bw, f.op, f.body); err != nil {
+		// Coarse re-arm: one write-deadline syscall per quarter-timeout,
+		// not per frame (a stalled peer is detected after 0.75x–1x
+		// WriteTimeout).
+		if now := time.Now(); now.Sub(lastArm) > c.srv.cfg.WriteTimeout/4 {
+			_ = c.nc.SetWriteDeadline(now.Add(c.srv.cfg.WriteTimeout))
+			lastArm = now
+		}
+		var err error
+		if f.tagged {
+			err = fw.WriteTagged(f.op, f.tag, f.body)
+		} else {
+			err = fw.WriteFrame(f.op, f.body)
+		}
+		f.release()
+		if err != nil {
 			c.wfailed.Store(true)
 			c.srv.logf("netserve: write: %v", err)
 			continue
 		}
 		if len(c.sendQ) == 0 {
-			if err := bw.Flush(); err != nil {
+			if err := fw.Flush(); err != nil {
 				c.wfailed.Store(true)
 				c.srv.logf("netserve: flush: %v", err)
 			}
@@ -179,7 +269,7 @@ func (c *conn) writer() {
 	}
 	if !c.wfailed.Load() {
 		_ = c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		_ = bw.Flush()
+		_ = fw.Flush()
 	}
 }
 
@@ -214,7 +304,11 @@ func (c *conn) run() {
 		close(c.sendQ)
 		<-c.writerDone
 	}()
-	c.loop()
+	if c.version >= wire.Version2 {
+		c.loopV2()
+	} else {
+		c.loop()
+	}
 }
 
 // handshake reads the Hello, negotiates a version, opens the bridged
@@ -249,7 +343,7 @@ func (c *conn) handshake() bool {
 		c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
 		return false
 	}
-	ver, err := wire.Negotiate(h.MinVersion, h.MaxVersion)
+	ver, err := wire.NegotiateCapped(h.MinVersion, h.MaxVersion, c.srv.cfg.MaxWireVersion)
 	if err != nil {
 		c.sendNow(wire.OpError, wire.EncodeError(wire.ECodeVersion, err.Error()))
 		return false
@@ -275,13 +369,17 @@ func (c *conn) handshake() bool {
 	}
 	c.srv.authResult(true)
 	c.sess = sess
+	c.version = ver
 	w := wire.Welcome{
 		Version:     ver,
 		SessionID:   sess.ID(),
 		SegmentSize: sess.Segment().Size,
 		ChunkSize:   uint32(c.srv.m.Cost.CryptoChunk),
-		MaxData:     wire.MaxData,
+		MaxData:     uint32(c.srv.cfg.MaxData),
 		Enclave:     c.srv.ge.Measurement(),
+	}
+	if ver >= wire.Version2 {
+		w.MaxInFlight = uint16(c.srv.cfg.MaxInFlight)
 	}
 	c.sendNow(wire.OpWelcome, w.Encode())
 	return true
@@ -339,6 +437,332 @@ func (c *conn) loop() {
 			return
 		}
 	}
+}
+
+// tReq is one tagged request handed from the v2 read loop to the
+// executor. payload (non-nil for HtoD) is pooled and owned by the
+// receiver: the executor releases it after bridging the transfer.
+type tReq struct {
+	tag     uint32
+	req     hix.Request
+	payload *wire.Buf
+}
+
+func (r *tReq) release() {
+	if r.payload != nil {
+		r.payload.Release()
+		r.payload = nil
+	}
+}
+
+// loopV2 is the pipelined serving state: a read loop dispatches tagged
+// requests onto a serial executor through a bounded queue, so up to
+// MaxInFlight requests overlap their wire transfer and queueing with
+// execution while the session still observes exactly the submission
+// order — the lock-step op sequence, hence byte-identical ciphertext.
+func (c *conn) loopV2() {
+	execQ := make(chan *tReq, c.srv.cfg.MaxInFlight)
+	execDone := make(chan struct{})
+	go c.executeV2(execQ, execDone)
+	sayGoodbye := c.readLoopV2(execQ)
+	// Drain order: stop reading, let the executor finish (and flush
+	// replies for) everything already queued, then say Goodbye.
+	close(execQ)
+	<-execDone
+	if sayGoodbye && !c.aborted.Load() {
+		c.send(wire.OpGoodbye, nil)
+	}
+}
+
+// readLoopV2 reads tagged requests (each with its contiguous payload
+// frames) and queues them for execution. It reports whether the
+// connection should end with a Goodbye (graceful drain); a client
+// close ends the loop too, but its Goodbye is the executor's to send
+// after the close reply.
+func (c *conn) readLoopV2(execQ chan<- *tReq) (sayGoodbye bool) {
+	for {
+		if c.wfailed.Load() || c.aborted.Load() {
+			return false
+		}
+		if err := c.waitFrame(); err != nil {
+			switch {
+			case err == errDrained:
+				return true
+			case err == errAborted, err == io.EOF:
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				if c.aborted.Load() {
+					return false
+				}
+				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, "idle timeout"))
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				c.srv.logf("netserve: %v", err)
+			default:
+				c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+			}
+			return false
+		}
+		// Same injection point as the v1 loop: the drop fires as a
+		// request arrives — abrupt close, no Goodbye.
+		if c.srv.cfg.Faults.Fire(faults.NetDrop) {
+			c.srv.logf("netserve: injected connection drop")
+			return false
+		}
+		c.setBusy(true)
+		r, err := c.readRequestV2()
+		c.setBusy(false)
+		if err != nil {
+			if c.aborted.Load() {
+				return false
+			}
+			c.srv.logf("netserve: %v", err)
+			return false
+		}
+		isClose := r.req.Type == hix.ReqClose
+		execQ <- r
+		if isClose {
+			// The client promises no frames after its close request;
+			// stop reading so the executor's Goodbye is the last word.
+			return false
+		}
+	}
+}
+
+// readRequestV2 reads one tagged request frame plus, for HtoD, its
+// contiguous same-tag Data frames into a pooled transfer buffer. Any
+// protocol violation queues an Error frame (where one applies) and is
+// terminal.
+func (c *conn) readRequestV2() (*tReq, error) {
+	op, buf, err := c.readFrameP()
+	if err != nil {
+		if !errors.Is(err, wire.ErrShortFrame) && err != io.EOF {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		}
+		return nil, err
+	}
+	defer buf.Release()
+	if op != wire.OpTRequest {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+			fmt.Sprintf("expected tagged request, got %v", op)))
+		return nil, fmt.Errorf("expected tagged request, got %v", op)
+	}
+	var body []byte
+	if buf != nil {
+		body = buf.Bytes()
+	}
+	tag, reqBody, err := wire.SplitTag(body)
+	if err != nil {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		return nil, err
+	}
+	req, err := hix.DecodeRequest(reqBody)
+	if err != nil {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, err.Error()))
+		return nil, err
+	}
+	r := &tReq{tag: tag, req: req}
+	if req.Type != hix.ReqMemcpyHtoD || req.Flags&gpu.FlagSynthetic != 0 {
+		// Synthetic-flagged requests are rejected by the executor
+		// before any payload is consumed, as in v1.
+		return r, nil
+	}
+	if req.Len == 0 || req.Len > c.srv.cfg.MaxTransfer {
+		// Reject before consuming payload; the stream is desynced, so
+		// this is terminal (mirrors the v1 handler). Error frames are
+		// untagged: they condemn the connection, not one request.
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest,
+			fmt.Sprintf("HtoD length %d out of range (max %d)", req.Len, c.srv.cfg.MaxTransfer)))
+		return nil, fmt.Errorf("HtoD length %d out of range", req.Len)
+	}
+	xfer := wire.GetBuf(int(req.Len))
+	dst := xfer.Bytes()
+	got := 0
+	for got < len(dst) {
+		op, cb, err := c.readFrameP()
+		if err != nil {
+			xfer.Release()
+			return nil, fmt.Errorf("HtoD payload: %w", err)
+		}
+		var cbody []byte
+		if cb != nil {
+			cbody = cb.Bytes()
+		}
+		if op != wire.OpTData {
+			cb.Release()
+			xfer.Release()
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("expected tagged data, got %v", op)))
+			return nil, fmt.Errorf("HtoD payload: unexpected %v", op)
+		}
+		ctag, chunk, terr := wire.SplitTag(cbody)
+		if terr != nil {
+			cb.Release()
+			xfer.Release()
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto, terr.Error()))
+			return nil, terr
+		}
+		if ctag != tag {
+			cb.Release()
+			xfer.Release()
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("HtoD payload tag %#x, want %#x", ctag, tag)))
+			return nil, fmt.Errorf("HtoD payload tag mismatch")
+		}
+		// Exact framing, as in v1: each chunk carries exactly
+		// min(MaxData, remaining) bytes or the stream has desynced.
+		want := min(c.srv.cfg.MaxData, len(dst)-got)
+		if len(chunk) != want {
+			cb.Release()
+			xfer.Release()
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
+				fmt.Sprintf("HtoD payload desync: %d-byte frame at offset %d, want exactly %d",
+					len(chunk), got, want)))
+			return nil, fmt.Errorf("HtoD payload desync (%d at %d, want %d)", len(chunk), got, want)
+		}
+		copy(dst[got:], chunk)
+		got += len(chunk)
+		cb.Release()
+	}
+	r.payload = xfer
+	return r, nil
+}
+
+// executeV2 runs queued requests serially — the determinism and
+// identity contract — and routes tagged replies through the send
+// queue. A terminal error aborts the read loop and drains the rest of
+// the queue without executing it.
+func (c *conn) executeV2(execQ <-chan *tReq, done chan<- struct{}) {
+	defer close(done)
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.logf("netserve: executor panic: %v", r)
+			c.abortV2()
+		}
+	}()
+	failed := false
+	for r := range execQ {
+		if failed || c.wfailed.Load() {
+			r.release()
+			continue
+		}
+		connDone, err := c.handleRequestV2(r)
+		r.release()
+		if err != nil {
+			c.srv.logf("netserve: request: %v", err)
+			c.abortV2()
+			failed = true
+		}
+		if connDone {
+			failed = true // drop anything queued behind the close
+		}
+	}
+}
+
+// abortV2 stops the v2 read loop after a terminal executor error: the
+// flag makes the loop exit and the deadline write unblocks a read
+// already in progress.
+func (c *conn) abortV2() {
+	c.readMu.Lock()
+	c.aborted.Store(true)
+	_ = c.nc.SetReadDeadline(time.Now())
+	c.readMu.Unlock()
+}
+
+// handleRequestV2 bridges one tagged request onto the session; the
+// payload for HtoD was already assembled by the read loop. Reports
+// done=true after a client close (Goodbye has been queued).
+func (c *conn) handleRequestV2(r *tReq) (done bool, err error) {
+	req := r.req
+	if req.Flags&gpu.FlagSynthetic != 0 {
+		return false, c.replyT(r.tag, hix.Response{Status: hix.RespBadRequest})
+	}
+	switch req.Type {
+	case hix.ReqMemAlloc:
+		ptr, err := c.sess.MemAlloc(req.Size)
+		return false, c.replyErrT(r.tag, err, uint64(ptr))
+	case hix.ReqManagedAlloc:
+		ptr, err := c.sess.ManagedAlloc(req.Size)
+		return false, c.replyErrT(r.tag, err, uint64(ptr))
+	case hix.ReqMemFree, hix.ReqManagedFree:
+		return false, c.replyErrT(r.tag, c.sess.MemFree(hixrt.Ptr(req.Ptr)), 0)
+	case hix.ReqMemcpyHtoD:
+		return false, c.replyErrT(r.tag, c.sess.MemcpyHtoD(hixrt.Ptr(req.Ptr), r.payload.Bytes(), int(req.Len)), 0)
+	case hix.ReqMemcpyDtoH:
+		return false, c.handleDtoHV2(r.tag, req)
+	case hix.ReqLaunch:
+		if c.srv.cfg.Faults.Fire(faults.GPUDeviceFault) {
+			c.send(wire.OpError, wire.EncodeError(wire.ECodeServer, "injected device fault"))
+			return false, errors.New("injected device fault")
+		}
+		return false, c.replyErrT(r.tag, c.sess.Launch(req.Kernel, req.Params), 0)
+	case hix.ReqClose:
+		if err := c.replyErrT(r.tag, c.sess.Close(), 0); err != nil {
+			return true, err
+		}
+		c.send(wire.OpGoodbye, nil)
+		return true, nil
+	default:
+		return false, c.replyT(r.tag, hix.Response{Status: hix.RespBadRequest})
+	}
+}
+
+// handleDtoHV2 bridges a download and streams it back as tagged Data
+// frames (each a pooled copy the writer releases) after the response.
+func (c *conn) handleDtoHV2(tag uint32, req hix.Request) error {
+	if req.Len == 0 || req.Len > c.srv.cfg.MaxTransfer {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest,
+			fmt.Sprintf("DtoH length %d out of range (max %d)", req.Len, c.srv.cfg.MaxTransfer)))
+		return fmt.Errorf("DtoH length %d out of range", req.Len)
+	}
+	xfer := wire.GetBuf(int(req.Len))
+	defer xfer.Release()
+	buf := xfer.Bytes()
+	err := c.sess.MemcpyDtoH(buf, hixrt.Ptr(req.Ptr), len(buf))
+	if rerr := c.replyErrT(tag, err, 0); rerr != nil {
+		return rerr
+	}
+	if err != nil {
+		return nil // error response sent; no payload follows
+	}
+	for off := 0; off < len(buf); off += c.srv.cfg.MaxData {
+		end := min(off+c.srv.cfg.MaxData, len(buf))
+		// Each chunk is copied into its own pooled buffer so the shared
+		// xfer buffer can recycle as soon as this handler returns,
+		// regardless of how far behind the writer is.
+		cb := wire.GetBuf(end - off)
+		copy(cb.Bytes(), buf[off:end])
+		if !c.sendT(wire.OpTData, tag, cb.Bytes(), cb) {
+			return errors.New("DtoH payload: send queue failed")
+		}
+	}
+	return nil
+}
+
+// replyErrT is replyErr for tagged replies.
+func (c *conn) replyErrT(tag uint32, err error, value uint64) error {
+	switch {
+	case err == nil:
+		return c.replyT(tag, hix.Response{Status: hix.RespOK, Value: value})
+	case errors.Is(err, hixrt.ErrAuth):
+		return c.replyT(tag, hix.Response{Status: hix.RespAuthFailed})
+	case errors.Is(err, hixrt.ErrRequest):
+		return c.replyT(tag, hix.Response{Status: hix.RespError})
+	case errors.Is(err, hixrt.ErrClosed):
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeRequest, "session closed"))
+		return err
+	default:
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeServer, err.Error()))
+		return err
+	}
+}
+
+// replyT queues one tagged Response frame, stamped with the session's
+// simulated completion instant.
+func (c *conn) replyT(tag uint32, resp hix.Response) error {
+	resp.CompleteNS = int64(c.sess.Now())
+	if !c.sendT(wire.OpTResponse, tag, resp.Encode(), nil) {
+		return errors.New("netserve: send queue failed")
+	}
+	return nil
 }
 
 // handleRequest bridges one wire request onto the session. It reports
@@ -412,7 +836,7 @@ func (c *conn) handleHtoD(req hix.Request) error {
 		// over-send or short chunk means the peer's framing has
 		// desynced from ours — terminal, before any partial payload
 		// reaches the session.
-		want := min(wire.MaxData, len(buf)-got)
+		want := min(c.srv.cfg.MaxData, len(buf)-got)
 		if len(body) != want {
 			c.send(wire.OpError, wire.EncodeError(wire.ECodeProto,
 				fmt.Sprintf("HtoD payload desync: %d-byte frame at offset %d, want exactly %d",
@@ -441,8 +865,8 @@ func (c *conn) handleDtoH(req hix.Request) error {
 	if err != nil {
 		return nil // error response sent; no payload follows
 	}
-	for off := 0; off < len(buf); off += wire.MaxData {
-		end := min(off+wire.MaxData, len(buf))
+	for off := 0; off < len(buf); off += c.srv.cfg.MaxData {
+		end := min(off+c.srv.cfg.MaxData, len(buf))
 		if !c.send(wire.OpData, buf[off:end]) {
 			return errors.New("DtoH payload: send queue failed")
 		}

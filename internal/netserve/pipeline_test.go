@@ -1,0 +1,270 @@
+package netserve_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/netserve"
+	"repro/internal/wire"
+)
+
+// TestVersionNegotiationCompat: a v2 stack must interoperate with a
+// v1-capped peer on either side, settling on lock-step; two v2 peers
+// settle on the pipelined transport with the negotiated window.
+func TestVersionNegotiationCompat(t *testing.T) {
+	t.Run("server capped at v1", func(t *testing.T) {
+		_, addr := startServer(t, netserve.Config{MaxWireVersion: wire.Version1})
+		s, err := hixrt.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Version() != wire.Version1 {
+			t.Fatalf("version %d, want 1", s.Version())
+		}
+		if s.MaxInFlight() != 1 {
+			t.Fatalf("MaxInFlight %d, want 1 on lock-step", s.MaxInFlight())
+		}
+		if err := runMatrixAdd(s, 12); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("client capped at v1", func(t *testing.T) {
+		_, addr := startServer(t, netserve.Config{})
+		s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{MaxWireVersion: wire.Version1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Version() != wire.Version1 {
+			t.Fatalf("version %d, want 1", s.Version())
+		}
+		if err := runMatrixAdd(s, 12); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("both v2, client window cap", func(t *testing.T) {
+		_, addr := startServer(t, netserve.Config{MaxInFlight: 16})
+		s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{MaxInFlight: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Version() != wire.Version2 {
+			t.Fatalf("version %d, want 2", s.Version())
+		}
+		if s.MaxInFlight() != 3 {
+			t.Fatalf("MaxInFlight %d, want client cap 3", s.MaxInFlight())
+		}
+		if err := runMatrixAdd(s, 12); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("server bound wins below client cap", func(t *testing.T) {
+		_, addr := startServer(t, netserve.Config{MaxInFlight: 2})
+		s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{MaxInFlight: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MaxInFlight() != 2 {
+			t.Fatalf("MaxInFlight %d, want server bound 2", s.MaxInFlight())
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPipelinedStartAPI keeps a window of transfers and launches in
+// flight against a real server and verifies every round trip
+// bit-exactly.
+func TestPipelinedStartAPI(t *testing.T) {
+	_, addr := startServer(t, netserve.Config{MaxInFlight: 8})
+	s, err := hixrt.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 6
+	const size = 96 << 10 // several wire chunks per transfer
+	ptrs := make([]hixrt.Ptr, n)
+	bufs := make([][]byte, n)
+	for i := range ptrs {
+		p, err := s.MemAlloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs[i] = p
+		bufs[i] = make([]byte, size)
+		for j := range bufs[i] {
+			bufs[i][j] = byte(i*31 + j)
+		}
+	}
+	// Phase 1: all uploads in flight at once.
+	ups := make([]*hixrt.Pending, n)
+	for i := range ptrs {
+		ups[i] = s.StartMemcpyHtoD(ptrs[i], bufs[i])
+	}
+	for i, p := range ups {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+	}
+	// Phase 2: a launch riding the same window as the readbacks that
+	// follow it — completion order is the server's serial execution
+	// order, routing is by tag.
+	lp := s.StartLaunch("nop", [gpu.NumKernelParams]uint64{})
+	outs := make([][]byte, n)
+	downs := make([]*hixrt.Pending, n)
+	for i := range ptrs {
+		outs[i] = make([]byte, size)
+		downs[i] = s.StartMemcpyDtoH(outs[i], ptrs[i])
+	}
+	if err := lp.Wait(); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	for i, p := range downs {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("readback %d: %v", i, err)
+		}
+		if !bytes.Equal(outs[i], bufs[i]) {
+			t.Fatalf("round-trip corruption on buffer %d", i)
+		}
+	}
+	for _, p := range ptrs {
+		if err := s.MemFree(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tframe builds a raw tagged frame: outer header, then the tag as the
+// first four body bytes.
+func tframe(op byte, tag uint32, body []byte) []byte {
+	raw := make([]byte, wire.HeaderSize+wire.TagSize+len(body))
+	binary.LittleEndian.PutUint32(raw, uint32(wire.TagSize+len(body)))
+	raw[4] = op
+	binary.LittleEndian.PutUint32(raw[wire.HeaderSize:], tag)
+	copy(raw[wire.HeaderSize+wire.TagSize:], body)
+	return raw
+}
+
+// helloV2 performs a full-range handshake and asserts the server
+// answered v2.
+func (r *rawConn) helloV2() {
+	r.t.Helper()
+	h := wire.Hello{MinVersion: wire.MinVersion, MaxVersion: wire.MaxVersion,
+		Measurement: hixrt.DefaultRemoteMeasurement()}
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.OpHello, h.Encode()); err != nil {
+		r.t.Fatal(err)
+	}
+	r.write(buf.Bytes())
+	op, body, err := wire.ReadFrame(r.nc)
+	if err != nil || op != wire.OpWelcome {
+		r.t.Fatalf("handshake: op=%v err=%v", op, err)
+	}
+	w, err := wire.DecodeWelcome(body)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if w.Version != wire.Version2 || w.MaxInFlight < 1 {
+		r.t.Fatalf("welcome %+v, want v2 with a window", w)
+	}
+}
+
+// TestMalformedFramesV2 throws v2-specific protocol garbage at a live
+// server: tag truncation, v1 frames on a v2 stream, wrong-tag payload
+// chunks. Every case must yield a typed error frame and leave the
+// server serving.
+func TestMalformedFramesV2(t *testing.T) {
+	_, addr := startServer(t, netserve.Config{ReadTimeout: 1 * time.Second})
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, r *rawConn)
+	}{
+		{"untagged request on v2 stream", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemAlloc, Size: 64}
+			r.write(frame(byte(wire.OpRequest), req.Encode()))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"tag truncated", func(t *testing.T, r *rawConn) {
+			r.write(frame(byte(wire.OpTRequest), []byte{1, 2}))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"malformed request after tag", func(t *testing.T, r *rawConn) {
+			r.write(tframe(byte(wire.OpTRequest), 1, []byte("short")))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"huge HtoD length", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Len: 1 << 40}
+			r.write(tframe(byte(wire.OpTRequest), 1, req.Encode()))
+			r.expectError(wire.ECodeRequest)
+		}},
+		{"HtoD payload wrong tag", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Len: 8}
+			r.write(tframe(byte(wire.OpTRequest), 1, req.Encode()))
+			r.write(tframe(byte(wire.OpTData), 2, make([]byte, 8)))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"HtoD payload untagged", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Len: 8}
+			r.write(tframe(byte(wire.OpTRequest), 1, req.Encode()))
+			r.write(frame(byte(wire.OpData), make([]byte, 8)))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"HtoD short chunk desync", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Len: 8}
+			r.write(tframe(byte(wire.OpTRequest), 1, req.Encode()))
+			r.write(tframe(byte(wire.OpTData), 1, make([]byte, 4)))
+			r.expectError(wire.ECodeProto)
+		}},
+		{"synthetic flag rejected per tag", func(t *testing.T, r *rawConn) {
+			req := hix.Request{Type: hix.ReqMemcpyHtoD, Len: 16, Flags: gpu.FlagSynthetic}
+			r.write(tframe(byte(wire.OpTRequest), 7, req.Encode()))
+			op, body, err := wire.ReadFrame(r.nc)
+			if err != nil || op != wire.OpTResponse {
+				t.Fatalf("op=%v err=%v", op, err)
+			}
+			tag, rest, err := wire.SplitTag(body)
+			if err != nil || tag != 7 {
+				t.Fatalf("tag=%d err=%v, want 7", tag, err)
+			}
+			resp, err := hix.DecodeResponse(rest)
+			if err != nil || resp.Status != hix.RespBadRequest {
+				t.Fatalf("resp=%+v err=%v, want RespBadRequest", resp, err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := dialRaw(t, addr)
+			r.helloV2()
+			tc.run(t, r)
+			// The server must still serve a well-formed client.
+			s, err := hixrt.Dial(addr)
+			if err != nil {
+				t.Fatalf("server wedged after %q: %v", tc.name, err)
+			}
+			if err := runMatrixAdd(s, 8); err != nil {
+				t.Fatalf("server broken after %q: %v", tc.name, err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/hix"
 	"repro/internal/hixrt"
 	"repro/internal/machine"
+	"repro/internal/wire"
 )
 
 // Server errors.
@@ -94,6 +95,18 @@ type Config struct {
 	// MaxTransfer bounds one memcpy request's byte count (default
 	// 64 MiB); larger requests are a protocol violation.
 	MaxTransfer uint64
+	// MaxInFlight bounds concurrently outstanding tagged requests per
+	// v2 connection and is advertised in the v2 Welcome (default 32).
+	MaxInFlight int
+	// MaxData bounds one Data frame's payload on this server,
+	// advertised in the Welcome (default wire.MaxData, which is also
+	// the hard cap). Smaller values trade per-frame overhead for
+	// finer-grained streaming — a latency/bench knob.
+	MaxData int
+	// MaxWireVersion caps the protocol version the server negotiates
+	// (0 means the newest it speaks). Setting it to wire.Version1
+	// forces lock-step connections — compatibility testing.
+	MaxWireVersion uint16
 
 	// SessionWorkers and SessionWindowSlots configure each bridged
 	// session's crypto worker pool and request window (defaults: the
@@ -173,6 +186,18 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxTransfer == 0 {
 		cfg.MaxTransfer = 64 << 20
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 32
+	}
+	if cfg.MaxInFlight > 0xFFFF {
+		cfg.MaxInFlight = 0xFFFF
+	}
+	if cfg.MaxData <= 0 || cfg.MaxData > wire.MaxData {
+		cfg.MaxData = wire.MaxData
+	}
+	if cfg.MaxWireVersion == 0 || cfg.MaxWireVersion > wire.MaxVersion {
+		cfg.MaxWireVersion = wire.MaxVersion
 	}
 	if cfg.AuthFailureThreshold == 0 {
 		cfg.AuthFailureThreshold = 4

@@ -25,13 +25,26 @@
 // Decoding is strict: frames above MaxBody, unknown opcodes, short
 // reads, bad magic, and unsatisfiable version ranges all surface as
 // typed errors — never panics.
+//
+// Version 2 adds pipelining: the tagged opcodes (OpTRequest,
+// OpTResponse, OpTData) carry a uint32 tag directly after the opcode —
+// encoded as the first TagSize bytes of the frame body, so the outer
+// 5-byte framing (and anything that parses it, like the fault plane's
+// stream scanner) is identical across versions. Tags let a connection
+// keep many requests in flight and match replies out of order; the
+// server's in-flight bound travels in the v2 Welcome (MaxInFlight).
+// Version negotiation is unchanged, and a v2 implementation talking to
+// a v1 peer falls back to the untagged lock-step opcodes.
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 
 	"repro/internal/attest"
 )
@@ -40,10 +53,14 @@ import (
 const (
 	// Magic opens every Hello and Welcome body ("HIXW").
 	Magic = 0x48495857
-	// Version1 is the first (and current) protocol version.
+	// Version1 is the first protocol version: strict lock-step, one
+	// request/response exchange in flight per connection.
 	Version1 = 1
+	// Version2 adds tagged frames (pipelined requests with out-of-order
+	// completion) and the MaxInFlight bound in the Welcome.
+	Version2 = 2
 	// MaxVersion is the newest version this implementation speaks.
-	MaxVersion = Version1
+	MaxVersion = Version2
 	// MinVersion is the oldest version this implementation accepts.
 	MinVersion = Version1
 )
@@ -52,12 +69,17 @@ const (
 const (
 	// HeaderSize is the fixed frame header: uint32 length + uint8 opcode.
 	HeaderSize = 5
+	// TagSize is the width of the request tag tagged (v2) frames carry
+	// directly after the opcode, as the leading bytes of the body.
+	TagSize = 4
 	// MaxBody bounds one frame's body. A decoder must reject larger
 	// lengths before allocating, so a hostile peer cannot balloon
 	// memory with one forged header.
 	MaxBody = 1 << 20
 	// MaxData is the largest payload slice a single Data frame may
 	// carry; bulk transfers split into as many Data frames as needed.
+	// Servers may advertise a smaller per-connection bound in the
+	// Welcome, but never a larger one.
 	MaxData = 256 << 10
 )
 
@@ -80,9 +102,18 @@ const (
 	// OpGoodbye tells the client the server is draining and will accept
 	// no further requests on this connection.
 	OpGoodbye
+	// OpTRequest is the tagged (v2) form of OpRequest: tag + request.
+	OpTRequest
+	// OpTResponse is the tagged (v2) form of OpResponse: tag + response.
+	OpTResponse
+	// OpTData is the tagged (v2) form of OpData: tag + payload chunk.
+	OpTData
 
-	opMax = OpGoodbye
+	opMax = OpTData
 )
+
+// Tagged reports whether op carries a leading uint32 tag in its body.
+func (o Opcode) Tagged() bool { return o >= OpTRequest && o <= OpTData }
 
 func (o Opcode) String() string {
 	switch o {
@@ -100,6 +131,12 @@ func (o Opcode) String() string {
 		return "error"
 	case OpGoodbye:
 		return "goodbye"
+	case OpTRequest:
+		return "trequest"
+	case OpTResponse:
+		return "tresponse"
+	case OpTData:
+		return "tdata"
 	default:
 		return fmt.Sprintf("Opcode(%d)", uint8(o))
 	}
@@ -119,7 +156,19 @@ var (
 	ErrVersion = errors.New("wire: unsupported protocol version")
 	// ErrBadFrame reports a structurally invalid frame body.
 	ErrBadFrame = errors.New("wire: malformed frame body")
+	// ErrTagTruncated reports a tagged frame whose body is shorter than
+	// the tag itself.
+	ErrTagTruncated = errors.New("wire: tagged frame truncated before its tag")
 )
+
+// SplitTag splits a tagged frame body into its tag and payload. A body
+// shorter than the tag is ErrTagTruncated.
+func SplitTag(body []byte) (uint32, []byte, error) {
+	if len(body) < TagSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrTagTruncated, len(body))
+	}
+	return binary.LittleEndian.Uint32(body), body[TagSize:], nil
+}
 
 // Remote error codes carried by OpError frames.
 const (
@@ -198,6 +247,192 @@ func ReadFrame(r io.Reader) (Opcode, []byte, error) {
 	return op, body, nil
 }
 
+// Buf is a pooled frame body. Ownership contract: whoever obtains a
+// Buf (from GetBuf or ReadFramePooled) owns it and must call Release
+// exactly once when done — after that the backing bytes may be handed
+// to another frame, so neither Bytes() nor any sub-slice of it may be
+// retained across Release. Handing a Buf to another goroutine hands
+// the release obligation with it.
+type Buf struct {
+	b []byte
+}
+
+// Bytes returns the buffer contents. The slice is only valid until
+// Release.
+func (b *Buf) Bytes() []byte { return b.b }
+
+// Release returns the buffer to the pool. The Buf and any slice
+// previously returned by Bytes must not be used afterwards.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	b.b = b.b[:0]
+	bufPool.Put(b)
+}
+
+// Pooled bodies are sized for the common worst case — a full Data
+// chunk plus a tag and slack for small control frames — and grow on
+// demand for rarer larger bodies (which then recycle at their larger
+// size).
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{b: make([]byte, 0, MaxData+TagSize+64)} },
+}
+
+// GetBuf returns a pooled buffer with length n (contents undefined).
+// The caller owns the result and must Release it exactly once.
+func GetBuf(n int) *Buf {
+	b := bufPool.Get().(*Buf)
+	if cap(b.b) < n {
+		b.b = make([]byte, n)
+	} else {
+		b.b = b.b[:n]
+	}
+	return b
+}
+
+// ReadFramePooled is ReadFrame with the body read into a pooled
+// buffer. Empty bodies return a nil *Buf (Release on nil is a no-op).
+// The caller owns the returned Buf — see the ownership contract on
+// Buf. The body is pooled but the stack header buffer still escapes
+// through the io.Reader call; the truly zero-allocation read path is a
+// persistent FrameReader.
+func ReadFramePooled(r io.Reader) (Opcode, *Buf, error) {
+	fr := FrameReader{r: r}
+	return fr.Next()
+}
+
+// FrameReader reads frames into pooled buffers through a persistent
+// header scratch, so the steady-state read path performs zero
+// allocations per frame. Not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	hdr [HeaderSize]byte
+}
+
+// NewFrameReader wraps r. Callers wanting buffered reads should hand
+// in a bufio.Reader themselves (the reader takes no stance on
+// buffering so Peek-based idle waits stay possible).
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads and validates one frame, returning the body as a pooled
+// buffer the caller must Release exactly once (nil for empty bodies).
+func (fr *FrameReader) Next() (Opcode, *Buf, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %w", ErrShortFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[0:])
+	op := Opcode(fr.hdr[4])
+	if n > MaxBody {
+		return 0, nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooBig, n, MaxBody)
+	}
+	if op == 0 || op > opMax {
+		return 0, nil, fmt.Errorf("%w: %d", ErrUnknownOpcode, uint8(op))
+	}
+	if n == 0 {
+		return op, nil, nil
+	}
+	buf := GetBuf(int(n))
+	if _, err := io.ReadFull(fr.r, buf.b); err != nil {
+		buf.Release()
+		return 0, nil, fmt.Errorf("%w: body: %w", ErrShortFrame, err)
+	}
+	return op, buf, nil
+}
+
+// vectoredMin is the body size above which FrameWriter stops copying
+// through its bufio buffer and hands header+body to the kernel as one
+// vectored write (net.Buffers → writev). Below it, the copy is cheaper
+// than the syscall bookkeeping and lets many small frames coalesce
+// into one write.
+const vectoredMin = 8 << 10
+
+// FrameWriter writes frames through a reused buffer with a vectored
+// large-body path, so the steady-state write path performs zero
+// allocations: small frames coalesce in an internal bufio.Writer and
+// large bodies go out via net.Buffers (writev on TCP) without being
+// copied into the buffer. Not safe for concurrent use; callers must
+// Flush before the peer is expected to act on a frame.
+type FrameWriter struct {
+	w   io.Writer
+	bw  *bufio.Writer
+	hdr [HeaderSize + TagSize]byte
+	// arr persistently backs the two-element net.Buffers handed to
+	// WriteTo, which consumes the slice — rebuilt from arr each call so
+	// no per-call allocation happens.
+	arr [2][]byte
+	nb  net.Buffers
+}
+
+// NewFrameWriter wraps w. bufSize <= 0 selects a 32 KiB buffer.
+func NewFrameWriter(w io.Writer, bufSize int) *FrameWriter {
+	if bufSize <= 0 {
+		bufSize = 32 << 10
+	}
+	return &FrameWriter{w: w, bw: bufio.NewWriterSize(w, bufSize)}
+}
+
+// WriteFrame buffers one untagged frame.
+func (fw *FrameWriter) WriteFrame(op Opcode, body []byte) error {
+	return fw.frame(op, 0, false, body)
+}
+
+// WriteTagged buffers one tagged (v2) frame: the tag is encoded as the
+// leading TagSize bytes of the body.
+func (fw *FrameWriter) WriteTagged(op Opcode, tag uint32, body []byte) error {
+	if !op.Tagged() {
+		return fmt.Errorf("%w: %s is not a tagged opcode", ErrBadFrame, op)
+	}
+	return fw.frame(op, tag, true, body)
+}
+
+// Flush pushes everything buffered to the underlying writer.
+func (fw *FrameWriter) Flush() error { return fw.bw.Flush() }
+
+func (fw *FrameWriter) frame(op Opcode, tag uint32, tagged bool, body []byte) error {
+	bodyLen := len(body)
+	hdrLen := HeaderSize
+	if tagged {
+		bodyLen += TagSize
+		hdrLen += TagSize
+	}
+	if bodyLen > MaxBody {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, bodyLen)
+	}
+	if op == 0 || op > opMax {
+		return fmt.Errorf("%w: %d", ErrUnknownOpcode, op)
+	}
+	binary.LittleEndian.PutUint32(fw.hdr[0:], uint32(bodyLen))
+	fw.hdr[4] = byte(op)
+	if tagged {
+		binary.LittleEndian.PutUint32(fw.hdr[HeaderSize:], tag)
+	}
+	if len(body) >= vectoredMin {
+		// Large body: drain the buffer, then one vectored write of
+		// header+body straight from the caller's slice.
+		if err := fw.bw.Flush(); err != nil {
+			return err
+		}
+		fw.arr[0] = fw.hdr[:hdrLen]
+		fw.arr[1] = body
+		fw.nb = net.Buffers(fw.arr[:2])
+		_, err := fw.nb.WriteTo(fw.w)
+		fw.arr[0], fw.arr[1], fw.nb = nil, nil, nil
+		return err
+	}
+	if _, err := fw.bw.Write(fw.hdr[:hdrLen]); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := fw.bw.Write(body)
+	return err
+}
+
 // Hello is the client's handshake: the version range it speaks and its
 // attestation measurement, which the server uses as the identity (and
 // measured image) of the user enclave it hosts for this connection.
@@ -242,12 +477,21 @@ func DecodeHello(buf []byte) (Hello, error) {
 // Negotiate picks the highest mutually spoken version for a client
 // offering [lo, hi], or fails with ErrVersion.
 func Negotiate(lo, hi uint16) (uint16, error) {
-	v := uint16(MaxVersion)
+	return NegotiateCapped(lo, hi, MaxVersion)
+}
+
+// NegotiateCapped is Negotiate for a server that caps its own spoken
+// version below MaxVersion (compatibility testing, staged rollout).
+func NegotiateCapped(lo, hi, max uint16) (uint16, error) {
+	if max > MaxVersion {
+		max = MaxVersion
+	}
+	v := max
 	if hi < v {
 		v = hi
 	}
 	if v < lo || v < MinVersion {
-		return 0, fmt.Errorf("%w: client [%d,%d], server [%d,%d]", ErrVersion, lo, hi, MinVersion, MaxVersion)
+		return 0, fmt.Errorf("%w: client [%d,%d], server [%d,%d]", ErrVersion, lo, hi, MinVersion, max)
 	}
 	return v, nil
 }
@@ -255,21 +499,33 @@ func Negotiate(lo, hi uint16) (uint16, error) {
 // Welcome is the server's handshake acceptance: the negotiated version,
 // the session the connection was bridged onto, the transfer geometry
 // the client needs to chunk payloads, and the GPU enclave's measurement
-// for the client's records.
+// for the client's records. From Version2 on it also carries
+// MaxInFlight, the server's bound on concurrently outstanding tagged
+// requests per connection; a v1 Welcome omits the field (implicitly 1).
 type Welcome struct {
 	Version     uint16
 	SessionID   uint32
 	SegmentSize uint64
 	ChunkSize   uint32 // data-path pipeline chunk (cost model CryptoChunk)
 	MaxData     uint32 // largest payload per Data frame
+	MaxInFlight uint16 // v2+: outstanding tagged requests per connection
 	Enclave     attest.Measurement
 }
 
-const welcomeSize = 4 + 2 + 4 + 8 + 4 + 4 + len(attest.Measurement{})
+const (
+	welcomeSizeV1 = 4 + 2 + 4 + 8 + 4 + 4 + len(attest.Measurement{})
+	welcomeSizeV2 = welcomeSizeV1 + 2
+)
 
-// Encode serializes the Welcome body.
+// Encode serializes the Welcome body. The layout is version-dependent:
+// the MaxInFlight field exists only when the negotiated Version is 2 or
+// newer, so a v1 peer sees exactly the v1 body it expects.
 func (w *Welcome) Encode() []byte {
-	buf := make([]byte, welcomeSize)
+	size := welcomeSizeV1
+	if w.Version >= Version2 {
+		size = welcomeSizeV2
+	}
+	buf := make([]byte, size)
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], Magic)
 	le.PutUint16(buf[4:], w.Version)
@@ -278,13 +534,18 @@ func (w *Welcome) Encode() []byte {
 	le.PutUint32(buf[18:], w.ChunkSize)
 	le.PutUint32(buf[22:], w.MaxData)
 	copy(buf[26:], w.Enclave[:])
+	if w.Version >= Version2 {
+		le.PutUint16(buf[26+len(w.Enclave):], w.MaxInFlight)
+	}
 	return buf
 }
 
-// DecodeWelcome parses and validates a Welcome body.
+// DecodeWelcome parses and validates a Welcome body. The expected
+// length depends on the version the body itself declares: v1 bodies
+// must not carry the MaxInFlight field, v2 bodies must.
 func DecodeWelcome(buf []byte) (Welcome, error) {
-	if len(buf) != welcomeSize {
-		return Welcome{}, fmt.Errorf("%w: welcome length %d != %d", ErrBadFrame, len(buf), welcomeSize)
+	if len(buf) != welcomeSizeV1 && len(buf) != welcomeSizeV2 {
+		return Welcome{}, fmt.Errorf("%w: welcome length %d != %d or %d", ErrBadFrame, len(buf), welcomeSizeV1, welcomeSizeV2)
 	}
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != Magic {
@@ -300,8 +561,21 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 	if w.Version < MinVersion || w.Version > MaxVersion {
 		return Welcome{}, fmt.Errorf("%w: welcome version %d", ErrVersion, w.Version)
 	}
+	wantSize := welcomeSizeV1
+	if w.Version >= Version2 {
+		wantSize = welcomeSizeV2
+	}
+	if len(buf) != wantSize {
+		return Welcome{}, fmt.Errorf("%w: welcome length %d for version %d (want %d)", ErrBadFrame, len(buf), w.Version, wantSize)
+	}
 	if w.MaxData == 0 || w.MaxData > MaxData {
 		return Welcome{}, fmt.Errorf("%w: welcome max data %d", ErrBadFrame, w.MaxData)
+	}
+	if w.Version >= Version2 {
+		w.MaxInFlight = le.Uint16(buf[26+len(w.Enclave):])
+		if w.MaxInFlight == 0 {
+			return Welcome{}, fmt.Errorf("%w: welcome max in-flight 0", ErrBadFrame)
+		}
 	}
 	return w, nil
 }

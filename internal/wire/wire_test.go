@@ -147,8 +147,10 @@ func TestNegotiate(t *testing.T) {
 		ok     bool
 	}{
 		{1, 1, 1, true},
-		{1, 7, 1, true}, // client newer: server caps at its max
-		{2, 9, 0, false},
+		{1, 7, MaxVersion, true}, // client newer: server caps at its max
+		{1, 2, 2, true},
+		{2, 2, 2, true},
+		{3, 9, 0, false},
 		{0, 0, 0, false},
 	}
 	for _, tc := range cases {
@@ -162,21 +164,56 @@ func TestNegotiate(t *testing.T) {
 	}
 }
 
+func TestNegotiateCapped(t *testing.T) {
+	// A server capped at v1 settles a v2-capable client on v1.
+	if v, err := NegotiateCapped(1, MaxVersion, Version1); err != nil || v != Version1 {
+		t.Fatalf("capped at v1: got %d, %v", v, err)
+	}
+	// A cap above MaxVersion clamps to MaxVersion.
+	if v, err := NegotiateCapped(1, 9, 9); err != nil || v != MaxVersion {
+		t.Fatalf("cap above max: got %d, %v", v, err)
+	}
+	// A v2-only client cannot settle with a v1-capped server.
+	if _, err := NegotiateCapped(Version2, Version2, Version1); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v2-only vs v1 cap: got %v, want ErrVersion", err)
+	}
+}
+
 func TestWelcomeRoundTrip(t *testing.T) {
-	w := Welcome{
-		Version:     1,
-		SessionID:   42,
-		SegmentSize: 32 << 20,
-		ChunkSize:   4 << 20,
-		MaxData:     MaxData,
-		Enclave:     attest.Measure([]byte("gpu enclave")),
-	}
-	got, err := DecodeWelcome(w.Encode())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != w {
-		t.Fatalf("got %+v, want %+v", got, w)
+	for _, w := range []Welcome{
+		{
+			Version:     1,
+			SessionID:   42,
+			SegmentSize: 32 << 20,
+			ChunkSize:   4 << 20,
+			MaxData:     MaxData,
+			Enclave:     attest.Measure([]byte("gpu enclave")),
+		},
+		{
+			Version:     2,
+			SessionID:   43,
+			SegmentSize: 32 << 20,
+			ChunkSize:   4 << 20,
+			MaxData:     MaxData,
+			MaxInFlight: 32,
+			Enclave:     attest.Measure([]byte("gpu enclave")),
+		},
+	} {
+		enc := w.Encode()
+		wantLen := welcomeSizeV1
+		if w.Version >= Version2 {
+			wantLen = welcomeSizeV2
+		}
+		if len(enc) != wantLen {
+			t.Fatalf("v%d Welcome encodes to %d bytes, want %d", w.Version, len(enc), wantLen)
+		}
+		got, err := DecodeWelcome(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("got %+v, want %+v", got, w)
+		}
 	}
 }
 
@@ -195,6 +232,19 @@ func TestDecodeWelcomeMalformed(t *testing.T) {
 	hugeData := append([]byte(nil), good...)
 	binary.LittleEndian.PutUint32(hugeData[22:], MaxData+1)
 
+	goodV2 := (&Welcome{Version: 2, MaxData: MaxData, MaxInFlight: 8}).Encode()
+
+	// Declares v2 but carries only the v1 body (MaxInFlight missing).
+	v2Short := append([]byte(nil), goodV2[:welcomeSizeV1]...)
+
+	// Declares v1 but carries the trailing v2 field.
+	v1Long := append([]byte(nil), good...)
+	v1Long = append(v1Long, 8, 0)
+
+	// v2 body advertising a zero in-flight window.
+	zeroInflight := append([]byte(nil), goodV2...)
+	binary.LittleEndian.PutUint16(zeroInflight[welcomeSizeV1:], 0)
+
 	cases := []struct {
 		name string
 		buf  []byte
@@ -205,6 +255,9 @@ func TestDecodeWelcomeMalformed(t *testing.T) {
 		{"bad version", badVersion, ErrVersion},
 		{"zero max data", zeroData, ErrBadFrame},
 		{"huge max data", hugeData, ErrBadFrame},
+		{"v2 without max in-flight", v2Short, ErrBadFrame},
+		{"v1 with v2 trailer", v1Long, ErrBadFrame},
+		{"v2 zero max in-flight", zeroInflight, ErrBadFrame},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -236,16 +289,233 @@ func TestErrorRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSplitTag(t *testing.T) {
+	body := []byte{0x78, 0x56, 0x34, 0x12, 0xaa, 0xbb}
+	tag, payload, err := SplitTag(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 0x12345678 || !bytes.Equal(payload, []byte{0xaa, 0xbb}) {
+		t.Fatalf("got tag %#x payload %v", tag, payload)
+	}
+	// A tag with no payload is valid (tagged Goodbye-style control).
+	if tag, payload, err := SplitTag(body[:TagSize]); err != nil || tag != 0x12345678 || len(payload) != 0 {
+		t.Fatalf("tag-only body: tag %#x payload %v err %v", tag, payload, err)
+	}
+	for _, short := range [][]byte{nil, {}, {1}, {1, 2, 3}} {
+		if _, _, err := SplitTag(short); !errors.Is(err, ErrTagTruncated) {
+			t.Fatalf("SplitTag(%d bytes): got %v, want ErrTagTruncated", len(short), err)
+		}
+	}
+}
+
+func TestFrameWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf, 0)
+
+	small := []byte{1, 2, 3}
+	large := bytes.Repeat([]byte{0x5a}, MaxData) // above vectoredMin
+	if err := fw.WriteFrame(OpRequest, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteTagged(OpTRequest, 7, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteTagged(OpTData, 0xdeadbeef, large); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame(OpGoodbye, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	op, body, err := ReadFrame(&buf)
+	if err != nil || op != OpRequest || !bytes.Equal(body, small) {
+		t.Fatalf("frame 1: op=%v body=%d err=%v", op, len(body), err)
+	}
+	op, body, err = ReadFrame(&buf)
+	if err != nil || op != OpTRequest {
+		t.Fatalf("frame 2: op=%v err=%v", op, err)
+	}
+	tag, payload, err := SplitTag(body)
+	if err != nil || tag != 7 || !bytes.Equal(payload, small) {
+		t.Fatalf("frame 2: tag=%d payload=%d err=%v", tag, len(payload), err)
+	}
+	op, body, err = ReadFrame(&buf)
+	if err != nil || op != OpTData {
+		t.Fatalf("frame 3: op=%v err=%v", op, err)
+	}
+	tag, payload, err = SplitTag(body)
+	if err != nil || tag != 0xdeadbeef || !bytes.Equal(payload, large) {
+		t.Fatalf("frame 3: tag=%#x payload=%d err=%v", tag, len(payload), err)
+	}
+	op, body, err = ReadFrame(&buf)
+	if err != nil || op != OpGoodbye || len(body) != 0 {
+		t.Fatalf("frame 4: op=%v body=%d err=%v", op, len(body), err)
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameWriterRejectsBadFrames(t *testing.T) {
+	fw := NewFrameWriter(io.Discard, 0)
+	if err := fw.WriteFrame(OpData, make([]byte, MaxBody+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize: got %v", err)
+	}
+	// A tagged body at the MaxBody boundary overflows once the tag is added.
+	if err := fw.WriteTagged(OpTData, 1, make([]byte, MaxBody-TagSize+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("tagged oversize: got %v", err)
+	}
+	if err := fw.WriteFrame(0, nil); !errors.Is(err, ErrUnknownOpcode) {
+		t.Fatalf("opcode zero: got %v", err)
+	}
+	if err := fw.WriteTagged(OpData, 1, nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("WriteTagged with untagged opcode: got %v", err)
+	}
+}
+
+// TestFrameWriterInterleavedSizes drives the writer across the
+// buffered/vectored boundary in both directions and checks the byte
+// stream is identical to the plain WriteFrame encoding.
+func TestFrameWriterInterleavedSizes(t *testing.T) {
+	sizes := []int{0, 1, vectoredMin - 1, vectoredMin, vectoredMin + 1, MaxData, 3, MaxData / 2, 2}
+	var got, want bytes.Buffer
+	fw := NewFrameWriter(&got, 1<<10)
+	for i, n := range sizes {
+		body := bytes.Repeat([]byte{byte(i + 1)}, n)
+		if err := fw.WriteFrame(OpData, body); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.WriteTagged(OpTData, uint32(i), body); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&want, OpData, body); err != nil {
+			t.Fatal(err)
+		}
+		tagged := make([]byte, TagSize+len(body))
+		binary.LittleEndian.PutUint32(tagged, uint32(i))
+		copy(tagged[TagSize:], body)
+		if err := WriteFrame(&want, OpTData, tagged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("FrameWriter byte stream differs from WriteFrame encoding")
+	}
+}
+
+func TestReadFramePooledRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{nil, {0x42}, bytes.Repeat([]byte{0xab}, MaxData)}
+	for _, body := range bodies {
+		if err := WriteFrame(&buf, OpData, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, body := range bodies {
+		op, pb, err := ReadFramePooled(&buf)
+		if err != nil || op != OpData {
+			t.Fatalf("op=%v err=%v", op, err)
+		}
+		if len(body) == 0 {
+			if pb != nil {
+				t.Fatal("empty body returned a non-nil Buf")
+			}
+			continue
+		}
+		if !bytes.Equal(pb.Bytes(), body) {
+			t.Fatalf("pooled body %d bytes differs", len(body))
+		}
+		pb.Release()
+	}
+	if _, _, err := ReadFramePooled(&buf); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+// TestBufPoolNoAliasing proves the ownership contract: once a buffer
+// is Released and recycled into a later frame, the bytes handed to the
+// second reader are exactly the second frame's — nothing from the
+// first frame leaks through, even when the second frame is shorter.
+func TestBufPoolNoAliasing(t *testing.T) {
+	var buf bytes.Buffer
+	first := bytes.Repeat([]byte{0xee}, 1024)
+	second := bytes.Repeat([]byte{0x11}, 64) // shorter: would expose stale tail if length were wrong
+	if err := WriteFrame(&buf, OpData, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, OpData, second); err != nil {
+		t.Fatal(err)
+	}
+
+	_, pb1, err := ReadFramePooled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), pb1.Bytes()...)
+	pb1.Release()
+
+	_, pb2, err := ReadFramePooled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb2.Release()
+	if len(pb2.Bytes()) != len(second) || !bytes.Equal(pb2.Bytes(), second) {
+		t.Fatalf("recycled buffer returned %d bytes, want the %d-byte second frame", len(pb2.Bytes()), len(second))
+	}
+	if !bytes.Equal(snapshot, first) {
+		t.Fatal("snapshot taken before Release was corrupted")
+	}
+	// GetBuf must never hand out a buffer still visibly holding the
+	// released frame beyond the requested length.
+	g := GetBuf(8)
+	defer g.Release()
+	if len(g.Bytes()) != 8 {
+		t.Fatalf("GetBuf(8) length %d", len(g.Bytes()))
+	}
+}
+
 // FuzzReadFrame asserts the strict decoder never panics and only
-// returns typed errors on arbitrary input.
+// returns typed errors on arbitrary input, for both the allocating and
+// the pooled read path, including v2 tagged frames.
 func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(header(0, byte(OpGoodbye)))
 	f.Add(append(header(3, byte(OpData)), 1, 2, 3))
 	f.Add(header(MaxBody+1, byte(OpRequest)))
 	f.Add(header(12, 99))
+	// v2 tagged seeds: a well-formed tagged frame, a tag truncated
+	// mid-body, a tagged reply with an arbitrary (unknown) tag, and a
+	// v1/v2 mixed stream.
+	f.Add(append(header(TagSize+2, byte(OpTRequest)), 1, 0, 0, 0, 0xca, 0xfe))
+	f.Add(append(header(2, byte(OpTData)), 9, 9))
+	f.Add(append(header(TagSize, byte(OpTResponse)), 0xff, 0xff, 0xff, 0xff))
+	f.Add(append(append(header(1, byte(OpData)), 7), append(header(TagSize+1, byte(OpTData)), 3, 0, 0, 0, 8)...))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		op, body, err := ReadFrame(bytes.NewReader(raw))
+
+		// The pooled reader must agree exactly with the allocating one.
+		pop, pbuf, perr := ReadFramePooled(bytes.NewReader(raw))
+		if (err == nil) != (perr == nil) || pop != op {
+			t.Fatalf("pooled reader diverges: (%v, %v) vs (%v, %v)", op, err, pop, perr)
+		}
+		if perr == nil {
+			var pbody []byte
+			if pbuf != nil {
+				pbody = pbuf.Bytes()
+			}
+			if !bytes.Equal(pbody, body) {
+				t.Fatal("pooled reader body differs")
+			}
+			pbuf.Release()
+		}
+
 		if err != nil {
 			switch {
 			case err == io.EOF,
@@ -262,6 +532,12 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if len(body) > MaxBody {
 			t.Fatalf("accepted %d-byte body", len(body))
+		}
+		if op.Tagged() {
+			// Tagged bodies either split cleanly or fail typed.
+			if _, _, err := SplitTag(body); err != nil && !errors.Is(err, ErrTagTruncated) {
+				t.Fatalf("untyped tag error: %v", err)
+			}
 		}
 		// Re-encoding an accepted frame must reproduce the consumed prefix.
 		var buf bytes.Buffer

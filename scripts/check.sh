@@ -4,8 +4,10 @@
 # stays fast: pass --bench (or set BENCH=1) to also regenerate
 # BENCH_pr1.json (datapath microbenches), BENCH_pr2.json (serving-engine
 # experiments via hixbench), BENCH_pr3.json (network serving layer:
-# remote-vs-in-process identity gate + loopback connection sweep), and
-# BENCH_pr4.json (seeded chaos sweep + reconnect gate).
+# remote-vs-in-process identity gate + loopback connection sweep),
+# BENCH_pr4.json (seeded chaos sweep + reconnect gate), and
+# BENCH_pr5.json (wire v2 pipelining: transport identity gate +
+# in-flight depth sweep with the 1.5x depth-8 throughput gate).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,11 +40,11 @@ go test ./...
 echo "== go test -race (concurrent paths) =="
 go test -race -count=1 ./internal/ocb/
 go test -race -count=1 ./internal/hixrt/ \
-	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism'
+	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism|TestPipe'
 go test -race -count=1 ./internal/wire/
 go test -race -count=1 ./internal/faults/
 go test -race -count=1 -timeout 10m ./internal/netserve/ \
-	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse'
+	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI'
 
 if [ "$bench" != "1" ]; then
 	echo "== OK (benchmarks skipped; pass --bench to run them) =="
@@ -79,5 +81,8 @@ go run ./cmd/hixbench -exp netserve -json BENCH_pr3.json
 
 echo "== chaos sweep + reconnect gate -> BENCH_pr4.json =="
 go run ./cmd/hixbench -exp faults -json BENCH_pr4.json
+
+echo "== wire v2 pipelining -> BENCH_pr5.json =="
+go run ./cmd/hixbench -exp pipeline -json BENCH_pr5.json
 
 echo "== OK =="
