@@ -1,0 +1,167 @@
+// Command benchdiff guards the committed benchmark trajectory: it
+// compares a fresh hixbench run against a committed BENCH_*.json and
+// fails when mean throughput regresses by more than the tolerance.
+//
+//	benchdiff [-tolerance 0.25] committed.json fresh.json
+//
+// Both files are JSON arrays of flat objects keyed by "name" (the
+// format every hixbench -json experiment emits). Entries are matched
+// by name; the comparison covers every "higher is better" throughput
+// field the pair shares (req_per_s, sim_req_per_s, MB_per_s, ...).
+// Header entries, identity digests, chaos counters, and other
+// non-throughput records are ignored, so the tool tolerates the
+// trajectory growing new entry kinds. The verdict is the geometric
+// mean of the fresh/committed ratios — one noisy sweep point cannot
+// fail the gate on its own, but a broad regression cannot hide behind
+// one improved point either. A committed gate entry ("pass": true)
+// that the fresh run fails is an immediate error regardless of the
+// mean.
+//
+// The default tolerance is sized for wall-clock noise: simulated
+// metrics (sim_req_per_s) reproduce exactly, but on a shared
+// single-core container back-to-back identical runs have been
+// observed to differ by >20% in mean wall throughput, so a tight
+// default would fail clean trees. A real collapse (the kind the gate
+// exists for) shows up as 2x+, and the deterministic sim metrics and
+// pass-gates hold the tight line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// throughputKeys are the "higher is better" fields compared across
+// runs, in display order.
+var throughputKeys = []string{
+	"sim_req_per_s",
+	"req_per_s",
+	"MB_per_s",
+	"HtoD_MB_per_s",
+	"DtoH_MB_per_s",
+}
+
+type entry map[string]any
+
+func load(path string) (map[string]entry, []string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var list []entry
+	if err := json.Unmarshal(raw, &list); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]entry, len(list))
+	var order []string
+	for _, e := range list {
+		name, _ := e["name"].(string)
+		if name == "" || name == "header" {
+			continue
+		}
+		if _, dup := byName[name]; !dup {
+			order = append(order, name)
+		}
+		byName[name] = e
+	}
+	return byName, order, nil
+}
+
+func num(e entry, key string) (float64, bool) {
+	v, ok := e[key].(float64)
+	return v, ok
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25, "allowed mean throughput regression (0.25 = 25%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] committed.json fresh.json")
+		os.Exit(2)
+	}
+	committed, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var logSum float64
+	var ratios int
+	var missing []string
+	gateBroken := false
+	for _, name := range order {
+		ce := committed[name]
+		fe, ok := fresh[name]
+		if !ok {
+			// Only complain when the committed entry carried something
+			// this tool compares; renamed auxiliary records are noise.
+			for _, k := range throughputKeys {
+				if _, has := num(ce, k); has {
+					missing = append(missing, name)
+					break
+				}
+			}
+			if pass, isGate := ce["pass"].(bool); isGate && pass {
+				missing = append(missing, name+" (gate)")
+			}
+			continue
+		}
+		if cp, isGate := ce["pass"].(bool); isGate && cp {
+			if fp, _ := fe["pass"].(bool); !fp {
+				fmt.Printf("  GATE BROKEN  %-44s committed pass, fresh fail\n", name)
+				gateBroken = true
+			}
+		}
+		for _, k := range throughputKeys {
+			cv, cok := num(ce, k)
+			fv, fok := num(fe, k)
+			if !cok || !fok || cv <= 0 || fv <= 0 {
+				continue
+			}
+			r := fv / cv
+			logSum += math.Log(r)
+			ratios++
+			marker := " "
+			if r < 1-*tolerance {
+				marker = "-"
+			} else if r > 1+*tolerance {
+				marker = "+"
+			}
+			fmt.Printf("  %s %-46s %-14s %10.1f -> %10.1f  (%.2fx)\n",
+				marker, name, k, cv, fv, r)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("  ? missing from fresh run: %s\n", name)
+	}
+	if ratios == 0 {
+		fmt.Println("benchdiff: no comparable throughput entries; nothing to gate")
+		if gateBroken {
+			os.Exit(1)
+		}
+		return
+	}
+	mean := math.Exp(logSum / float64(ratios))
+	fmt.Printf("benchdiff: mean throughput ratio %.3fx over %d metrics (tolerance %.0f%%)\n",
+		mean, ratios, *tolerance*100)
+	if gateBroken {
+		fmt.Println("benchdiff: FAIL — a committed gate no longer passes")
+		os.Exit(1)
+	}
+	if mean < 1-*tolerance {
+		fmt.Printf("benchdiff: FAIL — mean throughput regressed %.1f%% > %.0f%%\n",
+			(1-mean)*100, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

@@ -9,7 +9,7 @@
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
 // volta, paging, breakdown, datapath, multitenant, netserve, faults,
-// pipeline.
+// pipeline, sched.
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/bench"
@@ -38,9 +39,23 @@ func writeRecords(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, pipeline, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, pipeline, sched, all")
 	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
+	procs := flag.Int("gomaxprocs", 0, "pin GOMAXPROCS for the whole run (0 = keep the runtime default)")
 	flag.Parse()
+
+	// Pin the scheduler width before any experiment runs, and stamp the
+	// effective value into the JSON header so committed BENCH_*.json
+	// numbers carry the parallelism they were measured at.
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	record(map[string]any{
+		"name":       "header",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"num_cpu":    runtime.NumCPU(),
+		"go_version": runtime.Version(),
+	})
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -94,6 +109,9 @@ func main() {
 	}
 	if run("pipeline") {
 		ok = pipelineExp() && ok
+	}
+	if run("sched") {
+		ok = schedExp() && ok
 	}
 	if *jsonPath != "" {
 		if err := writeRecords(*jsonPath); err != nil {

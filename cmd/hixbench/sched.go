@@ -1,0 +1,641 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/netserve"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// sched: the cross-connection continuous-batching scheduler measured
+// against the per-connection direct path. Three gates:
+//
+//   - Identity: four tenants (distinct measurements) driven sequentially
+//     through the batched path, the direct PR 5 path, and the in-process
+//     reference, on machines booted from one seed, must leave identical
+//     per-tenant ciphertext digests AND an identical timeline
+//     fingerprint — checked for 2 seeds x ServeWorkers 1/4. Sequential
+//     driving means single-ticket batches, so one ServeSessions wakeup
+//     must be indistinguishable from one Serve wakeup.
+//   - Concurrent ciphertext: the same four tenants driven concurrently
+//     (sessions opened sequentially so the key exchange is
+//     deterministic) must produce the same per-tenant ciphertext with
+//     the scheduler on and off — per-session nonce streams don't care
+//     how epochs interleave across tenants.
+//   - Throughput: 8 connections x in-flight depth 8 of launch rounds;
+//     batched aggregate simulated req/s must be >= 1.3x the direct path
+//     at equal depth. Every non-empty serving wakeup costs one GPU-
+//     enclave activation on the simulated timeline; the direct path
+//     pays one per epoch per connection, the batched path one per
+//     admitted batch.
+//   - Fairness: one bulk-class tenant saturating its pipeline window
+//     must not starve a latency-class tenant — its mean request latency
+//     with the bulk load running must stay within 1.5x of running
+//     alone.
+const (
+	scTenants   = 4
+	scConns     = 8
+	scDepth     = 8
+	scRounds    = 240 // sweep: launches per connection
+	scBest      = 3   // sweep: best-of repetitions
+	scGate      = 1.3 // required batched-over-direct aggregate speedup
+	scFairReqs  = 120 // fairness: timed interactive requests
+	scFairBulk  = 1   // fairness: bulk connections saturating their window
+	scFairGate  = 1.5 // allowed interactive latency inflation under bulk load
+	scSweepSeed = "sched-sweep"
+)
+
+var scSeeds = []string{"sched-exp-a", "sched-exp-b"}
+
+// scMeas gives tenant i a distinct enclave measurement — the identity
+// the QoS hook keys on, and the image the server builds the tenant's
+// user enclave from.
+func scMeas(i int) attest.Measurement {
+	var m attest.Measurement
+	copy(m[:], fmt.Sprintf("sched-tenant-%02d", i))
+	return m
+}
+
+// scTenantN is tenant i's matrix size: distinct per tenant so each
+// ciphertext stream is unmistakably its own.
+func scTenantN(i int) int { return 24 + 8*i }
+
+type scMode int
+
+const (
+	scModeSched scMode = iota
+	scModeDirect
+	scModeLocal
+)
+
+func (m scMode) String() string {
+	switch m {
+	case scModeSched:
+		return "batched"
+	case scModeDirect:
+		return "direct"
+	default:
+		return "in-process"
+	}
+}
+
+// scIdentityRun drives the four tenants sequentially in the given mode
+// and returns the machine timeline fingerprint plus each tenant's
+// ciphertext digest.
+func scIdentityRun(mode scMode, workers int, seed string) (uint64, []string, error) {
+	m, err := nsMachine(seed)
+	if err != nil {
+		return 0, nil, err
+	}
+	m.Timeline.EnableTrace()
+	caps := make([]*nsCipher, scTenants)
+	for i := range caps {
+		caps[i] = newNsCipher()
+	}
+	arrivals := 0
+	srv, err := netserve.New(netserve.Config{
+		Machine:      m,
+		ServeWorkers: workers,
+		Kernels:      workloads.NewMatrixAdd(1).Kernels(),
+		Sched:        mode == scModeSched,
+		OnSession: func(s *hixrt.Session) {
+			// Sequential dialing makes arrival order the tenant order.
+			if arrivals < len(caps) {
+				nsTap(m, s, caps[arrivals])
+			}
+			arrivals++
+		},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if mode == scModeLocal {
+		for i := 0; i < scTenants; i++ {
+			meas := scMeas(i)
+			client, err := hixrt.NewClient(m, srv.Enclave(), srv.VendorPub(), meas[:])
+			if err != nil {
+				return 0, nil, err
+			}
+			s, err := client.OpenSession()
+			if err != nil {
+				return 0, nil, err
+			}
+			nsTap(m, s, caps[i])
+			wl := workloads.NewMatrixAdd(scTenantN(i))
+			if err := wl.Run(workloads.SessionRunner{S: s}); err != nil {
+				return 0, nil, err
+			}
+			if err := wl.Check(); err != nil {
+				return 0, nil, err
+			}
+			if err := s.Close(); err != nil {
+				return 0, nil, err
+			}
+		}
+	} else {
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return 0, nil, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
+		for i := 0; i < scTenants; i++ {
+			s, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{Measurement: scMeas(i)})
+			if err != nil {
+				return 0, nil, err
+			}
+			wl := workloads.NewMatrixAdd(scTenantN(i))
+			if err := wl.Run(workloads.SessionRunner{S: s}); err != nil {
+				return 0, nil, err
+			}
+			if err := wl.Check(); err != nil {
+				return 0, nil, err
+			}
+			if err := s.Close(); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	digests := make([]string, scTenants)
+	for i, c := range caps {
+		digests[i] = c.sum()
+	}
+	return m.Timeline.Fingerprint(), digests, nil
+}
+
+// scConcurrentRun opens the four tenants sequentially (so the attested
+// key exchange draws platform randomness in a deterministic order),
+// then drives their workloads concurrently, and returns the per-tenant
+// ciphertext digests. The timeline is interleaving-dependent and is not
+// compared; the ciphertext must not be.
+func scConcurrentRun(schedOn bool, seed string) ([]string, error) {
+	m, err := nsMachine(seed)
+	if err != nil {
+		return nil, err
+	}
+	caps := make([]*nsCipher, scTenants)
+	for i := range caps {
+		caps[i] = newNsCipher()
+	}
+	arrivals := 0
+	srv, err := netserve.New(netserve.Config{
+		Machine: m,
+		Kernels: workloads.NewMatrixAdd(1).Kernels(),
+		Sched:   schedOn,
+		QoS: func(meas attest.Measurement) netserve.QoSParams {
+			// Exercise the QoS plane during the identity run: alternate
+			// classes and skew weights by tenant identity.
+			i := int(meas[len("sched-tenant-0")] - '0')
+			cl := sched.Latency
+			if i%2 == 1 {
+				cl = sched.Bulk
+			}
+			return netserve.QoSParams{Weight: 1 + i, Class: cl}
+		},
+		OnSession: func(s *hixrt.Session) {
+			if arrivals < len(caps) {
+				nsTap(m, s, caps[arrivals])
+			}
+			arrivals++
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	sessions := make([]*hixrt.RemoteSession, scTenants)
+	for i := range sessions {
+		if sessions[i], err = hixrt.DialConfig(addr.String(),
+			hixrt.RemoteConfig{Measurement: scMeas(i)}); err != nil {
+			return nil, err
+		}
+	}
+	errs := make([]error, scTenants)
+	var wg sync.WaitGroup
+	for i := 0; i < scTenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wl := workloads.NewMatrixAdd(scTenantN(i))
+			if err := wl.Run(workloads.SessionRunner{S: sessions[i]}); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := wl.Check(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = sessions[i].Close()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	digests := make([]string, scTenants)
+	for i, c := range caps {
+		digests[i] = c.sum()
+	}
+	return digests, nil
+}
+
+// scSweep is one sweep measurement: wall clock of the whole run plus
+// the simulated makespan (timeline horizon growth) and the serving
+// engine's wakeup accounting, which explains where the simulated win
+// comes from.
+type scSweep struct {
+	wall      time.Duration
+	sim       time.Duration
+	wakeups   int64
+	occupancy float64
+}
+
+// scSweepRun streams scRounds pipelined launches per connection over
+// scConns connections. Wall clock measures the host serving overhead;
+// the simulated makespan measures the platform-level throughput the
+// paper's metrics are defined on — each non-empty serving wakeup costs
+// one GPU-enclave activation (CostModel.ServeWakeup) on the enclave's
+// serving core, so batching K epochs into one wakeup amortizes K-1
+// activations off the simulated critical path.
+func scSweepRun(schedOn bool) (scSweep, error) {
+	m, err := nsMachine(scSweepSeed)
+	if err != nil {
+		return scSweep{}, err
+	}
+	srv, err := netserve.New(netserve.Config{
+		Machine:     m,
+		MaxConns:    scConns,
+		MaxInFlight: scDepth,
+		Sched:       schedOn,
+	})
+	if err != nil {
+		return scSweep{}, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return scSweep{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	// Session setup stays outside the timed region.
+	sessions := make([]*hixrt.RemoteSession, scConns)
+	for i := range sessions {
+		s, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{MaxInFlight: scDepth})
+		if err != nil {
+			return scSweep{}, err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	wake0 := srv.Enclave().ServeStats()
+	errs := make([]error, scConns)
+	var wg sync.WaitGroup
+	h0 := m.Timeline.Horizon()
+	t0 := time.Now()
+	for i := 0; i < scConns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sessions[i]
+			pend := make([]*hixrt.Pending, 0, scRounds)
+			for r := 0; r < scRounds; r++ {
+				pend = append(pend, s.StartLaunch("nop", [gpu.NumKernelParams]uint64{}))
+			}
+			for _, p := range pend {
+				if err := p.Wait(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	sw := scSweep{
+		wall: time.Since(t0),
+		sim:  time.Duration(m.Timeline.Horizon() - h0),
+	}
+	wake1 := srv.Enclave().ServeStats()
+	served := wake1.Wakeups - wake0.Wakeups - (wake1.EmptyWakeups - wake0.EmptyWakeups)
+	sw.wakeups = served
+	if served > 0 {
+		sw.occupancy = float64(wake1.Requests-wake0.Requests) / float64(served)
+	}
+	for i, s := range sessions {
+		if errs[i] == nil {
+			errs[i] = s.Close()
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return scSweep{}, err
+		}
+	}
+	return sw, nil
+}
+
+var scInteractiveMeas = scMeas(99)
+
+// scFairRun measures the mean per-request latency of scFairReqs
+// sequential launches on a latency-class connection, optionally while
+// scFairBulk bulk-class connections saturate their pipeline windows
+// with launch bursts. Scheduler always on: the gate is about what the
+// QoS policy preserves under load — a latency ticket is admitted ahead
+// of the queued bulk backlog in every batch, so its wait is bounded by
+// the batch in flight, not by the depth of the bulk queue.
+//
+// Latency is simulated time — the currency every benchmark reports:
+// the interactive session's server-side cursor only advances through
+// its own requests' charges (queueing on shared timeline resources
+// included), so the delta of the stamped completion instants across
+// the sequential run is exactly the simulated service latency the
+// tenant observed. Wall latency is returned alongside for the
+// printout.
+func scFairRun(withBulk bool) (simLat, wallLat time.Duration, _ error) {
+	srv, err := netserve.New(netserve.Config{
+		// Volta-style concurrent contexts: on the pre-Volta serial-context
+		// device every bulk<->interactive alternation pays a 55us context
+		// switch that no admission policy can remove, which would swamp
+		// the thing this gate measures — what the QoS scheduler itself
+		// preserves for the latency class under bulk load.
+		MachineConfig: &machine.Config{
+			DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+			Channels: 8, PlatformSeed: "sched-fair", VoltaStyle: true,
+		},
+		MaxConns:    scFairBulk + 1,
+		MaxInFlight: scDepth,
+		Sched:       true,
+		QoS: func(meas attest.Measurement) netserve.QoSParams {
+			if meas == scInteractiveMeas {
+				return netserve.QoSParams{Weight: 1, Class: sched.Latency}
+			}
+			return netserve.QoSParams{Weight: 1, Class: sched.Bulk}
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	var stop atomic.Bool
+	var bulkWG sync.WaitGroup
+	bulkErrs := make([]error, scFairBulk)
+	if withBulk {
+		for i := 0; i < scFairBulk; i++ {
+			s, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{MaxInFlight: scDepth})
+			if err != nil {
+				return 0, 0, err
+			}
+			bulkWG.Add(1)
+			go func(i int, s *hixrt.RemoteSession) {
+				defer bulkWG.Done()
+				defer s.Close()
+				for !stop.Load() {
+					pend := make([]*hixrt.Pending, 0, scDepth)
+					for d := 0; d < scDepth; d++ {
+						pend = append(pend, s.StartLaunch("nop", [gpu.NumKernelParams]uint64{}))
+					}
+					for _, p := range pend {
+						if err := p.Wait(); err != nil {
+							bulkErrs[i] = err
+							return
+						}
+					}
+				}
+				bulkErrs[i] = s.Close()
+			}(i, s)
+		}
+	}
+	inter, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{Measurement: scInteractiveMeas})
+	if err != nil {
+		stop.Store(true)
+		bulkWG.Wait()
+		return 0, 0, err
+	}
+	defer inter.Close()
+	// Warmup, then the timed sequential requests.
+	for i := 0; i < 8; i++ {
+		if err := inter.Launch("nop", [gpu.NumKernelParams]uint64{}); err != nil {
+			stop.Store(true)
+			bulkWG.Wait()
+			return 0, 0, err
+		}
+	}
+	c0 := inter.CompleteNS()
+	t0 := time.Now()
+	for i := 0; i < scFairReqs; i++ {
+		if err := inter.Launch("nop", [gpu.NumKernelParams]uint64{}); err != nil {
+			stop.Store(true)
+			bulkWG.Wait()
+			return 0, 0, err
+		}
+	}
+	wallLat = time.Since(t0) / scFairReqs
+	simLat = time.Duration(inter.CompleteNS()-c0) / scFairReqs
+	stop.Store(true)
+	bulkWG.Wait()
+	if err := inter.Close(); err != nil {
+		return 0, 0, err
+	}
+	for _, err := range bulkErrs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return simLat, wallLat, nil
+}
+
+func schedExp() bool {
+	fmt.Println("== Extension: cross-connection continuous batching + QoS fair share ==")
+	fmt.Printf("identity gate: %d tenants driven sequentially, batched vs direct vs in-process\n", scTenants)
+	modes := []scMode{scModeSched, scModeDirect, scModeLocal}
+	for _, seed := range scSeeds {
+		for _, workers := range []int{1, 4} {
+			fps := make([]uint64, len(modes))
+			digests := make([][]string, len(modes))
+			for mi, mode := range modes {
+				fp, dg, err := scIdentityRun(mode, workers, seed)
+				if err != nil {
+					return fail(fmt.Errorf("sched identity (%s seed=%s workers=%d): %w", mode, seed, workers, err))
+				}
+				fps[mi] = fp
+				digests[mi] = dg
+			}
+			fpOK := fps[0] == fps[1] && fps[1] == fps[2]
+			ctOK := true
+			for i := 0; i < scTenants; i++ {
+				if digests[0][i] != digests[1][i] || digests[1][i] != digests[2][i] {
+					ctOK = false
+				}
+			}
+			fmt.Printf("  seed=%s workers=%d: fingerprint %016x/%016x/%016x tenant ciphertexts equal=%v\n",
+				seed, workers, fps[0], fps[1], fps[2], ctOK)
+			record(map[string]any{
+				"name":                fmt.Sprintf("sched/identity/seed=%s/workers=%d", seed, workers),
+				"fingerprint_batched": fmt.Sprintf("%016x", fps[0]),
+				"fingerprint_direct":  fmt.Sprintf("%016x", fps[1]),
+				"fingerprint_local":   fmt.Sprintf("%016x", fps[2]),
+				"fingerprint_equal":   fpOK,
+				"ciphertext_equal":    ctOK,
+			})
+			if !fpOK {
+				return fail(fmt.Errorf("sched: timeline diverged (seed=%s workers=%d)", seed, workers))
+			}
+			if !ctOK {
+				return fail(fmt.Errorf("sched: per-tenant ciphertext diverged (seed=%s workers=%d)", seed, workers))
+			}
+		}
+	}
+	fmt.Println("  batched, direct, and in-process runs are ciphertext- and schedule-identical")
+
+	fmt.Printf("concurrent ciphertext gate: %d tenants driven concurrently, batched vs direct\n", scTenants)
+	for _, seed := range scSeeds {
+		on, err := scConcurrentRun(true, seed)
+		if err != nil {
+			return fail(fmt.Errorf("sched concurrent (batched, seed=%s): %w", seed, err))
+		}
+		off, err := scConcurrentRun(false, seed)
+		if err != nil {
+			return fail(fmt.Errorf("sched concurrent (direct, seed=%s): %w", seed, err))
+		}
+		ctOK := true
+		for i := range on {
+			if on[i] != off[i] {
+				ctOK = false
+			}
+		}
+		fmt.Printf("  seed=%s: per-tenant ciphertexts equal=%v\n", seed, ctOK)
+		record(map[string]any{
+			"name":             fmt.Sprintf("sched/concurrent/seed=%s", seed),
+			"ciphertext_equal": ctOK,
+		})
+		if !ctOK {
+			return fail(fmt.Errorf("sched: concurrent per-tenant ciphertext diverged (seed=%s)", seed))
+		}
+	}
+
+	fmt.Printf("throughput: %d conns x depth %d x %d launches, batched vs direct, GOMAXPROCS=%d\n",
+		scConns, scDepth, scRounds, runtime.GOMAXPROCS(0))
+	best := map[bool]scSweep{}
+	for _, schedOn := range []bool{false, true} {
+		var b scSweep
+		for r := 0; r < scBest; r++ {
+			sw, err := scSweepRun(schedOn)
+			if err != nil {
+				return fail(fmt.Errorf("sched sweep (sched=%v): %w", schedOn, err))
+			}
+			if r == 0 || sw.sim < b.sim {
+				b = sw
+			}
+		}
+		best[schedOn] = b
+		label := "direct"
+		if schedOn {
+			label = "batched"
+		}
+		total := float64(scConns * scRounds)
+		fmt.Printf("  %-8s simulated %8.1f ms (%8.0f req/s)   wall %8.1f ms (%8.0f req/s)   %d wakeups, %.1f req/wakeup\n",
+			label, float64(b.sim.Microseconds())/1000, total/b.sim.Seconds(),
+			float64(b.wall.Microseconds())/1000, total/b.wall.Seconds(),
+			b.wakeups, b.occupancy)
+		record(map[string]any{
+			"name":          fmt.Sprintf("sched/sweep/%s/conns=%d/depth=%d", label, scConns, scDepth),
+			"sim_ms":        float64(b.sim.Microseconds()) / 1000,
+			"sim_req_per_s": total / b.sim.Seconds(),
+			"wall_ms":       float64(b.wall.Microseconds()) / 1000,
+			"req_per_s":     total / b.wall.Seconds(),
+			"wakeups":       b.wakeups,
+			"occupancy":     b.occupancy,
+		})
+	}
+	// The gate is on the platform metric: aggregate simulated req/s,
+	// where every wakeup pays one GPU-enclave activation and batching
+	// amortizes them. Wall clock is reported alongside — on a single
+	// host core it measures the serving overhead both paths share.
+	speedup := best[false].sim.Seconds() / best[true].sim.Seconds()
+	wallRatio := best[false].wall.Seconds() / best[true].wall.Seconds()
+	gateOK := speedup >= scGate
+	record(map[string]any{
+		"name":       "sched/throughput-gate",
+		"speedup":    speedup,
+		"wall_ratio": wallRatio,
+		"gate":       scGate,
+		"pass":       gateOK,
+	})
+	if gateOK {
+		fmt.Printf("  gate: batched/direct aggregate simulated speedup %.2fx >= %.2fx (wall ratio %.2fx)\n",
+			speedup, scGate, wallRatio)
+	} else {
+		fmt.Printf("  GATE FAILED: batched/direct aggregate simulated speedup %.2fx < %.2fx (wall ratio %.2fx)\n",
+			speedup, scGate, wallRatio)
+	}
+
+	fmt.Printf("fairness: latency-class tenant vs %d saturating bulk tenants\n", scFairBulk)
+	alone, aloneWall, err := scFairRun(false)
+	if err != nil {
+		return fail(fmt.Errorf("sched fairness (alone): %w", err))
+	}
+	loaded, loadedWall, err := scFairRun(true)
+	if err != nil {
+		return fail(fmt.Errorf("sched fairness (bulk load): %w", err))
+	}
+	infl := loaded.Seconds() / alone.Seconds()
+	fairOK := infl <= scFairGate
+	fmt.Printf("  interactive mean simulated latency: alone %v, under bulk load %v (%.2fx, gate <= %.2fx)\n",
+		alone, loaded, infl, scFairGate)
+	fmt.Printf("  interactive mean wall latency:      alone %v, under bulk load %v (%.2fx)\n",
+		aloneWall, loadedWall, loadedWall.Seconds()/aloneWall.Seconds())
+	record(map[string]any{
+		"name":               "sched/fairness",
+		"alone_us":           float64(alone.Microseconds()),
+		"under_load_us":      float64(loaded.Microseconds()),
+		"alone_wall_us":      float64(aloneWall.Microseconds()),
+		"under_load_wall_us": float64(loadedWall.Microseconds()),
+		"inflation":          infl,
+		"gate":               scFairGate,
+		"pass":               fairOK,
+	})
+	if !fairOK {
+		fmt.Printf("  GATE FAILED: interactive latency inflated %.2fx > %.2fx\n", infl, scFairGate)
+	}
+	fmt.Println()
+	if !gateOK {
+		return fail(fmt.Errorf("sched: throughput gate not met"))
+	}
+	if !fairOK {
+		return fail(fmt.Errorf("sched: fairness gate not met"))
+	}
+	return true
+}

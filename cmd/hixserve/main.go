@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -49,7 +50,10 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-connection diagnostics")
 		maxInFlight  = flag.Int("max-inflight", 0, "per-connection pipelining window advertised to v2 clients (0 = default)")
 		maxWireVer   = flag.Uint("max-wire-version", 0, "cap the negotiated wire version (0 = newest; 1 forces lock-step)")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+		schedOn      = flag.Bool("sched", false, "enable the cross-connection continuous-batching scheduler")
+		schedQuantum = flag.Int("sched-quantum", 0, "fair-share quantum in epoch cost units per weight point per round (0 = default)")
+		schedBatch   = flag.Int("sched-batch", 0, "max admitted cost per enclave wakeup (0 = default)")
 	)
 	flag.Parse()
 
@@ -68,19 +72,29 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	srv, err := netserve.New(netserve.Config{
-		MachineConfig:  &machine.Config{PlatformSeed: *seed},
-		ServeWorkers:   *serveWorkers,
-		SegmentBytes:   *segMB << 20,
-		Kernels:        workloads.AllKernels(),
-		MaxConns:       *maxConns,
-		ReadTimeout:    *readTimeout,
-		WriteTimeout:   *writeTimeout,
-		MaxInFlight:    *maxInFlight,
-		MaxWireVersion: uint16(*maxWireVer),
-		Logf:           logf,
+		MachineConfig:     &machine.Config{PlatformSeed: *seed},
+		ServeWorkers:      *serveWorkers,
+		SegmentBytes:      *segMB << 20,
+		Kernels:           workloads.AllKernels(),
+		MaxConns:          *maxConns,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		MaxInFlight:       *maxInFlight,
+		MaxWireVersion:    uint16(*maxWireVer),
+		Sched:             *schedOn,
+		SchedQuantum:      *schedQuantum,
+		SchedMaxBatchCost: *schedBatch,
+		Logf:              logf,
 	})
 	if err != nil {
 		log.Fatalf("hixserve: %v", err)
+	}
+	// Counters ride the -pprof listener's /debug/vars (expvar registers
+	// itself on DefaultServeMux): the enclave's serving-engine wakeup
+	// stats always, the scheduler's batch/tenant stats when -sched.
+	expvar.Publish("hix.serve", expvar.Func(func() any { return srv.Enclave().ServeStats() }))
+	if sc := srv.Sched(); sc != nil {
+		expvar.Publish("hix.sched", expvar.Func(func() any { return sc.Snapshot() }))
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attest"
 	"repro/internal/gdev"
@@ -109,6 +110,15 @@ type Enclave struct {
 	// serveMu serializes Serve invocations: the two-phase engine assumes
 	// exclusive ownership of the session queues between its phases.
 	serveMu sync.Mutex
+
+	// stats counts wakeups/batches/requests (see ServeStats). Atomics:
+	// bumped under serveMu but read concurrently by expvar exporters.
+	stats struct {
+		wakeups      atomic.Int64
+		emptyWakeups atomic.Int64
+		batches      atomic.Int64
+		requests     atomic.Int64
+	}
 
 	mu          sync.Mutex
 	sessions    map[uint32]*session

@@ -182,14 +182,64 @@ func serialOnly(req Request) bool {
 // system the GPU enclave is a separate process woken by the message
 // queue (§4.4.1); the simulation invokes Serve synchronously after each
 // send. Concurrent callers serialize: one wakeup owns the queues.
-func (e *Enclave) Serve() error {
+func (e *Enclave) Serve() error { return e.serve(nil) }
+
+// ServeSessions is a targeted wakeup: it drains only the listed
+// sessions' request queues, in canonical (ascending session id) order.
+// An external batcher (internal/sched) that knows exactly which
+// sessions enqueued work this epoch uses it to skip the full
+// session-table scan of Serve; the two-phase engine underneath is the
+// same, so for the sessions listed the outcome — responses, ciphertext,
+// timeline charges — is identical to a full Serve at the same point.
+// Unknown ids are ignored (the session may have closed between enqueue
+// and wakeup); duplicates are drained once.
+func (e *Enclave) ServeSessions(ids []uint32) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	return e.serve(ids)
+}
+
+// ServeStats counts serving-engine wakeups (diagnostics; see
+// internal/sched for the per-tenant view).
+type ServeStats struct {
+	Wakeups      int64 // Serve/ServeSessions calls that got the queues
+	EmptyWakeups int64 // wakeups that found no pending request
+	Batches      int64 // per-session batches prepared (sessions with work)
+	Requests     int64 // requests answered
+}
+
+// ServeStats returns a snapshot of the serving-engine counters.
+func (e *Enclave) ServeStats() ServeStats {
+	return ServeStats{
+		Wakeups:      e.stats.wakeups.Load(),
+		EmptyWakeups: e.stats.emptyWakeups.Load(),
+		Batches:      e.stats.batches.Load(),
+		Requests:     e.stats.requests.Load(),
+	}
+}
+
+// serve is the wakeup body. ids == nil drains every session (Serve);
+// otherwise only the listed sessions (ServeSessions).
+func (e *Enclave) serve(ids []uint32) error {
 	e.serveMu.Lock()
 	defer e.serveMu.Unlock()
+	e.stats.wakeups.Add(1)
 
 	e.mu.Lock()
-	sessions := make([]*session, 0, len(e.sessions))
-	for _, s := range e.sessions {
-		sessions = append(sessions, s)
+	var sessions []*session
+	if ids == nil {
+		sessions = make([]*session, 0, len(e.sessions))
+		for _, s := range e.sessions {
+			sessions = append(sessions, s)
+		}
+	} else {
+		sessions = make([]*session, 0, len(ids))
+		for _, id := range ids {
+			if s, ok := e.sessions[id]; ok {
+				sessions = append(sessions, s)
+			}
+		}
 	}
 	dead := e.dead
 	e.mu.Unlock()
@@ -199,7 +249,12 @@ func (e *Enclave) Serve() error {
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
 
 	batches := make([]*serveBatch, 0, len(sessions))
+	var prev *session
 	for _, s := range sessions {
+		if s == prev { // duplicate id in a ServeSessions list
+			continue
+		}
+		prev = s
 		msgs, err := e.m.OS.MQDrain(s.reqQ)
 		if err != nil {
 			return err
@@ -209,7 +264,12 @@ func (e *Enclave) Serve() error {
 		}
 	}
 	if len(batches) == 0 {
+		e.stats.emptyWakeups.Add(1)
 		return nil
+	}
+	e.stats.batches.Add(int64(len(batches)))
+	for _, b := range batches {
+		e.stats.requests.Add(int64(len(b.msgs)))
 	}
 
 	// Phase P: prepare batches, in parallel when configured. Each batch
@@ -241,12 +301,33 @@ func (e *Enclave) Serve() error {
 		wg.Wait()
 	}
 
+	// The serving-loop activation (§4.4.1): the GPU enclave is a
+	// separate process woken by the message queue, so every non-empty
+	// wakeup pays for the kernel wakeup delivery, the enclave re-entry,
+	// and the request-queue scan on the enclave's dedicated serving
+	// core — once per wakeup, not per request. A batch spanning many
+	// sessions shares a single activation; that amortization is what an
+	// external batcher buys. Anchored at the earliest admitted request's
+	// submit instant so the charge is a pure function of the batch.
+	wakeAt := sim.Time(-1)
+	for _, b := range batches {
+		for _, it := range b.items {
+			if it.kind != srvReject && (wakeAt < 0 || it.now < wakeAt) {
+				wakeAt = it.now
+			}
+		}
+	}
+	if wakeAt < 0 {
+		wakeAt = 0
+	}
+	_, wakeDone := e.core.Timeline().AcquireLabeled(sim.ResGECore, "ge-wakeup", wakeAt, e.core.Cost().ServeWakeup)
+
 	// Phase T: replay in canonical order and respond. Interleaving in
 	// *simulated* time is the timeline's gap-filling scheduler's job;
 	// processing order here only has to be deterministic.
 	for _, b := range batches {
 		for _, it := range b.items {
-			e.finishItem(b.s, it)
+			e.finishItem(b.s, it, wakeDone)
 		}
 	}
 	return nil
@@ -306,20 +387,21 @@ func (e *Enclave) prepBatch(s *session, msgs [][]byte) []served {
 }
 
 // finishItem runs phase T for one prepared request: charge its steps at
-// the canonical point in the schedule, run deferred work live, respond.
-func (e *Enclave) finishItem(s *session, it served) {
+// the canonical point in the schedule — no earlier than the wakeup
+// activation that served it — run deferred work live, respond.
+func (e *Enclave) finishItem(s *session, it served, wakeDone sim.Time) {
 	switch it.kind {
 	case srvReject:
 		e.respond(s, Response{Status: RespBadRequest, CompleteNS: int64(s.now)})
 	case srvAuthFailed:
-		e.respond(s, Response{Status: RespAuthFailed, CompleteNS: int64(it.now)})
+		e.respond(s, Response{Status: RespAuthFailed, CompleteNS: int64(sim.Max(it.now, wakeDone))})
 	case srvRecorded:
-		now := e.replaySteps(s, it.now, it.steps)
+		now := e.replaySteps(s, sim.Max(it.now, wakeDone), it.steps)
 		r := it.resp
 		r.CompleteNS = int64(now)
 		e.respond(s, r)
 	case srvDeferred:
-		now := e.replaySteps(s, it.now, it.steps)
+		now := e.replaySteps(s, sim.Max(it.now, wakeDone), it.steps)
 		e.respond(s, e.dispatch(liveExec{e}, s, it.req, now))
 	}
 }

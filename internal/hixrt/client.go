@@ -137,6 +137,32 @@ type Hooks struct {
 // Ptr is a device-memory pointer returned by MemAlloc.
 type Ptr uint64
 
+// ServeGate mediates a session's serving epochs. By default (nil gate)
+// a session wakes the GPU enclave itself after enqueuing its requests;
+// a server that multiplexes many sessions installs a gate (see
+// internal/sched) so epochs from different sessions coalesce into
+// shared wakeups under a fairness policy. The contract mirrors the
+// direct path exactly: enqueue is called once, before the GPU enclave
+// serves, and by the time Epoch returns the session's responses are in
+// its response queue; the caller then drains them. An epoch is the unit
+// the serving engine already batches — never split or merged by the
+// gate — so the simulated timeline and the wire bytes are identical to
+// the ungated path.
+//
+// Epoch may run enqueue on another goroutine (the scheduler's), so a
+// gated session must not rely on goroutine-local state inside the
+// closure; the caller is blocked in Epoch for the duration, so session
+// state needs no extra locking. Gates are not compatible with Lockstep
+// drivers (a BeforeServe barrier inside the scheduler would deadlock).
+type ServeGate interface {
+	// Epoch runs one serving epoch. cost is the number of requests
+	// enqueue will send — the scheduler's unit of fair-share
+	// accounting. enqueue's error means the epoch's requests did not
+	// all reach the queue; the gate still wakes the enclave for
+	// whatever the batch enqueued and reports the error back.
+	Epoch(cost int, enqueue func() error) error
+}
+
 // Session is an attested, keyed connection from this client's user
 // enclave through the GPU enclave to the GPU.
 type Session struct {
@@ -184,7 +210,9 @@ type Session struct {
 	// matching in-VRAM staging ring (hix.Config.StagingSlots) so the
 	// modeled DMA/crypto overlap has a slot per in-flight chunk.
 	WindowSlots int
-	Hooks       Hooks
+	// Gate, when non-nil, mediates every serving epoch (see ServeGate).
+	Gate  ServeGate
+	Hooks Hooks
 
 	allocs map[Ptr]uint64
 	closed bool
@@ -345,14 +373,12 @@ type reply struct {
 }
 
 func (s *Session) roundTrip(req hix.Request, submit sim.Time) (reply, error) {
-	submit, err := s.sendRequest(req, submit)
+	err := s.serveEpoch(1, func() error {
+		var err error
+		submit, err = s.sendRequest(req, submit)
+		return err
+	})
 	if err != nil {
-		return reply{}, err
-	}
-	if s.Hooks.BeforeServe != nil {
-		s.Hooks.BeforeServe()
-	}
-	if err := s.c.ge.Serve(); err != nil {
 		return reply{}, err
 	}
 	rep, err := s.recvReply(submit)
@@ -384,6 +410,33 @@ func (s *Session) sendRequest(req hix.Request, submit sim.Time) (sim.Time, error
 		return 0, err
 	}
 	return submit, nil
+}
+
+// serveEpoch runs one serving epoch — enqueue the epoch's requests,
+// wake the GPU enclave — through the session's gate when one is
+// installed, directly otherwise. The BeforeServe hook keeps its
+// contract either way: after the requests are on the queue, before the
+// enclave drains them (on the gated path that is inside the
+// scheduler's batch, on the scheduler's goroutine).
+func (s *Session) serveEpoch(cost int, enqueue func() error) error {
+	if s.Gate != nil {
+		return s.Gate.Epoch(cost, func() error {
+			if err := enqueue(); err != nil {
+				return err
+			}
+			if s.Hooks.BeforeServe != nil {
+				s.Hooks.BeforeServe()
+			}
+			return nil
+		})
+	}
+	if err := enqueue(); err != nil {
+		return err
+	}
+	if s.Hooks.BeforeServe != nil {
+		s.Hooks.BeforeServe()
+	}
+	return s.c.ge.Serve()
 }
 
 // recvReply dequeues and opens one response from the GE->user meta
@@ -531,6 +584,70 @@ func (s *Session) Launch(kernel string, params [gpu.NumKernelParams]uint64) erro
 	}
 	s.now = resp.doneAt
 	return nil
+}
+
+// LaunchSpec names one kernel launch inside a windowed epoch.
+type LaunchSpec struct {
+	Kernel string
+	Params [gpu.NumKernelParams]uint64
+}
+
+// LaunchWindow submits a window of launches as ONE serving epoch: every
+// request is sealed and enqueued on the OS message queue, the GPU
+// enclave is woken once, and the responses are opened in request order.
+// This is the continuous-batching unit — a gated session's whole window
+// becomes a single fair-share ticket of cost len(specs), and the GPU
+// enclave replays the window as one same-context run (one context
+// switch per window instead of one per launch). With len(specs) == 1
+// the accounting is identical to Launch.
+//
+// Per-launch failures land in errs (indexed like specs); a non-nil
+// terminal error means the session transport is broken and fills every
+// remaining entry.
+func (s *Session) LaunchWindow(specs []LaunchSpec) (errs []error, terminal error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	errs = make([]error, len(specs))
+	submits := make([]sim.Time, len(specs))
+	err := s.serveEpoch(len(specs), func() error {
+		submit := s.now
+		for i, sp := range specs {
+			var err error
+			submit, err = s.sendRequest(hix.Request{
+				Type: hix.ReqLaunch, Kernel: sp.Kernel, Params: sp.Params, Flags: s.flags(),
+			}, submit)
+			if err != nil {
+				return err
+			}
+			submits[i] = submit
+		}
+		return nil
+	})
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs, err
+	}
+	for i := range specs {
+		rep, rerr := s.recvReply(submits[i])
+		if rerr != nil {
+			for j := i; j < len(specs); j++ {
+				errs[j] = rerr
+			}
+			return errs, rerr
+		}
+		if s.Hooks.AfterReply != nil {
+			s.Hooks.AfterReply()
+		}
+		if rep.Status != hix.RespOK {
+			errs[i] = fmt.Errorf("%w: launch status %d", ErrRequest, rep.Status)
+			continue
+		}
+		s.now = rep.doneAt
+	}
+	return errs, nil
 }
 
 // Close tears the session down (cleansing all device allocations).

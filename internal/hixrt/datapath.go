@@ -214,41 +214,45 @@ func (s *Session) memcpyHtoDWindowed(dst Ptr, data []byte, n, k int) error {
 				s.aead.SealInto(jb.ct, jb.nonce, data[jb.off:jb.off+jb.n], nil)
 			})
 		}
-		// Commit in chunk order: segment writes and request sends.
+		// Commit in chunk order — segment writes and request sends — then
+		// one wakeup serves the whole window. Both run inside the epoch so
+		// a gated session's scheduler sees the window as one ticket. A
+		// commit failure mid-window still wakes the enclave: the requests
+		// already sent must be served and their responses drained to keep
+		// the meta-channel nonce counters in lockstep.
 		sent := 0
 		var commitErr error
-		for j := range jobs {
-			jb := &jobs[j]
-			if !s.Synthetic {
-				if err := s.c.m.OS.ShmWritePhys(s.seg, int(jb.segOff), jb.ct); err != nil {
+		err := s.serveEpoch(batch, func() error {
+			for j := range jobs {
+				jb := &jobs[j]
+				if !s.Synthetic {
+					if err := s.c.m.OS.ShmWritePhys(s.seg, int(jb.segOff), jb.ct); err != nil {
+						commitErr = err
+						return nil
+					}
+					if s.Hooks.AfterDataWrite != nil {
+						s.Hooks.AfterDataWrite(int(jb.segOff), jb.n+ocb.TagSize)
+					}
+				}
+				req := hix.Request{
+					Type:   hix.ReqMemcpyHtoD,
+					Ptr:    uint64(dst) + uint64(jb.off),
+					SegOff: jb.segOff,
+					Len:    uint64(jb.n) + ocb.TagSize,
+					Flags:  s.dataFlags(),
+				}
+				copy(req.Nonce[:], jb.nonce)
+				submit, err := s.sendRequest(req, jb.submit)
+				if err != nil {
 					commitErr = err
-					break
+					return nil
 				}
-				if s.Hooks.AfterDataWrite != nil {
-					s.Hooks.AfterDataWrite(int(jb.segOff), jb.n+ocb.TagSize)
-				}
+				jb.submit = submit
+				sent++
 			}
-			req := hix.Request{
-				Type:   hix.ReqMemcpyHtoD,
-				Ptr:    uint64(dst) + uint64(jb.off),
-				SegOff: jb.segOff,
-				Len:    uint64(jb.n) + ocb.TagSize,
-				Flags:  s.dataFlags(),
-			}
-			copy(req.Nonce[:], jb.nonce)
-			submit, err := s.sendRequest(req, jb.submit)
-			if err != nil {
-				commitErr = err
-				break
-			}
-			jb.submit = submit
-			sent++
-		}
-		// One wakeup serves the whole window.
-		if s.Hooks.BeforeServe != nil {
-			s.Hooks.BeforeServe()
-		}
-		if err := s.c.ge.Serve(); err != nil {
+			return nil
+		})
+		if err != nil {
 			return err
 		}
 		// Drain every outstanding response to keep the meta-channel nonce
@@ -402,38 +406,42 @@ func (s *Session) memcpyDtoHWindowed(out []byte, src Ptr, n, k int) error {
 		jobs = jobs[:batch]
 		sent := 0
 		var commitErr error
-		for j := 0; j < batch; j++ {
-			off := (base + j) * chunk
-			cl := chunk
-			if off+cl > n {
-				cl = n - off
+		// The window's sends and the single wakeup form one epoch (one
+		// scheduler ticket on a gated session); as on the HtoD side, a
+		// send failure mid-window still wakes the enclave for the
+		// requests already queued.
+		err := s.serveEpoch(batch, func() error {
+			for j := 0; j < batch; j++ {
+				off := (base + j) * chunk
+				cl := chunk
+				if off+cl > n {
+					cl = n - off
+				}
+				jobs[j] = dataJob{
+					off:    off,
+					n:      cl,
+					segOff: uint64(j) * slotSize,
+					nonce:  s.dataDtoH.Next(),
+				}
+				req := hix.Request{
+					Type:   hix.ReqMemcpyDtoH,
+					Ptr:    uint64(src) + uint64(off),
+					SegOff: jobs[j].segOff,
+					Len:    uint64(cl),
+					Flags:  s.dataFlags(),
+				}
+				copy(req.Nonce[:], jobs[j].nonce)
+				submit, err := s.sendRequest(req, sendCursor)
+				if err != nil {
+					commitErr = err
+					return nil
+				}
+				jobs[j].submit = submit
+				sent++
 			}
-			jobs[j] = dataJob{
-				off:    off,
-				n:      cl,
-				segOff: uint64(j) * slotSize,
-				nonce:  s.dataDtoH.Next(),
-			}
-			req := hix.Request{
-				Type:   hix.ReqMemcpyDtoH,
-				Ptr:    uint64(src) + uint64(off),
-				SegOff: jobs[j].segOff,
-				Len:    uint64(cl),
-				Flags:  s.dataFlags(),
-			}
-			copy(req.Nonce[:], jobs[j].nonce)
-			submit, err := s.sendRequest(req, sendCursor)
-			if err != nil {
-				commitErr = err
-				break
-			}
-			jobs[j].submit = submit
-			sent++
-		}
-		if s.Hooks.BeforeServe != nil {
-			s.Hooks.BeforeServe()
-		}
-		if err := s.c.ge.Serve(); err != nil {
+			return nil
+		})
+		if err != nil {
 			return err
 		}
 		var firstErr error

@@ -278,6 +278,7 @@ func (p *pipe) deliverResp(tag uint32, resp hix.Response) error {
 	}
 	c.resp = resp
 	c.haveResp = true
+	p.s.noteComplete(resp.CompleteNS)
 	if resp.Status != hix.RespOK || len(c.out) == 0 {
 		p.completeLocked(c, nil)
 	}

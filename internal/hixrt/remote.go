@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attest"
@@ -103,8 +104,31 @@ type RemoteSession struct {
 
 	ioTimeout time.Duration
 
+	// lastComplete is the latest server-side simulated completion
+	// instant (Response.CompleteNS) observed on this connection.
+	lastComplete atomic.Int64
+
 	closed bool
 	broken error // sticky transport failure
+}
+
+// CompleteNS reports the server-side simulated completion instant
+// (nanoseconds on the server's virtual clock) carried by the most
+// recently completed exchange, monotone across out-of-order
+// completions. Deltas across sequential exchanges measure per-request
+// simulated service latency — the currency every benchmark reports —
+// without needing a client-side timeline.
+func (s *RemoteSession) CompleteNS() int64 { return s.lastComplete.Load() }
+
+// noteComplete folds one response's completion instant into the
+// monotone high-water mark.
+func (s *RemoteSession) noteComplete(ns int64) {
+	for {
+		old := s.lastComplete.Load()
+		if ns <= old || s.lastComplete.CompareAndSwap(old, ns) {
+			return
+		}
+	}
 }
 
 // Dial opens a remote session with default configuration.
@@ -311,6 +335,7 @@ func (s *RemoteSession) readResponse() (hix.Response, error) {
 		if err != nil {
 			return hix.Response{}, s.fail(err)
 		}
+		s.noteComplete(resp.CompleteNS)
 		return resp, nil
 	case wire.OpError:
 		re, derr := wire.DecodeError(body)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -357,7 +358,7 @@ func (c *conn) handshake() bool {
 			"authentication circuit breaker open"))
 		return false
 	}
-	sess, err := c.srv.openSession(h.Measurement)
+	sess, err := c.srv.openSession(h.Measurement, c.nc.RemoteAddr().String())
 	if err != nil {
 		code := wire.ECodeServer
 		if errors.Is(err, hixrt.ErrAttestation) || errors.Is(err, hixrt.ErrAuth) {
@@ -632,19 +633,56 @@ func (c *conn) readRequestV2() (*tReq, error) {
 // the queue without executing it.
 func (c *conn) executeV2(execQ <-chan *tReq, done chan<- struct{}) {
 	defer close(done)
+	// cur pins the request being executed so a panic names its tag and
+	// peer — without them a multi-connection server's panic log is
+	// unattributable.
+	var cur *tReq
 	defer func() {
 		if r := recover(); r != nil {
-			c.srv.logf("netserve: executor panic: %v", r)
+			if cur != nil {
+				c.srv.logf("netserve: executor panic: %v (request tag %#x, remote %s)",
+					r, cur.tag, c.nc.RemoteAddr())
+			} else {
+				c.srv.logf("netserve: executor panic: %v (remote %s)", r, c.nc.RemoteAddr())
+			}
 			c.abortV2()
 		}
 	}()
 	failed := false
-	for r := range execQ {
+	var carried *tReq // non-batchable request pulled off the queue by gatherWindow
+	for {
+		var r *tReq
+		if carried != nil {
+			r, carried = carried, nil
+		} else {
+			var ok bool
+			if r, ok = <-execQ; !ok {
+				break
+			}
+		}
 		if failed || c.wfailed.Load() {
 			r.release()
 			continue
 		}
+		if c.batchable(r) {
+			var win []*tReq
+			win, carried = c.gatherWindow(r, execQ)
+			cur = win[0]
+			err := c.handleLaunchWindow(win)
+			cur = nil
+			for _, wr := range win {
+				wr.release()
+			}
+			if err != nil {
+				c.srv.logf("netserve: request: %v", err)
+				c.abortV2()
+				failed = true
+			}
+			continue
+		}
+		cur = r
 		connDone, err := c.handleRequestV2(r)
+		cur = nil
 		r.release()
 		if err != nil {
 			c.srv.logf("netserve: request: %v", err)
@@ -655,6 +693,90 @@ func (c *conn) executeV2(execQ <-chan *tReq, done chan<- struct{}) {
 			failed = true // drop anything queued behind the close
 		}
 	}
+	if carried != nil {
+		carried.release()
+	}
+}
+
+// batchable reports whether r can ride a windowed launch epoch: the
+// session is gated (scheduler mode) and the request is a plain,
+// non-synthetic kernel launch. Everything else keeps the one-request
+// serve path.
+func (c *conn) batchable(r *tReq) bool {
+	return c.sess.Gate != nil &&
+		r.req.Type == hix.ReqLaunch &&
+		r.req.Flags&gpu.FlagSynthetic == 0
+}
+
+// windowYields bounds how long gatherWindow waits for a pipelining
+// peer's burst to finish landing on the execute queue. Like the
+// scheduler's admission window, each yield lets the reader goroutine
+// drain frames already in the socket buffer; a sequential client's
+// queue stays empty so the window closes immediately.
+const windowYields = 4
+
+// gatherWindow greedily drains launch requests already queued behind
+// first into one windowed epoch, up to the connection's in-flight
+// limit. It returns the window plus the first non-batchable request it
+// pulled off the queue (the caller executes that one after the
+// window), if any.
+func (c *conn) gatherWindow(first *tReq, execQ <-chan *tReq) ([]*tReq, *tReq) {
+	win := []*tReq{first}
+	maxW := c.srv.cfg.MaxInFlight
+	yields := 0
+	for len(win) < maxW {
+		select {
+		case r, ok := <-execQ:
+			if !ok {
+				return win, nil
+			}
+			if !c.batchable(r) {
+				return win, r
+			}
+			win = append(win, r)
+			continue
+		default:
+		}
+		if yields == windowYields {
+			break
+		}
+		yields++
+		runtime.Gosched()
+	}
+	return win, nil
+}
+
+// handleLaunchWindow bridges a gathered window of launches onto the
+// session as one serving epoch and routes the per-launch replies in
+// tag order. Injected device faults keep their per-launch semantics:
+// a fault on the k-th launch serves the first k as a (shorter) window
+// and then fails the connection exactly like the single-request path.
+func (c *conn) handleLaunchWindow(win []*tReq) error {
+	specs := make([]hixrt.LaunchSpec, 0, len(win))
+	faultAt := -1
+	for i, r := range win {
+		if c.srv.cfg.Faults.Fire(faults.GPUDeviceFault) {
+			faultAt = i
+			break
+		}
+		specs = append(specs, hixrt.LaunchSpec{Kernel: r.req.Kernel, Params: r.req.Params})
+	}
+	if len(specs) > 0 {
+		errs, terminal := c.sess.LaunchWindow(specs)
+		for i := range specs {
+			if rerr := c.replyErrT(win[i].tag, errs[i], 0); rerr != nil {
+				return rerr
+			}
+		}
+		if terminal != nil {
+			return terminal
+		}
+	}
+	if faultAt >= 0 {
+		c.send(wire.OpError, wire.EncodeError(wire.ECodeServer, "injected device fault"))
+		return errors.New("injected device fault")
+	}
+	return nil
 }
 
 // abortV2 stops the v2 read loop after a terminal executor error: the

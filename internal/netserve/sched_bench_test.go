@@ -1,0 +1,81 @@
+package netserve_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/netserve"
+)
+
+// benchLaunchStorm drives conns pipelined connections of nop launches —
+// the launch-bound shape the scheduler's batch coalescing targets.
+func benchLaunchStorm(b *testing.B, conns, depth int, schedOn bool) {
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{
+			DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+			Channels: 8, PlatformSeed: "sched-bench",
+		},
+		MaxConns:    conns,
+		MaxInFlight: depth,
+		Sched:       schedOn,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		b.StopTimer()
+	}()
+	sessions := make([]*hixrt.RemoteSession, conns)
+	for i := range sessions {
+		s, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{MaxInFlight: depth})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	rounds := b.N
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make([]error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sessions[i]
+			pend := make([]*hixrt.Pending, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				pend = append(pend, s.StartLaunch("nop", [gpu.NumKernelParams]uint64{}))
+			}
+			for _, p := range pend {
+				if err := p.Wait(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ss := srv.Enclave().ServeStats()
+	b.ReportMetric(float64(ss.Requests)/float64(ss.Wakeups), "req/wakeup")
+	if sc := srv.Sched(); sc != nil {
+		st := sc.Snapshot()
+		b.ReportMetric(float64(st.Tickets)/float64(st.Batches), "tickets/batch")
+	}
+}
+
+func BenchmarkLaunchStormDirect(b *testing.B) { benchLaunchStorm(b, 8, 8, false) }
+func BenchmarkLaunchStormSched(b *testing.B)  { benchLaunchStorm(b, 8, 8, true) }

@@ -42,8 +42,21 @@ import (
 	"repro/internal/hix"
 	"repro/internal/hixrt"
 	"repro/internal/machine"
+	"repro/internal/sched"
 	"repro/internal/wire"
 )
+
+// QoSParams is one connection's fair-share policy, resolved from its
+// handshake measurement by Config.QoS.
+type QoSParams struct {
+	// Weight is the tenant's fair-share weight (<= 0 means 1).
+	Weight int
+	// Class is the deadline class (default sched.Latency).
+	Class sched.Class
+	// Limit rate-limits the tenant in epoch cost units per second (zero
+	// = unlimited).
+	Limit sched.Limit
+}
 
 // Server errors.
 var (
@@ -117,6 +130,26 @@ type Config struct {
 	// first request — instrumentation hook (e.g. ciphertext capture).
 	OnSession func(*hixrt.Session)
 
+	// Sched enables the cross-connection continuous-batching scheduler
+	// (internal/sched): per-connection executors submit serving epochs
+	// as tickets instead of waking the GPU enclave themselves, so
+	// epochs from all connections coalesce into shared wakeups under
+	// the QoS policy. Per-session behavior — ciphertext, per-tenant
+	// timelines under sequential load — is identical to the direct
+	// path.
+	Sched bool
+	// SchedQuantum and SchedMaxBatchCost tune the fair-share policy
+	// (defaults: sched's). SchedMaxBatchCost is raised to hold at
+	// least two SessionWindowSlots windows so a windowed epoch is
+	// never an oversized ticket.
+	SchedQuantum      int
+	SchedMaxBatchCost int
+	// QoS resolves a connection's fair-share parameters from its
+	// handshake measurement — the server-side policy hook standing in
+	// for a deployment's tenant database. Nil means every connection
+	// gets weight 1, class Latency, no rate limit.
+	QoS func(measure attest.Measurement) QoSParams
+
 	// Logf receives connection-level diagnostics. Nil silences them.
 	Logf func(format string, args ...any)
 
@@ -145,6 +178,12 @@ type Server struct {
 	m         *machine.Machine
 	ge        *hix.Enclave
 	vendorPub ed25519.PublicKey
+
+	// sched is the cross-connection batching scheduler (nil unless
+	// Config.Sched); tenants maps each bridged session to its
+	// fair-share principal for teardown (guarded by setupMu).
+	sched   *sched.Scheduler
+	tenants map[*hixrt.Session]*sched.Tenant
 
 	// setupMu serializes session construction and teardown so enclave
 	// and OS bookkeeping happen in a deterministic, race-free order.
@@ -246,11 +285,36 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	var sc *sched.Scheduler
+	if cfg.Sched {
+		mbc := cfg.SchedMaxBatchCost
+		if mbc <= 0 {
+			mbc = 64 // sched's own default, made explicit to apply the window floor
+		}
+		// A windowed epoch costs up to SessionWindowSlots units; keep the
+		// batch budget at two windows minimum so such an epoch is a
+		// normal ticket, never the oversized-admit-alone special case.
+		if ws := cfg.SessionWindowSlots; 2*ws > mbc {
+			mbc = 2 * ws
+		}
+		// Same floor for launch windows, which gather up to MaxInFlight
+		// pipelined launches into one ticket.
+		if 2*cfg.MaxInFlight > mbc {
+			mbc = 2 * cfg.MaxInFlight
+		}
+		sc = sched.New(sched.Config{
+			Batcher:      ge,
+			Quantum:      cfg.SchedQuantum,
+			MaxBatchCost: mbc,
+		})
+	}
 	return &Server{
 		cfg:       cfg,
 		m:         m,
 		ge:        ge,
 		vendorPub: vendorPub,
+		sched:     sc,
+		tenants:   make(map[*hixrt.Session]*sched.Tenant),
 		sem:       make(chan struct{}, cfg.MaxConns),
 		conns:     make(map[*conn]struct{}),
 		drainCh:   make(chan struct{}),
@@ -263,6 +327,10 @@ func (s *Server) Machine() *machine.Machine { return s.m }
 
 // Enclave exposes the GPU enclave.
 func (s *Server) Enclave() *hix.Enclave { return s.ge }
+
+// Sched exposes the batching scheduler, nil unless Config.Sched
+// (counters for expvar/bench).
+func (s *Server) Sched() *sched.Scheduler { return s.sched }
 
 // VendorPub exposes the vendor endorsement key remote-session user
 // enclaves verify against.
@@ -405,6 +473,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopSched()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -413,14 +482,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.stopSched()
 		return ctx.Err()
 	}
 }
 
+// stopSched shuts the batching scheduler down once every handler has
+// exited (so no epoch can be submitted after the stop). Idempotent.
+func (s *Server) stopSched() {
+	if s.sched != nil {
+		s.sched.Stop()
+	}
+}
+
 // openSession builds the user enclave + attested session for one
-// connection. Serialized so concurrent handshakes construct enclave and
-// OS state in arrival order.
-func (s *Server) openSession(measure attest.Measurement) (*hixrt.Session, error) {
+// connection (name is the peer address, for scheduler diagnostics).
+// Serialized so concurrent handshakes construct enclave and OS state in
+// arrival order.
+func (s *Server) openSession(measure attest.Measurement, name string) (*hixrt.Session, error) {
 	s.setupMu.Lock()
 	defer s.setupMu.Unlock()
 	if s.cfg.Faults.Fire(faults.AttestMismatch) {
@@ -444,6 +523,15 @@ func (s *Server) openSession(measure attest.Measurement) (*hixrt.Session, error)
 		s.cfg.OnSession(sess)
 	}
 	s.installFaultHooks(sess)
+	if s.sched != nil {
+		q := QoSParams{Weight: 1}
+		if s.cfg.QoS != nil {
+			q = s.cfg.QoS(measure)
+		}
+		ten := s.sched.Join(name, sess.ID(), q.Weight, q.Class, q.Limit)
+		sess.Gate = ten
+		s.tenants[sess] = ten
+	}
 	return sess, nil
 }
 
@@ -542,8 +630,14 @@ func (s *Server) BreakerTrips() int {
 func (s *Server) closeSession(sess *hixrt.Session) {
 	s.setupMu.Lock()
 	defer s.setupMu.Unlock()
+	// Close first — the close handshake is itself a gated epoch — then
+	// retire the fair-share principal.
 	if err := sess.Close(); err != nil {
 		s.logf("netserve: session close: %v", err)
+	}
+	if ten := s.tenants[sess]; ten != nil {
+		ten.Leave()
+		delete(s.tenants, sess)
 	}
 }
 

@@ -1,0 +1,594 @@
+// Package sched is the server-side continuous-batching scheduler of
+// the serving layer: per-connection executors submit their sessions'
+// serving epochs as tickets instead of waking the GPU enclave
+// themselves, and one scheduler goroutine coalesces tickets from all
+// connections into shared wakeups. Without it, N tenants at pipeline
+// depth d pay N·d serveMu convoys and full session-table drains per
+// round; with it, every wakeup serves one admitted batch through
+// hix.Enclave.ServeSessions — one lock acquisition and one targeted
+// drain amortized over the whole batch.
+//
+// Batching never crosses an epoch boundary: a ticket is exactly one
+// session epoch (one request, or one window of chunk requests) that
+// the two-phase serving engine already handles as a unit, so for each
+// session the enqueue order, the nonce streams, and hence the wire
+// ciphertext are byte-identical to the unscheduled path at any
+// interleaving — and a tenant driven with no concurrent load gets
+// single-ticket batches whose timeline is byte-identical too (see the
+// determinism argument in DESIGN.md).
+//
+// On top of the batch loop sits the QoS policy:
+//
+//   - weighted fair share: deficit round robin over per-tenant FIFO
+//     queues — each admission round a backlogged tenant banks
+//     Quantum·weight cost credit and admits head tickets while credit
+//     lasts, so over time each tenant's admitted cost converges to its
+//     weight share regardless of how greedily it submits;
+//   - two deadline classes: Latency tenants are admitted before Bulk
+//     in every batch, and when both contend for a batch's cost budget
+//     the latency pass is capped at 3/4 of it, so interactive requests
+//     skip the line but can never starve bulk work entirely;
+//   - per-tenant rate limits: a token bucket in cost units per second;
+//     a tenant over its rate stays queued (aging, not dropping) until
+//     the bucket refills.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrStopped reports a ticket failed because the scheduler stopped (or
+// the tenant left) before serving it.
+var ErrStopped = errors.New("sched: scheduler stopped")
+
+// Batcher is the serving engine a batch wakes once: hix.Enclave.
+type Batcher interface {
+	ServeSessions(ids []uint32) error
+}
+
+// Class is a tenant's deadline class.
+type Class uint8
+
+const (
+	// Latency tenants are admitted first in every batch.
+	Latency Class = iota
+	// Bulk tenants fill whatever budget the latency pass left.
+	Bulk
+)
+
+func (c Class) String() string {
+	if c == Latency {
+		return "latency"
+	}
+	return "bulk"
+}
+
+// Limit is a per-tenant token-bucket rate limit in cost units
+// (requests) per second. The zero Limit is unlimited. Burst is the
+// bucket capacity; zero means one second's worth of rate (at least
+// one ticket's cost).
+type Limit struct {
+	PerSec float64
+	Burst  int
+}
+
+// Config assembles a Scheduler.
+type Config struct {
+	// Batcher serves each admitted batch (required).
+	Batcher Batcher
+	// Quantum is the cost credit a backlogged tenant banks per weight
+	// point per admission round (default 8 — one default-depth window
+	// per round for a weight-1 tenant).
+	Quantum int
+	// MaxBatchCost caps the admitted cost per wakeup (default 64), so
+	// a latency ticket waits on at most one bounded batch already in
+	// flight. A single ticket costlier than the cap is admitted alone.
+	MaxBatchCost int
+	// NowNanos is the rate-limiter clock (default time.Now().UnixNano;
+	// tests inject a fake).
+	NowNanos func() int64
+}
+
+// ticket is one queued serving epoch.
+type ticket struct {
+	cost      int
+	enqueue   func() error
+	enqErr    error
+	done      chan error
+	at        int64  // submission instant (wait accounting)
+	tenantSID uint32 // stamped at admission for the ServeSessions list
+}
+
+// Tenant is one fair-share principal — in the serving layer, one
+// connection's session. Its methods are safe for concurrent use; Epoch
+// implements hixrt.ServeGate.
+type Tenant struct {
+	s      *Scheduler
+	name   string
+	sid    uint32
+	weight int
+	class  Class
+	limit  Limit
+
+	// Guarded by s.mu.
+	q          []*ticket
+	deficit    int
+	fresh      bool // next head visit grants a new quantum
+	tokens     float64
+	lastRefill int64
+	inRing     bool
+	left       bool
+
+	admitted int64 // tickets served
+	cost     int64 // admitted cost
+	waitNS   int64 // total queue wait
+	maxDepth int
+}
+
+// Scheduler owns the batch loop. New starts it; Stop shuts it down.
+type Scheduler struct {
+	cfg Config
+
+	wake   chan struct{}
+	stopCh chan struct{}
+	done   chan struct{}
+
+	mu      sync.Mutex
+	tenants []*Tenant    // join order (stats enumeration)
+	ring    [2][]*Tenant // per-class DRR rings (admission order)
+	pending int
+	stopped bool
+
+	batches     int64
+	tickets     int64
+	costServed  int64
+	maxBatch    int
+	serveErrors int64
+}
+
+// New builds a scheduler and starts its batch loop.
+func New(cfg Config) *Scheduler {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 8
+	}
+	if cfg.MaxBatchCost <= 0 {
+		cfg.MaxBatchCost = 64
+	}
+	if cfg.NowNanos == nil {
+		cfg.NowNanos = func() int64 { return time.Now().UnixNano() }
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		wake:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// Stop shuts the loop down, failing every still-queued ticket with
+// ErrStopped. Call it only after the submitters are done (a serving
+// front-end stops the scheduler after draining its connections);
+// in-flight batches complete normally.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	already := s.stopped
+	s.stopped = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stopCh)
+	}
+	<-s.done
+}
+
+// Join adds a fair-share principal for the given session id. weight <= 0
+// means 1. name is diagnostic (counters).
+func (s *Scheduler) Join(name string, sessionID uint32, weight int, class Class, limit Limit) *Tenant {
+	if weight <= 0 {
+		weight = 1
+	}
+	if class != Bulk {
+		class = Latency
+	}
+	t := &Tenant{s: s, name: name, sid: sessionID, weight: weight, class: class, limit: limit, fresh: true}
+	if t.limit.PerSec > 0 {
+		t.tokens = float64(t.burst())
+		t.lastRefill = s.cfg.NowNanos()
+	}
+	s.mu.Lock()
+	s.tenants = append(s.tenants, t)
+	s.mu.Unlock()
+	return t
+}
+
+// Leave removes the tenant; still-queued tickets fail with ErrStopped.
+func (t *Tenant) Leave() {
+	s := t.s
+	s.mu.Lock()
+	if t.left {
+		s.mu.Unlock()
+		return
+	}
+	t.left = true
+	for i, o := range s.tenants {
+		if o == t {
+			s.tenants = append(s.tenants[:i], s.tenants[i+1:]...)
+			break
+		}
+	}
+	if t.inRing {
+		r := s.ring[t.class]
+		for i, o := range r {
+			if o == t {
+				s.ring[t.class] = append(r[:i], r[i+1:]...)
+				break
+			}
+		}
+		t.inRing = false
+	}
+	failed := t.q
+	t.q = nil
+	s.pending -= len(failed)
+	s.mu.Unlock()
+	for _, tk := range failed {
+		tk.done <- ErrStopped
+	}
+}
+
+// Epoch submits one serving epoch and blocks until the batch that
+// admitted it has been served (hixrt.ServeGate).
+func (t *Tenant) Epoch(cost int, enqueue func() error) error {
+	if cost <= 0 {
+		cost = 1
+	}
+	s := t.s
+	s.mu.Lock()
+	if s.stopped || t.left {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	tk := &ticket{cost: cost, enqueue: enqueue, done: make(chan error, 1), at: s.cfg.NowNanos()}
+	t.q = append(t.q, tk)
+	if len(t.q) > t.maxDepth {
+		t.maxDepth = len(t.q)
+	}
+	if !t.inRing {
+		s.ring[t.class] = append(s.ring[t.class], t)
+		t.inRing = true
+	}
+	s.pending++
+	s.mu.Unlock()
+	s.signal()
+	return <-tk.done
+}
+
+func (s *Scheduler) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the continuous-batching engine: admit whatever is ready, run
+// the admitted enqueues serially (deterministic order), wake the
+// serving engine once, signal the waiters, repeat. Batches form
+// naturally under load — everything submitted while the previous batch
+// was serving coalesces into the next one.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		s.gatherLocked()
+		batch, retry := s.admitLocked()
+		if len(batch) == 0 {
+			if s.stopped {
+				s.failAllLocked()
+				s.mu.Unlock()
+				return
+			}
+			pending := s.pending
+			s.mu.Unlock()
+			if pending > 0 && retry == 0 {
+				// Deficit-blocked only: credit accrues per admission
+				// round, so re-admit immediately.
+				continue
+			}
+			if retry > 0 {
+				// Rate-blocked: sleep until the earliest bucket refills
+				// (or new work arrives).
+				timer := time.NewTimer(retry)
+				select {
+				case <-s.wake:
+					timer.Stop()
+				case <-timer.C:
+				case <-s.stopCh:
+					timer.Stop()
+				}
+			} else {
+				select {
+				case <-s.wake:
+				case <-s.stopCh:
+				}
+			}
+			continue
+		}
+		s.mu.Unlock()
+
+		served := 0
+		for _, tk := range batch {
+			if tk.enqErr = runEnqueue(tk.enqueue); tk.enqErr == nil {
+				served++
+			}
+		}
+		var serveErr error
+		if served > 0 {
+			ids := make([]uint32, 0, len(batch))
+			for _, tk := range batch {
+				if tk.enqErr == nil {
+					ids = append(ids, tk.tenantSID)
+				}
+			}
+			serveErr = s.cfg.Batcher.ServeSessions(ids)
+		}
+		for _, tk := range batch {
+			err := tk.enqErr
+			if err == nil {
+				err = serveErr
+			}
+			tk.done <- err
+		}
+		s.mu.Lock()
+		if serveErr != nil {
+			s.serveErrors++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// gatherYields bounds the admission window: how many scheduler-thread
+// yields a forming batch will spend waiting for more submitters.
+const gatherYields = 4
+
+// gatherLocked is the admission window. A submitter's Epoch call makes
+// this goroutine runnable immediately (the runtime favors a woken
+// receiver), so without a window the loop would admit every ticket the
+// instant it arrives and batches would never exceed one ticket even
+// with eight connections racing. While fewer tickets are pending than
+// tenants are joined, yield the thread — bounded, and only while each
+// yield actually surfaces new submissions — so runnable executors get
+// to enqueue into the same batch. A lone tenant never waits: pending
+// equals the join count and the window closes instantly.
+func (s *Scheduler) gatherLocked() {
+	for yields := 0; yields < gatherYields; yields++ {
+		if s.stopped || s.pending == 0 || s.pending >= len(s.tenants) {
+			return
+		}
+		before := s.pending
+		s.mu.Unlock()
+		runtime.Gosched()
+		s.mu.Lock()
+		if s.pending <= before {
+			return
+		}
+	}
+}
+
+// runEnqueue shields the shared loop from a panicking enqueue closure:
+// the panic becomes that ticket's error instead of hanging every
+// tenant behind a dead scheduler goroutine.
+func runEnqueue(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: enqueue panic: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// failAllLocked fails every queued ticket (scheduler stopping with
+// rate-blocked leftovers).
+func (s *Scheduler) failAllLocked() {
+	for class := range s.ring {
+		for _, t := range s.ring[class] {
+			for _, tk := range t.q {
+				tk.done <- ErrStopped
+			}
+			s.pending -= len(t.q)
+			t.q = nil
+			t.inRing = false
+		}
+		s.ring[class] = nil
+	}
+}
+
+func (t *Tenant) burst() int {
+	b := t.limit.Burst
+	if b <= 0 {
+		b = int(math.Ceil(t.limit.PerSec))
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// refill advances the token bucket to now.
+func (t *Tenant) refill(now int64) {
+	if t.limit.PerSec <= 0 {
+		return
+	}
+	dt := now - t.lastRefill
+	if dt <= 0 {
+		return
+	}
+	t.tokens = math.Min(float64(t.burst()), t.tokens+t.limit.PerSec*float64(dt)/1e9)
+	t.lastRefill = now
+}
+
+// waitFor is how long until the bucket holds cost tokens.
+func (t *Tenant) waitFor(cost int) time.Duration {
+	need := float64(cost) - t.tokens
+	if need <= 0 {
+		return 0
+	}
+	return time.Duration(need / t.limit.PerSec * 1e9)
+}
+
+// admitLocked forms one batch under the DRR policy. It returns the
+// admitted tickets in enqueue order and, when nothing was admissible
+// because of rate limits, how long until the earliest blocked tenant's
+// bucket refills (0 = nothing rate-blocked).
+func (s *Scheduler) admitLocked() (batch []*ticket, retry time.Duration) {
+	if s.pending == 0 {
+		return nil, 0
+	}
+	now := s.cfg.NowNanos()
+	used := 0
+	for class := Latency; class <= Bulk; class++ {
+		// The latency pass leaves at least a quarter of the budget for a
+		// backlogged bulk pass: skip-the-line, not starvation. The bulk
+		// pass then fills the whole remaining budget.
+		classCap := s.cfg.MaxBatchCost
+		if class == Latency && len(s.ring[Bulk]) > 0 {
+			classCap -= s.cfg.MaxBatchCost / 4
+		}
+		classFull := false
+		n := len(s.ring[class])
+		for visit := 0; visit < n && !classFull; visit++ {
+			t := s.ring[class][0]
+			t.refill(now)
+			// Classic DRR: the quantum is granted once per head stint. A
+			// tenant whose service was truncated by the batch budget (not
+			// its credit) resumes later with its remaining deficit only —
+			// otherwise deficits grow without bound, stop binding, and
+			// shares collapse toward equal-per-turn instead of
+			// weight-proportional.
+			if t.fresh {
+				t.deficit += s.cfg.Quantum * t.weight
+				t.fresh = false
+			}
+			rateBlocked := false
+			for len(t.q) > 0 {
+				tk := t.q[0]
+				if tk.cost > t.deficit {
+					break
+				}
+				if t.limit.PerSec > 0 && t.tokens < float64(tk.cost) {
+					if w := t.waitFor(tk.cost); retry == 0 || w < retry {
+						retry = w
+					}
+					rateBlocked = true
+					break
+				}
+				if used > 0 && used+tk.cost > classCap {
+					classFull = true
+					break
+				}
+				t.q = t.q[1:]
+				t.deficit -= tk.cost
+				if t.limit.PerSec > 0 {
+					t.tokens -= float64(tk.cost)
+				}
+				used += tk.cost
+				tk.tenantSID = t.sid
+				batch = append(batch, tk)
+				s.pending--
+				t.admitted++
+				t.cost += int64(tk.cost)
+				t.waitNS += now - tk.at
+			}
+			switch {
+			case len(t.q) == 0:
+				// Standard DRR: an emptied queue forfeits its credit, so
+				// an idle tenant cannot bank an unbounded burst.
+				t.deficit = 0
+				t.fresh = true
+				t.inRing = false
+				s.ring[class] = s.ring[class][1:]
+			case classFull:
+				// Budget truncation: keep the head position and the
+				// remaining credit; the next batch resumes here.
+			default:
+				// Credit spent (or waiting on the rate bucket with
+				// credit in hand): rotate to the tail. Only spent credit
+				// earns a fresh quantum next stint.
+				t.fresh = !rateBlocked
+				s.ring[class] = append(s.ring[class][1:], t)
+			}
+		}
+	}
+	if len(batch) > 0 {
+		s.batches++
+		s.tickets += int64(len(batch))
+		s.costServed += int64(used)
+		if len(batch) > s.maxBatch {
+			s.maxBatch = len(batch)
+		}
+		retry = 0
+	}
+	return batch, retry
+}
+
+// TenantStats is one tenant's counter snapshot.
+type TenantStats struct {
+	Name     string `json:"name"`
+	Session  uint32 `json:"session"`
+	Weight   int    `json:"weight"`
+	Class    string `json:"class"`
+	Admitted int64  `json:"admitted"` // tickets served
+	Cost     int64  `json:"cost"`     // admitted cost units
+	Queued   int    `json:"queued"`   // current queue depth
+	MaxDepth int    `json:"max_depth"`
+	WaitNS   int64  `json:"wait_ns"` // cumulative queue wait
+}
+
+// Stats is a scheduler counter snapshot (expvar on the hixserve -pprof
+// listener exports it).
+type Stats struct {
+	Batches     int64         `json:"batches"`
+	Tickets     int64         `json:"tickets"`
+	Cost        int64         `json:"cost"`
+	MaxBatch    int           `json:"max_batch"`
+	Occupancy   float64       `json:"occupancy"` // mean tickets per batch
+	Pending     int           `json:"pending"`
+	ServeErrors int64         `json:"serve_errors"`
+	Tenants     []TenantStats `json:"tenants"`
+}
+
+// Snapshot returns the current counters.
+func (s *Scheduler) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Batches:     s.batches,
+		Tickets:     s.tickets,
+		Cost:        s.costServed,
+		MaxBatch:    s.maxBatch,
+		Pending:     s.pending,
+		ServeErrors: s.serveErrors,
+	}
+	if s.batches > 0 {
+		st.Occupancy = float64(s.tickets) / float64(s.batches)
+	}
+	st.Tenants = make([]TenantStats, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		st.Tenants = append(st.Tenants, TenantStats{
+			Name:     t.name,
+			Session:  t.sid,
+			Weight:   t.weight,
+			Class:    t.class.String(),
+			Admitted: t.admitted,
+			Cost:     t.cost,
+			Queued:   len(t.q),
+			MaxDepth: t.maxDepth,
+			WaitNS:   t.waitNS,
+		})
+	}
+	return st
+}

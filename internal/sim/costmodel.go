@@ -33,6 +33,7 @@ type CostModel struct {
 	TaskInitGdev    Duration // Gdev context+task initialization (baseline)
 	TaskInitHIX     Duration // HIX GPU-enclave session task init (slightly lower; §5.3.2)
 	IPCRoundTrip    Duration // user-enclave <-> GPU-enclave message queue round trip
+	ServeWakeup     Duration // GPU-enclave serving-loop activation per wakeup (§4.4.1)
 	AttestKeyExch   Duration // one-time local attestation + Diffie-Hellman
 	ContextSwitch   Duration // GPU context switch between user contexts (§4.5)
 	MemAllocPerCall Duration // cuMemAlloc / cuMemFree bookkeeping
@@ -72,6 +73,7 @@ func Default() CostModel {
 		TaskInitGdev:    30000 * time.Microsecond,
 		TaskInitHIX:     2400 * time.Microsecond,
 		IPCRoundTrip:    18 * time.Microsecond,
+		ServeWakeup:     12 * time.Microsecond,
 		AttestKeyExch:   1200 * time.Microsecond,
 		ContextSwitch:   55 * time.Microsecond,
 		MemAllocPerCall: 60 * time.Microsecond,

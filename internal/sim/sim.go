@@ -55,6 +55,7 @@ const (
 	ResPCIe       Resource = "pcie"        // the PCIe link between root complex and GPU
 	ResGPUDMA     Resource = "gpu-dma"     // the GPU's DMA copy engine
 	ResGPUCompute Resource = "gpu-compute" // the GPU's compute engine (SMs)
+	ResGECore     Resource = "ge-core"     // the GPU enclave's dedicated serving core
 )
 
 // CPULane returns the compute resource for one host core; lane 0 is

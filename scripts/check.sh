@@ -5,9 +5,13 @@
 # BENCH_pr1.json (datapath microbenches), BENCH_pr2.json (serving-engine
 # experiments via hixbench), BENCH_pr3.json (network serving layer:
 # remote-vs-in-process identity gate + loopback connection sweep),
-# BENCH_pr4.json (seeded chaos sweep + reconnect gate), and
+# BENCH_pr4.json (seeded chaos sweep + reconnect gate),
 # BENCH_pr5.json (wire v2 pipelining: transport identity gate +
-# in-flight depth sweep with the 1.5x depth-8 throughput gate).
+# in-flight depth sweep with the 1.5x depth-8 throughput gate), and
+# BENCH_pr7.json (continuous batching + QoS: identity, throughput,
+# fairness gates). --bench also runs scripts/benchdiff.sh first, so a
+# regression against the committed trajectory fails before any file is
+# rewritten.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -39,17 +43,24 @@ go test ./...
 # schedule-reproducibility gate.
 echo "== go test -race (concurrent paths) =="
 go test -race -count=1 ./internal/ocb/
+go test -race -count=1 ./internal/sched/
 go test -race -count=1 ./internal/hixrt/ \
 	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism|TestPipe'
 go test -race -count=1 ./internal/wire/
 go test -race -count=1 ./internal/faults/
-go test -race -count=1 -timeout 10m ./internal/netserve/ \
-	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI'
+go test -race -count=1 -timeout 15m ./internal/netserve/ \
+	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI|TestSchedConcurrentConnections'
 
 if [ "$bench" != "1" ]; then
 	echo "== OK (benchmarks skipped; pass --bench to run them) =="
 	exit 0
 fi
+
+# Gate before refresh: a fresh run of every hixbench-backed BENCH file
+# must stay within tolerance of the committed trajectory (and keep
+# every committed gate passing) before the files below are rewritten.
+echo "== benchdiff (fresh vs committed trajectory) =="
+./scripts/benchdiff.sh
 
 echo "== benchmarks -> BENCH_pr1.json =="
 tmp=$(mktemp)
@@ -84,5 +95,8 @@ go run ./cmd/hixbench -exp faults -json BENCH_pr4.json
 
 echo "== wire v2 pipelining -> BENCH_pr5.json =="
 go run ./cmd/hixbench -exp pipeline -json BENCH_pr5.json
+
+echo "== continuous batching + QoS -> BENCH_pr7.json =="
+go run ./cmd/hixbench -exp sched -json BENCH_pr7.json
 
 echo "== OK =="
