@@ -1,0 +1,393 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/hixrt"
+	"repro/internal/machine"
+	"repro/internal/netserve"
+	"repro/internal/sim"
+)
+
+// partition: GPU partitioning + the multi-GPU fleet with isolation-aware
+// placement. Three gates:
+//
+//   - Isolation: tenant A1 pinned to partition 0 of a 2-partition device
+//     runs a fixed data-path workload; co-tenant A2, pinned to partition
+//     1, hammers launch bursts between every A1 operation. A1's per-op
+//     simulated completion times, its partition-filtered timeline trace,
+//     and its ciphertext stream must be byte-identical to the run where
+//     A2 does not exist — checked for 2 seeds. A negative control pins
+//     A2 onto A1's partition and must perturb A1's times (else the gate
+//     proves nothing).
+//   - Capacity: 4 tenants over netserve (placer-spread) on a device
+//     carved into 1/2/4 partitions; aggregate simulated req/s at p=4
+//     must be >= ptScaleGate x the p=1 figure. Partitioning removes the
+//     cross-tenant context switches and lets fixed per-launch costs
+//     overlap on disjoint SM sets.
+//   - Fleet: the same load on 1 vs 2 GPUs (2 partitions each), recorded
+//     for the throughput ledger.
+const (
+	ptHammer      = 6        // A2 launch burst before every A1 op
+	ptOps         = 10       // A1 timed data-path iterations
+	ptChunk       = 96 << 10 // A1 per-iteration transfer bytes
+	ptSweepConns  = 4
+	ptSweepDepth  = 8
+	ptSweepRounds = 120
+	ptScaleGate   = 1.5 // required p=4 over p=1 simulated speedup
+	ptSweepSeed   = "partition-sweep"
+)
+
+var ptSeeds = []string{"partition-exp-a", "partition-exp-b"}
+
+// ptMeas gives tenant i a distinct measurement (and thus a distinct
+// placer affinity key, so sweep tenants spread instead of piling onto
+// one remembered partition).
+func ptMeas(i int) attest.Measurement {
+	var m attest.Measurement
+	copy(m[:], fmt.Sprintf("part-tenant-%02d", i))
+	return m
+}
+
+func ptMachine(seed string, gpus, partitions int) (*machine.Machine, error) {
+	return machine.New(machine.Config{
+		DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+		Channels: 8, PlatformSeed: seed,
+		GPUs: gpus, Partitions: partitions,
+	})
+}
+
+// ptA1Lanes is the resource set tenant A1's work lands on: every engine
+// lane of partition 0 on device 0 (the legacy base names).
+func ptA1Lanes() map[sim.Resource]bool {
+	return map[sim.Resource]bool{
+		sim.GPUComputeLane(0, 0): true,
+		sim.GPUCryptoLane(0, 0):  true,
+		sim.GPUDMALane(0, 0):     true,
+		sim.PCIeLane(0, 0):       true,
+		sim.GECoreLane(0, 0):     true,
+	}
+}
+
+// ptIsolation drives A1's fixed workload on partition 0, with A2 either
+// absent or hammering partition a2part between every A1 op, and returns
+// A1's per-op simulated completion times, the digest of A1's
+// partition-filtered timeline trace, and A1's ciphertext digest.
+func ptIsolation(seed string, load bool, a2part int) (opTimes string, traceDigest string, cipher string, err error) {
+	m, err := ptMachine(seed, 1, 2)
+	if err != nil {
+		return "", "", "", err
+	}
+	m.Timeline.EnableTrace()
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return "", "", "", err
+	}
+	ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+	if err != nil {
+		return "", "", "", err
+	}
+	meas1 := ptMeas(1)
+	c1, err := hixrt.NewClient(m, ge, vendor.PublicKey(), meas1[:])
+	if err != nil {
+		return "", "", "", err
+	}
+	c1.Partition = 1 // partition index 0
+	s1, err := c1.OpenSession()
+	if err != nil {
+		return "", "", "", err
+	}
+	cap1 := newNsCipher()
+	nsTap(m, s1, cap1)
+
+	var s2 *hixrt.Session
+	if load {
+		meas2 := ptMeas(2)
+		c2, err := hixrt.NewClient(m, ge, vendor.PublicKey(), meas2[:])
+		if err != nil {
+			return "", "", "", err
+		}
+		c2.Partition = a2part + 1
+		if s2, err = c2.OpenSession(); err != nil {
+			return "", "", "", err
+		}
+	}
+
+	// A1's fixed data path: one buffer, then ptOps rounds of seal+DMA
+	// in, launch, DMA+open out — the full single-copy pipeline. A2's
+	// bursts are interleaved single-threaded before every A1 op, so the
+	// schedule pressure is deterministic and maximal: if partitions
+	// shared any engine lane, queueing would shift A1's times.
+	hammer := func() error {
+		if s2 == nil {
+			return nil
+		}
+		for j := 0; j < ptHammer; j++ {
+			if err := s2.Launch(gpu.KernelNop, [gpu.NumKernelParams]uint64{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	data := make([]byte, ptChunk)
+	for i := range data {
+		data[i] = byte(i*131 + i>>9)
+	}
+	out := make([]byte, ptChunk)
+	var times []sim.Time
+	mark := func() { times = append(times, s1.Now()) }
+	if err := hammer(); err != nil {
+		return "", "", "", err
+	}
+	ptr, err := s1.MemAlloc(ptChunk)
+	if err != nil {
+		return "", "", "", err
+	}
+	mark()
+	for i := 0; i < ptOps; i++ {
+		if err := hammer(); err != nil {
+			return "", "", "", err
+		}
+		if err := s1.MemcpyHtoD(ptr, data, 0); err != nil {
+			return "", "", "", err
+		}
+		mark()
+		if err := hammer(); err != nil {
+			return "", "", "", err
+		}
+		if err := s1.Launch(gpu.KernelNop, [gpu.NumKernelParams]uint64{}); err != nil {
+			return "", "", "", err
+		}
+		mark()
+		if err := hammer(); err != nil {
+			return "", "", "", err
+		}
+		if err := s1.MemcpyDtoH(out, ptr, 0); err != nil {
+			return "", "", "", err
+		}
+		mark()
+	}
+	if err := s1.Close(); err != nil {
+		return "", "", "", err
+	}
+	if s2 != nil {
+		if err := s2.Close(); err != nil {
+			return "", "", "", err
+		}
+	}
+
+	lanes := ptA1Lanes()
+	h := sha256.New()
+	for _, iv := range m.Timeline.Trace() {
+		if !lanes[iv.Resource] {
+			continue
+		}
+		fmt.Fprintf(h, "%s %s %d %d\n", iv.Resource, iv.Label, iv.Start, iv.End)
+	}
+	opTimes = fmt.Sprint(times)
+	return opTimes, hex.EncodeToString(h.Sum(nil)), cap1.sum(), nil
+}
+
+// ptSweepRes is one capacity-sweep configuration's outcome.
+type ptSweepRes struct {
+	sim  time.Duration
+	wall time.Duration
+}
+
+func (r ptSweepRes) simReqPerSec() float64 {
+	return float64(ptSweepConns*ptSweepRounds) / r.sim.Seconds()
+}
+
+// ptSweep drives ptSweepConns distinct tenants through netserve — the
+// placer spreads them across the fleet's partitions — with pipelined
+// launch rounds, and reports the simulated makespan.
+func ptSweep(gpus, partitions int) (ptSweepRes, error) {
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{
+			DRAMBytes: 768 << 20, EPCBytes: 64 << 20, VRAMBytes: 512 << 20,
+			Channels: 8, PlatformSeed: ptSweepSeed,
+			GPUs: gpus, Partitions: partitions,
+		},
+		MaxConns:    ptSweepConns,
+		MaxInFlight: ptSweepDepth,
+	})
+	if err != nil {
+		return ptSweepRes{}, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return ptSweepRes{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	m := srv.Machine()
+	sessions := make([]*hixrt.RemoteSession, ptSweepConns)
+	for i := range sessions {
+		s, err := hixrt.DialConfig(addr.String(), hixrt.RemoteConfig{
+			Measurement: ptMeas(i), MaxInFlight: ptSweepDepth,
+		})
+		if err != nil {
+			return ptSweepRes{}, err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	errs := make([]error, ptSweepConns)
+	var wg sync.WaitGroup
+	h0 := m.Timeline.Horizon()
+	t0 := time.Now()
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sessions[i]
+			pend := make([]*hixrt.Pending, 0, ptSweepRounds)
+			for r := 0; r < ptSweepRounds; r++ {
+				pend = append(pend, s.StartLaunch(gpu.KernelNop, [gpu.NumKernelParams]uint64{}))
+			}
+			for _, p := range pend {
+				if err := p.Wait(); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res := ptSweepRes{
+		sim:  time.Duration(m.Timeline.Horizon() - h0),
+		wall: time.Since(t0),
+	}
+	for i, s := range sessions {
+		if errs[i] == nil {
+			errs[i] = s.Close()
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return ptSweepRes{}, err
+		}
+	}
+	return res, nil
+}
+
+func partitionExp() bool {
+	fmt.Println("== Extension: GPU partitioning + multi-GPU fleet with isolation-aware placement ==")
+	fmt.Printf("isolation gate: A1 on partition 0, A2 hammering %d launches per A1 op on partition 1\n", ptHammer)
+	for _, seed := range ptSeeds {
+		idleT, idleTr, idleC, err := ptIsolation(seed, false, 1)
+		if err != nil {
+			return fail(fmt.Errorf("partition isolation (idle, seed=%s): %w", seed, err))
+		}
+		loadT, loadTr, loadC, err := ptIsolation(seed, true, 1)
+		if err != nil {
+			return fail(fmt.Errorf("partition isolation (loaded, seed=%s): %w", seed, err))
+		}
+		timesOK := idleT == loadT
+		traceOK := idleTr == loadTr
+		ctOK := idleC == loadC
+		ok := timesOK && traceOK && ctOK
+		fmt.Printf("  seed=%s: op-times equal=%v, partition-trace equal=%v, ciphertext equal=%v\n",
+			seed, timesOK, traceOK, ctOK)
+		record(map[string]any{
+			"name":             fmt.Sprintf("partition/isolation/seed=%s", seed),
+			"op_times_equal":   timesOK,
+			"trace_equal":      traceOK,
+			"ciphertext_equal": ctOK,
+			"pass":             ok,
+		})
+		if !ok {
+			return fail(fmt.Errorf("partition: co-tenant load perturbed A1 (seed=%s)", seed))
+		}
+	}
+
+	// Negative control: the same hammering on A1's own partition must
+	// shift A1's schedule, or the gate above is vacuous.
+	idleT, _, _, err := ptIsolation(ptSeeds[0], false, 0)
+	if err != nil {
+		return fail(fmt.Errorf("partition negative control (idle): %w", err))
+	}
+	sameT, _, _, err := ptIsolation(ptSeeds[0], true, 0)
+	if err != nil {
+		return fail(fmt.Errorf("partition negative control (loaded): %w", err))
+	}
+	perturbed := idleT != sameT
+	fmt.Printf("  negative control (A2 on A1's partition): perturbed=%v\n", perturbed)
+	record(map[string]any{
+		"name":      "partition/negative-control",
+		"perturbed": perturbed,
+		"pass":      perturbed,
+	})
+	if !perturbed {
+		return fail(fmt.Errorf("partition: same-partition load did not perturb A1 — gate is vacuous"))
+	}
+	fmt.Println("  per-partition schedules are load-independent across partitions")
+
+	fmt.Printf("capacity sweep: %d tenants x depth %d x %d launches over netserve, GOMAXPROCS=%d\n",
+		ptSweepConns, ptSweepDepth, ptSweepRounds, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-22s %12s %14s %12s\n", "configuration", "sim ms", "sim req/s", "wall ms")
+	sweep := map[int]ptSweepRes{}
+	for _, p := range []int{1, 2, 4} {
+		res, err := ptSweep(1, p)
+		if err != nil {
+			return fail(fmt.Errorf("partition sweep (p=%d): %w", p, err))
+		}
+		sweep[p] = res
+		fmt.Printf("1 GPU x %-2d partitions %12.1f %14.0f %12.1f\n",
+			p, float64(res.sim.Microseconds())/1000, res.simReqPerSec(),
+			float64(res.wall.Microseconds())/1000)
+		record(map[string]any{
+			"name":          fmt.Sprintf("partition/sweep/partitions=%d", p),
+			"sim_ms":        float64(res.sim.Microseconds()) / 1000,
+			"sim_req_per_s": res.simReqPerSec(),
+			"wall_ms":       float64(res.wall.Microseconds()) / 1000,
+		})
+	}
+	scaling := sweep[4].simReqPerSec() / sweep[1].simReqPerSec()
+	gateOK := scaling >= ptScaleGate
+	record(map[string]any{
+		"name":    "partition/capacity-gate",
+		"scaling": scaling,
+		"gate":    ptScaleGate,
+		"pass":    gateOK,
+	})
+	if gateOK {
+		fmt.Printf("  gate: 4-partition over 1-partition simulated throughput %.2fx >= %.2fx\n", scaling, ptScaleGate)
+	} else {
+		fmt.Printf("  GATE FAILED: 4-partition over 1-partition simulated throughput %.2fx < %.2fx\n", scaling, ptScaleGate)
+	}
+
+	fleet1, err := ptSweep(1, 2)
+	if err != nil {
+		return fail(fmt.Errorf("partition fleet (1 GPU): %w", err))
+	}
+	fleet2, err := ptSweep(2, 2)
+	if err != nil {
+		return fail(fmt.Errorf("partition fleet (2 GPUs): %w", err))
+	}
+	fmt.Printf("fleet: 2 partitions each, 1 GPU %.0f sim req/s vs 2 GPUs %.0f sim req/s (%.2fx)\n",
+		fleet1.simReqPerSec(), fleet2.simReqPerSec(),
+		fleet2.simReqPerSec()/fleet1.simReqPerSec())
+	record(map[string]any{
+		"name":          "partition/fleet/gpus=2",
+		"sim_req_per_s": fleet2.simReqPerSec(),
+		"speedup":       fleet2.simReqPerSec() / fleet1.simReqPerSec(),
+	})
+	fmt.Println()
+	if !gateOK {
+		return fail(fmt.Errorf("partition: capacity gate not met"))
+	}
+	return true
+}

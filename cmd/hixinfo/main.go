@@ -1,7 +1,8 @@
 // Command hixinfo prints the platform's static inventory: the required
 // hardware/software changes (Table 1), the TCB breakdown (Table 2), the
-// prototype configuration (Table 3), and the live PCIe topology with the
-// GPU enclave's measurements.
+// prototype configuration (Table 3), the live PCIe topology with the
+// GPU enclave's measurements, and the fleet's partition topology
+// (-topo: per-device SM sets, L2 sets, VRAM ranges, measurements).
 package main
 
 import (
@@ -10,6 +11,10 @@ import (
 	"os"
 
 	"repro/hix"
+	"repro/internal/attest"
+	hixenc "repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/part"
 )
 
 func main() {
@@ -17,9 +22,12 @@ func main() {
 	tcb := flag.Bool("tcb", false, "print Table 2 (TCB breakdown)")
 	config := flag.Bool("config", false, "print Table 3 (platform configuration)")
 	live := flag.Bool("live", false, "boot a platform and print its measurements")
+	topo := flag.Bool("topo", false, "boot a fleet and print its partition topology")
+	gpus := flag.Int("gpus", 2, "GPUs for -topo")
+	partitions := flag.Int("partitions", 4, "partitions per GPU for -topo")
 	flag.Parse()
-	if !*changes && !*tcb && !*config && !*live {
-		*changes, *tcb, *config, *live = true, true, true, true
+	if !*changes && !*tcb && !*config && !*live && !*topo {
+		*changes, *tcb, *config, *live, *topo = true, true, true, true, true
 	}
 
 	if *changes {
@@ -33,6 +41,12 @@ func main() {
 	}
 	if *live {
 		if err := printLive(); err != nil {
+			fmt.Fprintln(os.Stderr, "hixinfo:", err)
+			os.Exit(1)
+		}
+	}
+	if *topo {
+		if err := printTopo(*gpus, *partitions); err != nil {
 			fmt.Fprintln(os.Stderr, "hixinfo:", err)
 			os.Exit(1)
 		}
@@ -104,5 +118,50 @@ func printLive() error {
 	fmt.Printf("MMIO lockdown         : %v\n", p.LockdownActive())
 	fmt.Printf("GPU                   : %s at %s, %d MiB VRAM\n",
 		p.Machine().GPU.DeviceName(), p.Machine().GPUBDF, p.Machine().GPU.VRAMSize()>>20)
+	return nil
+}
+
+// printTopo boots a seeded fleet — gpus devices, partitions slices each,
+// one GPU enclave per device — and prints the placement-relevant
+// topology: disjoint SM sets, L2 cache sets, DRAM banks, VRAM extent
+// ranges, channel blocks, and each device's enclave measurements.
+func printTopo(gpus, partitions int) error {
+	m, err := machine.New(machine.Config{
+		PlatformSeed: "hixinfo-topo",
+		GPUs:         gpus,
+		Partitions:   partitions,
+	})
+	if err != nil {
+		return err
+	}
+	vendor, err := attest.NewSigningAuthority()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== fleet topology (%d GPUs x %d partitions) ==\n", gpus, partitions)
+	topo := part.FromMachine(m)
+	for _, d := range topo.Devices {
+		ge, err := hixenc.Launch(hixenc.Config{
+			Machine: m,
+			Vendor:  vendor,
+			GPU:     m.GPUBDFs[d.Index],
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gpu%d %s at %s\n", d.Index, d.Name, m.GPUBDFs[d.Index])
+		fmt.Printf("  enclave MRENCLAVE : %s\n", ge.Measurement())
+		fmt.Printf("  GPU BIOS measure  : %s\n", ge.BIOSMeasurement())
+		for _, pi := range d.Partitions {
+			fmt.Printf("  part%d: SMs %d-%d  L2 sets %d-%d  DRAM banks %d-%d  VRAM [%#x,%#x)  channels %d-%d  (%.0f%% compute)\n",
+				pi.Index,
+				pi.SMFirst, pi.SMFirst+pi.SMCount-1,
+				pi.L2SetFirst, pi.L2SetFirst+pi.L2SetCount-1,
+				pi.DRAMBankFirst, pi.DRAMBankFirst+pi.DRAMBankCount-1,
+				pi.VRAMBase, pi.VRAMBase+pi.VRAMSize,
+				pi.ChanFirst, pi.ChanFirst+pi.ChanCount-1,
+				pi.SMFraction*100)
+		}
+	}
 	return nil
 }

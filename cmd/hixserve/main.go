@@ -54,6 +54,8 @@ func main() {
 		schedOn      = flag.Bool("sched", false, "enable the cross-connection continuous-batching scheduler")
 		schedQuantum = flag.Int("sched-quantum", 0, "fair-share quantum in epoch cost units per weight point per round (0 = default)")
 		schedBatch   = flag.Int("sched-batch", 0, "max admitted cost per enclave wakeup (0 = default)")
+		gpus         = flag.Int("gpus", 1, "simulated GPUs to attach (one GPU enclave each)")
+		partitions   = flag.Int("partitions", 1, "isolated partitions per GPU (disjoint SM sets, L2 sets, VRAM ranges)")
 	)
 	flag.Parse()
 
@@ -72,7 +74,7 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	srv, err := netserve.New(netserve.Config{
-		MachineConfig:     &machine.Config{PlatformSeed: *seed},
+		MachineConfig:     &machine.Config{PlatformSeed: *seed, GPUs: *gpus, Partitions: *partitions},
 		ServeWorkers:      *serveWorkers,
 		SegmentBytes:      *segMB << 20,
 		Kernels:           workloads.AllKernels(),
@@ -96,12 +98,23 @@ func main() {
 	if sc := srv.Sched(); sc != nil {
 		expvar.Publish("hix.sched", expvar.Func(func() any { return sc.Snapshot() }))
 	}
+	// hix.part: per-partition occupancy (sessions, reserved VRAM) plus
+	// lifetime placement counters from the fleet placer.
+	expvar.Publish("hix.part", expvar.Func(func() any {
+		placements, rejections, affinityHits := srv.Placer().Counters()
+		return map[string]any{
+			"partitions":    srv.Placer().Stats(),
+			"placements":    placements,
+			"rejections":    rejections,
+			"affinity_hits": affinityHits,
+		}
+	}))
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatalf("hixserve: %v", err)
 	}
-	log.Printf("hixserve: listening on %s (serve-workers=%d max-conns=%d enclave=%s)",
-		bound, *serveWorkers, *maxConns, srv.Enclave().Measurement())
+	log.Printf("hixserve: listening on %s (serve-workers=%d max-conns=%d gpus=%d partitions=%d enclave=%s)",
+		bound, *serveWorkers, *maxConns, *gpus, *partitions, srv.Enclave().Measurement())
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)

@@ -38,7 +38,8 @@ type Core struct {
 	cm sim.CostModel
 
 	mu    sync.Mutex
-	seq   map[int]uint32 // per-channel fence sequence; channels submit independently
+	seq   map[int]uint32       // per-channel fence sequence; channels submit independently
+	lanes map[int]sim.Resource // per-channel MMIO lane; unset channels use ResPCIe
 	alloc *vramAllocator
 }
 
@@ -51,7 +52,35 @@ func NewCore(mm MMIO, vramSize uint64, tl *sim.Timeline, cm sim.CostModel) (*Cor
 	if err != nil {
 		return nil, err
 	}
-	return &Core{mm: mm, tl: tl, cm: cm, seq: make(map[int]uint32), alloc: a}, nil
+	return &Core{
+		mm:    mm,
+		tl:    tl,
+		cm:    cm,
+		seq:   make(map[int]uint32),
+		lanes: make(map[int]sim.Resource),
+		alloc: a,
+	}, nil
+}
+
+// SetChannelLane routes a channel's submission-path MMIO traffic (ring
+// writes, doorbells, fence/status polls) to a dedicated timeline
+// resource — the partition's provisioned slice of the link — so one
+// partition's submissions never queue behind a sibling's. Device-global
+// operations (probe, reset, aperture copies) stay on the shared link.
+func (c *Core) SetChannelLane(ch int, res sim.Resource) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lanes[ch] = res
+}
+
+// laneFor resolves a channel's submission MMIO lane.
+func (c *Core) laneFor(ch int) sim.Resource {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.lanes[ch]; ok {
+		return r
+	}
+	return sim.ResPCIe
 }
 
 // Cost exposes the cost model for layered runtimes.
@@ -127,12 +156,13 @@ func (c *Core) Submit(ch int, now sim.Time, op gpu.Opcode, payload []byte) (gpu.
 // (pstatus) to charge its timing at the canonical point in the schedule.
 func (c *Core) SubmitPhase(ch int, now sim.Time, op gpu.Opcode, payload []byte, phase uint8, pstatus gpu.Status) (gpu.Status, sim.Time, error) {
 	seq := c.nextSeq(ch)
+	lane := c.laneFor(ch)
 	charged := phase != gpu.PhaseData
 	if charged {
 		// Ring writes are MMIO traffic: charge them before the device
 		// sees the doorbell.
 		cmdBytes := gpu.HeaderSize + len(payload)
-		_, now = c.tl.AcquireLabeled(sim.ResPCIe, "ring-write", now,
+		_, now = c.tl.AcquireLabeled(lane, "ring-write", now,
 			sim.TransferTime(cmdBytes, c.cm.MMIOWriteBandwidth, c.cm.MMIOAccess))
 	}
 
@@ -146,28 +176,28 @@ func (c *Core) SubmitPhase(ch int, now sim.Time, op gpu.Opcode, payload []byte, 
 		return 0, now, err
 	}
 	chanBase := uint64(gpu.ChannelRegsBase + ch*gpu.ChannelRegsSize)
-	now, err := c.phaseWriteReg32(charged, chanBase+gpu.ChanDoorbell, uint32(len(enc)), now)
+	now, err := c.phaseWriteReg32(charged, lane, chanBase+gpu.ChanDoorbell, uint32(len(enc)), now)
 	if err != nil {
 		return 0, now, err
 	}
 	// Fence poll (the device model completes synchronously; simulated
 	// time still reflects the real wait via the completion register).
-	fence, now, err := c.phaseReg32(charged, chanBase+gpu.ChanFenceSeq, now)
+	fence, now, err := c.phaseReg32(charged, lane, chanBase+gpu.ChanFenceSeq, now)
 	if err != nil {
 		return 0, now, err
 	}
 	if fence != seq {
 		return 0, now, fmt.Errorf("gdev: fence %d != submitted %d (concurrent channel use?)", fence, seq)
 	}
-	statusV, now, err := c.phaseReg32(charged, chanBase+gpu.ChanStatus, now)
+	statusV, now, err := c.phaseReg32(charged, lane, chanBase+gpu.ChanStatus, now)
 	if err != nil {
 		return 0, now, err
 	}
-	lo, now, err := c.phaseReg32(charged, chanBase+gpu.ChanCompleteLo, now)
+	lo, now, err := c.phaseReg32(charged, lane, chanBase+gpu.ChanCompleteLo, now)
 	if err != nil {
 		return 0, now, err
 	}
-	hi, now, err := c.phaseReg32(charged, chanBase+gpu.ChanCompleteHi, now)
+	hi, now, err := c.phaseReg32(charged, lane, chanBase+gpu.ChanCompleteHi, now)
 	if err != nil {
 		return 0, now, err
 	}
@@ -178,27 +208,27 @@ func (c *Core) SubmitPhase(ch int, now sim.Time, op gpu.Opcode, payload []byte, 
 	return gpu.Status(statusV), now, nil
 }
 
-// phaseReg32 reads a register, charging the MMIO access only when the
-// submission phase accounts time.
-func (c *Core) phaseReg32(charged bool, off uint64, now sim.Time) (uint32, sim.Time, error) {
-	if charged {
-		return c.reg32(off, now)
-	}
+// phaseReg32 reads a register, charging the MMIO access on the
+// channel's lane only when the submission phase accounts time.
+func (c *Core) phaseReg32(charged bool, lane sim.Resource, off uint64, now sim.Time) (uint32, sim.Time, error) {
 	var b [4]byte
 	if err := c.mm.ReadBar0(off, b[:]); err != nil {
 		return 0, now, err
 	}
+	if charged {
+		_, now = c.tl.AcquireLabeled(lane, "mmio-read", now, c.cm.MMIOAccess)
+	}
 	return binary.LittleEndian.Uint32(b[:]), now, nil
 }
 
-func (c *Core) phaseWriteReg32(charged bool, off uint64, v uint32, now sim.Time) (sim.Time, error) {
-	if charged {
-		return c.writeReg32(off, v, now)
-	}
+func (c *Core) phaseWriteReg32(charged bool, lane sim.Resource, off uint64, v uint32, now sim.Time) (sim.Time, error) {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	if err := c.mm.WriteBar0(off, b[:]); err != nil {
 		return now, err
+	}
+	if charged {
+		_, now = c.tl.AcquireLabeled(lane, "mmio-write", now, c.cm.MMIOAccess)
 	}
 	return now, nil
 }
@@ -250,7 +280,16 @@ func (c *Core) setAperture(base uint64, now sim.Time) (sim.Time, error) {
 func (c *Core) AllocVRAM(size uint64) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.alloc.alloc(size)
+	return c.alloc.allocIn(0, c.alloc.size, size)
+}
+
+// AllocVRAMIn reserves an extent inside [lo, hi) — the range-constrained
+// variant partitioned enclaves use to confine a session's memory to its
+// partition's VRAM slice.
+func (c *Core) AllocVRAMIn(lo, hi, size uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc.allocIn(lo, hi, size)
 }
 
 // FreeVRAM releases an extent previously returned by AllocVRAM.
@@ -290,24 +329,56 @@ func newVRAMAllocator(size uint64) (*vramAllocator, error) {
 
 const vramAlign = 256 // device allocations are 256-byte aligned
 
+// alloc is the unconstrained first-fit path.
 func (a *vramAllocator) alloc(size uint64) (uint64, error) {
+	return a.allocIn(0, a.size, size)
+}
+
+// allocIn is first-fit within [lo, hi): the first free span whose
+// intersection with the window holds an aligned extent of the requested
+// size wins. The unconstrained alloc path is allocIn over the whole
+// device, which reduces exactly to the historical first-fit (every free
+// span starts 256-aligned, so the window never shifts the chosen base).
+func (a *vramAllocator) allocIn(lo, hi, size uint64) (uint64, error) {
 	if size == 0 {
 		return 0, errors.New("gdev: zero-size allocation")
 	}
+	if hi > a.size {
+		hi = a.size
+	}
 	size = (size + vramAlign - 1) &^ uint64(vramAlign-1)
 	for i, f := range a.spans {
-		if f.size >= size {
-			addr := f.addr
-			if f.size == size {
-				a.spans = append(a.spans[:i], a.spans[i+1:]...)
-			} else {
-				a.spans[i] = extentRange{f.addr + size, f.size - size}
-			}
-			a.allocated[addr] = size
-			return addr, nil
+		start := f.addr
+		if start < lo {
+			start = lo
 		}
+		start = (start + vramAlign - 1) &^ uint64(vramAlign-1)
+		end := f.addr + f.size
+		if end > hi {
+			end = hi
+		}
+		if start >= end || end-start < size {
+			continue
+		}
+		a.carve(i, start, size)
+		a.allocated[start] = size
+		return start, nil
 	}
-	return 0, fmt.Errorf("gdev: out of device memory (%d bytes requested)", size)
+	return 0, fmt.Errorf("gdev: out of device memory (%d bytes requested in [%#x,%#x))", size, lo, hi)
+}
+
+// carve removes [addr, addr+size) from free span i, leaving up to two
+// remainder spans in place.
+func (a *vramAllocator) carve(i int, addr, size uint64) {
+	f := a.spans[i]
+	var repl []extentRange
+	if addr > f.addr {
+		repl = append(repl, extentRange{f.addr, addr - f.addr})
+	}
+	if addr+size < f.addr+f.size {
+		repl = append(repl, extentRange{addr + size, f.addr + f.size - addr - size})
+	}
+	a.spans = append(a.spans[:i], append(repl, a.spans[i+1:]...)...)
 }
 
 func (a *vramAllocator) free(addr uint64) error {

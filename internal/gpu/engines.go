@@ -72,7 +72,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		}
 		d.mu.Lock()
 		if _, exists := d.contexts[id]; !exists {
-			d.contexts[id] = &gpuContext{id: id}
+			d.contexts[id] = &gpuContext{id: id, part: -1}
 		}
 		d.mu.Unlock()
 		return StatusOK, ready
@@ -89,8 +89,10 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 				c.boundCtx = 0
 			}
 		}
-		if d.current == id {
-			d.current = 0
+		for _, p := range d.parts {
+			if p.current == id {
+				p.current = 0
+			}
 		}
 		d.mu.Unlock()
 		return StatusOK, ready
@@ -102,10 +104,12 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		}
 		d.mu.Lock()
 		defer d.mu.Unlock()
-		if _, ok := d.contexts[id]; !ok {
+		ctx, ok := d.contexts[id]
+		if !ok {
 			return StatusNoContext, ready
 		}
 		ch.boundCtx = id
+		ctx.part = ch.part
 		return StatusOK, ready
 
 	case OpBindMemory, OpUnbindMemory:
@@ -123,6 +127,14 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if cmd.Op == OpBindMemory {
 			if addr+size > d.cfg.VRAMBytes || addr+size < addr {
 				return StatusOutOfRange, ready
+			}
+			// A context bound to a channel is confined to its partition's
+			// VRAM extent range; an unbound context sees the whole device.
+			if ctx.part >= 0 {
+				pi := d.parts[ctx.part].info
+				if addr < pi.VRAMBase || addr+size > pi.VRAMBase+pi.VRAMSize {
+					return StatusOutOfRange, ready
+				}
 			}
 			ctx.bindings = append(ctx.bindings, extent{addr: addr, size: size})
 			return StatusOK, ready
@@ -146,14 +158,15 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if st != StatusOK {
 			return st, ready
 		}
-		ready = d.switchContext(phase, ctx.id, ready)
+		p := d.parts[ch.part]
+		ready = d.switchContext(phase, ch.part, ctx.id, ready)
 		if flags&FlagSynthetic == 0 {
 			for i := addr; i < addr+size; i++ {
 				d.vram[i] = value
 			}
 		}
-		dur := sim.TransferTime(int(size), d.cm.GPUFillBandwidth, d.cm.KernelLaunch)
-		done := d.charge(phase, sim.ResGPUCompute, "fill", ready, dur)
+		dur := sim.TransferTime(int(size), p.cm.GPUFillBandwidth, p.cm.KernelLaunch)
+		done := d.charge(phase, p.info.Compute, "fill", ready, dur)
 		return StatusOK, done
 
 	case OpDMAHtoD, OpDMADtoH:
@@ -179,11 +192,12 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 				return StatusDMAFault, ready
 			}
 		}
-		dur := d.cm.HtoDTime(int(size))
+		p := d.parts[ch.part]
+		dur := p.cm.HtoDTime(int(size))
 		if cmd.Op == OpDMADtoH {
-			dur = d.cm.DtoHTime(int(size))
+			dur = p.cm.DtoHTime(int(size))
 		}
-		done := d.charge(phase, sim.ResGPUDMA, cmd.Op.String(), ready, dur)
+		done := d.charge(phase, p.info.DMA, cmd.Op.String(), ready, dur)
 		return StatusOK, done
 
 	case OpLaunch:
@@ -208,18 +222,19 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		if st != StatusOK {
 			return st, ready
 		}
-		ready = d.switchContext(phase, ctx.id, ready)
+		p := d.parts[ch.part]
+		ready = d.switchContext(phase, ch.part, ctx.id, ready)
 		if flags&FlagSynthetic == 0 && k.Run != nil {
 			ec := &ExecContext{dev: d, ctx: ctx, Params: params}
 			if err := k.Run(ec); err != nil {
 				return StatusKernelFault, ready
 			}
 		}
-		dur := d.cm.KernelLaunch
+		dur := p.cm.KernelLaunch
 		if k.Cost != nil {
-			dur += k.Cost(d.cm, params)
+			dur += k.Cost(p.cm, params)
 		}
-		done := d.charge(phase, sim.ResGPUCompute, "kernel:"+name, ready, dur)
+		done := d.charge(phase, p.info.Compute, "kernel:"+name, ready, dur)
 		return StatusOK, done
 
 	case OpDHPublic:
@@ -240,7 +255,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 		}
 		d.mu.Unlock()
 		d.writeElementResponse(ch, party.Public())
-		done := d.charge(phase, sim.ResGPUCompute, "dh-public", ready, d.cm.GPUDHOpTime)
+		done := d.charge(phase, d.parts[ch.part].info.Compute, "dh-public", ready, d.cm.GPUDHOpTime)
 		return StatusOK, done
 
 	case OpDHMix, OpDHFinish:
@@ -268,7 +283,7 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			delete(d.aeads, slot) // new key: drop any cached schedule
 			d.mu.Unlock()
 		}
-		done := d.charge(phase, sim.ResGPUCompute, "dh-mix", ready, d.cm.GPUDHOpTime)
+		done := d.charge(phase, d.parts[ch.part].info.Compute, "dh-mix", ready, d.cm.GPUDHOpTime)
 		return StatusOK, done
 
 	case OpCryptoEncrypt, OpCryptoDecrypt:
@@ -323,7 +338,8 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 			d.aeads[slot] = aead
 		}
 		d.mu.Unlock()
-		ready = d.switchContext(phase, ctx.id, ready)
+		p := d.parts[ch.part]
+		ready = d.switchContext(phase, ch.part, ctx.id, ready)
 		if flags&FlagSynthetic == 0 {
 			// The Into paths write straight into VRAM with no staging
 			// allocation. src and dst spans are either identical (in-place)
@@ -348,12 +364,8 @@ func (d *Device) execute(ch *channel, cmd Command) (Status, sim.Time) {
 				}
 			}
 		}
-		dur := d.cm.GPUCryptoTime(dataLen)
-		cryptoRes := sim.ResGPUCompute
-		if d.cfg.ConcurrentContexts {
-			cryptoRes = ResGPUComputeAux
-		}
-		done := d.charge(phase, cryptoRes, cmd.Op.String(), ready, dur)
+		dur := p.cm.GPUCryptoTime(dataLen)
+		done := d.charge(phase, d.cryptoRes(p), cmd.Op.String(), ready, dur)
 		return StatusOK, done
 
 	default:
@@ -378,9 +390,10 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil || st != StatusOK {
 			return st, ready
 		}
-		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
-		dur := sim.TransferTime(int(size), d.cm.GPUFillBandwidth, d.cm.KernelLaunch)
-		done := d.charge(PhaseTime, sim.ResGPUCompute, "fill", ready, dur)
+		p := d.parts[ch.part]
+		ready = d.switchContext(PhaseTime, ch.part, d.channelCtx(ch), ready)
+		dur := sim.TransferTime(int(size), p.cm.GPUFillBandwidth, p.cm.KernelLaunch)
+		done := d.charge(PhaseTime, p.info.Compute, "fill", ready, dur)
 		return st, done
 
 	case OpDMAHtoD, OpDMADtoH:
@@ -388,11 +401,12 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil || st != StatusOK {
 			return st, ready
 		}
-		dur := d.cm.HtoDTime(int(size))
+		p := d.parts[ch.part]
+		dur := p.cm.HtoDTime(int(size))
 		if cmd.Op == OpDMADtoH {
-			dur = d.cm.DtoHTime(int(size))
+			dur = p.cm.DtoHTime(int(size))
 		}
-		done := d.charge(PhaseTime, sim.ResGPUDMA, cmd.Op.String(), ready, dur)
+		done := d.charge(PhaseTime, p.info.DMA, cmd.Op.String(), ready, dur)
 		return st, done
 
 	case OpLaunch:
@@ -404,7 +418,8 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil || (st != StatusOK && st != StatusKernelFault) {
 			return st, ready
 		}
-		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
+		p := d.parts[ch.part]
+		ready = d.switchContext(PhaseTime, ch.part, d.channelCtx(ch), ready)
 		if st != StatusOK {
 			return st, ready // kernel fault: switched, then failed
 		}
@@ -412,11 +427,11 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		d.mu.Lock()
 		k := d.kernels[name]
 		d.mu.Unlock()
-		dur := d.cm.KernelLaunch
+		dur := p.cm.KernelLaunch
 		if k != nil && k.Cost != nil {
-			dur += k.Cost(d.cm, params)
+			dur += k.Cost(p.cm, params)
 		}
-		done := d.charge(PhaseTime, sim.ResGPUCompute, "kernel:"+name, ready, dur)
+		done := d.charge(PhaseTime, p.info.Compute, "kernel:"+name, ready, dur)
 		return st, done
 
 	case OpCryptoEncrypt, OpCryptoDecrypt:
@@ -424,7 +439,8 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if r.err != nil || (st != StatusOK && st != StatusAuthFailed) {
 			return st, ready
 		}
-		ready = d.switchContext(PhaseTime, d.channelCtx(ch), ready)
+		p := d.parts[ch.part]
+		ready = d.switchContext(PhaseTime, ch.part, d.channelCtx(ch), ready)
 		if st != StatusOK {
 			return st, ready // auth failure: switched, then failed
 		}
@@ -432,11 +448,7 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if cmd.Op == OpCryptoDecrypt {
 			dataLen -= ocb.TagSize
 		}
-		cryptoRes := sim.ResGPUCompute
-		if d.cfg.ConcurrentContexts {
-			cryptoRes = ResGPUComputeAux
-		}
-		done := d.charge(PhaseTime, cryptoRes, cmd.Op.String(), ready, d.cm.GPUCryptoTime(dataLen))
+		done := d.charge(PhaseTime, d.cryptoRes(p), cmd.Op.String(), ready, p.cm.GPUCryptoTime(dataLen))
 		return st, done
 
 	case OpDHPublic, OpDHMix, OpDHFinish:
@@ -447,7 +459,7 @@ func (d *Device) replayTiming(ch *channel, cmd Command) (Status, sim.Time) {
 		if cmd.Op == OpDHPublic {
 			label = "dh-public"
 		}
-		done := d.charge(PhaseTime, sim.ResGPUCompute, label, ready, d.cm.GPUDHOpTime)
+		done := d.charge(PhaseTime, d.parts[ch.part].info.Compute, label, ready, d.cm.GPUDHOpTime)
 		return st, done
 
 	default:
@@ -510,29 +522,45 @@ func bound(ctx *gpuContext, addr, size uint64) bool {
 	return false
 }
 
-// ResGPUComputeAux is the second engine partition used by the
-// memory-bound crypto kernels under Volta-style concurrent contexts.
+// ResGPUComputeAux is the historical name of the second engine
+// partition the memory-bound crypto kernels use under Volta-style
+// concurrent contexts; it is now device 0 partition 0's crypto lane in
+// the general partition model.
 const ResGPUComputeAux = sim.Resource("gpu-compute-aux")
 
+// cryptoRes resolves the engine the in-GPU crypto kernels charge: the
+// partition's own SM set normally, or its auxiliary engine share under
+// Volta-style concurrent contexts (the generalization of the old
+// single ResGPUComputeAux partition — the §5.4 co-scheduling model now
+// holds per partition).
+func (d *Device) cryptoRes(p *partition) sim.Resource {
+	if d.cfg.ConcurrentContexts {
+		return p.info.Crypto
+	}
+	return p.info.Compute
+}
+
 // switchContext accounts a compute-engine context switch when ownership
-// changes (§4.5: pre-Volta GPUs run one context at a time). With
-// concurrent contexts enabled, switches are free. PhaseData commands
-// defer the switch to their PhaseTime replay so engine ownership evolves
-// in canonical schedule order, not data-execution order.
-func (d *Device) switchContext(phase uint8, ctxID uint32, ready sim.Time) sim.Time {
+// of the partition's SM set changes (§4.5: pre-Volta GPUs run one
+// context at a time per engine partition). With concurrent contexts
+// enabled, switches are free. PhaseData commands defer the switch to
+// their PhaseTime replay so engine ownership evolves in canonical
+// schedule order, not data-execution order.
+func (d *Device) switchContext(phase uint8, part int, ctxID uint32, ready sim.Time) sim.Time {
 	if phase == PhaseData {
 		return ready
 	}
+	p := d.parts[part]
 	d.mu.Lock()
-	if d.cfg.ConcurrentContexts || d.current == ctxID {
-		d.current = ctxID
+	if d.cfg.ConcurrentContexts || p.current == ctxID {
+		p.current = ctxID
 		d.mu.Unlock()
 		return ready
 	}
-	d.current = ctxID
+	p.current = ctxID
 	d.ctxSwitches++
 	d.mu.Unlock()
-	_, done := d.tl.AcquireLabeled(sim.ResGPUCompute, "ctx-switch", ready, d.cm.ContextSwitch)
+	_, done := d.tl.AcquireLabeled(p.info.Compute, "ctx-switch", ready, p.cm.ContextSwitch)
 	return done
 }
 

@@ -78,6 +78,19 @@ type Config struct {
 	// partition — an idealized model of MPS-on-Volta used to test the
 	// paper's §5.4 prediction.
 	ConcurrentContexts bool
+	// Partitions carves the device into that many isolated slices, each
+	// with a disjoint SM set, L2-set/DRAM-bank assignment, VRAM extent
+	// range, and contiguous channel block (see partition.go). 0 or 1
+	// means one partition spanning the whole device — the historical
+	// behavior, trace-identical to pre-partition builds.
+	Partitions int
+	// SMs is the device's streaming-multiprocessor count, the compute
+	// granularity partitions divide. Defaults to DefaultSMs (GTX 580).
+	SMs int
+	// DeviceIndex is the device's position in its machine's fleet; it
+	// namespaces the partition timeline resources. Device 0 keeps the
+	// legacy un-suffixed resource names.
+	DeviceIndex int
 	// VendorID/DeviceID default to 0x10DE/0x1080 (GTX 580).
 	VendorID uint16
 	DeviceID uint16
@@ -115,8 +128,9 @@ type Device struct {
 	vram     []byte
 	aperture uint64
 	channels []*channel
+	parts    []*partition // per-partition engine state; compute ownership guarded by mu
+	chanPart []int        // channel index -> partition index (immutable after New)
 	contexts map[uint32]*gpuContext
-	current  uint32 // context owning the compute engine
 	keys     map[uint32][attest.SessionKeySize]byte
 	aeads    map[uint32]*ocb.AEAD // per-slot OCB instance derived from keys
 	dh       map[uint32]*attest.DHParty
@@ -134,6 +148,7 @@ type Device struct {
 
 type channel struct {
 	mu         sync.Mutex // guards this channel's submission state
+	part       int        // owning partition index (immutable after New)
 	ring       []byte
 	resp       []byte
 	fenceSeq   uint32
@@ -144,6 +159,7 @@ type channel struct {
 
 type gpuContext struct {
 	id       uint32
+	part     int // partition inherited at OpBindChannel; -1 until bound
 	bindings []extent
 }
 
@@ -178,9 +194,21 @@ func New(cfg Config) (*Device, error) {
 	if cfg.BIOS == nil {
 		cfg.BIOS = DefaultBIOS(cfg.Name)
 	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.SMs <= 0 {
+		cfg.SMs = DefaultSMs
+	}
+	parts, chanPart, err := buildPartitions(cfg)
+	if err != nil {
+		return nil, err
+	}
 	d := &Device{
 		cfg:      cfg,
 		vram:     make([]byte, cfg.VRAMBytes),
+		parts:    parts,
+		chanPart: chanPart,
 		contexts: make(map[uint32]*gpuContext),
 		keys:     make(map[uint32][attest.SessionKeySize]byte),
 		aeads:    make(map[uint32]*ocb.AEAD),
@@ -191,6 +219,7 @@ func New(cfg Config) (*Device, error) {
 	}
 	for i := 0; i < cfg.Channels; i++ {
 		d.channels = append(d.channels, &channel{
+			part: chanPart[i],
 			ring: make([]byte, RingSize),
 			resp: make([]byte, RespSize),
 		})
@@ -296,7 +325,9 @@ func (d *Device) reset() {
 	d.keys = make(map[uint32][attest.SessionKeySize]byte)
 	d.aeads = make(map[uint32]*ocb.AEAD)
 	d.dh = make(map[uint32]*attest.DHParty)
-	d.current = 0
+	for _, p := range d.parts {
+		p.current = 0
+	}
 	d.ctxSwitches = 0
 	for _, ch := range d.channels {
 		ch.fenceSeq = 0

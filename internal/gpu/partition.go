@@ -1,0 +1,173 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Partitioning carves one device into N isolated slices following the
+// Fractional-GPUs recipe: each partition owns a disjoint SM set (compute
+// isolation), a disjoint slice of L2 cache sets and DRAM banks (the
+// modeled analogue of page-coloring memory-hierarchy isolation), a
+// disjoint VRAM extent range, and a contiguous block of command
+// channels. Every partition charges simulated time to its own timeline
+// resources, so load on one partition can never move a sibling's busy
+// horizons — the property the cross-partition determinism gate proves.
+
+// Architectural constants of the modeled device. The SM count matches
+// the GTX 580 (16 SMs); L2 set and DRAM bank counts are the coloring
+// granularities partitions divide.
+const (
+	DefaultSMs = 16
+	L2Sets     = 64
+	DRAMBanks  = 16
+
+	// vramSplitAlign keeps partition VRAM bases aligned to the driver
+	// allocator's granularity.
+	vramSplitAlign = 256
+)
+
+// PartitionInfo describes one partition of a device: its slice of every
+// isolated hardware dimension plus the timeline resources its engines
+// charge. Device 0 partition 0 charges the legacy un-suffixed resources,
+// so an unpartitioned single-GPU machine reproduces historical traces
+// byte-for-byte.
+type PartitionInfo struct {
+	Index int
+
+	// Compute: disjoint SM set [SMFirst, SMFirst+SMCount).
+	SMFirst, SMCount int
+	// Memory hierarchy: disjoint L2 cache sets and DRAM banks.
+	L2SetFirst, L2SetCount       int
+	DRAMBankFirst, DRAMBankCount int
+	// VRAM extent range [VRAMBase, VRAMBase+VRAMSize).
+	VRAMBase, VRAMSize uint64
+	// Command channels [ChanFirst, ChanFirst+ChanCount).
+	ChanFirst, ChanCount int
+
+	// Timeline resources the partition's traffic is charged to.
+	Compute sim.Resource // SM set (kernels, fills, DH ops)
+	Crypto  sim.Resource // aux engine for crypto kernels (ConcurrentContexts)
+	DMA     sim.Resource // copy-engine queue
+	PCIe    sim.Resource // MMIO submission lane
+	GECore  sim.Resource // GPU-enclave serving-core share
+
+	// SMFraction is SMCount over the device total; compute-bound costs
+	// scale by it.
+	SMFraction float64
+}
+
+// partition is the device-internal state of one partition: its public
+// info, a cost model with compute-bound rates scaled to the SM share,
+// and the context currently owning the SM set (guarded by Device.mu).
+type partition struct {
+	info    PartitionInfo
+	cm      sim.CostModel
+	current uint32
+}
+
+// splitRange evenly divides total items across parts, handing the
+// first (total mod parts) partitions one extra.
+func splitRange(total, parts, idx int) (first, count int) {
+	base := total / parts
+	extra := total % parts
+	first = idx * base
+	count = base
+	if idx < extra {
+		first += idx
+		count++
+	} else {
+		first += extra
+	}
+	return first, count
+}
+
+// buildPartitions computes the partition plan for a validated Config:
+// the per-partition info and scaled cost models, plus the channel →
+// partition map.
+func buildPartitions(cfg Config) ([]*partition, []int, error) {
+	n := cfg.Partitions
+	if n > cfg.Channels {
+		return nil, nil, fmt.Errorf("gpu: %d partitions need at least as many channels (have %d)", n, cfg.Channels)
+	}
+	if n > cfg.SMs {
+		return nil, nil, fmt.Errorf("gpu: %d partitions exceed %d SMs", n, cfg.SMs)
+	}
+	unit := (cfg.VRAMBytes / uint64(n)) &^ (vramSplitAlign - 1)
+	if unit == 0 {
+		return nil, nil, fmt.Errorf("gpu: VRAM %d too small for %d partitions", cfg.VRAMBytes, n)
+	}
+	parts := make([]*partition, n)
+	chanPart := make([]int, cfg.Channels)
+	for i := 0; i < n; i++ {
+		smF, smC := splitRange(cfg.SMs, n, i)
+		l2F, l2C := splitRange(L2Sets, n, i)
+		bkF, bkC := splitRange(DRAMBanks, n, i)
+		chF, chC := splitRange(cfg.Channels, n, i)
+		base := uint64(i) * unit
+		size := unit
+		if i == n-1 {
+			size = cfg.VRAMBytes - base
+		}
+		info := PartitionInfo{
+			Index:         i,
+			SMFirst:       smF,
+			SMCount:       smC,
+			L2SetFirst:    l2F,
+			L2SetCount:    l2C,
+			DRAMBankFirst: bkF,
+			DRAMBankCount: bkC,
+			VRAMBase:      base,
+			VRAMSize:      size,
+			ChanFirst:     chF,
+			ChanCount:     chC,
+			Compute:       sim.GPUComputeLane(cfg.DeviceIndex, i),
+			Crypto:        sim.GPUCryptoLane(cfg.DeviceIndex, i),
+			DMA:           sim.GPUDMALane(cfg.DeviceIndex, i),
+			PCIe:          sim.PCIeLane(cfg.DeviceIndex, i),
+			GECore:        sim.GECoreLane(cfg.DeviceIndex, i),
+			SMFraction:    float64(smC) / float64(cfg.SMs),
+		}
+		// Compute-bound rates scale with the SM share; DMA and PCIe
+		// lanes keep full link rates — the partition owns a queue, not
+		// a slice of link bandwidth (a modeling simplification noted in
+		// DESIGN.md). A full-device partition keeps the cost model
+		// bit-identical (no float round trip).
+		cm := cfg.Cost
+		if smC != cfg.SMs {
+			cm.GPUComputeOpsPerSec *= info.SMFraction
+			cm.GPUCryptoBandwidth *= info.SMFraction
+			cm.GPUFillBandwidth *= info.SMFraction
+		}
+		parts[i] = &partition{info: info, cm: cm}
+		for c := chF; c < chF+chC; c++ {
+			chanPart[c] = i
+		}
+	}
+	return parts, chanPart, nil
+}
+
+// Partitions returns the device's partition table.
+func (d *Device) Partitions() []PartitionInfo {
+	infos := make([]PartitionInfo, len(d.parts))
+	for i, p := range d.parts {
+		infos[i] = p.info
+	}
+	return infos
+}
+
+// PartitionOfChannel maps a command channel to its owning partition
+// index, or -1 if the channel is out of range.
+func (d *Device) PartitionOfChannel(ch int) int {
+	if ch < 0 || ch >= len(d.chanPart) {
+		return -1
+	}
+	return d.chanPart[ch]
+}
+
+// Name returns the diagnostic device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// DeviceIndex returns the device's position in its machine's fleet.
+func (d *Device) DeviceIndex() int { return d.cfg.DeviceIndex }

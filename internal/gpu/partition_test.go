@@ -1,0 +1,208 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/pcie"
+	"repro/internal/sim"
+)
+
+// newPartRig is newRig with the device carved into partitions.
+func newPartRig(t *testing.T, partitions int) *rig {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	if _, err := as.AddDRAM("ram", 0, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pcie.NewRootComplex(as, 0x8000_0000, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := rc.AddRootPort("rp0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(Config{
+		Name:       "gtx580-sim",
+		VRAMBytes:  16 << 20,
+		Channels:   4,
+		Partitions: partitions,
+		Timeline:   sim.NewTimeline(),
+		Cost:       sim.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port.AttachEndpoint(dev)
+	if err := rc.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	var bdf pcie.BDF
+	for b, d := range rc.Endpoints() {
+		if d == pcie.Device(dev) {
+			bdf = b
+		}
+	}
+	dev.ConnectDMA(rc, bdf)
+	bar0, _, _ := dev.Config().BAR(0)
+	return &rig{t: t, as: as, rc: rc, dev: dev, bdf: bdf, bar0: bar0}
+}
+
+// TestPartitionTableShape checks the carve invariants for every
+// supported partition count: SM sets, L2 sets, DRAM banks, VRAM ranges
+// and channel blocks are disjoint, ordered, and cover the device.
+func TestPartitionTableShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		dev, err := New(Config{
+			Name: "t", VRAMBytes: 16 << 20, Channels: 4, Partitions: n,
+			Timeline: sim.NewTimeline(), Cost: sim.Default(),
+		})
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", n, err)
+		}
+		parts := dev.Partitions()
+		if len(parts) != n {
+			t.Fatalf("partitions=%d: got %d entries", n, len(parts))
+		}
+		var sms, l2, banks, chans int
+		var vramNext uint64
+		for i, p := range parts {
+			if p.Index != i {
+				t.Fatalf("partitions=%d: index %d at position %d", n, p.Index, i)
+			}
+			if p.SMFirst != sms || p.L2SetFirst != l2 || p.DRAMBankFirst != banks || p.ChanFirst != chans {
+				t.Fatalf("partitions=%d: partition %d not contiguous with predecessor: %+v", n, i, p)
+			}
+			if p.VRAMBase != vramNext {
+				t.Fatalf("partitions=%d: partition %d VRAM base %#x, want %#x", n, i, p.VRAMBase, vramNext)
+			}
+			if p.SMCount <= 0 || p.ChanCount <= 0 || p.VRAMSize == 0 {
+				t.Fatalf("partitions=%d: empty partition %d: %+v", n, i, p)
+			}
+			sms += p.SMCount
+			l2 += p.L2SetCount
+			banks += p.DRAMBankCount
+			chans += p.ChanCount
+			vramNext = p.VRAMBase + p.VRAMSize
+		}
+		if sms != DefaultSMs || l2 != L2Sets || banks != DRAMBanks {
+			t.Fatalf("partitions=%d: carve does not cover device: SMs=%d L2=%d banks=%d", n, sms, l2, banks)
+		}
+		if chans != dev.Channels() {
+			t.Fatalf("partitions=%d: channel blocks cover %d of %d channels", n, chans, dev.Channels())
+		}
+		if vramNext != 16<<20 {
+			t.Fatalf("partitions=%d: VRAM ranges cover %#x of %#x", n, vramNext, 16<<20)
+		}
+		for ch := 0; ch < dev.Channels(); ch++ {
+			p := dev.PartitionOfChannel(ch)
+			pi := parts[p]
+			if ch < pi.ChanFirst || ch >= pi.ChanFirst+pi.ChanCount {
+				t.Fatalf("partitions=%d: channel %d mapped to partition %d owning %d..%d",
+					n, ch, p, pi.ChanFirst, pi.ChanFirst+pi.ChanCount-1)
+			}
+		}
+	}
+}
+
+// TestPartitionConfigValidation pins the rejection of un-carvable
+// configurations.
+func TestPartitionConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{Name: "t", VRAMBytes: 16 << 20, Channels: 4, Partitions: 5,
+			Timeline: sim.NewTimeline(), Cost: sim.Default()}, // > channels
+		{Name: "t", VRAMBytes: 16 << 20, Channels: 32, Partitions: 17, SMs: 16,
+			Timeline: sim.NewTimeline(), Cost: sim.Default()}, // > SMs
+		{Name: "t", VRAMBytes: 1 << 10, Channels: 8, Partitions: 8,
+			Timeline: sim.NewTimeline(), Cost: sim.Default()}, // VRAM slice under alignment
+	} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("config %+v: expected carve error", bad)
+		}
+	}
+}
+
+// TestPartitionBindMemoryOutOfRange checks the MMU-level fence: a
+// context whose channel lives on partition 0 cannot bind an extent in
+// partition 1's VRAM range (and vice versa).
+func TestPartitionBindMemoryOutOfRange(t *testing.T) {
+	r := newPartRig(t, 2)
+	parts := r.dev.Partitions()
+
+	// Channel 0 sits on partition 0.
+	r.mustOK(0, OpCreateContext, BuildCreateContext(1))
+	r.mustOK(0, OpBindChannel, BuildBindChannel(1))
+	if st := r.submit(0, OpBindMemory, BuildBindMemory(1, parts[1].VRAMBase, 4096), 0); st != StatusOutOfRange {
+		t.Fatalf("bind into partition 1 from partition 0: status %s, want %s", st, StatusOutOfRange)
+	}
+	// An extent straddling the partition boundary is rejected too.
+	if st := r.submit(0, OpBindMemory, BuildBindMemory(1, parts[1].VRAMBase-2048, 4096), 0); st != StatusOutOfRange {
+		t.Fatalf("straddling bind: status %s, want %s", st, StatusOutOfRange)
+	}
+	r.mustOK(0, OpBindMemory, BuildBindMemory(1, parts[0].VRAMBase, 4096))
+
+	// The last channel sits on partition 1; its context binds there.
+	ch := r.dev.Channels() - 1
+	r.mustOK(ch, OpCreateContext, BuildCreateContext(2))
+	r.mustOK(ch, OpBindChannel, BuildBindChannel(2))
+	if st := r.submit(ch, OpBindMemory, BuildBindMemory(2, parts[0].VRAMBase, 4096), 0); st != StatusOutOfRange {
+		t.Fatalf("bind into partition 0 from partition 1: status %s, want %s", st, StatusOutOfRange)
+	}
+	r.mustOK(ch, OpBindMemory, BuildBindMemory(2, parts[1].VRAMBase, 4096))
+}
+
+// TestPartitionTimelineIsolation is the device-level isolation property:
+// a launch storm on partition 1's channel does not move the completion
+// times of partition 0's launches, while the same storm on a sibling
+// channel of partition 0 does.
+func TestPartitionTimelineIsolation(t *testing.T) {
+	run := func(stormCh int, storm bool) []int64 {
+		r := newPartRig(t, 2)
+		r.mustOK(0, OpCreateContext, BuildCreateContext(1))
+		r.mustOK(0, OpBindChannel, BuildBindChannel(1))
+		sc := -1
+		if storm {
+			r.mustOK(stormCh, OpCreateContext, BuildCreateContext(2))
+			r.mustOK(stormCh, OpBindChannel, BuildBindChannel(2))
+			sc = stormCh
+		}
+		var times []int64
+		for i := 0; i < 6; i++ {
+			if sc >= 0 {
+				for j := 0; j < 4; j++ {
+					r.mustOK(sc, OpLaunch, buildNopLaunch())
+				}
+			}
+			r.mustOK(0, OpLaunch, buildNopLaunch())
+			times = append(times, r.completeNS(0))
+		}
+		return times
+	}
+	base := run(0, false)
+	crossPart := run(r3LastChannel, true)
+	samePart := run(1, true)
+	for i := range base {
+		if base[i] != crossPart[i] {
+			t.Fatalf("cross-partition storm moved launch %d: %d -> %d", i, base[i], crossPart[i])
+		}
+	}
+	moved := false
+	for i := range base {
+		if base[i] != samePart[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("same-partition storm did not move any launch time — isolation test is vacuous")
+	}
+}
+
+// r3LastChannel is the last channel of the 4-channel partition rig
+// (partition 1 owns channels 2..3).
+const r3LastChannel = 3
+
+// buildNopLaunch encodes a launch of the built-in nop kernel.
+func buildNopLaunch() []byte {
+	return BuildLaunch(KernelNop, [NumKernelParams]uint64{}, 0)
+}

@@ -120,6 +120,11 @@ type Enclave struct {
 		requests     atomic.Int64
 	}
 
+	// parts is the device's partition table (immutable after Launch);
+	// partSessions counts live sessions per partition (guarded by mu).
+	parts        []gpu.PartitionInfo
+	partSessions []int
+
 	mu          sync.Mutex
 	sessions    map[uint32]*session
 	nextSID     uint32
@@ -136,6 +141,7 @@ type session struct {
 	id      uint32
 	ctxID   uint32
 	channel int
+	part    int // device partition the session's channel belongs to
 	aead    *ocb.AEAD
 	dh      *attest.DHParty
 
@@ -333,6 +339,16 @@ func Launch(cfg Config) (*Enclave, error) {
 	}
 	e.core = core
 
+	// Partition plumbing: cache the device's partition table and route
+	// each channel's submission MMIO onto its partition's PCIe lane, so
+	// partitions never contend on the command path. On an unpartitioned
+	// device every channel stays on the shared link resource.
+	e.parts = dev.Partitions()
+	e.partSessions = make([]int, len(e.parts))
+	for ch := 0; ch < dev.Channels(); ch++ {
+		core.SetChannelLane(ch, e.parts[dev.PartitionOfChannel(ch)].PCIe)
+	}
+
 	// Reset the GPU to eliminate any pre-loaded state (§4.2.2), then
 	// probe it.
 	e.now, err = core.ResetDevice(e.now)
@@ -396,14 +412,36 @@ func (e *Enclave) RegisterKernel(k *gpu.Kernel) error {
 	return e.gpu.RegisterKernel(k)
 }
 
-func (e *Enclave) claimChannel() (int, error) {
-	for ch := 0; ch < e.gpu.Channels(); ch++ {
+// claimChannel reserves a free channel inside one partition's block.
+// The caller holds e.mu.
+func (e *Enclave) claimChannel(part int) (int, error) {
+	pi := e.parts[part]
+	for ch := pi.ChanFirst; ch < pi.ChanFirst+pi.ChanCount; ch++ {
 		if !e.channels[ch] {
 			e.channels[ch] = true
 			return ch, nil
 		}
 	}
-	return 0, errors.New("hix: out of GPU channels")
+	return 0, fmt.Errorf("hix: out of GPU channels on partition %d", part)
+}
+
+// pickPartition resolves a Hello's placement request: an explicit
+// 1-based partition index, or the partition with the fewest live
+// sessions (ties to the lowest index). The caller holds e.mu.
+func (e *Enclave) pickPartition(requested int) (int, error) {
+	if requested != 0 {
+		if requested < 1 || requested > len(e.parts) {
+			return 0, fmt.Errorf("hix: partition %d out of range [1,%d]", requested, len(e.parts))
+		}
+		return requested - 1, nil
+	}
+	best := 0
+	for i := 1; i < len(e.partSessions); i++ {
+		if e.partSessions[i] < e.partSessions[best] {
+			best = i
+		}
+	}
+	return best, nil
 }
 
 // HandleHello serves the session-setup Request (§4.4.1). It verifies the
@@ -435,7 +473,11 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 
 	e.nextSID++
 	sid := e.nextSID
-	ch, err := e.claimChannel()
+	part, err := e.pickPartition(h.Partition)
+	if err != nil {
+		return HelloResponse{}, err
+	}
+	ch, err := e.claimChannel(part)
 	if err != nil {
 		return HelloResponse{}, err
 	}
@@ -492,6 +534,7 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 		id:      sid,
 		ctxID:   sid,
 		channel: ch,
+		part:    part,
 		dh:      b,
 		seg:     seg,
 		reqQ:    e.m.OS.MQCreate(),
@@ -499,6 +542,7 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 		now:     now,
 	}
 	e.sessions[sid] = s
+	e.partSessions[part]++
 
 	// GPU enclave's counter-report, binding g^c||g^bc.
 	gcB := make([]byte, gpu.DHElementSize)
@@ -520,6 +564,7 @@ func (e *Enclave) HandleHello(h HelloRequest) (HelloResponse, error) {
 		SegmentID:   seg.ID,
 		SegmentSize: seg.Size,
 		CompleteNS:  int64(s.now),
+		Partition:   part,
 	}, nil
 }
 
@@ -560,6 +605,7 @@ func (e *Enclave) HandleFinish(f HelloFinish) error {
 	if err != nil || !bytes.Equal(pt, KeyConfirmation) {
 		delete(e.sessions, f.SessionID)
 		delete(e.channels, s.channel)
+		e.partSessions[s.part]--
 		e.m.OS.ShmDestroy(s.seg)
 		return fmt.Errorf("%w: key confirmation failed", ErrAuth)
 	}
@@ -576,7 +622,8 @@ func (e *Enclave) HandleFinish(f HelloFinish) error {
 	}
 	s.stagingSlots = e.stagingSlots
 	s.stagingSize = s.stagingSlots * (uint64(e.core.Cost().CryptoChunk) + ocb.TagSize)
-	s.staging, err = e.core.AllocVRAM(s.stagingSize)
+	pi := e.parts[s.part]
+	s.staging, err = e.core.AllocVRAMIn(pi.VRAMBase, pi.VRAMBase+pi.VRAMSize, s.stagingSize)
 	if err != nil {
 		return err
 	}
@@ -643,6 +690,24 @@ func (e *Enclave) Shutdown() error {
 
 // GPUBDF reports which GPU this enclave owns.
 func (e *Enclave) GPUBDF() pcie.BDF { return e.gpuBDF }
+
+// GPUName reports the owned device's diagnostic name.
+func (e *Enclave) GPUName() string { return e.gpu.Name() }
+
+// DeviceIndex reports the owned device's fleet index.
+func (e *Enclave) DeviceIndex() int { return e.gpu.DeviceIndex() }
+
+// Partitions returns the owned device's partition table.
+func (e *Enclave) Partitions() []gpu.PartitionInfo {
+	return append([]gpu.PartitionInfo(nil), e.parts...)
+}
+
+// PartitionSessions returns the live session count per partition.
+func (e *Enclave) PartitionSessions() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.partSessions...)
+}
 
 // deviceFor finds the device object for a BDF on the machine.
 func deviceFor(m *machine.Machine, bdf pcie.BDF) (*gpu.Device, bool) {

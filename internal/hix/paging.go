@@ -128,9 +128,10 @@ func (e *Enclave) ensureResident(b *managedBuf, now sim.Time, flags uint32) (sim
 	if b.resident {
 		return now, nil
 	}
-	// Make room.
+	// Make room inside the owner's partition VRAM range.
+	pi := e.parts[b.owner.part]
 	for {
-		addr, err := e.core.AllocVRAM(b.size)
+		addr, err := e.core.AllocVRAMIn(pi.VRAMBase, pi.VRAMBase+pi.VRAMSize, b.size)
 		if err == nil {
 			b.vram = addr
 			break

@@ -229,6 +229,12 @@ type HelloRequest struct {
 	Report   attest.Report
 	DHPublic []byte
 	SubmitNS int64
+	// Partition requests placement on a specific device partition
+	// (1-based index; 0 lets the GPU enclave pick the least-loaded
+	// partition). Placement-aware front-ends (internal/part) set it so
+	// a session lands on the slice its VRAM and QoS demand was packed
+	// onto.
+	Partition int
 }
 
 // HelloResponse carries the GPU enclave's counter-attestation, its
@@ -247,6 +253,9 @@ type HelloResponse struct {
 	SegmentID   int
 	SegmentSize uint64
 	CompleteNS  int64
+	// Partition is the 0-based index of the device partition the
+	// session was placed on.
+	Partition int
 }
 
 // HelloFinish completes key agreement: the user's mixed element g^ca

@@ -304,30 +304,45 @@ func (e *Enclave) serve(ids []uint32) error {
 	// The serving-loop activation (§4.4.1): the GPU enclave is a
 	// separate process woken by the message queue, so every non-empty
 	// wakeup pays for the kernel wakeup delivery, the enclave re-entry,
-	// and the request-queue scan on the enclave's dedicated serving
-	// core — once per wakeup, not per request. A batch spanning many
-	// sessions shares a single activation; that amortization is what an
-	// external batcher buys. Anchored at the earliest admitted request's
-	// submit instant so the charge is a pure function of the batch.
-	wakeAt := sim.Time(-1)
+	// and the request-queue scan on the enclave's serving core — once
+	// per wakeup, not per request. A batch spanning many sessions shares
+	// a single activation; that amortization is what an external batcher
+	// buys. Each partition's command stream has its own serving context
+	// (its GECore lane), so a wakeup is charged per partition with work
+	// this epoch, anchored at that partition's earliest admitted
+	// request's submit instant — the charge stays a pure function of the
+	// partition's own batch, untouched by sibling-partition load.
+	partHasWork := make(map[int]bool)
+	partWakeAt := make(map[int]sim.Time)
 	for _, b := range batches {
+		p := b.s.part
+		partHasWork[p] = true
 		for _, it := range b.items {
-			if it.kind != srvReject && (wakeAt < 0 || it.now < wakeAt) {
-				wakeAt = it.now
+			if it.kind != srvReject {
+				if t, ok := partWakeAt[p]; !ok || it.now < t {
+					partWakeAt[p] = it.now
+				}
 			}
 		}
 	}
-	if wakeAt < 0 {
-		wakeAt = 0
+	wakeDone := make(map[int]sim.Time, len(partHasWork))
+	for p := range e.parts {
+		if !partHasWork[p] {
+			continue
+		}
+		// A partition whose admitted set is empty (all rejects) still
+		// pays the activation, anchored at 0 — the map's zero value.
+		_, done := e.core.Timeline().AcquireLabeled(e.parts[p].GECore, "ge-wakeup", partWakeAt[p], e.core.Cost().ServeWakeup)
+		wakeDone[p] = done
 	}
-	_, wakeDone := e.core.Timeline().AcquireLabeled(sim.ResGECore, "ge-wakeup", wakeAt, e.core.Cost().ServeWakeup)
 
 	// Phase T: replay in canonical order and respond. Interleaving in
 	// *simulated* time is the timeline's gap-filling scheduler's job;
 	// processing order here only has to be deterministic.
 	for _, b := range batches {
+		wd := wakeDone[b.s.part]
 		for _, it := range b.items {
-			e.finishItem(b.s, it, wakeDone)
+			e.finishItem(b.s, it, wd)
 		}
 	}
 	return nil
@@ -512,7 +527,8 @@ func (s *session) ownsRange(ptr, size uint64) bool {
 }
 
 func (e *Enclave) doMemAlloc(s *session, req Request, now sim.Time) Response {
-	addr, err := e.core.AllocVRAM(req.Size)
+	pi := e.parts[s.part]
+	addr, err := e.core.AllocVRAMIn(pi.VRAMBase, pi.VRAMBase+pi.VRAMSize, req.Size)
 	if err != nil {
 		return Response{Status: RespError, CompleteNS: int64(now)}
 	}
@@ -707,6 +723,7 @@ func (e *Enclave) doClose(s *session, now sim.Time) Response {
 	e.mu.Lock()
 	delete(e.sessions, s.id)
 	delete(e.channels, s.channel)
+	e.partSessions[s.part]--
 	e.mu.Unlock()
 	// The transport segment holds only ciphertext, so it needs release,
 	// not cleansing. Leaving it allocated leaks its frames for the

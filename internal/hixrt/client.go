@@ -52,6 +52,11 @@ type Client struct {
 	// sessions this client opens (see Session.Workers). Zero means
 	// GOMAXPROCS.
 	Workers int
+	// Partition requests placement of this client's sessions on a
+	// specific device partition (1-based; 0 lets the GPU enclave pick
+	// the least-loaded one). Placement-aware servers set it from the
+	// internal/part placer's decision.
+	Partition int
 }
 
 // NewClient creates the application process and its user enclave. appImage
@@ -247,9 +252,10 @@ func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
 		return nil, err
 	}
 	resp, err := c.ge.HandleHello(hix.HelloRequest{
-		Report:   report,
-		DHPublic: gaB,
-		SubmitNS: int64(now),
+		Report:    report,
+		DHPublic:  gaB,
+		SubmitNS:  int64(now),
+		Partition: c.Partition,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,124 @@
+package hixrt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hix"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestPartitionIsolationDeterminism is the cross-partition determinism
+// property, run concurrently so -race also covers the partition-scoped
+// serve path: two tenants pinned to the two partitions of one device
+// drive their workloads from separate goroutines. Each tenant's
+// sequence of per-op simulated completion times must be identical
+// across repeated runs AND identical to a run where it executes alone —
+// partitions share no engine lane, so neither the co-tenant's load nor
+// the host interleaving may move a tenant's schedule.
+func TestPartitionIsolationDeterminism(t *testing.T) {
+	// run drives the given tenants (by partition index) concurrently
+	// and returns each one's op-time sequence keyed by partition.
+	run := func(tenants []int) map[int]string {
+		m, err := machine.New(machine.Config{
+			DRAMBytes: 384 << 20, EPCBytes: 16 << 20, VRAMBytes: 128 << 20,
+			Channels: 8, PlatformSeed: "partition-prop", Partitions: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vendor, err := attest.NewSigningAuthority()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ge, err := hix.Launch(hix.Config{Machine: m, Vendor: vendor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sessions open sequentially so every run draws platform
+		// entropy in the same order regardless of which tenants exist.
+		sessions := make([]*Session, len(tenants))
+		for i, part := range tenants {
+			c, err := NewClient(m, ge, vendor.PublicKey(), []byte{byte(part)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Partition = part + 1
+			if sessions[i], err = c.OpenSession(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		times := make(map[int]string, len(tenants))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, len(tenants))
+		for i := range sessions {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s := sessions[i]
+				data := make([]byte, 64<<10)
+				for j := range data {
+					data[j] = byte(j*7 + tenants[i])
+				}
+				out := make([]byte, len(data))
+				var seq []sim.Time
+				ptr, err := s.MemAlloc(uint64(len(data)))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				seq = append(seq, s.Now())
+				for r := 0; r < 8; r++ {
+					if err := s.MemcpyHtoD(ptr, data, 0); err != nil {
+						errs[i] = err
+						return
+					}
+					seq = append(seq, s.Now())
+					if err := s.Launch(gpu.KernelNop, [gpu.NumKernelParams]uint64{}); err != nil {
+						errs[i] = err
+						return
+					}
+					seq = append(seq, s.Now())
+					if err := s.MemcpyDtoH(out, ptr, 0); err != nil {
+						errs[i] = err
+						return
+					}
+					seq = append(seq, s.Now())
+				}
+				if err := s.Close(); err != nil {
+					errs[i] = err
+					return
+				}
+				mu.Lock()
+				times[tenants[i]] = fmt.Sprint(seq)
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("tenant on partition %d: %v", tenants[i], err)
+			}
+		}
+		return times
+	}
+
+	both1 := run([]int{0, 1})
+	both2 := run([]int{0, 1})
+	for part := 0; part < 2; part++ {
+		if both1[part] != both2[part] {
+			t.Fatalf("partition %d schedule differs across identical concurrent runs:\n%s\nvs\n%s",
+				part, both1[part], both2[part])
+		}
+	}
+	alone0 := run([]int{0})
+	if alone0[0] != both1[0] {
+		t.Fatalf("partition 0 schedule shifts when partition 1 is loaded:\nalone: %s\nloaded: %s",
+			alone0[0], both1[0])
+	}
+}

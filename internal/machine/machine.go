@@ -63,6 +63,11 @@ type Config struct {
 	// behind its own root port; PCIe peer-to-peer between them is not
 	// supported, matching the paper's scope (§5.6).
 	GPUs int
+	// Partitions carves every GPU into that many isolated slices
+	// (disjoint SM sets, L2 sets, DRAM banks, VRAM ranges, channel
+	// blocks — see gpu.PartitionInfo). 0 or 1 = one whole-device
+	// partition, the historical behavior.
+	Partitions int
 }
 
 // Machine is the assembled platform.
@@ -81,6 +86,9 @@ type Machine struct {
 	Platform *attest.Platform
 	Timeline *sim.Timeline
 	Cost     sim.CostModel
+	// Partitions is the per-GPU partition count the machine was built
+	// with (>= 1).
+	Partitions int
 	// Entropy sources every ephemeral-key draw on this platform (the
 	// user enclave's, the GPU enclave's, and the device TRNG's DH
 	// exponents). crypto/rand on normally booted machines; a
@@ -129,6 +137,9 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.GPUs == 0 {
 		cfg.GPUs = 1
 	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
 	baseName := "gtx580-sim"
 	if cfg.VoltaStyle {
 		baseName = "volta-sim"
@@ -143,14 +154,25 @@ func New(cfg Config) (*Machine, error) {
 		if cfg.GPUs > 1 {
 			name = fmt.Sprintf("%s-%d", baseName, i)
 		}
+		// Each device TRNG gets its own entropy stream on seeded
+		// platforms so a fleet's per-device DH draws stay reproducible
+		// regardless of session interleaving across devices. Device 0
+		// keeps the shared platform stream (the historical layout, so
+		// single-GPU ciphertext reproduces against committed gates).
+		devEntropy := entropy
+		if cfg.PlatformSeed != "" && i > 0 {
+			devEntropy = attest.NewSeededRNG([]byte(fmt.Sprintf("machine-entropy/%s/gpu%d", cfg.PlatformSeed, i)))
+		}
 		devs[i], err = gpu.New(gpu.Config{
 			Name:               name,
 			VRAMBytes:          cfg.VRAMBytes,
 			Channels:           cfg.Channels,
+			Partitions:         cfg.Partitions,
+			DeviceIndex:        i,
 			Timeline:           tl,
 			Cost:               cost,
 			ConcurrentContexts: cfg.VoltaStyle,
-			Entropy:            entropy,
+			Entropy:            devEntropy,
 		})
 		if err != nil {
 			return nil, err
@@ -213,10 +235,11 @@ func New(cfg Config) (*Machine, error) {
 		GPUBDFs:  bdfs,
 		CPU:      cpu,
 		OS:       os,
-		Platform: platform,
-		Timeline: tl,
-		Cost:     cost,
-		Entropy:  entropy,
+		Platform:   platform,
+		Timeline:   tl,
+		Cost:       cost,
+		Partitions: cfg.Partitions,
+		Entropy:    entropy,
 	}, nil
 }
 

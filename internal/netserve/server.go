@@ -42,6 +42,8 @@ import (
 	"repro/internal/hix"
 	"repro/internal/hixrt"
 	"repro/internal/machine"
+	"repro/internal/ocb"
+	"repro/internal/part"
 	"repro/internal/sched"
 	"repro/internal/wire"
 )
@@ -172,17 +174,29 @@ type Config struct {
 	AuthBreakerCooloff int
 }
 
-// Server owns a machine + GPU enclave and serves remote sessions.
+// Server owns a machine and its GPU-enclave fleet — one enclave per
+// attached GPU — and serves remote sessions, placing each onto a
+// device partition via the internal/part placer.
 type Server struct {
 	cfg       Config
 	m         *machine.Machine
-	ge        *hix.Enclave
+	ge        *hix.Enclave // primary (fleet device 0) enclave
+	ges       []*hix.Enclave
 	vendorPub ed25519.PublicKey
 
-	// sched is the cross-connection batching scheduler (nil unless
-	// Config.Sched); tenants maps each bridged session to its
-	// fair-share principal for teardown (guarded by setupMu).
-	sched   *sched.Scheduler
+	// placer assigns each bridged session a device partition and VRAM
+	// reservation; slots remembers the grant for release at teardown
+	// (guarded by setupMu). sessDemand is one session's placement
+	// demand: its in-VRAM staging-ring footprint.
+	placer     *part.Placer
+	slots      map[*hixrt.Session]part.Slot
+	sessDemand uint64
+
+	// scheds are the cross-connection batching schedulers, one per
+	// enclave, index-aligned with ges (nil unless Config.Sched);
+	// tenants maps each bridged session to its fair-share principal
+	// for teardown (guarded by setupMu).
+	scheds  []*sched.Scheduler
 	tenants map[*hixrt.Session]*sched.Tenant
 
 	// setupMu serializes session construction and teardown so enclave
@@ -259,33 +273,57 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	ge := cfg.Enclave
+	var ges []*hix.Enclave
 	vendorPub := cfg.VendorPub
-	if ge == nil {
+	if cfg.Enclave == nil {
+		// Launch the fleet: one GPU enclave per attached device, all
+		// endorsed by the same vendor authority. Identical driver
+		// images mean identical measurements, so clients verify one
+		// value regardless of where they are placed.
 		vendor, err := attest.NewSigningAuthority()
 		if err != nil {
 			return nil, err
 		}
-		ge, err = hix.Launch(hix.Config{
-			Machine:             m,
-			Vendor:              vendor,
-			SessionSegmentBytes: cfg.SegmentBytes,
-			StagingSlots:        cfg.StagingSlots,
-			ServeWorkers:        cfg.ServeWorkers,
-		})
-		if err != nil {
-			return nil, err
+		for i := range m.GPUs {
+			ge, err := hix.Launch(hix.Config{
+				Machine:             m,
+				Vendor:              vendor,
+				GPU:                 m.GPUBDFs[i],
+				SessionSegmentBytes: cfg.SegmentBytes,
+				StagingSlots:        cfg.StagingSlots,
+				ServeWorkers:        cfg.ServeWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ges = append(ges, ge)
 		}
 		vendorPub = vendor.PublicKey()
-	} else if vendorPub == nil {
-		return nil, errors.New("netserve: Enclave provided without VendorPub")
+	} else {
+		if vendorPub == nil {
+			return nil, errors.New("netserve: Enclave provided without VendorPub")
+		}
+		ges = []*hix.Enclave{cfg.Enclave}
 	}
-	for _, k := range cfg.Kernels {
-		if err := ge.RegisterKernel(k); err != nil {
-			return nil, err
+	for _, ge := range ges {
+		for _, k := range cfg.Kernels {
+			if err := ge.RegisterKernel(k); err != nil {
+				return nil, err
+			}
 		}
 	}
-	var sc *sched.Scheduler
+	// The placer's topology spans exactly the devices with enclaves:
+	// the whole machine in fleet mode, the provided enclave's device
+	// otherwise. Slot.Device indexes ges either way.
+	topo := part.FromMachine(m)
+	if cfg.Enclave != nil {
+		topo = part.Topology{Devices: []part.DeviceInfo{{
+			Index:      cfg.Enclave.DeviceIndex(),
+			Name:       cfg.Enclave.GPUName(),
+			Partitions: cfg.Enclave.Partitions(),
+		}}}
+	}
+	var scheds []*sched.Scheduler
 	if cfg.Sched {
 		mbc := cfg.SchedMaxBatchCost
 		if mbc <= 0 {
@@ -302,35 +340,74 @@ func New(cfg Config) (*Server, error) {
 		if 2*cfg.MaxInFlight > mbc {
 			mbc = 2 * cfg.MaxInFlight
 		}
-		sc = sched.New(sched.Config{
-			Batcher:      ge,
-			Quantum:      cfg.SchedQuantum,
-			MaxBatchCost: mbc,
-		})
+		for _, ge := range ges {
+			scheds = append(scheds, sched.New(sched.Config{
+				Batcher:      ge,
+				Quantum:      cfg.SchedQuantum,
+				MaxBatchCost: mbc,
+			}))
+		}
 	}
+	// One session's placement demand is its in-VRAM staging ring:
+	// StagingSlots chunk-sized sealed slots (hix.Launch floors the ring
+	// at the classic double buffer).
+	slots := cfg.StagingSlots
+	if slots < 2 {
+		slots = 2
+	}
+	demand := uint64(slots) * (uint64(m.Cost.CryptoChunk) + ocb.TagSize)
 	return &Server{
-		cfg:       cfg,
-		m:         m,
-		ge:        ge,
-		vendorPub: vendorPub,
-		sched:     sc,
-		tenants:   make(map[*hixrt.Session]*sched.Tenant),
-		sem:       make(chan struct{}, cfg.MaxConns),
-		conns:     make(map[*conn]struct{}),
-		drainCh:   make(chan struct{}),
-		serveDone: make(chan error, 1),
+		cfg:        cfg,
+		m:          m,
+		ge:         ges[0],
+		ges:        ges,
+		vendorPub:  vendorPub,
+		placer:     part.NewPlacer(topo),
+		slots:      make(map[*hixrt.Session]part.Slot),
+		sessDemand: demand,
+		scheds:     scheds,
+		tenants:    make(map[*hixrt.Session]*sched.Tenant),
+		sem:        make(chan struct{}, cfg.MaxConns),
+		conns:      make(map[*conn]struct{}),
+		drainCh:    make(chan struct{}),
+		serveDone:  make(chan error, 1),
 	}, nil
 }
 
 // Machine exposes the simulated platform (bench instrumentation).
 func (s *Server) Machine() *machine.Machine { return s.m }
 
-// Enclave exposes the GPU enclave.
+// Enclave exposes the primary (fleet device 0) GPU enclave.
 func (s *Server) Enclave() *hix.Enclave { return s.ge }
 
-// Sched exposes the batching scheduler, nil unless Config.Sched
-// (counters for expvar/bench).
-func (s *Server) Sched() *sched.Scheduler { return s.sched }
+// Enclaves exposes the whole GPU-enclave fleet, device-ordered.
+func (s *Server) Enclaves() []*hix.Enclave {
+	return append([]*hix.Enclave(nil), s.ges...)
+}
+
+// Placer exposes the partition placement scheduler (expvar/bench).
+func (s *Server) Placer() *part.Placer { return s.placer }
+
+// Sched exposes the primary device's batching scheduler, nil unless
+// Config.Sched (counters for expvar/bench).
+func (s *Server) Sched() *sched.Scheduler {
+	if len(s.scheds) == 0 {
+		return nil
+	}
+	return s.scheds[0]
+}
+
+// encIdx maps a placed Slot.Device to its fleet index in ges/scheds.
+// Identity in fleet mode; the provided-Enclave topology has one entry
+// whose device index may be anything.
+func (s *Server) encIdx(dev int) int {
+	for i, ge := range s.ges {
+		if ge.DeviceIndex() == dev {
+			return i
+		}
+	}
+	return 0
+}
 
 // VendorPub exposes the vendor endorsement key remote-session user
 // enclaves verify against.
@@ -487,11 +564,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// stopSched shuts the batching scheduler down once every handler has
+// stopSched shuts the batching schedulers down once every handler has
 // exited (so no epoch can be submitted after the stop). Idempotent.
 func (s *Server) stopSched() {
-	if s.sched != nil {
-		s.sched.Stop()
+	for _, sc := range s.scheds {
+		sc.Stop()
 	}
 }
 
@@ -505,14 +582,34 @@ func (s *Server) openSession(measure attest.Measurement, name string) (*hixrt.Se
 	if s.cfg.Faults.Fire(faults.AttestMismatch) {
 		return nil, fmt.Errorf("%w: injected measurement mismatch", hixrt.ErrAttestation)
 	}
-	client, err := hixrt.NewClient(s.m, s.ge, s.vendorPub, measure[:])
+	// Resolve the tenant's QoS up front: the placer spreads Latency
+	// sessions and packs Bulk ones, and the measurement keys partition
+	// affinity so a reconnecting tenant lands back where it ran.
+	q := QoSParams{Weight: 1}
+	if s.cfg.QoS != nil {
+		q = s.cfg.QoS(measure)
+	}
+	slot, err := s.placer.Place(part.Demand{
+		VRAMBytes: s.sessDemand,
+		Class:     q.Class,
+		Affinity:  fmt.Sprintf("%x", measure[:]),
+	})
 	if err != nil {
 		return nil, err
 	}
+	idx := s.encIdx(slot.Device)
+	client, err := hixrt.NewClient(s.m, s.ges[idx], s.vendorPub, measure[:])
+	if err != nil {
+		_ = s.placer.Release(slot)
+		return nil, err
+	}
+	client.Partition = slot.Partition + 1
 	sess, err := client.OpenSession()
 	if err != nil {
+		_ = s.placer.Release(slot)
 		return nil, err
 	}
+	s.slots[sess] = slot
 	if s.cfg.SessionWorkers > 0 {
 		sess.Workers = s.cfg.SessionWorkers
 	}
@@ -523,12 +620,8 @@ func (s *Server) openSession(measure attest.Measurement, name string) (*hixrt.Se
 		s.cfg.OnSession(sess)
 	}
 	s.installFaultHooks(sess)
-	if s.sched != nil {
-		q := QoSParams{Weight: 1}
-		if s.cfg.QoS != nil {
-			q = s.cfg.QoS(measure)
-		}
-		ten := s.sched.Join(name, sess.ID(), q.Weight, q.Class, q.Limit)
+	if len(s.scheds) > 0 {
+		ten := s.scheds[idx].Join(name, sess.ID(), q.Weight, q.Class, q.Limit)
 		sess.Gate = ten
 		s.tenants[sess] = ten
 	}
@@ -639,6 +732,12 @@ func (s *Server) closeSession(sess *hixrt.Session) {
 		ten.Leave()
 		delete(s.tenants, sess)
 	}
+	if slot, ok := s.slots[sess]; ok {
+		if err := s.placer.Release(slot); err != nil {
+			s.logf("netserve: slot release: %v", err)
+		}
+		delete(s.slots, sess)
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -647,8 +746,14 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// SessionCount reports the enclave's live session count (tests).
-func (s *Server) SessionCount() int { return s.ge.SessionCount() }
+// SessionCount reports the fleet's live session count (tests).
+func (s *Server) SessionCount() int {
+	n := 0
+	for _, ge := range s.ges {
+		n += ge.SessionCount()
+	}
+	return n
+}
 
 // ConnCount reports currently tracked connections (tests).
 func (s *Server) ConnCount() int {

@@ -1,0 +1,38 @@
+// Package part is the partition manager for a machine's GPU fleet: it
+// models each device's partition table (disjoint SM sets, L2 sets, DRAM
+// banks, VRAM ranges — see internal/gpu/partition.go) as schedulable
+// capacity and places incoming sessions onto partitions by VRAM demand
+// and QoS class, with affinity so a reconnecting session lands back on
+// a compatible slot. The netserve front-end drives it; internal/sched
+// then arbitrates wakeups within each device.
+package part
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/machine"
+)
+
+// DeviceInfo is one GPU of the fleet with its partition table.
+type DeviceInfo struct {
+	Index      int
+	Name       string
+	Partitions []gpu.PartitionInfo
+}
+
+// Topology is the fleet's placement-relevant shape.
+type Topology struct {
+	Devices []DeviceInfo
+}
+
+// FromMachine captures a booted machine's fleet topology.
+func FromMachine(m *machine.Machine) Topology {
+	t := Topology{Devices: make([]DeviceInfo, len(m.GPUs))}
+	for i, d := range m.GPUs {
+		t.Devices[i] = DeviceInfo{
+			Index:      i,
+			Name:       d.Name(),
+			Partitions: d.Partitions(),
+		}
+	}
+	return t
+}

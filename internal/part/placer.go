@@ -1,0 +1,259 @@
+package part
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gpu"
+	"repro/internal/sched"
+)
+
+// ErrNoCapacity reports that no partition can hold the demanded VRAM.
+var ErrNoCapacity = errors.New("part: no partition has capacity")
+
+// Demand describes what an incoming session needs from the fleet.
+type Demand struct {
+	// VRAMBytes is the session's reserved device-memory footprint (at
+	// minimum its staging ring; servers add expected working set).
+	VRAMBytes uint64
+	// Class steers the policy: Latency sessions spread across
+	// partitions for isolation headroom, Bulk sessions pack tightly to
+	// keep whole partitions free.
+	Class sched.Class
+	// Affinity, when non-empty, keys this session to earlier
+	// placements: a reconnecting session (journal replay) asks for the
+	// partition it last ran on and gets it back if the demand still
+	// fits.
+	Affinity string
+}
+
+// Slot is a granted placement: a device partition plus the reserved
+// VRAM extent inside the partition's range.
+type Slot struct {
+	Device    int
+	Partition int
+	VRAMBase  uint64
+	VRAMSize  uint64
+}
+
+// span is one free extent of a partition's VRAM range.
+type span struct{ base, size uint64 }
+
+// partState is the placer's book for one device partition.
+type partState struct {
+	dev      int
+	idx      int
+	info     gpu.PartitionInfo
+	sessions int
+	free     []span // sorted by base
+	occupied uint64
+}
+
+const placeAlign = 256 // match the device allocator's granularity
+
+// Placer bin-packs sessions onto the fleet's partitions. Safe for
+// concurrent use.
+type Placer struct {
+	mu       sync.Mutex
+	parts    []*partState   // flattened, device-major
+	affinity map[string]int // affinity key -> flattened partition index
+
+	placements   int64
+	rejections   int64
+	affinityHits int64
+}
+
+// NewPlacer builds a placer over a fleet topology.
+func NewPlacer(t Topology) *Placer {
+	p := &Placer{affinity: make(map[string]int)}
+	for _, d := range t.Devices {
+		for _, pi := range d.Partitions {
+			p.parts = append(p.parts, &partState{
+				dev:  d.Index,
+				idx:  pi.Index,
+				info: pi,
+				free: []span{{pi.VRAMBase, pi.VRAMSize}},
+			})
+		}
+	}
+	return p
+}
+
+// Place reserves a slot for the demand, or fails with ErrNoCapacity.
+func (p *Placer) Place(d Demand) (Slot, error) {
+	if d.VRAMBytes == 0 {
+		return Slot{}, errors.New("part: zero VRAM demand")
+	}
+	size := (d.VRAMBytes + placeAlign - 1) &^ uint64(placeAlign-1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Affinity first: a reconnecting session goes home if home still
+	// has room.
+	if d.Affinity != "" {
+		if i, ok := p.affinity[d.Affinity]; ok {
+			if base, ok := p.parts[i].take(size); ok {
+				p.affinityHits++
+				return p.grant(i, d, base, size), nil
+			}
+		}
+	}
+
+	best := -1
+	for i, ps := range p.parts {
+		if !ps.fits(size) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := p.parts[best]
+		if d.Class == sched.Latency {
+			// Spread: fewest sessions wins, ties to the lowest index.
+			if ps.sessions < b.sessions {
+				best = i
+			}
+		} else {
+			// Pack: least free VRAM that still fits wins (best fit),
+			// ties to the lowest index.
+			if ps.freeBytes() < b.freeBytes() {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		p.rejections++
+		return Slot{}, fmt.Errorf("%w: %d bytes (class %d)", ErrNoCapacity, d.VRAMBytes, d.Class)
+	}
+	base, _ := p.parts[best].take(size)
+	return p.grant(best, d, base, size), nil
+}
+
+// grant finalizes a reservation on flattened partition i. Caller holds
+// p.mu and has already carved the extent.
+func (p *Placer) grant(i int, d Demand, base, size uint64) Slot {
+	ps := p.parts[i]
+	ps.sessions++
+	ps.occupied += size
+	p.placements++
+	if d.Affinity != "" {
+		p.affinity[d.Affinity] = i
+	}
+	return Slot{Device: ps.dev, Partition: ps.idx, VRAMBase: base, VRAMSize: size}
+}
+
+// Release returns a slot's reservation. The affinity memory survives,
+// so a later Place with the same key prefers this partition.
+func (p *Placer) Release(s Slot) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ps := range p.parts {
+		if ps.dev != s.Device || ps.idx != s.Partition {
+			continue
+		}
+		if err := ps.give(s.VRAMBase, s.VRAMSize); err != nil {
+			return err
+		}
+		ps.sessions--
+		ps.occupied -= s.VRAMSize
+		return nil
+	}
+	return fmt.Errorf("part: release of unknown slot %d.%d", s.Device, s.Partition)
+}
+
+// fits reports whether any free span holds size bytes.
+func (ps *partState) fits(size uint64) bool {
+	for _, f := range ps.free {
+		if f.size >= size {
+			return true
+		}
+	}
+	return false
+}
+
+func (ps *partState) freeBytes() uint64 {
+	var n uint64
+	for _, f := range ps.free {
+		n += f.size
+	}
+	return n
+}
+
+// take carves size bytes from the first fitting span (first fit).
+func (ps *partState) take(size uint64) (uint64, bool) {
+	for i, f := range ps.free {
+		if f.size < size {
+			continue
+		}
+		base := f.base
+		if f.size == size {
+			ps.free = append(ps.free[:i], ps.free[i+1:]...)
+		} else {
+			ps.free[i] = span{f.base + size, f.size - size}
+		}
+		return base, true
+	}
+	return 0, false
+}
+
+// give returns [base, base+size), coalescing neighbors.
+func (ps *partState) give(base, size uint64) error {
+	lo, hi := ps.info.VRAMBase, ps.info.VRAMBase+ps.info.VRAMSize
+	if base < lo || base+size > hi {
+		return fmt.Errorf("part: extent [%#x,%#x) outside partition range", base, base+size)
+	}
+	idx := len(ps.free)
+	for i, f := range ps.free {
+		if f.base > base {
+			idx = i
+			break
+		}
+	}
+	ps.free = append(ps.free, span{})
+	copy(ps.free[idx+1:], ps.free[idx:])
+	ps.free[idx] = span{base, size}
+	if idx+1 < len(ps.free) && ps.free[idx].base+ps.free[idx].size == ps.free[idx+1].base {
+		ps.free[idx].size += ps.free[idx+1].size
+		ps.free = append(ps.free[:idx+1], ps.free[idx+2:]...)
+	}
+	if idx > 0 && ps.free[idx-1].base+ps.free[idx-1].size == ps.free[idx].base {
+		ps.free[idx-1].size += ps.free[idx].size
+		ps.free = append(ps.free[:idx], ps.free[idx+1:]...)
+	}
+	return nil
+}
+
+// Stats is one partition's occupancy snapshot.
+type Stats struct {
+	Device        int
+	Partition     int
+	Sessions      int
+	OccupiedBytes uint64
+	CapacityBytes uint64
+}
+
+// Stats snapshots every partition, device-major.
+func (p *Placer) Stats() []Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Stats, len(p.parts))
+	for i, ps := range p.parts {
+		out[i] = Stats{
+			Device:        ps.dev,
+			Partition:     ps.idx,
+			Sessions:      ps.sessions,
+			OccupiedBytes: ps.occupied,
+			CapacityBytes: ps.info.VRAMSize,
+		}
+	}
+	return out
+}
+
+// Counters reports lifetime placement totals.
+func (p *Placer) Counters() (placements, rejections, affinityHits int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.placements, p.rejections, p.affinityHits
+}

@@ -1,0 +1,182 @@
+package part
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// testTopology builds a 2-device fleet with real partition tables by
+// constructing simulated devices (the same plan the machine boots).
+func testTopology(t *testing.T, partitions int) Topology {
+	t.Helper()
+	tl := sim.NewTimeline()
+	topo := Topology{}
+	for dev := 0; dev < 2; dev++ {
+		d, err := gpu.New(gpu.Config{
+			Name:        "test-gpu",
+			VRAMBytes:   1 << 20,
+			Channels:    8,
+			Partitions:  partitions,
+			DeviceIndex: dev,
+			Timeline:    tl,
+			Cost:        sim.Default(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo.Devices = append(topo.Devices, DeviceInfo{
+			Index:      dev,
+			Name:       d.Name(),
+			Partitions: d.Partitions(),
+		})
+	}
+	return topo
+}
+
+// TestPlacerNeverOverlaps is the randomized isolation property: across
+// a random mix of placements and releases, no two live sessions ever
+// share VRAM bytes, every reservation stays inside its partition's
+// range, and sessions on different partitions of one device have
+// disjoint SM sets.
+func TestPlacerNeverOverlaps(t *testing.T) {
+	topo := testTopology(t, 4)
+	p := NewPlacer(topo)
+	rng := rand.New(rand.NewSource(42))
+
+	partOf := func(s Slot) gpu.PartitionInfo {
+		return topo.Devices[s.Device].Partitions[s.Partition]
+	}
+
+	var live []Slot
+	for step := 0; step < 2000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live))
+			if err := p.Release(live[i]); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		d := Demand{
+			VRAMBytes: uint64(1 + rng.Intn(64<<10)),
+			Class:     sched.Class(rng.Intn(2)),
+		}
+		slot, err := p.Place(d)
+		if err != nil {
+			continue // full is legal; the invariants below still hold
+		}
+		live = append(live, slot)
+
+		// Invariants over the whole live set.
+		for i, a := range live {
+			pa := partOf(a)
+			if a.VRAMBase < pa.VRAMBase || a.VRAMBase+a.VRAMSize > pa.VRAMBase+pa.VRAMSize {
+				t.Fatalf("step %d: slot %+v escapes partition range [%#x,%#x)",
+					step, a, pa.VRAMBase, pa.VRAMBase+pa.VRAMSize)
+			}
+			for _, b := range live[i+1:] {
+				if a.Device != b.Device {
+					continue
+				}
+				if a.Partition == b.Partition {
+					if a.VRAMBase < b.VRAMBase+b.VRAMSize && b.VRAMBase < a.VRAMBase+a.VRAMSize {
+						t.Fatalf("step %d: VRAM overlap: %+v vs %+v", step, a, b)
+					}
+					continue
+				}
+				pb := partOf(b)
+				if pa.SMFirst < pb.SMFirst+pb.SMCount && pb.SMFirst < pa.SMFirst+pa.SMCount {
+					t.Fatalf("step %d: SM overlap across partitions: %+v vs %+v", step, pa, pb)
+				}
+				if pa.VRAMBase < pb.VRAMBase+pb.VRAMSize && pb.VRAMBase < pa.VRAMBase+pa.VRAMSize {
+					t.Fatalf("step %d: partition VRAM ranges overlap: %+v vs %+v", step, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestPlacerPolicy pins the class policies: Latency spreads across
+// partitions, Bulk packs onto the fullest fitting partition.
+func TestPlacerPolicy(t *testing.T) {
+	topo := testTopology(t, 4)
+	p := NewPlacer(topo)
+
+	// Latency sessions land on distinct partitions while empty ones
+	// remain (8 partitions across 2 devices).
+	seen := map[[2]int]bool{}
+	for i := 0; i < 8; i++ {
+		s, err := p.Place(Demand{VRAMBytes: 4096, Class: sched.Latency})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := [2]int{s.Device, s.Partition}
+		if seen[key] {
+			t.Fatalf("latency placement %d reused partition %v", i, key)
+		}
+		seen[key] = true
+	}
+
+	// Bulk packs: consecutive placements co-locate while room remains.
+	b1, err := p.Place(Demand{VRAMBytes: 4096, Class: sched.Bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Place(Demand{VRAMBytes: 4096, Class: sched.Bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Device != b2.Device || b1.Partition != b2.Partition {
+		t.Fatalf("bulk placements did not pack: %+v vs %+v", b1, b2)
+	}
+}
+
+// TestPlacerAffinity pins the reconnect path: after release, a demand
+// carrying the same affinity key returns to its original partition.
+func TestPlacerAffinity(t *testing.T) {
+	topo := testTopology(t, 4)
+	p := NewPlacer(topo)
+
+	first, err := p.Place(Demand{VRAMBytes: 8192, Class: sched.Latency, Affinity: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load up other partitions so a fresh spread choice would differ.
+	for i := 0; i < 5; i++ {
+		if _, err := p.Place(Demand{VRAMBytes: 4096, Class: sched.Latency}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Release(first); err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.Place(Demand{VRAMBytes: 8192, Class: sched.Latency, Affinity: "tenant-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Device != first.Device || again.Partition != first.Partition {
+		t.Fatalf("affinity ignored: first %+v, again %+v", first, again)
+	}
+	_, _, hits := p.Counters()
+	if hits != 1 {
+		t.Fatalf("affinity hits = %d, want 1", hits)
+	}
+}
+
+// TestPlacerRejects pins capacity exhaustion: an oversized demand fails
+// with ErrNoCapacity and bumps the rejection counter.
+func TestPlacerRejects(t *testing.T) {
+	topo := testTopology(t, 2)
+	p := NewPlacer(topo)
+	if _, err := p.Place(Demand{VRAMBytes: 2 << 20, Class: sched.Bulk}); err == nil {
+		t.Fatal("oversized demand placed")
+	}
+	_, rej, _ := p.Counters()
+	if rej != 1 {
+		t.Fatalf("rejections = %d, want 1", rej)
+	}
+}

@@ -76,6 +76,43 @@ func CryptoLane(lane int) Resource {
 	return Resource(fmt.Sprintf("cpu-crypto#%d", lane))
 }
 
+// gpuLane derives the per-partition variant of a device resource.
+// Device 0 partition 0 keeps the base name itself, so single-GPU
+// single-partition machines produce the same traces (and the same
+// fingerprints) they always did.
+func gpuLane(base Resource, dev, part int) Resource {
+	if dev == 0 && part == 0 {
+		return base
+	}
+	return Resource(fmt.Sprintf("%s@%d.%d", base, dev, part))
+}
+
+// GPUComputeLane is the compute-engine share (the partition's disjoint
+// SM set) of partition part on device dev.
+func GPUComputeLane(dev, part int) Resource { return gpuLane(ResGPUCompute, dev, part) }
+
+// GPUDMALane is the DMA copy-engine queue of one device partition.
+func GPUDMALane(dev, part int) Resource { return gpuLane(ResGPUDMA, dev, part) }
+
+// GPUCryptoLane is the auxiliary engine partition the memory-bound
+// in-GPU crypto kernels run on under Volta-style concurrent contexts.
+// Device 0 partition 0 keeps the historical "gpu-compute-aux" name.
+func GPUCryptoLane(dev, part int) Resource {
+	return gpuLane(Resource("gpu-compute-aux"), dev, part)
+}
+
+// PCIeLane is the MMIO submission lane of one device partition: the
+// slice of the link's transaction bandwidth provisioned to the
+// partition's command channels, so one partition's doorbell traffic
+// never delays a sibling's.
+func PCIeLane(dev, part int) Resource { return gpuLane(ResPCIe, dev, part) }
+
+// GECoreLane is the GPU enclave's serving-core share for one device
+// partition: each partition's command stream has its own serving
+// context, so wakeups on one partition never perturb another's
+// timeline.
+func GECoreLane(dev, part int) Resource { return gpuLane(ResGECore, dev, part) }
+
 // TransferTime converts a byte count and bandwidth (bytes per second) into
 // a duration, plus a fixed per-operation latency.
 func TransferTime(bytes int, bandwidthBps float64, latency Duration) Duration {

@@ -9,7 +9,10 @@
 # BENCH_pr5.json (wire v2 pipelining: transport identity gate +
 # in-flight depth sweep with the 1.5x depth-8 throughput gate), and
 # BENCH_pr7.json (continuous batching + QoS: identity, throughput,
-# fairness gates). --bench also runs scripts/benchdiff.sh first, so a
+# fairness gates), and BENCH_pr8.json (GPU partitioning + fleet:
+# cross-partition isolation identity gate + capacity sweep with the
+# 1.5x four-partition scaling gate). --bench also runs
+# scripts/benchdiff.sh first, so a
 # regression against the committed trajectory fails before any file is
 # rewritten.
 set -eu
@@ -44,6 +47,7 @@ go test ./...
 echo "== go test -race (concurrent paths) =="
 go test -race -count=1 ./internal/ocb/
 go test -race -count=1 ./internal/sched/
+go test -race -count=1 ./internal/part/
 go test -race -count=1 ./internal/hixrt/ \
 	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism|TestPipe'
 go test -race -count=1 ./internal/wire/
@@ -98,5 +102,8 @@ go run ./cmd/hixbench -exp pipeline -json BENCH_pr5.json
 
 echo "== continuous batching + QoS -> BENCH_pr7.json =="
 go run ./cmd/hixbench -exp sched -json BENCH_pr7.json
+
+echo "== partitioning + fleet -> BENCH_pr8.json =="
+go run ./cmd/hixbench -exp partition -json BENCH_pr8.json
 
 echo "== OK =="
