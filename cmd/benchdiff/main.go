@@ -7,15 +7,17 @@
 // Both files are JSON arrays of flat objects keyed by "name" (the
 // format every hixbench -json experiment emits). Entries are matched
 // by name; the comparison covers every "higher is better" throughput
-// field the pair shares (req_per_s, sim_req_per_s, MB_per_s, ...).
-// Header entries, identity digests, chaos counters, and other
-// non-throughput records are ignored, so the tool tolerates the
-// trajectory growing new entry kinds. The verdict is the geometric
-// mean of the fresh/committed ratios — one noisy sweep point cannot
-// fail the gate on its own, but a broad regression cannot hide behind
-// one improved point either. A committed gate entry ("pass": true)
-// that the fresh run fails is an immediate error regardless of the
-// mean.
+// field the pair shares (req_per_s, sim_req_per_s, MB_per_s, ...) and
+// every "lower is better" tail-latency field (p50_ms, p99_ms,
+// p999_ms), which get their own geometric mean and their own
+// -tail-tolerance. Header entries, identity digests, chaos counters,
+// and other non-comparable records are ignored, so the tool tolerates
+// the trajectory growing new entry kinds. The verdict is the
+// geometric mean of the fresh/committed ratios — one noisy sweep
+// point cannot fail the gate on its own, but a broad regression
+// cannot hide behind one improved point either. A committed gate
+// entry ("pass": true) that the fresh run fails is an immediate error
+// regardless of the mean.
 //
 // The default tolerance is sized for wall-clock noise: simulated
 // metrics (sim_req_per_s) reproduce exactly, but on a shared
@@ -43,6 +45,16 @@ var throughputKeys = []string{
 	"MB_per_s",
 	"HtoD_MB_per_s",
 	"DtoH_MB_per_s",
+}
+
+// latencyKeys are the "lower is better" tail fields from the load
+// harness, gated separately: a tail regression is invisible to a mean
+// throughput ratio (goodput can hold while p999 doubles), so the tail
+// gets its own geomean against -tail-tolerance.
+var latencyKeys = []string{
+	"p50_ms",
+	"p99_ms",
+	"p999_ms",
 }
 
 type entry map[string]any
@@ -78,9 +90,14 @@ func num(e entry, key string) (float64, bool) {
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed mean throughput regression (0.25 = 25%)")
+	// Tail latencies on a shared single-core container are far noisier
+	// than means — the default lets the tail double before failing; a
+	// real collapse (busy-spin, lost wakeup, head-of-line blocking)
+	// shows up as 5-50x on p999.
+	tailTolerance := flag.Float64("tail-tolerance", 1.0, "allowed mean tail-latency regression (1.0 = 2x)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] committed.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] [-tail-tolerance 1.0] committed.json fresh.json")
 		os.Exit(2)
 	}
 	committed, order, err := load(flag.Arg(0))
@@ -96,6 +113,8 @@ func main() {
 
 	var logSum float64
 	var ratios int
+	var tailLogSum float64
+	var tailRatios int
 	var missing []string
 	gateBroken := false
 	for _, name := range order {
@@ -104,7 +123,7 @@ func main() {
 		if !ok {
 			// Only complain when the committed entry carried something
 			// this tool compares; renamed auxiliary records are noise.
-			for _, k := range throughputKeys {
+			for _, k := range append(append([]string{}, throughputKeys...), latencyKeys...) {
 				if _, has := num(ce, k); has {
 					missing = append(missing, name)
 					break
@@ -139,28 +158,62 @@ func main() {
 			fmt.Printf("  %s %-46s %-14s %10.1f -> %10.1f  (%.2fx)\n",
 				marker, name, k, cv, fv, r)
 		}
+		for _, k := range latencyKeys {
+			cv, cok := num(ce, k)
+			fv, fok := num(fe, k)
+			if !cok || !fok || cv <= 0 || fv <= 0 {
+				continue
+			}
+			r := fv / cv
+			tailLogSum += math.Log(r)
+			tailRatios++
+			marker := " " // "-" marks the bad direction: for latency that is UP
+			if r > 1+*tailTolerance {
+				marker = "-"
+			} else if r < 1/(1+*tailTolerance) {
+				marker = "+"
+			}
+			fmt.Printf("  %s %-46s %-14s %10.2f -> %10.2f  (%.2fx, lower better)\n",
+				marker, name, k, cv, fv, r)
+		}
 	}
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Printf("  ? missing from fresh run: %s\n", name)
 	}
-	if ratios == 0 {
-		fmt.Println("benchdiff: no comparable throughput entries; nothing to gate")
+	if ratios == 0 && tailRatios == 0 {
+		fmt.Println("benchdiff: no comparable throughput or latency entries; nothing to gate")
 		if gateBroken {
 			os.Exit(1)
 		}
 		return
 	}
-	mean := math.Exp(logSum / float64(ratios))
-	fmt.Printf("benchdiff: mean throughput ratio %.3fx over %d metrics (tolerance %.0f%%)\n",
-		mean, ratios, *tolerance*100)
+	failed := false
+	if ratios > 0 {
+		mean := math.Exp(logSum / float64(ratios))
+		fmt.Printf("benchdiff: mean throughput ratio %.3fx over %d metrics (tolerance %.0f%%)\n",
+			mean, ratios, *tolerance*100)
+		if mean < 1-*tolerance {
+			fmt.Printf("benchdiff: FAIL — mean throughput regressed %.1f%% > %.0f%%\n",
+				(1-mean)*100, *tolerance*100)
+			failed = true
+		}
+	}
+	if tailRatios > 0 {
+		tailMean := math.Exp(tailLogSum / float64(tailRatios))
+		fmt.Printf("benchdiff: mean tail-latency ratio %.3fx over %d metrics (tolerance %.0f%%, lower better)\n",
+			tailMean, tailRatios, *tailTolerance*100)
+		if tailMean > 1+*tailTolerance {
+			fmt.Printf("benchdiff: FAIL — mean tail latency grew %.2fx > %.2fx allowed\n",
+				tailMean, 1+*tailTolerance)
+			failed = true
+		}
+	}
 	if gateBroken {
 		fmt.Println("benchdiff: FAIL — a committed gate no longer passes")
-		os.Exit(1)
+		failed = true
 	}
-	if mean < 1-*tolerance {
-		fmt.Printf("benchdiff: FAIL — mean throughput regressed %.1f%% > %.0f%%\n",
-			(1-mean)*100, *tolerance*100)
+	if failed {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: OK")

@@ -98,6 +98,11 @@ func main() {
 	if sc := srv.Sched(); sc != nil {
 		expvar.Publish("hix.sched", expvar.Func(func() any { return sc.Snapshot() }))
 	}
+	// hix.load: the live load picture an operator watches while an
+	// open-loop generator (hixbench -exp load) drives the server —
+	// fleet-wide queue depth (current and high-water), rate-limiter
+	// deferrals, and connection/session counts.
+	expvar.Publish("hix.load", expvar.Func(func() any { return srv.Queue() }))
 	// hix.part: per-partition occupancy (sessions, reserved VRAM) plus
 	// lifetime placement counters from the fleet placer.
 	expvar.Publish("hix.part", expvar.Func(func() any {

@@ -1,0 +1,216 @@
+// Package hist implements the latency histogram of the load harness:
+// HDR-style log-bucketed counters over the full int64 nanosecond range,
+// cheap to record into, exact to merge, and accurate enough at the tail
+// (sub-bucket resolution 1/16, so any quantile is within 6.25% of the
+// true value) that p999 under overload is a trustworthy number rather
+// than an artifact of bucket width.
+//
+// The geometry is fixed — 16 linear sub-buckets per power of two — so
+// every histogram is mergeable with every other by plain counter
+// addition: workers record into private histograms with no
+// synchronization and the harness folds them together afterwards.
+// Merge is associative and commutative by construction (integer adds),
+// which the package tests pin down.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// subBits fixes the sub-bucket resolution: 1<<subBits linear buckets
+// per power of two, bounding quantile error at 1/(1<<subBits).
+const subBits = 4
+
+const sub = 1 << subBits // sub-buckets per power of two
+
+// nBuckets spans the full non-negative int64 range: values below sub
+// get exact unit buckets, every further power of two gets sub linear
+// buckets (the top exponent for 63-bit values is 63-subBits-1 = 58).
+const nBuckets = sub + (63-subBits)*sub
+
+// H is one histogram. The zero value is ready to use. Not safe for
+// concurrent use — give each worker its own and Merge.
+type H struct {
+	counts [nBuckets]uint64
+	total  uint64
+	sum    float64 // float: Σ of int64s can overflow uint64 at scale
+	min    int64
+	max    int64
+}
+
+// index maps a value to its bucket. Negative values clamp to 0 (the
+// harness records durations; a clock step backwards must not panic).
+func index(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < sub {
+		return int(u)
+	}
+	// Shift so the value lands in [sub, 2*sub): exp linear buckets of
+	// width 1<<exp cover [sub<<exp, sub<<(exp+1)).
+	exp := uint(bits.Len64(u)) - (subBits + 1)
+	return int(exp)*sub + int(u>>exp)
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < sub {
+		return int64(i)
+	}
+	exp := uint(i/sub - 1)
+	m := int64(i - int(exp)*sub) // in [sub, 2*sub)
+	return m << exp
+}
+
+// bucketMid returns bucket i's representative value (its midpoint),
+// which bounds quantile error at half the bucket width.
+func bucketMid(i int) int64 {
+	if i < sub {
+		return int64(i)
+	}
+	exp := uint(i/sub - 1)
+	return bucketLow(i) + (int64(1)<<exp)/2
+}
+
+// Record adds one observation.
+func (h *H) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[index(v)]++
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total++
+	h.sum += float64(v)
+}
+
+// RecordDur adds one duration observation in nanoseconds.
+func (h *H) RecordDur(d time.Duration) { h.Record(int64(d)) }
+
+// Merge folds o into h (o is unchanged). Histograms share one fixed
+// geometry, so merging is exact: counts add, extrema combine.
+func (h *H) Merge(o *H) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.total == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// Count reports the number of observations.
+func (h *H) Count() uint64 { return h.total }
+
+// Min reports the smallest observation (0 when empty).
+func (h *H) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest observation (0 when empty).
+func (h *H) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the exact arithmetic mean (0 when empty).
+func (h *H) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns the value at quantile q in [0,1]: the representative
+// value of the bucket holding the ceil(q*count)-th smallest
+// observation, clamped to the recorded extrema (so Quantile(0) is the
+// exact min and Quantile(1) the exact max). Empty histograms report 0.
+func (h *H) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.total {
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Summary is a histogram snapshot in the shape the load harness emits:
+// tail percentiles alongside count and extrema, all in the recorded
+// unit (nanoseconds for latency histograms).
+type Summary struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// Summarize computes the standard percentile snapshot.
+func (h *H) Summarize() Summary {
+	return Summary{
+		Count: h.total,
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary as durations (diagnostics).
+func (h *H) String() string {
+	s := h.Summarize()
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v p999=%v max=%v",
+		s.Count, time.Duration(s.P50), time.Duration(s.P90),
+		time.Duration(s.P99), time.Duration(s.P999), time.Duration(s.Max))
+}

@@ -1,0 +1,227 @@
+package hist
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test data (no global rand).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// TestIndexBoundaries pins the bucket geometry: unit buckets below sub,
+// 16 linear buckets per power of two above, monotone and in range, and
+// every bucket's low bound maps back to its own index.
+func TestIndexBoundaries(t *testing.T) {
+	for v := int64(0); v < sub; v++ {
+		if got := index(v); got != int(v) {
+			t.Fatalf("index(%d) = %d, want unit bucket %d", v, got, v)
+		}
+		if bucketLow(int(v)) != v || bucketMid(int(v)) != v {
+			t.Fatalf("unit bucket %d: low=%d mid=%d, want exact", v, bucketLow(int(v)), bucketMid(int(v)))
+		}
+	}
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{sub, sub},             // first log bucket
+		{2*sub - 1, 2*sub - 1}, // end of exp 0
+		{2 * sub, 2 * sub},     // start of exp 1
+		{4*sub - 2, 3*sub - 1}, // end of exp 1 (width 2)
+		{4 * sub, 3 * sub},     // start of exp 2
+		{math.MaxInt64, nBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := index(c.v); got != c.want {
+			t.Fatalf("index(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		i := index(v)
+		if i <= prev && v != 0 {
+			t.Fatalf("index not monotone at %d: %d <= %d", v, i, prev)
+		}
+		if i < 0 || i >= nBuckets {
+			t.Fatalf("index(%d) = %d out of range [0,%d)", v, i, nBuckets)
+		}
+		if lo := bucketLow(i); index(lo) != i {
+			t.Fatalf("bucketLow(%d)=%d maps to bucket %d", i, lo, index(lo))
+		}
+		if lo, w := bucketLow(i), bucketWidth(i); v < lo || (lo+w > lo && v >= lo+w) {
+			// lo+w <= lo means the top bucket's bound overflowed int64.
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, lo+w)
+		}
+		prev = i
+	}
+	if index(-5) != 0 {
+		t.Fatalf("negative values must clamp to bucket 0, got %d", index(-5))
+	}
+}
+
+// bucketWidth is test-only: the count of values bucket i covers.
+func bucketWidth(i int) int64 {
+	if i < sub {
+		return 1
+	}
+	return int64(1) << uint(i/sub-1)
+}
+
+// TestRelativeError: every recorded value's bucket midpoint is within
+// 1/sub (6.25%) of the value — the resolution contract the tail
+// percentiles rely on.
+func TestRelativeError(t *testing.T) {
+	r := lcg(7)
+	for n := 0; n < 20000; n++ {
+		v := int64(r.next() >> (r.next() % 50)) // spread across magnitudes
+		if v < 0 {
+			v = -v
+		}
+		mid := bucketMid(index(v))
+		if v == 0 {
+			if mid != 0 {
+				t.Fatalf("mid(0) = %d", mid)
+			}
+			continue
+		}
+		if err := math.Abs(float64(mid-v)) / float64(v); err > 1.0/sub {
+			t.Fatalf("value %d: midpoint %d relative error %.4f > %.4f", v, mid, err, 1.0/sub)
+		}
+	}
+}
+
+// TestMergeAssociativity: (a⊕b)⊕c and a⊕(b⊕c) are identical — counts,
+// extrema, sum, and therefore every quantile.
+func TestMergeAssociativity(t *testing.T) {
+	mk := func(seed lcg, n int, shift uint) *H {
+		h := &H{}
+		r := seed
+		for i := 0; i < n; i++ {
+			h.Record(int64(r.next() >> shift))
+		}
+		return h
+	}
+	a, b, c := mk(1, 5000, 44), mk(2, 3000, 24), mk(3, 7000, 34)
+
+	left := &H{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := &H{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := &H{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	if *left != *right {
+		t.Fatal("merge is not associative: histograms differ")
+	}
+	if left.Count() != 15000 {
+		t.Fatalf("merged count = %d, want 15000", left.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Fatalf("quantile %v differs: %d vs %d", q, left.Quantile(q), right.Quantile(q))
+		}
+	}
+	// Merging an empty or nil histogram is the identity.
+	before := *left
+	left.Merge(&H{})
+	left.Merge(nil)
+	if *left != before {
+		t.Fatal("merging empty/nil changed the histogram")
+	}
+}
+
+// TestQuantilesKnownDistribution: p50/p99/p999 on a uniform grid land
+// within the bucket-resolution error of the exact order statistics.
+func TestQuantilesKnownDistribution(t *testing.T) {
+	const n = 100000
+	h := &H{}
+	// Uniform over {10, 20, ..., 1000000}; recording order is irrelevant,
+	// so record a deterministic permutation to prove it.
+	step := int64(10)
+	perm := int64(0)
+	for i := 0; i < n; i++ {
+		perm = (perm + 99991) % n // 99991 coprime to n walks all residues
+		h.Record((perm + 1) * step)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q     float64
+		exact float64
+	}{
+		{0.50, 0.50 * n * float64(step)},
+		{0.90, 0.90 * n * float64(step)},
+		{0.99, 0.99 * n * float64(step)},
+		{0.999, 0.999 * n * float64(step)},
+	}
+	for _, c := range checks {
+		got := float64(h.Quantile(c.q))
+		if err := math.Abs(got-c.exact) / c.exact; err > 1.0/sub {
+			t.Fatalf("q%.3f = %.0f, want %.0f ±%.2f%% (err %.2f%%)",
+				c.q, got, c.exact, 100.0/sub, 100*err)
+		}
+	}
+	if h.Quantile(0) != 10 || h.Quantile(1) != n*step {
+		t.Fatalf("extremes: q0=%d q1=%d, want exact min/max", h.Quantile(0), h.Quantile(1))
+	}
+	if mean := h.Mean(); math.Abs(mean-float64(n+1)/2*float64(step))/mean > 1e-9 {
+		t.Fatalf("mean = %v, want exact %v", mean, float64(n+1)/2*float64(step))
+	}
+}
+
+// TestHeavyTailP999: on a two-mode distribution (fast mode plus a 0.2%
+// slow tail two decades up), p50 sits in the fast mode, p999 in the
+// slow tail — the mean-hiding shape the load harness exists to expose.
+func TestHeavyTailP999(t *testing.T) {
+	h := &H{}
+	for i := 0; i < 99800; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 200; i++ {
+		h.Record(100000)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(float64(p50)-1000)/1000 > 1.0/sub {
+		t.Fatalf("p50 = %d, want ~1000", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if math.Abs(float64(p999)-100000)/100000 > 1.0/sub {
+		t.Fatalf("p999 = %d, want ~100000", p999)
+	}
+	if mean := h.Mean(); mean > 1500 {
+		t.Fatalf("mean = %v — tail should barely move the mean", mean)
+	}
+	s := h.Summarize()
+	if s.Count != 100000 || s.P999 != p999 || s.Max != 100000 || s.Min != 1000 {
+		t.Fatalf("summary inconsistent: %+v", s)
+	}
+}
+
+// TestEmptyAndSingle covers degenerate histograms.
+func TestEmptyAndSingle(t *testing.T) {
+	h := &H{}
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(1234567)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != 1234567 {
+			t.Fatalf("single-value quantile %v = %d", q, got)
+		}
+	}
+	h2 := &H{}
+	h2.RecordDur(1234567)
+	if *h2 != *h {
+		t.Fatal("RecordDur differs from Record")
+	}
+}

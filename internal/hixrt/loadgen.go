@@ -1,0 +1,150 @@
+// Open-loop load generation: the arrival schedule is a pure function
+// of the seed, and the driver fires each arrival at its scheduled
+// instant whether or not earlier requests have completed. That is the
+// property that makes tail latency measurable — a closed-loop driver
+// slows its offered rate whenever the system slows down (coordinated
+// omission), so overload never shows up in its numbers. Here latency
+// is measured from the SCHEDULED arrival time, so queueing delay the
+// system imposes under saturation is charged to the system, not
+// silently absorbed by the generator.
+
+package hixrt
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/attest"
+)
+
+// LoadConfig parameterizes one open-loop arrival schedule. The
+// schedule (arrival instants and payload sizes) is deterministic in
+// the config, so two runs at the same seed offer byte-identical load.
+type LoadConfig struct {
+	// Rate is the offered arrival rate in requests per second
+	// (required > 0).
+	Rate float64
+	// Requests is the number of arrivals to schedule (required > 0).
+	Requests int
+	// PayloadP50 is the median payload in bytes (default 4096). Sizes
+	// are log-normal around it — heavy-tailed, like production request
+	// bodies — with shape PayloadSigma (default 1.0; 0 = fixed size),
+	// clamped to [1, PayloadMax] (default 1 MiB).
+	PayloadP50   int
+	PayloadSigma float64
+	PayloadMax   int
+	// Seed derives the whole schedule (default "load").
+	Seed string
+}
+
+// LoadArrival is one scheduled open-loop request.
+type LoadArrival struct {
+	Index   int
+	Due     int64 // ns offset from schedule start
+	Payload int   // bytes
+}
+
+// LoadSchedule derives the deterministic arrival schedule: Poisson
+// arrivals (exponential inter-arrival gaps at cfg.Rate) carrying
+// log-normal payload sizes, all drawn from one seeded stream.
+func LoadSchedule(cfg LoadConfig) []LoadArrival {
+	if cfg.Rate <= 0 || cfg.Requests <= 0 {
+		return nil
+	}
+	if cfg.PayloadP50 <= 0 {
+		cfg.PayloadP50 = 4096
+	}
+	if cfg.PayloadMax <= 0 {
+		cfg.PayloadMax = 1 << 20
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = "load"
+	}
+	rng := attest.NewSeededRNG([]byte("loadgen|" + cfg.Seed))
+	sched := make([]LoadArrival, cfg.Requests)
+	var t float64 // seconds
+	for i := range sched {
+		// Exponential inter-arrival via inverse CDF.
+		t += -math.Log(uniform(rng)) / cfg.Rate
+		size := cfg.PayloadP50
+		if cfg.PayloadSigma > 0 {
+			// Log-normal via Box-Muller: median PayloadP50, shape sigma.
+			z := math.Sqrt(-2*math.Log(uniform(rng))) * math.Cos(2*math.Pi*uniform(rng))
+			size = int(math.Round(float64(cfg.PayloadP50) * math.Exp(cfg.PayloadSigma*z)))
+		}
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.PayloadMax {
+			size = cfg.PayloadMax
+		}
+		sched[i] = LoadArrival{Index: i, Due: int64(t * 1e9), Payload: size}
+	}
+	return sched
+}
+
+// uniform draws from (0, 1] — never 0, so math.Log is finite.
+func uniform(rng *attest.SeededRNG) float64 {
+	var b [8]byte
+	_, _ = rng.Read(b[:])
+	u := binary.LittleEndian.Uint64(b[:])
+	return (float64(u>>11) + 1) / (1 << 53)
+}
+
+// LoadDriver dispatches a schedule open-loop: Run sleeps until each
+// arrival's due time and fires Issue in its own goroutine, NEVER
+// waiting for completions — the offered rate is independent of how
+// slowly the system answers (the package property test pins this).
+// Clock and sleeper are injectable so the harness's replay mode can
+// run the same schedule on virtual time.
+type LoadDriver struct {
+	// Issue performs one request (required). It runs in its own
+	// goroutine per arrival, concurrently with other in-flight issues.
+	Issue func(a LoadArrival) error
+	// OnDone observes each completion with its coordinated-
+	// omission-free latency (measured from the scheduled arrival, not
+	// the dispatch). Called concurrently; may be nil.
+	OnDone func(a LoadArrival, lat time.Duration, err error)
+	// Now is the ns clock (default wall clock); Sleep waits between
+	// arrivals (default time.Sleep).
+	Now   func() int64
+	Sleep func(time.Duration)
+
+	start int64
+	wg    sync.WaitGroup
+}
+
+// Run dispatches every arrival at its due instant and returns once
+// all have been FIRED (not completed); Wait blocks on completions.
+func (d *LoadDriver) Run(sched []LoadArrival) {
+	if d.Now == nil {
+		d.Now = func() int64 { return time.Now().UnixNano() }
+	}
+	if d.Sleep == nil {
+		d.Sleep = time.Sleep
+	}
+	d.start = d.Now()
+	for i := range sched {
+		a := sched[i]
+		for {
+			elapsed := d.Now() - d.start
+			if elapsed >= a.Due {
+				break
+			}
+			d.Sleep(time.Duration(a.Due - elapsed))
+		}
+		d.wg.Add(1)
+		go func(a LoadArrival) {
+			defer d.wg.Done()
+			err := d.Issue(a)
+			if d.OnDone != nil {
+				d.OnDone(a, time.Duration(d.Now()-d.start-a.Due), err)
+			}
+		}(a)
+	}
+}
+
+// Wait blocks until every dispatched arrival has completed.
+func (d *LoadDriver) Wait() { d.wg.Wait() }

@@ -68,6 +68,16 @@ type ReconnectConfig struct {
 	// JitterSeed seeds the backoff jitter (default: the address), so a
 	// retry schedule is reproducible under test.
 	JitterSeed string
+	// Sleep waits out a backoff delay (default time.Sleep). The load
+	// harness and the reconnect tests inject a virtual sleeper here so
+	// reconnect storms don't serialize on the wall clock; the jittered
+	// delays are still computed (and observable) either way.
+	Sleep func(time.Duration)
+	// OnRedial, when set, observes every redial attempt after the first
+	// dial: attempt is the 1-based retry number within the current
+	// operation, cause the error that forced it. Called with the session
+	// lock held — observe, don't call back in.
+	OnRedial func(attempt int, cause error)
 }
 
 // virtBase is the reserved virtual-pointer range handed to callers
@@ -105,6 +115,9 @@ func DialReconnecting(addr string, cfg ReconnectConfig) (*ReconnectingSession, e
 	}
 	if cfg.JitterSeed == "" {
 		cfg.JitterSeed = addr
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
 	}
 	r := &ReconnectingSession{
 		addr:   addr,
@@ -301,7 +314,10 @@ func (r *ReconnectingSession) doLocked(fn func(*RemoteSession) error) error {
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
 		if r.s == nil {
 			if attempt > 0 {
-				time.Sleep(r.backoff(attempt - 1))
+				r.cfg.Sleep(r.backoff(attempt - 1))
+				if r.cfg.OnRedial != nil {
+					r.cfg.OnRedial(attempt, last)
+				}
 			}
 			if err := r.redialLocked(); err != nil {
 				last = err

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,14 +16,37 @@ import (
 	"repro/internal/workloads"
 )
 
-// fastReconnect keeps retry latency test-friendly.
-func fastReconnect() hixrt.ReconnectConfig {
+// sleepRecorder is an injectable backoff sleeper that records every
+// requested delay without waiting it out, so reconnect tests assert on
+// the computed schedule instead of serializing on the wall clock.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	r.delays = append(r.delays, d)
+	r.mu.Unlock()
+}
+
+func (r *sleepRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.delays)
+}
+
+// fastReconnect keeps retry latency test-friendly: backoff delays are
+// recorded, not slept.
+func fastReconnect() (hixrt.ReconnectConfig, *sleepRecorder) {
+	rec := &sleepRecorder{}
 	return hixrt.ReconnectConfig{
 		Remote:      hixrt.RemoteConfig{DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second},
 		BaseBackoff: time.Millisecond,
 		MaxBackoff:  20 * time.Millisecond,
 		JitterSeed:  "reconnect-test",
-	}
+		Sleep:       rec.sleep,
+	}, rec
 }
 
 // TestReconnectAcrossDrops: the server drops the connection on two
@@ -39,7 +63,8 @@ func TestReconnectAcrossDrops(t *testing.T) {
 		Limits: map[string]int{faults.NetDrop: 2},
 	})
 	srv, addr := startServer(t, netserve.Config{Faults: plane})
-	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	cfg, _ := fastReconnect()
+	rs, err := hixrt.DialReconnecting(addr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +99,8 @@ func TestReconnectReplaysState(t *testing.T) {
 		Limits: map[string]int{faults.NetDrop: 1},
 	})
 	_, addr := startServer(t, netserve.Config{Faults: plane})
-	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	cfg, _ := fastReconnect()
+	rs, err := hixrt.DialReconnecting(addr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +148,7 @@ func TestReconnectGivesUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := fastReconnect()
+	cfg, sleeps := fastReconnect()
 	cfg.MaxAttempts = 3
 	rs, err := hixrt.DialReconnecting(addr.String(), cfg)
 	if err != nil {
@@ -140,13 +166,27 @@ func TestReconnectGivesUp(t *testing.T) {
 	if !strings.Contains(err.Error(), "attempts exhausted") {
 		t.Fatalf("exhaustion not surfaced: %v", err)
 	}
+	// MaxAttempts=3: the first attempt fails in flight, the two redial
+	// attempts each back off through the injected sleeper — and nowhere
+	// else, so the test never waits out a real backoff.
+	if got := sleeps.count(); got != 2 {
+		t.Fatalf("recorded %d backoff sleeps, want 2", got)
+	}
+	sleeps.mu.Lock()
+	for i, d := range sleeps.delays {
+		if d <= 0 || d > 20*time.Millisecond {
+			t.Fatalf("backoff %d = %v, want in (0, MaxBackoff]", i, d)
+		}
+	}
+	sleeps.mu.Unlock()
 }
 
 // TestReconnectNonRetryable: request-level refusals pass straight
 // through — no redial, the session stays usable.
 func TestReconnectNonRetryable(t *testing.T) {
 	_, addr := startServer(t, netserve.Config{})
-	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	cfg, _ := fastReconnect()
+	rs, err := hixrt.DialReconnecting(addr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +217,8 @@ func TestReconnectSurvivesTagCorruption(t *testing.T) {
 		Limits: map[string]int{faults.GPUTagCorrupt: 1},
 	})
 	_, addr := startServer(t, netserve.Config{Faults: plane})
-	rs, err := hixrt.DialReconnecting(addr, fastReconnect())
+	cfg, _ := fastReconnect()
+	rs, err := hixrt.DialReconnecting(addr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

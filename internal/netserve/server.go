@@ -146,6 +146,14 @@ type Config struct {
 	// never an oversized ticket.
 	SchedQuantum      int
 	SchedMaxBatchCost int
+	// SchedNowNanos injects the rate-limiter clock into every device
+	// scheduler (default: wall clock). The load harness's replay mode
+	// pins it to virtual time so token-bucket defer decisions — and
+	// hence the admission trace — are deterministic at a given seed.
+	SchedNowNanos func() int64
+	// SchedTrace enables the per-scheduler admission trace
+	// (sched.Config.Trace): unbounded growth, harness runs only.
+	SchedTrace bool
 	// QoS resolves a connection's fair-share parameters from its
 	// handshake measurement — the server-side policy hook standing in
 	// for a deployment's tenant database. Nil means every connection
@@ -345,6 +353,8 @@ func New(cfg Config) (*Server, error) {
 				Batcher:      ge,
 				Quantum:      cfg.SchedQuantum,
 				MaxBatchCost: mbc,
+				NowNanos:     cfg.SchedNowNanos,
+				Trace:        cfg.SchedTrace,
 			}))
 		}
 	}
@@ -395,6 +405,38 @@ func (s *Server) Sched() *sched.Scheduler {
 		return nil
 	}
 	return s.scheds[0]
+}
+
+// Scheds exposes the per-device batching schedulers (device-ordered),
+// empty unless Config.Sched. The load harness merges their snapshots
+// and admission traces across the fleet.
+func (s *Server) Scheds() []*sched.Scheduler {
+	return append([]*sched.Scheduler(nil), s.scheds...)
+}
+
+// QueueStats is the serving front-end's queue-depth snapshot, the
+// overload signal the load harness (and the hix.load expvar) watches:
+// admission deferrals accumulate and pending tickets back up before
+// latency collapses.
+type QueueStats struct {
+	Pending    int   `json:"pending"`     // tickets queued across the fleet
+	MaxPending int   `json:"max_pending"` // high-water mark
+	Deferrals  int64 `json:"deferrals"`   // rate-limiter deferrals
+	Conns      int   `json:"conns"`       // live connections
+	Sessions   int   `json:"sessions"`    // live hosted sessions
+}
+
+// Queue sums the per-device scheduler queue counters (zero when the
+// scheduler is off).
+func (s *Server) Queue() QueueStats {
+	q := QueueStats{Conns: s.ConnCount(), Sessions: s.SessionCount()}
+	for _, sc := range s.scheds {
+		st := sc.Snapshot()
+		q.Pending += st.Pending
+		q.MaxPending += st.MaxPending
+		q.Deferrals += st.Deferrals
+	}
+	return q
 }
 
 // encIdx maps a placed Slot.Device to its fleet index in ges/scheds.

@@ -37,7 +37,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"time"
 )
@@ -89,9 +88,33 @@ type Config struct {
 	// a latency ticket waits on at most one bounded batch already in
 	// flight. A single ticket costlier than the cap is admitted alone.
 	MaxBatchCost int
-	// NowNanos is the rate-limiter clock (default time.Now().UnixNano;
-	// tests inject a fake).
+	// NowNanos is the rate-limiter clock (default time.Now().UnixNano).
+	// The serving front-end plumbs this from its own configuration
+	// (netserve.Config.SchedNowNanos), so a simulated-time run — the
+	// load harness's deterministic replay mode — drives token-bucket
+	// refills from virtual time instead of the wall clock and every
+	// defer decision reproduces bit-for-bit at the same seed.
 	NowNanos func() int64
+	// Trace enables the admission trace: one AdmitEvent per admitted
+	// ticket, plus one per ticket the rate limiter defers (recorded at
+	// most once per ticket, so spurious wakeups cannot inflate the
+	// trace). The load harness compares traces across same-seed replay
+	// runs. The trace grows without bound — harness runs only.
+	Trace bool
+}
+
+// AdmitEvent is one admission-trace record. Under deterministic replay
+// (sequential dispatch, injected clock) the event sequence is a pure
+// function of the submitted load, so two same-seed runs must produce
+// identical traces.
+type AdmitEvent struct {
+	Tenant uint32 `json:"tenant"` // session id
+	Cost   int    `json:"cost"`
+	// Defer marks a rate-limiter deferral; Wait is the virtual refill
+	// wait the limiter computed for it (deterministic under an injected
+	// clock). Admissions have Defer=false, Wait=0.
+	Defer bool  `json:"defer,omitempty"`
+	Wait  int64 `json:"wait,omitempty"`
 }
 
 // ticket is one queued serving epoch.
@@ -102,6 +125,7 @@ type ticket struct {
 	done      chan error
 	at        int64  // submission instant (wait accounting)
 	tenantSID uint32 // stamped at admission for the ServeSessions list
+	deferred  bool   // rate-limiter deferral already counted/traced
 }
 
 // Tenant is one fair-share principal — in the serving layer, one
@@ -135,6 +159,7 @@ type Scheduler struct {
 	cfg Config
 
 	wake   chan struct{}
+	more   chan struct{} // submission signal for an open gather window
 	stopCh chan struct{}
 	done   chan struct{}
 
@@ -148,7 +173,10 @@ type Scheduler struct {
 	tickets     int64
 	costServed  int64
 	maxBatch    int
+	maxPending  int
+	deferrals   int64 // rate-limiter defer decisions (one per ticket)
 	serveErrors int64
+	trace       []AdmitEvent
 }
 
 // New builds a scheduler and starts its batch loop.
@@ -165,6 +193,7 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:    cfg,
 		wake:   make(chan struct{}, 1),
+		more:   make(chan struct{}, 1),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -263,14 +292,22 @@ func (t *Tenant) Epoch(cost int, enqueue func() error) error {
 		t.inRing = true
 	}
 	s.pending++
+	if s.pending > s.maxPending {
+		s.maxPending = s.pending
+	}
 	s.mu.Unlock()
 	s.signal()
 	return <-tk.done
 }
 
+// signal wakes the batch loop and feeds any open gather window.
 func (s *Scheduler) signal() {
 	select {
 	case s.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case s.more <- struct{}{}:
 	default:
 	}
 }
@@ -351,27 +388,54 @@ func (s *Scheduler) loop() {
 	}
 }
 
-// gatherYields bounds the admission window: how many scheduler-thread
-// yields a forming batch will spend waiting for more submitters.
-const gatherYields = 4
+// gatherRounds bounds the admission window: how many park-and-check
+// rounds a forming batch will spend waiting for more submitters.
+const gatherRounds = 4
+
+// gatherWait bounds one gather round: how long the window stays parked
+// on the submission channel before closing. Long enough for a runnable
+// executor to get scheduled and enqueue, short enough to be invisible
+// next to a serving wakeup.
+const gatherWait = 100 * time.Microsecond
 
 // gatherLocked is the admission window. A submitter's Epoch call makes
 // this goroutine runnable immediately (the runtime favors a woken
 // receiver), so without a window the loop would admit every ticket the
 // instant it arrives and batches would never exceed one ticket even
 // with eight connections racing. While fewer tickets are pending than
-// tenants are joined, yield the thread — bounded, and only while each
-// yield actually surfaces new submissions — so runnable executors get
-// to enqueue into the same batch. A lone tenant never waits: pending
+// tenants are joined, park on the submission channel — bounded rounds,
+// each continuing only if it actually surfaced new submissions — so
+// runnable executors get the CPU and enqueue into the same batch.
+//
+// The window PARKS (channel receive with a timer bound) instead of
+// busy-yielding with runtime.Gosched: a yield loop keeps the scheduler
+// thread runnable, which burns a core whenever the window is open, and
+// an unguarded one spins even with nothing pending. Here an empty
+// queue never opens the window at all — the batch loop blocks on the
+// wake channel and an idle server costs zero CPU (the idle-parking
+// test pins this) — and a lone tenant still never waits: pending
 // equals the join count and the window closes instantly.
 func (s *Scheduler) gatherLocked() {
-	for yields := 0; yields < gatherYields; yields++ {
+	for rounds := 0; rounds < gatherRounds; rounds++ {
 		if s.stopped || s.pending == 0 || s.pending >= len(s.tenants) {
 			return
 		}
 		before := s.pending
 		s.mu.Unlock()
-		runtime.Gosched()
+		// Drain a stale token so the park below waits for a fresh
+		// submission, then park until one lands or the round expires.
+		select {
+		case <-s.more:
+		default:
+		}
+		timer := time.NewTimer(gatherWait)
+		select {
+		case <-s.more:
+			timer.Stop()
+		case <-timer.C:
+		case <-s.stopCh:
+			timer.Stop()
+		}
 		s.mu.Lock()
 		if s.pending <= before {
 			return
@@ -480,8 +544,23 @@ func (s *Scheduler) admitLocked() (batch []*ticket, retry time.Duration) {
 					break
 				}
 				if t.limit.PerSec > 0 && t.tokens < float64(tk.cost) {
-					if w := t.waitFor(tk.cost); retry == 0 || w < retry {
+					w := t.waitFor(tk.cost)
+					if retry == 0 || w < retry {
 						retry = w
+					}
+					// Count and trace the deferral once per ticket: the
+					// same ticket re-blocking on a later admission round
+					// (spurious wake, timer refire) is the same decision,
+					// and a per-decision count would make the trace
+					// depend on wall-clock scheduling.
+					if !tk.deferred {
+						tk.deferred = true
+						s.deferrals++
+						if s.cfg.Trace {
+							s.trace = append(s.trace, AdmitEvent{
+								Tenant: t.sid, Cost: tk.cost, Defer: true, Wait: int64(w),
+							})
+						}
 					}
 					rateBlocked = true
 					break
@@ -498,6 +577,9 @@ func (s *Scheduler) admitLocked() (batch []*ticket, retry time.Duration) {
 				used += tk.cost
 				tk.tenantSID = t.sid
 				batch = append(batch, tk)
+				if s.cfg.Trace {
+					s.trace = append(s.trace, AdmitEvent{Tenant: t.sid, Cost: tk.cost})
+				}
 				s.pending--
 				t.admitted++
 				t.cost += int64(tk.cost)
@@ -557,6 +639,8 @@ type Stats struct {
 	MaxBatch    int           `json:"max_batch"`
 	Occupancy   float64       `json:"occupancy"` // mean tickets per batch
 	Pending     int           `json:"pending"`
+	MaxPending  int           `json:"max_pending"` // queue-depth high-water mark
+	Deferrals   int64         `json:"deferrals"`   // rate-limiter deferrals (per ticket)
 	ServeErrors int64         `json:"serve_errors"`
 	Tenants     []TenantStats `json:"tenants"`
 }
@@ -571,6 +655,8 @@ func (s *Scheduler) Snapshot() Stats {
 		Cost:        s.costServed,
 		MaxBatch:    s.maxBatch,
 		Pending:     s.pending,
+		MaxPending:  s.maxPending,
+		Deferrals:   s.deferrals,
 		ServeErrors: s.serveErrors,
 	}
 	if s.batches > 0 {
@@ -591,4 +677,18 @@ func (s *Scheduler) Snapshot() Stats {
 		})
 	}
 	return st
+}
+
+// TraceEvents returns a copy of the admission trace (Config.Trace runs
+// only; nil otherwise). Safe to call while the scheduler is running,
+// but a stable trace needs quiesced submitters.
+func (s *Scheduler) TraceEvents() []AdmitEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trace == nil {
+		return nil
+	}
+	out := make([]AdmitEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
 }

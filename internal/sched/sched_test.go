@@ -2,6 +2,9 @@ package sched
 
 import (
 	"errors"
+	"reflect"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -252,6 +255,127 @@ func TestOversizedTicketAdmittedAlone(t *testing.T) {
 	batch, _ = s.admitLocked()
 	if len(batch) != 1 || batch[0].tenantSID != 2 {
 		t.Fatalf("second batch should admit the deferred tenant, got %+v", batch)
+	}
+}
+
+// TestIdleSchedulerParks pins the gather-window bugfix: after serving a
+// burst, the batch loop must be parked on a channel (zero CPU), not
+// busy-yielding through runtime.Gosched with an empty queue.
+func TestIdleSchedulerParks(t *testing.T) {
+	b := &recBatcher{}
+	s := New(Config{Batcher: b})
+	defer s.Stop()
+	ten := s.Join("t0", 1, 1, Latency, Limit{})
+	for i := 0; i < 4; i++ {
+		if err := ten.Epoch(1, func() error { return nil }); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	buf := make([]byte, 1<<20)
+	for {
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		state, found := loopGoroutineState(stacks)
+		if !found {
+			t.Fatalf("scheduler loop goroutine not found:\n%s", stacks)
+		}
+		if strings.Contains(state, "select") || strings.Contains(state, "chan receive") {
+			return // parked on wake/more/stopCh — idle costs no CPU
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loop goroutine never parked; state %q", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// loopGoroutineState extracts the runtime state ("select", "running",
+// ...) of the (*Scheduler).loop goroutine from a full stack dump.
+func loopGoroutineState(stacks string) (string, bool) {
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if !strings.Contains(g, "(*Scheduler).loop(") {
+			continue
+		}
+		// Header: "goroutine N [state]:"
+		if open := strings.Index(g, "["); open >= 0 {
+			if end := strings.Index(g[open:], "]"); end > 0 {
+				return g[open+1 : open+end], true
+			}
+		}
+		return "", true
+	}
+	return "", false
+}
+
+// TestDeferTraceDeterministic pins the injectable-clock bugfix: with a
+// virtual clock advanced only by the waits the limiter itself reports,
+// two identical runs produce identical admission traces — including
+// the deferral events and their computed refill waits.
+func TestDeferTraceDeterministic(t *testing.T) {
+	runOnce := func() []AdmitEvent {
+		var clock atomic.Int64
+		b := &recBatcher{}
+		s := New(Config{Batcher: b, Trace: true, NowNanos: func() int64 { return clock.Load() }})
+		// Clock pump: each NEW deferral in the trace advances virtual
+		// time by exactly the wait the limiter computed for it, then
+		// re-wakes the loop. Deduped deferral events (one per ticket)
+		// make "new deferral" well-defined even with spurious wakeups.
+		stopPump := make(chan struct{})
+		pumpDone := make(chan struct{})
+		go func() {
+			defer close(pumpDone)
+			pumped := 0
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopPump:
+					return
+				case <-tick.C:
+					var defers []AdmitEvent
+					for _, e := range s.TraceEvents() {
+						if e.Defer {
+							defers = append(defers, e)
+						}
+					}
+					for ; pumped < len(defers); pumped++ {
+						clock.Add(defers[pumped].Wait + 1)
+					}
+					s.signal()
+				}
+			}
+		}()
+		// Burst 1 at 2/s: every second epoch defers for exactly 500ms of
+		// virtual time.
+		ten := s.Join("t0", 9, 1, Latency, Limit{PerSec: 2, Burst: 1})
+		for i := 0; i < 6; i++ {
+			if err := ten.Epoch(1, func() error { return nil }); err != nil {
+				t.Errorf("epoch %d: %v", i, err)
+			}
+		}
+		close(stopPump)
+		<-pumpDone
+		s.Stop()
+		return s.TraceEvents()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	var defers int
+	for _, e := range a {
+		if e.Defer {
+			defers++
+			if e.Wait != int64(500*time.Millisecond) {
+				t.Fatalf("defer wait = %v, want 500ms", time.Duration(e.Wait))
+			}
+		}
+	}
+	if defers != 5 {
+		t.Fatalf("deferrals = %d, want 5 (every epoch after the burst)", defers)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed traces differ:\n%+v\n%+v", a, b)
 	}
 }
 

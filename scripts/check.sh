@@ -11,8 +11,11 @@
 # BENCH_pr7.json (continuous batching + QoS: identity, throughput,
 # fairness gates), and BENCH_pr8.json (GPU partitioning + fleet:
 # cross-partition isolation identity gate + capacity sweep with the
-# 1.5x four-partition scaling gate). --bench also runs
-# scripts/benchdiff.sh first, so a
+# 1.5x four-partition scaling gate), and BENCH_pr9.json (open-loop
+# load harness: replay-determinism gate, offered-rate sweep with
+# coordinated-omission-free p50/p99/p999 and a saturation gate at the
+# 2x overload point, churn storm under the seeded fault plane).
+# --bench also runs scripts/benchdiff.sh first, so a
 # regression against the committed trajectory fails before any file is
 # rewritten.
 set -eu
@@ -48,12 +51,13 @@ echo "== go test -race (concurrent paths) =="
 go test -race -count=1 ./internal/ocb/
 go test -race -count=1 ./internal/sched/
 go test -race -count=1 ./internal/part/
+go test -race -count=1 ./internal/bench/hist/
 go test -race -count=1 ./internal/hixrt/ \
-	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism|TestPipe'
+	-run 'Windowed|Undersized|Concurrent|Tamper|Replay|MultiChunk|Isolation|Determinism|TestPipe|TestLoad'
 go test -race -count=1 ./internal/wire/
 go test -race -count=1 ./internal/faults/
 go test -race -count=1 -timeout 15m ./internal/netserve/ \
-	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI|TestSchedConcurrentConnections'
+	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI|TestSchedConcurrentConnections|TestLoadReplay'
 
 if [ "$bench" != "1" ]; then
 	echo "== OK (benchmarks skipped; pass --bench to run them) =="
@@ -105,5 +109,8 @@ go run ./cmd/hixbench -exp sched -json BENCH_pr7.json
 
 echo "== partitioning + fleet -> BENCH_pr8.json =="
 go run ./cmd/hixbench -exp partition -json BENCH_pr8.json
+
+echo "== open-loop load harness -> BENCH_pr9.json =="
+go run ./cmd/hixbench -exp load -json BENCH_pr9.json
 
 echo "== OK =="
