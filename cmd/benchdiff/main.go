@@ -55,6 +55,8 @@ var latencyKeys = []string{
 	"p50_ms",
 	"p99_ms",
 	"p999_ms",
+	"setup_p50_ms",
+	"setup_p99_ms",
 }
 
 type entry map[string]any

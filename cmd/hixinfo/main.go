@@ -11,9 +11,8 @@ import (
 	"os"
 
 	"repro/hix"
-	"repro/internal/attest"
-	hixenc "repro/internal/hix"
 	"repro/internal/machine"
+	"repro/internal/netserve"
 	"repro/internal/part"
 )
 
@@ -121,34 +120,30 @@ func printLive() error {
 	return nil
 }
 
-// printTopo boots a seeded fleet — gpus devices, partitions slices each,
-// one GPU enclave per device — and prints the placement-relevant
-// topology: disjoint SM sets, L2 cache sets, DRAM banks, VRAM extent
-// ranges, channel blocks, and each device's enclave measurements.
+// printTopo boots a seeded fleet behind the netserve front-end — gpus
+// devices, partitions slices each, one GPU enclave per device — and
+// prints the placement-relevant topology: disjoint SM sets, L2 cache
+// sets, DRAM banks, VRAM extent ranges, channel blocks, each device's
+// enclave measurements, and the server's resumption-ticket state (key
+// generation plus the per-device issued/accepted ledger).
 func printTopo(gpus, partitions int) error {
-	m, err := machine.New(machine.Config{
-		PlatformSeed: "hixinfo-topo",
-		GPUs:         gpus,
-		Partitions:   partitions,
+	srv, err := netserve.New(netserve.Config{
+		MachineConfig: &machine.Config{
+			PlatformSeed: "hixinfo-topo",
+			GPUs:         gpus,
+			Partitions:   partitions,
+		},
+		Logf: func(string, ...any) {},
 	})
 	if err != nil {
 		return err
 	}
-	vendor, err := attest.NewSigningAuthority()
-	if err != nil {
-		return err
-	}
+	m := srv.Machine()
+	ges := srv.Enclaves()
 	fmt.Printf("== fleet topology (%d GPUs x %d partitions) ==\n", gpus, partitions)
 	topo := part.FromMachine(m)
 	for _, d := range topo.Devices {
-		ge, err := hixenc.Launch(hixenc.Config{
-			Machine: m,
-			Vendor:  vendor,
-			GPU:     m.GPUBDFs[d.Index],
-		})
-		if err != nil {
-			return err
-		}
+		ge := ges[d.Index]
 		fmt.Printf("gpu%d %s at %s\n", d.Index, d.Name, m.GPUBDFs[d.Index])
 		fmt.Printf("  enclave MRENCLAVE : %s\n", ge.Measurement())
 		fmt.Printf("  GPU BIOS measure  : %s\n", ge.BIOSMeasurement())
@@ -162,6 +157,12 @@ func printTopo(gpus, partitions int) error {
 				pi.ChanFirst, pi.ChanFirst+pi.ChanCount-1,
 				pi.SMFraction*100)
 		}
+	}
+	fmt.Printf("resumption: ticket-key generation %d (current + previous generations accepted)\n",
+		srv.TicketGeneration())
+	for _, ds := range srv.ResumeDeviceStats() {
+		fmt.Printf("  gpu%d: tickets issued %d, resumes accepted %d\n",
+			ds.Device, ds.Issued, ds.Accepted)
 	}
 	return nil
 }

@@ -56,6 +56,8 @@ func main() {
 		schedBatch   = flag.Int("sched-batch", 0, "max admitted cost per enclave wakeup (0 = default)")
 		gpus         = flag.Int("gpus", 1, "simulated GPUs to attach (one GPU enclave each)")
 		partitions   = flag.Int("partitions", 1, "isolated partitions per GPU (disjoint SM sets, L2 sets, VRAM ranges)")
+		ticketTTL    = flag.Duration("ticket-ttl", 0, "resumption-ticket lifetime (0 = default 10m)")
+		ticketRotate = flag.Duration("ticket-rotate", 0, "rotate the ticket sealing key this often (0 = never; current and previous generations stay valid)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,7 @@ func main() {
 		Sched:             *schedOn,
 		SchedQuantum:      *schedQuantum,
 		SchedMaxBatchCost: *schedBatch,
+		TicketTTL:         *ticketTTL,
 		Logf:              logf,
 	})
 	if err != nil {
@@ -114,6 +117,29 @@ func main() {
 			"affinity_hits": affinityHits,
 		}
 	}))
+	// hix.load.hist: the request-service latency histogram behind the
+	// load picture — the same p50/p99/p999 the load harness gates on,
+	// but live, so an operator can watch the tail move under load.
+	expvar.Publish("hix.load.hist", expvar.Func(func() any { return srv.LoadHist() }))
+	// hix.resume: ticket-key generation plus the resumption ledger —
+	// issued/accepted/fallback counts and the per-reason refusal
+	// breakdown (replay, expiry, stale generation, wrong or revoked
+	// measurement). A rising fallback share is the operator's cue that
+	// clients hold tickets the current key no longer honors.
+	expvar.Publish("hix.resume", expvar.Func(func() any {
+		return map[string]any{
+			"generation": srv.TicketGeneration(),
+			"stats":      srv.ResumeStats(),
+		}
+	}))
+	if *ticketRotate > 0 {
+		go func() {
+			for range time.Tick(*ticketRotate) {
+				gen := srv.RotateTicketKey()
+				logf("hixserve: ticket key rotated to generation %d", gen)
+			}
+		}()
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatalf("hixserve: %v", err)

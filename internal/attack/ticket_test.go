@@ -1,0 +1,210 @@
+package attack
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/gpu"
+	"repro/internal/hixrt"
+	"repro/internal/netserve"
+	"repro/internal/workloads"
+)
+
+// Ticket attacks: a malicious client armed with a captured or stale
+// resumption ticket tries to skip the attested handshake. Every
+// variant must be refused by the server's ticket validation — and,
+// because a refused ticket silently downgrades to the full handshake,
+// the attacker gains nothing over a client with no ticket at all: it
+// still has to pass (or fail) attestation the expensive way.
+
+// ticketClock is an injectable nanosecond clock for the server's
+// ticket keeper, so expiry is driven by the test, not the wall.
+type ticketClock struct{ ns atomic.Int64 }
+
+func (c *ticketClock) now() int64              { return c.ns.Load() }
+func (c *ticketClock) advance(d time.Duration) { c.ns.Add(d.Nanoseconds()) }
+
+// startTicketServer boots a netserve front-end for the ticket attacks.
+func startTicketServer(t *testing.T, cfg netserve.Config) (*netserve.Server, string) {
+	t.Helper()
+	if cfg.Kernels == nil {
+		cfg.Kernels = []*gpu.Kernel{workloads.MatrixAddKernel()}
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 5 * time.Second
+	}
+	srv, err := netserve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, addr.String()
+}
+
+// mintVictimTicket runs one honest handshake and hands back the ticket
+// the Welcome issued — the artifact every attack below tries to abuse.
+func mintVictimTicket(t *testing.T, addr string, m attest.Measurement) []byte {
+	t.Helper()
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Measurement: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkt := s.Ticket()
+	if len(tkt) == 0 {
+		t.Fatal("victim handshake yielded no ticket")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return tkt
+}
+
+// TestTicketReplayAttack: a ticket observed once in use (the victim
+// resumed with it) is presented a second time. Tickets are single-use;
+// the second presentation must be refused as a replay.
+func TestTicketReplayAttack(t *testing.T) {
+	srv, addr := startTicketServer(t, netserve.Config{})
+	tkt := mintVictimTicket(t, addr, hixrt.DefaultRemoteMeasurement())
+
+	// First use: the legitimate resume consumes the ticket's nonce.
+	s1, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Resumed() {
+		t.Fatal("legitimate resume refused; attack test is not exercising the fast path")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: same bytes again. The server must refuse and serve a full
+	// handshake instead — the attacker learns nothing and skips nothing.
+	s2, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Resumed() {
+		t.Fatal("replayed ticket accepted: single-use window failed")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.ResumeStats()
+	if st.ReplaysRefused != 1 {
+		t.Fatalf("resume stats %+v, want exactly 1 replay refused", st)
+	}
+}
+
+// TestTicketExpiredAttack: a hoarded ticket presented after its TTL
+// must be refused, even though it would otherwise validate.
+func TestTicketExpiredAttack(t *testing.T) {
+	clk := &ticketClock{}
+	srv, addr := startTicketServer(t, netserve.Config{
+		TicketTTL:      time.Minute,
+		TicketNowNanos: clk.now,
+	})
+	tkt := mintVictimTicket(t, addr, hixrt.DefaultRemoteMeasurement())
+
+	clk.advance(2 * time.Minute) // past the TTL
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resumed() {
+		t.Fatal("expired ticket accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.ResumeStats(); st.Expired != 1 {
+		t.Fatalf("resume stats %+v, want exactly 1 expired", st)
+	}
+}
+
+// TestTicketStaleGenerationAttack: a ticket forged (or hoarded) from
+// two key rotations ago must be refused outright — rotation actually
+// retires key material.
+func TestTicketStaleGenerationAttack(t *testing.T) {
+	srv, addr := startTicketServer(t, netserve.Config{})
+	tkt := mintVictimTicket(t, addr, hixrt.DefaultRemoteMeasurement())
+
+	srv.RotateTicketKey()
+	srv.RotateTicketKey()
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resumed() {
+		t.Fatal("ticket from two generations ago accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.ResumeStats(); st.StaleGen != 1 {
+		t.Fatalf("resume stats %+v, want exactly 1 stale generation", st)
+	}
+}
+
+// TestTicketWrongMeasurementAttack: a stolen ticket presented under
+// the thief's own measurement must be refused — the sealed state binds
+// the ticket to the victim's measured image.
+func TestTicketWrongMeasurementAttack(t *testing.T) {
+	srv, addr := startTicketServer(t, netserve.Config{})
+	victim := attest.Measure([]byte("victim tenant image"))
+	tkt := mintVictimTicket(t, addr, victim)
+
+	thief := attest.Measure([]byte("thief tenant image"))
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Measurement: thief, Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resumed() {
+		t.Fatal("ticket accepted under the wrong measurement")
+	}
+	// The fallback session is the thief's OWN attested session — not
+	// the victim's: it must carry a fresh session bound to the thief's
+	// measurement, never the victim's resumed key.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.ResumeStats(); st.WrongMeasure != 1 {
+		t.Fatalf("resume stats %+v, want exactly 1 wrong-measure refusal", st)
+	}
+}
+
+// TestTicketRevokedMeasurementAttack: after the measurement registry
+// revokes a tenant image, its outstanding tickets stop resuming — the
+// holder is forced back through the full attested handshake, where
+// server policy can refuse it.
+func TestTicketRevokedMeasurementAttack(t *testing.T) {
+	srv, addr := startTicketServer(t, netserve.Config{})
+	m := attest.Measure([]byte("soon-revoked tenant image"))
+	tkt := mintVictimTicket(t, addr, m)
+
+	srv.RevokeTicketMeasurement(m)
+	s, err := hixrt.DialConfig(addr, hixrt.RemoteConfig{Measurement: m, Ticket: tkt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resumed() {
+		t.Fatal("revoked measurement's ticket accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.ResumeStats(); st.Revoked != 1 {
+		t.Fatalf("resume stats %+v, want exactly 1 revoked refusal", st)
+	}
+}

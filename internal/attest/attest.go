@@ -238,6 +238,7 @@ func NewDHParty(rng io.Reader) (*DHParty, error) {
 
 // Public returns g^x mod p.
 func (d *DHParty) Public() *big.Int {
+	dhOps.Add(1)
 	return new(big.Int).Exp(dhGen, d.x, dhPrime)
 }
 
@@ -251,6 +252,7 @@ func (d *DHParty) Mix(in *big.Int) (*big.Int, error) {
 	if in.Cmp(big.NewInt(1)) == 0 || new(big.Int).Add(in, big.NewInt(1)).Cmp(dhPrime) == 0 {
 		return nil, errors.New("attest: DH element in trivial subgroup")
 	}
+	dhOps.Add(1)
 	return new(big.Int).Exp(in, d.x, dhPrime), nil
 }
 

@@ -1,0 +1,37 @@
+package attest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// dhOps counts modular exponentiations performed by any DH party in
+// the process — user enclave, GPU enclave, and GPU device all share
+// DHParty, so this is the complete census of big.Int work. The
+// resumption fast path exists to avoid exactly these; tests assert a
+// resumed handshake leaves the counter untouched.
+var dhOps atomic.Int64
+
+// DHOps returns the process-lifetime count of DH modular
+// exponentiations (one per Public, one per Mix).
+func DHOps() int64 { return dhOps.Load() }
+
+// TicketKey derives the symmetric key a server seals resumption
+// tickets under: domain-separated over the server's secret, the
+// issuing GPU enclave's measurement, and the rotation generation.
+// Rotating the generation or revoking the measurement invalidates
+// every ticket sealed under the old derivation without touching any
+// live session.
+func TicketKey(secret []byte, enclave Measurement, gen uint64) [SessionKeySize]byte {
+	h := sha256.New()
+	h.Write([]byte("hix-ticket-key-v1"))
+	h.Write(secret)
+	h.Write(enclave[:])
+	var g [8]byte
+	binary.LittleEndian.PutUint64(g[:], gen)
+	h.Write(g[:])
+	var k [SessionKeySize]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}

@@ -82,6 +82,11 @@ const (
 	// AttestMismatch fails session setup with a measurement mismatch
 	// (event site; one call per handshake).
 	AttestMismatch = "attest/measure"
+	// NetTicket corrupts the resumption ticket a redialing client
+	// presents (event site; one call per ticket presented). The server
+	// must refuse the mangled ticket with a typed error and fall back
+	// to the full-DH handshake — never hang, never fail untyped.
+	NetTicket = "net/ticket"
 )
 
 // ErrInjectedTruncate is the write error surfaced to the local peer

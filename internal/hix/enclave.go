@@ -637,6 +637,116 @@ func (e *Enclave) HandleFinish(f HelloFinish) error {
 	return nil
 }
 
+// HandleResume re-establishes a session from resumption state in
+// O(symmetric-crypto): no report verification, no DH parties, no
+// OpDHPublic/OpDHFinish submits, no AttestKeyExch charge — the caller
+// (netserve) already authenticated the state by opening the sealed
+// ticket. The original session ID is restored so the nonce channels
+// (NonceChannel derives from sid) and therefore the OCB ciphertext
+// streams continue byte-identical to the original session.
+func (e *Enclave) HandleResume(r ResumeRequest) (ResumeResponse, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return ResumeResponse{}, ErrEnclaveDead
+	}
+	sid := r.SessionID
+	if sid == 0 {
+		return ResumeResponse{}, fmt.Errorf("%w: resume without session id", ErrSessionState)
+	}
+	if _, live := e.sessions[sid]; live {
+		return ResumeResponse{}, fmt.Errorf("%w: session %d still live", ErrSessionState, sid)
+	}
+	part, err := e.pickPartition(r.Partition)
+	if err != nil {
+		return ResumeResponse{}, err
+	}
+	ch, err := e.claimChannel(part)
+	if err != nil {
+		return ResumeResponse{}, err
+	}
+	unclaim := func() { delete(e.channels, ch) }
+
+	aead, err := ocb.New(r.Key[:])
+	if err != nil {
+		unclaim()
+		return ResumeResponse{}, err
+	}
+	userMeta := attest.NewNonceSequence(NonceChannel(sid, NonceUserMeta))
+	// Key confirmation consumes user-meta nonce 0, exactly as the full
+	// handshake's HandleFinish does, so the request counter starts at 1
+	// on both paths.
+	pt, err := aead.Open(nil, userMeta.Next(), r.Confirm, nil)
+	if err != nil || !bytes.Equal(pt, KeyConfirmation) {
+		unclaim()
+		return ResumeResponse{}, fmt.Errorf("%w: resume key confirmation failed", ErrAuth)
+	}
+
+	seg, err := e.m.OS.ShmCreate(e.segBytes)
+	if err != nil {
+		unclaim()
+		return ResumeResponse{}, err
+	}
+	s := &session{
+		id:           sid,
+		ctxID:        sid,
+		channel:      ch,
+		part:         part,
+		seg:          seg,
+		reqQ:         e.m.OS.MQCreate(),
+		respQ:        e.m.OS.MQCreate(),
+		aead:         aead,
+		userMeta:     userMeta,
+		geMeta:       attest.NewNonceSequence(NonceChannel(sid, NonceGEMeta)),
+		managedNonce: newManagedNonce(sid),
+	}
+	fail := func(err error) (ResumeResponse, error) {
+		unclaim()
+		e.m.OS.ShmDestroy(seg)
+		return ResumeResponse{}, err
+	}
+
+	now := sim.Max(e.now, sim.Time(r.SubmitNS))
+	st, now, err := e.core.Submit(ch, now, gpu.OpCreateContext, gpu.BuildCreateContext(s.ctxID))
+	if err != nil || st.Err() != nil {
+		return fail(firstErr(err, st.Err()))
+	}
+	st, now, err = e.core.Submit(ch, now, gpu.OpBindChannel, gpu.BuildBindChannel(s.ctxID))
+	if err != nil || st.Err() != nil {
+		return fail(firstErr(err, st.Err()))
+	}
+	s.stagingSlots = e.stagingSlots
+	s.stagingSize = s.stagingSlots * (uint64(e.core.Cost().CryptoChunk) + ocb.TagSize)
+	pi := e.parts[part]
+	s.staging, err = e.core.AllocVRAMIn(pi.VRAMBase, pi.VRAMBase+pi.VRAMSize, s.stagingSize)
+	if err != nil {
+		return fail(err)
+	}
+	st, now, err = e.core.Submit(ch, now, gpu.OpBindMemory,
+		gpu.BuildBindMemory(s.ctxID, s.staging, e.core.AllocatedSize(s.staging)))
+	if err != nil || st.Err() != nil {
+		return fail(firstErr(err, st.Err()))
+	}
+	s.now = now
+	s.active = true
+	e.sessions[sid] = s
+	e.partSessions[part]++
+	// Keep fresh session IDs monotonic past any restored one so a later
+	// full handshake can never collide with a resumed session.
+	if sid > e.nextSID {
+		e.nextSID = sid
+	}
+	return ResumeResponse{
+		SessionID:   sid,
+		ReqQueue:    s.reqQ,
+		RespQueue:   s.respQ,
+		SegmentID:   seg.ID,
+		SegmentSize: seg.Size,
+		CompleteNS:  int64(s.now),
+		Partition:   part,
+	}, nil
+}
+
 func firstErr(errs ...error) error {
 	for _, err := range errs {
 		if err != nil {

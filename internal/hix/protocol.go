@@ -268,6 +268,38 @@ type HelloFinish struct {
 	SubmitNS  int64
 }
 
+// ResumeRequest re-opens a previously established session from
+// resumption state (a server-validated ticket): the original session
+// ID (nonce channels derive from it, so restoring it keeps the OCB
+// nonce streams byte-identical to the original session), the session
+// key itself, and a key confirmation sealed under it. No attestation
+// report and no DH shares: the trust decision was made when the
+// ticket was issued, and the fast path's whole point is zero
+// public-key work.
+type ResumeRequest struct {
+	SessionID uint32
+	Key       [attest.SessionKeySize]byte
+	Confirm   []byte
+	SubmitNS  int64
+	// Partition is the 1-based placement pin, as in HelloRequest
+	// (0 lets the enclave pick).
+	Partition int
+}
+
+// ResumeResponse names the fresh OS transport resources for the
+// resumed session. There is no counter-report and no endorsement —
+// nothing asymmetric happened.
+type ResumeResponse struct {
+	SessionID   uint32
+	ReqQueue    int
+	RespQueue   int
+	SegmentID   int
+	SegmentSize uint64
+	CompleteNS  int64
+	// Partition is the 0-based index the session landed on.
+	Partition int
+}
+
 // ManagedBase is the virtual device-address space of managed (demand-
 // paged) allocations; the GPU enclave translates these on use.
 const ManagedBase = managedBase

@@ -181,6 +181,10 @@ type Session struct {
 	dataHtoD *attest.NonceSequence
 	dataDtoH *attest.NonceSequence
 
+	// key is the derived session key, retained so a resumption-aware
+	// front-end (netserve) can seal it into a ticket.
+	key [attest.SessionKeySize]byte
+
 	reqQ, respQ int
 
 	cpuRes    sim.Resource
@@ -316,6 +320,7 @@ func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
 		start:    start,
 		allocs:   make(map[Ptr]uint64),
 	}
+	s.key = key
 	s.cpuRes = sim.CPULane(int(resp.SessionID) % lanes)
 	s.cryptoRes = sim.CryptoLane(int(resp.SessionID) % lanes)
 	seg, okSeg := c.m.OS.Segment(resp.SegmentID)
@@ -335,6 +340,79 @@ func (c *Client) OpenSessionAt(start sim.Time) (*Session, error) {
 	}
 	return s, nil
 }
+
+// OpenResumedSession re-establishes a session from resumption state at
+// simulated time zero. See OpenResumedSessionAt.
+func (c *Client) OpenResumedSession(sid uint32, key [attest.SessionKeySize]byte) (*Session, error) {
+	return c.OpenResumedSessionAt(sid, key, 0)
+}
+
+// OpenResumedSessionAt is the zero-DH fast path: the caller already
+// holds the session key and original session ID (recovered from a
+// sealed resumption ticket by netserve), so setup is task init plus a
+// symmetric key confirmation — no attestation reports, no DH parties,
+// no GPU DH submits, and therefore no big.Int work anywhere in the
+// flow. Restoring the original session ID keeps every nonce channel,
+// and with it the OCB ciphertext streams, byte-identical to the
+// original session's.
+func (c *Client) OpenResumedSessionAt(sid uint32, key [attest.SessionKeySize]byte, start sim.Time) (*Session, error) {
+	tl := c.m.Timeline
+	cm := c.m.Cost
+	now := start
+	// Task init is unavoidable; the AttestKeyExch charge and the two
+	// GPU DH round trips of the full path are exactly what this skips.
+	_, now = tl.AcquireLabeled(sim.ResCPU, "hix-task-init", now, cm.TaskInitHIX)
+
+	aead, err := ocb.New(key[:])
+	if err != nil {
+		return nil, err
+	}
+	lanes := cm.CPULanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	s := &Session{
+		c:        c,
+		id:       sid,
+		aead:     aead,
+		key:      key,
+		userMeta: attest.NewNonceSequence(hix.NonceChannel(sid, hix.NonceUserMeta)),
+		geMeta:   attest.NewNonceSequence(hix.NonceChannel(sid, hix.NonceGEMeta)),
+		dataHtoD: attest.NewNonceSequence(hix.NonceChannel(sid, hix.NonceDataHtoD)),
+		dataDtoH: attest.NewNonceSequence(hix.NonceChannel(sid, hix.NonceDataDtoH)),
+		start:    start,
+		allocs:   make(map[Ptr]uint64),
+	}
+	s.cpuRes = sim.CPULane(int(sid) % lanes)
+	s.cryptoRes = sim.CryptoLane(int(sid) % lanes)
+
+	// Confirmation consumes user-meta nonce 0, keeping the counter
+	// aligned with the full handshake (HandleFinish consumes it there).
+	confirm := aead.Seal(nil, s.userMeta.Next(), hix.KeyConfirmation, nil)
+	resp, err := c.ge.HandleResume(hix.ResumeRequest{
+		SessionID: sid,
+		Key:       key,
+		Confirm:   confirm,
+		SubmitNS:  int64(now),
+		Partition: c.Partition,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.now = sim.Max(now, sim.Time(resp.CompleteNS))
+	s.reqQ, s.respQ = resp.ReqQueue, resp.RespQueue
+	seg, okSeg := c.m.OS.Segment(resp.SegmentID)
+	if !okSeg {
+		return nil, errors.New("hixrt: session segment missing")
+	}
+	s.seg = seg
+	return s, nil
+}
+
+// ExportKey returns the session's symmetric key. Only a
+// resumption-aware front-end should call this — the key leaves the
+// session solely to be sealed into a server-side ticket.
+func (s *Session) ExportKey() [attest.SessionKeySize]byte { return s.key }
 
 // ID returns the session identifier assigned by the GPU enclave.
 func (s *Session) ID() uint32 { return s.id }

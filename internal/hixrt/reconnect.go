@@ -49,6 +49,8 @@ type ReconnectingSession struct {
 
 	jitter        *attest.SeededRNG
 	reconnects    int
+	resumes       int
+	ticket        []byte // freshest resumption ticket from the current session's Welcome
 	everConnected bool
 	closed        bool
 }
@@ -142,6 +144,14 @@ func (r *ReconnectingSession) Reconnects() int {
 	return r.reconnects
 }
 
+// Resumes reports how many of those rebuilds (plus the initial dial)
+// went through the zero-DH ticket fast path.
+func (r *ReconnectingSession) Resumes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resumes
+}
+
 // retryable classifies an error: transport-class and server-side
 // failures warrant a rebuild + re-issue, while request-level rejections
 // (bad arguments, unknown kernel) and attestation refusals are the
@@ -206,9 +216,20 @@ func (r *ReconnectingSession) dropLocked() {
 // redialLocked dials a fresh session and replays the journal onto it,
 // rebuilding the virtual→remote pointer map.
 func (r *ReconnectingSession) redialLocked() error {
-	s, err := DialConfig(r.addr, r.cfg.Remote)
+	// Present the cached resumption ticket (nil on the first dial, or
+	// when the last Welcome carried none): an accepted ticket re-arms
+	// the server session with zero public-key work before the journal
+	// replays. Tickets are single-use, so cache the replacement ticket
+	// from each successful dial's Welcome.
+	cfg := r.cfg.Remote
+	cfg.Ticket = r.ticket
+	s, err := DialConfig(r.addr, cfg)
 	if err != nil {
 		return err
+	}
+	r.ticket = s.Ticket()
+	if s.Resumed() {
+		r.resumes++
 	}
 	// Count every re-established connection (a replay may still fail
 	// and force another): each one corresponds to one observed

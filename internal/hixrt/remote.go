@@ -74,6 +74,11 @@ type RemoteConfig struct {
 	// bound unchanged). 1 keeps the v2 transport but serializes
 	// requests.
 	MaxInFlight int
+	// Ticket, when non-empty, is a resumption ticket from a previous
+	// v3 Welcome: presenting it lets the server re-arm the session with
+	// no attested key exchange. A refused ticket silently falls back to
+	// the full handshake, so a stale ticket costs nothing.
+	Ticket []byte
 }
 
 // RemoteSession is an attested HIX session reached over the wire
@@ -99,6 +104,8 @@ type RemoteSession struct {
 	maxData     int
 	maxInFlight int
 	enclave     attest.Measurement
+	resumed     bool
+	ticket      []byte // fresh resumption ticket from the Welcome, if any
 
 	pipe *pipe // v2 async core; nil on a v1 (lock-step) session
 
@@ -192,6 +199,18 @@ func (s *RemoteSession) handshake(cfg RemoteConfig) error {
 		MaxVersion:  maxV,
 		Measurement: cfg.Measurement,
 	}
+	if maxV >= wire.Version3 && len(cfg.Ticket) > 0 {
+		hello.Ticket = cfg.Ticket
+		if cfg.Faults.Fire(faults.NetTicket) {
+			// Injected ticket corruption: flip a byte in a copy (never
+			// the caller's cached ticket) so the server's validation must
+			// refuse it and fall back to the full handshake.
+			tkt := make([]byte, len(cfg.Ticket))
+			copy(tkt, cfg.Ticket)
+			tkt[len(tkt)/2] ^= 0x40
+			hello.Ticket = tkt
+		}
+	}
 	if err := wire.WriteFrame(s.bw, wire.OpHello, hello.Encode()); err != nil {
 		return err
 	}
@@ -218,6 +237,10 @@ func (s *RemoteSession) handshake(cfg RemoteConfig) error {
 			s.maxInFlight = int(w.MaxInFlight)
 		}
 		s.enclave = w.Enclave
+		s.resumed = w.Resumed
+		if len(w.Ticket) > 0 {
+			s.ticket = append([]byte(nil), w.Ticket...)
+		}
 		return nil
 	case wire.OpError:
 		re, err := wire.DecodeError(body)
@@ -252,6 +275,15 @@ func (s *RemoteSession) MaxInFlight() int {
 // EnclaveMeasurement returns the GPU enclave's MRENCLAVE as reported in
 // the handshake.
 func (s *RemoteSession) EnclaveMeasurement() attest.Measurement { return s.enclave }
+
+// Resumed reports whether this session was established through the
+// zero-DH ticket fast path (a presented ticket the server accepted).
+func (s *RemoteSession) Resumed() bool { return s.resumed }
+
+// Ticket returns the fresh resumption ticket issued in the Welcome
+// (nil below wire v3). Tickets are single-use: present it on the next
+// dial and cache the replacement from that dial's Welcome.
+func (s *RemoteSession) Ticket() []byte { return s.ticket }
 
 // fail marks the transport dead and closes it; the first failure wins.
 // The returned error is always ErrBroken-typed (wrapping the cause),

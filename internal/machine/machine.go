@@ -226,15 +226,15 @@ func New(cfg Config) (*Machine, error) {
 	rc.SetIOMMU(os.IOMMU())
 
 	return &Machine{
-		Memory:   as,
-		MMU:      m,
-		Fabric:   rc,
-		GPU:      devs[0],
-		GPUBDF:   bdfs[0],
-		GPUs:     devs,
-		GPUBDFs:  bdfs,
-		CPU:      cpu,
-		OS:       os,
+		Memory:     as,
+		MMU:        m,
+		Fabric:     rc,
+		GPU:        devs[0],
+		GPUBDF:     bdfs[0],
+		GPUs:       devs,
+		GPUBDFs:    bdfs,
+		CPU:        cpu,
+		OS:         os,
 		Platform:   platform,
 		Timeline:   tl,
 		Cost:       cost,

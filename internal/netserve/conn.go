@@ -358,15 +358,37 @@ func (c *conn) handshake() bool {
 			"authentication circuit breaker open"))
 		return false
 	}
-	sess, err := c.srv.openSession(h.Measurement, c.nc.RemoteAddr().String())
-	if err != nil {
-		code := wire.ECodeServer
-		if errors.Is(err, hixrt.ErrAttestation) || errors.Is(err, hixrt.ErrAuth) {
-			code = wire.ECodeAuth
-			c.srv.authResult(false)
+	// Resumption fast path: a v3 Hello carrying a ticket skips the
+	// attested key exchange entirely if the ticket validates. Any
+	// refusal is logged by class and falls back — transparently — to
+	// the full handshake the client was prepared to pay anyway.
+	var sess *hixrt.Session
+	resumed := false
+	if ver >= wire.Version3 && len(h.Ticket) > 0 {
+		st, terr := c.srv.tickets.Open(h.Ticket, h.Measurement)
+		if terr == nil {
+			sess, terr = c.srv.openSessionResumed(st, c.nc.RemoteAddr().String())
+			if terr == nil {
+				resumed = true
+			}
 		}
-		c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
-		return false
+		if terr != nil {
+			c.srv.tickets.fallbacks.Add(1)
+			c.srv.logf("netserve: ticket refused, full handshake: %v", terr)
+		}
+	}
+	if sess == nil {
+		var err error
+		sess, err = c.srv.openSession(h.Measurement, c.nc.RemoteAddr().String())
+		if err != nil {
+			code := wire.ECodeServer
+			if errors.Is(err, hixrt.ErrAttestation) || errors.Is(err, hixrt.ErrAuth) {
+				code = wire.ECodeAuth
+				c.srv.authResult(false)
+			}
+			c.sendNow(wire.OpError, wire.EncodeError(code, err.Error()))
+			return false
+		}
 	}
 	c.srv.authResult(true)
 	c.sess = sess
@@ -381,6 +403,16 @@ func (c *conn) handshake() bool {
 	}
 	if ver >= wire.Version2 {
 		w.MaxInFlight = uint16(c.srv.cfg.MaxInFlight)
+	}
+	if ver >= wire.Version3 {
+		// Tickets are single-use, so every v3 handshake — full or
+		// resumed — hands out the next one.
+		w.Resumed = resumed
+		if tkt, err := c.srv.mintTicket(sess, h.Measurement); err != nil {
+			c.srv.logf("netserve: ticket mint: %v", err)
+		} else {
+			w.Ticket = tkt
+		}
 	}
 	c.sendNow(wire.OpWelcome, w.Encode())
 	return true
@@ -428,7 +460,9 @@ func (c *conn) loop() {
 				fmt.Sprintf("expected request, got %v", op)))
 			return
 		}
+		start := time.Now()
 		done, err := c.handleRequest(body)
+		c.srv.observeServe(time.Since(start))
 		c.setBusy(false)
 		if err != nil {
 			c.srv.logf("netserve: request: %v", err)
@@ -668,7 +702,9 @@ func (c *conn) executeV2(execQ <-chan *tReq, done chan<- struct{}) {
 			var win []*tReq
 			win, carried = c.gatherWindow(r, execQ)
 			cur = win[0]
+			start := time.Now()
 			err := c.handleLaunchWindow(win)
+			c.srv.observeServe(time.Since(start))
 			cur = nil
 			for _, wr := range win {
 				wr.release()
@@ -681,7 +717,9 @@ func (c *conn) executeV2(execQ <-chan *tReq, done chan<- struct{}) {
 			continue
 		}
 		cur = r
+		start := time.Now()
 		connDone, err := c.handleRequestV2(r)
+		c.srv.observeServe(time.Since(start))
 		cur = nil
 		r.release()
 		if err != nil {

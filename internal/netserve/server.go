@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/attest"
+	"repro/internal/bench/hist"
 	"repro/internal/faults"
 	"repro/internal/gpu"
 	"repro/internal/hix"
@@ -120,8 +121,18 @@ type Config struct {
 	MaxData int
 	// MaxWireVersion caps the protocol version the server negotiates
 	// (0 means the newest it speaks). Setting it to wire.Version1
-	// forces lock-step connections — compatibility testing.
+	// forces lock-step connections — compatibility testing; capping at
+	// wire.Version2 disables resumption tickets entirely.
 	MaxWireVersion uint16
+
+	// TicketTTL bounds resumption-ticket life (default
+	// DefaultTicketTTL). Tickets are minted on every v3 Welcome and
+	// accepted once within the TTL.
+	TicketTTL time.Duration
+	// TicketNowNanos injects the ticket clock (expiry + anti-replay
+	// pruning; default wall clock). Tests pin it to step time
+	// deterministically past an expiry.
+	TicketNowNanos func() int64
 
 	// SessionWorkers and SessionWindowSlots configure each bridged
 	// session's crypto worker pool and request window (defaults: the
@@ -210,6 +221,14 @@ type Server struct {
 	// setupMu serializes session construction and teardown so enclave
 	// and OS bookkeeping happen in a deterministic, race-free order.
 	setupMu sync.Mutex
+
+	// tickets mints and validates session-resumption tickets (v3).
+	tickets *ticketKeeper
+
+	// histMu guards loadHist, the per-request wall service-latency
+	// histogram behind the hix.load.hist expvar.
+	histMu   sync.Mutex
+	loadHist hist.H
 
 	sem chan struct{} // connection-limit semaphore
 
@@ -366,7 +385,7 @@ func New(cfg Config) (*Server, error) {
 		slots = 2
 	}
 	demand := uint64(slots) * (uint64(m.Cost.CryptoChunk) + ocb.TagSize)
-	return &Server{
+	srv := &Server{
 		cfg:        cfg,
 		m:          m,
 		ge:         ges[0],
@@ -381,7 +400,26 @@ func New(cfg Config) (*Server, error) {
 		conns:      make(map[*conn]struct{}),
 		drainCh:    make(chan struct{}),
 		serveDone:  make(chan error, 1),
-	}, nil
+	}
+	keeper, err := srv.newKeeper()
+	if err != nil {
+		return nil, err
+	}
+	srv.tickets = keeper
+	return srv, nil
+}
+
+// newKeeper builds the resumption-ticket keeper over this server's
+// enclave fleet.
+func (s *Server) newKeeper() (*ticketKeeper, error) {
+	return newTicketKeeper(func(device int) (attest.Measurement, bool) {
+		for _, ge := range s.ges {
+			if ge.DeviceIndex() == device {
+				return ge.Measurement(), true
+			}
+		}
+		return attest.Measurement{}, false
+	}, s.cfg.TicketTTL, s.cfg.TicketNowNanos)
 }
 
 // Machine exposes the simulated platform (bench instrumentation).
@@ -668,6 +706,126 @@ func (s *Server) openSession(measure attest.Measurement, name string) (*hixrt.Se
 		s.tenants[sess] = ten
 	}
 	return sess, nil
+}
+
+// openSessionResumed is openSession's zero-DH fast path: the sealed
+// ticket already authenticated the tenant and carries the session key
+// and original session ID, so no attestation and no key exchange run.
+// The ticket's placement hint pins the demand to the exact partition
+// the session was carved from; if placement cannot land back on the
+// ticket's device (session IDs are per-enclave), the resume is
+// refused and the caller falls back to the full handshake.
+func (s *Server) openSessionResumed(st resumeState, name string) (*hixrt.Session, error) {
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	q := QoSParams{Weight: 1}
+	if s.cfg.QoS != nil {
+		q = s.cfg.QoS(st.measure)
+	}
+	slot, err := s.placer.Place(part.Demand{
+		VRAMBytes:       s.sessDemand,
+		Class:           q.Class,
+		Affinity:        fmt.Sprintf("%x", st.measure[:]),
+		Prefer:          true,
+		PreferDevice:    int(st.device),
+		PreferPartition: int(st.partition),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if slot.Device != int(st.device) {
+		_ = s.placer.Release(slot)
+		return nil, errTicketPlacement
+	}
+	idx := s.encIdx(slot.Device)
+	client, err := hixrt.NewClient(s.m, s.ges[idx], s.vendorPub, st.measure[:])
+	if err != nil {
+		_ = s.placer.Release(slot)
+		return nil, err
+	}
+	client.Partition = slot.Partition + 1
+	sess, err := client.OpenResumedSession(st.sid, st.key)
+	if err != nil {
+		_ = s.placer.Release(slot)
+		return nil, err
+	}
+	s.slots[sess] = slot
+	if s.cfg.SessionWorkers > 0 {
+		sess.Workers = s.cfg.SessionWorkers
+	}
+	if s.cfg.SessionWindowSlots > 0 {
+		sess.WindowSlots = s.cfg.SessionWindowSlots
+	}
+	if s.cfg.OnSession != nil {
+		s.cfg.OnSession(sess)
+	}
+	s.installFaultHooks(sess)
+	if len(s.scheds) > 0 {
+		ten := s.scheds[idx].Join(name, sess.ID(), q.Weight, q.Class, q.Limit)
+		sess.Gate = ten
+		s.tenants[sess] = ten
+	}
+	s.tickets.noteAccepted(st.device)
+	return sess, nil
+}
+
+// mintTicket seals a fresh resumption ticket for the session (called
+// on every v3 Welcome, full and resumed alike — tickets are single
+// use, so each handshake hands out the next one).
+func (s *Server) mintTicket(sess *hixrt.Session, measure attest.Measurement) ([]byte, error) {
+	s.setupMu.Lock()
+	slot, ok := s.slots[sess]
+	s.setupMu.Unlock()
+	if !ok {
+		return nil, errors.New("netserve: session has no placement slot")
+	}
+	return s.tickets.Mint(resumeState{
+		sid:       sess.ID(),
+		key:       sess.ExportKey(),
+		measure:   measure,
+		device:    uint16(slot.Device),
+		partition: uint16(slot.Partition),
+		expiryNS:  s.tickets.Expiry(),
+	})
+}
+
+// RotateTicketKey advances the ticket-key generation: tickets sealed
+// under the previous generation stay valid, older ones are refused
+// (their holders silently fall back to the full handshake). Returns
+// the new generation.
+func (s *Server) RotateTicketKey() uint64 { return s.tickets.Rotate() }
+
+// TicketGeneration reports the current ticket-key generation.
+func (s *Server) TicketGeneration() uint64 { return s.tickets.Generation() }
+
+// RevokeTicketMeasurement refuses all outstanding tickets bound to
+// the tenant measurement — the measurement-registry revocation hook.
+func (s *Server) RevokeTicketMeasurement(m attest.Measurement) { s.tickets.Revoke(m) }
+
+// ResumeStats snapshots the resumption counter block (hix.resume).
+func (s *Server) ResumeStats() ResumeStats { return s.tickets.Stats() }
+
+// ResumeDeviceStats snapshots the per-device resumption ledger: one
+// row per fleet device with the tickets minted for sessions hosted
+// there and the resumes it accepted.
+func (s *Server) ResumeDeviceStats() []DeviceResumeStats {
+	return s.tickets.DeviceStats(len(s.ges))
+}
+
+// observeServe records one request's wall service latency into the
+// live load histogram.
+func (s *Server) observeServe(d time.Duration) {
+	s.histMu.Lock()
+	s.loadHist.RecordDur(d)
+	s.histMu.Unlock()
+}
+
+// LoadHist snapshots the per-request wall service-latency histogram
+// behind the hix.load.hist expvar.
+func (s *Server) LoadHist() hist.Summary {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return s.loadHist.Summarize()
 }
 
 // installFaultHooks chains the GPU-tag corruption site onto the

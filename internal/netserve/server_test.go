@@ -65,8 +65,8 @@ func TestRemoteWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Version() != wire.Version2 {
-		t.Fatalf("negotiated version %d, want %d", s.Version(), wire.Version2)
+	if s.Version() != wire.MaxVersion {
+		t.Fatalf("negotiated version %d, want %d", s.Version(), wire.MaxVersion)
 	}
 	if s.MaxInFlight() < 1 {
 		t.Fatalf("MaxInFlight %d, want >= 1", s.MaxInFlight())

@@ -1,0 +1,343 @@
+package netserve
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/attest"
+	"repro/internal/ocb"
+)
+
+// Ticket validation errors. Every refusal is typed so the handshake
+// can log the class and fall back to the full-DH path; none of them
+// is ever surfaced to the client (a refused ticket is not an attack
+// signal the server should amplify — the client simply pays the full
+// handshake it would have paid anyway).
+var (
+	// ErrTicketInvalid covers tickets that fail structural or
+	// cryptographic validation (truncated, forged, sealed under a key
+	// this server never had).
+	ErrTicketInvalid = errors.New("netserve: ticket invalid")
+	// ErrTicketReplay marks a ticket presented twice: tickets are
+	// strictly single-use (each Welcome reissues a fresh one).
+	ErrTicketReplay = errors.New("netserve: ticket already used")
+	// ErrTicketExpired marks a ticket past its expiry.
+	ErrTicketExpired = errors.New("netserve: ticket expired")
+	// ErrTicketStale marks a ticket sealed under a generation older
+	// than the previous one (two rotations ago or more).
+	ErrTicketStale = errors.New("netserve: ticket generation stale")
+	// ErrTicketMeasure marks a ticket bound to a measurement other
+	// than the one the client's Hello claims.
+	ErrTicketMeasure = errors.New("netserve: ticket measurement mismatch")
+	// ErrTicketRevoked marks a ticket whose measurement was revoked.
+	ErrTicketRevoked = errors.New("netserve: ticket measurement revoked")
+	// errTicketPlacement marks a resumed placement that could not land
+	// on the ticket's device (capacity moved on; full DH re-places).
+	errTicketPlacement = errors.New("netserve: resumed placement displaced")
+)
+
+// DefaultTicketTTL bounds a ticket's life when Config.TicketTTL is
+// zero. Short enough that the anti-replay window stays small, long
+// enough to cover any realistic redial storm.
+const DefaultTicketTTL = 10 * time.Minute
+
+// resumeState is the plaintext a ticket seals: everything needed to
+// re-arm the session with zero public-key work, plus the placement
+// hint that puts it back on its extent freelist.
+type resumeState struct {
+	sid       uint32
+	key       [attest.SessionKeySize]byte
+	measure   attest.Measurement
+	device    uint16
+	partition uint16
+	expiryNS  int64
+}
+
+const (
+	ticketNonceSize = 12
+	// Clear prefix: generation (8) + issuing device (2), authenticated
+	// as associated data so it cannot be swapped under the seal.
+	ticketHdrSize = 8 + 2
+	// Sealed payload: sid(4) + key(16) + measurement(32) + partition(2) + expiry(8).
+	ticketBodySize = 4 + attest.SessionKeySize + len(attest.Measurement{}) + 2 + 8
+	ticketSize     = ticketHdrSize + ticketNonceSize + ticketBodySize + ocb.TagSize
+)
+
+// DeviceResumeStats is one device's slice of the resumption ledger:
+// tickets minted for sessions hosted there, and resumes it accepted.
+type DeviceResumeStats struct {
+	Device   int   `json:"device"`
+	Issued   int64 `json:"issued"`
+	Accepted int64 `json:"accepted"`
+}
+
+// ResumeStats is the hix.resume counter block: the lifecycle of every
+// ticket this server issued or was shown.
+type ResumeStats struct {
+	Issued         int64 `json:"issued"`
+	Accepted       int64 `json:"accepted"`
+	Fallbacks      int64 `json:"fallbacks"`
+	ReplaysRefused int64 `json:"replays_refused"`
+	Expired        int64 `json:"expired"`
+	StaleGen       int64 `json:"stale_gen"`
+	WrongMeasure   int64 `json:"wrong_measure"`
+	Revoked        int64 `json:"revoked"`
+}
+
+// ticketKeeper mints and validates resumption tickets. The sealing
+// key is derived per (secret, issuing enclave measurement, generation)
+// via attest.TicketKey; rotating the generation invalidates everything
+// older than one rotation, and revoking a tenant measurement refuses
+// its tickets without touching the generation.
+//
+// The keeper's secret comes from crypto/rand, never from the machine's
+// seeded entropy: ticket bytes ride the wire outside every
+// ciphertext-identity comparison, and drawing from machine entropy
+// would shift the deterministic DH draws that all committed
+// fingerprint gates depend on.
+type ticketKeeper struct {
+	mu      sync.Mutex
+	secret  [32]byte
+	gen     uint64
+	nonce   uint64                          // counter behind every sealed nonce — never repeats per secret
+	used    map[[ticketNonceSize]byte]int64 // single-use anti-replay window: nonce -> expiry
+	revoked map[attest.Measurement]bool
+	perDev  map[uint16]*DeviceResumeStats
+	enclave func(device int) (attest.Measurement, bool)
+	ttl     time.Duration
+	now     func() int64
+
+	issued         atomic.Int64
+	accepted       atomic.Int64
+	fallbacks      atomic.Int64
+	replaysRefused atomic.Int64
+	expired        atomic.Int64
+	staleGen       atomic.Int64
+	wrongMeasure   atomic.Int64
+	revokedHits    atomic.Int64
+}
+
+// newTicketKeeper builds a keeper over the fleet's enclaves. enclave
+// resolves a device index to its GPU enclave's measurement (the
+// per-device component of the key derivation).
+func newTicketKeeper(enclave func(device int) (attest.Measurement, bool), ttl time.Duration, now func() int64) (*ticketKeeper, error) {
+	k := &ticketKeeper{
+		gen:     1,
+		used:    make(map[[ticketNonceSize]byte]int64),
+		revoked: make(map[attest.Measurement]bool),
+		perDev:  make(map[uint16]*DeviceResumeStats),
+		enclave: enclave,
+		ttl:     ttl,
+		now:     now,
+	}
+	if k.ttl <= 0 {
+		k.ttl = DefaultTicketTTL
+	}
+	if k.now == nil {
+		k.now = func() int64 { return time.Now().UnixNano() }
+	}
+	if _, err := rand.Read(k.secret[:]); err != nil {
+		return nil, fmt.Errorf("netserve: ticket secret: %w", err)
+	}
+	return k, nil
+}
+
+// aeadFor derives the sealing AEAD for (device, gen).
+func (k *ticketKeeper) aeadFor(device int, gen uint64) (*ocb.AEAD, error) {
+	measure, ok := k.enclave(device)
+	if !ok {
+		return nil, fmt.Errorf("%w: device %d", ErrTicketInvalid, device)
+	}
+	tk := attest.TicketKey(k.secret[:], measure, gen)
+	return ocb.New(tk[:])
+}
+
+// Mint seals fresh resumption state into an opaque ticket.
+func (k *ticketKeeper) Mint(st resumeState) ([]byte, error) {
+	k.mu.Lock()
+	gen := k.gen
+	k.nonce++
+	var nonce [ticketNonceSize]byte
+	copy(nonce[:4], "tkt:")
+	binary.LittleEndian.PutUint64(nonce[4:], k.nonce)
+	k.mu.Unlock()
+
+	aead, err := k.aeadFor(int(st.device), gen)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, ticketHdrSize+ticketNonceSize, ticketSize)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], gen)
+	le.PutUint16(buf[8:], st.device)
+	copy(buf[ticketHdrSize:], nonce[:])
+
+	body := make([]byte, ticketBodySize)
+	le.PutUint32(body[0:], st.sid)
+	copy(body[4:], st.key[:])
+	copy(body[4+attest.SessionKeySize:], st.measure[:])
+	off := 4 + attest.SessionKeySize + len(st.measure)
+	le.PutUint16(body[off:], st.partition)
+	le.PutUint64(body[off+2:], uint64(st.expiryNS))
+
+	out := aead.Seal(buf, nonce[:], body, buf[:ticketHdrSize])
+	k.issued.Add(1)
+	k.mu.Lock()
+	k.devRow(st.device).Issued++
+	k.mu.Unlock()
+	return out, nil
+}
+
+// devRow returns the per-device ledger row, creating it on first use.
+// Callers hold k.mu.
+func (k *ticketKeeper) devRow(device uint16) *DeviceResumeStats {
+	row := k.perDev[device]
+	if row == nil {
+		row = &DeviceResumeStats{Device: int(device)}
+		k.perDev[device] = row
+	}
+	return row
+}
+
+// noteAccepted records a successful resume, globally and per device.
+func (k *ticketKeeper) noteAccepted(device uint16) {
+	k.accepted.Add(1)
+	k.mu.Lock()
+	k.devRow(device).Accepted++
+	k.mu.Unlock()
+}
+
+// DeviceStats snapshots the per-device ledger for a fleet of the given
+// size; devices with no resumption traffic report zero rows.
+func (k *ticketKeeper) DeviceStats(devices int) []DeviceResumeStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]DeviceResumeStats, devices)
+	for i := range out {
+		out[i].Device = i
+		if row := k.perDev[uint16(i)]; row != nil {
+			out[i].Issued, out[i].Accepted = row.Issued, row.Accepted
+		}
+	}
+	return out
+}
+
+// Open validates a presented ticket against the claimed measurement
+// and, on success, consumes its nonce (single use). Every refusal is
+// one of the typed Ticket errors above.
+func (k *ticketKeeper) Open(ticket []byte, claimed attest.Measurement) (resumeState, error) {
+	if len(ticket) != ticketSize {
+		return resumeState{}, fmt.Errorf("%w: length %d", ErrTicketInvalid, len(ticket))
+	}
+	le := binary.LittleEndian
+	gen := le.Uint64(ticket[0:])
+	device := le.Uint16(ticket[8:])
+
+	k.mu.Lock()
+	cur := k.gen
+	k.mu.Unlock()
+	// Current and previous generation only; anything older is a hard
+	// refusal so rotation actually retires key material.
+	if gen != cur && gen+1 != cur {
+		k.staleGen.Add(1)
+		return resumeState{}, fmt.Errorf("%w: generation %d, current %d", ErrTicketStale, gen, cur)
+	}
+
+	aead, err := k.aeadFor(int(device), gen)
+	if err != nil {
+		return resumeState{}, err
+	}
+	var nonce [ticketNonceSize]byte
+	copy(nonce[:], ticket[ticketHdrSize:])
+	body, err := aead.Open(nil, nonce[:], ticket[ticketHdrSize+ticketNonceSize:], ticket[:ticketHdrSize])
+	if err != nil {
+		return resumeState{}, fmt.Errorf("%w: seal does not open", ErrTicketInvalid)
+	}
+
+	var st resumeState
+	st.sid = le.Uint32(body[0:])
+	copy(st.key[:], body[4:])
+	copy(st.measure[:], body[4+attest.SessionKeySize:])
+	off := 4 + attest.SessionKeySize + len(st.measure)
+	st.partition = le.Uint16(body[off:])
+	st.expiryNS = int64(le.Uint64(body[off+2:]))
+	st.device = device
+
+	now := k.now()
+	if now > st.expiryNS {
+		k.expired.Add(1)
+		return resumeState{}, fmt.Errorf("%w: by %s", ErrTicketExpired, time.Duration(now-st.expiryNS))
+	}
+	if st.measure != claimed {
+		k.wrongMeasure.Add(1)
+		return resumeState{}, ErrTicketMeasure
+	}
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.revoked[st.measure] {
+		k.revokedHits.Add(1)
+		return resumeState{}, ErrTicketRevoked
+	}
+	if _, dup := k.used[nonce]; dup {
+		k.replaysRefused.Add(1)
+		return resumeState{}, ErrTicketReplay
+	}
+	// Consume the nonce and prune entries whose tickets can no longer
+	// validate anyway (expiry passed), bounding the window.
+	k.used[nonce] = st.expiryNS
+	for n, exp := range k.used {
+		if now > exp {
+			delete(k.used, n)
+		}
+	}
+	return st, nil
+}
+
+// Expiry computes a fresh ticket's expiry instant.
+func (k *ticketKeeper) Expiry() int64 { return k.now() + k.ttl.Nanoseconds() }
+
+// Rotate advances the generation: tickets from the previous
+// generation remain valid, anything older is refused from now on.
+func (k *ticketKeeper) Rotate() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.gen++
+	return k.gen
+}
+
+// Generation reports the current ticket-key generation.
+func (k *ticketKeeper) Generation() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.gen
+}
+
+// Revoke refuses all outstanding tickets bound to the measurement
+// (the measurement-registry hook: a deregistered tenant image cannot
+// resume, it must pass the full attested handshake again — which the
+// server's auth policy can then refuse).
+func (k *ticketKeeper) Revoke(m attest.Measurement) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.revoked[m] = true
+}
+
+// Stats snapshots the counter block.
+func (k *ticketKeeper) Stats() ResumeStats {
+	return ResumeStats{
+		Issued:         k.issued.Load(),
+		Accepted:       k.accepted.Load(),
+		Fallbacks:      k.fallbacks.Load(),
+		ReplaysRefused: k.replaysRefused.Load(),
+		Expired:        k.expired.Load(),
+		StaleGen:       k.staleGen.Load(),
+		WrongMeasure:   k.wrongMeasure.Load(),
+		Revoked:        k.revokedHits.Load(),
+	}
+}

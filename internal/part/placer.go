@@ -26,6 +26,15 @@ type Demand struct {
 	// partition it last ran on and gets it back if the demand still
 	// fits.
 	Affinity string
+	// Prefer pins the demand to an exact (device, partition) before
+	// any other policy runs: a resumed session's ticket names the
+	// partition it was carved from, and landing back on it means its
+	// extent comes off the same freelist without re-running placement.
+	// If the preferred partition cannot hold the demand, placement
+	// falls through to the affinity/policy scan.
+	Prefer          bool
+	PreferDevice    int
+	PreferPartition int
 }
 
 // Slot is a granted placement: a device partition plus the reserved
@@ -62,6 +71,7 @@ type Placer struct {
 	placements   int64
 	rejections   int64
 	affinityHits int64
+	preferHits   int64
 }
 
 // NewPlacer builds a placer over a fleet topology.
@@ -88,6 +98,21 @@ func (p *Placer) Place(d Demand) (Slot, error) {
 	size := (d.VRAMBytes + placeAlign - 1) &^ uint64(placeAlign-1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+
+	// Exact-partition preference first: a resumed session's ticket
+	// names where it ran, so honor that before any policy scan.
+	if d.Prefer {
+		for i, ps := range p.parts {
+			if ps.dev != d.PreferDevice || ps.idx != d.PreferPartition {
+				continue
+			}
+			if base, ok := ps.take(size); ok {
+				p.preferHits++
+				return p.grant(i, d, base, size), nil
+			}
+			break
+		}
+	}
 
 	// Affinity first: a reconnecting session goes home if home still
 	// has room.
@@ -256,4 +281,13 @@ func (p *Placer) Counters() (placements, rejections, affinityHits int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.placements, p.rejections, p.affinityHits
+}
+
+// PreferHits counts placements satisfied by a Demand's exact
+// (device, partition) preference — resumed sessions landing back on
+// the extent freelist their ticket named.
+func (p *Placer) PreferHits() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.preferHits
 }

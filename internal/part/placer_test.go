@@ -167,6 +167,62 @@ func TestPlacerAffinity(t *testing.T) {
 	}
 }
 
+// TestPlacerPrefer pins the exact-(device,partition) preference used
+// by resumed sessions: it wins over both affinity and the policy scan,
+// and falls through cleanly when the named partition is full.
+func TestPlacerPrefer(t *testing.T) {
+	topo := testTopology(t, 4)
+	p := NewPlacer(topo)
+
+	// Policy (Latency spread) would pick device 0 partition 0 first;
+	// the preference overrides it.
+	s, err := p.Place(Demand{
+		VRAMBytes: 8192, Class: sched.Latency,
+		Affinity: "tenant-a",
+		Prefer:   true, PreferDevice: 1, PreferPartition: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Device != 1 || s.Partition != 2 {
+		t.Fatalf("preference ignored: placed on %d.%d, want 1.2", s.Device, s.Partition)
+	}
+	if got := p.PreferHits(); got != 1 {
+		t.Fatalf("PreferHits() = %d, want 1", got)
+	}
+
+	// Fill the preferred partition; the same preference must fall
+	// through to the normal scan instead of failing.
+	free := topo.Devices[1].Partitions[2].VRAMSize - 8192
+	if _, err := p.Place(Demand{
+		VRAMBytes: free, Class: sched.Bulk,
+		Prefer: true, PreferDevice: 1, PreferPartition: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	over, err := p.Place(Demand{
+		VRAMBytes: 8192, Class: sched.Latency,
+		Prefer: true, PreferDevice: 1, PreferPartition: 2,
+	})
+	if err != nil {
+		t.Fatalf("full preferred partition must fall through, got %v", err)
+	}
+	if over.Device == 1 && over.Partition == 2 {
+		t.Fatal("placement landed on a full partition")
+	}
+	// A preference for a partition that does not exist also falls
+	// through rather than failing.
+	if _, err := p.Place(Demand{
+		VRAMBytes: 4096, Class: sched.Bulk,
+		Prefer: true, PreferDevice: 9, PreferPartition: 9,
+	}); err != nil {
+		t.Fatalf("unknown preferred partition must fall through, got %v", err)
+	}
+	if got := p.PreferHits(); got != 2 {
+		t.Fatalf("PreferHits() = %d, want 2 (fall-throughs must not count)", got)
+	}
+}
+
 // TestPlacerRejects pins capacity exhaustion: an oversized demand fails
 // with ErrNoCapacity and bumps the rejection counter.
 func TestPlacerRejects(t *testing.T) {

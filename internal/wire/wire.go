@@ -59,8 +59,12 @@ const (
 	// Version2 adds tagged frames (pipelined requests with out-of-order
 	// completion) and the MaxInFlight bound in the Welcome.
 	Version2 = 2
+	// Version3 adds session resumption: the Hello may present an opaque
+	// resumption ticket and the Welcome reports whether it was honored
+	// and carries a fresh ticket for the next redial.
+	Version3 = 3
 	// MaxVersion is the newest version this implementation speaks.
-	MaxVersion = Version2
+	MaxVersion = Version3
 	// MinVersion is the oldest version this implementation accepts.
 	MinVersion = Version1
 )
@@ -81,6 +85,10 @@ const (
 	// Servers may advertise a smaller per-connection bound in the
 	// Welcome, but never a larger one.
 	MaxData = 256 << 10
+	// MaxTicket bounds the opaque resumption ticket a v3 Hello or
+	// Welcome may carry. Real tickets are ~120 bytes; the bound exists
+	// so a hostile peer cannot pad the handshake.
+	MaxTicket = 256
 )
 
 // Opcode identifies a frame type.
@@ -436,29 +444,47 @@ func (fw *FrameWriter) frame(op Opcode, tag uint32, tagged bool, body []byte) er
 // Hello is the client's handshake: the version range it speaks and its
 // attestation measurement, which the server uses as the identity (and
 // measured image) of the user enclave it hosts for this connection.
+// A client offering Version3 or newer appends an opaque resumption
+// ticket (possibly empty); clients capped below v3 emit the exact
+// legacy 40-byte body, so an old server never sees the extension.
 type Hello struct {
 	MinVersion  uint16
 	MaxVersion  uint16
 	Measurement attest.Measurement
+	Ticket      []byte // v3+: opaque resumption ticket, empty on first connect
 }
 
 const helloSize = 4 + 2 + 2 + len(attest.Measurement{})
 
-// Encode serializes the Hello body.
+// Encode serializes the Hello body. The layout is version-dependent:
+// offering MaxVersion >= 3 appends `uint16 ticket length + ticket`
+// after the legacy body (even when the ticket is empty), while a
+// lower offer produces the legacy body byte-for-byte.
 func (h *Hello) Encode() []byte {
-	buf := make([]byte, helloSize)
+	size := helloSize
+	if h.MaxVersion >= Version3 {
+		size += 2 + len(h.Ticket)
+	}
+	buf := make([]byte, size)
 	le := binary.LittleEndian
 	le.PutUint32(buf[0:], Magic)
 	le.PutUint16(buf[4:], h.MinVersion)
 	le.PutUint16(buf[6:], h.MaxVersion)
 	copy(buf[8:], h.Measurement[:])
+	if h.MaxVersion >= Version3 {
+		le.PutUint16(buf[helloSize:], uint16(len(h.Ticket)))
+		copy(buf[helloSize+2:], h.Ticket)
+	}
 	return buf
 }
 
-// DecodeHello parses and validates a Hello body.
+// DecodeHello parses and validates a Hello body. Legacy exact-40-byte
+// bodies parse as before; the extended form is only legal when the
+// declared MaxVersion is 3 or newer and must match its own declared
+// ticket length exactly.
 func DecodeHello(buf []byte) (Hello, error) {
-	if len(buf) != helloSize {
-		return Hello{}, fmt.Errorf("%w: hello length %d != %d", ErrBadFrame, len(buf), helloSize)
+	if len(buf) != helloSize && len(buf) < helloSize+2 {
+		return Hello{}, fmt.Errorf("%w: hello length %d", ErrBadFrame, len(buf))
 	}
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != Magic {
@@ -470,6 +496,21 @@ func DecodeHello(buf []byte) (Hello, error) {
 	copy(h.Measurement[:], buf[8:])
 	if h.MinVersion == 0 || h.MaxVersion < h.MinVersion {
 		return Hello{}, fmt.Errorf("%w: hello range [%d,%d]", ErrVersion, h.MinVersion, h.MaxVersion)
+	}
+	if len(buf) != helloSize {
+		if h.MaxVersion < Version3 {
+			return Hello{}, fmt.Errorf("%w: hello length %d for max version %d", ErrBadFrame, len(buf), h.MaxVersion)
+		}
+		tlen := int(le.Uint16(buf[helloSize:]))
+		if tlen > MaxTicket {
+			return Hello{}, fmt.Errorf("%w: hello ticket length %d > %d", ErrBadFrame, tlen, MaxTicket)
+		}
+		if len(buf) != helloSize+2+tlen {
+			return Hello{}, fmt.Errorf("%w: hello length %d != %d for ticket length %d", ErrBadFrame, len(buf), helloSize+2+tlen, tlen)
+		}
+		if tlen > 0 {
+			h.Ticket = append([]byte(nil), buf[helloSize+2:helloSize+2+tlen]...)
+		}
 	}
 	return h, nil
 }
@@ -502,6 +543,9 @@ func NegotiateCapped(lo, hi, max uint16) (uint16, error) {
 // for the client's records. From Version2 on it also carries
 // MaxInFlight, the server's bound on concurrently outstanding tagged
 // requests per connection; a v1 Welcome omits the field (implicitly 1).
+// From Version3 on it also reports whether the presented ticket was
+// honored (Resumed) and carries a fresh single-use ticket for the
+// client's next redial.
 type Welcome struct {
 	Version     uint16
 	SessionID   uint32
@@ -510,20 +554,27 @@ type Welcome struct {
 	MaxData     uint32 // largest payload per Data frame
 	MaxInFlight uint16 // v2+: outstanding tagged requests per connection
 	Enclave     attest.Measurement
+	Resumed     bool   // v3+: the presented ticket skipped the full DH
+	Ticket      []byte // v3+: fresh resumption ticket for the next redial
 }
 
 const (
 	welcomeSizeV1 = 4 + 2 + 4 + 8 + 4 + 4 + len(attest.Measurement{})
 	welcomeSizeV2 = welcomeSizeV1 + 2
+	welcomeSizeV3 = welcomeSizeV2 + 1 + 2 // + resumed flag + ticket length
 )
 
 // Encode serializes the Welcome body. The layout is version-dependent:
 // the MaxInFlight field exists only when the negotiated Version is 2 or
-// newer, so a v1 peer sees exactly the v1 body it expects.
+// newer, the resumed flag and ticket only from 3 on, so an old peer
+// sees exactly the body it expects.
 func (w *Welcome) Encode() []byte {
 	size := welcomeSizeV1
 	if w.Version >= Version2 {
 		size = welcomeSizeV2
+	}
+	if w.Version >= Version3 {
+		size = welcomeSizeV3 + len(w.Ticket)
 	}
 	buf := make([]byte, size)
 	le := binary.LittleEndian
@@ -537,15 +588,23 @@ func (w *Welcome) Encode() []byte {
 	if w.Version >= Version2 {
 		le.PutUint16(buf[26+len(w.Enclave):], w.MaxInFlight)
 	}
+	if w.Version >= Version3 {
+		if w.Resumed {
+			buf[welcomeSizeV2] = 1
+		}
+		le.PutUint16(buf[welcomeSizeV2+1:], uint16(len(w.Ticket)))
+		copy(buf[welcomeSizeV3:], w.Ticket)
+	}
 	return buf
 }
 
 // DecodeWelcome parses and validates a Welcome body. The expected
 // length depends on the version the body itself declares: v1 bodies
-// must not carry the MaxInFlight field, v2 bodies must.
+// must not carry the MaxInFlight field, v2 bodies must, and v3 bodies
+// additionally carry the resumed flag plus a length-prefixed ticket.
 func DecodeWelcome(buf []byte) (Welcome, error) {
-	if len(buf) != welcomeSizeV1 && len(buf) != welcomeSizeV2 {
-		return Welcome{}, fmt.Errorf("%w: welcome length %d != %d or %d", ErrBadFrame, len(buf), welcomeSizeV1, welcomeSizeV2)
+	if len(buf) != welcomeSizeV1 && len(buf) != welcomeSizeV2 && len(buf) < welcomeSizeV3 {
+		return Welcome{}, fmt.Errorf("%w: welcome length %d", ErrBadFrame, len(buf))
 	}
 	le := binary.LittleEndian
 	if le.Uint32(buf[0:]) != Magic {
@@ -561,12 +620,26 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 	if w.Version < MinVersion || w.Version > MaxVersion {
 		return Welcome{}, fmt.Errorf("%w: welcome version %d", ErrVersion, w.Version)
 	}
-	wantSize := welcomeSizeV1
-	if w.Version >= Version2 {
-		wantSize = welcomeSizeV2
-	}
-	if len(buf) != wantSize {
-		return Welcome{}, fmt.Errorf("%w: welcome length %d for version %d (want %d)", ErrBadFrame, len(buf), w.Version, wantSize)
+	switch {
+	case w.Version < Version2:
+		if len(buf) != welcomeSizeV1 {
+			return Welcome{}, fmt.Errorf("%w: welcome length %d for version %d (want %d)", ErrBadFrame, len(buf), w.Version, welcomeSizeV1)
+		}
+	case w.Version < Version3:
+		if len(buf) != welcomeSizeV2 {
+			return Welcome{}, fmt.Errorf("%w: welcome length %d for version %d (want %d)", ErrBadFrame, len(buf), w.Version, welcomeSizeV2)
+		}
+	default:
+		if len(buf) < welcomeSizeV3 {
+			return Welcome{}, fmt.Errorf("%w: welcome length %d for version %d (want >= %d)", ErrBadFrame, len(buf), w.Version, welcomeSizeV3)
+		}
+		tlen := int(le.Uint16(buf[welcomeSizeV2+1:]))
+		if tlen > MaxTicket {
+			return Welcome{}, fmt.Errorf("%w: welcome ticket length %d > %d", ErrBadFrame, tlen, MaxTicket)
+		}
+		if len(buf) != welcomeSizeV3+tlen {
+			return Welcome{}, fmt.Errorf("%w: welcome length %d != %d for ticket length %d", ErrBadFrame, len(buf), welcomeSizeV3+tlen, tlen)
+		}
 	}
 	if w.MaxData == 0 || w.MaxData > MaxData {
 		return Welcome{}, fmt.Errorf("%w: welcome max data %d", ErrBadFrame, w.MaxData)
@@ -575,6 +648,18 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 		w.MaxInFlight = le.Uint16(buf[26+len(w.Enclave):])
 		if w.MaxInFlight == 0 {
 			return Welcome{}, fmt.Errorf("%w: welcome max in-flight 0", ErrBadFrame)
+		}
+	}
+	if w.Version >= Version3 {
+		switch buf[welcomeSizeV2] {
+		case 0:
+		case 1:
+			w.Resumed = true
+		default:
+			return Welcome{}, fmt.Errorf("%w: welcome resumed flag %d", ErrBadFrame, buf[welcomeSizeV2])
+		}
+		if tlen := int(le.Uint16(buf[welcomeSizeV2+1:])); tlen > 0 {
+			w.Ticket = append([]byte(nil), buf[welcomeSizeV3:welcomeSizeV3+tlen]...)
 		}
 	}
 	return w, nil

@@ -93,17 +93,61 @@ func TestWriteFrameRejectsOversize(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	h := Hello{
-		MinVersion:  1,
-		MaxVersion:  3,
-		Measurement: attest.Measure([]byte("client app")),
+	for _, h := range []Hello{
+		{MinVersion: 1, MaxVersion: 2, Measurement: attest.Measure([]byte("client app"))},
+		{MinVersion: 1, MaxVersion: 3, Measurement: attest.Measure([]byte("client app"))},
+		{MinVersion: 1, MaxVersion: 3, Measurement: attest.Measure([]byte("client app")),
+			Ticket: []byte{0xde, 0xad, 0xbe, 0xef, 0x01}},
+	} {
+		enc := h.Encode()
+		if h.MaxVersion < Version3 && len(enc) != helloSize {
+			t.Fatalf("legacy hello encodes to %d bytes, want %d", len(enc), helloSize)
+		}
+		if h.MaxVersion >= Version3 && len(enc) != helloSize+2+len(h.Ticket) {
+			t.Fatalf("v3 hello encodes to %d bytes, want %d", len(enc), helloSize+2+len(h.Ticket))
+		}
+		got, err := DecodeHello(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MinVersion != h.MinVersion || got.MaxVersion != h.MaxVersion ||
+			got.Measurement != h.Measurement || !bytes.Equal(got.Ticket, h.Ticket) {
+			t.Fatalf("got %+v, want %+v", got, h)
+		}
 	}
-	got, err := DecodeHello(h.Encode())
-	if err != nil {
-		t.Fatal(err)
+}
+
+func TestDecodeHelloTicketMalformed(t *testing.T) {
+	// A legacy-length body that declares v3 still parses (an empty-ticket
+	// v3 client and a v2 client are wire-identical at 40 bytes only if the
+	// client chose the legacy layout; our encoder always extends, but a
+	// legacy body is acceptable regardless of the declared max).
+	legacy := (&Hello{MinVersion: 1, MaxVersion: 2}).Encode()
+	v3hdr := append([]byte(nil), legacy...)
+	binary.LittleEndian.PutUint16(v3hdr[6:], 3)
+	if _, err := DecodeHello(v3hdr); err != nil {
+		t.Fatalf("legacy-length v3 hello: %v", err)
 	}
-	if got != h {
-		t.Fatalf("got %+v, want %+v", got, h)
+
+	// An extended body from a peer that only declares v2 is malformed.
+	v2ext := (&Hello{MinVersion: 1, MaxVersion: 3, Ticket: []byte{1}}).Encode()
+	binary.LittleEndian.PutUint16(v2ext[6:], 2)
+	if _, err := DecodeHello(v2ext); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("extended v2 hello: got %v, want ErrBadFrame", err)
+	}
+
+	// Declared ticket length disagreeing with the body length is malformed.
+	short := (&Hello{MinVersion: 1, MaxVersion: 3, Ticket: []byte{1, 2, 3}}).Encode()
+	binary.LittleEndian.PutUint16(short[helloSize:], 9)
+	if _, err := DecodeHello(short); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ticket length mismatch: got %v, want ErrBadFrame", err)
+	}
+
+	// A ticket above MaxTicket is rejected before any allocation.
+	huge := (&Hello{MinVersion: 1, MaxVersion: 3, Ticket: make([]byte, 4)}).Encode()
+	binary.LittleEndian.PutUint16(huge[helloSize:], MaxTicket+1)
+	if _, err := DecodeHello(huge); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized ticket: got %v, want ErrBadFrame", err)
 	}
 }
 
@@ -150,7 +194,8 @@ func TestNegotiate(t *testing.T) {
 		{1, 7, MaxVersion, true}, // client newer: server caps at its max
 		{1, 2, 2, true},
 		{2, 2, 2, true},
-		{3, 9, 0, false},
+		{3, 9, 3, true},
+		{4, 9, 0, false},
 		{0, 0, 0, false},
 	}
 	for _, tc := range cases {
@@ -198,10 +243,33 @@ func TestWelcomeRoundTrip(t *testing.T) {
 			MaxInFlight: 32,
 			Enclave:     attest.Measure([]byte("gpu enclave")),
 		},
+		{
+			Version:     3,
+			SessionID:   44,
+			SegmentSize: 32 << 20,
+			ChunkSize:   4 << 20,
+			MaxData:     MaxData,
+			MaxInFlight: 32,
+			Enclave:     attest.Measure([]byte("gpu enclave")),
+			Resumed:     true,
+			Ticket:      []byte{9, 8, 7, 6, 5, 4},
+		},
+		{
+			Version:     3,
+			SessionID:   45,
+			SegmentSize: 32 << 20,
+			ChunkSize:   4 << 20,
+			MaxData:     MaxData,
+			MaxInFlight: 1,
+			Enclave:     attest.Measure([]byte("gpu enclave")),
+		},
 	} {
 		enc := w.Encode()
 		wantLen := welcomeSizeV1
-		if w.Version >= Version2 {
+		switch {
+		case w.Version >= Version3:
+			wantLen = welcomeSizeV3 + len(w.Ticket)
+		case w.Version >= Version2:
 			wantLen = welcomeSizeV2
 		}
 		if len(enc) != wantLen {
@@ -211,7 +279,11 @@ func TestWelcomeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != w {
+		if got.Version != w.Version || got.SessionID != w.SessionID ||
+			got.SegmentSize != w.SegmentSize || got.ChunkSize != w.ChunkSize ||
+			got.MaxData != w.MaxData || got.MaxInFlight != w.MaxInFlight ||
+			got.Enclave != w.Enclave || got.Resumed != w.Resumed ||
+			!bytes.Equal(got.Ticket, w.Ticket) {
 			t.Fatalf("got %+v, want %+v", got, w)
 		}
 	}
@@ -245,6 +317,19 @@ func TestDecodeWelcomeMalformed(t *testing.T) {
 	zeroInflight := append([]byte(nil), goodV2...)
 	binary.LittleEndian.PutUint16(zeroInflight[welcomeSizeV1:], 0)
 
+	goodV3 := (&Welcome{Version: 3, MaxData: MaxData, MaxInFlight: 8, Ticket: []byte{1, 2, 3}}).Encode()
+
+	// Declares v3 but carries only the v2 body (resumed flag + ticket missing).
+	v3Short := append([]byte(nil), goodV3[:welcomeSizeV2]...)
+
+	// v3 resumed flag outside {0,1}.
+	badResumed := append([]byte(nil), goodV3...)
+	badResumed[welcomeSizeV2] = 7
+
+	// v3 ticket length disagreeing with the body length.
+	v3LenMismatch := append([]byte(nil), goodV3...)
+	binary.LittleEndian.PutUint16(v3LenMismatch[welcomeSizeV2+1:], 200)
+
 	cases := []struct {
 		name string
 		buf  []byte
@@ -258,6 +343,9 @@ func TestDecodeWelcomeMalformed(t *testing.T) {
 		{"v2 without max in-flight", v2Short, ErrBadFrame},
 		{"v1 with v2 trailer", v1Long, ErrBadFrame},
 		{"v2 zero max in-flight", zeroInflight, ErrBadFrame},
+		{"v3 without ticket trailer", v3Short, ErrBadFrame},
+		{"v3 bad resumed flag", badResumed, ErrBadFrame},
+		{"v3 ticket length mismatch", v3LenMismatch, ErrBadFrame},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -14,7 +14,10 @@
 # 1.5x four-partition scaling gate), and BENCH_pr9.json (open-loop
 # load harness: replay-determinism gate, offered-rate sweep with
 # coordinated-omission-free p50/p99/p999 and a saturation gate at the
-# 2x overload point, churn storm under the seeded fault plane).
+# 2x overload point, churn storm under the seeded fault plane), and
+# BENCH_pr10.json (session resumption: post-resume ciphertext identity
+# gate, full-vs-ticket establishment sweep with the 3x wall-speedup
+# gate, reconnect-storm redial comparison).
 # --bench also runs scripts/benchdiff.sh first, so a
 # regression against the committed trajectory fails before any file is
 # rewritten.
@@ -57,7 +60,8 @@ go test -race -count=1 ./internal/hixrt/ \
 go test -race -count=1 ./internal/wire/
 go test -race -count=1 ./internal/faults/
 go test -race -count=1 -timeout 15m ./internal/netserve/ \
-	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI|TestSchedConcurrentConnections|TestLoadReplay'
+	-run 'TestConcurrentConnections|TestGracefulShutdownUnderLoad|TestShutdownNotifiesIdleClient|TestReconnect|TestMidPayloadPeerDeath|TestAuthCircuitBreaker|TestConnectionPanicRecovery|TestConcurrentRemoteSessionUse|TestPipelinedStartAPI|TestSchedConcurrentConnections|TestLoadReplay|TestResumeRoundTrip|TestResumeAcrossDrop|TestResumeTicketChaos'
+go test -race -count=1 ./internal/attack/ -run 'TestTicket'
 
 if [ "$bench" != "1" ]; then
 	echo "== OK (benchmarks skipped; pass --bench to run them) =="
@@ -112,5 +116,8 @@ go run ./cmd/hixbench -exp partition -json BENCH_pr8.json
 
 echo "== open-loop load harness -> BENCH_pr9.json =="
 go run ./cmd/hixbench -exp load -json BENCH_pr9.json
+
+echo "== session resumption -> BENCH_pr10.json =="
+go run ./cmd/hixbench -exp resume -json BENCH_pr10.json
 
 echo "== OK =="
